@@ -1,0 +1,73 @@
+//! Experiment E4 — reproduces **Figure 5**: basic-interval (bucket) count
+//! vs. group-by attribute score error on AW_ONLINE.
+//!
+//! Four lines, as in the paper: numerical attributes {Customer
+//! YearlyIncome, Product DealerPrice} × roll-up operations {StateProvince
+//! → Country, ProductSubcategory → Category}. For each roll-up case
+//! (every state with its country / every subcategory with its category),
+//! the correlation at each bucket count is compared against the
+//! per-distinct-value ground truth; the mean |Δcorr|×100 over all cases
+//! is reported. Expected shape: error falls quickly with bucket count and
+//! converges past ~40–80 buckets.
+//!
+//! Run: `cargo run --release -p kdap-bench --bin exp_fig5`
+
+use kdap_bench::{bucket_sweep, hierarchy_rollup_cases, print_table};
+use kdap_datagen::{build_aw_online, Scale};
+use kdap_query::JoinIndex;
+
+const BUCKET_COUNTS: &[usize] = &[5, 10, 20, 40, 80, 160, 320];
+
+fn main() {
+    let scale = if std::env::args().any(|a| a.contains("small")) {
+        Scale::small()
+    } else {
+        Scale::full()
+    };
+    eprintln!("building AW_ONLINE ({} facts)...", scale.facts);
+    let wh = build_aw_online(scale, 42).expect("generator is valid");
+    let jidx = JoinIndex::build(&wh);
+    let measure = wh.schema().measure_by_name("SalesRevenue").unwrap().clone();
+
+    let income = wh.col_ref("DimCustomer", "YearlyIncome").unwrap();
+    let dealer = wh.col_ref("DimProduct", "DealerPrice").unwrap();
+    let state = wh
+        .col_ref("DimStateProvince", "StateProvinceName")
+        .unwrap();
+    let country = wh.col_ref("DimStateProvince", "CountryRegionName").unwrap();
+    let subcat = wh
+        .col_ref("DimProductSubcategory", "ProductSubcategoryName")
+        .unwrap();
+    let category = wh.col_ref("DimProductCategory", "CategoryName").unwrap();
+
+    let geo_cases = hierarchy_rollup_cases(&wh, &jidx, state, country, 30);
+    let prod_cases = hierarchy_rollup_cases(&wh, &jidx, subcat, category, 30);
+    println!(
+        "## Figure 5 — bucket count vs attribute-score error (AW_ONLINE)\n\n\
+         roll-up cases: {} state→country, {} subcategory→category\n",
+        geo_cases.len(),
+        prod_cases.len()
+    );
+
+    let lines = [
+        ("YearlyIncome / State→Country", income, &geo_cases),
+        ("YearlyIncome / Subcat→Category", income, &prod_cases),
+        ("DealerPrice / State→Country", dealer, &geo_cases),
+        ("DealerPrice / Subcat→Category", dealer, &prod_cases),
+    ];
+
+    let mut rows = Vec::new();
+    for (label, attr, cases) in lines {
+        let sweep = bucket_sweep(&wh, &jidx, cases, attr, &measure, BUCKET_COUNTS);
+        let mut row = vec![label.to_string()];
+        row.extend(sweep.iter().map(|p| format!("{:.2}", p.mean_error_pct)));
+        row.push(format!("{}", sweep.first().map(|p| p.cases).unwrap_or(0)));
+        rows.push(row);
+    }
+    let mut headers: Vec<String> = vec!["attribute / roll-up".into()];
+    headers.extend(BUCKET_COUNTS.iter().map(|b| format!("{b} buckets")));
+    headers.push("cases".into());
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    print_table(&header_refs, &rows);
+    println!("\n(error = mean |corr_buckets − corr_ground_truth| × 100 over all roll-up cases)");
+}

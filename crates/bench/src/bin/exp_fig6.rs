@@ -1,0 +1,65 @@
+//! Experiment E5 — reproduces **Figure 6**: bucket count vs. group-by
+//! attribute score error on AW_RESELLER.
+//!
+//! Three lines, as in the paper: the reseller numerical attributes
+//! AnnualSales, AnnualRevenue and NumberOfEmployees, under the
+//! ProductSubcategory → Category roll-up. Same error metric and expected
+//! convergence shape as Figure 5.
+//!
+//! Run: `cargo run --release -p kdap-bench --bin exp_fig6`
+
+use kdap_bench::{bucket_sweep, hierarchy_rollup_cases, print_table};
+use kdap_datagen::{build_aw_reseller, Scale};
+use kdap_query::JoinIndex;
+
+const BUCKET_COUNTS: &[usize] = &[5, 10, 20, 40, 80, 160, 320];
+
+fn main() {
+    let scale = if std::env::args().any(|a| a.contains("small")) {
+        Scale::small()
+    } else {
+        Scale::full()
+    };
+    eprintln!("building AW_RESELLER ({} facts)...", scale.facts);
+    let wh = build_aw_reseller(scale, 42).expect("generator is valid");
+    let jidx = JoinIndex::build(&wh);
+    let measure = wh.schema().measure_by_name("SalesRevenue").unwrap().clone();
+
+    let subcat = wh
+        .col_ref("DimProductSubcategory", "ProductSubcategoryName")
+        .unwrap();
+    let category = wh.col_ref("DimProductCategory", "CategoryName").unwrap();
+    let cases = hierarchy_rollup_cases(&wh, &jidx, subcat, category, 30);
+    println!(
+        "## Figure 6 — bucket count vs attribute-score error (AW_RESELLER)\n\n\
+         roll-up cases: {} subcategory→category\n",
+        cases.len()
+    );
+
+    let attrs = [
+        ("AnnualSales", wh.col_ref("DimReseller", "AnnualSales").unwrap()),
+        (
+            "AnnualRevenue",
+            wh.col_ref("DimReseller", "AnnualRevenue").unwrap(),
+        ),
+        (
+            "NumberOfEmployees",
+            wh.col_ref("DimReseller", "NumberOfEmployees").unwrap(),
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    for (label, attr) in attrs {
+        let sweep = bucket_sweep(&wh, &jidx, &cases, attr, &measure, BUCKET_COUNTS);
+        let mut row = vec![label.to_string()];
+        row.extend(sweep.iter().map(|p| format!("{:.2}", p.mean_error_pct)));
+        row.push(format!("{}", sweep.first().map(|p| p.cases).unwrap_or(0)));
+        rows.push(row);
+    }
+    let mut headers: Vec<String> = vec!["attribute".into()];
+    headers.extend(BUCKET_COUNTS.iter().map(|b| format!("{b} buckets")));
+    headers.push("cases".into());
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    print_table(&header_refs, &rows);
+    println!("\n(error = mean |corr_buckets − corr_ground_truth| × 100 over all roll-up cases)");
+}

@@ -1,0 +1,101 @@
+//! Extension E8 — numeric/measure attributes as hit candidates, the
+//! paper's first future-work item (§7).
+//!
+//! With the extension enabled, numeric keywords generate additional
+//! interpretations over numerical attribute domains (prices, incomes,
+//! measure columns). This experiment shows (a) the interpretation space
+//! before/after, (b) that textual interpretations still outrank numeric
+//! ones when both exist ("2001" as a calendar-year label vs. a price
+//! point), and (c) end-to-end subspace selection through a numeric
+//! constraint.
+//!
+//! Run: `cargo run --release -p kdap-bench --bin exp_numeric`
+
+use kdap_bench::print_table;
+use kdap_core::{Kdap, NumericConfig};
+use kdap_datagen::{build_aw_online, Scale};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a.contains("small")) {
+        Scale::small()
+    } else {
+        Scale::full()
+    };
+    eprintln!("building AW_ONLINE ({} facts)...", scale.facts);
+    let wh = build_aw_online(scale, 42).expect("generator is valid");
+    let mut kdap = Kdap::new(wh).expect("measure defined");
+
+    println!("## Numeric hit candidates (§7 future work)\n");
+
+    // Pick a price point that actually exists in the data.
+    let price_attr = kdap.warehouse().col_ref("DimProduct", "DealerPrice").unwrap();
+    let some_price = kdap
+        .warehouse()
+        .column(price_attr)
+        .get_float(0)
+        .expect("product 1 has a dealer price");
+    let price_kw = format!("{some_price}");
+
+    let queries = ["2001", price_kw.as_str(), "80000 California"];
+    let mut rows = Vec::new();
+    for q in queries {
+        let baseline = kdap.interpret(q).len();
+        kdap.gen.numeric = NumericConfig {
+            enabled: true,
+            ..NumericConfig::default()
+        };
+        let ranked = kdap.interpret(q);
+        let numeric_count = ranked
+            .iter()
+            .filter(|r| r.net.constraints.iter().any(|c| c.group.numeric.is_some()))
+            .count();
+        let top = ranked
+            .first()
+            .map(|r| {
+                let d = r.net.display(kdap.warehouse());
+                if d.len() > 70 {
+                    format!("{}…", &d[..d.char_indices().take(70).last().unwrap().0])
+                } else {
+                    d
+                }
+            })
+            .unwrap_or_else(|| "(none)".into());
+        rows.push(vec![
+            q.to_string(),
+            format!("{baseline}"),
+            format!("{}", ranked.len()),
+            format!("{numeric_count}"),
+            top,
+        ]);
+        kdap.gen.numeric = NumericConfig::default();
+    }
+    print_table(
+        &[
+            "query",
+            "interpretations (text only)",
+            "with numeric hits",
+            "numeric nets",
+            "top interpretation",
+        ],
+        &rows,
+    );
+
+    // End-to-end: explore a numeric interpretation.
+    kdap.gen.numeric = NumericConfig {
+        enabled: true,
+        ..NumericConfig::default()
+    };
+    let ranked = kdap.interpret(&price_kw);
+    if let Some(r) = ranked
+        .iter()
+        .find(|r| r.net.constraints.iter().any(|c| c.group.numeric.is_some()))
+    {
+        let ex = kdap.explore(&r.net);
+        println!(
+            "\nexploring numeric interpretation of \"{price_kw}\": {} fact points, revenue {:.2}, {} facet panels",
+            ex.subspace_size,
+            ex.total_aggregate,
+            ex.panels.len()
+        );
+    }
+}

@@ -1,0 +1,378 @@
+//! # kdap-bench
+//!
+//! Shared machinery for the experiment binaries that regenerate every
+//! table and figure of the paper's evaluation (§6), plus the Criterion
+//! micro-benchmarks. See DESIGN.md for the experiment ↔ binary map and
+//! EXPERIMENTS.md for recorded outputs.
+
+use kdap_core::{RankedStarNet, StarNet};
+use kdap_datagen::LabeledQuery;
+use kdap_query::{
+    group_by_buckets, paths_between, project_numeric, Bucketizer, JoinIndex, JoinPath, RowSet,
+    Selection, MAX_PATH_LEN,
+};
+use kdap_warehouse::{ColRef, Measure, Warehouse};
+
+/// Does a star net match a labeled query's intended interpretation?
+///
+/// It must constrain exactly the intended attribute domains (no more, no
+/// fewer), each hit group must contain the intended instance, and — when
+/// the ground truth pins a dimension — the join path must enter it.
+pub fn matches_intended(wh: &Warehouse, net: &StarNet, q: &LabeledQuery) -> bool {
+    if net.constraints.len() != q.intended.len() {
+        return false;
+    }
+    let schema = wh.schema();
+    q.intended.iter().all(|want| {
+        net.constraints.iter().any(|c| {
+            if c.group.attr != want.attr {
+                return false;
+            }
+            if !c.group.hits.iter().any(|h| h.value.as_ref() == want.value) {
+                return false;
+            }
+            match (&want.dimension, c.path.dimension(schema)) {
+                (Some(dname), Some(did)) => schema.dimension(did).name == *dname,
+                (Some(_), None) => false,
+                (None, _) => true,
+            }
+        })
+    })
+}
+
+/// 1-based rank of the first star net matching the ground truth, if any.
+pub fn rank_of_intended(
+    wh: &Warehouse,
+    ranked: &[RankedStarNet],
+    q: &LabeledQuery,
+) -> Option<usize> {
+    ranked
+        .iter()
+        .position(|r| matches_intended(wh, &r.net, q))
+        .map(|p| p + 1)
+}
+
+/// Cumulative satisfaction curve: entry `x-1` is the percentage of
+/// queries whose intended interpretation appears within the top-`x`.
+pub fn cumulative_curve(ranks: &[Option<usize>], max_rank: usize) -> Vec<f64> {
+    let n = ranks.len().max(1) as f64;
+    (1..=max_rank)
+        .map(|x| {
+            let hit = ranks
+                .iter()
+                .filter(|r| matches!(r, Some(rank) if *rank <= x))
+                .count();
+            100.0 * hit as f64 / n
+        })
+        .collect()
+}
+
+/// One roll-up case for the bucket-count experiments (Figures 5/6): a
+/// child-level subspace and its parent-level background space.
+pub struct RollupCase {
+    pub label: String,
+    pub ds: RowSet,
+    pub rup: RowSet,
+}
+
+/// The unique fact path to `table` (panics when ambiguous — the AW
+/// schemata have exactly one path per dimension table).
+pub fn unique_fact_path(wh: &Warehouse, table: &str) -> JoinPath {
+    let schema = wh.schema();
+    let tid = wh.table_id(table).expect("table exists");
+    let paths = paths_between(schema, schema.fact_table(), tid, MAX_PATH_LEN);
+    assert_eq!(paths.len(), 1, "expected a unique path to {table}");
+    paths.into_iter().next().unwrap()
+}
+
+/// Builds one roll-up case per distinct child value: DS′ = facts with
+/// `child_attr = v`, RUP = facts with `parent_attr = parent(v)`. Cases
+/// with fewer than `min_facts` subspace facts are dropped (their
+/// correlations are noise).
+pub fn hierarchy_rollup_cases(
+    wh: &Warehouse,
+    jidx: &JoinIndex,
+    child_attr: ColRef,
+    parent_attr: ColRef,
+    min_facts: usize,
+) -> Vec<RollupCase> {
+    let schema = wh.schema();
+    let fact = schema.fact_table();
+    let child_table = wh.table(child_attr.table);
+    let child_col = wh.column(child_attr);
+    let parent_col = wh.column(parent_attr);
+    let child_path = unique_fact_path(wh, child_table.name());
+    let parent_path = unique_fact_path(wh, wh.table(parent_attr.table).name());
+
+    // child code → parent code, via the child table rows.
+    let to_parent = if parent_attr.table == child_attr.table {
+        None
+    } else {
+        let sub = paths_between(schema, child_attr.table, parent_attr.table, 4)
+            .into_iter()
+            .next()
+            .expect("hierarchy levels are connected");
+        Some(jidx.row_mapper(wh, child_attr.table, &sub))
+    };
+
+    let dict = child_col.dict().expect("categorical child level");
+    let mut cases = Vec::new();
+    for (code, value) in dict.iter() {
+        let rows = child_col.rows_with_codes(&[code]);
+        let parent_code = rows.iter().find_map(|&r| match &to_parent {
+            None => parent_col.get_code(r),
+            Some(mapper) => mapper[r].and_then(|pr| parent_col.get_code(pr as usize)),
+        });
+        let Some(parent_code) = parent_code else {
+            continue;
+        };
+        let ds = Selection::by_codes(child_path.clone(), child_attr, vec![code])
+            .eval(wh, jidx, fact);
+        if ds.len() < min_facts {
+            continue;
+        }
+        let rup = Selection::by_codes(parent_path.clone(), parent_attr, vec![parent_code])
+            .eval(wh, jidx, fact);
+        cases.push(RollupCase {
+            label: value.to_string(),
+            ds,
+            rup,
+        });
+    }
+    cases
+}
+
+/// Correlation of the DS′/RUP aggregation series for a numerical
+/// attribute under a given bucketizer.
+pub fn bucketized_correlation(
+    wh: &Warehouse,
+    jidx: &JoinIndex,
+    case: &RollupCase,
+    attr: ColRef,
+    attr_path: &JoinPath,
+    measure: &Measure,
+    buckets: &Bucketizer,
+) -> f64 {
+    let fact = wh.schema().fact_table();
+    let x = group_by_buckets(
+        wh,
+        jidx,
+        fact,
+        attr_path,
+        attr,
+        &case.ds,
+        measure,
+        kdap_query::AggFunc::Sum,
+        buckets,
+    );
+    let y = group_by_buckets(
+        wh,
+        jidx,
+        fact,
+        attr_path,
+        attr,
+        &case.rup,
+        measure,
+        kdap_query::AggFunc::Sum,
+        buckets,
+    );
+    // §5.2.1: only segments that exist in DS′ participate in the
+    // comparison — buckets with no DS′ fact are dropped from both series.
+    let occupancy = group_by_buckets(
+        wh,
+        jidx,
+        fact,
+        attr_path,
+        attr,
+        &case.ds,
+        measure,
+        kdap_query::AggFunc::Count,
+        buckets,
+    );
+    let (xs, ys): (Vec<f64>, Vec<f64>) = x
+        .iter()
+        .zip(&y)
+        .zip(&occupancy)
+        .filter(|(_, &cnt)| cnt > 0.0)
+        .map(|((a, b), _)| (*a, *b))
+        .unzip();
+    kdap_core::pearson(&xs, &ys)
+}
+
+/// One sweep point of Figures 5/6: mean error (in percentage points of
+/// correlation, |corr_n − corr_truth| × 100) over all roll-up cases, at a
+/// given basic-interval count.
+pub struct SweepPoint {
+    pub buckets: usize,
+    pub mean_error_pct: f64,
+    pub cases: usize,
+}
+
+/// Sweeps basic-interval counts for one numerical attribute over a set of
+/// roll-up cases, comparing against the per-distinct-value ground truth.
+pub fn bucket_sweep(
+    wh: &Warehouse,
+    jidx: &JoinIndex,
+    cases: &[RollupCase],
+    attr: ColRef,
+    measure: &Measure,
+    bucket_counts: &[usize],
+) -> Vec<SweepPoint> {
+    let fact = wh.schema().fact_table();
+    let attr_path = unique_fact_path(wh, wh.table(attr.table).name());
+
+    // Per-case ground truth: one bucket per distinct value in DS′.
+    let truths: Vec<Option<(f64, Vec<f64>)>> = cases
+        .iter()
+        .map(|case| {
+            let values = project_numeric(wh, jidx, fact, &attr_path, attr, &case.ds);
+            let gt_buckets = Bucketizer::per_distinct(values.iter().copied())?;
+            if gt_buckets.n_buckets() < 3 {
+                return None;
+            }
+            let corr =
+                bucketized_correlation(wh, jidx, case, attr, &attr_path, measure, &gt_buckets);
+            Some((corr, values))
+        })
+        .collect();
+
+    bucket_counts
+        .iter()
+        .map(|&n| {
+            let mut total = 0.0;
+            let mut counted = 0usize;
+            for (case, truth) in cases.iter().zip(&truths) {
+                let Some((gt_corr, values)) = truth else {
+                    continue;
+                };
+                let Some(buckets) = Bucketizer::equal_width(values.iter().copied(), n) else {
+                    continue;
+                };
+                let corr =
+                    bucketized_correlation(wh, jidx, case, attr, &attr_path, measure, &buckets);
+                total += (corr - gt_corr).abs() * 100.0;
+                counted += 1;
+            }
+            SweepPoint {
+                buckets: n,
+                mean_error_pct: if counted == 0 { 0.0 } else { total / counted as f64 },
+                cases: counted,
+            }
+        })
+        .collect()
+}
+
+/// Renders a simple aligned table to stdout.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let padded: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(0)))
+            .collect();
+        println!("| {} |", padded.join(" | "));
+    };
+    let hdr: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    line(&hdr);
+    println!(
+        "|{}|",
+        widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("|")
+    );
+    for row in rows {
+        line(row);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdap_core::{generate_star_nets, rank_star_nets, GenConfig, RankMethod};
+    use kdap_datagen::{build_aw_online, generate_workload, Scale, WorkloadConfig};
+
+    #[test]
+    fn cumulative_curve_counts_correctly() {
+        let ranks = vec![Some(1), Some(1), Some(3), None, Some(11)];
+        let curve = cumulative_curve(&ranks, 5);
+        assert_eq!(curve[0], 40.0);
+        assert_eq!(curve[1], 40.0);
+        assert_eq!(curve[2], 60.0);
+        assert_eq!(curve[4], 60.0);
+    }
+
+    #[test]
+    fn intended_interpretation_is_rankable_end_to_end() {
+        let wh = build_aw_online(Scale::small(), 42).unwrap();
+        let index = kdap_textindex::TextIndex::build(&wh);
+        let cfg = WorkloadConfig {
+            n_queries: 10,
+            ..WorkloadConfig::default()
+        };
+        let queries = generate_workload(&wh, &cfg);
+        let mut found = 0;
+        for q in &queries {
+            let refs: Vec<&str> = q.keywords.iter().map(String::as_str).collect();
+            let nets = generate_star_nets(&wh, &index, &refs, &GenConfig::default());
+            let ranked = rank_star_nets(nets, RankMethod::Standard);
+            if rank_of_intended(&wh, &ranked, q).is_some() {
+                found += 1;
+            }
+        }
+        // The intended interpretation must be generatable for most
+        // queries (this is the precondition for Figure 4 to be
+        // meaningful).
+        assert!(found >= 8, "only {found}/10 intended interpretations found");
+    }
+
+    #[test]
+    fn rollup_cases_are_proper_supersets() {
+        let wh = build_aw_online(Scale::small(), 42).unwrap();
+        let jidx = JoinIndex::build(&wh);
+        let sub = wh
+            .col_ref("DimProductSubcategory", "ProductSubcategoryName")
+            .unwrap();
+        let cat = wh.col_ref("DimProductCategory", "CategoryName").unwrap();
+        let cases = hierarchy_rollup_cases(&wh, &jidx, sub, cat, 5);
+        assert!(!cases.is_empty());
+        for c in &cases {
+            assert!(c.rup.len() >= c.ds.len(), "case {}", c.label);
+            for row in c.ds.iter() {
+                assert!(c.rup.contains(row));
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_sweep_error_decreases_with_buckets() {
+        let wh = build_aw_online(Scale::small(), 42).unwrap();
+        let jidx = JoinIndex::build(&wh);
+        let sub = wh
+            .col_ref("DimProductSubcategory", "ProductSubcategoryName")
+            .unwrap();
+        let cat = wh.col_ref("DimProductCategory", "CategoryName").unwrap();
+        let cases = hierarchy_rollup_cases(&wh, &jidx, sub, cat, 8);
+        let attr = wh.col_ref("DimProduct", "DealerPrice").unwrap();
+        let measure = wh.schema().measure_by_name("SalesRevenue").unwrap().clone();
+        let sweep = bucket_sweep(&wh, &jidx, &cases, attr, &measure, &[5, 80]);
+        assert_eq!(sweep.len(), 2);
+        assert!(sweep[0].cases > 0);
+        // More basic intervals → closer to ground truth on average.
+        assert!(
+            sweep[1].mean_error_pct <= sweep[0].mean_error_pct + 1e-9,
+            "5 buckets: {:.2}, 80 buckets: {:.2}",
+            sweep[0].mean_error_pct,
+            sweep[1].mean_error_pct
+        );
+    }
+}

@@ -1,0 +1,126 @@
+//! # kdap-cli
+//!
+//! The `kdap` command: an interactive keyword-driven analytical
+//! processing console over either the built-in demo warehouses or your
+//! own CSV data described by a [`kdap_warehouse::spec`] file.
+//!
+//! ```text
+//! kdap --demo ebiz                 # paper's running example (Figure 2)
+//! kdap --demo aw-online --small    # AdventureWorks-style internet sales
+//! kdap --spec my_warehouse.spec    # your data
+//! ```
+
+pub mod command;
+pub mod repl;
+
+pub use command::Command;
+pub use repl::Repl;
+
+/// Which warehouse to open.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataSource {
+    DemoEbiz,
+    DemoAwOnline,
+    DemoAwReseller,
+    DemoTrends,
+    Spec(String),
+}
+
+/// Parsed command-line arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliArgs {
+    pub source: DataSource,
+    pub small: bool,
+    pub seed: u64,
+}
+
+/// Parses `kdap` arguments (everything after `argv[0]`).
+pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
+    let mut source = None;
+    let mut small = false;
+    let mut seed = 42u64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--demo" => {
+                let which = it.next().ok_or("--demo needs a name")?;
+                source = Some(match which.as_str() {
+                    "ebiz" => DataSource::DemoEbiz,
+                    "aw-online" => DataSource::DemoAwOnline,
+                    "aw-reseller" => DataSource::DemoAwReseller,
+                    "trends" => DataSource::DemoTrends,
+                    other => {
+                        return Err(format!(
+                            "unknown demo `{other}` (ebiz|aw-online|aw-reseller|trends)"
+                        ))
+                    }
+                });
+            }
+            "--spec" => {
+                let path = it.next().ok_or("--spec needs a path")?;
+                source = Some(DataSource::Spec(path.clone()));
+            }
+            "--small" => small = true,
+            "--seed" => {
+                seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|_| "--seed must be an integer".to_string())?;
+            }
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+    Ok(CliArgs {
+        source: source.unwrap_or(DataSource::DemoEbiz),
+        small,
+        seed,
+    })
+}
+
+/// The usage banner.
+pub fn usage() -> String {
+    "usage: kdap [--demo ebiz|aw-online|aw-reseller|trends] [--spec FILE] \
+     [--small] [--seed N]"
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_to_ebiz_demo() {
+        let a = parse_args(&[]).unwrap();
+        assert_eq!(a.source, DataSource::DemoEbiz);
+        assert!(!a.small);
+        assert_eq!(a.seed, 42);
+    }
+
+    #[test]
+    fn parses_demo_and_flags() {
+        let a = parse_args(&args(&["--demo", "aw-online", "--small", "--seed", "7"])).unwrap();
+        assert_eq!(a.source, DataSource::DemoAwOnline);
+        assert!(a.small);
+        assert_eq!(a.seed, 7);
+    }
+
+    #[test]
+    fn parses_spec_path() {
+        let a = parse_args(&args(&["--spec", "wh.spec"])).unwrap();
+        assert_eq!(a.source, DataSource::Spec("wh.spec".into()));
+    }
+
+    #[test]
+    fn rejects_unknown() {
+        assert!(parse_args(&args(&["--demo", "nope"])).is_err());
+        assert!(parse_args(&args(&["--bogus"])).is_err());
+        assert!(parse_args(&args(&["--seed", "abc"])).is_err());
+        assert!(parse_args(&args(&["--demo"])).is_err());
+    }
+}

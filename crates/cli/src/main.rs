@@ -1,0 +1,102 @@
+//! The `kdap` binary: open a warehouse (demo or spec-defined) and run the
+//! interactive analytical console.
+
+use std::io::{BufRead, Write};
+
+use kdap_cli::{parse_args, Command, DataSource, Repl};
+use kdap_core::Kdap;
+use kdap_datagen::{
+    build_aw_online, build_aw_reseller, build_ebiz, build_trends, EbizScale, Scale, TrendsScale,
+};
+use kdap_warehouse::load_spec;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+
+    let wh = match &args.source {
+        DataSource::DemoEbiz => {
+            eprintln!("building the EBiz demo warehouse…");
+            let scale = if args.small { EbizScale::small() } else { EbizScale::full() };
+            build_ebiz(scale, args.seed).expect("demo generator is valid")
+        }
+        DataSource::DemoAwOnline => {
+            eprintln!("building AW_ONLINE…");
+            let scale = if args.small { Scale::small() } else { Scale::full() };
+            build_aw_online(scale, args.seed).expect("demo generator is valid")
+        }
+        DataSource::DemoAwReseller => {
+            eprintln!("building AW_RESELLER…");
+            let scale = if args.small { Scale::small() } else { Scale::full() };
+            build_aw_reseller(scale, args.seed).expect("demo generator is valid")
+        }
+        DataSource::DemoTrends => {
+            eprintln!("building the query-log demo warehouse…");
+            let scale = if args.small { TrendsScale::small() } else { TrendsScale::full() };
+            build_trends(scale, args.seed).expect("demo generator is valid")
+        }
+        DataSource::Spec(path) => {
+            let spec_dir = std::path::Path::new(path)
+                .parent()
+                .map(|p| p.to_path_buf())
+                .unwrap_or_default();
+            let spec = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("cannot read spec {path}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            match load_spec(&spec, |file| {
+                std::fs::read_to_string(spec_dir.join(file)).map_err(|e| e.to_string())
+            }) {
+                Ok(wh) => wh,
+                Err(e) => {
+                    eprintln!("invalid warehouse spec: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    };
+
+    let kdap = match Kdap::new(wh) {
+        Ok(k) => k.with_cache(64),
+        Err(e) => {
+            eprintln!("cannot open warehouse: {e} (a `measure` declaration is required)");
+            std::process::exit(1);
+        }
+    };
+    let mut repl = Repl::new(kdap);
+    println!("KDAP console ready — `help` lists commands. Try: q Columbus LCD");
+
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    loop {
+        print!("kdap> ");
+        stdout.flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+        match Command::parse(&line) {
+            Ok(cmd) => match repl.execute(cmd, &mut stdout) {
+                Ok(true) => {}
+                Ok(false) => break,
+                Err(e) => {
+                    eprintln!("io error: {e}");
+                    break;
+                }
+            },
+            Err(msg) if msg.is_empty() => {}
+            Err(msg) => println!("{msg}"),
+        }
+    }
+    println!("bye.");
+}

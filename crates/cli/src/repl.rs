@@ -1,0 +1,353 @@
+//! The console engine: executes parsed [`Command`]s against a KDAP
+//! session and writes human output to any `Write` sink (tests drive it
+//! with string buffers; `main` wires it to stdio).
+
+use std::io::Write;
+
+use kdap_core::interest::InterestMode;
+use kdap_core::{
+    drill_down, remove_constraint, render_exploration, render_interpretations, roll_up,
+    Exploration, FacetOrder, Kdap, RankedStarNet, StarNet,
+};
+use kdap_query::paths_between;
+
+use crate::command::{Command, ModeArg, OrderArg};
+
+/// Interactive session state.
+pub struct Repl {
+    kdap: Kdap,
+    interpretations: Vec<RankedStarNet>,
+    current: Option<StarNet>,
+    exploration: Option<Exploration>,
+}
+
+impl Repl {
+    pub fn new(kdap: Kdap) -> Self {
+        Repl {
+            kdap,
+            interpretations: Vec::new(),
+            current: None,
+            exploration: None,
+        }
+    }
+
+    /// The underlying session (for stats and tests).
+    pub fn session(&self) -> &Kdap {
+        &self.kdap
+    }
+
+    /// Executes one command; returns `false` when the session should end.
+    pub fn execute(&mut self, cmd: Command, out: &mut impl Write) -> std::io::Result<bool> {
+        match cmd {
+            Command::Query(q) => {
+                self.interpretations = self.kdap.interpret(&q);
+                if self.interpretations.is_empty() {
+                    writeln!(out, "no interpretation found for \"{q}\"")?;
+                } else {
+                    write!(
+                        out,
+                        "{}",
+                        render_interpretations(self.kdap.warehouse(), &self.interpretations, 8)
+                    )?;
+                    writeln!(out, "pick one with `pick <n>`.")?;
+                }
+            }
+            Command::Pick(n) => match self.interpretations.get(n.wrapping_sub(1)) {
+                Some(r) => {
+                    self.current = Some(r.net.clone());
+                    self.explore(out)?;
+                }
+                None => writeln!(out, "no interpretation #{n}")?,
+            },
+            Command::Drill(f, e) => self.drill(f, e, out)?,
+            Command::RollUp(n) => {
+                let Some(net) = &self.current else {
+                    writeln!(out, "nothing explored yet")?;
+                    return Ok(true);
+                };
+                match roll_up(
+                    self.kdap.warehouse(),
+                    self.kdap.join_index(),
+                    net,
+                    n.wrapping_sub(1),
+                ) {
+                    Some(rolled) => {
+                        self.current = Some(rolled);
+                        self.explore(out)?;
+                    }
+                    None => writeln!(out, "no constraint #{n}")?,
+                }
+            }
+            Command::Drop(n) => {
+                let Some(net) = &self.current else {
+                    writeln!(out, "nothing explored yet")?;
+                    return Ok(true);
+                };
+                match remove_constraint(net, n.wrapping_sub(1)) {
+                    Some(reduced) => {
+                        self.current = Some(reduced);
+                        self.explore(out)?;
+                    }
+                    None => writeln!(out, "no constraint #{n}")?,
+                }
+            }
+            Command::Mode(m) => {
+                self.kdap.facet.mode = match m {
+                    ModeArg::Surprise => InterestMode::Surprise,
+                    ModeArg::Bellwether => InterestMode::Bellwether,
+                };
+                writeln!(out, "interestingness mode set")?;
+                if self.current.is_some() {
+                    self.explore(out)?;
+                }
+            }
+            Command::Order(o) => {
+                self.kdap.facet.order = match o {
+                    OrderArg::Dynamic => FacetOrder::Dynamic,
+                    OrderArg::Consistent => FacetOrder::Consistent,
+                    OrderArg::Hybrid(p) => FacetOrder::Hybrid { pinned: p },
+                };
+                writeln!(out, "facet ordering set")?;
+                if self.current.is_some() {
+                    self.explore(out)?;
+                }
+            }
+            Command::Explain => match &self.current {
+                Some(net) => {
+                    let plan = kdap_core::explain(
+                        self.kdap.warehouse(),
+                        self.kdap.join_index(),
+                        net,
+                    );
+                    write!(out, "{}", plan.render())?;
+                }
+                None => writeln!(out, "nothing explored yet")?,
+            },
+            Command::Show => match &self.exploration {
+                Some(ex) => write!(out, "{}", render_exploration(ex))?,
+                None => writeln!(out, "nothing explored yet")?,
+            },
+            Command::Save(dir) => {
+                let path = std::path::Path::new(&dir);
+                match kdap_warehouse::save_warehouse(self.kdap.warehouse(), path) {
+                    Ok(()) => writeln!(
+                        out,
+                        "saved warehouse to {dir} — reopen with `kdap --spec {dir}/warehouse.spec`"
+                    )?,
+                    Err(e) => writeln!(out, "save failed: {e}")?,
+                }
+            }
+            Command::Schema => {
+                write!(out, "{}", kdap_warehouse::describe(self.kdap.warehouse()))?;
+            }
+            Command::Stats => {
+                let wh = self.kdap.warehouse();
+                writeln!(
+                    out,
+                    "facts: {} · tables: {} · searchable domains: {} · virtual docs: {}",
+                    wh.fact_rows(),
+                    wh.tables().len(),
+                    wh.searchable_columns().count(),
+                    self.kdap.text_index().n_docs()
+                )?;
+                if let Some((hits, misses)) = self.kdap.cache_stats() {
+                    writeln!(out, "subspace cache: {hits} hits / {misses} misses")?;
+                }
+            }
+            Command::Help => writeln!(
+                out,
+                "q <keywords> · pick <n> · drill <facet#> <entry#> · up <n> · drop <n>\n\
+                 mode surprise|bellwether · order dynamic|consistent|hybrid <p>\n\
+                 explain · show · schema · stats · save <dir> · quit"
+            )?,
+            Command::Quit => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    fn explore(&mut self, out: &mut impl Write) -> std::io::Result<()> {
+        let Some(net) = &self.current else {
+            return Ok(());
+        };
+        writeln!(out, "exploring: {}", net.display(self.kdap.warehouse()))?;
+        let ex = self.kdap.explore(net);
+        write!(out, "{}", render_exploration(&ex))?;
+        writeln!(out, "(facets are numbered top to bottom for `drill`)")?;
+        self.exploration = Some(ex);
+        Ok(())
+    }
+
+    fn drill(&mut self, f: usize, e: usize, out: &mut impl Write) -> std::io::Result<()> {
+        let (Some(ex), Some(net)) = (&self.exploration, &self.current) else {
+            writeln!(out, "nothing explored yet")?;
+            return Ok(());
+        };
+        let mut facet_no = 0;
+        let mut target = None;
+        for panel in &ex.panels {
+            for attr in &panel.attrs {
+                facet_no += 1;
+                if facet_no == f {
+                    target = Some(attr);
+                }
+            }
+        }
+        let Some(attr) = target else {
+            writeln!(out, "no facet #{f}")?;
+            return Ok(());
+        };
+        let Some(entry) = attr.entries.get(e.wrapping_sub(1)) else {
+            writeln!(out, "facet #{f} has no entry #{e}")?;
+            return Ok(());
+        };
+        let wh = self.kdap.warehouse();
+        let Some(code) = wh
+            .column(attr.attr)
+            .dict()
+            .and_then(|d| d.code_of(&entry.label))
+        else {
+            writeln!(out, "numeric ranges are refined via a new query, not drill")?;
+            return Ok(());
+        };
+        let path = paths_between(wh.schema(), wh.schema().fact_table(), attr.attr.table, 8)
+            .into_iter()
+            .next()
+            .expect("facet attrs are reachable");
+        let drilled = drill_down(wh, net, attr.attr, &path, vec![code]);
+        writeln!(out, "drilled into {} = {}", attr.name, entry.label)?;
+        self.current = Some(drilled);
+        self.explore(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdap_datagen::{build_ebiz, EbizScale};
+
+    fn repl() -> Repl {
+        let wh = build_ebiz(EbizScale::small(), 7).unwrap();
+        Repl::new(Kdap::new(wh).unwrap().with_cache(8))
+    }
+
+    fn run(repl: &mut Repl, line: &str) -> String {
+        let mut out = Vec::new();
+        let cmd = Command::parse(line).expect("valid command");
+        repl.execute(cmd, &mut out).unwrap();
+        String::from_utf8(out).unwrap()
+    }
+
+    #[test]
+    fn query_pick_show_flow() {
+        let mut r = repl();
+        let out = run(&mut r, "q columbus");
+        assert!(out.contains("#1"), "{out}");
+        let out = run(&mut r, "pick 1");
+        assert!(out.contains("subspace:"), "{out}");
+        let out = run(&mut r, "show");
+        assert!(out.contains("subspace:"), "{out}");
+    }
+
+    #[test]
+    fn errors_are_reported_not_fatal() {
+        let mut r = repl();
+        assert!(run(&mut r, "pick 5").contains("no interpretation"));
+        assert!(run(&mut r, "show").contains("nothing explored"));
+        assert!(run(&mut r, "up 1").contains("nothing explored"));
+        let out = run(&mut r, "q zzzzqqqq");
+        assert!(out.contains("no interpretation found"));
+    }
+
+    #[test]
+    fn quit_ends_session() {
+        let mut r = repl();
+        let mut out = Vec::new();
+        assert!(!r.execute(Command::Quit, &mut out).unwrap());
+    }
+
+    #[test]
+    fn mode_and_order_re_render() {
+        let mut r = repl();
+        run(&mut r, "q columbus");
+        run(&mut r, "pick 1");
+        let out = run(&mut r, "mode bellwether");
+        assert!(out.contains("subspace:"), "re-rendered: {out}");
+        let out = run(&mut r, "order consistent");
+        assert!(out.contains("subspace:"), "re-rendered: {out}");
+    }
+
+    #[test]
+    fn explain_shows_the_plan() {
+        let mut r = repl();
+        assert!(run(&mut r, "explain").contains("nothing explored"));
+        run(&mut r, "q seattle");
+        run(&mut r, "pick 1");
+        let out = run(&mut r, "explain");
+        assert!(out.contains("fact rows"), "{out}");
+        assert!(out.contains("subspace:"), "{out}");
+        assert!(out.contains("via"), "{out}");
+    }
+
+    #[test]
+    fn save_roundtrip_via_console() {
+        let mut r = repl();
+        let dir = std::env::temp_dir().join(format!("kdap_cli_save_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = run(&mut r, &format!("save {}", dir.display()));
+        assert!(out.contains("saved warehouse"), "{out}");
+        assert!(dir.join("warehouse.spec").exists());
+        let loaded = kdap_warehouse::load_warehouse(&dir).unwrap();
+        assert_eq!(loaded.fact_rows(), r.session().warehouse().fact_rows());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn schema_describes_warehouse() {
+        let mut r = repl();
+        let out = run(&mut r, "schema");
+        assert!(out.contains("fact table: TRANSITEM"), "{out}");
+        assert!(out.contains("dimensions:"), "{out}");
+    }
+
+    #[test]
+    fn stats_reports_cache() {
+        let mut r = repl();
+        run(&mut r, "q columbus");
+        run(&mut r, "pick 1");
+        let out = run(&mut r, "stats");
+        assert!(out.contains("subspace cache"), "{out}");
+        assert!(out.contains("facts:"), "{out}");
+    }
+
+    #[test]
+    fn drill_refines_and_rollup_widens() {
+        let mut r = repl();
+        // "seattle" has a store at every scale (round-robin placement).
+        run(&mut r, "q seattle");
+        let before = run(&mut r, "pick 1");
+        let size_before = extract_size(&before);
+        // Drill into the first *categorical* facet (numeric ranges refuse
+        // drilling); facet numbering is stable per exploration.
+        let mut drilled = String::new();
+        for f in 1..=12 {
+            drilled = run(&mut r, &format!("drill {f} 1"));
+            if drilled.contains("drilled into") {
+                break;
+            }
+        }
+        assert!(drilled.contains("drilled into"), "{drilled}");
+        let size_after = extract_size(&drilled);
+        assert!(size_after <= size_before, "{size_after} <= {size_before}");
+        let rolled = run(&mut r, "up 1");
+        assert!(rolled.contains("subspace:"), "{rolled}");
+    }
+
+    fn extract_size(out: &str) -> usize {
+        out.lines()
+            .rev()
+            .find(|l| l.starts_with("subspace:"))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|n| n.parse().ok())
+            .expect("subspace line present")
+    }
+}

@@ -1,0 +1,177 @@
+//! Subspace caching — toward the paper's closing future-work item (§7):
+//! "aggregation over the sub-dataspace … can be quite expensive on
+//! sizable data warehouses; we plan to … develop new specialized
+//! techniques optimized for KDAP."
+//!
+//! Interactive sessions rematerialize the same subspaces constantly: the
+//! user flips interestingness modes, drills down and back up, re-picks
+//! interpretations. The cache keys materialized fact-row sets by the star
+//! net's canonical fingerprint (order-independent constraint identity),
+//! with LRU eviction, so a revisited subspace costs a hash lookup instead
+//! of a semi-join cascade.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use kdap_query::JoinIndex;
+use kdap_warehouse::Warehouse;
+
+use crate::interpret::StarNet;
+use crate::subspace::{materialize, Subspace};
+
+/// An LRU cache of materialized subspaces.
+pub struct SubspaceCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+struct Inner {
+    map: HashMap<String, (Subspace, u64)>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl SubspaceCache {
+    /// Creates a cache holding at most `capacity` subspaces.
+    pub fn new(capacity: usize) -> Self {
+        SubspaceCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                clock: 0,
+                hits: 0,
+                misses: 0,
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Materializes `net`, serving repeats from the cache.
+    pub fn materialize(&self, wh: &Warehouse, jidx: &JoinIndex, net: &StarNet) -> Subspace {
+        let key = net.fingerprint();
+        {
+            let mut inner = self.inner.lock();
+            inner.clock += 1;
+            let clock = inner.clock;
+            if let Some((sub, stamp)) = inner.map.get_mut(&key) {
+                *stamp = clock;
+                let sub = sub.clone();
+                inner.hits += 1;
+                return sub;
+            }
+            inner.misses += 1;
+        }
+        // Materialize outside the lock: concurrent sessions should not
+        // serialize on the semi-join work.
+        let sub = materialize(wh, jidx, net);
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let clock = inner.clock;
+        if inner.map.len() >= self.capacity && !inner.map.contains_key(&key) {
+            if let Some(oldest) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| k.clone())
+            {
+                inner.map.remove(&oldest);
+            }
+        }
+        inner.map.insert(key, (sub.clone(), clock));
+        sub
+    }
+
+    /// `(hits, misses)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        let inner = self.inner.lock();
+        (inner.hits, inner.misses)
+    }
+
+    /// Number of cached subspaces.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all cached entries (e.g. after warehouse changes).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.map.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interpret::{generate_star_nets, GenConfig};
+    use crate::testutil::ebiz_fixture;
+
+    #[test]
+    fn repeat_materializations_hit_the_cache() {
+        let fx = ebiz_fixture();
+        let cache = SubspaceCache::new(8);
+        let nets = generate_star_nets(&fx.wh, &fx.index, &["columbus"], &GenConfig::default());
+        let a = cache.materialize(&fx.wh, &fx.jidx, &nets[0]);
+        let b = cache.materialize(&fx.wh, &fx.jidx, &nets[0]);
+        assert_eq!(a.rows, b.rows);
+        assert_eq!(cache.stats(), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn cached_result_matches_direct_materialization() {
+        let fx = ebiz_fixture();
+        let cache = SubspaceCache::new(8);
+        for net in generate_star_nets(&fx.wh, &fx.index, &["columbus", "lcd"], &GenConfig::default()) {
+            let cached = cache.materialize(&fx.wh, &fx.jidx, &net);
+            let direct = materialize(&fx.wh, &fx.jidx, &net);
+            assert_eq!(cached.rows, direct.rows);
+        }
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let fx = ebiz_fixture();
+        let cache = SubspaceCache::new(2);
+        let nets = generate_star_nets(&fx.wh, &fx.index, &["columbus"], &GenConfig::default());
+        assert!(nets.len() >= 3);
+        cache.materialize(&fx.wh, &fx.jidx, &nets[0]); // miss
+        cache.materialize(&fx.wh, &fx.jidx, &nets[1]); // miss
+        cache.materialize(&fx.wh, &fx.jidx, &nets[0]); // hit, refreshes 0
+        cache.materialize(&fx.wh, &fx.jidx, &nets[2]); // miss, evicts 1
+        cache.materialize(&fx.wh, &fx.jidx, &nets[1]); // miss again
+        assert_eq!(cache.stats(), (1, 4));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn clear_resets_contents() {
+        let fx = ebiz_fixture();
+        let cache = SubspaceCache::new(4);
+        let nets = generate_star_nets(&fx.wh, &fx.index, &["columbus"], &GenConfig::default());
+        cache.materialize(&fx.wh, &fx.jidx, &nets[0]);
+        assert!(!cache.is_empty());
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn fingerprint_is_order_independent() {
+        let fx = ebiz_fixture();
+        let nets = generate_star_nets(
+            &fx.wh,
+            &fx.index,
+            &["columbus", "lcd"],
+            &GenConfig::default(),
+        );
+        let net = &nets[0];
+        let mut reversed = net.clone();
+        reversed.constraints.reverse();
+        assert_eq!(net.fingerprint(), reversed.fingerprint());
+    }
+}

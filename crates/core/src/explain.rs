@@ -1,0 +1,171 @@
+//! EXPLAIN for star nets: per-constraint selectivity and join-plan
+//! description, so analysts (and the `kdap` console) can see *why* a
+//! subspace has the size it does before paying for facet construction.
+
+use kdap_query::{JoinIndex, Predicate, RowSet, Selection};
+use kdap_warehouse::Warehouse;
+
+use crate::interpret::StarNet;
+
+/// The evaluated plan of one constraint.
+#[derive(Debug, Clone)]
+pub struct ConstraintPlan {
+    /// `Table.Attr` of the hit group.
+    pub attr: String,
+    /// The join path walked, with role labels.
+    pub path: String,
+    /// Number of hit instances in the group (`|HG|`).
+    pub n_hits: usize,
+    /// Fact rows this constraint alone selects.
+    pub fact_rows: usize,
+    /// `fact_rows / |fact table|`.
+    pub selectivity: f64,
+    /// True for numeric-range constraints (§7 extension).
+    pub numeric: bool,
+}
+
+/// The evaluated plan of a star net.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// Per-constraint evaluations, in star-net order.
+    pub constraints: Vec<ConstraintPlan>,
+    /// Fact rows after intersecting all constraints.
+    pub subspace_size: usize,
+    /// `subspace_size / |fact table|`.
+    pub combined_selectivity: f64,
+    /// Ratio between the most selective single constraint and the
+    /// intersection — how much the conjunction tightened the slice.
+    pub intersection_gain: f64,
+}
+
+/// Evaluates each constraint independently, then their conjunction.
+pub fn explain(wh: &Warehouse, jidx: &JoinIndex, net: &StarNet) -> Plan {
+    let fact = wh.schema().fact_table();
+    let n_fact = wh.fact_rows().max(1);
+    let mut combined = RowSet::full(wh.fact_rows());
+    let mut constraints = Vec::with_capacity(net.constraints.len());
+    for c in &net.constraints {
+        let sel = match c.group.numeric {
+            Some((lo, hi)) => Selection::by_range(c.path.clone(), c.group.attr, lo, hi),
+            None => Selection::by_codes(c.path.clone(), c.group.attr, c.group.codes()),
+        };
+        let rows = sel.eval(wh, jidx, fact);
+        combined.intersect_with(&rows);
+        constraints.push(ConstraintPlan {
+            attr: wh.col_name(c.group.attr),
+            path: c.path.display(wh, fact),
+            n_hits: c.group.len(),
+            fact_rows: rows.len(),
+            selectivity: rows.len() as f64 / n_fact as f64,
+            numeric: matches!(sel.predicate, Predicate::Range { .. }),
+        });
+    }
+    let best_single = constraints
+        .iter()
+        .map(|c| c.fact_rows)
+        .min()
+        .unwrap_or(wh.fact_rows());
+    let subspace_size = combined.len();
+    Plan {
+        constraints,
+        subspace_size,
+        combined_selectivity: subspace_size as f64 / n_fact as f64,
+        intersection_gain: if subspace_size == 0 {
+            f64::INFINITY
+        } else {
+            best_single as f64 / subspace_size as f64
+        },
+    }
+}
+
+impl Plan {
+    /// Human-readable rendering for the console.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (i, c) in self.constraints.iter().enumerate() {
+            out.push_str(&format!(
+                "({}) {}{}  [{} hits] → {} fact rows ({:.2}% of facts)\n      via {}\n",
+                i + 1,
+                c.attr,
+                if c.numeric { " (numeric range)" } else { "" },
+                c.n_hits,
+                c.fact_rows,
+                100.0 * c.selectivity,
+                c.path,
+            ));
+        }
+        out.push_str(&format!(
+            "∩  subspace: {} fact rows ({:.2}%), {}× tighter than the best single constraint\n",
+            self.subspace_size,
+            100.0 * self.combined_selectivity,
+            if self.intersection_gain.is_finite() {
+                format!("{:.1}", self.intersection_gain)
+            } else {
+                "∞".to_string()
+            },
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interpret::{generate_star_nets, GenConfig};
+    use crate::subspace::materialize;
+    use crate::testutil::ebiz_fixture;
+
+    #[test]
+    fn plan_matches_materialization() {
+        let fx = ebiz_fixture();
+        for net in generate_star_nets(&fx.wh, &fx.index, &["columbus", "lcd"], &GenConfig::default())
+        {
+            let plan = explain(&fx.wh, &fx.jidx, &net);
+            let sub = materialize(&fx.wh, &fx.jidx, &net);
+            assert_eq!(plan.subspace_size, sub.len());
+            assert_eq!(plan.constraints.len(), net.n_groups());
+            // The intersection can never exceed any single constraint.
+            for c in &plan.constraints {
+                assert!(plan.subspace_size <= c.fact_rows);
+            }
+        }
+    }
+
+    #[test]
+    fn selectivities_are_fractions_of_fact_table() {
+        let fx = ebiz_fixture();
+        let nets = generate_star_nets(&fx.wh, &fx.index, &["columbus"], &GenConfig::default());
+        let plan = explain(&fx.wh, &fx.jidx, &nets[0]);
+        for c in &plan.constraints {
+            assert!((0.0..=1.0).contains(&c.selectivity));
+            assert_eq!(
+                c.selectivity,
+                c.fact_rows as f64 / fx.wh.fact_rows() as f64
+            );
+        }
+    }
+
+    #[test]
+    fn render_mentions_every_constraint_and_the_intersection() {
+        let fx = ebiz_fixture();
+        let nets = generate_star_nets(&fx.wh, &fx.index, &["columbus", "lcd"], &GenConfig::default());
+        let net = nets
+            .iter()
+            .find(|n| n.display(&fx.wh).contains("STORE"))
+            .unwrap();
+        let plan = explain(&fx.wh, &fx.jidx, net);
+        let text = plan.render();
+        assert!(text.contains("(1)"));
+        assert!(text.contains("(2)"));
+        assert!(text.contains("subspace:"));
+        assert!(text.contains("via"));
+    }
+
+    #[test]
+    fn empty_net_plan_is_full_dataspace() {
+        let fx = ebiz_fixture();
+        let plan = explain(&fx.wh, &fx.jidx, &StarNet { constraints: vec![] });
+        assert_eq!(plan.subspace_size, fx.wh.fact_rows());
+        assert_eq!(plan.combined_selectivity, 1.0);
+    }
+}

@@ -1,0 +1,313 @@
+//! Group-by attribute ranking via roll-up partitioning (paper §5.2).
+//!
+//! Each candidate attribute partitions both DS′ and RUP(DS′); the two
+//! aggregation series are compared by Pearson correlation (Eq. 1). Only
+//! segments that exist in DS′ participate (`PAR(RUP(DS′), attr)` is
+//! restricted to `DOM(DS′, attr)`). With several roll-up spaces the worst
+//! (lowest) correlation is kept. Hit-group attributes of the dimension are
+//! *promoted*: always shown, independent of their score (§5.2.1).
+
+use kdap_query::{
+    group_by_buckets, group_by_categorical, paths_between, project_categorical, project_numeric,
+    Bucketizer, JoinIndex, JoinPath,
+};
+use kdap_warehouse::{AttrKind, ColRef, Dimension, Measure, Warehouse};
+
+use crate::facet::FacetConfig;
+use crate::interest::{combine_correlations, pearson};
+use crate::interpret::StarNet;
+use crate::subspace::Subspace;
+
+/// Basic-interval series of a numerical candidate, kept for the display
+/// merge phase (Algorithm 2 runs on these without further DBMS access).
+#[derive(Debug, Clone)]
+pub struct NumericSeries {
+    /// The basic-interval partitioning of the domain.
+    pub bucketizer: Bucketizer,
+    /// Aggregation per basic interval over DS′.
+    pub ds: Vec<f64>,
+    /// Aggregation per basic interval over the worst-correlated RUP space.
+    pub rup: Vec<f64>,
+}
+
+/// One ranked group-by candidate.
+#[derive(Debug, Clone)]
+pub struct RankedAttr {
+    /// The candidate attribute.
+    pub attr: ColRef,
+    /// Categorical or numerical.
+    pub kind: AttrKind,
+    /// The join path used to reach the attribute from the fact table.
+    pub path: JoinPath,
+    /// Combined (worst-case) correlation against the roll-up spaces.
+    pub correlation: f64,
+    /// Interestingness under the configured mode.
+    pub score: f64,
+    /// True for hit-group attributes, which are always selected.
+    pub promoted: bool,
+    /// Present for numerical candidates.
+    pub numeric: Option<NumericSeries>,
+}
+
+/// Chooses the join path used to evaluate an attribute of `dim`.
+///
+/// Paths are restricted to those entering `dim` (so a Customer-dimension
+/// attribute on the shared LOC table is not reached through the Store
+/// join). When the star net already constrains this dimension, the path
+/// sharing the longest prefix with that constraint is preferred — a
+/// buyer-city constraint makes buyer-side facets, not seller-side ones.
+pub fn path_for_attr(
+    wh: &Warehouse,
+    net: &StarNet,
+    dim: &Dimension,
+    attr_table: kdap_warehouse::TableId,
+) -> Option<JoinPath> {
+    let schema = wh.schema();
+    let fact = schema.fact_table();
+    let mut paths: Vec<JoinPath> = paths_between(schema, fact, attr_table, kdap_query::MAX_PATH_LEN)
+        .into_iter()
+        .filter(|p| p.dimension(schema) == Some(dim.id) || (p.is_empty() && attr_table == fact))
+        .collect();
+    if paths.is_empty() {
+        return None;
+    }
+    let constraint_paths: Vec<&JoinPath> = net
+        .constraints
+        .iter()
+        .filter(|c| c.path.dimension(schema) == Some(dim.id))
+        .map(|c| &c.path)
+        .collect();
+    if !constraint_paths.is_empty() {
+        paths.sort_by_key(|p| {
+            let best_shared = constraint_paths
+                .iter()
+                .map(|cp| shared_prefix(p, cp))
+                .max()
+                .unwrap_or(0);
+            (std::cmp::Reverse(best_shared), p.len())
+        });
+    } else {
+        paths.sort_by_key(|p| p.len());
+    }
+    paths.into_iter().next()
+}
+
+fn shared_prefix(a: &JoinPath, b: &JoinPath) -> usize {
+    a.edges()
+        .iter()
+        .zip(b.edges())
+        .take_while(|(x, y)| x == y)
+        .count()
+}
+
+/// Ranks the group-by candidates of one dimension against the roll-up
+/// spaces. Promoted (hit) attributes come first; the rest are ordered by
+/// descending interestingness.
+#[allow(clippy::too_many_arguments)]
+pub fn rank_dimension_attrs(
+    wh: &Warehouse,
+    jidx: &JoinIndex,
+    net: &StarNet,
+    sub: &Subspace,
+    rups: &[Subspace],
+    dim: &Dimension,
+    measure: &Measure,
+    cfg: &FacetConfig,
+) -> Vec<RankedAttr> {
+    let schema = wh.schema();
+    let fact = schema.fact_table();
+
+    // Hit-group attributes of this dimension are promoted, with the
+    // constraint's own path.
+    let mut promoted: Vec<(ColRef, JoinPath)> = Vec::new();
+    for c in &net.constraints {
+        if c.path.dimension(schema) == Some(dim.id) {
+            promoted.push((c.group.attr, c.path.clone()));
+        }
+    }
+
+    let mut out: Vec<RankedAttr> = Vec::new();
+    let mut covered: Vec<ColRef> = Vec::new();
+
+    let evaluate = |attr: ColRef, kind: AttrKind, path: JoinPath, is_promoted: bool| {
+        let scored = match kind {
+            AttrKind::Categorical => {
+                score_categorical(wh, jidx, sub, rups, &path, attr, measure, cfg)
+                    .map(|corr| (corr, None))
+            }
+            AttrKind::Numerical => {
+                score_numerical(wh, jidx, sub, rups, &path, attr, measure, cfg)
+                    .map(|(corr, series)| (corr, Some(series)))
+            }
+        };
+        scored.map(|(correlation, numeric)| RankedAttr {
+            attr,
+            kind,
+            path,
+            correlation,
+            score: cfg.mode.attr_score(correlation),
+            promoted: is_promoted,
+            numeric,
+        })
+    };
+
+    for (attr, path) in promoted {
+        if covered.contains(&attr) {
+            continue;
+        }
+        let kind = dim
+            .groupby_candidates
+            .iter()
+            .find(|g| g.attr == attr)
+            .map(|g| g.kind)
+            .unwrap_or(AttrKind::Categorical);
+        if let Some(r) = evaluate(attr, kind, path, true) {
+            covered.push(attr);
+            out.push(r);
+        }
+    }
+    for cand in &dim.groupby_candidates {
+        if covered.contains(&cand.attr) {
+            continue;
+        }
+        let Some(path) = path_for_attr(wh, net, dim, cand.attr.table) else {
+            continue;
+        };
+        debug_assert_eq!(path.target_table(schema, fact), cand.attr.table);
+        if let Some(r) = evaluate(cand.attr, cand.kind, path, false) {
+            covered.push(cand.attr);
+            out.push(r);
+        }
+    }
+
+    // Promoted first (they anchor navigation), then by the configured
+    // ordering policy (§7: dynamic / consistent / hybrid).
+    let declared_pos = |attr: ColRef| -> usize {
+        dim.groupby_candidates
+            .iter()
+            .position(|g| g.attr == attr)
+            .unwrap_or(usize::MAX)
+    };
+    match cfg.order {
+        crate::facet::FacetOrder::Dynamic => out.sort_by(|a, b| {
+            b.promoted.cmp(&a.promoted).then(
+                b.score
+                    .partial_cmp(&a.score)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
+        }),
+        crate::facet::FacetOrder::Consistent => out.sort_by(|a, b| {
+            b.promoted
+                .cmp(&a.promoted)
+                .then(declared_pos(a.attr).cmp(&declared_pos(b.attr)))
+        }),
+        crate::facet::FacetOrder::Hybrid { pinned } => out.sort_by(|a, b| {
+            let key = |r: &RankedAttr| {
+                let pos = declared_pos(r.attr);
+                // Pinned attributes stay in declaration order ahead of
+                // the dynamic tail.
+                (if pos < pinned { pos } else { pinned }, pos < pinned)
+            };
+            b.promoted
+                .cmp(&a.promoted)
+                .then_with(|| {
+                    let (ka, pa) = key(a);
+                    let (kb, pb) = key(b);
+                    ka.cmp(&kb).then(pb.cmp(&pa)).then_with(|| {
+                        b.score
+                            .partial_cmp(&a.score)
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                })
+        }),
+    }
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn score_categorical(
+    wh: &Warehouse,
+    jidx: &JoinIndex,
+    sub: &Subspace,
+    rups: &[Subspace],
+    path: &JoinPath,
+    attr: ColRef,
+    measure: &Measure,
+    cfg: &FacetConfig,
+) -> Option<f64> {
+    let fact = wh.schema().fact_table();
+    let dom = project_categorical(wh, jidx, fact, path, attr, &sub.rows);
+    if dom.is_empty() {
+        return None;
+    }
+    let x_map = group_by_categorical(wh, jidx, fact, path, attr, &sub.rows, measure, cfg.agg);
+    let x: Vec<f64> = dom.iter().map(|c| *x_map.get(c).unwrap_or(&0.0)).collect();
+    let corrs = rups.iter().map(|rup| {
+        let y_map =
+            group_by_categorical(wh, jidx, fact, path, attr, &rup.rows, measure, cfg.agg);
+        // Restrict to DOM(DS′, attr) — segments absent from DS′ are not
+        // compared.
+        let y: Vec<f64> = dom.iter().map(|c| *y_map.get(c).unwrap_or(&0.0)).collect();
+        pearson(&x, &y)
+    });
+    combine_correlations(corrs)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn score_numerical(
+    wh: &Warehouse,
+    jidx: &JoinIndex,
+    sub: &Subspace,
+    rups: &[Subspace],
+    path: &JoinPath,
+    attr: ColRef,
+    measure: &Measure,
+    cfg: &FacetConfig,
+) -> Option<(f64, NumericSeries)> {
+    let fact = wh.schema().fact_table();
+    let values = project_numeric(wh, jidx, fact, path, attr, &sub.rows);
+    let bucketizer = Bucketizer::equal_width(values, cfg.n_basic_intervals)?;
+    let x = group_by_buckets(
+        wh, jidx, fact, path, attr, &sub.rows, measure, cfg.agg, &bucketizer,
+    );
+    // §5.2.1: correlate only over basic intervals that exist in DS′
+    // (occupied by at least one subspace fact).
+    let occupancy = group_by_buckets(
+        wh,
+        jidx,
+        fact,
+        path,
+        attr,
+        &sub.rows,
+        measure,
+        kdap_query::AggFunc::Count,
+        &bucketizer,
+    );
+    let occupied: Vec<usize> = occupancy
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c > 0.0)
+        .map(|(i, _)| i)
+        .collect();
+    let xs: Vec<f64> = occupied.iter().map(|&i| x[i]).collect();
+    let mut worst: Option<(f64, Vec<f64>)> = None;
+    for rup in rups {
+        let y = group_by_buckets(
+            wh, jidx, fact, path, attr, &rup.rows, measure, cfg.agg, &bucketizer,
+        );
+        let ys: Vec<f64> = occupied.iter().map(|&i| y[i]).collect();
+        let corr = pearson(&xs, &ys);
+        if worst.as_ref().is_none_or(|(w, _)| corr < *w) {
+            worst = Some((corr, y));
+        }
+    }
+    let (corr, rup_series) = worst?;
+    Some((
+        corr,
+        NumericSeries {
+            bucketizer,
+            ds: x,
+            rup: rup_series,
+        },
+    ))
+}

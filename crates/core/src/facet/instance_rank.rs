@@ -1,0 +1,230 @@
+//! Attribute-instance ranking within a chosen group-by attribute
+//! (paper §5.3.1, Eq. 2).
+//!
+//! The intra-attribute score of category `cat` is the deviation of its
+//! share of the subspace aggregate from its share of the roll-up
+//! aggregate:
+//!
+//! ```text
+//! SCORE(cat) = G(DS′|cat) / G(DS′)  −  G(RUP|cat) / G(RUP)
+//! ```
+//!
+//! With several roll-up spaces, the deviation of largest magnitude is
+//! kept. Instances that carry query hits are pinned first — the user
+//! started from them and needs them for navigation (paper §6.2, the
+//! "Mountain Bikes" entry).
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use kdap_query::{aggregate_total, group_by_categorical, project_categorical, JoinIndex, JoinPath};
+use kdap_warehouse::{ColRef, Measure, Warehouse};
+
+use crate::facet::FacetConfig;
+use crate::subspace::Subspace;
+
+/// One ranked attribute instance.
+#[derive(Debug, Clone)]
+pub struct RankedInstance {
+    /// Dictionary code of the instance.
+    pub code: u32,
+    /// The instance's text.
+    pub label: Arc<str>,
+    /// Aggregate of the instance's partition within DS′.
+    pub aggregate: f64,
+    /// `G(DS′|cat)/G(DS′)`.
+    pub share: f64,
+    /// The Eq. 2 deviation (worst case over roll-up spaces).
+    pub deviation: f64,
+    /// Mode-dependent ranking key.
+    pub score: f64,
+    /// True when the instance is one of the query's hits.
+    pub is_hit: bool,
+}
+
+/// Ranks the instances of one categorical attribute.
+#[allow(clippy::too_many_arguments)]
+pub fn rank_instances(
+    wh: &Warehouse,
+    jidx: &JoinIndex,
+    sub: &Subspace,
+    rups: &[Subspace],
+    path: &JoinPath,
+    attr: ColRef,
+    measure: &Measure,
+    cfg: &FacetConfig,
+    hit_codes: &HashSet<u32>,
+) -> Vec<RankedInstance> {
+    let fact = wh.schema().fact_table();
+    let dom = project_categorical(wh, jidx, fact, path, attr, &sub.rows);
+    if dom.is_empty() {
+        return Vec::new();
+    }
+    let g_ds = aggregate_total(wh, measure, &sub.rows, cfg.agg);
+    let x_map = group_by_categorical(wh, jidx, fact, path, attr, &sub.rows, measure, cfg.agg);
+
+    // Per roll-up space: total and per-category aggregates.
+    let rup_data: Vec<(f64, std::collections::HashMap<u32, f64>)> = rups
+        .iter()
+        .map(|rup| {
+            (
+                aggregate_total(wh, measure, &rup.rows, cfg.agg),
+                group_by_categorical(wh, jidx, fact, path, attr, &rup.rows, measure, cfg.agg),
+            )
+        })
+        .collect();
+
+    let dict = wh.column(attr).dict().expect("categorical attr is a string");
+    let mut out: Vec<RankedInstance> = dom
+        .iter()
+        .map(|&code| {
+            let g_cat = *x_map.get(&code).unwrap_or(&0.0);
+            let share = if g_ds.abs() > f64::EPSILON { g_cat / g_ds } else { 0.0 };
+            // Worst-case (largest-magnitude) deviation across roll-ups.
+            let deviation = rup_data
+                .iter()
+                .map(|(g_rup, y_map)| {
+                    let rup_share = if g_rup.abs() > f64::EPSILON {
+                        y_map.get(&code).unwrap_or(&0.0) / g_rup
+                    } else {
+                        0.0
+                    };
+                    share - rup_share
+                })
+                .fold(0.0f64, |acc, d| if d.abs() > acc.abs() { d } else { acc });
+            RankedInstance {
+                code,
+                label: dict
+                    .resolve(code)
+                    .cloned()
+                    .unwrap_or_else(|| Arc::from("?")),
+                aggregate: g_cat,
+                share,
+                deviation,
+                score: cfg.mode.instance_score(deviation),
+                is_hit: hit_codes.contains(&code),
+            }
+        })
+        .collect();
+
+    out.sort_by(|a, b| {
+        b.is_hit
+            .cmp(&a.is_hit)
+            .then(
+                b.score
+                    .partial_cmp(&a.score)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
+            .then(a.code.cmp(&b.code))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interest::InterestMode;
+    use crate::interpret::{generate_star_nets, GenConfig, StarNet};
+    use crate::rollup::rollup_spaces;
+    use crate::subspace::materialize;
+    use crate::testutil::{ebiz_fixture, Fixture};
+
+    fn setup(fx: &Fixture) -> (StarNet, crate::subspace::Subspace, Vec<crate::subspace::Subspace>) {
+        let net = generate_star_nets(&fx.wh, &fx.index, &["columbus"], &GenConfig::default())
+            .into_iter()
+            .find(|n| n.display(&fx.wh).contains("STORE → LOC"))
+            .unwrap();
+        let sub = materialize(&fx.wh, &fx.jidx, &net);
+        let rups = rollup_spaces(&fx.wh, &fx.jidx, &net);
+        (net, sub, rups)
+    }
+
+    fn rank(fx: &Fixture, mode: InterestMode, hit_codes: &HashSet<u32>) -> Vec<RankedInstance> {
+        let (_, sub, rups) = setup(fx);
+        let attr = fx.wh.col_ref("PGROUP", "GroupName").unwrap();
+        let fact = fx.wh.schema().fact_table();
+        let path = kdap_query::paths_between(fx.wh.schema(), fact, attr.table, 8).remove(0);
+        let measure = fx.wh.schema().measure_by_name("Revenue").unwrap().clone();
+        let cfg = crate::facet::FacetConfig {
+            mode,
+            ..crate::facet::FacetConfig::default()
+        };
+        rank_instances(&fx.wh, &fx.jidx, &sub, &rups, &path, attr, &measure, &cfg, hit_codes)
+    }
+
+    #[test]
+    fn shares_sum_to_one_over_the_domain() {
+        let fx = ebiz_fixture();
+        let ranked = rank(&fx, InterestMode::Surprise, &HashSet::new());
+        assert!(!ranked.is_empty());
+        let total_share: f64 = ranked.iter().map(|r| r.share).sum();
+        assert!((total_share - 1.0).abs() < 1e-9, "got {total_share}");
+    }
+
+    #[test]
+    fn eq2_deviation_is_share_minus_rollup_share() {
+        let fx = ebiz_fixture();
+        // The Columbus-store net rolls up city→state (Ohio), which in the
+        // fixture is the same subspace — every deviation is exactly 0.
+        let ranked = rank(&fx, InterestMode::Surprise, &HashSet::new());
+        for r in &ranked {
+            assert!(r.deviation.abs() < 1e-12, "{}: {}", r.label, r.deviation);
+        }
+    }
+
+    #[test]
+    fn hit_instances_are_pinned_first() {
+        let fx = ebiz_fixture();
+        let attr = fx.wh.col_ref("PGROUP", "GroupName").unwrap();
+        let plasma = fx
+            .wh
+            .column(attr)
+            .dict()
+            .unwrap()
+            .code_of("Plasma Displays")
+            .unwrap();
+        let hits: HashSet<u32> = [plasma].into_iter().collect();
+        let ranked = rank(&fx, InterestMode::Surprise, &hits);
+        assert_eq!(ranked[0].label.as_ref(), "Plasma Displays");
+        assert!(ranked[0].is_hit);
+        assert!(ranked[1..].iter().all(|r| !r.is_hit));
+    }
+
+    #[test]
+    fn modes_invert_the_ordering_key() {
+        let fx = ebiz_fixture();
+        let s = rank(&fx, InterestMode::Surprise, &HashSet::new());
+        let b = rank(&fx, InterestMode::Bellwether, &HashSet::new());
+        for (x, y) in s.iter().zip(&b) {
+            // Same deviations, negated ranking keys.
+            let y2 = b.iter().find(|r| r.code == x.code).unwrap();
+            assert!((x.score + y2.score).abs() < 1e-12);
+            let _ = y;
+        }
+    }
+
+    #[test]
+    fn empty_subspace_yields_no_instances() {
+        let fx = ebiz_fixture();
+        let attr = fx.wh.col_ref("PGROUP", "GroupName").unwrap();
+        let fact = fx.wh.schema().fact_table();
+        let path = kdap_query::paths_between(fx.wh.schema(), fact, attr.table, 8).remove(0);
+        let measure = fx.wh.schema().measure_by_name("Revenue").unwrap().clone();
+        let empty = crate::subspace::Subspace {
+            rows: kdap_query::RowSet::empty(fx.wh.fact_rows()),
+        };
+        let cfg = crate::facet::FacetConfig::default();
+        let ranked = rank_instances(
+            &fx.wh,
+            &fx.jidx,
+            &empty,
+            &[],
+            &path,
+            attr,
+            &measure,
+            &cfg,
+            &HashSet::new(),
+        );
+        assert!(ranked.is_empty());
+    }
+}

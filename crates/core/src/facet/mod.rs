@@ -1,0 +1,443 @@
+//! Automatic facet construction for sub-dataspaces (paper §5).
+//!
+//! After the user picks a star net, the explore phase aggregates the
+//! subspace and dynamically builds a multi-faceted interface: per
+//! dimension, the top-k most interesting group-by attributes, and within
+//! each attribute the ranked instances (categorical) or merged numerical
+//! ranges (Algorithm 2).
+
+pub mod anneal;
+pub mod attr_rank;
+#[cfg(test)]
+mod attr_rank_tests;
+pub mod instance_rank;
+
+use std::collections::HashSet;
+
+use kdap_query::{AggFunc, JoinIndex};
+use kdap_warehouse::{AttrKind, ColRef, Measure, Warehouse};
+
+use crate::interest::InterestMode;
+use crate::interpret::StarNet;
+use crate::rollup::rollup_spaces;
+use crate::subspace::{materialize, Subspace};
+
+pub use anneal::{merge_intervals, merge_series, AnnealConfig, MergeResult};
+pub use attr_rank::{path_for_attr, rank_dimension_attrs, NumericSeries, RankedAttr};
+pub use instance_rank::{rank_instances, RankedInstance};
+
+/// How the selected group-by attributes are ordered inside a panel —
+/// the paper's §7 notes that fully dynamic organization "may become
+/// inadequate whenever the users have a very concrete goal", where the
+/// *consistency* of the interface matters and "a hybrid solution may be
+/// better".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FacetOrder {
+    /// Interestingness-ranked (the paper's default behaviour).
+    Dynamic,
+    /// Schema declaration order — stable across queries, for users with
+    /// concrete navigation goals.
+    Consistent,
+    /// Hybrid: the first `pinned` schema-declared attributes keep their
+    /// stable position, the rest fill in by interestingness.
+    Hybrid {
+        /// How many declared candidates keep their stable slots.
+        pinned: usize,
+    },
+}
+
+/// Knobs of the explore phase.
+#[derive(Debug, Clone)]
+pub struct FacetConfig {
+    /// Surprise or bellwether interestingness.
+    pub mode: InterestMode,
+    /// Attribute ordering policy within a panel (§7 hybrid extension).
+    pub order: FacetOrder,
+    /// Aggregation function applied to the measure.
+    pub agg: AggFunc,
+    /// Top-k group-by attributes shown per dimension.
+    pub top_k_attrs: usize,
+    /// Top-k instances shown per categorical attribute.
+    pub top_k_instances: usize,
+    /// Number of basic intervals for numerical domains (paper default 40,
+    /// validated in §6.4).
+    pub n_basic_intervals: usize,
+    /// Number of merged display ranges `K`.
+    pub display_intervals: usize,
+    /// Algorithm 2 parameters (skew limit `L`, iterations `N`, seed).
+    pub anneal: AnnealConfig,
+}
+
+impl Default for FacetConfig {
+    fn default() -> Self {
+        FacetConfig {
+            mode: InterestMode::Surprise,
+            order: FacetOrder::Dynamic,
+            agg: AggFunc::Sum,
+            top_k_attrs: 3,
+            top_k_instances: 8,
+            n_basic_intervals: 40,
+            display_intervals: 3,
+            anneal: AnnealConfig::default(),
+        }
+    }
+}
+
+/// One entry (attribute instance or numeric range) of a facet.
+#[derive(Debug, Clone)]
+pub struct FacetEntry {
+    /// Display label: an attribute instance or a numeric range.
+    pub label: String,
+    /// Aggregation value of the entry's partition within DS′.
+    pub aggregate: f64,
+    /// Instance interestingness (Eq. 2 based); 0 for numeric ranges,
+    /// which keep their natural order.
+    pub score: f64,
+    /// True when the entry carries one of the query's hits.
+    pub is_hit: bool,
+}
+
+/// One selected group-by attribute with its displayed entries.
+#[derive(Debug, Clone)]
+pub struct FacetAttr {
+    /// The group-by attribute.
+    pub attr: ColRef,
+    /// Its `Table.Column` display name.
+    pub name: String,
+    /// Categorical or numerical.
+    pub kind: AttrKind,
+    /// Worst-case correlation against the roll-up spaces (Eq. 1 input).
+    pub correlation: f64,
+    /// Interestingness under the configured mode.
+    pub score: f64,
+    /// True for hit-group attributes (always shown, §5.2.1).
+    pub promoted: bool,
+    /// Ranked instances or merged numeric ranges.
+    pub entries: Vec<FacetEntry>,
+}
+
+/// The facet panel of one dimension.
+#[derive(Debug, Clone)]
+pub struct FacetPanel {
+    /// Dimension name.
+    pub dimension: String,
+    /// The top-k selected attributes, in display order.
+    pub attrs: Vec<FacetAttr>,
+}
+
+/// The explore-phase output for a chosen star net.
+#[derive(Debug, Clone)]
+pub struct Exploration {
+    /// Number of qualifying fact points in DS′.
+    pub subspace_size: usize,
+    /// Aggregate of the measure over DS′.
+    pub total_aggregate: f64,
+    /// One panel per dimension, in static (alphabetical) dimension order
+    /// (§5.1 assumes a static order over dimensions).
+    pub panels: Vec<FacetPanel>,
+}
+
+/// Runs the complete explore phase for `net`.
+pub fn explore(
+    wh: &Warehouse,
+    jidx: &JoinIndex,
+    net: &StarNet,
+    measure: &Measure,
+    cfg: &FacetConfig,
+) -> Exploration {
+    let sub = materialize(wh, jidx, net);
+    explore_subspace(wh, jidx, net, &sub, measure, cfg)
+}
+
+/// Explore phase over an already-materialized subspace.
+pub fn explore_subspace(
+    wh: &Warehouse,
+    jidx: &JoinIndex,
+    net: &StarNet,
+    sub: &Subspace,
+    measure: &Measure,
+    cfg: &FacetConfig,
+) -> Exploration {
+    let schema = wh.schema();
+    let rups = rollup_spaces(wh, jidx, net);
+    let total_aggregate = sub.aggregate(wh, measure, cfg.agg);
+
+    // Hit codes per attribute (to pin hit instances).
+    let mut hit_codes: std::collections::HashMap<ColRef, HashSet<u32>> =
+        std::collections::HashMap::new();
+    for c in &net.constraints {
+        hit_codes
+            .entry(c.group.attr)
+            .or_default()
+            .extend(c.group.codes());
+    }
+
+    let mut dims: Vec<&kdap_warehouse::Dimension> = schema.dimensions().iter().collect();
+    dims.sort_by(|a, b| a.name.cmp(&b.name));
+
+    let mut panels = Vec::new();
+    for dim in dims {
+        let ranked = rank_dimension_attrs(wh, jidx, net, sub, &rups, dim, measure, cfg);
+        let mut attrs = Vec::new();
+        for ra in ranked.into_iter().take(cfg.top_k_attrs) {
+            let entries = match (&ra.kind, &ra.numeric) {
+                (AttrKind::Categorical, _) => {
+                    let empty = HashSet::new();
+                    let hits = hit_codes.get(&ra.attr).unwrap_or(&empty);
+                    rank_instances(
+                        wh, jidx, sub, &rups, &ra.path, ra.attr, measure, cfg, hits,
+                    )
+                    .into_iter()
+                    .take(cfg.top_k_instances)
+                    .map(|ri| FacetEntry {
+                        label: ri.label.to_string(),
+                        aggregate: ri.aggregate,
+                        score: ri.score,
+                        is_hit: ri.is_hit,
+                    })
+                    .collect()
+                }
+                (AttrKind::Numerical, Some(series)) => {
+                    numeric_entries(series, cfg)
+                }
+                (AttrKind::Numerical, None) => Vec::new(),
+            };
+            attrs.push(FacetAttr {
+                attr: ra.attr,
+                name: wh.col_name(ra.attr),
+                kind: ra.kind,
+                correlation: ra.correlation,
+                score: ra.score,
+                promoted: ra.promoted,
+                entries,
+            });
+        }
+        if !attrs.is_empty() {
+            panels.push(FacetPanel {
+                dimension: dim.name.clone(),
+                attrs,
+            });
+        }
+    }
+
+    Exploration {
+        subspace_size: sub.len(),
+        total_aggregate,
+        panels,
+    }
+}
+
+/// Merges the basic intervals of a numerical attribute into display
+/// ranges (Algorithm 2) and renders them as facet entries in natural
+/// order.
+fn numeric_entries(series: &NumericSeries, cfg: &FacetConfig) -> Vec<FacetEntry> {
+    let mut anneal_cfg = cfg.anneal.clone();
+    anneal_cfg.target_intervals = cfg.display_intervals;
+    let merged = merge_intervals(&series.ds, &series.rup, &anneal_cfg);
+    let m = series.ds.len();
+    merged
+        .ranges(m)
+        .into_iter()
+        .filter(|(s, e)| e > s)
+        .map(|(s, e)| {
+            let (lo, _) = series.bucketizer.bounds(s);
+            let (_, hi) = series.bucketizer.bounds(e - 1);
+            FacetEntry {
+                label: format!("{} – {}", fmt_num(lo), fmt_num(hi)),
+                aggregate: series.ds[s..e].iter().sum(),
+                score: 0.0,
+                is_hit: false,
+            }
+        })
+        .collect()
+}
+
+fn fmt_num(v: f64) -> String {
+    if (v.fract()).abs() < 1e-9 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interpret::{generate_star_nets, GenConfig};
+    use crate::testutil::ebiz_fixture;
+
+    fn explore_query(query: &[&str], needle: &str, cfg: &FacetConfig) -> Exploration {
+        let fx = ebiz_fixture();
+        let nets = generate_star_nets(&fx.wh, &fx.index, query, &GenConfig::default());
+        let net = nets
+            .iter()
+            .find(|n| n.display(&fx.wh).contains(needle))
+            .expect("net found");
+        let measure = fx.wh.schema().measure_by_name("Revenue").unwrap().clone();
+        explore(&fx.wh, &fx.jidx, net, &measure, cfg)
+    }
+
+    #[test]
+    fn exploration_reports_subspace_and_total() {
+        let ex = explore_query(&["columbus"], "STORE → LOC", &FacetConfig::default());
+        // Columbus-store items: rows 0,1,4,5 → revenue 1000+800+900+1300.
+        assert_eq!(ex.subspace_size, 4);
+        assert_eq!(ex.total_aggregate, 4000.0);
+    }
+
+    #[test]
+    fn panels_are_in_alphabetical_dimension_order() {
+        let ex = explore_query(&["columbus"], "STORE → LOC", &FacetConfig::default());
+        let names: Vec<&str> = ex.panels.iter().map(|p| p.dimension.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+        assert!(names.contains(&"Product"));
+        assert!(names.contains(&"Store"));
+    }
+
+    #[test]
+    fn hit_attribute_is_promoted_in_its_dimension() {
+        let ex = explore_query(&["columbus"], "STORE → LOC", &FacetConfig::default());
+        let store_panel = ex.panels.iter().find(|p| p.dimension == "Store").unwrap();
+        assert!(store_panel.attrs[0].promoted);
+        assert_eq!(store_panel.attrs[0].name, "LOC.City");
+        // The hit instance is pinned first and flagged.
+        let first = &store_panel.attrs[0].entries[0];
+        assert_eq!(first.label, "Columbus");
+        assert!(first.is_hit);
+    }
+
+    #[test]
+    fn categorical_entries_carry_subspace_aggregates() {
+        let ex = explore_query(&["columbus"], "STORE → LOC", &FacetConfig::default());
+        let product = ex.panels.iter().find(|p| p.dimension == "Product").unwrap();
+        let group_attr = product
+            .attrs
+            .iter()
+            .find(|a| a.name == "PGROUP.GroupName")
+            .expect("group-name facet present");
+        let total: f64 = group_attr.entries.iter().map(|e| e.aggregate).sum();
+        // Partitions of DS′ sum to the DS′ total.
+        assert_eq!(total, ex.total_aggregate);
+    }
+
+    #[test]
+    fn numeric_attribute_produces_merged_ranges() {
+        let cfg = FacetConfig {
+            top_k_attrs: 5,
+            n_basic_intervals: 10,
+            display_intervals: 2,
+            ..FacetConfig::default()
+        };
+        let ex = explore_query(&["columbus"], "STORE → LOC", &cfg);
+        let product = ex.panels.iter().find(|p| p.dimension == "Product").unwrap();
+        let price = product
+            .attrs
+            .iter()
+            .find(|a| a.name == "PROD.ListPrice")
+            .expect("numeric facet present");
+        assert_eq!(price.kind, AttrKind::Numerical);
+        assert!(!price.entries.is_empty());
+        assert!(price.entries.len() <= 2);
+        // Range aggregates also sum to the subspace total.
+        let total: f64 = price.entries.iter().map(|e| e.aggregate).sum();
+        assert_eq!(total, ex.total_aggregate);
+        // Labels look like "lo – hi".
+        assert!(price.entries[0].label.contains('–'));
+    }
+
+    #[test]
+    fn consistent_order_follows_schema_declaration() {
+        let cfg = FacetConfig {
+            top_k_attrs: 10,
+            order: FacetOrder::Consistent,
+            ..FacetConfig::default()
+        };
+        let ex = explore_query(&["columbus"], "STORE → LOC", &cfg);
+        let product = ex.panels.iter().find(|p| p.dimension == "Product").unwrap();
+        // Non-promoted attrs appear in groupby-candidate declaration
+        // order: GroupName, Name, ListPrice (the fixture's Product dim).
+        let non_promoted: Vec<&str> = product
+            .attrs
+            .iter()
+            .filter(|a| !a.promoted)
+            .map(|a| a.name.as_str())
+            .collect();
+        assert_eq!(
+            non_promoted,
+            vec!["PGROUP.GroupName", "PROD.Name", "PROD.ListPrice"]
+        );
+    }
+
+    #[test]
+    fn hybrid_order_pins_leading_attributes() {
+        let cfg = FacetConfig {
+            top_k_attrs: 10,
+            order: FacetOrder::Hybrid { pinned: 1 },
+            ..FacetConfig::default()
+        };
+        let ex = explore_query(&["columbus"], "STORE → LOC", &cfg);
+        let product = ex.panels.iter().find(|p| p.dimension == "Product").unwrap();
+        let non_promoted: Vec<&str> = product
+            .attrs
+            .iter()
+            .filter(|a| !a.promoted)
+            .map(|a| a.name.as_str())
+            .collect();
+        // First declared candidate is pinned; the rest are dynamic.
+        assert_eq!(non_promoted[0], "PGROUP.GroupName");
+    }
+
+    #[test]
+    fn top_k_limits_attribute_count() {
+        let cfg = FacetConfig {
+            top_k_attrs: 1,
+            ..FacetConfig::default()
+        };
+        let ex = explore_query(&["columbus"], "STORE → LOC", &cfg);
+        for p in &ex.panels {
+            assert!(p.attrs.len() <= 1, "panel {} too wide", p.dimension);
+        }
+    }
+
+    #[test]
+    fn bellwether_mode_flips_attribute_ordering() {
+        let cfg_s = FacetConfig {
+            top_k_attrs: 10,
+            ..FacetConfig::default()
+        };
+        let mut cfg_b = cfg_s.clone();
+        cfg_b.mode = InterestMode::Bellwether;
+        let ex_s = explore_query(&["columbus"], "STORE → LOC", &cfg_s);
+        let ex_b = explore_query(&["columbus"], "STORE → LOC", &cfg_b);
+        // Scores are negated between the two modes for the same attr.
+        let find = |ex: &Exploration, name: &str| -> f64 {
+            ex.panels
+                .iter()
+                .flat_map(|p| p.attrs.iter())
+                .find(|a| a.name == name)
+                .map(|a| a.score)
+                .unwrap()
+        };
+        let s = find(&ex_s, "PGROUP.GroupName");
+        let b = find(&ex_b, "PGROUP.GroupName");
+        assert!((s + b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn customer_dimension_uses_constraint_consistent_path() {
+        // Constrain on buyer city: the Customer facet should follow the
+        // buyer path, not the seller path.
+        let fx = ebiz_fixture();
+        let nets = generate_star_nets(&fx.wh, &fx.index, &["seattle"], &GenConfig::default());
+        let buyer_net = nets
+            .iter()
+            .find(|n| n.display(&fx.wh).contains("(Buyer)"))
+            .unwrap();
+        let dim = fx.wh.schema().dimension_by_name("Customer").unwrap();
+        let loc = fx.wh.table_id("LOC").unwrap();
+        let path = path_for_attr(&fx.wh, buyer_net, dim, loc).unwrap();
+        assert!(path.display(&fx.wh, fx.wh.schema().fact_table()).contains("(Buyer)"));
+    }
+}

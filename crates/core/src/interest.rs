@@ -1,0 +1,136 @@
+//! Interestingness measures (paper §5, Eq. 1).
+//!
+//! Interestingness is application-specific; the paper instantiates two:
+//! * **Surprise** — exceptions/surprises: a partition is interesting when
+//!   its aggregation series *deviates* from the roll-up space series
+//!   (score = −correlation, Sarawagi-style discovery-driven exploration);
+//! * **Bellwether** — local regions whose aggregates track the larger
+//!   region (score = +correlation, after Chen et al., VLDB'06).
+
+/// The two OLAP applications the paper demonstrates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InterestMode {
+    /// Rank dissimilar (surprising) partitions high: score = −corr.
+    Surprise,
+    /// Rank correlated (bellwether) partitions high: score = +corr.
+    Bellwether,
+}
+
+impl InterestMode {
+    /// Converts a correlation into an attribute interestingness score
+    /// (Eq. 1 negates the correlation for the surprise application).
+    pub fn attr_score(&self, correlation: f64) -> f64 {
+        match self {
+            InterestMode::Surprise => -correlation,
+            InterestMode::Bellwether => correlation,
+        }
+    }
+
+    /// Converts an instance deviation (Eq. 2) into an instance ranking
+    /// key: surprise surfaces the most deviant instances, bellwether the
+    /// most proportional ones.
+    pub fn instance_score(&self, deviation: f64) -> f64 {
+        match self {
+            InterestMode::Surprise => deviation.abs(),
+            InterestMode::Bellwether => -deviation.abs(),
+        }
+    }
+}
+
+/// Pearson correlation of two equal-length series.
+///
+/// Returns 0.0 for degenerate inputs (length < 2, or zero variance in
+/// either series): a constant series neither confirms nor contradicts the
+/// background trend, so it is treated as neutral.
+pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "series length mismatch");
+    let n = x.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let nf = n as f64;
+    let mean_x = x.iter().sum::<f64>() / nf;
+    let mean_y = y.iter().sum::<f64>() / nf;
+    let mut cov = 0.0;
+    let mut var_x = 0.0;
+    let mut var_y = 0.0;
+    for i in 0..n {
+        let dx = x[i] - mean_x;
+        let dy = y[i] - mean_y;
+        cov += dx * dy;
+        var_x += dx * dx;
+        var_y += dy * dy;
+    }
+    if var_x <= f64::EPSILON || var_y <= f64::EPSILON {
+        return 0.0;
+    }
+    // Clamp the floating-point ulp overshoot so callers can rely on the
+    // mathematical range.
+    (cov / (var_x.sqrt() * var_y.sqrt())).clamp(-1.0, 1.0)
+}
+
+/// Combines the correlations obtained against multiple roll-up spaces
+/// (§5.2.1): the *worst* (lowest) correlation is kept, "so that the most
+/// dissimilar case can be captured".
+pub fn combine_correlations(corrs: impl IntoIterator<Item = f64>) -> Option<f64> {
+    corrs.into_iter().fold(None, |acc, c| {
+        Some(match acc {
+            None => c,
+            Some(a) => a.min(c),
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_positive_and_negative_correlation() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&x, &y) - 1.0).abs() < 1e-12);
+        let inv = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&x, &inv) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncorrelated_series_near_zero() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [1.0, -1.0, 1.0, -1.0];
+        assert!(pearson(&x, &y).abs() < 0.5);
+    }
+
+    #[test]
+    fn degenerate_series_are_neutral() {
+        assert_eq!(pearson(&[], &[]), 0.0);
+        assert_eq!(pearson(&[1.0], &[2.0]), 0.0);
+        assert_eq!(pearson(&[3.0, 3.0, 3.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        pearson(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn surprise_negates_bellwether_keeps() {
+        assert_eq!(InterestMode::Surprise.attr_score(0.8), -0.8);
+        assert_eq!(InterestMode::Bellwether.attr_score(0.8), 0.8);
+    }
+
+    #[test]
+    fn instance_scores_order_by_deviation() {
+        let s = InterestMode::Surprise;
+        assert!(s.instance_score(-0.4) > s.instance_score(0.1));
+        let b = InterestMode::Bellwether;
+        assert!(b.instance_score(0.0) > b.instance_score(0.5));
+    }
+
+    #[test]
+    fn combination_takes_worst_case() {
+        assert_eq!(combine_correlations([0.9, -0.2, 0.5]), Some(-0.2));
+        assert_eq!(combine_correlations([]), None);
+    }
+}

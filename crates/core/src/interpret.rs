@@ -1,0 +1,342 @@
+//! Candidate star-net generation (paper §4.2, Algorithm 1).
+//!
+//! A *star seed* picks one hit group per keyword (merged phrase groups
+//! cover several keywords at once); a *star net* additionally fixes one
+//! join path from each group's table to the fact table. Unlike
+//! Discover-style candidate networks, every star net joins **through the
+//! fact table**: dimension hit groups slice the subspace, fact-table hit
+//! groups select fact points inside it.
+//!
+//! Two KDAP-specific rules from the paper are embodied here:
+//! * *aliasing*: the same table reached via different join paths (buyer
+//!   city vs. store city) yields distinct constraints, because a
+//!   constraint is a `(group, path)` pair;
+//! * *same-dimension merging*: two hit groups whose paths enter the same
+//!   dimension produce intersection semantics on the fact table, and
+//!   structurally identical star nets are deduplicated by canonical key.
+
+use kdap_query::{fact_paths_by_table, JoinPath, MAX_PATH_LEN};
+use kdap_textindex::TextIndex;
+use kdap_warehouse::{DimId, Warehouse};
+
+use crate::hit::{build_hit_sets, HitConfig, HitGroup, HitSet};
+use crate::numeric_hits::{numeric_groups, NumericConfig};
+use crate::phrase::merged_group_pool;
+
+/// One hit group applied along one join path — a star-net constraint.
+#[derive(Debug, Clone)]
+pub struct Constraint {
+    /// The hit group being applied.
+    pub group: HitGroup,
+    /// The join path from the fact table to the group's table.
+    pub path: JoinPath,
+}
+
+impl Constraint {
+    /// The dimension this constraint slices (None for fact-table groups).
+    pub fn dimension(&self, wh: &Warehouse) -> Option<DimId> {
+        self.path.dimension(wh.schema())
+    }
+}
+
+/// Canonical form of one constraint:
+/// (path edge ids, attr, sorted codes, numeric-range bits).
+type CanonicalKey = Vec<(Vec<u32>, (u32, u32), Vec<u32>, Option<(u64, u64)>)>;
+
+/// A candidate interpretation: a join expression through the fact table.
+#[derive(Debug, Clone)]
+pub struct StarNet {
+    /// The net's constraints; conjunctive on the fact table.
+    pub constraints: Vec<Constraint>,
+}
+
+impl StarNet {
+    /// `|SN|`: the number of hit groups in the net.
+    pub fn n_groups(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// A stable, order-independent fingerprint of the net's constraints
+    /// (used for deduplication and subspace caching).
+    pub fn fingerprint(&self) -> String {
+        format!("{:?}", self.canonical_key())
+    }
+
+    /// Canonical identity used for deduplication: the multiset of
+    /// (path, attr, hit codes).
+    fn canonical_key(&self) -> CanonicalKey {
+        let mut key: Vec<_> = self
+            .constraints
+            .iter()
+            .map(|c| {
+                let edges: Vec<u32> = c.path.edges().iter().map(|e| e.0).collect();
+                let attr = (c.group.attr.table.0, c.group.attr.col);
+                let mut codes = c.group.codes();
+                codes.sort_unstable();
+                let numeric = c.group.numeric.map(|(lo, hi)| (lo.to_bits(), hi.to_bits()));
+                (edges, attr, codes, numeric)
+            })
+            .collect();
+        key.sort();
+        key
+    }
+
+    /// Human-readable rendering, e.g.
+    /// `LOC/City/{Columbus} via ITEM → TRANS → STORE → LOC`.
+    pub fn display(&self, wh: &Warehouse) -> String {
+        let fact = wh.schema().fact_table();
+        self.constraints
+            .iter()
+            .map(|c| {
+                let values: Vec<String> = c
+                    .group
+                    .hits
+                    .iter()
+                    .take(3)
+                    .map(|h| h.value.to_string())
+                    .collect();
+                let ellipsis = if c.group.hits.len() > 3 { ", …" } else { "" };
+                format!(
+                    "{}/{{{}{}}} via {}",
+                    wh.col_name(c.group.attr),
+                    values.join(" OR "),
+                    ellipsis,
+                    c.path.display(wh, fact)
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("  ⋈  ")
+    }
+}
+
+/// Generation limits and knobs.
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Hit-set construction limits and text-engine options.
+    pub hit: HitConfig,
+    /// Maximum join-path length explored in the schema graph.
+    pub max_path_len: usize,
+    /// Hard cap on produced star nets (guards exponential blowup; the
+    /// ranked list shown to a user is far shorter anyway).
+    pub max_star_nets: usize,
+    /// Numeric/measure hit candidates (§7 future-work extension,
+    /// disabled by default).
+    pub numeric: NumericConfig,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            hit: HitConfig::default(),
+            max_path_len: MAX_PATH_LEN,
+            max_star_nets: 5_000,
+            numeric: NumericConfig::default(),
+        }
+    }
+}
+
+/// Runs the full differentiate-phase generation: hit sets → phrase merge →
+/// star seeds (exact keyword covers) → star nets (join-path products),
+/// deduplicated. Scores are assigned separately by [`crate::rank`].
+pub fn generate_star_nets(
+    wh: &Warehouse,
+    index: &TextIndex,
+    keywords: &[&str],
+    cfg: &GenConfig,
+) -> Vec<StarNet> {
+    let hit_sets = build_hit_sets(index, keywords, &cfg.hit);
+    generate_from_hit_sets(wh, index, &hit_sets, cfg)
+}
+
+/// Same as [`generate_star_nets`] but starting from prebuilt hit sets.
+pub fn generate_from_hit_sets(
+    wh: &Warehouse,
+    index: &TextIndex,
+    hit_sets: &[HitSet],
+    cfg: &GenConfig,
+) -> Vec<StarNet> {
+    let mut pool = merged_group_pool(index, hit_sets);
+    if cfg.numeric.enabled {
+        for (ki, hs) in hit_sets.iter().enumerate() {
+            pool.extend(numeric_groups(wh, &hs.keyword, ki, &cfg.numeric));
+        }
+    }
+    let pool = pool;
+
+    // Keywords with no hits at all cannot constrain anything; they are
+    // ignored rather than failing the whole query.
+    let mut coverable: Vec<usize> = pool.iter().flat_map(|g| g.keywords.clone()).collect();
+    coverable.sort_unstable();
+    coverable.dedup();
+    if coverable.is_empty() {
+        return Vec::new();
+    }
+
+    // Enumerate star seeds: exact covers of the coverable keywords.
+    let mut seeds: Vec<Vec<&HitGroup>> = Vec::new();
+    let mut chosen: Vec<&HitGroup> = Vec::new();
+    cover(&pool, &coverable, 0, &mut chosen, &mut seeds);
+
+    // Expand each seed into star nets via the join-path product.
+    let fact_paths = fact_paths_by_table(wh.schema(), cfg.max_path_len);
+    let mut nets: Vec<StarNet> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    'seeds: for seed in seeds {
+        let path_options: Option<Vec<&Vec<JoinPath>>> = seed
+            .iter()
+            .map(|g| fact_paths.get(&g.attr.table))
+            .collect();
+        // A group on a table with no join path to the fact table cannot
+        // form a star net (the net must go through the fact table).
+        let Some(path_options) = path_options else {
+            continue;
+        };
+        let mut indices = vec![0usize; seed.len()];
+        loop {
+            let net = StarNet {
+                constraints: seed
+                    .iter()
+                    .zip(&indices)
+                    .map(|(g, &pi)| Constraint {
+                        group: (*g).clone(),
+                        path: path_options[seed
+                            .iter()
+                            .position(|x| std::ptr::eq(*x, *g))
+                            .expect("group in seed")][pi]
+                            .clone(),
+                    })
+                    .collect(),
+            };
+            if seen.insert(net.canonical_key()) {
+                nets.push(net);
+                if nets.len() >= cfg.max_star_nets {
+                    break 'seeds;
+                }
+            }
+            // Odometer increment over path choices.
+            let mut i = 0;
+            loop {
+                if i == indices.len() {
+                    break;
+                }
+                indices[i] += 1;
+                if indices[i] < path_options[i].len() {
+                    break;
+                }
+                indices[i] = 0;
+                i += 1;
+            }
+            if i == indices.len() {
+                break;
+            }
+        }
+    }
+    nets
+}
+
+/// Backtracking exact cover: pick a group covering the first uncovered
+/// keyword; groups may cover several consecutive keywords (phrases).
+fn cover<'a>(
+    pool: &'a [HitGroup],
+    coverable: &[usize],
+    next: usize,
+    chosen: &mut Vec<&'a HitGroup>,
+    out: &mut Vec<Vec<&'a HitGroup>>,
+) {
+    if next == coverable.len() {
+        out.push(chosen.clone());
+        return;
+    }
+    let kw = coverable[next];
+    for g in pool {
+        // The group must cover `kw` and must not touch already-covered or
+        // non-coverable keywords out of order.
+        if !g.keywords.contains(&kw) {
+            continue;
+        }
+        if g.keywords.iter().any(|k| coverable[..next].contains(k)) {
+            continue;
+        }
+        let advance = g
+            .keywords
+            .iter()
+            .filter(|k| coverable[next..].contains(k))
+            .count();
+        chosen.push(g);
+        cover(pool, coverable, next + advance, chosen, out);
+        chosen.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::ebiz_fixture;
+
+    #[test]
+    fn columbus_lcd_produces_expected_interpretation_count() {
+        let fx = ebiz_fixture();
+        let nets = generate_star_nets(
+            &fx.wh,
+            &fx.index,
+            &["columbus", "lcd"],
+            &GenConfig::default(),
+        );
+        // "columbus": city (3 paths: store/buyer/seller) + holiday (1 path)
+        //   → 4 constraint options.
+        // "lcd": product group name (1 path) → 1 option.
+        // Product of options: 4 × 1 = 4 star nets.
+        assert_eq!(nets.len(), 4);
+        for net in &nets {
+            assert_eq!(net.n_groups(), 2);
+        }
+    }
+
+    #[test]
+    fn aliasing_distinguishes_buyer_and_seller_paths() {
+        let fx = ebiz_fixture();
+        let nets = generate_star_nets(&fx.wh, &fx.index, &["columbus"], &GenConfig::default());
+        // City via store, buyer, seller + holiday = 4 interpretations.
+        assert_eq!(nets.len(), 4);
+        let rendered: Vec<String> = nets.iter().map(|n| n.display(&fx.wh)).collect();
+        assert!(rendered.iter().any(|s| s.contains("(Buyer)")));
+        assert!(rendered.iter().any(|s| s.contains("(Seller)")));
+        assert!(rendered.iter().any(|s| s.contains("STORE")));
+        assert!(rendered.iter().any(|s| s.contains("HOLIDAY")));
+    }
+
+    #[test]
+    fn unmatched_keywords_are_ignored() {
+        let fx = ebiz_fixture();
+        let nets = generate_star_nets(
+            &fx.wh,
+            &fx.index,
+            &["columbus", "zzzunknown"],
+            &GenConfig::default(),
+        );
+        assert_eq!(nets.len(), 4, "same as plain columbus");
+        let none = generate_star_nets(&fx.wh, &fx.index, &["zzzunknown"], &GenConfig::default());
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn max_star_nets_caps_output() {
+        let fx = ebiz_fixture();
+        let cfg = GenConfig {
+            max_star_nets: 2,
+            ..GenConfig::default()
+        };
+        let nets = generate_star_nets(&fx.wh, &fx.index, &["columbus", "lcd"], &cfg);
+        assert_eq!(nets.len(), 2);
+    }
+
+    #[test]
+    fn star_nets_are_deduplicated() {
+        let fx = ebiz_fixture();
+        let nets = generate_star_nets(&fx.wh, &fx.index, &["columbus"], &GenConfig::default());
+        let mut keys: Vec<_> = nets.iter().map(|n| n.canonical_key()).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), nets.len());
+    }
+}

@@ -1,0 +1,41 @@
+//! # kdap-core
+//!
+//! Keyword-Driven Analytical Processing (Wu, Sismanis, Reinwald — SIGMOD
+//! 2007): keyword search meets OLAP aggregation.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod explain;
+pub mod facet;
+pub mod hit;
+pub mod interest;
+pub mod interpret;
+pub mod navigate;
+pub mod numeric_hits;
+pub mod phrase;
+pub mod rank;
+pub mod render;
+pub mod rollup;
+pub mod session;
+pub mod subspace;
+
+mod testutil;
+
+pub use hit::{build_hit_sets, Hit, HitConfig, HitGroup, HitSet};
+pub use interpret::{generate_star_nets, Constraint, GenConfig, StarNet};
+pub use phrase::merged_group_pool;
+pub use rank::{rank_star_nets, score_star_net, RankMethod, RankedStarNet};
+pub use render::{render_exploration, render_interpretations};
+pub use subspace::{materialize, Subspace};
+pub use facet::{
+    explore, explore_subspace, AnnealConfig, Exploration, FacetAttr, FacetConfig, FacetEntry,
+    FacetOrder, FacetPanel, MergeResult,
+};
+pub use explain::{explain, ConstraintPlan, Plan};
+pub use interest::{combine_correlations, pearson, InterestMode};
+pub use rollup::{rollup_constraint, rollup_spaces, Rollup};
+pub use navigate::{drill_down, remove_constraint, roll_up, slice};
+pub use cache::SubspaceCache;
+pub use numeric_hits::{numeric_groups, NumericConfig};
+pub use session::{split_query, Kdap};

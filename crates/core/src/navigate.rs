@@ -1,0 +1,225 @@
+//! OLAP navigation over star nets: drill-down, roll-up, and slicing.
+//!
+//! The paper's facets "enable seamless incorporation of existing OLAP
+//! navigational operations — each attribute instance may serve as an
+//! entry point for drill-down operations to more detailed subspaces"
+//! (§3). These helpers derive a new star net from an existing one, so a
+//! UI (or the examples) can walk the aggregation space without going back
+//! through keyword interpretation.
+
+use std::sync::Arc;
+
+use kdap_query::{JoinIndex, JoinPath};
+use kdap_warehouse::{ColRef, Warehouse};
+
+use crate::hit::{Hit, HitGroup};
+use crate::interpret::{Constraint, StarNet};
+use crate::rollup::{rollup_constraint, Rollup};
+
+/// Builds a synthetic constraint for navigation (score 1.0 — navigation
+/// constraints are exact selections, not fuzzy matches).
+fn nav_constraint(wh: &Warehouse, attr: ColRef, path: JoinPath, codes: Vec<u32>) -> Constraint {
+    let dict = wh.column(attr).dict();
+    Constraint {
+        group: HitGroup {
+            attr,
+            hits: codes
+                .iter()
+                .map(|&code| Hit {
+                    code,
+                    value: dict
+                        .and_then(|d| d.resolve(code).cloned())
+                        .unwrap_or_else(|| Arc::from("?")),
+                    score: 1.0,
+                })
+                .collect(),
+            keywords: Vec::new(),
+            numeric: None,
+        },
+        path,
+    }
+}
+
+/// Drill-down: narrows the subspace to the fact points whose `attr`
+/// (reached via `path`) carries one of `codes`.
+///
+/// When the net already constrains the same `(attr, path)`, the existing
+/// constraint is *replaced* — drilling from the "Bikes" category facet
+/// into "Mountain Bikes" must not AND the two into an empty slice of
+/// incomparable levels; picking an instance of the displayed facet always
+/// means "focus on exactly this".
+pub fn drill_down(
+    wh: &Warehouse,
+    net: &StarNet,
+    attr: ColRef,
+    path: &JoinPath,
+    codes: Vec<u32>,
+) -> StarNet {
+    let mut constraints: Vec<Constraint> = net
+        .constraints
+        .iter()
+        .filter(|c| !(c.group.attr == attr && &c.path == path))
+        .cloned()
+        .collect();
+    constraints.push(nav_constraint(wh, attr, path.clone(), codes));
+    StarNet { constraints }
+}
+
+/// Roll-up: generalizes the `idx`-th constraint one hierarchy level
+/// (Subcategory = Mountain Bikes → Category = Bikes), or removes it when
+/// it is already at the top. Returns `None` when `idx` is out of range.
+pub fn roll_up(wh: &Warehouse, jidx: &JoinIndex, net: &StarNet, idx: usize) -> Option<StarNet> {
+    let c = net.constraints.get(idx)?;
+    let rolled = rollup_constraint(wh, jidx, c);
+    let mut constraints = Vec::with_capacity(net.constraints.len());
+    for (j, other) in net.constraints.iter().enumerate() {
+        if j != idx {
+            constraints.push(other.clone());
+            continue;
+        }
+        match &rolled {
+            Rollup::Drop => {}
+            Rollup::Parent(sel) => {
+                let kdap_query::Predicate::Codes(codes) = &sel.predicate else {
+                    unreachable!("rollup_constraint emits code selections");
+                };
+                constraints.push(nav_constraint(wh, sel.attr, sel.path.clone(), codes.clone()))
+            }
+        }
+    }
+    Some(StarNet { constraints })
+}
+
+/// Slice: adds an extra conjunctive constraint without touching existing
+/// ones (the classic slice-dice operation on a new dimension).
+pub fn slice(
+    wh: &Warehouse,
+    net: &StarNet,
+    attr: ColRef,
+    path: &JoinPath,
+    codes: Vec<u32>,
+) -> StarNet {
+    let mut constraints = net.constraints.clone();
+    constraints.push(nav_constraint(wh, attr, path.clone(), codes));
+    StarNet { constraints }
+}
+
+/// Removes the `idx`-th constraint entirely (navigating back out of a
+/// slice). Returns `None` when out of range.
+pub fn remove_constraint(net: &StarNet, idx: usize) -> Option<StarNet> {
+    if idx >= net.constraints.len() {
+        return None;
+    }
+    let mut constraints = net.constraints.clone();
+    constraints.remove(idx);
+    Some(StarNet { constraints })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interpret::{generate_star_nets, GenConfig};
+    use crate::subspace::materialize;
+    use crate::testutil::ebiz_fixture;
+
+    fn store_net(fx: &crate::testutil::Fixture) -> StarNet {
+        generate_star_nets(&fx.wh, &fx.index, &["columbus"], &GenConfig::default())
+            .into_iter()
+            .find(|n| n.display(&fx.wh).contains("STORE → LOC"))
+            .unwrap()
+    }
+
+    #[test]
+    fn drill_down_shrinks_the_subspace() {
+        let fx = ebiz_fixture();
+        let net = store_net(&fx);
+        let before = materialize(&fx.wh, &fx.jidx, &net);
+        // Drill into the "LCD Projectors" product group.
+        let attr = fx.wh.col_ref("PGROUP", "GroupName").unwrap();
+        let code = fx.wh.column(attr).dict().unwrap().code_of("LCD Projectors").unwrap();
+        let path = kdap_query::paths_between(
+            fx.wh.schema(),
+            fx.wh.schema().fact_table(),
+            attr.table,
+            8,
+        )
+        .remove(0);
+        let drilled = drill_down(&fx.wh, &net, attr, &path, vec![code]);
+        let after = materialize(&fx.wh, &fx.jidx, &drilled);
+        assert!(after.len() < before.len());
+        assert!(!after.is_empty());
+        for row in after.rows.iter() {
+            assert!(before.rows.contains(row), "drill-down is a refinement");
+        }
+    }
+
+    #[test]
+    fn drill_down_replaces_same_attribute_constraint() {
+        let fx = ebiz_fixture();
+        let net = store_net(&fx);
+        let attr = net.constraints[0].group.attr;
+        let path = net.constraints[0].path.clone();
+        let seattle = fx.wh.column(attr).dict().unwrap().code_of("Seattle").unwrap();
+        let moved = drill_down(&fx.wh, &net, attr, &path, vec![seattle]);
+        // Still one constraint (replaced, not stacked).
+        assert_eq!(moved.n_groups(), 1);
+        let sub = materialize(&fx.wh, &fx.jidx, &moved);
+        assert!(!sub.is_empty(), "Columbus→Seattle refocus is non-empty");
+    }
+
+    #[test]
+    fn roll_up_enlarges_the_subspace() {
+        let fx = ebiz_fixture();
+        let net = store_net(&fx);
+        let before = materialize(&fx.wh, &fx.jidx, &net);
+        let rolled = roll_up(&fx.wh, &fx.jidx, &net, 0).unwrap();
+        let after = materialize(&fx.wh, &fx.jidx, &rolled);
+        assert!(after.len() >= before.len());
+        // City rolled up to State: the constraint survives at parent level.
+        assert_eq!(rolled.n_groups(), 1);
+        assert_eq!(
+            rolled.constraints[0].group.attr,
+            fx.wh.col_ref("LOC", "State").unwrap()
+        );
+        assert!(roll_up(&fx.wh, &fx.jidx, &net, 9).is_none());
+    }
+
+    #[test]
+    fn roll_up_at_top_level_drops_the_constraint() {
+        let fx = ebiz_fixture();
+        let net = generate_star_nets(&fx.wh, &fx.index, &["lcd"], &GenConfig::default())
+            .into_iter()
+            .find(|n| n.display(&fx.wh).contains("PGROUP"))
+            .unwrap();
+        let rolled = roll_up(&fx.wh, &fx.jidx, &net, 0).unwrap();
+        assert_eq!(rolled.n_groups(), 0);
+        let sub = materialize(&fx.wh, &fx.jidx, &rolled);
+        assert_eq!(sub.len(), fx.wh.fact_rows(), "rolled up to ALL");
+    }
+
+    #[test]
+    fn slice_and_remove_are_inverses() {
+        let fx = ebiz_fixture();
+        let net = store_net(&fx);
+        let attr = fx.wh.col_ref("HOLIDAY", "Event").unwrap();
+        let code = fx.wh.column(attr).dict().unwrap().code_of("Columbus Day").unwrap();
+        let path = kdap_query::paths_between(
+            fx.wh.schema(),
+            fx.wh.schema().fact_table(),
+            attr.table,
+            8,
+        )
+        .remove(0);
+        let sliced = slice(&fx.wh, &net, attr, &path, vec![code]);
+        assert_eq!(sliced.n_groups(), net.n_groups() + 1);
+        let sub_sliced = materialize(&fx.wh, &fx.jidx, &sliced);
+        let sub_orig = materialize(&fx.wh, &fx.jidx, &net);
+        assert!(sub_sliced.len() <= sub_orig.len());
+        let back = remove_constraint(&sliced, sliced.n_groups() - 1).unwrap();
+        assert_eq!(
+            materialize(&fx.wh, &fx.jidx, &back).rows,
+            sub_orig.rows
+        );
+        assert!(remove_constraint(&net, 99).is_none());
+    }
+}

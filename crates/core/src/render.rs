@@ -1,0 +1,101 @@
+//! Plain-text rendering of explorations and interpretation lists — the
+//! multi-faceted "screen" of Figure 1, for terminals, logs and tests.
+
+use kdap_warehouse::Warehouse;
+
+use crate::facet::Exploration;
+use crate::rank::RankedStarNet;
+
+/// Renders a ranked interpretation list, one per line:
+/// `#1 [0.5000] <star net>`.
+pub fn render_interpretations(wh: &Warehouse, ranked: &[RankedStarNet], limit: usize) -> String {
+    let mut out = String::new();
+    for (i, r) in ranked.iter().take(limit).enumerate() {
+        out.push_str(&format!("#{:<3} [{:.4}] {}\n", i + 1, r.score, r.net.display(wh)));
+    }
+    if ranked.len() > limit {
+        out.push_str(&format!("… and {} more\n", ranked.len() - limit));
+    }
+    out
+}
+
+/// Renders the facet panels of an exploration as an indented outline.
+///
+/// ```text
+/// subspace: 49 facts · total 92732.91
+/// [Product]
+///   * DimProductSubcategory.ProductSubcategoryName  (score -0.000, hit)
+///       Mountain Bikes ←                          92732.91
+/// ```
+pub fn render_exploration(ex: &Exploration) -> String {
+    let mut out = format!(
+        "subspace: {} facts · total {:.2}\n",
+        ex.subspace_size, ex.total_aggregate
+    );
+    for panel in &ex.panels {
+        out.push_str(&format!("[{}]\n", panel.dimension));
+        for attr in &panel.attrs {
+            out.push_str(&format!(
+                "  {} {}  (score {:+.3}{})\n",
+                if attr.promoted { '*' } else { '-' },
+                attr.name,
+                attr.score,
+                if attr.promoted { ", hit" } else { "" }
+            ));
+            for e in &attr.entries {
+                out.push_str(&format!(
+                    "      {:<30} {:>14.2}{}\n",
+                    e.label,
+                    e.aggregate,
+                    if e.is_hit { " ←" } else { "" }
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rank::rank_star_nets;
+    use crate::session::Kdap;
+    use crate::testutil::ebiz_fixture;
+
+    fn session() -> Kdap {
+        Kdap::new(ebiz_fixture().wh).unwrap()
+    }
+
+    #[test]
+    fn interpretation_list_is_numbered_and_limited() {
+        let kdap = session();
+        let ranked = kdap.interpret("columbus");
+        let text = render_interpretations(kdap.warehouse(), &ranked, 2);
+        assert!(text.starts_with("#1  "));
+        assert!(text.contains("#2  "));
+        assert!(!text.contains("#3  "));
+        assert!(text.contains("… and 2 more"));
+        let all = render_interpretations(kdap.warehouse(), &ranked, 10);
+        assert!(!all.contains("more"));
+    }
+
+    #[test]
+    fn exploration_outline_shows_hits_and_totals() {
+        let kdap = session();
+        let ranked = kdap.interpret("columbus");
+        let ex = kdap.explore(&ranked[0].net);
+        let text = render_exploration(&ex);
+        assert!(text.starts_with(&format!("subspace: {} facts", ex.subspace_size)));
+        assert!(text.contains("[Store]") || text.contains("[Customer]"));
+        assert!(text.contains('*'), "promoted marker present");
+        assert!(text.contains('←'), "hit marker present");
+    }
+
+    #[test]
+    fn empty_inputs_render_cleanly() {
+        let kdap = session();
+        assert_eq!(render_interpretations(kdap.warehouse(), &[], 5), "");
+        let ranked = rank_star_nets(vec![], crate::rank::RankMethod::Standard);
+        assert!(ranked.is_empty());
+    }
+}

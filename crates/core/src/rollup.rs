@@ -1,0 +1,272 @@
+//! Roll-up partitioning: computing the background space RUP(DS′)
+//! (paper §5.2.1).
+//!
+//! For each *hitted* dimension, the subspace is enlarged by generalizing
+//! the hit-group constraint one hierarchy level up: "Mountain Bikes"
+//! (subcategory) rolls up to its category "Bikes"; "California" (state)
+//! rolls up to its country. When the hit attribute sits at the top of its
+//! hierarchy — or is not a hierarchy level at all — the constraint is
+//! dropped entirely, i.e. the dimension rolls up to ALL.
+
+use std::collections::BTreeSet;
+
+use kdap_query::{paths_between, JoinIndex, JoinPath, Selection};
+use kdap_warehouse::{ColRef, Warehouse};
+
+use crate::interpret::{Constraint, StarNet};
+use crate::subspace::{materialize, Subspace};
+
+/// The rolled-up form of one constraint.
+#[derive(Debug, Clone)]
+pub enum Rollup {
+    /// Replace the constraint by a selection at the parent hierarchy
+    /// level (e.g. Subcategory ∈ {Mountain Bikes} → Category ∈ {Bikes}).
+    Parent(Selection),
+    /// No level above: the constraint is removed (roll up to ALL).
+    Drop,
+}
+
+/// Computes the roll-up of `c` using the hierarchies of its dimension.
+pub fn rollup_constraint(wh: &Warehouse, jidx: &JoinIndex, c: &Constraint) -> Rollup {
+    let schema = wh.schema();
+    let Some(dim_id) = c.path.dimension(schema) else {
+        // Fact-table hits and untagged paths have no dimension to roll
+        // up along.
+        return Rollup::Drop;
+    };
+    if c.group.numeric.is_some() {
+        // Numeric-range constraints have no categorical hierarchy to
+        // climb; roll up to ALL.
+        return Rollup::Drop;
+    }
+    let dim = schema.dimension(dim_id);
+    let attr = c.group.attr;
+    let Some(hierarchy) = dim.hierarchy_containing(attr) else {
+        return Rollup::Drop;
+    };
+    let Some(parent_attr) = hierarchy.parent_level(attr) else {
+        return Rollup::Drop;
+    };
+    match parent_codes(wh, jidx, attr, &c.group.codes(), parent_attr) {
+        Some((sub_path, codes)) if !codes.is_empty() => Rollup::Parent(Selection::by_codes(
+            c.path.extend(&sub_path),
+            parent_attr,
+            codes,
+        )),
+        _ => Rollup::Drop,
+    }
+}
+
+/// Maps the selected instances of `attr` to the distinct values of the
+/// parent-level attribute, returning the connecting sub-path (empty when
+/// both levels live in one table) and the parent codes.
+fn parent_codes(
+    wh: &Warehouse,
+    jidx: &JoinIndex,
+    attr: ColRef,
+    codes: &[u32],
+    parent_attr: ColRef,
+) -> Option<(JoinPath, Vec<u32>)> {
+    let selected_rows = wh.column(attr).rows_with_codes(codes);
+    let parent_col = wh.column(parent_attr);
+    if parent_attr.table == attr.table {
+        let set: BTreeSet<u32> = selected_rows
+            .iter()
+            .filter_map(|&r| parent_col.get_code(r))
+            .collect();
+        return Some((JoinPath::empty(), set.into_iter().collect()));
+    }
+    // Snowflake: levels in different tables; walk child → parent edges.
+    let paths = paths_between(wh.schema(), attr.table, parent_attr.table, 4);
+    let sub_path = paths.into_iter().next()?;
+    let mapper = jidx.row_mapper(wh, attr.table, &sub_path);
+    let set: BTreeSet<u32> = selected_rows
+        .iter()
+        .filter_map(|&r| mapper[r].and_then(|pr| parent_col.get_code(pr as usize)))
+        .collect();
+    Some((sub_path, set.into_iter().collect()))
+}
+
+/// Materializes one roll-up space per hitted constraint: the star net with
+/// that constraint generalized (others unchanged). When the net has no
+/// roll-uppable constraint at all, the full dataspace serves as the single
+/// background space.
+pub fn rollup_spaces(wh: &Warehouse, jidx: &JoinIndex, net: &StarNet) -> Vec<Subspace> {
+    let mut spaces = Vec::new();
+    for (i, c) in net.constraints.iter().enumerate() {
+        let rolled = rollup_constraint(wh, jidx, c);
+        let mut constraints: Vec<Constraint> = Vec::with_capacity(net.constraints.len());
+        for (j, other) in net.constraints.iter().enumerate() {
+            if j != i {
+                constraints.push(other.clone());
+                continue;
+            }
+            match &rolled {
+                Rollup::Drop => {} // constraint removed
+                Rollup::Parent(sel) => {
+                    let kdap_query::Predicate::Codes(codes) = &sel.predicate else {
+                        unreachable!("rollup_constraint emits code selections");
+                    };
+                    constraints.push(Constraint {
+                        group: crate::hit::HitGroup {
+                            attr: sel.attr,
+                            hits: codes
+                                .iter()
+                                .map(|&code| crate::hit::Hit {
+                                    code,
+                                    value: wh
+                                        .column(sel.attr)
+                                        .dict()
+                                        .and_then(|d| d.resolve(code).cloned())
+                                        .unwrap_or_else(|| "?".into()),
+                                    score: 1.0,
+                                })
+                                .collect(),
+                            keywords: c.group.keywords.clone(),
+                            numeric: None,
+                        },
+                        path: sel.path.clone(),
+                    })
+                }
+            }
+        }
+        spaces.push(materialize(wh, jidx, &StarNet { constraints }));
+    }
+    if spaces.is_empty() {
+        spaces.push(Subspace::full(wh));
+    }
+    spaces
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interpret::{generate_star_nets, GenConfig};
+    use crate::testutil::ebiz_fixture;
+
+    fn net_containing(fx: &crate::testutil::Fixture, query: &[&str], needle: &str) -> StarNet {
+        generate_star_nets(&fx.wh, &fx.index, query, &GenConfig::default())
+            .into_iter()
+            .find(|n| n.display(&fx.wh).contains(needle))
+            .expect("interpretation present")
+    }
+
+    #[test]
+    fn city_rolls_up_to_state() {
+        let fx = ebiz_fixture();
+        let net = net_containing(&fx, &["columbus"], "STORE → LOC");
+        let c = &net.constraints[0];
+        match rollup_constraint(&fx.wh, &fx.jidx, c) {
+            Rollup::Parent(sel) => {
+                assert_eq!(sel.attr, fx.wh.col_ref("LOC", "State").unwrap());
+                let dict = fx.wh.column(sel.attr).dict().unwrap();
+                let kdap_query::Predicate::Codes(codes) = &sel.predicate else {
+                    panic!("expected code selection");
+                };
+                let values: Vec<&str> = codes
+                    .iter()
+                    .map(|&c| dict.resolve(c).unwrap().as_ref())
+                    .collect();
+                assert_eq!(values, vec!["Ohio"]);
+                // Path got one hop longer? No: State lives in the same
+                // LOC table, so the path is unchanged.
+                assert_eq!(sel.path, c.path);
+            }
+            Rollup::Drop => panic!("expected parent rollup"),
+        }
+    }
+
+    #[test]
+    fn product_name_rolls_up_to_group_across_tables() {
+        let fx = ebiz_fixture();
+        let net = net_containing(&fx, &["plasma", "tv"], "PROD.Name");
+        let c = net
+            .constraints
+            .iter()
+            .find(|c| c.group.attr == fx.wh.col_ref("PROD", "Name").unwrap())
+            .unwrap();
+        match rollup_constraint(&fx.wh, &fx.jidx, c) {
+            Rollup::Parent(sel) => {
+                assert_eq!(sel.attr, fx.wh.col_ref("PGROUP", "GroupName").unwrap());
+                assert_eq!(sel.path.len(), c.path.len() + 1, "one extra hop");
+            }
+            Rollup::Drop => panic!("expected parent rollup"),
+        }
+    }
+
+    #[test]
+    fn top_level_hit_rolls_up_to_all() {
+        let fx = ebiz_fixture();
+        // PGROUP.GroupName is the top level of the Product hierarchy.
+        let net = net_containing(&fx, &["lcd"], "PGROUP");
+        let c = &net.constraints[0];
+        assert!(matches!(
+            rollup_constraint(&fx.wh, &fx.jidx, c),
+            Rollup::Drop
+        ));
+    }
+
+    #[test]
+    fn non_level_attribute_rolls_up_to_all() {
+        let fx = ebiz_fixture();
+        // Customer names are not part of any hierarchy.
+        let net = net_containing(&fx, &["alice"], "CUST.Name");
+        let c = &net.constraints[0];
+        assert!(matches!(
+            rollup_constraint(&fx.wh, &fx.jidx, c),
+            Rollup::Drop
+        ));
+    }
+
+    #[test]
+    fn rollup_space_contains_the_subspace() {
+        let fx = ebiz_fixture();
+        let net = net_containing(&fx, &["columbus"], "STORE → LOC");
+        let sub = materialize(&fx.wh, &fx.jidx, &net);
+        let spaces = rollup_spaces(&fx.wh, &fx.jidx, &net);
+        assert_eq!(spaces.len(), 1);
+        for row in sub.rows.iter() {
+            assert!(spaces[0].rows.contains(row), "RUP ⊇ DS′");
+        }
+        // In the fixture, Columbus is the only Ohio city, so the rollup
+        // space equals the subspace here — still a valid superset.
+        assert!(spaces[0].len() >= sub.len());
+    }
+
+    #[test]
+    fn dropped_constraint_yields_full_space() {
+        let fx = ebiz_fixture();
+        let net = net_containing(&fx, &["lcd"], "PGROUP");
+        let spaces = rollup_spaces(&fx.wh, &fx.jidx, &net);
+        assert_eq!(spaces.len(), 1);
+        assert_eq!(spaces[0].len(), fx.wh.fact_rows());
+    }
+
+    #[test]
+    fn two_hitted_dimensions_give_two_rollup_spaces() {
+        let fx = ebiz_fixture();
+        let nets = generate_star_nets(
+            &fx.wh,
+            &fx.index,
+            &["columbus", "lcd"],
+            &GenConfig::default(),
+        );
+        let net = nets
+            .iter()
+            .find(|n| n.display(&fx.wh).contains("STORE → LOC"))
+            .unwrap();
+        let spaces = rollup_spaces(&fx.wh, &fx.jidx, net);
+        assert_eq!(spaces.len(), 2);
+    }
+
+    #[test]
+    fn empty_net_falls_back_to_full_dataspace() {
+        let fx = ebiz_fixture();
+        let net = StarNet {
+            constraints: vec![],
+        };
+        let spaces = rollup_spaces(&fx.wh, &fx.jidx, &net);
+        assert_eq!(spaces.len(), 1);
+        assert_eq!(spaces[0].len(), fx.wh.fact_rows());
+    }
+}

@@ -1,0 +1,261 @@
+//! End-to-end KDAP session: the two-phase differentiate/explore loop of
+//! Figure 1.
+//!
+//! ```text
+//! keywords ──▶ interpret() ──▶ ranked star nets ──(user picks one)──▶
+//!          explore() ──▶ aggregates + dynamic facets
+//! ```
+
+use kdap_query::JoinIndex;
+use kdap_textindex::TextIndex;
+use kdap_warehouse::{Measure, Warehouse, WarehouseError};
+
+use crate::cache::SubspaceCache;
+use crate::facet::{explore_subspace, Exploration, FacetConfig};
+use crate::interpret::{generate_star_nets, GenConfig, StarNet};
+use crate::rank::{rank_star_nets, RankMethod, RankedStarNet};
+use crate::subspace::materialize;
+
+/// A ready-to-query KDAP system over one warehouse: text index and join
+/// indexes are built once at construction.
+pub struct Kdap {
+    wh: Warehouse,
+    index: TextIndex,
+    jidx: JoinIndex,
+    /// Differentiate-phase configuration.
+    pub gen: GenConfig,
+    /// Explore-phase configuration.
+    pub facet: FacetConfig,
+    /// Star-net ranking method (Standard unless ablating).
+    pub method: RankMethod,
+    measure: Measure,
+    cache: Option<SubspaceCache>,
+}
+
+impl Kdap {
+    /// Builds the offline indexes and a session with default
+    /// configuration, using the warehouse's first declared measure.
+    pub fn new(wh: Warehouse) -> Result<Self, WarehouseError> {
+        let measure = wh
+            .schema()
+            .measures()
+            .first()
+            .cloned()
+            .ok_or(WarehouseError::NoFactTable)?;
+        let index = TextIndex::build(&wh);
+        let jidx = JoinIndex::build(&wh);
+        Ok(Kdap {
+            wh,
+            index,
+            jidx,
+            gen: GenConfig::default(),
+            facet: FacetConfig::default(),
+            method: RankMethod::Standard,
+            measure,
+            cache: None,
+        })
+    }
+
+    /// Enables the subspace cache (§7 future-work optimization): repeat
+    /// explorations of the same interpretation skip rematerialization.
+    pub fn with_cache(mut self, capacity: usize) -> Self {
+        self.cache = Some(SubspaceCache::new(capacity));
+        self
+    }
+
+    /// Cache hit/miss counters, when the cache is enabled.
+    pub fn cache_stats(&self) -> Option<(u64, u64)> {
+        self.cache.as_ref().map(|c| c.stats())
+    }
+
+    /// Selects the measure by name.
+    pub fn with_measure(mut self, name: &str) -> Result<Self, WarehouseError> {
+        self.measure = self
+            .wh
+            .schema()
+            .measure_by_name(name)
+            .cloned()
+            .ok_or_else(|| WarehouseError::UnknownTable(format!("measure {name}")))?;
+        Ok(self)
+    }
+
+    /// The underlying warehouse.
+    pub fn warehouse(&self) -> &Warehouse {
+        &self.wh
+    }
+
+    /// The full-text index.
+    pub fn text_index(&self) -> &TextIndex {
+        &self.index
+    }
+
+    /// The join indexes.
+    pub fn join_index(&self) -> &JoinIndex {
+        &self.jidx
+    }
+
+    /// The active measure.
+    pub fn measure(&self) -> &Measure {
+        &self.measure
+    }
+
+    /// Differentiate phase: parses the keyword query (double quotes group
+    /// phrases, e.g. `"san jose" tv`), generates candidate star nets and
+    /// returns them ranked.
+    pub fn interpret(&self, query: &str) -> Vec<RankedStarNet> {
+        let keywords = split_query(query);
+        let refs: Vec<&str> = keywords.iter().map(String::as_str).collect();
+        let nets = generate_star_nets(&self.wh, &self.index, &refs, &self.gen);
+        rank_star_nets(nets, self.method)
+    }
+
+    /// Explore phase: aggregates the chosen interpretation's subspace and
+    /// constructs its dynamic facets.
+    pub fn explore(&self, net: &StarNet) -> Exploration {
+        self.explore_with_measure(net, &self.measure)
+    }
+
+    /// Explore phase with an explicit measure (the paper extends to
+    /// user-defined measures and aggregation functions, §5).
+    pub fn explore_with_measure(&self, net: &StarNet, measure: &Measure) -> Exploration {
+        let sub = match &self.cache {
+            Some(cache) => cache.materialize(&self.wh, &self.jidx, net),
+            None => materialize(&self.wh, &self.jidx, net),
+        };
+        explore_subspace(&self.wh, &self.jidx, net, &sub, measure, &self.facet)
+    }
+}
+
+/// Splits a raw query into keywords; double-quoted spans stay together so
+/// the text engine can treat them as phrases directly.
+pub fn split_query(query: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = query.trim();
+    while !rest.is_empty() {
+        if let Some(stripped) = rest.strip_prefix('"') {
+            match stripped.find('"') {
+                Some(end) => {
+                    let phrase = &stripped[..end];
+                    if !phrase.trim().is_empty() {
+                        out.push(phrase.trim().to_string());
+                    }
+                    rest = stripped[end + 1..].trim_start();
+                }
+                None => {
+                    // Unbalanced quote: treat the remainder as one phrase.
+                    if !stripped.trim().is_empty() {
+                        out.push(stripped.trim().to_string());
+                    }
+                    rest = "";
+                }
+            }
+        } else {
+            let end = rest.find(char::is_whitespace).unwrap_or(rest.len());
+            out.push(rest[..end].to_string());
+            rest = rest[end..].trim_start();
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::ebiz_fixture;
+
+    fn session() -> Kdap {
+        let fx = ebiz_fixture();
+        Kdap::new(fx.wh).unwrap()
+    }
+
+    #[test]
+    fn split_query_handles_phrases_and_whitespace() {
+        assert_eq!(split_query("columbus lcd"), vec!["columbus", "lcd"]);
+        assert_eq!(
+            split_query("\"san jose\" tv"),
+            vec!["san jose", "tv"]
+        );
+        assert_eq!(split_query("  a   b  "), vec!["a", "b"]);
+        assert_eq!(split_query("\"unbalanced phrase"), vec!["unbalanced phrase"]);
+        assert!(split_query("").is_empty());
+        assert!(split_query("\"\"").is_empty());
+    }
+
+    #[test]
+    fn end_to_end_differentiate_then_explore() {
+        let kdap = session();
+        let ranked = kdap.interpret("columbus lcd");
+        assert_eq!(ranked.len(), 4);
+        // Scores are sorted descending.
+        for w in ranked.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+        let ex = kdap.explore(&ranked[0].net);
+        assert!(ex.subspace_size > 0);
+        assert!(!ex.panels.is_empty());
+    }
+
+    #[test]
+    fn quoted_phrase_changes_interpretation() {
+        let kdap = session();
+        // Quoted form searches the phrase directly; "columbus day" only
+        // exists in the holiday domain.
+        let ranked = kdap.interpret("\"columbus day\"");
+        assert!(!ranked.is_empty());
+        let top = ranked[0].net.display(kdap.warehouse());
+        assert!(top.contains("HOLIDAY"), "got {top}");
+    }
+
+    #[test]
+    fn session_without_measure_is_rejected() {
+        use kdap_warehouse::{ValueType, WarehouseBuilder};
+        let mut b = WarehouseBuilder::new();
+        b.table("F", &[("Id", ValueType::Int, false)]).unwrap();
+        b.fact("F").unwrap();
+        let wh = b.finish().unwrap();
+        assert!(Kdap::new(wh).is_err());
+    }
+
+    #[test]
+    fn cached_session_counts_hits_and_matches_uncached() {
+        let kdap_plain = session();
+        let kdap_cached = session().with_cache(16);
+        assert_eq!(kdap_plain.cache_stats(), None);
+        let ranked = kdap_cached.interpret("columbus");
+        let a = kdap_cached.explore(&ranked[0].net);
+        let b = kdap_cached.explore(&ranked[0].net);
+        assert_eq!(a.subspace_size, b.subspace_size);
+        assert_eq!(a.total_aggregate, b.total_aggregate);
+        assert_eq!(kdap_cached.cache_stats(), Some((1, 1)));
+        // Same numbers as the uncached session.
+        let ranked_p = kdap_plain.interpret("columbus");
+        let c = kdap_plain.explore(&ranked_p[0].net);
+        assert_eq!(a.total_aggregate, c.total_aggregate);
+    }
+
+    #[test]
+    fn explore_with_alternate_measure() {
+        let kdap = session();
+        let ranked = kdap.interpret("columbus");
+        let revenue = kdap.explore(&ranked[0].net);
+        // COUNT-style measure: the fixture's only measure is Revenue, so
+        // synthesize a quantity measure over the fact column.
+        let qty = kdap
+            .warehouse()
+            .schema()
+            .measures()
+            .first()
+            .cloned()
+            .unwrap();
+        let again = kdap.explore_with_measure(&ranked[0].net, &qty);
+        assert_eq!(revenue.total_aggregate, again.total_aggregate);
+        assert_eq!(revenue.subspace_size, again.subspace_size);
+    }
+
+    #[test]
+    fn with_measure_selects_by_name() {
+        let kdap = session().with_measure("Revenue").unwrap();
+        assert_eq!(kdap.measure().name, "Revenue");
+        assert!(session().with_measure("Nope").is_err());
+    }
+}

@@ -1,0 +1,377 @@
+//! The AW_RESELLER warehouse: the reseller-sales half of AdventureWorks
+//! (§6.1) — **7 dimensions, 13 tables, four hierarchical dimensions**.
+//!
+//! The queries the paper runs against this database draw keywords from
+//! dimensions AW_ONLINE lacks — the Reseller and Employee dimensions —
+//! and Figure 6 sweeps its numerical attributes `AnnualSales`,
+//! `AnnualRevenue` and `NumberOfEmployees`.
+
+use kdap_warehouse::{AttrKind, Value, ValueType, Warehouse, WarehouseBuilder, WarehouseError};
+
+use crate::common::{
+    add_currency_table, add_date_table, add_geography_tables, add_product_tables,
+    add_promotion_table, Scale,
+};
+use crate::rng::Sampler;
+use crate::vocab;
+
+/// Builds AW_RESELLER at the given scale, deterministically from `seed`.
+pub fn build_aw_reseller(scale: Scale, seed: u64) -> Result<Warehouse, WarehouseError> {
+    let mut s = Sampler::new(seed);
+    let mut b = WarehouseBuilder::new();
+
+    let n_geo = add_geography_tables(&mut b)?;
+    let n_products = add_product_tables(&mut b, &mut s, scale.products)?;
+    let years = [2001i64, 2002, 2003];
+    let n_dates = add_date_table(&mut b, &years)?;
+    let n_promos = add_promotion_table(&mut b, &mut s)?;
+    let n_currencies = add_currency_table(&mut b)?;
+
+    // Sales territories (flat dimension with group + region attributes).
+    b.table(
+        "DimSalesTerritory",
+        &[
+            ("TerritoryKey", ValueType::Int, false),
+            ("Region", ValueType::Str, true),
+            ("TerritoryGroup", ValueType::Str, true),
+        ],
+    )?;
+    let mut territory_key = 0i64;
+    for (group, regions) in vocab::TERRITORY_GROUPS {
+        for region in *regions {
+            territory_key += 1;
+            b.row(
+                "DimSalesTerritory",
+                vec![territory_key.into(), (*region).into(), (*group).into()],
+            )?;
+        }
+    }
+    let n_territories = territory_key;
+
+    // Employees with a Department → Title hierarchy.
+    b.table(
+        "DimDepartment",
+        &[
+            ("DepartmentKey", ValueType::Int, false),
+            ("DepartmentName", ValueType::Str, true),
+        ],
+    )?;
+    for (i, d) in vocab::DEPARTMENTS.iter().enumerate() {
+        b.row("DimDepartment", vec![(i as i64 + 1).into(), (*d).into()])?;
+    }
+    b.table(
+        "DimEmployee",
+        &[
+            ("EmployeeKey", ValueType::Int, false),
+            ("FirstName", ValueType::Str, true),
+            ("LastName", ValueType::Str, true),
+            ("Title", ValueType::Str, true),
+            ("DepartmentKey", ValueType::Int, false),
+        ],
+    )?;
+    for ek in 1..=scale.employees as i64 {
+        b.row(
+            "DimEmployee",
+            vec![
+                ek.into(),
+                (*s.pick(vocab::FIRST_NAMES)).into(),
+                (*s.pick(vocab::LAST_NAMES)).into(),
+                (*s.pick(vocab::EMPLOYEE_TITLES)).into(),
+                s.int(1, vocab::DEPARTMENTS.len() as i64).into(),
+            ],
+        )?;
+    }
+
+    // Resellers, carrying the Figure 6 numerical attributes.
+    b.table(
+        "DimReseller",
+        &[
+            ("ResellerKey", ValueType::Int, false),
+            ("ResellerName", ValueType::Str, true),
+            ("BusinessType", ValueType::Str, true),
+            ("AnnualSales", ValueType::Float, false),
+            ("AnnualRevenue", ValueType::Float, false),
+            ("NumberOfEmployees", ValueType::Float, false),
+            ("GeographyKey", ValueType::Int, false),
+        ],
+    )?;
+    for rk in 1..=scale.resellers as i64 {
+        // The first pass covers every base name once (so vocabulary terms
+        // like "Overstock" are always present); later resellers reuse a
+        // base with a distinguishing suffix.
+        let name = if (rk as usize) <= vocab::RESELLER_NAMES.len() {
+            vocab::RESELLER_NAMES[rk as usize - 1].to_string()
+        } else {
+            format!("{} No.{rk}", s.pick(vocab::RESELLER_NAMES))
+        };
+        let annual_sales = (s.skewed_index(300) as f64 + 1.0) * 10_000.0;
+        // Margin tiers rather than a continuum, so revenue values repeat
+        // across resellers (distinct-value partitions stay meaningful).
+        let margin = [0.05, 0.10, 0.15, 0.20, 0.25][s.index(5)];
+        let annual_revenue = annual_sales * margin;
+        let employees = (s.skewed_index(100) + 2) as f64;
+        b.row(
+            "DimReseller",
+            vec![
+                rk.into(),
+                name.into(),
+                (*s.pick(vocab::BUSINESS_TYPES)).into(),
+                annual_sales.into(),
+                annual_revenue.into(),
+                employees.into(),
+                s.int(1, n_geo as i64).into(),
+            ],
+        )?;
+    }
+
+    b.table(
+        "FactResellerSales",
+        &[
+            ("SalesKey", ValueType::Int, false),
+            ("ResellerKey", ValueType::Int, false),
+            ("EmployeeKey", ValueType::Int, false),
+            ("ProductKey", ValueType::Int, false),
+            ("DateKey", ValueType::Int, false),
+            ("PromotionKey", ValueType::Int, false),
+            ("CurrencyKey", ValueType::Int, false),
+            ("TerritoryKey", ValueType::Int, false),
+            ("OrderQuantity", ValueType::Int, false),
+            ("UnitPrice", ValueType::Float, false),
+        ],
+    )?;
+    for fk in 1..=scale.facts as i64 {
+        let reseller = s.skewed_index(scale.resellers) as i64 + 1;
+        let employee = s.skewed_index(scale.employees) as i64 + 1;
+        let product = s.skewed_index(n_products) as i64 + 1;
+        let promotion = if s.chance(0.75) { 1 } else { s.int(2, n_promos as i64) };
+        // Reseller orders come in bulk.
+        let qty = 1 + s.skewed_index(40) as i64;
+        let price = (s.float(2.0, 1800.0) * 100.0).round() / 100.0;
+        b.row(
+            "FactResellerSales",
+            vec![
+                fk.into(),
+                reseller.into(),
+                employee.into(),
+                product.into(),
+                s.int(1, n_dates as i64).into(),
+                promotion.into(),
+                s.int(1, n_currencies as i64).into(),
+                s.int(1, n_territories).into(),
+                qty.into(),
+                Value::Float(price),
+            ],
+        )?;
+    }
+
+    b.edge(
+        "FactResellerSales.ResellerKey",
+        "DimReseller.ResellerKey",
+        None,
+        Some("Reseller"),
+    )?;
+    b.edge("DimReseller.GeographyKey", "DimGeography.GeographyKey", None, None)?;
+    b.edge("DimGeography.StateKey", "DimStateProvince.StateKey", None, None)?;
+    b.edge(
+        "FactResellerSales.EmployeeKey",
+        "DimEmployee.EmployeeKey",
+        None,
+        Some("Employee"),
+    )?;
+    b.edge(
+        "DimEmployee.DepartmentKey",
+        "DimDepartment.DepartmentKey",
+        None,
+        None,
+    )?;
+    b.edge(
+        "FactResellerSales.ProductKey",
+        "DimProduct.ProductKey",
+        None,
+        Some("Product"),
+    )?;
+    b.edge(
+        "DimProduct.SubcategoryKey",
+        "DimProductSubcategory.SubcategoryKey",
+        None,
+        None,
+    )?;
+    b.edge(
+        "DimProductSubcategory.CategoryKey",
+        "DimProductCategory.CategoryKey",
+        None,
+        None,
+    )?;
+    b.edge("FactResellerSales.DateKey", "DimDate.DateKey", None, Some("Date"))?;
+    b.edge(
+        "FactResellerSales.PromotionKey",
+        "DimPromotion.PromotionKey",
+        None,
+        Some("Promotion"),
+    )?;
+    b.edge(
+        "FactResellerSales.CurrencyKey",
+        "DimCurrency.CurrencyKey",
+        None,
+        Some("Currency"),
+    )?;
+    b.edge(
+        "FactResellerSales.TerritoryKey",
+        "DimSalesTerritory.TerritoryKey",
+        None,
+        Some("SalesTerritory"),
+    )?;
+
+    b.dimension(
+        "Reseller",
+        &["DimReseller", "DimGeography", "DimStateProvince"],
+        vec![(
+            "ResellerGeography",
+            vec![
+                "DimStateProvince.CountryRegionName",
+                "DimStateProvince.StateProvinceName",
+                "DimGeography.City",
+            ],
+        )],
+        vec![
+            ("DimReseller.BusinessType", AttrKind::Categorical),
+            ("DimReseller.AnnualSales", AttrKind::Numerical),
+            ("DimReseller.AnnualRevenue", AttrKind::Numerical),
+            ("DimReseller.NumberOfEmployees", AttrKind::Numerical),
+            ("DimGeography.City", AttrKind::Categorical),
+            ("DimStateProvince.StateProvinceName", AttrKind::Categorical),
+        ],
+    )?;
+    b.dimension(
+        "Employee",
+        &["DimEmployee", "DimDepartment"],
+        vec![(
+            "Org",
+            vec!["DimDepartment.DepartmentName", "DimEmployee.Title"],
+        )],
+        vec![
+            ("DimEmployee.Title", AttrKind::Categorical),
+            ("DimDepartment.DepartmentName", AttrKind::Categorical),
+        ],
+    )?;
+    b.dimension(
+        "Product",
+        &["DimProduct", "DimProductSubcategory", "DimProductCategory"],
+        vec![(
+            "ProductCategories",
+            vec![
+                "DimProductCategory.CategoryName",
+                "DimProductSubcategory.ProductSubcategoryName",
+                "DimProduct.EnglishProductName",
+            ],
+        )],
+        vec![
+            (
+                "DimProductSubcategory.ProductSubcategoryName",
+                AttrKind::Categorical,
+            ),
+            ("DimProductCategory.CategoryName", AttrKind::Categorical),
+            ("DimProduct.Color", AttrKind::Categorical),
+            ("DimProduct.DealerPrice", AttrKind::Numerical),
+        ],
+    )?;
+    b.dimension(
+        "Date",
+        &["DimDate"],
+        vec![(
+            "Calendar",
+            vec![
+                "DimDate.CalendarYear",
+                "DimDate.CalendarQuarter",
+                "DimDate.MonthName",
+            ],
+        )],
+        vec![
+            ("DimDate.MonthName", AttrKind::Categorical),
+            ("DimDate.CalendarYear", AttrKind::Categorical),
+        ],
+    )?;
+    b.dimension(
+        "Promotion",
+        &["DimPromotion"],
+        vec![],
+        vec![("DimPromotion.PromotionType", AttrKind::Categorical)],
+    )?;
+    b.dimension(
+        "Currency",
+        &["DimCurrency"],
+        vec![],
+        vec![("DimCurrency.CurrencyName", AttrKind::Categorical)],
+    )?;
+    b.dimension(
+        "SalesTerritory",
+        &["DimSalesTerritory"],
+        vec![],
+        vec![
+            ("DimSalesTerritory.Region", AttrKind::Categorical),
+            ("DimSalesTerritory.TerritoryGroup", AttrKind::Categorical),
+        ],
+    )?;
+    b.fact("FactResellerSales")?;
+    b.measure_product(
+        "SalesRevenue",
+        "FactResellerSales.UnitPrice",
+        "FactResellerSales.OrderQuantity",
+    )?;
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_paper_description() {
+        let wh = build_aw_reseller(Scale::small(), 42).unwrap();
+        assert_eq!(wh.tables().len(), 13, "13 tables");
+        assert_eq!(wh.schema().dimensions().len(), 7, "7 dimensions");
+        let hierarchical = wh
+            .schema()
+            .dimensions()
+            .iter()
+            .filter(|d| !d.hierarchies.is_empty())
+            .count();
+        assert_eq!(hierarchical, 4, "4 hierarchical dimensions");
+        let searchable = wh.searchable_columns().count();
+        assert!(searchable > 20, "got {searchable} searchable domains");
+    }
+
+    #[test]
+    fn figure6_numeric_attributes_exist() {
+        let wh = build_aw_reseller(Scale::small(), 42).unwrap();
+        for col in ["AnnualSales", "AnnualRevenue", "NumberOfEmployees"] {
+            let r = wh.col_ref("DimReseller", col).unwrap();
+            let dim = wh.schema().dimension_by_name("Reseller").unwrap();
+            assert!(
+                dim.groupby_candidates
+                    .iter()
+                    .any(|g| g.attr == r && g.kind == AttrKind::Numerical),
+                "{col} must be a numerical group-by candidate"
+            );
+        }
+    }
+
+    #[test]
+    fn reseller_and_employee_vocab_present() {
+        let wh = build_aw_reseller(Scale::small(), 42).unwrap();
+        let name = wh.col_ref("DimReseller", "ResellerName").unwrap();
+        let dict = wh.column(name).dict().unwrap();
+        assert!(dict.iter().any(|(_, v)| v.contains("Overstock")));
+        let title = wh.col_ref("DimEmployee", "Title").unwrap();
+        assert!(wh.column(title).dict().unwrap().len() >= 2);
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = build_aw_reseller(Scale::small(), 9).unwrap();
+        let b = build_aw_reseller(Scale::small(), 9).unwrap();
+        let ta = a.table(a.table_id("DimReseller").unwrap());
+        let tb = b.table(b.table_id("DimReseller").unwrap());
+        assert_eq!(ta.row(5), tb.row(5));
+    }
+}

@@ -1,0 +1,342 @@
+//! Table generators shared by the AW_ONLINE and AW_RESELLER warehouses
+//! (the paper splits one AdventureWorks data warehouse into two databases
+//! around its two fact tables; the conformed dimensions are shared).
+
+use kdap_warehouse::{Value, ValueType, WarehouseBuilder, WarehouseError};
+
+use crate::rng::Sampler;
+use crate::vocab;
+
+/// Generation scale. The paper's fact tables "each contain more than
+/// 60,000 fact records"; `full()` matches that, `small()` keeps tests and
+/// doc examples fast.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Customer count (AW_ONLINE).
+    pub customers: usize,
+    /// Product count (both databases).
+    pub products: usize,
+    /// Reseller count (AW_RESELLER).
+    pub resellers: usize,
+    /// Employee count (AW_RESELLER).
+    pub employees: usize,
+    /// Fact-table row count.
+    pub facts: usize,
+}
+
+impl Scale {
+    /// Paper-scale: >60k facts.
+    pub fn full() -> Self {
+        Scale {
+            customers: 3000,
+            products: 400,
+            resellers: 240,
+            employees: 90,
+            facts: 60_480,
+        }
+        .validate()
+    }
+
+    /// Fast test scale.
+    pub fn small() -> Self {
+        Scale {
+            customers: 150,
+            products: 80,
+            resellers: 40,
+            employees: 20,
+            facts: 2_400,
+        }
+        .validate()
+    }
+
+    fn validate(self) -> Self {
+        assert!(self.customers > 0 && self.products > 0 && self.facts > 0);
+        self
+    }
+}
+
+/// Geography rows `(GeoKey, City, StateKey)` + state rows
+/// `(StateKey, StateProvinceName, CountryRegionName)`.
+///
+/// Adds `GEO` (city level) and `STATE` tables to the builder and returns
+/// the number of geography (city) rows.
+pub fn add_geography_tables(b: &mut WarehouseBuilder) -> Result<usize, WarehouseError> {
+    b.table(
+        "DimStateProvince",
+        &[
+            ("StateKey", ValueType::Int, false),
+            ("StateProvinceName", ValueType::Str, true),
+            ("CountryRegionName", ValueType::Str, true),
+        ],
+    )?;
+    b.table(
+        "DimGeography",
+        &[
+            ("GeographyKey", ValueType::Int, false),
+            ("City", ValueType::Str, true),
+            ("StateKey", ValueType::Int, false),
+        ],
+    )?;
+    let mut state_key = 0i64;
+    let mut geo_key = 0i64;
+    let mut geo_rows = 0usize;
+    for (country, states) in vocab::GEOGRAPHY {
+        for state in *states {
+            state_key += 1;
+            b.row(
+                "DimStateProvince",
+                vec![state_key.into(), (*state).into(), (*country).into()],
+            )?;
+            let cities = vocab::CITIES
+                .iter()
+                .find(|(s, _)| s == state)
+                .map(|(_, cs)| *cs)
+                .unwrap_or(&[]);
+            for city in cities {
+                geo_key += 1;
+                geo_rows += 1;
+                b.row(
+                    "DimGeography",
+                    vec![geo_key.into(), (*city).into(), state_key.into()],
+                )?;
+            }
+        }
+    }
+    Ok(geo_rows)
+}
+
+/// Product snowflake: `DimProductCategory`, `DimProductSubcategory`,
+/// `DimProduct`. Returns the number of products.
+pub fn add_product_tables(
+    b: &mut WarehouseBuilder,
+    s: &mut Sampler,
+    n_products: usize,
+) -> Result<usize, WarehouseError> {
+    b.table(
+        "DimProductCategory",
+        &[
+            ("CategoryKey", ValueType::Int, false),
+            ("CategoryName", ValueType::Str, true),
+        ],
+    )?;
+    b.table(
+        "DimProductSubcategory",
+        &[
+            ("SubcategoryKey", ValueType::Int, false),
+            ("ProductSubcategoryName", ValueType::Str, true),
+            ("CategoryKey", ValueType::Int, false),
+        ],
+    )?;
+    b.table(
+        "DimProduct",
+        &[
+            ("ProductKey", ValueType::Int, false),
+            ("EnglishProductName", ValueType::Str, true),
+            ("Color", ValueType::Str, true),
+            ("Size", ValueType::Str, true),
+            ("ModelName", ValueType::Str, true),
+            ("Description", ValueType::Str, true),
+            ("DealerPrice", ValueType::Float, false),
+            ("ListPrice", ValueType::Float, false),
+            ("SubcategoryKey", ValueType::Int, false),
+        ],
+    )?;
+
+    // Categories and subcategories come straight from the vocabulary.
+    let mut subcat_key = 0i64;
+    let mut subcats: Vec<(i64, &str, &str)> = Vec::new(); // (key, name, category)
+    for (ci, (category, subs)) in vocab::CATEGORIES.iter().enumerate() {
+        let cat_key = ci as i64 + 1;
+        b.row(
+            "DimProductCategory",
+            vec![cat_key.into(), (*category).into()],
+        )?;
+        for sub in *subs {
+            subcat_key += 1;
+            b.row(
+                "DimProductSubcategory",
+                vec![subcat_key.into(), (*sub).into(), cat_key.into()],
+            )?;
+            subcats.push((subcat_key, sub, category));
+        }
+    }
+
+    for pk in 1..=n_products as i64 {
+        let (sk, sub_name, category) = *s.pick(&subcats);
+        let (name, model) = product_name(s, sub_name, category);
+        let color = *s.pick(vocab::COLORS);
+        let size = *s.pick(vocab::SIZES);
+        let description = *s.pick(vocab::DESCRIPTION_SNIPPETS);
+        let (lo, hi) = match category {
+            "Bikes" => (320.0, 3400.0),
+            "Components" => (20.0, 800.0),
+            "Clothing" => (5.0, 70.0),
+            _ => (2.0, 120.0),
+        };
+        // AdventureWorks-style price points: products share a small grid
+        // of canonical prices per category (variants of one model cost
+        // the same), so distinct-price partitions are meaningful.
+        let step = (hi - lo) / 24.0;
+        let list = lo + step * s.int(0, 24) as f64;
+        let list = (list * 100.0).round() / 100.0;
+        let dealer = (list * 0.6 * 100.0).round() / 100.0;
+        b.row(
+            "DimProduct",
+            vec![
+                pk.into(),
+                name.into(),
+                color.into(),
+                size.into(),
+                model.into(),
+                description.into(),
+                dealer.into(),
+                list.into(),
+                sk.into(),
+            ],
+        )?;
+    }
+    Ok(n_products)
+}
+
+fn product_name(s: &mut Sampler, sub_name: &str, category: &str) -> (String, String) {
+    if category == "Bikes" {
+        // "Mountain-200 Black, 42" style, with the stem matching the
+        // subcategory ("Mountain Bikes" → "Mountain").
+        let stem = sub_name.split_whitespace().next().unwrap_or("Road");
+        let num = s.int(1, 34) * 100;
+        let color = *s.pick(vocab::COLORS);
+        let size = *s.pick(vocab::SIZES);
+        let model = format!("{stem}-{num}");
+        (format!("{model} {color}, {size}"), model)
+    } else {
+        let part = *s.pick(vocab::PART_NAMES);
+        if s.chance(0.4) {
+            let qual = *s.pick(&["HL", "ML", "LL"]);
+            (format!("{qual} {part}"), part.to_string())
+        } else {
+            (part.to_string(), part.to_string())
+        }
+    }
+}
+
+/// Calendar dimension: one row per day across `years`, with month /
+/// quarter / year labels. Returns the number of date rows.
+pub fn add_date_table(b: &mut WarehouseBuilder, years: &[i64]) -> Result<usize, WarehouseError> {
+    b.table(
+        "DimDate",
+        &[
+            ("DateKey", ValueType::Int, false),
+            ("MonthName", ValueType::Str, true),
+            ("CalendarQuarter", ValueType::Str, true),
+            ("CalendarYear", ValueType::Str, true),
+            ("DayName", ValueType::Str, true),
+        ],
+    )?;
+    let mut key = 0i64;
+    let mut rows = 0usize;
+    for &year in years {
+        for (mi, month) in vocab::MONTHS.iter().enumerate() {
+            let quarter = format!("{} Q{}", year, mi / 3 + 1);
+            for day in 0..28 {
+                key += 1;
+                rows += 1;
+                let weekday = vocab::WEEKDAYS[(key as usize) % vocab::WEEKDAYS.len()];
+                b.row(
+                    "DimDate",
+                    vec![
+                        key.into(),
+                        (*month).into(),
+                        Value::from(quarter.as_str()),
+                        year.to_string().into(),
+                        weekday.into(),
+                    ],
+                )?;
+                let _ = day;
+            }
+        }
+    }
+    Ok(rows)
+}
+
+/// Promotion dimension. Returns the row count.
+pub fn add_promotion_table(b: &mut WarehouseBuilder, s: &mut Sampler) -> Result<usize, WarehouseError> {
+    b.table(
+        "DimPromotion",
+        &[
+            ("PromotionKey", ValueType::Int, false),
+            ("PromotionName", ValueType::Str, true),
+            ("PromotionType", ValueType::Str, true),
+            ("DiscountPct", ValueType::Float, false),
+        ],
+    )?;
+    for (i, name) in vocab::PROMOTIONS.iter().enumerate() {
+        let ptype = if *name == "No Discount" {
+            "No Discount"
+        } else {
+            vocab::PROMOTION_TYPES[1 + s.index(vocab::PROMOTION_TYPES.len() - 1)]
+        };
+        let pct = if *name == "No Discount" { 0.0 } else { s.float(0.02, 0.5) };
+        b.row(
+            "DimPromotion",
+            vec![
+                (i as i64 + 1).into(),
+                (*name).into(),
+                ptype.into(),
+                pct.into(),
+            ],
+        )?;
+    }
+    Ok(vocab::PROMOTIONS.len())
+}
+
+/// Currency dimension. Returns the row count.
+pub fn add_currency_table(b: &mut WarehouseBuilder) -> Result<usize, WarehouseError> {
+    b.table(
+        "DimCurrency",
+        &[
+            ("CurrencyKey", ValueType::Int, false),
+            ("CurrencyName", ValueType::Str, true),
+            ("CurrencyCode", ValueType::Str, true),
+        ],
+    )?;
+    for (i, (name, code)) in vocab::CURRENCIES.iter().enumerate() {
+        b.row(
+            "DimCurrency",
+            vec![(i as i64 + 1).into(), (*name).into(), (*code).into()],
+        )?;
+    }
+    Ok(vocab::CURRENCIES.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geography_tables_link_consistently() {
+        let mut b = WarehouseBuilder::new();
+        let n = add_geography_tables(&mut b).unwrap();
+        assert!(n > 50, "plenty of cities, got {n}");
+    }
+
+    #[test]
+    fn product_names_match_subcategories_for_bikes() {
+        let mut s = Sampler::new(1);
+        let (name, model) = product_name(&mut s, "Mountain Bikes", "Bikes");
+        assert!(name.starts_with("Mountain-"));
+        assert!(model.starts_with("Mountain-"));
+    }
+
+    #[test]
+    fn date_table_counts() {
+        let mut b = WarehouseBuilder::new();
+        let rows = add_date_table(&mut b, &[2001, 2002]).unwrap();
+        assert_eq!(rows, 2 * 12 * 28);
+    }
+
+    #[test]
+    fn scales_are_sane() {
+        assert!(Scale::full().facts > 60_000);
+        assert!(Scale::small().facts < 5_000);
+    }
+}

@@ -1,0 +1,580 @@
+//! The EBiz e-commerce warehouse — the paper's running example (Figure 2).
+//!
+//! Distinctive schema features, all exercised here:
+//! * the **Location** table is shared by the Store and Customer
+//!   dimensions, and the Customer dimension joins the fact through
+//!   **Account** via both `BuyerKey` and `SellerKey` — three distinct join
+//!   paths from `LOCATION` to the fact (join-path ambiguity);
+//! * the Product dimension carries **two hierarchies**: Product Line →
+//!   Product Group and the UNSPSC Family → Class taxonomy;
+//! * the Time dimension spans **two tables** (`QUARTER` holding Year →
+//!   Quarter, `DATETBL` holding Month → Week → Date) plus a `HOLIDAY`
+//!   outrigger with "Columbus Day" (attribute-instance ambiguity against
+//!   Columbus the city);
+//! * the fact table `TRANSITEM` has a searchable `Comment` attribute, so
+//!   hit groups can select fact points directly (§4.2).
+
+use kdap_warehouse::{AttrKind, Value, ValueType, Warehouse, WarehouseBuilder, WarehouseError};
+
+use crate::rng::Sampler;
+use crate::vocab;
+
+/// EBiz generation scale.
+#[derive(Debug, Clone, Copy)]
+pub struct EbizScale {
+    /// Customer (and account) count.
+    pub customers: usize,
+    /// Store count (placed round-robin over the locations).
+    pub stores: usize,
+    /// Product count.
+    pub products: usize,
+    /// Transaction count; each yields 1..=max items.
+    pub transactions: usize,
+    /// Upper bound on TRANSITEM rows per transaction.
+    pub max_items_per_transaction: usize,
+}
+
+impl EbizScale {
+    /// Demo scale: tens of thousands of fact rows.
+    pub fn full() -> Self {
+        EbizScale {
+            customers: 2000,
+            stores: 60,
+            products: 500,
+            transactions: 20_000,
+            max_items_per_transaction: 4,
+        }
+    }
+
+    /// Fast test scale.
+    pub fn small() -> Self {
+        EbizScale {
+            customers: 120,
+            stores: 12,
+            products: 80,
+            transactions: 800,
+            max_items_per_transaction: 3,
+        }
+    }
+}
+
+/// Product lines → product groups for the electronics catalog.
+const PRODUCT_LINES: &[(&str, &[&str])] = &[
+    (
+        "Home Electronics",
+        &[
+            "Televisions",
+            "Flat Panel(LCD)",
+            "Plasma Displays",
+            "VCR",
+            "Home Audio",
+            "DVD Players",
+        ],
+    ),
+    (
+        "Office Electronics",
+        &["LCD Projectors", "Monitors", "Printers", "Scanners", "Shredders"],
+    ),
+    (
+        "Computers",
+        &["Laptops", "Desktops", "Tablets", "Servers", "Accessories Kits"],
+    ),
+    ("Software", &["Operating Systems", "Office Suites", "Games", "Antivirus"]),
+];
+
+/// UNSPSC family → classes.
+const UNSPSC_FAMILIES: &[(&str, &[&str])] = &[
+    (
+        "Consumer Electronics",
+        &["Video Equipment", "Audio Equipment", "Display Devices"],
+    ),
+    (
+        "Information Technology",
+        &["Computer Equipment", "Computer Accessories", "Software Products"],
+    ),
+    (
+        "Office Equipment",
+        &["Imaging Devices", "Paper Handling Machines"],
+    ),
+];
+
+const BRANDS: &[&str] = &[
+    "Vistron", "Lumax", "Pixelar", "SoundCore", "Clarity", "NovaTech", "Orbit",
+    "Zenlight", "Calypso", "Meridian",
+];
+
+const PRODUCT_KINDS: &[&str] = &[
+    "LCD TV",
+    "Plasma TV",
+    "LCD Projector",
+    "DLP Projector",
+    "Flat Panel Monitor",
+    "CRT Monitor",
+    "Laser Printer",
+    "Inkjet Printer",
+    "DVD Player",
+    "VCR Deck",
+    "Laptop",
+    "Desktop",
+    "Tablet",
+    "Home Theater System",
+    "Soundbar",
+    "Document Scanner",
+];
+
+const COMMENTS: &[&str] = &[
+    "gift wrap requested",
+    "expedited shipping",
+    "holiday sale purchase",
+    "price match applied",
+    "store pickup",
+    "extended warranty added",
+    "employee discount",
+    "clearance item",
+];
+
+const ACCOUNT_TYPES: &[&str] = &["Personal", "Business", "Premium"];
+
+/// Builds the EBiz warehouse deterministically from `seed`.
+pub fn build_ebiz(scale: EbizScale, seed: u64) -> Result<Warehouse, WarehouseError> {
+    let mut s = Sampler::new(seed);
+    let mut b = WarehouseBuilder::new();
+
+    // ---- Location (shared by Store and Customer) ----
+    b.table(
+        "LOCATION",
+        &[
+            ("LKey", ValueType::Int, false),
+            ("City", ValueType::Str, true),
+            ("State", ValueType::Str, true),
+            ("Country", ValueType::Str, true),
+        ],
+    )?;
+    let mut lkey = 0i64;
+    for (country, states) in vocab::GEOGRAPHY {
+        for state in *states {
+            let cities = vocab::CITIES
+                .iter()
+                .find(|(st, _)| st == state)
+                .map(|(_, cs)| *cs)
+                .unwrap_or(&[]);
+            for city in cities {
+                lkey += 1;
+                b.row(
+                    "LOCATION",
+                    vec![lkey.into(), (*city).into(), (*state).into(), (*country).into()],
+                )?;
+            }
+        }
+    }
+    let n_locations = lkey;
+
+    // ---- Store ----
+    b.table(
+        "STORE",
+        &[
+            ("SKey", ValueType::Int, false),
+            ("StoreName", ValueType::Str, true),
+            ("LKey", ValueType::Int, false),
+        ],
+    )?;
+    for sk in 1..=scale.stores as i64 {
+        let kind = *s.pick(&["Outlet", "Superstore", "Express", "Gallery"]);
+        // Round-robin placement guarantees the walkthrough cities
+        // (Columbus, Seattle, Portland, San Jose...) all host a store at
+        // full scale.
+        let lkey = (sk - 1) % n_locations + 1;
+        b.row(
+            "STORE",
+            vec![sk.into(), format!("EBiz {kind} {sk}").into(), lkey.into()],
+        )?;
+    }
+
+    // ---- Customer / Account ----
+    b.table(
+        "CUSTOMER",
+        &[
+            ("CKey", ValueType::Int, false),
+            ("FirstName", ValueType::Str, true),
+            ("LastName", ValueType::Str, true),
+            ("Age", ValueType::Float, false),
+            ("Income", ValueType::Float, false),
+            ("LKey", ValueType::Int, false),
+        ],
+    )?;
+    for ck in 1..=scale.customers as i64 {
+        b.row(
+            "CUSTOMER",
+            vec![
+                ck.into(),
+                (*s.pick(vocab::FIRST_NAMES)).into(),
+                (*s.pick(vocab::LAST_NAMES)).into(),
+                (s.int(18, 80) as f64).into(),
+                ((s.skewed_index(16) as f64 + 1.0) * 10_000.0).into(),
+                s.int(1, n_locations).into(),
+            ],
+        )?;
+    }
+    b.table(
+        "ACCOUNT",
+        &[
+            ("AKey", ValueType::Int, false),
+            ("AccountType", ValueType::Str, true),
+            ("CKey", ValueType::Int, false),
+        ],
+    )?;
+    // One account per customer (same key space) keeps Buyer/Seller joins
+    // simple while preserving the two-role ambiguity.
+    for ak in 1..=scale.customers as i64 {
+        b.row(
+            "ACCOUNT",
+            vec![ak.into(), (*s.pick(ACCOUNT_TYPES)).into(), ak.into()],
+        )?;
+    }
+
+    // ---- Product: two hierarchies ----
+    b.table(
+        "PLINE",
+        &[("LineKey", ValueType::Int, false), ("LineName", ValueType::Str, true)],
+    )?;
+    b.table(
+        "PGROUP",
+        &[
+            ("GKey", ValueType::Int, false),
+            ("GroupName", ValueType::Str, true),
+            ("LineKey", ValueType::Int, false),
+        ],
+    )?;
+    let mut groups: Vec<i64> = Vec::new();
+    let mut gkey = 0i64;
+    for (li, (line, gs)) in PRODUCT_LINES.iter().enumerate() {
+        b.row("PLINE", vec![(li as i64 + 1).into(), (*line).into()])?;
+        for g in *gs {
+            gkey += 1;
+            b.row(
+                "PGROUP",
+                vec![gkey.into(), (*g).into(), (li as i64 + 1).into()],
+            )?;
+            groups.push(gkey);
+        }
+    }
+    b.table(
+        "UNSPSC",
+        &[
+            ("UKey", ValueType::Int, false),
+            ("ClassTitle", ValueType::Str, true),
+            ("FamilyTitle", ValueType::Str, true),
+        ],
+    )?;
+    let mut ukey = 0i64;
+    let mut unspsc_keys = Vec::new();
+    for (family, classes) in UNSPSC_FAMILIES {
+        for class in *classes {
+            ukey += 1;
+            b.row(
+                "UNSPSC",
+                vec![ukey.into(), (*class).into(), (*family).into()],
+            )?;
+            unspsc_keys.push(ukey);
+        }
+    }
+    b.table(
+        "PRODUCT",
+        &[
+            ("PKey", ValueType::Int, false),
+            ("ProductName", ValueType::Str, true),
+            ("Description", ValueType::Str, true),
+            ("ListPrice", ValueType::Float, false),
+            ("GKey", ValueType::Int, false),
+            ("UKey", ValueType::Int, false),
+        ],
+    )?;
+    for pk in 1..=scale.products as i64 {
+        let brand = *s.pick(BRANDS);
+        let kind = *s.pick(PRODUCT_KINDS);
+        let size = s.int(19, 65);
+        let name = format!("{brand} {size}in {kind}");
+        b.row(
+            "PRODUCT",
+            vec![
+                pk.into(),
+                name.into(),
+                (*s.pick(vocab::DESCRIPTION_SNIPPETS)).into(),
+                ((s.float(80.0, 4200.0) * 100.0).round() / 100.0).into(),
+                (*s.pick(&groups)).into(),
+                (*s.pick(&unspsc_keys)).into(),
+            ],
+        )?;
+    }
+
+    // ---- Time ----
+    b.table(
+        "QUARTER",
+        &[
+            ("QKey", ValueType::Int, false),
+            ("Year", ValueType::Str, true),
+            ("Quarter", ValueType::Str, true),
+        ],
+    )?;
+    let years = [2005i64, 2006];
+    let mut qkey = 0i64;
+    for year in years {
+        for q in 1..=4 {
+            qkey += 1;
+            b.row(
+                "QUARTER",
+                vec![
+                    qkey.into(),
+                    year.to_string().into(),
+                    format!("{year} Q{q}").into(),
+                ],
+            )?;
+        }
+    }
+    b.table(
+        "HOLIDAY",
+        &[("HKey", ValueType::Int, false), ("Event", ValueType::Str, true)],
+    )?;
+    for (i, h) in vocab::HOLIDAYS.iter().enumerate() {
+        b.row("HOLIDAY", vec![(i as i64 + 1).into(), (*h).into()])?;
+    }
+    b.table(
+        "DATETBL",
+        &[
+            ("DKey", ValueType::Int, false),
+            ("Month", ValueType::Str, true),
+            ("Week", ValueType::Str, true),
+            ("DateLabel", ValueType::Str, true),
+            ("QKey", ValueType::Int, false),
+            ("HKey", ValueType::Int, false),
+        ],
+    )?;
+    let mut dkey = 0i64;
+    let n_holidays = vocab::HOLIDAYS.len() as i64;
+    for (yi, year) in years.iter().enumerate() {
+        for (mi, month) in vocab::MONTHS.iter().enumerate() {
+            let q = yi as i64 * 4 + (mi as i64 / 3) + 1;
+            for day in 1..=28i64 {
+                dkey += 1;
+                let week = format!("{year} W{:02}", (mi as i64 * 4) + (day - 1) / 7 + 1);
+                // Sprinkle holidays deterministically; "Columbus Day" lands
+                // in October.
+                let holiday: Value = if *month == "October" && day == 9 {
+                    1i64.into()
+                } else if day == 1 && mi == 0 {
+                    2i64.into()
+                } else if dkey % 97 == 0 {
+                    (dkey % n_holidays + 1).into()
+                } else {
+                    Value::Null
+                };
+                b.row(
+                    "DATETBL",
+                    vec![
+                        dkey.into(),
+                        (*month).into(),
+                        week.into(),
+                        format!("{year}-{:02}-{day:02}", mi + 1).into(),
+                        q.into(),
+                        holiday,
+                    ],
+                )?;
+            }
+        }
+    }
+    let n_dates = dkey;
+
+    // ---- Facts ----
+    b.table(
+        "TRANS",
+        &[
+            ("TKey", ValueType::Int, false),
+            ("SKey", ValueType::Int, false),
+            ("BuyerKey", ValueType::Int, false),
+            ("SellerKey", ValueType::Int, false),
+            ("DKey", ValueType::Int, false),
+        ],
+    )?;
+    b.table(
+        "TRANSITEM",
+        &[
+            ("IKey", ValueType::Int, false),
+            ("TKey", ValueType::Int, false),
+            ("PKey", ValueType::Int, false),
+            ("Qty", ValueType::Int, false),
+            ("UnitPrice", ValueType::Float, false),
+            ("Comment", ValueType::Str, true),
+        ],
+    )?;
+    let mut ikey = 0i64;
+    for tk in 1..=scale.transactions as i64 {
+        let buyer = s.skewed_index(scale.customers) as i64 + 1;
+        let mut seller = s.skewed_index(scale.customers) as i64 + 1;
+        if seller == buyer {
+            seller = seller % scale.customers as i64 + 1;
+        }
+        b.row(
+            "TRANS",
+            vec![
+                tk.into(),
+                s.int(1, scale.stores as i64).into(),
+                buyer.into(),
+                seller.into(),
+                s.int(1, n_dates).into(),
+            ],
+        )?;
+        let n_items = s.int(1, scale.max_items_per_transaction as i64);
+        for _ in 0..n_items {
+            ikey += 1;
+            let comment: Value = if s.chance(0.2) {
+                (*s.pick(COMMENTS)).into()
+            } else {
+                Value::Null
+            };
+            b.row(
+                "TRANSITEM",
+                vec![
+                    ikey.into(),
+                    tk.into(),
+                    (s.skewed_index(scale.products) as i64 + 1).into(),
+                    s.int(1, 3).into(),
+                    ((s.float(50.0, 4000.0) * 100.0).round() / 100.0).into(),
+                    comment,
+                ],
+            )?;
+        }
+    }
+
+    // ---- Edges ----
+    b.edge("TRANSITEM.TKey", "TRANS.TKey", None, None)?;
+    b.edge("TRANSITEM.PKey", "PRODUCT.PKey", None, Some("Product"))?;
+    b.edge("TRANS.SKey", "STORE.SKey", None, Some("Store"))?;
+    b.edge("TRANS.BuyerKey", "ACCOUNT.AKey", Some("Buyer"), Some("Customer"))?;
+    b.edge("TRANS.SellerKey", "ACCOUNT.AKey", Some("Seller"), Some("Customer"))?;
+    b.edge("TRANS.DKey", "DATETBL.DKey", None, Some("Time"))?;
+    b.edge("STORE.LKey", "LOCATION.LKey", None, None)?;
+    b.edge("ACCOUNT.CKey", "CUSTOMER.CKey", None, None)?;
+    b.edge("CUSTOMER.LKey", "LOCATION.LKey", None, None)?;
+    b.edge("PRODUCT.GKey", "PGROUP.GKey", None, None)?;
+    b.edge("PGROUP.LineKey", "PLINE.LineKey", None, None)?;
+    b.edge("PRODUCT.UKey", "UNSPSC.UKey", None, None)?;
+    b.edge("DATETBL.QKey", "QUARTER.QKey", None, None)?;
+    b.edge("DATETBL.HKey", "HOLIDAY.HKey", None, None)?;
+
+    // ---- Dimensions ----
+    b.dimension(
+        "Product",
+        &["PRODUCT", "PGROUP", "PLINE", "UNSPSC"],
+        vec![
+            (
+                "ProductLine",
+                vec!["PLINE.LineName", "PGROUP.GroupName", "PRODUCT.ProductName"],
+            ),
+            ("UNSPSC", vec!["UNSPSC.FamilyTitle", "UNSPSC.ClassTitle"]),
+        ],
+        vec![
+            ("PGROUP.GroupName", AttrKind::Categorical),
+            ("PLINE.LineName", AttrKind::Categorical),
+            ("UNSPSC.FamilyTitle", AttrKind::Categorical),
+            ("UNSPSC.ClassTitle", AttrKind::Categorical),
+            ("PRODUCT.ListPrice", AttrKind::Numerical),
+        ],
+    )?;
+    b.dimension(
+        "Store",
+        &["STORE", "LOCATION"],
+        vec![(
+            "StoreGeo",
+            vec!["LOCATION.Country", "LOCATION.State", "LOCATION.City"],
+        )],
+        vec![
+            ("LOCATION.City", AttrKind::Categorical),
+            ("LOCATION.State", AttrKind::Categorical),
+            ("LOCATION.Country", AttrKind::Categorical),
+        ],
+    )?;
+    b.dimension(
+        "Customer",
+        &["ACCOUNT", "CUSTOMER", "LOCATION"],
+        vec![(
+            "CustGeo",
+            vec!["LOCATION.Country", "LOCATION.State", "LOCATION.City"],
+        )],
+        vec![
+            ("ACCOUNT.AccountType", AttrKind::Categorical),
+            ("CUSTOMER.Age", AttrKind::Numerical),
+            ("CUSTOMER.Income", AttrKind::Numerical),
+            ("LOCATION.City", AttrKind::Categorical),
+        ],
+    )?;
+    b.dimension(
+        "Time",
+        &["DATETBL", "QUARTER", "HOLIDAY"],
+        vec![(
+            "Calendar",
+            vec!["QUARTER.Year", "QUARTER.Quarter", "DATETBL.Month", "DATETBL.Week"],
+        )],
+        vec![
+            ("DATETBL.Month", AttrKind::Categorical),
+            ("QUARTER.Year", AttrKind::Categorical),
+            ("HOLIDAY.Event", AttrKind::Categorical),
+        ],
+    )?;
+    b.fact("TRANSITEM")?;
+    b.measure_product("SalesRevenue", "TRANSITEM.UnitPrice", "TRANSITEM.Qty")?;
+    b.measure_column("UnitsSold", "TRANSITEM.Qty")?;
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_shape() {
+        let wh = build_ebiz(EbizScale::small(), 42).unwrap();
+        // 11 tables: LOCATION, STORE, CUSTOMER, ACCOUNT, PLINE, PGROUP,
+        // UNSPSC, PRODUCT, QUARTER, HOLIDAY, DATETBL + TRANS + TRANSITEM
+        assert_eq!(wh.tables().len(), 13);
+        assert_eq!(wh.schema().dimensions().len(), 4);
+        let product = wh.schema().dimension_by_name("Product").unwrap();
+        assert_eq!(product.hierarchies.len(), 2, "two product hierarchies");
+    }
+
+    #[test]
+    fn location_reached_by_three_paths() {
+        let wh = build_ebiz(EbizScale::small(), 42).unwrap();
+        let loc = wh.table_id("LOCATION").unwrap();
+        let fact = wh.schema().fact_table();
+        let paths = kdap_query::paths_between(wh.schema(), fact, loc, 8);
+        assert_eq!(paths.len(), 3, "store, buyer, seller");
+    }
+
+    #[test]
+    fn columbus_ambiguity_exists() {
+        let wh = build_ebiz(EbizScale::small(), 42).unwrap();
+        let city = wh.col_ref("LOCATION", "City").unwrap();
+        assert!(wh.column(city).dict().unwrap().code_of("Columbus").is_some());
+        let event = wh.col_ref("HOLIDAY", "Event").unwrap();
+        assert!(wh
+            .column(event)
+            .dict()
+            .unwrap()
+            .code_of("Columbus Day")
+            .is_some());
+    }
+
+    #[test]
+    fn fact_table_has_searchable_attribute() {
+        let wh = build_ebiz(EbizScale::small(), 42).unwrap();
+        let fact = wh.schema().fact_table();
+        assert!(wh.table(fact).n_searchable() >= 1);
+    }
+
+    #[test]
+    fn two_measures_defined() {
+        let wh = build_ebiz(EbizScale::small(), 42).unwrap();
+        assert!(wh.schema().measure_by_name("SalesRevenue").is_some());
+        assert!(wh.schema().measure_by_name("UnitsSold").is_some());
+    }
+}

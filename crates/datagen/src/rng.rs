@@ -1,0 +1,105 @@
+//! Deterministic random sampling helpers.
+//!
+//! Every generator takes an explicit seed, so warehouses, workloads, and
+//! therefore experiment outputs are bit-for-bit reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded RNG wrapper with the sampling idioms the generators use.
+pub struct Sampler {
+    rng: StdRng,
+}
+
+impl Sampler {
+    /// A sampler seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        Sampler {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Uniform integer in `[lo, hi]`.
+    pub fn int(&mut self, lo: i64, hi: i64) -> i64 {
+        self.rng.gen_range(lo..=hi)
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    pub fn float(&mut self, lo: f64, hi: f64) -> f64 {
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// Bernoulli draw.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.rng.gen_bool(p.clamp(0.0, 1.0))
+    }
+
+    /// Uniform pick from a slice. Panics on an empty slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.rng.gen_range(0..items.len())]
+    }
+
+    /// Index pick, for parallel arrays.
+    pub fn index(&mut self, len: usize) -> usize {
+        self.rng.gen_range(0..len)
+    }
+
+    /// A skewed (Zipf-ish, s≈1) pick favouring early indices — keeps the
+    /// generated measure distributions non-uniform the way sales data is.
+    pub fn skewed_index(&mut self, len: usize) -> usize {
+        debug_assert!(len > 0);
+        let u: f64 = self.rng.gen_range(0.0..1.0);
+        // Inverse-CDF of a truncated power law.
+        let idx = ((len as f64).powf(u) - 1.0) as usize;
+        idx.min(len - 1)
+    }
+
+    /// Direct access for cases the helpers don't cover.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Sampler::new(7);
+        let mut b = Sampler::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.int(0, 1000), b.int(0, 1000));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Sampler::new(1);
+        let mut b = Sampler::new(2);
+        let same = (0..50).filter(|_| a.int(0, 1000) == b.int(0, 1000)).count();
+        assert!(same < 10);
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut s = Sampler::new(3);
+        for _ in 0..1000 {
+            let v = s.int(-5, 5);
+            assert!((-5..=5).contains(&v));
+            let f = s.float(1.0, 2.0);
+            assert!((1.0..2.0).contains(&f));
+            let i = s.skewed_index(10);
+            assert!(i < 10);
+        }
+    }
+
+    #[test]
+    fn skewed_index_favours_low_values() {
+        let mut s = Sampler::new(11);
+        let draws: Vec<usize> = (0..10_000).map(|_| s.skewed_index(100)).collect();
+        let low = draws.iter().filter(|&&i| i < 10).count();
+        let high = draws.iter().filter(|&&i| i >= 90).count();
+        assert!(low > high * 3, "low={low} high={high}");
+    }
+}

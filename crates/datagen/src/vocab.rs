@@ -1,0 +1,437 @@
+//! Vocabulary pools for the synthetic AdventureWorks-style warehouses.
+//!
+//! The experiments in the paper depend on the *ambiguity structure* of the
+//! data more than on the exact tuples. The pools below deliberately seed
+//! the collisions the paper discusses: state names that recur in street
+//! addresses ("345 California Street"), city names that double as
+//! customer first names ("Sydney"), the "Columbus Day" holiday vs.
+//! Columbus the city, and product terms ("Mountain") that hit products,
+//! subcategories and accessories alike.
+
+/// Product category → subcategories (AdventureWorks-shaped).
+pub const CATEGORIES: &[(&str, &[&str])] = &[
+    (
+        "Bikes",
+        &["Mountain Bikes", "Road Bikes", "Touring Bikes", "Chainring Bikes"],
+    ),
+    (
+        "Components",
+        &[
+            "Handlebars",
+            "Bottom Brackets",
+            "Brakes",
+            "Chains",
+            "Cranksets",
+            "Derailleurs",
+            "Forks",
+            "Headsets",
+            "Mountain Frames",
+            "Road Frames",
+            "Saddles",
+            "Wheels",
+        ],
+    ),
+    (
+        "Clothing",
+        &[
+            "Bib-Shorts",
+            "Caps",
+            "Gloves",
+            "Jerseys",
+            "Shorts",
+            "Socks",
+            "Tights",
+            "Vests",
+        ],
+    ),
+    (
+        "Accessories",
+        &[
+            "Bike Racks",
+            "Bike Stands",
+            "Bottles and Cages",
+            "Cleaners",
+            "Fenders",
+            "Helmets",
+            "Hydration Packs",
+            "Lights",
+            "Locks",
+            "Panniers",
+            "Pumps",
+            "Tires and Tubes",
+        ],
+    ),
+];
+
+/// Model-name stems used to build product names like `Mountain-200 Black, 42`.
+pub const MODEL_STEMS: &[&str] = &[
+    "Mountain", "Road", "Touring", "Sport", "All-Purpose", "HL", "ML", "LL",
+];
+
+/// Product colors.
+pub const COLORS: &[&str] = &[
+    "Black", "Red", "Silver", "Yellow", "Blue", "Multi", "White", "Grey",
+];
+
+/// Accessory / component product names (searchable, collision-rich).
+pub const PART_NAMES: &[&str] = &[
+    "Mountain Tire",
+    "Road Tire",
+    "Touring Tire",
+    "Mountain Tire Tube",
+    "Flat Washer",
+    "Keyed Washer",
+    "Internal Lock Washer",
+    "External Lock Washer",
+    "Hex Nut",
+    "Lock Nut",
+    "Thin-Jam Hex Nut",
+    "Chainring Bolts",
+    "Chainring Nut",
+    "Chainring",
+    "Crown Race",
+    "Cup-Shaped Race",
+    "Cone-Shaped Race",
+    "Bearing Ball",
+    "BB Ball Bearing",
+    "Headset Ball Bearings",
+    "Blade",
+    "Fork End",
+    "Fork Crown",
+    "Front Derailleur Cage",
+    "Front Derailleur Linkage",
+    "Guide Pulley",
+    "Tension Pulley",
+    "HL Road Frame",
+    "LL Mountain Frame",
+    "ML Fork",
+    "LL Mountain Front Wheel",
+    "Silver Hub",
+    "Metal Plate",
+    "Sport-100 Helmet",
+    "Water Bottle",
+    "Mountain Bottle Cage",
+    "Road Bottle Cage",
+    "Patch Kit",
+    "Mountain Pump",
+    "Minipump",
+    "Mountain Bike Socks",
+    "Racing Socks",
+    "Cycling Cap",
+    "Half-Finger Gloves",
+    "Full-Finger Gloves",
+    "Classic Vest",
+    "Long-Sleeve Logo Jersey",
+    "Short-Sleeve Classic Jersey",
+    "Headlights - Dual-Beam",
+    "Headlights - Weatherproof",
+    "Taillights - Battery-Powered",
+    "Fender Set - Mountain",
+    "All-Purpose Bike Stand",
+    "Hitch Rack - 4-Bike",
+    "Hydration Pack - 70 oz",
+    "Cable Lock",
+];
+
+/// Descriptive sentences used as long product-description documents.
+pub const DESCRIPTION_SNIPPETS: &[&str] = &[
+    "Allpurpose bar for on or off-road",
+    "Black Yellow handcrafted bumps for riding comfort",
+    "Sealed cartridge keeps dirt out",
+    "Aluminum alloy rim with stainless steel spokes",
+    "Affordable gearing with durable construction",
+    "Designed for serious riders who demand performance",
+    "Lightweight frame absorbs bumps on rough trails",
+    "Clipless pedals improve power transfer",
+    "High-density foam keeps you cool on long rides",
+    "Triple crankset for a wide gearing range",
+];
+
+/// Country → state/provinces (the reproduction keeps the AdventureWorks
+/// six-country footprint).
+pub const GEOGRAPHY: &[(&str, &[&str])] = &[
+    (
+        "United States",
+        &[
+            "California",
+            "Washington",
+            "Oregon",
+            "Colorado",
+            "Ohio",
+            "New York",
+            "Texas",
+            "Arizona",
+        ],
+    ),
+    ("Canada", &["British Columbia", "Ontario", "Quebec", "Alberta"]),
+    ("Australia", &["New South Wales", "Victoria", "Queensland", "Tasmania"]),
+    ("United Kingdom", &["England", "Scotland", "Wales"]),
+    ("France", &["Seine Saint Denis", "Essonne", "Loiret", "Nord"]),
+    ("Germany", &["Bayern", "Hessen", "Saarland", "Hamburg"]),
+];
+
+/// State/province → cities. Collision seeds: "Columbus" (city and
+/// holiday), "Sydney" (city and first name), "Portland" in two states.
+pub const CITIES: &[(&str, &[&str])] = &[
+    ("California", &[
+        "San Francisco",
+        "San Jose",
+        "Palo Alto",
+        "Santa Cruz",
+        "Torrance",
+        "Central Valley",
+        "Los Angeles",
+        "Berkeley",
+    ]),
+    ("Washington", &["Seattle", "Tacoma", "Spokane", "Bellingham", "Portland"]),
+    ("Oregon", &["Portland", "Salem", "Eugene"]),
+    ("Colorado", &["Denver", "Boulder", "Aurora"]),
+    ("Ohio", &["Columbus", "Cleveland", "Dayton"]),
+    ("New York", &["New York City", "Ithaca", "Buffalo", "Albany"]),
+    ("Texas", &["Austin", "Dallas", "Houston", "San Antonio"]),
+    ("Arizona", &["Phoenix", "Tucson", "Mesa"]),
+    ("British Columbia", &["Vancouver", "Victoria City", "Burnaby", "Richmond"]),
+    ("Ontario", &["Toronto", "Ottawa", "London City"]),
+    ("Quebec", &["Montreal", "Quebec City", "Laval"]),
+    ("Alberta", &["Calgary", "Edmonton"]),
+    ("New South Wales", &["Sydney", "Newcastle", "Wollongong", "Alexandria"]),
+    ("Victoria", &["Melbourne", "Geelong", "Bendigo"]),
+    ("Queensland", &["Brisbane", "Cairns", "Townsville"]),
+    ("Tasmania", &["Hobart", "Launceston"]),
+    ("England", &["London", "Cambridge", "Oxford", "York"]),
+    ("Scotland", &["Edinburgh", "Glasgow"]),
+    ("Wales", &["Cardiff", "Swansea"]),
+    ("Seine Saint Denis", &["Saint-Denis", "Drancy", "Bobigny"]),
+    ("Essonne", &["Evry", "Massy", "Palaiseau"]),
+    ("Loiret", &["Orleans", "Montargis"]),
+    ("Nord", &["Lille", "Roubaix", "Dunkerque"]),
+    ("Bayern", &["Munich", "Nuremberg", "Augsburg"]),
+    ("Hessen", &["Frankfurt", "Wiesbaden", "Kassel"]),
+    ("Saarland", &["Saarbrucken", "Neunkirchen"]),
+    ("Hamburg", &["Hamburg City", "Altona"]),
+];
+
+/// Street names. State-name collisions on purpose ("California Street").
+pub const STREETS: &[&str] = &[
+    "California Street",
+    "Washington Avenue",
+    "Columbus Circle",
+    "Main Street",
+    "Oak Lane",
+    "Maple Drive",
+    "Corrinne Court",
+    "Pine Road",
+    "First Avenue",
+    "Second Street",
+    "Harbor Boulevard",
+    "Sunset Boulevard",
+    "Victoria Road",
+    "Ontario Way",
+];
+
+/// First names; "Sydney" and "Austin" collide with cities, "Jose" with
+/// "San Jose".
+pub const FIRST_NAMES: &[&str] = &[
+    "Fernando", "Alice", "Bob", "Carol", "David", "Emma", "Frank", "Grace", "Henry",
+    "Isabella", "Jack", "Karen", "Liam", "Mia", "Noah", "Olivia", "Peter", "Quinn",
+    "Rachel", "Samuel", "Tina", "Victor", "Wendy", "Xavier", "Yolanda", "Zachary",
+    "Sydney", "Austin", "Jose", "Maria", "Chen", "Wei", "Ana", "Luis", "Dalton",
+    "Casey", "Morgan", "Jordan", "Blake", "Rory",
+];
+
+/// Last names.
+pub const LAST_NAMES: &[&str] = &[
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis",
+    "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez", "Wilson", "Anderson",
+    "Thomas", "Taylor", "Moore", "Jackson", "Martin", "Lee", "Perez", "Thompson",
+    "White", "Harris", "Sanchez", "Clark", "Ramirez", "Lewis", "Robinson", "Walker",
+    "Young", "Allen", "King", "Wright", "Scott", "Torres", "Nguyen", "Hill", "Flores",
+];
+
+/// Occupations (searchable customer attribute).
+pub const OCCUPATIONS: &[&str] = &[
+    "Professional",
+    "Management",
+    "Skilled Manual",
+    "Clerical",
+    "Manual",
+];
+
+/// Education levels (searchable customer attribute).
+pub const EDUCATION: &[&str] = &[
+    "Bachelors",
+    "Graduate Degree",
+    "High School",
+    "Partial College",
+    "Partial High School",
+];
+
+/// Promotion names. Collision seeds: city + discount phrasings from the
+/// paper's Table 3 ("Sydney Helmet Discount", "HalfPrice Pedal Sale").
+pub const PROMOTIONS: &[&str] = &[
+    "No Discount",
+    "Volume Discount 11 to 14",
+    "Volume Discount 15 to 24",
+    "Volume Discount over 60",
+    "Mountain-100 Clearance Sale",
+    "Sport Helmet Discount-2002",
+    "Road-650 Overstock",
+    "Mountain Tire Sale",
+    "Sport Helmet Discount-2003",
+    "LL Road Frame Sale",
+    "Touring-3000 Promotion",
+    "Touring-1000 Promotion",
+    "Half-Price Pedal Sale",
+    "Sydney Helmet Discount",
+    "Discount California December",
+    "Seattle Saddles Special",
+];
+
+/// Promotion types.
+pub const PROMOTION_TYPES: &[&str] = &[
+    "No Discount",
+    "Volume Discount",
+    "Discontinued Product",
+    "Seasonal Discount",
+    "Excess Inventory",
+    "New Product",
+];
+
+/// Currencies (name, code).
+pub const CURRENCIES: &[(&str, &str)] = &[
+    ("US Dollar", "USD"),
+    ("Australian Dollar", "AUD"),
+    ("Canadian Dollar", "CAD"),
+    ("EURO", "EUR"),
+    ("United Kingdom Pound", "GBP"),
+    ("Deutsche Mark", "DEM"),
+    ("French Franc", "FRF"),
+];
+
+/// Month names.
+pub const MONTHS: &[&str] = &[
+    "January", "February", "March", "April", "May", "June", "July", "August",
+    "September", "October", "November", "December",
+];
+
+/// Weekday names.
+pub const WEEKDAYS: &[&str] = &[
+    "Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday", "Sunday",
+];
+
+/// Reseller business names (searchable). "Overstock", "Sport100" style
+/// tokens from Table 3 appear here.
+pub const RESELLER_NAMES: &[&str] = &[
+    "A Bike Store",
+    "Progressive Sports",
+    "Advanced Bike Components",
+    "Modular Cycle Systems",
+    "Metropolitan Sports Supply",
+    "Aerobic Exercise Company",
+    "Associated Bikes",
+    "Exemplary Cycles",
+    "Tandem Bicycle Store",
+    "Rural Cycle Emporium",
+    "Sharp Bikes",
+    "Bikes and Motorbikes",
+    "Country Parts Shop",
+    "Bike World",
+    "Vinyl and Plastic Goods Corporation",
+    "Top of the Line Bikes",
+    "Fun Toys and Bikes",
+    "Great Bicycle Supply",
+    "Overstock Warehouse",
+    "Sport100 Outlet",
+    "Helmet and Cycle Depot",
+    "Mountain Works",
+    "Valley Bicycle Specialists",
+    "Downhill Specialists",
+    "Brakes and Gears Inc",
+    "Saddle Company",
+    "Central Discount Store",
+    "Global Sports Outlet",
+];
+
+/// Reseller business types.
+pub const BUSINESS_TYPES: &[&str] = &["Value Added Reseller", "Specialty Bike Shop", "Warehouse"];
+
+/// Employee titles.
+pub const EMPLOYEE_TITLES: &[&str] = &[
+    "Sales Representative",
+    "Sales Manager",
+    "Regional Manager",
+    "Account Executive",
+    "Territory Lead",
+];
+
+/// Employee departments.
+pub const DEPARTMENTS: &[&str] = &["North America Sales", "Europe Sales", "Pacific Sales"];
+
+/// Sales-territory groups → regions.
+pub const TERRITORY_GROUPS: &[(&str, &[&str])] = &[
+    ("North America", &["Northwest", "Northeast", "Central", "Southwest", "Southeast", "Canada"]),
+    ("Europe", &["France Territory", "Germany Territory", "United Kingdom Territory"]),
+    ("Pacific", &["Australia Territory"]),
+];
+
+/// Size strings for bike products.
+pub const SIZES: &[&str] = &["38", "40", "42", "44", "46", "48", "50", "52", "54", "58", "60", "62"];
+
+/// Holidays for the EBiz time dimension.
+pub const HOLIDAYS: &[&str] = &[
+    "Columbus Day",
+    "New Year",
+    "Independence Day",
+    "Thanksgiving",
+    "Labor Day",
+    "Memorial Day",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_state_has_cities() {
+        let states: Vec<&str> = GEOGRAPHY.iter().flat_map(|(_, s)| s.iter().copied()).collect();
+        for state in &states {
+            assert!(
+                CITIES.iter().any(|(s, _)| s == state),
+                "state {state} has no cities"
+            );
+        }
+        // And no orphan city lists.
+        for (state, _) in CITIES {
+            assert!(states.contains(state), "orphan city list for {state}");
+        }
+    }
+
+    #[test]
+    fn ambiguity_seeds_are_present() {
+        // City/holiday collision.
+        assert!(CITIES.iter().any(|(_, cs)| cs.contains(&"Columbus")));
+        assert!(HOLIDAYS.contains(&"Columbus Day"));
+        // State/street collision.
+        assert!(STREETS.contains(&"California Street"));
+        // City/first-name collision.
+        assert!(FIRST_NAMES.contains(&"Sydney"));
+        assert!(CITIES.iter().any(|(_, cs)| cs.contains(&"Sydney")));
+    }
+
+    #[test]
+    fn pools_are_nonempty_and_unique() {
+        fn check(name: &str, pool: &[&str]) {
+            assert!(!pool.is_empty(), "{name} empty");
+            let mut v: Vec<&str> = pool.to_vec();
+            v.sort_unstable();
+            v.dedup();
+            assert_eq!(v.len(), pool.len(), "{name} has duplicates");
+        }
+        check("first names", FIRST_NAMES);
+        check("last names", LAST_NAMES);
+        check("parts", PART_NAMES);
+        check("promotions", PROMOTIONS);
+        check("resellers", RESELLER_NAMES);
+        check("streets", STREETS);
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests over the generators: every seed must yield a
+//! structurally valid warehouse (the builder's FK check runs on finish),
+//! with the paper-mandated shape invariants.
+
+use proptest::prelude::*;
+
+use kdap_datagen::{
+    build_aw_online, build_aw_reseller, build_ebiz, build_trends, generate_workload, EbizScale,
+    Scale, TrendsScale, WorkloadConfig,
+};
+
+fn tiny() -> Scale {
+    Scale {
+        customers: 40,
+        products: 30,
+        resellers: 15,
+        employees: 8,
+        facts: 300,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// AW_ONLINE builds for any seed with the paper's shape.
+    #[test]
+    fn aw_online_valid_for_any_seed(seed in 0u64..10_000) {
+        let wh = build_aw_online(tiny(), seed).expect("valid");
+        prop_assert_eq!(wh.tables().len(), 10);
+        prop_assert_eq!(wh.schema().dimensions().len(), 5);
+        prop_assert_eq!(wh.fact_rows(), 300);
+        // Every measure evaluates on every fact row.
+        let m = wh.schema().measures()[0].clone();
+        for r in 0..wh.fact_rows() {
+            prop_assert!(wh.eval_measure(&m, r).is_some());
+        }
+    }
+
+    /// AW_RESELLER builds for any seed with the paper's shape.
+    #[test]
+    fn aw_reseller_valid_for_any_seed(seed in 0u64..10_000) {
+        let wh = build_aw_reseller(tiny(), seed).expect("valid");
+        prop_assert_eq!(wh.tables().len(), 13);
+        prop_assert_eq!(wh.schema().dimensions().len(), 7);
+    }
+
+    /// EBiz builds for any seed; the three LOCATION join paths always
+    /// exist because they are schema-level, not data-level.
+    #[test]
+    fn ebiz_valid_for_any_seed(seed in 0u64..10_000) {
+        let scale = EbizScale {
+            customers: 30,
+            stores: 8,
+            products: 20,
+            transactions: 100,
+            max_items_per_transaction: 2,
+        };
+        let wh = build_ebiz(scale, seed).expect("valid");
+        let fact = wh.schema().fact_table();
+        let loc = wh.table_id("LOCATION").unwrap();
+        let paths = kdap_query::paths_between(wh.schema(), fact, loc, 8);
+        prop_assert_eq!(paths.len(), 3);
+    }
+
+    /// Trends builds for any seed; search counts are positive.
+    #[test]
+    fn trends_valid_for_any_seed(seed in 0u64..10_000) {
+        let wh = build_trends(TrendsScale { entries: 200, years: 1 }, seed).expect("valid");
+        let m = wh.schema().measure_by_name("SearchVolume").unwrap().clone();
+        for r in 0..wh.fact_rows() {
+            prop_assert!(wh.eval_measure(&m, r).unwrap() >= 1.0);
+        }
+    }
+
+    /// Workloads generate for any seed; every query is non-empty and
+    /// every keyword traces back to an intended value.
+    #[test]
+    fn workloads_valid_for_any_seed(seed in 0u64..10_000) {
+        let wh = build_aw_online(tiny(), 42).expect("valid");
+        let cfg = WorkloadConfig { n_queries: 8, seed, ..WorkloadConfig::default() };
+        for q in generate_workload(&wh, &cfg) {
+            prop_assert!(!q.keywords.is_empty());
+            for kw in &q.keywords {
+                prop_assert!(
+                    q.intended.iter().any(|i| i.value.contains(kw.as_str())),
+                    "{kw} in {:?}", q.text()
+                );
+            }
+        }
+    }
+}

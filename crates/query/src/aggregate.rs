@@ -1,0 +1,468 @@
+//! Group-by aggregation of a subspace along a join path.
+//!
+//! Given a fact-row set DS′, a join path to a dimension table, and a
+//! candidate group-by attribute, these functions produce the aggregation
+//! series that roll-up partitioning (§5.2) compares between DS′ and
+//! RUP(DS′). Both categorical domains (dictionary codes) and numerical
+//! domains (bucketized into *basic intervals*, §5.2.2) are supported.
+
+use std::collections::HashMap;
+
+use kdap_warehouse::{ColRef, Measure, TableId, Warehouse};
+
+use crate::bitmap::RowSet;
+use crate::path::JoinPath;
+use crate::semijoin::JoinIndex;
+
+/// Aggregation function over the measure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// Sum of the measure.
+    Sum,
+    /// Count of contributing fact points.
+    Count,
+    /// Arithmetic mean of the measure.
+    Avg,
+    /// Minimum measure value.
+    Min,
+    /// Maximum measure value.
+    Max,
+}
+
+/// Streaming accumulator for one group.
+#[derive(Debug, Clone, Copy)]
+pub struct Accumulator {
+    /// Running sum.
+    pub sum: f64,
+    /// Number of values fed.
+    pub count: u64,
+    /// Smallest value seen (+∞ when empty).
+    pub min: f64,
+    /// Largest value seen (−∞ when empty).
+    pub max: f64,
+}
+
+impl Default for Accumulator {
+    fn default() -> Self {
+        Accumulator {
+            sum: 0.0,
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl Accumulator {
+    /// Feeds one measure value.
+    pub fn add(&mut self, v: f64) {
+        self.sum += v;
+        self.count += 1;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Final aggregate under `func`; empty groups yield 0 (consistent with
+    /// SQL `SUM`/`COUNT` over an empty slice, and what the score formulas
+    /// expect for missing segments).
+    pub fn finish(&self, func: AggFunc) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        match func {
+            AggFunc::Sum => self.sum,
+            AggFunc::Count => self.count as f64,
+            AggFunc::Avg => self.sum / self.count as f64,
+            AggFunc::Min => self.min,
+            AggFunc::Max => self.max,
+        }
+    }
+}
+
+/// Aggregate of the measure over an entire row set.
+pub fn aggregate_total(wh: &Warehouse, measure: &Measure, rows: &RowSet, func: AggFunc) -> f64 {
+    let mut acc = Accumulator::default();
+    for row in rows.iter() {
+        if let Some(v) = wh.eval_measure(measure, row) {
+            acc.add(v);
+        }
+    }
+    acc.finish(func)
+}
+
+/// Groups `rows` (origin-table rows) by the dictionary code of `attr`
+/// reached via `path`, aggregating the measure. Rows with NULL joins or
+/// NULL attribute values are skipped.
+#[allow(clippy::too_many_arguments)]
+pub fn group_by_categorical(
+    wh: &Warehouse,
+    idx: &JoinIndex,
+    origin: TableId,
+    path: &JoinPath,
+    attr: ColRef,
+    rows: &RowSet,
+    measure: &Measure,
+    func: AggFunc,
+) -> HashMap<u32, f64> {
+    let mapper = idx.row_mapper(wh, origin, path);
+    let col = wh.column(attr);
+    let mut groups: HashMap<u32, Accumulator> = HashMap::new();
+    for row in rows.iter() {
+        let Some(target_row) = mapper[row] else {
+            continue;
+        };
+        let Some(code) = col.get_code(target_row as usize) else {
+            continue;
+        };
+        if let Some(v) = wh.eval_measure(measure, row) {
+            groups.entry(code).or_default().add(v);
+        }
+    }
+    groups
+        .into_iter()
+        .map(|(code, acc)| (code, acc.finish(func)))
+        .collect()
+}
+
+/// Partitioning of a numerical domain into basic intervals.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Bucketizer {
+    /// `n` equal-width buckets over `[min, max]`.
+    EqualWidth {
+        /// Domain minimum (inclusive).
+        min: f64,
+        /// Domain maximum (inclusive).
+        max: f64,
+        /// Bucket count.
+        n: usize,
+    },
+    /// One bucket per distinct value (the paper's *ground truth*
+    /// partitioning in §6.4). Values must be sorted and deduplicated.
+    Distinct {
+        /// The sorted distinct values.
+        values: Vec<f64>,
+    },
+}
+
+impl Bucketizer {
+    /// Equal-width bucketizer spanning the given values.
+    pub fn equal_width(values: impl IntoIterator<Item = f64>, n: usize) -> Option<Self> {
+        assert!(n > 0, "bucket count must be positive");
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut any = false;
+        for v in values {
+            if v.is_finite() {
+                any = true;
+                min = min.min(v);
+                max = max.max(v);
+            }
+        }
+        any.then_some(Bucketizer::EqualWidth { min, max, n })
+    }
+
+    /// One-bucket-per-distinct-value partitioning.
+    pub fn per_distinct(values: impl IntoIterator<Item = f64>) -> Option<Self> {
+        let mut vals: Vec<f64> = values.into_iter().filter(|v| v.is_finite()).collect();
+        if vals.is_empty() {
+            return None;
+        }
+        vals.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        vals.dedup();
+        Some(Bucketizer::Distinct { values: vals })
+    }
+
+    /// Number of buckets.
+    pub fn n_buckets(&self) -> usize {
+        match self {
+            Bucketizer::EqualWidth { n, .. } => *n,
+            Bucketizer::Distinct { values } => values.len(),
+        }
+    }
+
+    /// The bucket of a value, or `None` when it falls outside the domain.
+    pub fn bucket_of(&self, v: f64) -> Option<usize> {
+        if !v.is_finite() {
+            return None;
+        }
+        match self {
+            Bucketizer::EqualWidth { min, max, n } => {
+                if v < *min || v > *max {
+                    return None;
+                }
+                if max == min {
+                    return Some(0);
+                }
+                let frac = (v - min) / (max - min);
+                Some(((frac * *n as f64) as usize).min(n - 1))
+            }
+            Bucketizer::Distinct { values } => values
+                .binary_search_by(|x| x.partial_cmp(&v).expect("finite"))
+                .ok(),
+        }
+    }
+
+    /// Human-readable bounds of bucket `i` (used to render numerical facet
+    /// entries like `323 – 470`).
+    pub fn bounds(&self, i: usize) -> (f64, f64) {
+        match self {
+            Bucketizer::EqualWidth { min, max, n } => {
+                let width = (max - min) / *n as f64;
+                (min + width * i as f64, min + width * (i + 1) as f64)
+            }
+            Bucketizer::Distinct { values } => (values[i], values[i]),
+        }
+    }
+}
+
+/// Groups `rows` by bucketized numeric value of `attr` via `path`,
+/// aggregating the measure. Returns one aggregate per bucket (0 for empty
+/// buckets).
+#[allow(clippy::too_many_arguments)]
+pub fn group_by_buckets(
+    wh: &Warehouse,
+    idx: &JoinIndex,
+    origin: TableId,
+    path: &JoinPath,
+    attr: ColRef,
+    rows: &RowSet,
+    measure: &Measure,
+    func: AggFunc,
+    buckets: &Bucketizer,
+) -> Vec<f64> {
+    let mapper = idx.row_mapper(wh, origin, path);
+    let col = wh.column(attr);
+    let mut accs = vec![Accumulator::default(); buckets.n_buckets()];
+    for row in rows.iter() {
+        let Some(target_row) = mapper[row] else {
+            continue;
+        };
+        let Some(v) = col.get_float(target_row as usize) else {
+            continue;
+        };
+        let Some(b) = buckets.bucket_of(v) else {
+            continue;
+        };
+        if let Some(m) = wh.eval_measure(measure, row) {
+            accs[b].add(m);
+        }
+    }
+    accs.iter().map(|a| a.finish(func)).collect()
+}
+
+/// Collects the numeric values of `attr` observed across `rows` via
+/// `path` (the domain the bucketizer spans — "the set of all distinct
+/// values projected from DS′", §5.2).
+pub fn project_numeric(
+    wh: &Warehouse,
+    idx: &JoinIndex,
+    origin: TableId,
+    path: &JoinPath,
+    attr: ColRef,
+    rows: &RowSet,
+) -> Vec<f64> {
+    let mapper = idx.row_mapper(wh, origin, path);
+    let col = wh.column(attr);
+    let mut out = Vec::new();
+    for row in rows.iter() {
+        if let Some(target_row) = mapper[row] {
+            if let Some(v) = col.get_float(target_row as usize) {
+                out.push(v);
+            }
+        }
+    }
+    out
+}
+
+/// Collects the distinct dictionary codes of `attr` observed across
+/// `rows` via `path` (DOM(DS′, attr), §5.2).
+pub fn project_categorical(
+    wh: &Warehouse,
+    idx: &JoinIndex,
+    origin: TableId,
+    path: &JoinPath,
+    attr: ColRef,
+    rows: &RowSet,
+) -> Vec<u32> {
+    let mapper = idx.row_mapper(wh, origin, path);
+    let col = wh.column(attr);
+    let mut seen = std::collections::HashSet::new();
+    for row in rows.iter() {
+        if let Some(target_row) = mapper[row] {
+            if let Some(code) = col.get_code(target_row as usize) {
+                seen.insert(code);
+            }
+        }
+    }
+    let mut out: Vec<u32> = seen.into_iter().collect();
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdap_warehouse::{ValueType, WarehouseBuilder};
+
+    fn store_sales() -> Warehouse {
+        let mut b = WarehouseBuilder::new();
+        b.table(
+            "SALES",
+            &[
+                ("Id", ValueType::Int, false),
+                ("SKey", ValueType::Int, false),
+                ("Qty", ValueType::Int, false),
+                ("Price", ValueType::Float, false),
+            ],
+        )
+        .unwrap();
+        b.table(
+            "STORE",
+            &[
+                ("SKey", ValueType::Int, false),
+                ("City", ValueType::Str, true),
+                ("SqFt", ValueType::Float, false),
+            ],
+        )
+        .unwrap();
+        b.rows(
+            "STORE",
+            vec![
+                vec![1i64.into(), "Columbus".into(), 100.0.into()],
+                vec![2i64.into(), "Seattle".into(), 200.0.into()],
+                vec![3i64.into(), "Columbus".into(), 300.0.into()],
+            ],
+        )
+        .unwrap();
+        b.rows(
+            "SALES",
+            vec![
+                vec![0i64.into(), 1i64.into(), 1i64.into(), 10.0.into()],
+                vec![1i64.into(), 1i64.into(), 2i64.into(), 10.0.into()],
+                vec![2i64.into(), 2i64.into(), 1i64.into(), 50.0.into()],
+                vec![3i64.into(), 3i64.into(), 4i64.into(), 5.0.into()],
+            ],
+        )
+        .unwrap();
+        b.edge("SALES.SKey", "STORE.SKey", None, Some("Store")).unwrap();
+        b.dimension("Store", &["STORE"], vec![], vec![]).unwrap();
+        b.fact("SALES").unwrap();
+        b.measure_product("Revenue", "SALES.Price", "SALES.Qty").unwrap();
+        b.finish().unwrap()
+    }
+
+    fn setup() -> (Warehouse, JoinIndex, JoinPath, Measure) {
+        let wh = store_sales();
+        let idx = JoinIndex::build(&wh);
+        let fact = wh.schema().fact_table();
+        let store = wh.table_id("STORE").unwrap();
+        let path = crate::path::paths_between(wh.schema(), fact, store, 4).remove(0);
+        let measure = wh.schema().measure_by_name("Revenue").unwrap().clone();
+        (wh, idx, path, measure)
+    }
+
+    #[test]
+    fn total_aggregation() {
+        let (wh, _, _, measure) = setup();
+        let all = RowSet::full(wh.fact_rows());
+        assert_eq!(aggregate_total(&wh, &measure, &all, AggFunc::Sum), 100.0);
+        assert_eq!(aggregate_total(&wh, &measure, &all, AggFunc::Count), 4.0);
+        assert_eq!(aggregate_total(&wh, &measure, &all, AggFunc::Avg), 25.0);
+        assert_eq!(aggregate_total(&wh, &measure, &all, AggFunc::Min), 10.0);
+        assert_eq!(aggregate_total(&wh, &measure, &all, AggFunc::Max), 50.0);
+    }
+
+    #[test]
+    fn empty_set_aggregates_to_zero() {
+        let (wh, _, _, measure) = setup();
+        let none = RowSet::empty(wh.fact_rows());
+        assert_eq!(aggregate_total(&wh, &measure, &none, AggFunc::Sum), 0.0);
+        assert_eq!(aggregate_total(&wh, &measure, &none, AggFunc::Min), 0.0);
+    }
+
+    #[test]
+    fn categorical_group_by_city() {
+        let (wh, idx, path, measure) = setup();
+        let fact = wh.schema().fact_table();
+        let attr = wh.col_ref("STORE", "City").unwrap();
+        let all = RowSet::full(wh.fact_rows());
+        let groups =
+            group_by_categorical(&wh, &idx, fact, &path, attr, &all, &measure, AggFunc::Sum);
+        let dict = wh.column(attr).dict().unwrap();
+        let columbus = dict.code_of("Columbus").unwrap();
+        let seattle = dict.code_of("Seattle").unwrap();
+        // Columbus: 10 + 20 + 20 = 50; Seattle: 50.
+        assert_eq!(groups[&columbus], 50.0);
+        assert_eq!(groups[&seattle], 50.0);
+    }
+
+    #[test]
+    fn categorical_group_by_respects_subspace() {
+        let (wh, idx, path, measure) = setup();
+        let fact = wh.schema().fact_table();
+        let attr = wh.col_ref("STORE", "City").unwrap();
+        let subset = RowSet::from_rows(wh.fact_rows(), [0, 2]);
+        let groups =
+            group_by_categorical(&wh, &idx, fact, &path, attr, &subset, &measure, AggFunc::Sum);
+        let dict = wh.column(attr).dict().unwrap();
+        assert_eq!(groups[&dict.code_of("Columbus").unwrap()], 10.0);
+        assert_eq!(groups[&dict.code_of("Seattle").unwrap()], 50.0);
+    }
+
+    #[test]
+    fn bucketized_group_by_sqft() {
+        let (wh, idx, path, measure) = setup();
+        let fact = wh.schema().fact_table();
+        let attr = wh.col_ref("STORE", "SqFt").unwrap();
+        let all = RowSet::full(wh.fact_rows());
+        let values = project_numeric(&wh, &idx, fact, &path, attr, &all);
+        let buckets = Bucketizer::equal_width(values, 2).unwrap();
+        let series = group_by_buckets(
+            &wh, &idx, fact, &path, attr, &all, &measure, AggFunc::Sum, &buckets,
+        );
+        // Buckets are half-open: [100, 200) holds SqFt=100 (facts 0,1:
+        // 10+20); [200, 300] holds SqFt=200 and 300 (facts 2,3: 50+20).
+        assert_eq!(series, vec![30.0, 70.0]);
+    }
+
+    #[test]
+    fn per_distinct_bucketizer_is_exact() {
+        let b = Bucketizer::per_distinct([3.0, 1.0, 2.0, 1.0]).unwrap();
+        assert_eq!(b.n_buckets(), 3);
+        assert_eq!(b.bucket_of(1.0), Some(0));
+        assert_eq!(b.bucket_of(3.0), Some(2));
+        assert_eq!(b.bucket_of(1.5), None);
+        assert_eq!(b.bounds(1), (2.0, 2.0));
+    }
+
+    #[test]
+    fn equal_width_bucket_edges() {
+        let b = Bucketizer::equal_width([0.0, 10.0], 5).unwrap();
+        assert_eq!(b.bucket_of(0.0), Some(0));
+        assert_eq!(b.bucket_of(10.0), Some(4), "max value lands in last bucket");
+        assert_eq!(b.bucket_of(-0.1), None);
+        assert_eq!(b.bucket_of(10.1), None);
+        assert_eq!(b.bounds(0), (0.0, 2.0));
+    }
+
+    #[test]
+    fn degenerate_single_value_domain() {
+        let b = Bucketizer::equal_width([5.0, 5.0], 3).unwrap();
+        assert_eq!(b.bucket_of(5.0), Some(0));
+        assert!(Bucketizer::equal_width(std::iter::empty(), 3).is_none());
+        assert!(Bucketizer::per_distinct(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn projections() {
+        let (wh, idx, path, _) = setup();
+        let fact = wh.schema().fact_table();
+        let all = RowSet::full(wh.fact_rows());
+        let city = wh.col_ref("STORE", "City").unwrap();
+        let codes = project_categorical(&wh, &idx, fact, &path, city, &all);
+        assert_eq!(codes.len(), 2);
+        let sqft = wh.col_ref("STORE", "SqFt").unwrap();
+        let vals = project_numeric(&wh, &idx, fact, &path, sqft, &all);
+        assert_eq!(vals.len(), 4, "one per fact row");
+    }
+}

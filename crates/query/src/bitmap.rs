@@ -1,0 +1,160 @@
+//! Fixed-width row bitmaps for fact-row sets (subspaces).
+
+/// A set of row indices over a table of known size, stored as a bitmap.
+///
+/// A KDAP *subspace* DS′ is exactly a `RowSet` over the fact table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowSet {
+    words: Vec<u64>,
+    nrows: usize,
+}
+
+impl RowSet {
+    /// Empty set over `nrows` rows.
+    pub fn empty(nrows: usize) -> Self {
+        RowSet {
+            words: vec![0; nrows.div_ceil(64)],
+            nrows,
+        }
+    }
+
+    /// Full set over `nrows` rows.
+    pub fn full(nrows: usize) -> Self {
+        let mut s = RowSet::empty(nrows);
+        for (i, w) in s.words.iter_mut().enumerate() {
+            let base = i * 64;
+            let bits = nrows.saturating_sub(base).min(64);
+            *w = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+        }
+        s
+    }
+
+    /// Builds a set from explicit row indices.
+    pub fn from_rows(nrows: usize, rows: impl IntoIterator<Item = usize>) -> Self {
+        let mut s = RowSet::empty(nrows);
+        for r in rows {
+            s.insert(r);
+        }
+        s
+    }
+
+    /// Number of rows in the underlying table.
+    pub fn universe(&self) -> usize {
+        self.nrows
+    }
+
+    /// Inserts one row. Panics when out of range (programming error).
+    pub fn insert(&mut self, row: usize) {
+        assert!(row < self.nrows, "row {row} out of range {}", self.nrows);
+        self.words[row / 64] |= 1u64 << (row % 64);
+    }
+
+    /// Membership test.
+    pub fn contains(&self, row: usize) -> bool {
+        row < self.nrows && self.words[row / 64] & (1u64 << (row % 64)) != 0
+    }
+
+    /// Number of rows in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True when no row is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// In-place intersection. Panics on mismatched universes.
+    pub fn intersect_with(&mut self, other: &RowSet) {
+        assert_eq!(self.nrows, other.nrows, "universe mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place union. Panics on mismatched universes.
+    pub fn union_with(&mut self, other: &RowSet) {
+        assert_eq!(self.nrows, other.nrows, "universe mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Iterates set rows in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(i, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let bit = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(i * 64 + bit)
+                }
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_full() {
+        let e = RowSet::empty(70);
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        let f = RowSet::full(70);
+        assert_eq!(f.len(), 70);
+        assert!(f.contains(69));
+        assert!(!f.contains(70));
+    }
+
+    #[test]
+    fn full_has_no_stray_bits_past_end() {
+        for n in [1usize, 63, 64, 65, 128, 130] {
+            let f = RowSet::full(n);
+            assert_eq!(f.len(), n, "n={n}");
+        }
+        assert_eq!(RowSet::full(0).len(), 0);
+    }
+
+    #[test]
+    fn insert_contains_iter() {
+        let mut s = RowSet::empty(100);
+        s.insert(0);
+        s.insert(64);
+        s.insert(99);
+        assert!(s.contains(64));
+        assert!(!s.contains(1));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 64, 99]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = RowSet::from_rows(10, [1, 2, 3]);
+        let b = RowSet::from_rows(10, [2, 3, 4]);
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.iter().collect::<Vec<_>>(), vec![2, 3]);
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.iter().collect::<Vec<_>>(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn insert_out_of_range_panics() {
+        RowSet::empty(5).insert(5);
+    }
+
+    #[test]
+    #[should_panic(expected = "universe mismatch")]
+    fn mismatched_universe_panics() {
+        let mut a = RowSet::empty(5);
+        a.intersect_with(&RowSet::empty(6));
+    }
+}

@@ -1,0 +1,22 @@
+//! # kdap-query
+//!
+//! Star-join execution over the KDAP warehouse: semi-join propagation of
+//! hit-group selections down to fact-row bitmaps, fact→dimension row
+//! mapping, and group-by aggregation over categorical and bucketized
+//! numerical domains. These are the primitives behind subspace
+//! materialization and facet construction in the KDAP core.
+
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod bitmap;
+pub mod path;
+pub mod semijoin;
+
+pub use aggregate::{
+    aggregate_total, group_by_buckets, group_by_categorical, project_categorical,
+    project_numeric, AggFunc, Bucketizer,
+};
+pub use bitmap::RowSet;
+pub use path::{fact_paths_by_table, paths_between, JoinPath, MAX_PATH_LEN};
+pub use semijoin::{JoinIndex, Predicate, Selection};

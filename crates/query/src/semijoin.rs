@@ -1,0 +1,363 @@
+//! Semi-join propagation along join paths, plus fact→dimension row
+//! mapping — the executor primitives behind subspace materialization and
+//! group-by aggregation.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use kdap_warehouse::{ColRef, EdgeId, TableId, Warehouse};
+
+use crate::bitmap::RowSet;
+use crate::path::JoinPath;
+
+/// Precomputed per-edge hash indexes over a warehouse.
+///
+/// For each FK edge `child.fk → parent.pk` we store both directions:
+/// * `children_by_key`: parent key → child row ids (semi-join *down*
+///   towards the fact table),
+/// * `parent_row_by_key`: key → parent row id (mapping fact rows *up* to
+///   dimension attributes).
+///
+/// Built once per warehouse; all query operations borrow it.
+pub struct JoinIndex {
+    children_by_key: Vec<HashMap<i64, Vec<u32>>>,
+    parent_row_by_key: Vec<HashMap<i64, u32>>,
+    /// Memoized fact→target row mappers, keyed by path.
+    mapper_cache: Mutex<HashMap<JoinPath, Arc<Vec<Option<u32>>>>>,
+}
+
+impl JoinIndex {
+    /// Builds hash indexes for every edge of `wh`.
+    pub fn build(wh: &Warehouse) -> Self {
+        let schema = wh.schema();
+        let mut children_by_key = Vec::with_capacity(schema.edges().len());
+        let mut parent_row_by_key = Vec::with_capacity(schema.edges().len());
+        for edge in schema.edges() {
+            let child_col = wh.column(edge.child);
+            let mut by_key: HashMap<i64, Vec<u32>> = HashMap::new();
+            for row in 0..child_col.len() {
+                if let Some(k) = child_col.get_int(row) {
+                    by_key.entry(k).or_default().push(row as u32);
+                }
+            }
+            children_by_key.push(by_key);
+
+            let parent_col = wh.column(edge.parent);
+            let mut by_pk: HashMap<i64, u32> = HashMap::with_capacity(parent_col.len());
+            for row in 0..parent_col.len() {
+                if let Some(k) = parent_col.get_int(row) {
+                    // Last writer wins; builders guarantee unique PKs in
+                    // practice, and duplicates would be a data bug that the
+                    // integrity check surfaces elsewhere.
+                    by_pk.insert(k, row as u32);
+                }
+            }
+            parent_row_by_key.push(by_pk);
+        }
+        JoinIndex {
+            children_by_key,
+            parent_row_by_key,
+            mapper_cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Child rows of `edge` whose FK equals `key`.
+    pub fn children(&self, edge: EdgeId, key: i64) -> &[u32] {
+        self.children_by_key[edge.0 as usize]
+            .get(&key)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The parent row of `edge` with primary key `key`.
+    pub fn parent_row(&self, edge: EdgeId, key: i64) -> Option<u32> {
+        self.parent_row_by_key[edge.0 as usize].get(&key).copied()
+    }
+
+    /// Semi-joins a set of *target-table* rows back down `path` to the
+    /// path's origin table, returning the origin rows that reach any of
+    /// them. With the empty path this is just `target_rows` itself.
+    pub fn rows_reaching(
+        &self,
+        wh: &Warehouse,
+        origin: TableId,
+        path: &JoinPath,
+        target_rows: &RowSet,
+    ) -> RowSet {
+        let schema = wh.schema();
+        debug_assert_eq!(
+            target_rows.universe(),
+            wh.table(path.target_table(schema, origin)).nrows()
+        );
+        let mut current = target_rows.clone();
+        // Walk edges from the target back to the origin.
+        for &eid in path.edges().iter().rev() {
+            let edge = schema.edge(eid);
+            let parent_col = wh.column(edge.parent);
+            let child_nrows = wh.table(edge.child.table).nrows();
+            let mut next = RowSet::empty(child_nrows);
+            for parent_row in current.iter() {
+                if let Some(key) = parent_col.get_int(parent_row) {
+                    for &child_row in self.children(eid, key) {
+                        next.insert(child_row as usize);
+                    }
+                }
+            }
+            current = next;
+        }
+        current
+    }
+
+    /// For each row of the path's origin table, the row of the target
+    /// table it joins to (or `None` on a NULL FK along the way).
+    ///
+    /// Mappers are memoized per path — facet construction reuses the same
+    /// dimension paths for every candidate attribute.
+    pub fn row_mapper(
+        &self,
+        wh: &Warehouse,
+        origin: TableId,
+        path: &JoinPath,
+    ) -> Arc<Vec<Option<u32>>> {
+        if let Some(m) = self.mapper_cache.lock().get(path) {
+            return m.clone();
+        }
+        let schema = wh.schema();
+        let n = wh.table(origin).nrows();
+        let mut mapping: Vec<Option<u32>> = (0..n as u32).map(Some).collect();
+        for &eid in path.edges() {
+            let edge = schema.edge(eid);
+            let child_col = wh.column(edge.child);
+            for slot in mapping.iter_mut() {
+                *slot = slot.and_then(|row| {
+                    child_col
+                        .get_int(row as usize)
+                        .and_then(|key| self.parent_row(eid, key))
+                });
+            }
+        }
+        let mapping = Arc::new(mapping);
+        self.mapper_cache
+            .lock()
+            .insert(path.clone(), mapping.clone());
+        mapping
+    }
+}
+
+/// A selection predicate over a subspace: rows of `attr`'s table whose
+/// dictionary code is in `codes`, reached from the origin table via
+/// `path`. This is exactly one hit group applied along one join path.
+///
+/// The numeric-range predicate supports the paper's future-work extension
+/// of treating measure/numeric attributes as hit candidates (§7).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Selection {
+    /// Join path from the origin (fact) table to the attribute's table.
+    pub path: JoinPath,
+    /// The constrained attribute.
+    pub attr: ColRef,
+    /// Which target rows qualify.
+    pub predicate: Predicate,
+}
+
+/// The row predicate of a [`Selection`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Dictionary codes of the selected attribute instances
+    /// (OR-semantics within one selection, as within one hit group).
+    Codes(Vec<u32>),
+    /// Numeric attribute value within `[lo, hi]` (inclusive).
+    Range {
+        /// Lower bound (inclusive).
+        lo: f64,
+        /// Upper bound (inclusive).
+        hi: f64,
+    },
+}
+
+impl Selection {
+    /// Categorical selection by dictionary codes.
+    pub fn by_codes(path: JoinPath, attr: ColRef, codes: Vec<u32>) -> Self {
+        Selection {
+            path,
+            attr,
+            predicate: Predicate::Codes(codes),
+        }
+    }
+
+    /// Numeric selection by inclusive value range.
+    pub fn by_range(path: JoinPath, attr: ColRef, lo: f64, hi: f64) -> Self {
+        Selection {
+            path,
+            attr,
+            predicate: Predicate::Range { lo, hi },
+        }
+    }
+
+    /// Evaluates the selection: origin-table rows whose joined target row
+    /// satisfies the predicate.
+    pub fn eval(&self, wh: &Warehouse, idx: &JoinIndex, origin: TableId) -> RowSet {
+        let target = self.path.target_table(wh.schema(), origin);
+        debug_assert_eq!(self.attr.table, target, "attr must live on path target");
+        let col = wh.column(self.attr);
+        let matching: Vec<usize> = match &self.predicate {
+            Predicate::Codes(codes) => col.rows_with_codes(codes),
+            Predicate::Range { lo, hi } => (0..col.len())
+                .filter(|&r| {
+                    col.get_float(r)
+                        .map(|v| v >= *lo && v <= *hi)
+                        .unwrap_or(false)
+                })
+                .collect(),
+        };
+        let target_rows = RowSet::from_rows(wh.table(target).nrows(), matching);
+        idx.rows_reaching(wh, origin, &self.path, &target_rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::paths_between;
+    use kdap_warehouse::{ValueType, WarehouseBuilder};
+
+    /// FACT(4 rows) → DIM(2 rows) → OUTER(2 rows)
+    fn snowflake() -> Warehouse {
+        let mut b = WarehouseBuilder::new();
+        b.table(
+            "FACT",
+            &[("Id", ValueType::Int, false), ("DKey", ValueType::Int, false)],
+        )
+        .unwrap();
+        b.table(
+            "DIM",
+            &[
+                ("DKey", ValueType::Int, false),
+                ("OKey", ValueType::Int, false),
+                ("Name", ValueType::Str, true),
+            ],
+        )
+        .unwrap();
+        b.table(
+            "OUTER",
+            &[("OKey", ValueType::Int, false), ("Region", ValueType::Str, true)],
+        )
+        .unwrap();
+        b.rows(
+            "OUTER",
+            vec![
+                vec![10i64.into(), "West".into()],
+                vec![20i64.into(), "East".into()],
+            ],
+        )
+        .unwrap();
+        b.rows(
+            "DIM",
+            vec![
+                vec![1i64.into(), 10i64.into(), "Widget".into()],
+                vec![2i64.into(), 20i64.into(), "Gadget".into()],
+            ],
+        )
+        .unwrap();
+        b.rows(
+            "FACT",
+            vec![
+                vec![100i64.into(), 1i64.into()],
+                vec![101i64.into(), 1i64.into()],
+                vec![102i64.into(), 2i64.into()],
+                vec![103i64.into(), 2i64.into()],
+            ],
+        )
+        .unwrap();
+        b.edge("FACT.DKey", "DIM.DKey", None, Some("D")).unwrap();
+        b.edge("DIM.OKey", "OUTER.OKey", None, None).unwrap();
+        b.dimension("D", &["DIM", "OUTER"], vec![], vec![]).unwrap();
+        b.fact("FACT").unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn semijoin_one_hop() {
+        let wh = snowflake();
+        let idx = JoinIndex::build(&wh);
+        let fact = wh.schema().fact_table();
+        let dim = wh.table_id("DIM").unwrap();
+        let path = paths_between(wh.schema(), fact, dim, 4).remove(0);
+        let attr = wh.col_ref("DIM", "Name").unwrap();
+        let code = wh.column(attr).dict().unwrap().code_of("Widget").unwrap();
+        let sel = Selection::by_codes(path, attr, vec![code]);
+        let rows = sel.eval(&wh, &idx, fact);
+        assert_eq!(rows.iter().collect::<Vec<_>>(), vec![0, 1]);
+    }
+
+    #[test]
+    fn semijoin_two_hops() {
+        let wh = snowflake();
+        let idx = JoinIndex::build(&wh);
+        let fact = wh.schema().fact_table();
+        let outer = wh.table_id("OUTER").unwrap();
+        let path = paths_between(wh.schema(), fact, outer, 4).remove(0);
+        let attr = wh.col_ref("OUTER", "Region").unwrap();
+        let code = wh.column(attr).dict().unwrap().code_of("East").unwrap();
+        let sel = Selection::by_codes(path, attr, vec![code]);
+        let rows = sel.eval(&wh, &idx, fact);
+        assert_eq!(rows.iter().collect::<Vec<_>>(), vec![2, 3]);
+    }
+
+    #[test]
+    fn empty_path_selection_on_origin() {
+        let wh = snowflake();
+        let idx = JoinIndex::build(&wh);
+        let dim = wh.table_id("DIM").unwrap();
+        let attr = wh.col_ref("DIM", "Name").unwrap();
+        let code = wh.column(attr).dict().unwrap().code_of("Gadget").unwrap();
+        let sel = Selection::by_codes(JoinPath::empty(), attr, vec![code]);
+        let rows = sel.eval(&wh, &idx, dim);
+        assert_eq!(rows.iter().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn or_semantics_within_selection() {
+        let wh = snowflake();
+        let idx = JoinIndex::build(&wh);
+        let fact = wh.schema().fact_table();
+        let dim = wh.table_id("DIM").unwrap();
+        let path = paths_between(wh.schema(), fact, dim, 4).remove(0);
+        let attr = wh.col_ref("DIM", "Name").unwrap();
+        let dict = wh.column(attr).dict().unwrap();
+        let sel = Selection::by_codes(
+            path,
+            attr,
+            vec![dict.code_of("Widget").unwrap(), dict.code_of("Gadget").unwrap()],
+        );
+        assert_eq!(sel.eval(&wh, &idx, fact).len(), 4);
+    }
+
+    #[test]
+    fn row_mapper_follows_joins() {
+        let wh = snowflake();
+        let idx = JoinIndex::build(&wh);
+        let fact = wh.schema().fact_table();
+        let outer = wh.table_id("OUTER").unwrap();
+        let path = paths_between(wh.schema(), fact, outer, 4).remove(0);
+        let mapping = idx.row_mapper(&wh, fact, &path);
+        assert_eq!(mapping.as_ref(), &vec![Some(0), Some(0), Some(1), Some(1)]);
+        // Second call hits the cache and returns the same Arc.
+        let again = idx.row_mapper(&wh, fact, &path);
+        assert!(Arc::ptr_eq(&mapping, &again));
+    }
+
+    #[test]
+    fn empty_selection_yields_empty_set() {
+        let wh = snowflake();
+        let idx = JoinIndex::build(&wh);
+        let fact = wh.schema().fact_table();
+        let dim = wh.table_id("DIM").unwrap();
+        let path = paths_between(wh.schema(), fact, dim, 4).remove(0);
+        let attr = wh.col_ref("DIM", "Name").unwrap();
+        let sel = Selection::by_codes(path, attr, vec![]);
+        assert!(sel.eval(&wh, &idx, fact).is_empty());
+    }
+}

@@ -1,0 +1,27 @@
+//! Virtual documents: one per distinct attribute instance.
+//!
+//! The paper (§3) indexes a conceptual relation `(TabName, AttrID,
+//! Document)` where each *distinct attribute value* is a virtual document —
+//! explicitly not tuple-level indexing, so that `PRODUCT_A{Product=ABC}`
+//! and `PRODUCT_B{Category=ABC}` stay distinguishable interpretations.
+
+use std::sync::Arc;
+
+use kdap_warehouse::ColRef;
+
+/// Identifier of a virtual document within a [`crate::TextIndex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DocId(pub u32);
+
+/// Metadata of one virtual document (attribute instance).
+#[derive(Debug, Clone)]
+pub struct DocMeta {
+    /// The attribute domain this instance belongs to (`TabName`, `AttrID`).
+    pub attr: ColRef,
+    /// Dictionary code of the value within its column.
+    pub code: u32,
+    /// The raw attribute value text.
+    pub text: Arc<str>,
+    /// Token count (document length for length normalization).
+    pub len: u32,
+}

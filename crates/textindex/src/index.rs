@@ -1,0 +1,265 @@
+//! The inverted index over attribute-instance virtual documents.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use kdap_warehouse::{ColRef, Warehouse};
+
+use crate::doc::{DocId, DocMeta};
+use crate::stemmer::stem;
+use crate::tokenizer::tokenize;
+
+/// One posting: a document and the positions of the term inside it.
+#[derive(Debug, Clone)]
+pub struct Posting {
+    /// Document id.
+    pub doc: u32,
+    /// Token positions of the term inside the document (sorted).
+    pub positions: Vec<u32>,
+}
+
+/// Full-text index over every searchable attribute domain of a warehouse.
+///
+/// Terms are Porter-stemmed. A raw (unstemmed) vocabulary is kept alongside
+/// to support prefix/partial matching (§3: "partial matches and stemming").
+#[derive(Debug, Default)]
+pub struct TextIndex {
+    pub(crate) docs: Vec<DocMeta>,
+    /// Stemmed term → term id.
+    pub(crate) terms: BTreeMap<String, u32>,
+    /// Raw token → stemmed term ids it maps to (almost always one).
+    pub(crate) raw_vocab: BTreeMap<String, Vec<u32>>,
+    pub(crate) postings: Vec<Vec<Posting>>,
+}
+
+impl TextIndex {
+    /// Indexes every distinct value of every searchable column of `wh`.
+    pub fn build(wh: &Warehouse) -> Self {
+        let mut index = TextIndex::default();
+        for (attr, column) in wh.searchable_columns() {
+            let dict = column.dict().expect("searchable columns are strings");
+            for (code, text) in dict.iter() {
+                index.add_document(attr, code, text.clone());
+            }
+        }
+        index
+    }
+
+    /// Builds an index from explicit documents (used in tests).
+    pub fn from_documents(docs: impl IntoIterator<Item = (ColRef, u32, Arc<str>)>) -> Self {
+        let mut index = TextIndex::default();
+        for (attr, code, text) in docs {
+            index.add_document(attr, code, text);
+        }
+        index
+    }
+
+    fn add_document(&mut self, attr: ColRef, code: u32, text: Arc<str>) {
+        let doc_id = self.docs.len() as u32;
+        let tokens = tokenize(&text);
+        self.docs.push(DocMeta {
+            attr,
+            code,
+            text,
+            len: tokens.len() as u32,
+        });
+        for tok in tokens {
+            let stemmed = stem(&tok.text);
+            let next_id = self.terms.len() as u32;
+            let term_id = *self.terms.entry(stemmed).or_insert(next_id);
+            if term_id as usize == self.postings.len() {
+                self.postings.push(Vec::new());
+            }
+            let plist = &mut self.postings[term_id as usize];
+            match plist.last_mut() {
+                Some(p) if p.doc == doc_id => p.positions.push(tok.position),
+                _ => plist.push(Posting {
+                    doc: doc_id,
+                    positions: vec![tok.position],
+                }),
+            }
+            let raw_ids = self.raw_vocab.entry(tok.text).or_default();
+            if !raw_ids.contains(&term_id) {
+                raw_ids.push(term_id);
+            }
+        }
+    }
+
+    /// Number of virtual documents.
+    pub fn n_docs(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Number of distinct (stemmed) terms.
+    pub fn n_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Document metadata.
+    pub fn doc(&self, id: DocId) -> &DocMeta {
+        &self.docs[id.0 as usize]
+    }
+
+    /// Looks up a stemmed term id.
+    pub(crate) fn term_id(&self, stemmed: &str) -> Option<u32> {
+        self.terms.get(stemmed).copied()
+    }
+
+    /// Document frequency of a term.
+    pub(crate) fn df(&self, term: u32) -> usize {
+        self.postings[term as usize].len()
+    }
+
+    /// Raw-vocabulary terms starting with `prefix`, up to `limit`,
+    /// excluding the exact raw token itself.
+    pub(crate) fn prefix_expansions(&self, prefix: &str, limit: usize) -> Vec<u32> {
+        let mut out = Vec::new();
+        for (raw, ids) in self.raw_vocab.range(prefix.to_string()..) {
+            if !raw.starts_with(prefix) {
+                break;
+            }
+            if raw == prefix {
+                continue;
+            }
+            for &id in ids {
+                if !out.contains(&id) {
+                    out.push(id);
+                    if out.len() >= limit {
+                        return out;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// A rough byte-size estimate (paper §6.1 reports ~5 MB offline index).
+    pub fn approx_bytes(&self) -> usize {
+        let mut total = 0usize;
+        for d in &self.docs {
+            total += std::mem::size_of::<DocMeta>() + d.text.len();
+        }
+        for t in self.terms.keys() {
+            total += t.len() + 12;
+        }
+        for (t, ids) in &self.raw_vocab {
+            total += t.len() + 12 + ids.len() * 4;
+        }
+        for plist in &self.postings {
+            total += 24;
+            for p in plist {
+                total += 8 + p.positions.len() * 4;
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdap_warehouse::TableId;
+
+    fn attr(t: u32, c: u32) -> ColRef {
+        ColRef::new(TableId(t), c)
+    }
+
+    fn sample() -> TextIndex {
+        TextIndex::from_documents(vec![
+            (attr(0, 1), 0, Arc::from("Mountain Bikes")),
+            (attr(0, 1), 1, Arc::from("Road Bikes")),
+            (attr(0, 2), 0, Arc::from("Mountain-200 Black")),
+            (attr(1, 0), 0, Arc::from("California")),
+            (attr(1, 1), 0, Arc::from("345 California Street")),
+        ])
+    }
+
+    #[test]
+    fn builds_documents_and_terms() {
+        let idx = sample();
+        assert_eq!(idx.n_docs(), 5);
+        // mountain, bike, road, 200, black, california, 345, street
+        assert_eq!(idx.n_terms(), 8);
+        assert_eq!(idx.doc(DocId(0)).len, 2);
+        assert_eq!(idx.doc(DocId(4)).len, 3);
+    }
+
+    #[test]
+    fn stemming_merges_singular_plural() {
+        let idx = sample();
+        // "Bikes" is indexed under the stem "bike".
+        let tid = idx.term_id("bike").unwrap();
+        assert_eq!(idx.df(tid), 2);
+        assert!(idx.term_id("bikes").is_none());
+    }
+
+    #[test]
+    fn positions_recorded() {
+        let idx = sample();
+        let tid = idx.term_id("bike").unwrap();
+        let plist = &idx.postings[tid as usize];
+        assert_eq!(plist[0].doc, 0);
+        assert_eq!(plist[0].positions, vec![1]);
+    }
+
+    #[test]
+    fn repeated_term_in_one_doc_collapses_to_one_posting() {
+        let idx = TextIndex::from_documents(vec![(
+            attr(0, 0),
+            0,
+            Arc::from("bike bike bike"),
+        )]);
+        let tid = idx.term_id("bike").unwrap();
+        assert_eq!(idx.postings[tid as usize].len(), 1);
+        assert_eq!(idx.postings[tid as usize][0].positions.len(), 3);
+    }
+
+    #[test]
+    fn prefix_expansion_respects_limit_and_excludes_exact() {
+        let idx = sample();
+        let exp = idx.prefix_expansions("cal", 10);
+        // "california" from both docs → one stemmed term.
+        assert_eq!(exp.len(), 1);
+        let exp = idx.prefix_expansions("california", 10);
+        assert!(exp.is_empty(), "exact token excluded");
+        let exp = idx.prefix_expansions("zzz", 10);
+        assert!(exp.is_empty());
+    }
+
+    #[test]
+    fn approx_bytes_positive() {
+        assert!(sample().approx_bytes() > 0);
+    }
+
+    #[test]
+    fn build_from_warehouse() {
+        use kdap_warehouse::{ValueType, WarehouseBuilder};
+        let mut b = WarehouseBuilder::new();
+        b.table(
+            "F",
+            &[("Id", ValueType::Int, false), ("PKey", ValueType::Int, false)],
+        )
+        .unwrap();
+        b.table(
+            "P",
+            &[
+                ("PKey", ValueType::Int, false),
+                ("Name", ValueType::Str, true),
+                ("Internal", ValueType::Str, false),
+            ],
+        )
+        .unwrap();
+        b.row("P", vec![1i64.into(), "LCD Projector".into(), "hidden".into()])
+            .unwrap();
+        b.row("F", vec![1i64.into(), 1i64.into()]).unwrap();
+        b.edge("F.PKey", "P.PKey", None, Some("Product")).unwrap();
+        b.dimension("Product", &["P"], vec![], vec![]).unwrap();
+        b.fact("F").unwrap();
+        let wh = b.finish().unwrap();
+        let idx = TextIndex::build(&wh);
+        // Only the searchable column is indexed.
+        assert_eq!(idx.n_docs(), 1);
+        assert!(idx.term_id("lcd").is_some());
+        assert!(idx.term_id("hidden").is_none());
+    }
+}

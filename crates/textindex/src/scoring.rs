@@ -1,0 +1,140 @@
+//! Document–query similarity (Lucene "classic" TF-IDF, normalized).
+//!
+//! The paper computes `Sim(h.val, q)` with "the state-of-the-art
+//! document-query similarity function in IR, which is implemented in …
+//! stand-alone text search engines (e.g. Lucene)" (§4.4). We implement
+//! Lucene's classic similarity — `coord · Σ_t √tf(t,d) · idf(t)² ·
+//! lengthNorm(d)` — and additionally normalize by the score of a *perfect*
+//! document (a document that is exactly the query), so that scores live in
+//! `(0, 1]`. Exact matches of the whole query score 1; partial matches,
+//! longer documents, and common terms score lower. This keeps hit scores
+//! comparable across keywords, which the star-net ranking formula (§4.4)
+//! aggregates.
+
+/// Inverse document frequency: `1 + ln(N / (df + 1))`.
+pub fn idf(n_docs: usize, df: usize) -> f64 {
+    1.0 + ((n_docs as f64) / (df as f64 + 1.0)).ln()
+}
+
+/// One matched query term inside a document.
+#[derive(Debug, Clone, Copy)]
+pub struct TermMatch {
+    /// Term frequency inside the document.
+    pub tf: u32,
+    /// The term's idf.
+    pub idf: f64,
+    /// Multiplicative penalty for inexact (prefix) matches, 1.0 for exact.
+    pub penalty: f64,
+}
+
+/// Scores a document against a query.
+///
+/// * `matches` — the query terms found in the document.
+/// * `doc_len` — document length in tokens.
+/// * `query_idfs` — idf of every query term (matched or not), used for the
+///   coord factor and the perfect-document normalization.
+pub fn score(matches: &[TermMatch], doc_len: u32, query_idfs: &[f64]) -> f64 {
+    if matches.is_empty() || doc_len == 0 || query_idfs.is_empty() {
+        return 0.0;
+    }
+    let coord = matches.len() as f64 / query_idfs.len() as f64;
+    let norm = 1.0 / (doc_len as f64).sqrt();
+    let raw: f64 = matches
+        .iter()
+        .map(|m| (m.tf as f64).sqrt() * m.idf * m.idf * m.penalty)
+        .sum::<f64>()
+        * norm
+        * coord;
+    let perfect: f64 = query_idfs.iter().map(|i| i * i).sum::<f64>()
+        / (query_idfs.len() as f64).sqrt();
+    if perfect <= 0.0 {
+        0.0
+    } else {
+        raw / perfect
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(tf: u32, idf: f64) -> TermMatch {
+        TermMatch {
+            tf,
+            idf,
+            penalty: 1.0,
+        }
+    }
+
+    #[test]
+    fn idf_decreases_with_document_frequency() {
+        assert!(idf(1000, 1) > idf(1000, 10));
+        assert!(idf(1000, 10) > idf(1000, 999));
+    }
+
+    #[test]
+    fn perfect_single_term_doc_scores_one() {
+        let i = idf(100, 3);
+        let s = score(&[m(1, i)], 1, &[i]);
+        assert!((s - 1.0).abs() < 1e-9, "got {s}");
+    }
+
+    #[test]
+    fn perfect_two_term_doc_scores_one() {
+        let i1 = idf(100, 3);
+        let i2 = idf(100, 7);
+        let s = score(&[m(1, i1), m(1, i2)], 2, &[i1, i2]);
+        assert!((s - 1.0).abs() < 1e-9, "got {s}");
+    }
+
+    #[test]
+    fn longer_documents_score_lower() {
+        let i = idf(100, 3);
+        let short = score(&[m(1, i)], 1, &[i]);
+        let long = score(&[m(1, i)], 5, &[i]);
+        assert!(short > long);
+    }
+
+    #[test]
+    fn partial_match_scores_lower_than_full() {
+        let i1 = idf(100, 3);
+        let i2 = idf(100, 3);
+        let full = score(&[m(1, i1), m(1, i2)], 2, &[i1, i2]);
+        let partial = score(&[m(1, i1)], 2, &[i1, i2]);
+        assert!(full > partial);
+    }
+
+    #[test]
+    fn scores_never_exceed_one() {
+        // Repeated terms cannot push the score above 1: √tf ≤ √dl.
+        let i = idf(100, 1);
+        for (tf, dl) in [(1u32, 1u32), (3, 3), (5, 9), (9, 9)] {
+            let s = score(&[m(tf, i)], dl, &[i]);
+            assert!(s <= 1.0 + 1e-9, "tf={tf} dl={dl} s={s}");
+        }
+    }
+
+    #[test]
+    fn prefix_penalty_reduces_score() {
+        let i = idf(100, 3);
+        let exact = score(&[m(1, i)], 1, &[i]);
+        let pfx = score(
+            &[TermMatch {
+                tf: 1,
+                idf: i,
+                penalty: 0.8,
+            }],
+            1,
+            &[i],
+        );
+        assert!((pfx / exact - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_inputs_score_zero() {
+        let i = idf(10, 1);
+        assert_eq!(score(&[], 3, &[i]), 0.0);
+        assert_eq!(score(&[m(1, i)], 0, &[i]), 0.0);
+        assert_eq!(score(&[m(1, i)], 3, &[]), 0.0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Snippet rendering for large textual attributes.
+//!
+//! "Content summaries can be rendered as snippets when the textual
+//! attribute is big (e.g. product description)" — paper §6.2. Given an
+//! attribute value and the query keywords, picks the token window with the
+//! densest keyword coverage, truncates around it, and highlights matches.
+
+use crate::stemmer::stem;
+use crate::tokenizer::tokenize_terms;
+
+/// Renders a snippet of `text` around the best window for `keywords`.
+///
+/// * Matched tokens (by stem) are wrapped in `[` `]`.
+/// * At most `max_tokens` tokens are kept, centered on the window with
+///   the most distinct keyword matches; elisions are marked with `…`.
+pub fn snippet(text: &str, keywords: &[&str], max_tokens: usize) -> String {
+    let max_tokens = max_tokens.max(1);
+    // Work on whitespace-separated words so the original punctuation and
+    // casing survive in the output.
+    let words: Vec<&str> = text.split_whitespace().collect();
+    if words.is_empty() {
+        return String::new();
+    }
+    let stems: Vec<String> = keywords
+        .iter()
+        .flat_map(|k| tokenize_terms(k))
+        .map(|t| stem(&t))
+        .collect();
+    let word_matches: Vec<bool> = words
+        .iter()
+        .map(|w| {
+            tokenize_terms(w)
+                .iter()
+                .any(|t| stems.contains(&stem(t)))
+        })
+        .collect();
+
+    // Slide a window of max_tokens words; maximize matches, earliest wins.
+    let window = max_tokens.min(words.len());
+    let mut best_start = 0usize;
+    let mut best_count = usize::MAX; // sentinel replaced on first pass
+    for start in 0..=(words.len() - window) {
+        let count = word_matches[start..start + window]
+            .iter()
+            .filter(|&&m| m)
+            .count();
+        if best_count == usize::MAX || count > best_count {
+            best_count = count;
+            best_start = start;
+        }
+    }
+
+    let mut out = String::new();
+    if best_start > 0 {
+        out.push_str("… ");
+    }
+    for (i, word) in words[best_start..best_start + window].iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        if word_matches[best_start + i] {
+            out.push('[');
+            out.push_str(word);
+            out.push(']');
+        } else {
+            out.push_str(word);
+        }
+    }
+    if best_start + window < words.len() {
+        out.push_str(" …");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_text_passes_through_highlighted() {
+        let s = snippet("Mountain Bikes", &["mountain"], 10);
+        assert_eq!(s, "[Mountain] Bikes");
+    }
+
+    #[test]
+    fn stemmed_matches_highlight() {
+        // Keyword "bike" highlights "Bikes".
+        let s = snippet("Touring Bikes", &["bike"], 10);
+        assert_eq!(s, "Touring [Bikes]");
+    }
+
+    #[test]
+    fn long_text_is_windowed_around_matches() {
+        let text = "This premium product is designed for serious riders who demand \
+                    performance with a lightweight mountain frame that absorbs bumps";
+        let s = snippet(text, &["mountain", "frame"], 5);
+        assert!(s.contains("[mountain]"));
+        assert!(s.contains("[frame]"));
+        assert!(s.starts_with("… "), "left elision: {s}");
+        assert!(s.split_whitespace().count() <= 7, "window + ellipses: {s}");
+    }
+
+    #[test]
+    fn no_matches_yields_prefix_window() {
+        let s = snippet("alpha beta gamma delta epsilon", &["zzz"], 3);
+        assert_eq!(s, "alpha beta gamma …");
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(snippet("", &["x"], 5), "");
+        assert_eq!(snippet("hello world", &[], 5), "hello world");
+    }
+
+    #[test]
+    fn punctuation_is_preserved() {
+        let s = snippet("Flat Panel(LCD) display", &["lcd"], 10);
+        assert_eq!(s, "Flat [Panel(LCD)] display");
+    }
+}

@@ -1,0 +1,398 @@
+//! Porter stemming algorithm (M.F. Porter, 1980).
+//!
+//! The paper's text index provides "partial matches and stemming over OLAP
+//! data" (§3); we implement the classic Porter stemmer, the same algorithm
+//! Lucene's `PorterStemFilter` uses.
+//!
+//! The implementation operates on a lowercase ASCII byte buffer. Non-ASCII
+//! or non-alphabetic input is returned unchanged (our tokenizer only emits
+//! ASCII alphanumerics, and words containing digits are not stemmed).
+
+/// Stems one lowercase token. Returns the stem as a new `String`.
+pub fn stem(word: &str) -> String {
+    if word.len() <= 2 || !word.bytes().all(|b| b.is_ascii_lowercase()) {
+        return word.to_string();
+    }
+    let mut s = Stemmer {
+        b: word.as_bytes().to_vec(),
+    };
+    s.step1a();
+    s.step1b();
+    s.step1c();
+    s.step2();
+    s.step3();
+    s.step4();
+    s.step5a();
+    s.step5b();
+    // The buffer stays ASCII throughout.
+    String::from_utf8(s.b).expect("stemmer buffer is ASCII")
+}
+
+struct Stemmer {
+    b: Vec<u8>,
+}
+
+impl Stemmer {
+    /// Is the character at `i` a consonant?
+    fn is_consonant(&self, i: usize) -> bool {
+        match self.b[i] {
+            b'a' | b'e' | b'i' | b'o' | b'u' => false,
+            b'y' => {
+                if i == 0 {
+                    true
+                } else {
+                    !self.is_consonant(i - 1)
+                }
+            }
+            _ => true,
+        }
+    }
+
+    /// The measure `m` of the prefix `b[..=j]`: the number of VC sequences.
+    fn measure(&self, j: usize) -> usize {
+        let mut n = 0;
+        let mut i = 0;
+        // Skip the initial consonant run.
+        loop {
+            if i > j {
+                return n;
+            }
+            if !self.is_consonant(i) {
+                break;
+            }
+            i += 1;
+        }
+        i += 1;
+        loop {
+            // Skip vowels.
+            loop {
+                if i > j {
+                    return n;
+                }
+                if self.is_consonant(i) {
+                    break;
+                }
+                i += 1;
+            }
+            i += 1;
+            n += 1;
+            // Skip consonants.
+            loop {
+                if i > j {
+                    return n;
+                }
+                if !self.is_consonant(i) {
+                    break;
+                }
+                i += 1;
+            }
+            i += 1;
+        }
+    }
+
+    /// Measure of the part of the buffer preceding the suffix of length
+    /// `suffix_len`.
+    fn m_before(&self, suffix_len: usize) -> usize {
+        let stem_len = self.b.len() - suffix_len;
+        if stem_len == 0 {
+            return 0;
+        }
+        self.measure(stem_len - 1)
+    }
+
+    /// Does the stem before the suffix contain a vowel?
+    fn has_vowel_before(&self, suffix_len: usize) -> bool {
+        let stem_len = self.b.len() - suffix_len;
+        (0..stem_len).any(|i| !self.is_consonant(i))
+    }
+
+    /// Does the buffer end in a double consonant?
+    fn ends_double_consonant(&self) -> bool {
+        let n = self.b.len();
+        n >= 2 && self.b[n - 1] == self.b[n - 2] && self.is_consonant(n - 1)
+    }
+
+    /// `*o`: stem ends consonant-vowel-consonant where the final consonant
+    /// is not w, x or y.
+    fn ends_cvc(&self, suffix_len: usize) -> bool {
+        let n = self.b.len() - suffix_len;
+        if n < 3 {
+            return false;
+        }
+        let last = self.b[n - 1];
+        self.is_consonant(n - 3)
+            && !self.is_consonant(n - 2)
+            && self.is_consonant(n - 1)
+            && !matches!(last, b'w' | b'x' | b'y')
+    }
+
+    fn ends_with(&self, suffix: &str) -> bool {
+        self.b.ends_with(suffix.as_bytes())
+    }
+
+    fn replace_suffix(&mut self, suffix: &str, replacement: &str) {
+        let keep = self.b.len() - suffix.len();
+        self.b.truncate(keep);
+        self.b.extend_from_slice(replacement.as_bytes());
+    }
+
+    /// If the word ends with `suffix` and `m_before > threshold`, replace
+    /// it. Returns true when `suffix` matched (regardless of replacement).
+    fn rule(&mut self, suffix: &str, replacement: &str, m_threshold: usize) -> bool {
+        if self.ends_with(suffix) && self.b.len() > suffix.len() {
+            if self.m_before(suffix.len()) > m_threshold {
+                self.replace_suffix(suffix, replacement);
+            }
+            return true;
+        }
+        false
+    }
+
+    fn step1a(&mut self) {
+        if self.ends_with("sses") {
+            self.replace_suffix("sses", "ss");
+        } else if self.ends_with("ies") {
+            self.replace_suffix("ies", "i");
+        } else if self.ends_with("ss") {
+            // keep
+        } else if self.ends_with("s") {
+            self.replace_suffix("s", "");
+        }
+    }
+
+    fn step1b(&mut self) {
+        if self.ends_with("eed") {
+            if self.m_before(3) > 0 {
+                self.replace_suffix("eed", "ee");
+            }
+            return;
+        }
+        let fired = if self.ends_with("ed") && self.has_vowel_before(2) {
+            self.replace_suffix("ed", "");
+            true
+        } else if self.ends_with("ing") && self.has_vowel_before(3) {
+            self.replace_suffix("ing", "");
+            true
+        } else {
+            false
+        };
+        if fired {
+            if self.ends_with("at") {
+                self.replace_suffix("at", "ate");
+            } else if self.ends_with("bl") {
+                self.replace_suffix("bl", "ble");
+            } else if self.ends_with("iz") {
+                self.replace_suffix("iz", "ize");
+            } else if self.ends_double_consonant() {
+                let last = self.b[self.b.len() - 1];
+                if !matches!(last, b'l' | b's' | b'z') {
+                    self.b.pop();
+                }
+            } else if self.m_before(0) == 1 && self.ends_cvc(0) {
+                self.b.push(b'e');
+            }
+        }
+    }
+
+    fn step1c(&mut self) {
+        if self.ends_with("y") && self.has_vowel_before(1) {
+            let n = self.b.len();
+            self.b[n - 1] = b'i';
+        }
+    }
+
+    fn step2(&mut self) {
+        const RULES: &[(&str, &str)] = &[
+            ("ational", "ate"),
+            ("tional", "tion"),
+            ("enci", "ence"),
+            ("anci", "ance"),
+            ("izer", "ize"),
+            ("abli", "able"),
+            ("alli", "al"),
+            ("entli", "ent"),
+            ("eli", "e"),
+            ("ousli", "ous"),
+            ("ization", "ize"),
+            ("ation", "ate"),
+            ("ator", "ate"),
+            ("alism", "al"),
+            ("iveness", "ive"),
+            ("fulness", "ful"),
+            ("ousness", "ous"),
+            ("aliti", "al"),
+            ("iviti", "ive"),
+            ("biliti", "ble"),
+        ];
+        for (suffix, replacement) in RULES {
+            if self.rule(suffix, replacement, 0) {
+                return;
+            }
+        }
+    }
+
+    fn step3(&mut self) {
+        const RULES: &[(&str, &str)] = &[
+            ("icate", "ic"),
+            ("ative", ""),
+            ("alize", "al"),
+            ("iciti", "ic"),
+            ("ical", "ic"),
+            ("ful", ""),
+            ("ness", ""),
+        ];
+        for (suffix, replacement) in RULES {
+            if self.rule(suffix, replacement, 0) {
+                return;
+            }
+        }
+    }
+
+    fn step4(&mut self) {
+        const RULES: &[&str] = &[
+            "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement", "ment", "ent",
+        ];
+        for suffix in RULES {
+            if self.ends_with(suffix) && self.b.len() > suffix.len() {
+                if self.m_before(suffix.len()) > 1 {
+                    self.replace_suffix(suffix, "");
+                }
+                return;
+            }
+        }
+        // (m>1 and (*S or *T)) ION ->
+        if self.ends_with("ion") && self.b.len() > 3 {
+            let before = self.b[self.b.len() - 4];
+            if self.m_before(3) > 1 && matches!(before, b's' | b't') {
+                self.replace_suffix("ion", "");
+            }
+            return;
+        }
+        const TAIL: &[&str] = &["ou", "ism", "ate", "iti", "ous", "ive", "ize"];
+        for suffix in TAIL {
+            if self.ends_with(suffix) && self.b.len() > suffix.len() {
+                if self.m_before(suffix.len()) > 1 {
+                    self.replace_suffix(suffix, "");
+                }
+                return;
+            }
+        }
+    }
+
+    fn step5a(&mut self) {
+        if self.ends_with("e") {
+            let m = self.m_before(1);
+            if m > 1 || (m == 1 && !self.ends_cvc(1)) {
+                self.b.pop();
+            }
+        }
+    }
+
+    fn step5b(&mut self) {
+        if self.ends_double_consonant()
+            && self.b[self.b.len() - 1] == b'l'
+            && self.measure(self.b.len() - 1) > 1
+        {
+            self.b.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Classic examples from Porter's paper.
+    #[test]
+    fn porter_paper_examples() {
+        let cases = [
+            ("caresses", "caress"),
+            ("ponies", "poni"),
+            ("ties", "ti"),
+            ("caress", "caress"),
+            ("cats", "cat"),
+            ("feed", "feed"),
+            // step1b gives "agree"; step5a then drops the final e.
+            ("agreed", "agre"),
+            ("plastered", "plaster"),
+            ("bled", "bled"),
+            ("motoring", "motor"),
+            ("sing", "sing"),
+            ("conflated", "conflat"),
+            ("troubled", "troubl"),
+            ("sized", "size"),
+            ("hopping", "hop"),
+            ("tanned", "tan"),
+            ("falling", "fall"),
+            ("hissing", "hiss"),
+            ("fizzed", "fizz"),
+            ("failing", "fail"),
+            ("filing", "file"),
+            ("happy", "happi"),
+            ("sky", "sky"),
+            ("relational", "relat"),
+            ("conditional", "condit"),
+            ("rational", "ration"),
+            ("valenci", "valenc"),
+            ("digitizer", "digit"),
+            ("operator", "oper"),
+            ("feudalism", "feudal"),
+            ("decisiveness", "decis"),
+            ("hopefulness", "hope"),
+            ("formaliti", "formal"),
+            ("triplicate", "triplic"),
+            ("formative", "form"),
+            ("formalize", "formal"),
+            ("electrical", "electr"),
+            ("hopeful", "hope"),
+            ("goodness", "good"),
+            ("revival", "reviv"),
+            ("allowance", "allow"),
+            ("inference", "infer"),
+            ("airliner", "airlin"),
+            ("adjustment", "adjust"),
+            ("dependent", "depend"),
+            ("adoption", "adopt"),
+            ("activate", "activ"),
+            ("angulariti", "angular"),
+            ("homologous", "homolog"),
+            ("effective", "effect"),
+            ("probate", "probat"),
+            ("rate", "rate"),
+            ("cease", "ceas"),
+            ("controll", "control"),
+            ("roll", "roll"),
+        ];
+        for (input, expected) in cases {
+            assert_eq!(stem(input), expected, "stem({input})");
+        }
+    }
+
+    #[test]
+    fn domain_vocabulary() {
+        // Words from the AdventureWorks/EBiz domain the experiments use.
+        assert_eq!(stem("bikes"), "bike");
+        assert_eq!(stem("accessories"), stem("accessori"));
+        assert_eq!(stem("mountains"), "mountain");
+        assert_eq!(stem("clothing"), stem("clothe")); // both -> "cloth"
+        assert_eq!(stem("promotions"), stem("promotion"));
+        assert_eq!(stem("tires"), stem("tire"));
+    }
+
+    #[test]
+    fn short_and_non_alpha_words_pass_through() {
+        assert_eq!(stem("tv"), "tv");
+        assert_eq!(stem("us"), "us");
+        assert_eq!(stem("sport100"), "sport100");
+        assert_eq!(stem("2001"), "2001");
+        assert_eq!(stem(""), "");
+    }
+
+    #[test]
+    fn stemming_is_idempotent_on_common_words() {
+        for w in ["mountain", "bike", "california", "columbus", "panel"] {
+            let once = stem(w);
+            assert_eq!(stem(&once), once, "idempotent for {w}");
+        }
+    }
+}

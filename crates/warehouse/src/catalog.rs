@@ -1,0 +1,191 @@
+//! The [`Warehouse`]: tables plus schema, with name-resolution helpers.
+
+use crate::column::Column;
+use crate::error::WarehouseError;
+use crate::schema::{ColRef, Measure, MeasureExpr, Schema, TableId};
+use crate::table::Table;
+
+/// A fully-built, immutable star/snowflake warehouse.
+#[derive(Debug, Clone)]
+pub struct Warehouse {
+    pub(crate) tables: Vec<Table>,
+    pub(crate) schema: Schema,
+}
+
+impl Warehouse {
+    /// All tables.
+    pub fn tables(&self) -> &[Table] {
+        &self.tables
+    }
+
+    /// Table by id.
+    pub fn table(&self, id: TableId) -> &Table {
+        &self.tables[id.0 as usize]
+    }
+
+    /// Resolves a table name.
+    pub fn table_id(&self, name: &str) -> Result<TableId, WarehouseError> {
+        self.tables
+            .iter()
+            .position(|t| t.name() == name)
+            .map(|i| TableId(i as u32))
+            .ok_or_else(|| WarehouseError::UnknownTable(name.to_string()))
+    }
+
+    /// Resolves `table.column` names to a [`ColRef`].
+    pub fn col_ref(&self, table: &str, column: &str) -> Result<ColRef, WarehouseError> {
+        let tid = self.table_id(table)?;
+        let cidx = self.tables[tid.0 as usize].col_index(column).ok_or_else(|| {
+            WarehouseError::UnknownColumn {
+                table: table.to_string(),
+                column: column.to_string(),
+            }
+        })?;
+        Ok(ColRef::new(tid, cidx as u32))
+    }
+
+    /// The column behind a [`ColRef`].
+    pub fn column(&self, r: ColRef) -> &Column {
+        self.tables[r.table.0 as usize].column(r.col as usize)
+    }
+
+    /// Pretty `Table.Column` name of a [`ColRef`].
+    pub fn col_name(&self, r: ColRef) -> String {
+        let t = self.table(r.table);
+        format!("{}.{}", t.name(), t.column(r.col as usize).name())
+    }
+
+    /// Schema metadata.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Total fact-table row count.
+    pub fn fact_rows(&self) -> usize {
+        self.table(self.schema.fact_table()).nrows()
+    }
+
+    /// Evaluates a measure for one fact row; NULL operands yield `None`.
+    pub fn eval_measure(&self, measure: &Measure, fact_row: usize) -> Option<f64> {
+        match &measure.expr {
+            MeasureExpr::Column(c) => self.column(*c).get_float(fact_row),
+            MeasureExpr::Product(a, b) => {
+                let x = self.column(*a).get_float(fact_row)?;
+                let y = self.column(*b).get_float(fact_row)?;
+                Some(x * y)
+            }
+        }
+    }
+
+    /// Iterates every full-text searchable column as `(ColRef, &Column)`.
+    pub fn searchable_columns(&self) -> impl Iterator<Item = (ColRef, &Column)> {
+        self.tables.iter().enumerate().flat_map(|(ti, t)| {
+            t.columns()
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.is_searchable())
+                .map(move |(ci, c)| (ColRef::new(TableId(ti as u32), ci as u32), c))
+        })
+    }
+
+    /// A rough byte-size estimate of the warehouse (for reporting, like the
+    /// paper's "the full-text index takes around 5 MB").
+    pub fn approx_bytes(&self) -> usize {
+        use crate::column::ColumnData;
+        let mut total = 0usize;
+        for t in &self.tables {
+            for c in t.columns() {
+                total += match c.data() {
+                    ColumnData::Int(v) => v.len() * std::mem::size_of::<Option<i64>>(),
+                    ColumnData::Float(v) => v.len() * std::mem::size_of::<Option<f64>>(),
+                    ColumnData::Str { dict, codes } => {
+                        codes.len() * std::mem::size_of::<Option<u32>>()
+                            + dict.iter().map(|(_, s)| s.len() + 16).sum::<usize>()
+                    }
+                };
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::WarehouseBuilder;
+    use crate::value::ValueType;
+
+    fn tiny() -> crate::catalog::Warehouse {
+        let mut b = WarehouseBuilder::new();
+        b.table(
+            "FACT",
+            &[
+                ("Id", ValueType::Int, false),
+                ("ProductKey", ValueType::Int, false),
+                ("Qty", ValueType::Int, false),
+                ("Price", ValueType::Float, false),
+            ],
+        )
+        .unwrap();
+        b.table(
+            "PRODUCT",
+            &[
+                ("ProductKey", ValueType::Int, false),
+                ("Name", ValueType::Str, true),
+            ],
+        )
+        .unwrap();
+        b.rows(
+            "PRODUCT",
+            vec![
+                vec![1i64.into(), "Widget".into()],
+                vec![2i64.into(), "Gadget".into()],
+            ],
+        )
+        .unwrap();
+        b.rows(
+            "FACT",
+            vec![
+                vec![1i64.into(), 1i64.into(), 2i64.into(), 10.0.into()],
+                vec![2i64.into(), 2i64.into(), 3i64.into(), 5.0.into()],
+            ],
+        )
+        .unwrap();
+        b.edge("FACT.ProductKey", "PRODUCT.ProductKey", None, Some("Product"))
+            .unwrap();
+        b.dimension("Product", &["PRODUCT"], vec![], vec![]).unwrap();
+        b.fact("FACT").unwrap();
+        b.measure_product("Revenue", "FACT.Price", "FACT.Qty").unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn name_resolution() {
+        let wh = tiny();
+        assert!(wh.table_id("PRODUCT").is_ok());
+        assert!(wh.table_id("NOPE").is_err());
+        let r = wh.col_ref("PRODUCT", "Name").unwrap();
+        assert_eq!(wh.col_name(r), "PRODUCT.Name");
+        assert!(wh.col_ref("PRODUCT", "Nope").is_err());
+    }
+
+    #[test]
+    fn measure_eval() {
+        let wh = tiny();
+        let m = wh.schema().measure_by_name("Revenue").unwrap().clone();
+        assert_eq!(wh.eval_measure(&m, 0), Some(20.0));
+        assert_eq!(wh.eval_measure(&m, 1), Some(15.0));
+    }
+
+    #[test]
+    fn searchable_column_iteration() {
+        let wh = tiny();
+        let cols: Vec<_> = wh.searchable_columns().collect();
+        assert_eq!(cols.len(), 1);
+        assert_eq!(wh.col_name(cols[0].0), "PRODUCT.Name");
+    }
+
+    #[test]
+    fn approx_bytes_is_positive() {
+        assert!(tiny().approx_bytes() > 0);
+    }
+}

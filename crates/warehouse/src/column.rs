@@ -1,0 +1,318 @@
+//! Columnar storage with dictionary encoding for strings.
+//!
+//! Strings are dictionary-encoded: each column keeps a sorted-insertion
+//! dictionary of distinct values plus a `u32` code per row. This serves two
+//! purposes: (a) compact storage, and (b) the set of distinct attribute
+//! values *is* the set of "virtual documents" that the KDAP text index
+//! indexes (the paper indexes attribute instances, not tuples — §3).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::error::WarehouseError;
+use crate::value::{Value, ValueType};
+
+/// Dictionary of distinct strings for one column.
+#[derive(Debug, Default, Clone)]
+pub struct StrDict {
+    values: Vec<Arc<str>>,
+    lookup: HashMap<Arc<str>, u32>,
+}
+
+impl StrDict {
+    /// Interns `s`, returning its stable code.
+    pub fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&code) = self.lookup.get(s) {
+            return code;
+        }
+        let arc: Arc<str> = Arc::from(s);
+        let code = self.values.len() as u32;
+        self.values.push(arc.clone());
+        self.lookup.insert(arc, code);
+        code
+    }
+
+    /// Looks up the code of a string without interning it.
+    pub fn code_of(&self, s: &str) -> Option<u32> {
+        self.lookup.get(s).copied()
+    }
+
+    /// Returns the string for `code`.
+    pub fn resolve(&self, code: u32) -> Option<&Arc<str>> {
+        self.values.get(code as usize)
+    }
+
+    /// Number of distinct values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the dictionary holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterates `(code, value)` pairs in code order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &Arc<str>)> {
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (i as u32, v))
+    }
+}
+
+/// The physical data of one column.
+#[derive(Debug, Clone)]
+pub enum ColumnData {
+    /// Nullable 64-bit integers.
+    Int(Vec<Option<i64>>),
+    /// Nullable 64-bit floats.
+    Float(Vec<Option<f64>>),
+    /// Dictionary-encoded nullable strings.
+    Str {
+        /// Distinct values of the column.
+        dict: StrDict,
+        /// Per-row dictionary codes.
+        codes: Vec<Option<u32>>,
+    },
+}
+
+/// One named, typed column of a table.
+#[derive(Debug, Clone)]
+pub struct Column {
+    name: String,
+    data: ColumnData,
+    /// Whether the full-text index should index this column's distinct
+    /// values as virtual documents. Only meaningful for `Str` columns.
+    searchable: bool,
+}
+
+impl Column {
+    /// Creates an empty column of the given type.
+    pub fn new(name: impl Into<String>, ty: ValueType, searchable: bool) -> Self {
+        let data = match ty {
+            ValueType::Int => ColumnData::Int(Vec::new()),
+            ValueType::Float => ColumnData::Float(Vec::new()),
+            ValueType::Str => ColumnData::Str {
+                dict: StrDict::default(),
+                codes: Vec::new(),
+            },
+        };
+        Column {
+            name: name.into(),
+            data,
+            searchable,
+        }
+    }
+
+    /// Column name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Column type.
+    pub fn value_type(&self) -> ValueType {
+        match &self.data {
+            ColumnData::Int(_) => ValueType::Int,
+            ColumnData::Float(_) => ValueType::Float,
+            ColumnData::Str { .. } => ValueType::Str,
+        }
+    }
+
+    /// Whether the column participates in full-text search.
+    pub fn is_searchable(&self) -> bool {
+        self.searchable && matches!(self.data, ColumnData::Str { .. })
+    }
+
+    /// Number of rows stored.
+    pub fn len(&self) -> usize {
+        match &self.data {
+            ColumnData::Int(v) => v.len(),
+            ColumnData::Float(v) => v.len(),
+            ColumnData::Str { codes, .. } => codes.len(),
+        }
+    }
+
+    /// True when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends one value, checking the type.
+    pub fn push(&mut self, value: Value) -> Result<(), WarehouseError> {
+        match (&mut self.data, value) {
+            (ColumnData::Int(v), Value::Int(x)) => v.push(Some(x)),
+            (ColumnData::Int(v), Value::Null) => v.push(None),
+            (ColumnData::Float(v), Value::Float(x)) => v.push(Some(x)),
+            // Integers widen silently into float columns; measure data is
+            // frequently generated as integers (quantities).
+            (ColumnData::Float(v), Value::Int(x)) => v.push(Some(x as f64)),
+            (ColumnData::Float(v), Value::Null) => v.push(None),
+            (ColumnData::Str { dict, codes }, Value::Str(s)) => {
+                let code = dict.intern(&s);
+                codes.push(Some(code));
+            }
+            (ColumnData::Str { codes, .. }, Value::Null) => codes.push(None),
+            (_, v) => {
+                return Err(WarehouseError::TypeMismatch {
+                    column: self.name.clone(),
+                    expected: self.value_type(),
+                    got: v.value_type(),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns the value at `row` (NULL when out of bounds is an error by
+    /// contract; callers index within `0..len()`).
+    pub fn get(&self, row: usize) -> Value {
+        match &self.data {
+            ColumnData::Int(v) => v[row].map(Value::Int).unwrap_or(Value::Null),
+            ColumnData::Float(v) => v[row].map(Value::Float).unwrap_or(Value::Null),
+            ColumnData::Str { dict, codes } => match codes[row] {
+                Some(c) => Value::Str(dict.resolve(c).expect("valid code").clone()),
+                None => Value::Null,
+            },
+        }
+    }
+
+    /// Integer value at `row`, if the column is Int and non-null.
+    pub fn get_int(&self, row: usize) -> Option<i64> {
+        match &self.data {
+            ColumnData::Int(v) => v[row],
+            _ => None,
+        }
+    }
+
+    /// Float value at `row` (Int columns widen), if non-null.
+    pub fn get_float(&self, row: usize) -> Option<f64> {
+        match &self.data {
+            ColumnData::Float(v) => v[row],
+            ColumnData::Int(v) => v[row].map(|x| x as f64),
+            _ => None,
+        }
+    }
+
+    /// Dictionary code at `row` for string columns.
+    pub fn get_code(&self, row: usize) -> Option<u32> {
+        match &self.data {
+            ColumnData::Str { codes, .. } => codes[row],
+            _ => None,
+        }
+    }
+
+    /// The string dictionary, for string columns.
+    pub fn dict(&self) -> Option<&StrDict> {
+        match &self.data {
+            ColumnData::Str { dict, .. } => Some(dict),
+            _ => None,
+        }
+    }
+
+    /// Raw access to the physical data.
+    pub fn data(&self) -> &ColumnData {
+        &self.data
+    }
+
+    /// Scans for all row indices whose string code is in `codes`.
+    ///
+    /// `codes` should be small (it comes from a hit group); rows are scanned
+    /// linearly which is the dominant cost either way.
+    pub fn rows_with_codes(&self, wanted: &[u32]) -> Vec<usize> {
+        match &self.data {
+            ColumnData::Str { codes, .. } => {
+                if wanted.len() <= 4 {
+                    codes
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, c)| {
+                            c.filter(|c| wanted.contains(c)).map(|_| i)
+                        })
+                        .collect()
+                } else {
+                    let set: std::collections::HashSet<u32> =
+                        wanted.iter().copied().collect();
+                    codes
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, c)| c.filter(|c| set.contains(c)).map(|_| i))
+                        .collect()
+                }
+            }
+            _ => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dict_interning_is_stable() {
+        let mut d = StrDict::default();
+        let a = d.intern("alpha");
+        let b = d.intern("beta");
+        let a2 = d.intern("alpha");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.resolve(a).unwrap().as_ref(), "alpha");
+        assert_eq!(d.code_of("beta"), Some(b));
+        assert_eq!(d.code_of("gamma"), None);
+    }
+
+    #[test]
+    fn push_and_get_roundtrip() {
+        let mut c = Column::new("city", ValueType::Str, true);
+        c.push(Value::from("Columbus")).unwrap();
+        c.push(Value::Null).unwrap();
+        c.push(Value::from("Seattle")).unwrap();
+        c.push(Value::from("Columbus")).unwrap();
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.get(0).as_str(), Some("Columbus"));
+        assert!(c.get(1).is_null());
+        assert_eq!(c.get_code(0), c.get_code(3));
+        assert_eq!(c.dict().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn type_mismatch_is_rejected() {
+        let mut c = Column::new("qty", ValueType::Int, false);
+        assert!(c.push(Value::from("oops")).is_err());
+        assert!(c.push(Value::Int(3)).is_ok());
+    }
+
+    #[test]
+    fn int_widens_into_float_column() {
+        let mut c = Column::new("price", ValueType::Float, false);
+        c.push(Value::Int(3)).unwrap();
+        c.push(Value::Float(1.5)).unwrap();
+        assert_eq!(c.get_float(0), Some(3.0));
+        assert_eq!(c.get_float(1), Some(1.5));
+    }
+
+    #[test]
+    fn rows_with_codes_finds_matches() {
+        let mut c = Column::new("name", ValueType::Str, true);
+        for s in ["a", "b", "a", "c", "b", "a"] {
+            c.push(Value::from(s)).unwrap();
+        }
+        let code_a = c.dict().unwrap().code_of("a").unwrap();
+        let code_c = c.dict().unwrap().code_of("c").unwrap();
+        assert_eq!(c.rows_with_codes(&[code_a]), vec![0, 2, 5]);
+        assert_eq!(c.rows_with_codes(&[code_a, code_c]), vec![0, 2, 3, 5]);
+        assert!(c.rows_with_codes(&[]).is_empty());
+    }
+
+    #[test]
+    fn searchable_only_applies_to_strings() {
+        let c = Column::new("qty", ValueType::Int, true);
+        assert!(!c.is_searchable());
+        let c = Column::new("name", ValueType::Str, true);
+        assert!(c.is_searchable());
+        let c = Column::new("name", ValueType::Str, false);
+        assert!(!c.is_searchable());
+    }
+}

@@ -1,0 +1,339 @@
+//! CSV ingestion: load tables into a [`crate::WarehouseBuilder`] from
+//! typed CSV text, so downstream users can point KDAP at their own data
+//! without writing row-building code.
+//!
+//! The header declares column types inline:
+//!
+//! ```csv
+//! ProductKey:int,Name:str:text,Price:float
+//! 1,"Mountain-200 Black, 42",2319.99
+//! 2,Road-650,699.10
+//! ```
+//!
+//! * types: `int`, `float`, `str`
+//! * the `:text` suffix marks a string column as full-text searchable
+//! * empty fields are NULL
+//! * RFC-4180-style quoting: fields may be double-quoted; embedded quotes
+//!   are doubled; quoted fields may contain commas and newlines
+
+use crate::builder::WarehouseBuilder;
+use crate::error::WarehouseError;
+use crate::value::{Value, ValueType};
+
+/// Parses the typed header and rows of `csv` and loads them as `table`.
+pub fn load_csv_table(
+    b: &mut WarehouseBuilder,
+    table: &str,
+    csv: &str,
+) -> Result<usize, WarehouseError> {
+    let mut records = parse_records(csv)?;
+    if records.is_empty() {
+        return Err(WarehouseError::InvalidEdge(format!(
+            "CSV for table {table} has no header"
+        )));
+    }
+    let header = records.remove(0);
+    let mut cols: Vec<(String, ValueType, bool)> = Vec::with_capacity(header.len());
+    for spec in &header {
+        let mut parts = spec.split(':');
+        let name = parts.next().unwrap_or("").trim();
+        let ty = parts.next().unwrap_or("").trim();
+        let text = parts.next().map(str::trim) == Some("text");
+        if name.is_empty() {
+            return Err(WarehouseError::InvalidEdge(format!(
+                "empty column name in CSV header of {table}"
+            )));
+        }
+        let ty = match ty {
+            "int" => ValueType::Int,
+            "float" => ValueType::Float,
+            "str" => ValueType::Str,
+            other => {
+                return Err(WarehouseError::InvalidEdge(format!(
+                    "column {table}.{name}: unknown type `{other}` (use int|float|str)"
+                )))
+            }
+        };
+        cols.push((name.to_string(), ty, text));
+    }
+    let col_refs: Vec<(&str, ValueType, bool)> = cols
+        .iter()
+        .map(|(n, t, s)| (n.as_str(), *t, *s))
+        .collect();
+    b.table(table, &col_refs)?;
+
+    let n = records.len();
+    for (line, record) in records.into_iter().enumerate() {
+        if record.len() != cols.len() {
+            return Err(WarehouseError::ArityMismatch {
+                table: format!("{table} (csv record {})", line + 2),
+                expected: cols.len(),
+                got: record.len(),
+            });
+        }
+        let mut row = Vec::with_capacity(cols.len());
+        for (field, (name, ty, _)) in record.into_iter().zip(&cols) {
+            let v = if field.is_empty() {
+                Value::Null
+            } else {
+                match ty {
+                    ValueType::Int => Value::Int(field.trim().parse().map_err(|_| {
+                        WarehouseError::TypeMismatch {
+                            column: format!("{table}.{name}"),
+                            expected: ValueType::Int,
+                            got: Some(ValueType::Str),
+                        }
+                    })?),
+                    ValueType::Float => Value::Float(field.trim().parse().map_err(|_| {
+                        WarehouseError::TypeMismatch {
+                            column: format!("{table}.{name}"),
+                            expected: ValueType::Float,
+                            got: Some(ValueType::Str),
+                        }
+                    })?),
+                    ValueType::Str => Value::from(field),
+                }
+            };
+            row.push(v);
+        }
+        b.row(table, row)?;
+    }
+    Ok(n)
+}
+
+/// RFC-4180-ish record parser (quoted fields, doubled quotes, embedded
+/// commas/newlines). Returns one `Vec<String>` per record; blank records
+/// are skipped.
+fn parse_records(csv: &str) -> Result<Vec<Vec<String>>, WarehouseError> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let mut chars = csv.chars().peekable();
+    let mut any_field_content = false;
+
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => field.push(c),
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_quotes = true;
+                any_field_content = true;
+            }
+            ',' => {
+                record.push(std::mem::take(&mut field));
+                any_field_content = true;
+            }
+            '\r' => {}
+            '\n' => {
+                if any_field_content || !field.is_empty() {
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                }
+                any_field_content = false;
+            }
+            _ => {
+                field.push(c);
+                any_field_content = true;
+            }
+        }
+    }
+    if in_quotes {
+        return Err(WarehouseError::InvalidEdge(
+            "unterminated quoted CSV field".into(),
+        ));
+    }
+    if any_field_content || !field.is_empty() {
+        record.push(field);
+        records.push(record);
+    }
+    Ok(records)
+}
+
+/// Exports a table back to the typed CSV format [`load_csv_table`]
+/// understands, so warehouses round-trip through text.
+pub fn export_table(wh: &crate::catalog::Warehouse, table: &str) -> Result<String, WarehouseError> {
+    let tid = wh.table_id(table)?;
+    let t = wh.table(tid);
+    let mut out = String::new();
+    for (i, col) in t.columns().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(col.name());
+        out.push(':');
+        out.push_str(match col.value_type() {
+            ValueType::Int => "int",
+            ValueType::Float => "float",
+            ValueType::Str => "str",
+        });
+        if col.is_searchable() {
+            out.push_str(":text");
+        }
+    }
+    out.push('\n');
+    for row in 0..t.nrows() {
+        for (i, col) in t.columns().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            match col.get(row) {
+                Value::Null => {}
+                Value::Int(v) => out.push_str(&v.to_string()),
+                Value::Float(v) => out.push_str(&v.to_string()),
+                Value::Str(s) => out.push_str(&quote_field(&s)),
+            }
+        }
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// Quotes a field when it contains CSV metacharacters.
+fn quote_field(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_load_roundtrip() {
+        let mut b = WarehouseBuilder::new();
+        let n = load_csv_table(
+            &mut b,
+            "P",
+            "PKey:int,Name:str:text,Price:float\n1,Widget,9.5\n2,Gadget,3.25\n",
+        )
+        .unwrap();
+        assert_eq!(n, 2);
+        b.fact("P").unwrap();
+        let wh = b.finish().unwrap();
+        let t = wh.table(wh.table_id("P").unwrap());
+        assert_eq!(t.nrows(), 2);
+        assert_eq!(t.row(0)[1].as_str(), Some("Widget"));
+        assert_eq!(t.row(1)[2].as_float(), Some(3.25));
+        assert!(t.column_by_name("Name").unwrap().is_searchable());
+        assert!(!t.column_by_name("PKey").unwrap().is_searchable());
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_and_quotes() {
+        let mut b = WarehouseBuilder::new();
+        load_csv_table(
+            &mut b,
+            "P",
+            "Id:int,Name:str:text\n1,\"Mountain-200 Black, 42\"\n2,\"He said \"\"hi\"\"\"\n",
+        )
+        .unwrap();
+        b.fact("P").unwrap();
+        let wh = b.finish().unwrap();
+        let t = wh.table(wh.table_id("P").unwrap());
+        assert_eq!(t.row(0)[1].as_str(), Some("Mountain-200 Black, 42"));
+        assert_eq!(t.row(1)[1].as_str(), Some("He said \"hi\""));
+    }
+
+    #[test]
+    fn empty_fields_become_null() {
+        let mut b = WarehouseBuilder::new();
+        load_csv_table(&mut b, "T", "A:int,B:str\n1,\n,x\n").unwrap();
+        b.fact("T").unwrap();
+        let wh = b.finish().unwrap();
+        let t = wh.table(wh.table_id("T").unwrap());
+        assert!(t.row(0)[1].is_null());
+        assert!(t.row(1)[0].is_null());
+    }
+
+    #[test]
+    fn bad_type_and_bad_value_rejected() {
+        let mut b = WarehouseBuilder::new();
+        assert!(load_csv_table(&mut b, "T", "A:datetime\n1\n").is_err());
+        let mut b = WarehouseBuilder::new();
+        assert!(load_csv_table(&mut b, "T", "A:int\nnot_a_number\n").is_err());
+    }
+
+    #[test]
+    fn arity_mismatch_reports_record() {
+        let mut b = WarehouseBuilder::new();
+        let err = load_csv_table(&mut b, "T", "A:int,B:int\n1,2\n3\n").unwrap_err();
+        assert!(matches!(err, WarehouseError::ArityMismatch { .. }));
+        assert!(err.to_string().contains("record 3"));
+    }
+
+    #[test]
+    fn unterminated_quote_rejected() {
+        let mut b = WarehouseBuilder::new();
+        assert!(load_csv_table(&mut b, "T", "A:str\n\"oops\n").is_err());
+    }
+
+    #[test]
+    fn crlf_and_trailing_newlines_handled() {
+        let mut b = WarehouseBuilder::new();
+        let n = load_csv_table(&mut b, "T", "A:int\r\n1\r\n2\r\n\r\n").unwrap();
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn export_import_roundtrip() {
+        let mut b = WarehouseBuilder::new();
+        load_csv_table(
+            &mut b,
+            "P",
+            "Id:int,Name:str:text,Price:float\n1,\"Quoted, name\",9.5\n2,,\n",
+        )
+        .unwrap();
+        b.fact("P").unwrap();
+        let wh = b.finish().unwrap();
+        let csv = export_table(&wh, "P").unwrap();
+        assert!(csv.starts_with("Id:int,Name:str:text,Price:float\n"));
+        // Load the export again and compare every cell.
+        let mut b2 = WarehouseBuilder::new();
+        load_csv_table(&mut b2, "P", &csv).unwrap();
+        b2.fact("P").unwrap();
+        let wh2 = b2.finish().unwrap();
+        let (t1, t2) = (
+            wh.table(wh.table_id("P").unwrap()),
+            wh2.table(wh2.table_id("P").unwrap()),
+        );
+        assert_eq!(t1.nrows(), t2.nrows());
+        for r in 0..t1.nrows() {
+            assert_eq!(t1.row(r), t2.row(r), "row {r}");
+        }
+        assert!(export_table(&wh, "NOPE").is_err());
+    }
+
+    #[test]
+    fn whole_warehouse_from_csv() {
+        let mut b = WarehouseBuilder::new();
+        load_csv_table(
+            &mut b,
+            "SALES",
+            "Id:int,PKey:int,Qty:int,Price:float\n1,1,2,10\n2,2,1,5\n",
+        )
+        .unwrap();
+        load_csv_table(&mut b, "PRODUCT", "PKey:int,Name:str:text\n1,TV\n2,Radio\n").unwrap();
+        b.edge("SALES.PKey", "PRODUCT.PKey", None, Some("Product")).unwrap();
+        b.dimension("Product", &["PRODUCT"], vec![], vec![]).unwrap();
+        b.fact("SALES").unwrap();
+        b.measure_product("Rev", "SALES.Price", "SALES.Qty").unwrap();
+        let wh = b.finish().unwrap();
+        assert_eq!(wh.fact_rows(), 2);
+    }
+}

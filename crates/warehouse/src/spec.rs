@@ -1,0 +1,350 @@
+//! Warehouse specification files: a small declarative format that wires
+//! CSV tables into a full star/snowflake schema, so KDAP can be pointed
+//! at external data with no Rust code (used by the `kdap` CLI).
+//!
+//! ```text
+//! # kdap warehouse spec
+//! table PRODUCT product.csv
+//! table SALES   sales.csv
+//! fact SALES
+//! edge SALES.PKey PRODUCT.PKey dim=Product
+//! edge SALES.BuyerKey ACCOUNT.AKey role=Buyer dim=Customer
+//! dimension Product tables=PRODUCT \
+//!     hierarchy=Categories:PRODUCT.Category>PRODUCT.Name \
+//!     groupby=PRODUCT.Category:cat,PRODUCT.Price:num
+//! measure Revenue = SALES.Price * SALES.Qty
+//! measure Units   = SALES.Qty
+//! ```
+//!
+//! * one directive per line; `#` starts a comment; a trailing `\`
+//!   continues a line;
+//! * CSV files use the typed-header format of [`crate::csv`];
+//! * file contents are supplied through a resolver callback, so the
+//!   parser stays I/O-free and testable.
+
+use crate::builder::WarehouseBuilder;
+use crate::catalog::Warehouse;
+use crate::csv::load_csv_table;
+use crate::error::WarehouseError;
+use crate::schema::AttrKind;
+
+/// Parses `spec` and builds the warehouse, fetching each referenced CSV
+/// through `resolve` (typically `std::fs::read_to_string` relative to the
+/// spec's directory).
+pub fn load_spec(
+    spec: &str,
+    mut resolve: impl FnMut(&str) -> Result<String, String>,
+) -> Result<Warehouse, WarehouseError> {
+    let mut b = WarehouseBuilder::new();
+    let bad = |line_no: usize, msg: &str| {
+        WarehouseError::InvalidEdge(format!("spec line {line_no}: {msg}"))
+    };
+
+    for (line_no, raw) in logical_lines(spec) {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let directive = parts.next().expect("non-empty line");
+        match directive {
+            "table" => {
+                let name = parts.next().ok_or_else(|| bad(line_no, "table needs a name"))?;
+                let file = parts.next().ok_or_else(|| bad(line_no, "table needs a csv file"))?;
+                let csv = resolve(file)
+                    .map_err(|e| bad(line_no, &format!("cannot read {file}: {e}")))?;
+                load_csv_table(&mut b, name, &csv)?;
+            }
+            "fact" => {
+                let name = parts.next().ok_or_else(|| bad(line_no, "fact needs a table"))?;
+                b.fact(name)?;
+            }
+            "edge" => {
+                let child = parts.next().ok_or_else(|| bad(line_no, "edge needs child col"))?;
+                let parent = parts.next().ok_or_else(|| bad(line_no, "edge needs parent col"))?;
+                let mut role = None;
+                let mut dim = None;
+                for opt in parts {
+                    if let Some(v) = opt.strip_prefix("role=") {
+                        role = Some(v);
+                    } else if let Some(v) = opt.strip_prefix("dim=") {
+                        dim = Some(v);
+                    } else {
+                        return Err(bad(line_no, &format!("unknown edge option {opt}")));
+                    }
+                }
+                b.edge(child, parent, role, dim)?;
+            }
+            "dimension" => {
+                let name = parts
+                    .next()
+                    .ok_or_else(|| bad(line_no, "dimension needs a name"))?;
+                let mut tables: Vec<&str> = Vec::new();
+                let mut hierarchies: Vec<(String, Vec<String>)> = Vec::new();
+                let mut groupby: Vec<(String, AttrKind)> = Vec::new();
+                for opt in parts {
+                    if let Some(v) = opt.strip_prefix("tables=") {
+                        tables.extend(v.split(','));
+                    } else if let Some(v) = opt.strip_prefix("hierarchy=") {
+                        let (hname, levels) = v
+                            .split_once(':')
+                            .ok_or_else(|| bad(line_no, "hierarchy needs name:levels"))?;
+                        hierarchies.push((
+                            hname.to_string(),
+                            levels.split('>').map(str::to_string).collect(),
+                        ));
+                    } else if let Some(v) = opt.strip_prefix("groupby=") {
+                        for g in v.split(',') {
+                            let (col, kind) = g
+                                .rsplit_once(':')
+                                .ok_or_else(|| bad(line_no, "groupby needs col:cat|num"))?;
+                            let kind = match kind {
+                                "cat" => AttrKind::Categorical,
+                                "num" => AttrKind::Numerical,
+                                other => {
+                                    return Err(bad(
+                                        line_no,
+                                        &format!("groupby kind must be cat|num, got {other}"),
+                                    ))
+                                }
+                            };
+                            groupby.push((col.to_string(), kind));
+                        }
+                    } else {
+                        return Err(bad(line_no, &format!("unknown dimension option {opt}")));
+                    }
+                }
+                if tables.is_empty() {
+                    return Err(bad(line_no, "dimension needs tables=…"));
+                }
+                let h: Vec<(&str, Vec<&str>)> = hierarchies
+                    .iter()
+                    .map(|(n, ls)| (n.as_str(), ls.iter().map(String::as_str).collect()))
+                    .collect();
+                let g: Vec<(&str, AttrKind)> =
+                    groupby.iter().map(|(c, k)| (c.as_str(), *k)).collect();
+                b.dimension(name, &tables, h, g)?;
+            }
+            "measure" => {
+                // measure NAME = A [* B]
+                let name = parts
+                    .next()
+                    .ok_or_else(|| bad(line_no, "measure needs a name"))?;
+                let eq = parts.next();
+                if eq != Some("=") {
+                    return Err(bad(line_no, "measure syntax: NAME = Col [* Col]"));
+                }
+                let a = parts
+                    .next()
+                    .ok_or_else(|| bad(line_no, "measure needs a column"))?;
+                match (parts.next(), parts.next()) {
+                    (None, _) => {
+                        b.measure_column(name, a)?;
+                    }
+                    (Some("*"), Some(col_b)) => {
+                        b.measure_product(name, a, col_b)?;
+                    }
+                    _ => return Err(bad(line_no, "measure syntax: NAME = Col [* Col]")),
+                }
+            }
+            other => return Err(bad(line_no, &format!("unknown directive {other}"))),
+        }
+    }
+    b.finish()
+}
+
+/// Joins `\`-continued lines, yielding `(first_line_number, text)`.
+fn logical_lines(spec: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    let mut buffer = String::new();
+    let mut start_line = 0usize;
+    for (i, line) in spec.lines().enumerate() {
+        if buffer.is_empty() {
+            start_line = i + 1;
+        }
+        let trimmed = line.trim_end();
+        if let Some(stripped) = trimmed.strip_suffix('\\') {
+            buffer.push_str(stripped.trim_end());
+            buffer.push(' ');
+        } else {
+            buffer.push_str(trimmed);
+            out.push((start_line, std::mem::take(&mut buffer)));
+        }
+    }
+    if !buffer.is_empty() {
+        out.push((start_line, buffer));
+    }
+    out
+}
+
+
+/// Renders the complete schema of `wh` back into spec syntax, referencing
+/// one CSV file per table (named `<table>.csv`). Together with
+/// [`crate::csv::export_table`] this makes any warehouse — including the
+/// generated demo ones — round-trippable through the spec format.
+pub fn export_spec(wh: &crate::catalog::Warehouse) -> String {
+    let schema = wh.schema();
+    let mut out = String::from("# kdap warehouse spec (generated)\n");
+    for t in wh.tables() {
+        out.push_str(&format!("table {} {}.csv\n", t.name(), t.name()));
+    }
+    out.push_str(&format!("fact {}\n", wh.table(schema.fact_table()).name()));
+    for e in schema.edges() {
+        out.push_str(&format!(
+            "edge {} {}{}{}\n",
+            wh.col_name(e.child),
+            wh.col_name(e.parent),
+            e.role
+                .as_ref()
+                .map(|r| format!(" role={r}"))
+                .unwrap_or_default(),
+            e.dimension
+                .map(|d| format!(" dim={}", schema.dimension(d).name))
+                .unwrap_or_default(),
+        ));
+    }
+    for d in schema.dimensions() {
+        let tables: Vec<&str> = d.tables.iter().map(|&t| wh.table(t).name()).collect();
+        out.push_str(&format!("dimension {} tables={}", d.name, tables.join(",")));
+        for h in &d.hierarchies {
+            let levels: Vec<String> = h.levels.iter().map(|&l| wh.col_name(l)).collect();
+            out.push_str(&format!(" hierarchy={}:{}", h.name, levels.join(">")));
+        }
+        if !d.groupby_candidates.is_empty() {
+            let gs: Vec<String> = d
+                .groupby_candidates
+                .iter()
+                .map(|g| {
+                    format!(
+                        "{}:{}",
+                        wh.col_name(g.attr),
+                        match g.kind {
+                            AttrKind::Categorical => "cat",
+                            AttrKind::Numerical => "num",
+                        }
+                    )
+                })
+                .collect();
+            out.push_str(&format!(" groupby={}", gs.join(",")));
+        }
+        out.push('\n');
+    }
+    for m in schema.measures() {
+        match &m.expr {
+            crate::schema::MeasureExpr::Column(c) => {
+                out.push_str(&format!("measure {} = {}\n", m.name, wh.col_name(*c)))
+            }
+            crate::schema::MeasureExpr::Product(a, b) => out.push_str(&format!(
+                "measure {} = {} * {}\n",
+                m.name,
+                wh.col_name(*a),
+                wh.col_name(*b)
+            )),
+        }
+    }
+    out
+}
+
+/// Persists the warehouse as `warehouse.spec` plus one CSV per table
+/// inside `dir` (created if absent) — loadable by [`load_warehouse`] or
+/// `kdap --spec <dir>/warehouse.spec`.
+pub fn save_warehouse(
+    wh: &crate::catalog::Warehouse,
+    dir: &std::path::Path,
+) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(dir.join("warehouse.spec"), export_spec(wh))?;
+    for t in wh.tables() {
+        let csv = crate::csv::export_table(wh, t.name())
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
+        std::fs::write(dir.join(format!("{}.csv", t.name())), csv)?;
+    }
+    Ok(())
+}
+
+/// Loads a warehouse previously written by [`save_warehouse`].
+pub fn load_warehouse(dir: &std::path::Path) -> Result<crate::catalog::Warehouse, WarehouseError> {
+    let spec = std::fs::read_to_string(dir.join("warehouse.spec"))
+        .map_err(|e| WarehouseError::InvalidEdge(format!("cannot read spec: {e}")))?;
+    load_spec(&spec, |file| {
+        std::fs::read_to_string(dir.join(file)).map_err(|e| e.to_string())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn resolver(file: &str) -> Result<String, String> {
+        match file {
+            "sales.csv" => Ok("Id:int,PKey:int,Qty:int,Price:float\n\
+                               1,1,2,10\n2,2,1,5\n3,1,1,10\n"
+                .into()),
+            "product.csv" => Ok("PKey:int,Name:str:text,Category:str:text,Price:float\n\
+                                 1,Widget,Tools,10\n2,Gadget,Toys,5\n"
+                .into()),
+            other => Err(format!("no such file {other}")),
+        }
+    }
+
+    const SPEC: &str = "\
+# demo spec
+table PRODUCT product.csv
+table SALES sales.csv
+fact SALES
+edge SALES.PKey PRODUCT.PKey dim=Product
+dimension Product tables=PRODUCT \\
+    hierarchy=Cats:PRODUCT.Category>PRODUCT.Name \\
+    groupby=PRODUCT.Category:cat,PRODUCT.Price:num
+measure Revenue = SALES.Price * SALES.Qty
+measure Units = SALES.Qty
+";
+
+    #[test]
+    fn full_spec_roundtrip() {
+        let wh = load_spec(SPEC, resolver).unwrap();
+        assert_eq!(wh.fact_rows(), 3);
+        assert_eq!(wh.schema().dimensions().len(), 1);
+        assert_eq!(wh.schema().measures().len(), 2);
+        let dim = wh.schema().dimension_by_name("Product").unwrap();
+        assert_eq!(dim.hierarchies.len(), 1);
+        assert_eq!(dim.groupby_candidates.len(), 2);
+        let m = wh.schema().measure_by_name("Revenue").unwrap().clone();
+        assert_eq!(wh.eval_measure(&m, 0), Some(20.0));
+    }
+
+    #[test]
+    fn continuation_lines_join() {
+        let lines = logical_lines("a \\\nb\nc");
+        assert_eq!(lines, vec![(1, "a b".to_string()), (3, "c".to_string())]);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = load_spec("bogus directive\n", resolver).unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
+        let err = load_spec("table X missing.csv\nfact X\n", resolver).unwrap_err();
+        assert!(err.to_string().contains("missing.csv"), "{err}");
+        let err = load_spec("measure M := X\n", resolver).unwrap_err();
+        assert!(err.to_string().contains("measure"), "{err}");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let wh = load_spec(
+            "# just a fact table\n\ntable SALES sales.csv  # inline comment\nfact SALES\n",
+            resolver,
+        )
+        .unwrap();
+        assert_eq!(wh.fact_rows(), 3);
+    }
+
+    #[test]
+    fn bad_groupby_kind_rejected() {
+        let spec = "table PRODUCT product.csv\ntable SALES sales.csv\nfact SALES\n\
+                    edge SALES.PKey PRODUCT.PKey dim=P\n\
+                    dimension P tables=PRODUCT groupby=PRODUCT.Name:fancy\n";
+        let err = load_spec(spec, resolver).unwrap_err();
+        assert!(err.to_string().contains("cat|num"), "{err}");
+    }
+}

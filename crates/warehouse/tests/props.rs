@@ -1,0 +1,77 @@
+//! Property-based tests for the storage layer.
+
+use proptest::prelude::*;
+
+use kdap_warehouse::{StrDict, Table, Value, ValueType};
+
+proptest! {
+    /// Interning any sequence of strings: codes round-trip and the
+    /// dictionary size equals the number of distinct inputs.
+    #[test]
+    fn dict_roundtrip(words in proptest::collection::vec("[a-z]{0,8}", 0..50)) {
+        let mut dict = StrDict::default();
+        let codes: Vec<u32> = words.iter().map(|w| dict.intern(w)).collect();
+        for (w, c) in words.iter().zip(&codes) {
+            prop_assert_eq!(dict.resolve(*c).unwrap().as_ref(), w.as_str());
+            prop_assert_eq!(dict.code_of(w), Some(*c));
+        }
+        let mut distinct = words.clone();
+        distinct.sort();
+        distinct.dedup();
+        prop_assert_eq!(dict.len(), distinct.len());
+    }
+
+    /// Pushing typed rows and reading them back is lossless.
+    #[test]
+    fn table_roundtrip(rows in proptest::collection::vec(
+        (any::<i64>(), -1.0e9..1.0e9f64, "[ -~]{0,12}", any::<bool>()), 0..40)
+    ) {
+        let mut t = Table::new("T", &[
+            ("I", ValueType::Int, false),
+            ("F", ValueType::Float, false),
+            ("S", ValueType::Str, true),
+        ]).unwrap();
+        for (i, f, s, null_str) in &rows {
+            let sv = if *null_str { Value::Null } else { Value::from(s.as_str()) };
+            t.push_row(vec![Value::Int(*i), Value::Float(*f), sv]).unwrap();
+        }
+        prop_assert_eq!(t.nrows(), rows.len());
+        for (r, (i, f, s, null_str)) in rows.iter().enumerate() {
+            let row = t.row(r);
+            prop_assert_eq!(row[0].as_int(), Some(*i));
+            prop_assert_eq!(row[1].as_float(), Some(*f));
+            if *null_str {
+                prop_assert!(row[2].is_null());
+            } else {
+                prop_assert_eq!(row[2].as_str(), Some(s.as_str()));
+            }
+            let _ = (i, f, s);
+        }
+    }
+
+    /// rows_with_codes returns exactly the rows whose value is selected.
+    #[test]
+    fn rows_with_codes_matches_scan(
+        values in proptest::collection::vec(0u8..6, 1..60),
+        wanted in proptest::collection::vec(0u8..6, 0..4),
+    ) {
+        let mut t = Table::new("T", &[("S", ValueType::Str, true)]).unwrap();
+        for v in &values {
+            t.push_row(vec![Value::from(format!("v{v}"))]).unwrap();
+        }
+        let col = t.column(0);
+        let dict = col.dict().unwrap();
+        let codes: Vec<u32> = wanted
+            .iter()
+            .filter_map(|v| dict.code_of(&format!("v{v}")))
+            .collect();
+        let got = col.rows_with_codes(&codes);
+        let expect: Vec<usize> = values
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| wanted.contains(v))
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert_eq!(got, expect);
+    }
+}

@@ -1,0 +1,134 @@
+//! Integration tests spanning all crates: the full differentiate/explore
+//! pipeline over the generated warehouses, checking the structural
+//! invariants that make KDAP results trustworthy.
+
+use kdap_suite::core::{
+    generate_star_nets, materialize, rank_star_nets, rollup_spaces, GenConfig, Kdap, RankMethod,
+};
+use kdap_suite::datagen::{build_aw_online, build_ebiz, EbizScale, Scale};
+use kdap_suite::query::{AggFunc, JoinIndex};
+use kdap_suite::textindex::TextIndex;
+
+fn ebiz_session() -> Kdap {
+    Kdap::new(build_ebiz(EbizScale::small(), 7).unwrap()).unwrap()
+}
+
+#[test]
+fn every_interpretation_is_materializable() {
+    let kdap = ebiz_session();
+    for query in ["Columbus", "Seattle Plasma", "Premium", "October"] {
+        for r in kdap.interpret(query) {
+            let sub = materialize(kdap.warehouse(), kdap.join_index(), &r.net);
+            // Materialization must not panic and the subspace is within
+            // the fact table.
+            assert!(sub.len() <= kdap.warehouse().fact_rows());
+        }
+    }
+}
+
+#[test]
+fn subspace_is_contained_in_every_rollup_space() {
+    let kdap = ebiz_session();
+    for query in ["Columbus", "Seattle Plasma", "Televisions"] {
+        for r in kdap.interpret(query).into_iter().take(5) {
+            let sub = materialize(kdap.warehouse(), kdap.join_index(), &r.net);
+            for rup in rollup_spaces(kdap.warehouse(), kdap.join_index(), &r.net) {
+                for row in sub.rows.iter() {
+                    assert!(rup.rows.contains(row), "RUP must contain DS' ({query})");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn facet_partitions_sum_to_subspace_total() {
+    let kdap = ebiz_session();
+    let ranked = kdap.interpret("Columbus");
+    let ex = kdap.explore(&ranked[0].net);
+    for panel in &ex.panels {
+        for attr in &panel.attrs {
+            // Facet construction truncates to top-k instances; only check
+            // attributes whose full domain is visible.
+            if attr.entries.len() < kdap.facet.top_k_instances {
+                let sum: f64 = attr.entries.iter().map(|e| e.aggregate).sum();
+                let diff = (sum - ex.total_aggregate).abs();
+                assert!(
+                    diff < 1e-6 * ex.total_aggregate.abs().max(1.0),
+                    "{}.{}: {} != {}",
+                    panel.dimension,
+                    attr.name,
+                    sum,
+                    ex.total_aggregate
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn ranking_is_stable_and_sorted_for_all_methods() {
+    let wh = build_aw_online(Scale::small(), 3).unwrap();
+    let index = TextIndex::build(&wh);
+    let nets = generate_star_nets(&wh, &index, &["mountain", "california"], &GenConfig::default());
+    for method in RankMethod::ALL {
+        let a = rank_star_nets(nets.clone(), method);
+        let b = rank_star_nets(nets.clone(), method);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.score, y.score);
+            assert_eq!(x.net.display(&wh), y.net.display(&wh));
+        }
+        for w in a.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+}
+
+#[test]
+fn measures_agree_between_direct_and_facet_aggregation() {
+    let kdap = ebiz_session();
+    let ranked = kdap.interpret("Columbus");
+    let net = &ranked[0].net;
+    let sub = materialize(kdap.warehouse(), kdap.join_index(), net);
+    let direct = sub.aggregate(kdap.warehouse(), kdap.measure(), AggFunc::Sum);
+    let ex = kdap.explore(net);
+    assert_eq!(direct, ex.total_aggregate);
+    assert_eq!(sub.len(), ex.subspace_size);
+}
+
+#[test]
+fn join_index_and_text_index_rebuild_identically() {
+    let wh = build_ebiz(EbizScale::small(), 7).unwrap();
+    let a = TextIndex::build(&wh);
+    let b = TextIndex::build(&wh);
+    assert_eq!(a.n_docs(), b.n_docs());
+    assert_eq!(a.n_terms(), b.n_terms());
+    let _ = JoinIndex::build(&wh);
+}
+
+#[test]
+fn empty_and_nonsense_queries_degrade_gracefully() {
+    let kdap = ebiz_session();
+    assert!(kdap.interpret("").is_empty());
+    assert!(kdap.interpret("zzzz qqqq xxxx").is_empty());
+    // Punctuation-only input.
+    assert!(kdap.interpret("!!! ???").is_empty());
+}
+
+#[test]
+fn both_aw_warehouses_run_the_full_pipeline() {
+    for (wh, query) in [
+        (build_aw_online(Scale::small(), 11).unwrap(), "Bikes"),
+        (
+            kdap_suite::datagen::build_aw_reseller(Scale::small(), 11).unwrap(),
+            "Warehouse",
+        ),
+    ] {
+        let kdap = Kdap::new(wh).unwrap();
+        let ranked = kdap.interpret(query);
+        assert!(!ranked.is_empty(), "{query} finds interpretations");
+        let ex = kdap.explore(&ranked[0].net);
+        assert!(ex.subspace_size > 0, "{query} subspace non-empty");
+        assert!(!ex.panels.is_empty());
+    }
+}

@@ -1,0 +1,98 @@
+//! Save/load roundtrips: any warehouse — including the generated demo
+//! ones — persists as a spec + CSV directory and reloads identically.
+
+use std::path::PathBuf;
+
+use kdap_suite::core::Kdap;
+use kdap_suite::datagen::{build_ebiz, EbizScale};
+use kdap_suite::warehouse::{export_spec, load_warehouse, save_warehouse};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("kdap_persist_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn ebiz_roundtrips_through_disk() {
+    let wh = build_ebiz(EbizScale::small(), 7).unwrap();
+    let dir = temp_dir("ebiz");
+    save_warehouse(&wh, &dir).unwrap();
+    let loaded = load_warehouse(&dir).unwrap();
+
+    // Structure matches.
+    assert_eq!(loaded.tables().len(), wh.tables().len());
+    assert_eq!(loaded.fact_rows(), wh.fact_rows());
+    assert_eq!(
+        loaded.schema().dimensions().len(),
+        wh.schema().dimensions().len()
+    );
+    assert_eq!(loaded.schema().edges().len(), wh.schema().edges().len());
+    assert_eq!(loaded.schema().measures().len(), wh.schema().measures().len());
+
+    // Every cell of every table matches.
+    for t in wh.tables() {
+        let lt = loaded.table(loaded.table_id(t.name()).unwrap());
+        assert_eq!(lt.nrows(), t.nrows(), "table {}", t.name());
+        for r in 0..t.nrows() {
+            assert_eq!(lt.row(r), t.row(r), "{} row {r}", t.name());
+        }
+    }
+
+    // Hierarchies and roles survived.
+    let product = loaded.schema().dimension_by_name("Product").unwrap();
+    assert_eq!(product.hierarchies.len(), 2);
+    assert!(loaded
+        .schema()
+        .edges()
+        .iter()
+        .any(|e| e.role.as_deref() == Some("Buyer")));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn kdap_answers_identically_after_reload() {
+    let wh = build_ebiz(EbizScale::small(), 7).unwrap();
+    let dir = temp_dir("answers");
+    save_warehouse(&wh, &dir).unwrap();
+    let loaded = load_warehouse(&dir).unwrap();
+
+    let a = Kdap::new(wh).unwrap();
+    let b = Kdap::new(loaded).unwrap();
+    for query in ["seattle", "plasma lcd", "\"columbus day\"", "premium"] {
+        let ra = a.interpret(query);
+        let rb = b.interpret(query);
+        assert_eq!(ra.len(), rb.len(), "{query}");
+        for (x, y) in ra.iter().zip(&rb) {
+            assert!((x.score - y.score).abs() < 1e-12, "{query}");
+            assert_eq!(
+                x.net.display(a.warehouse()),
+                y.net.display(b.warehouse()),
+                "{query}"
+            );
+        }
+        if let (Some(x), Some(y)) = (ra.first(), rb.first()) {
+            let ea = a.explore(&x.net);
+            let eb = b.explore(&y.net);
+            assert_eq!(ea.subspace_size, eb.subspace_size, "{query}");
+            assert_eq!(ea.total_aggregate, eb.total_aggregate, "{query}");
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn exported_spec_is_valid_spec_syntax() {
+    let wh = build_ebiz(EbizScale::small(), 7).unwrap();
+    let spec = export_spec(&wh);
+    assert!(spec.contains("fact TRANSITEM"));
+    assert!(spec.contains("role=Buyer"));
+    assert!(spec.contains("hierarchy=ProductLine:"));
+    assert!(spec.contains("groupby="));
+    assert!(spec.contains("measure SalesRevenue = TRANSITEM.UnitPrice * TRANSITEM.Qty"));
+    // Loadable when paired with exported tables (covered by the roundtrip
+    // tests); here just check it parses structurally with stub CSVs.
+    let err = kdap_suite::warehouse::load_spec(&spec, |_| Err("no files".into()));
+    assert!(err.is_err(), "missing CSVs must be reported, not panic");
+}

@@ -1,0 +1,113 @@
+//! Robustness: the system must degrade gracefully — never panic — under
+//! arbitrary query input, and behave correctly under concurrent use.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use kdap_suite::core::{Kdap, SubspaceCache};
+use kdap_suite::datagen::{build_ebiz, EbizScale};
+
+fn session() -> Kdap {
+    Kdap::new(build_ebiz(EbizScale::small(), 7).unwrap()).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any printable-ASCII query string interprets without panicking, and
+    /// every returned interpretation explores without panicking.
+    #[test]
+    fn arbitrary_queries_never_panic(query in "[ -~]{0,40}") {
+        let kdap = session();
+        let ranked = kdap.interpret(&query);
+        for r in ranked.iter().take(3) {
+            let ex = kdap.explore(&r.net);
+            prop_assert!(ex.subspace_size <= kdap.warehouse().fact_rows());
+        }
+    }
+
+    /// Queries made of real vocabulary fragments always yield
+    /// interpretations whose scores are finite and ordered.
+    #[test]
+    fn vocabulary_queries_rank_sanely(
+        words in proptest::collection::vec(
+            proptest::sample::select(vec![
+                "columbus", "seattle", "plasma", "lcd", "premium", "october",
+                "sydney", "laptop", "projector", "2005",
+            ]),
+            1..4,
+        )
+    ) {
+        let kdap = session();
+        let query = words.join(" ");
+        let ranked = kdap.interpret(&query);
+        for w in ranked.windows(2) {
+            prop_assert!(w[0].score >= w[1].score);
+        }
+        for r in &ranked {
+            prop_assert!(r.score.is_finite());
+            prop_assert!(r.score >= 0.0);
+        }
+    }
+}
+
+#[test]
+fn concurrent_sessions_share_cache_safely() {
+    let kdap = Arc::new(session().with_cache(8));
+    let queries = ["columbus", "seattle", "plasma", "lcd"];
+    let mut handles = Vec::new();
+    for i in 0..4 {
+        let kdap = Arc::clone(&kdap);
+        handles.push(std::thread::spawn(move || {
+            let mut sizes = Vec::new();
+            for _ in 0..5 {
+                let ranked = kdap.interpret(queries[i % queries.len()]);
+                if let Some(r) = ranked.first() {
+                    sizes.push(kdap.explore(&r.net).subspace_size);
+                }
+            }
+            sizes
+        }));
+    }
+    let mut all: Vec<Vec<usize>> = Vec::new();
+    for h in handles {
+        all.push(h.join().expect("no thread panicked"));
+    }
+    // Each thread saw consistent sizes across its repeats.
+    for sizes in &all {
+        assert!(sizes.windows(2).all(|w| w[0] == w[1]));
+    }
+    let (hits, misses) = kdap.cache_stats().unwrap();
+    assert_eq!(hits + misses, 20, "every explore hit the cache layer");
+    assert!(hits >= 16, "repeats were served from cache: {hits} hits");
+}
+
+#[test]
+fn direct_cache_use_is_thread_safe() {
+    let kdap = Arc::new(session());
+    let cache = Arc::new(SubspaceCache::new(4));
+    let nets: Vec<_> = kdap
+        .interpret("columbus")
+        .into_iter()
+        .map(|r| r.net)
+        .collect();
+    let nets = Arc::new(nets);
+    let mut handles = Vec::new();
+    for t in 0..4 {
+        let kdap = Arc::clone(&kdap);
+        let cache = Arc::clone(&cache);
+        let nets = Arc::clone(&nets);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..20 {
+                let net = &nets[(t + i) % nets.len()];
+                let sub = cache.materialize(kdap.warehouse(), kdap.join_index(), net);
+                assert!(sub.len() <= kdap.warehouse().fact_rows());
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("no thread panicked");
+    }
+    assert!(cache.len() <= 4, "capacity respected under contention");
+}
