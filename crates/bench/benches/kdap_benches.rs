@@ -15,7 +15,9 @@ use kdap_query::{group_by_categorical, AggFunc, JoinIndex, RowSet};
 use kdap_textindex::{SearchOptions, TextIndex};
 
 fn session() -> Kdap {
-    Kdap::new(build_aw_online(Scale::full(), 42).expect("valid")).expect("measure")
+    Kdap::builder(build_aw_online(Scale::full(), 42).expect("valid"))
+        .build()
+        .expect("measure")
 }
 
 fn bench_textindex(c: &mut Criterion) {
@@ -92,10 +94,29 @@ fn bench_explore(c: &mut Criterion) {
                 kdap.join_index(),
                 net,
                 kdap.measure(),
-                &kdap.facet,
+                kdap.facet_config(),
             ))
         })
     });
+    for threads in [2usize, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("facet_construction_threads", threads),
+            &threads,
+            |b, &t| {
+                let exec = kdap_query::ExecConfig::with_threads(t);
+                b.iter(|| {
+                    black_box(kdap_core::explore_with(
+                        kdap.warehouse(),
+                        kdap.join_index(),
+                        net,
+                        kdap.measure(),
+                        kdap.facet_config(),
+                        &exec,
+                    ))
+                })
+            },
+        );
+    }
     g.finish();
 }
 

@@ -32,9 +32,13 @@ fn main() {
     println!("## Figure 7 — simulated-annealing interval merge convergence\n");
 
     eprintln!("building AW_ONLINE ({} facts)...", scale.facts);
-    let online = Kdap::new(build_aw_online(scale, 42).expect("valid")).expect("measure");
+    let online = Kdap::builder(build_aw_online(scale, 42).expect("valid"))
+        .build()
+        .expect("measure");
     eprintln!("building AW_RESELLER ({} facts)...", scale.facts);
-    let reseller = Kdap::new(build_aw_reseller(scale, 42).expect("valid")).expect("measure");
+    let reseller = Kdap::builder(build_aw_reseller(scale, 42).expect("valid"))
+        .build()
+        .expect("measure");
 
     let scenarios: [(&Kdap, &str, &str, &str, &str); 3] = [
         (&online, "France Clothing", "Customer", "DimCustomer", "YearlyIncome"),
@@ -82,7 +86,7 @@ fn numeric_series(kdap: &Kdap, query: &str, dim_name: &str, attr: ColRef) -> Opt
         &rups,
         dim,
         kdap.measure(),
-        &kdap.facet,
+        kdap.facet_config(),
     );
     ranked_attrs
         .into_iter()

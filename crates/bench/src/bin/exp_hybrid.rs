@@ -36,8 +36,8 @@ fn main() {
     };
     eprintln!("building AW_ONLINE ({} facts)...", scale.facts);
     let wh = build_aw_online(scale, 42).expect("generator is valid");
-    let mut kdap = Kdap::new(wh).expect("measure defined");
-    kdap.facet.top_k_attrs = 3;
+    let mut kdap = Kdap::builder(wh).build().expect("measure defined");
+    kdap.facet_config_mut().top_k_attrs = 3;
 
     println!("## Hybrid interface organization (§7) — layout churn vs interestingness\n");
     println!("session: {}\n", SESSION.join(" → "));
@@ -51,7 +51,7 @@ fn main() {
 
     let mut rows = Vec::new();
     for (label, order) in orders {
-        kdap.facet.order = order;
+        kdap.facet_config_mut().order = order;
         // Layouts per query: dimension → ordered non-promoted attr names.
         let mut layouts: Vec<std::collections::BTreeMap<String, Vec<String>>> = Vec::new();
         let mut score_sum = 0.0;

@@ -23,7 +23,7 @@ fn main() {
     };
     eprintln!("building AW_ONLINE ({} facts)...", scale.facts);
     let wh = build_aw_online(scale, 42).expect("generator is valid");
-    let mut kdap = Kdap::new(wh).expect("measure defined");
+    let mut kdap = Kdap::builder(wh).build().expect("measure defined");
 
     println!("## Numeric hit candidates (§7 future work)\n");
 
@@ -40,7 +40,7 @@ fn main() {
     let mut rows = Vec::new();
     for q in queries {
         let baseline = kdap.interpret(q).len();
-        kdap.gen.numeric = NumericConfig {
+        kdap.gen_config_mut().numeric = NumericConfig {
             enabled: true,
             ..NumericConfig::default()
         };
@@ -67,7 +67,7 @@ fn main() {
             format!("{numeric_count}"),
             top,
         ]);
-        kdap.gen.numeric = NumericConfig::default();
+        kdap.gen_config_mut().numeric = NumericConfig::default();
     }
     print_table(
         &[
@@ -81,7 +81,7 @@ fn main() {
     );
 
     // End-to-end: explore a numeric interpretation.
-    kdap.gen.numeric = NumericConfig {
+    kdap.gen_config_mut().numeric = NumericConfig {
         enabled: true,
         ..NumericConfig::default()
     };

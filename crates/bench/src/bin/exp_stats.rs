@@ -26,7 +26,7 @@ fn main() {
         ("AW_RESELLER", build_aw_reseller(scale, 42).expect("valid")),
     ] {
         let t0 = Instant::now();
-        let kdap = Kdap::new(wh).expect("measure");
+        let kdap = Kdap::builder(wh).build().expect("measure");
         let build_ms = t0.elapsed().as_millis();
         rows.push(vec![
             name.to_string(),

@@ -20,7 +20,7 @@ fn main() {
     };
     eprintln!("building AW_ONLINE ({} facts)...", scale.facts);
     let wh = build_aw_online(scale, 42).expect("generator is valid");
-    let kdap = Kdap::new(wh).expect("measure defined");
+    let kdap = Kdap::builder(wh).build().expect("measure defined");
 
     let query = "California Mountain Bikes";
     println!("## Table 1 — star nets for \"{query}\" (AW_ONLINE)\n");

@@ -20,10 +20,10 @@ fn main() {
     };
     eprintln!("building AW_ONLINE ({} facts)...", scale.facts);
     let wh = build_aw_online(scale, 42).expect("generator is valid");
-    let mut kdap = Kdap::new(wh).expect("measure defined");
-    kdap.facet.top_k_attrs = 4;
-    kdap.facet.top_k_instances = 5;
-    kdap.facet.display_intervals = 3;
+    let mut kdap = Kdap::builder(wh).build().expect("measure defined");
+    kdap.facet_config_mut().top_k_attrs = 4;
+    kdap.facet_config_mut().top_k_instances = 5;
+    kdap.facet_config_mut().display_intervals = 3;
 
     let ranked = kdap.interpret("California Mountain Bikes");
     let net = &ranked.first().expect("interpretations exist").net;

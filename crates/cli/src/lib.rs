@@ -32,6 +32,9 @@ pub struct CliArgs {
     pub source: DataSource,
     pub small: bool,
     pub seed: u64,
+    /// Worker threads for the parallel execution engine (1 = serial,
+    /// 0 = all cores).
+    pub threads: usize,
 }
 
 /// Parses `kdap` arguments (everything after `argv[0]`).
@@ -39,6 +42,7 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
     let mut source = None;
     let mut small = false;
     let mut seed = 42u64;
+    let mut threads = 1usize;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -68,6 +72,13 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
                     .parse()
                     .map_err(|_| "--seed must be an integer".to_string())?;
             }
+            "--threads" => {
+                threads = it
+                    .next()
+                    .ok_or("--threads needs a value")?
+                    .parse()
+                    .map_err(|_| "--threads must be an integer".to_string())?;
+            }
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown argument `{other}`\n{}", usage())),
         }
@@ -76,13 +87,14 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
         source: source.unwrap_or(DataSource::DemoEbiz),
         small,
         seed,
+        threads,
     })
 }
 
 /// The usage banner.
 pub fn usage() -> String {
     "usage: kdap [--demo ebiz|aw-online|aw-reseller|trends] [--spec FILE] \
-     [--small] [--seed N]"
+     [--small] [--seed N] [--threads N]"
         .to_string()
 }
 
@@ -100,14 +112,19 @@ mod tests {
         assert_eq!(a.source, DataSource::DemoEbiz);
         assert!(!a.small);
         assert_eq!(a.seed, 42);
+        assert_eq!(a.threads, 1);
     }
 
     #[test]
     fn parses_demo_and_flags() {
-        let a = parse_args(&args(&["--demo", "aw-online", "--small", "--seed", "7"])).unwrap();
+        let a = parse_args(&args(&[
+            "--demo", "aw-online", "--small", "--seed", "7", "--threads", "4",
+        ]))
+        .unwrap();
         assert_eq!(a.source, DataSource::DemoAwOnline);
         assert!(a.small);
         assert_eq!(a.seed, 7);
+        assert_eq!(a.threads, 4);
     }
 
     #[test]
@@ -121,6 +138,7 @@ mod tests {
         assert!(parse_args(&args(&["--demo", "nope"])).is_err());
         assert!(parse_args(&args(&["--bogus"])).is_err());
         assert!(parse_args(&args(&["--seed", "abc"])).is_err());
+        assert!(parse_args(&args(&["--threads", "x"])).is_err());
         assert!(parse_args(&args(&["--demo"])).is_err());
     }
 }

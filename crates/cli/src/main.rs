@@ -65,8 +65,12 @@ fn main() {
         }
     };
 
-    let kdap = match Kdap::new(wh) {
-        Ok(k) => k.with_cache(64),
+    let kdap = match Kdap::builder(wh)
+        .cache_capacity(64)
+        .threads(args.threads)
+        .build()
+    {
+        Ok(k) => k,
         Err(e) => {
             eprintln!("cannot open warehouse: {e} (a `measure` declaration is required)");
             std::process::exit(1);

@@ -92,7 +92,7 @@ impl Repl {
                 }
             }
             Command::Mode(m) => {
-                self.kdap.facet.mode = match m {
+                self.kdap.facet_config_mut().mode = match m {
                     ModeArg::Surprise => InterestMode::Surprise,
                     ModeArg::Bellwether => InterestMode::Bellwether,
                 };
@@ -102,7 +102,7 @@ impl Repl {
                 }
             }
             Command::Order(o) => {
-                self.kdap.facet.order = match o {
+                self.kdap.facet_config_mut().order = match o {
                     OrderArg::Dynamic => FacetOrder::Dynamic,
                     OrderArg::Consistent => FacetOrder::Consistent,
                     OrderArg::Hybrid(p) => FacetOrder::Hybrid { pinned: p },
@@ -227,7 +227,7 @@ mod tests {
 
     fn repl() -> Repl {
         let wh = build_ebiz(EbizScale::small(), 7).unwrap();
-        Repl::new(Kdap::new(wh).unwrap().with_cache(8))
+        Repl::new(Kdap::builder(wh).cache_capacity(8).build().unwrap())
     }
 
     fn run(repl: &mut Repl, line: &str) -> String {

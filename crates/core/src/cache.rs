@@ -9,21 +9,32 @@
 //! net's canonical fingerprint (order-independent constraint identity),
 //! with LRU eviction, so a revisited subspace costs a hash lookup instead
 //! of a semi-join cascade.
+//!
+//! The cache is sharded by key hash: each shard guards an independent LRU
+//! map behind its own mutex, so concurrent sessions (or the parallel
+//! differentiate phase warming several candidate subspaces at once) do not
+//! contend on a single lock.
 
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 
 use parking_lot::Mutex;
 
-use kdap_query::JoinIndex;
+use kdap_query::{ExecConfig, JoinIndex};
 use kdap_warehouse::Warehouse;
 
 use crate::interpret::StarNet;
-use crate::subspace::{materialize, Subspace};
+use crate::subspace::{materialize_with, Subspace};
 
-/// An LRU cache of materialized subspaces.
+/// Upper bound on the number of shards; small capacities use fewer so the
+/// per-shard LRU never degenerates to zero slots.
+const MAX_SHARDS: usize = 8;
+
+/// A sharded LRU cache of materialized subspaces.
 pub struct SubspaceCache {
-    inner: Mutex<Inner>,
-    capacity: usize,
+    shards: Vec<Mutex<Inner>>,
+    shard_capacity: usize,
 }
 
 struct Inner {
@@ -33,25 +44,53 @@ struct Inner {
     misses: u64,
 }
 
-impl SubspaceCache {
-    /// Creates a cache holding at most `capacity` subspaces.
-    pub fn new(capacity: usize) -> Self {
-        SubspaceCache {
-            inner: Mutex::new(Inner {
-                map: HashMap::new(),
-                clock: 0,
-                hits: 0,
-                misses: 0,
-            }),
-            capacity: capacity.max(1),
+impl Inner {
+    fn new() -> Self {
+        Inner {
+            map: HashMap::new(),
+            clock: 0,
+            hits: 0,
+            misses: 0,
         }
+    }
+}
+
+impl SubspaceCache {
+    /// Creates a cache holding at most `capacity` subspaces in total,
+    /// spread over `min(capacity, 8)` shards.
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        let n_shards = capacity.min(MAX_SHARDS);
+        SubspaceCache {
+            shards: (0..n_shards).map(|_| Mutex::new(Inner::new())).collect(),
+            shard_capacity: capacity / n_shards,
+        }
+    }
+
+    fn shard(&self, key: &str) -> &Mutex<Inner> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
     }
 
     /// Materializes `net`, serving repeats from the cache.
     pub fn materialize(&self, wh: &Warehouse, jidx: &JoinIndex, net: &StarNet) -> Subspace {
+        self.materialize_with(wh, jidx, net, &ExecConfig::serial())
+    }
+
+    /// Materializes `net` with an explicit execution configuration,
+    /// serving repeats from the cache.
+    pub fn materialize_with(
+        &self,
+        wh: &Warehouse,
+        jidx: &JoinIndex,
+        net: &StarNet,
+        exec: &ExecConfig,
+    ) -> Subspace {
         let key = net.fingerprint();
+        let shard = self.shard(&key);
         {
-            let mut inner = self.inner.lock();
+            let mut inner = shard.lock();
             inner.clock += 1;
             let clock = inner.clock;
             if let Some((sub, stamp)) = inner.map.get_mut(&key) {
@@ -64,11 +103,11 @@ impl SubspaceCache {
         }
         // Materialize outside the lock: concurrent sessions should not
         // serialize on the semi-join work.
-        let sub = materialize(wh, jidx, net);
-        let mut inner = self.inner.lock();
+        let sub = materialize_with(wh, jidx, net, exec);
+        let mut inner = shard.lock();
         inner.clock += 1;
         let clock = inner.clock;
-        if inner.map.len() >= self.capacity && !inner.map.contains_key(&key) {
+        if inner.map.len() >= self.shard_capacity && !inner.map.contains_key(&key) {
             if let Some(oldest) = inner
                 .map
                 .iter()
@@ -82,15 +121,26 @@ impl SubspaceCache {
         sub
     }
 
-    /// `(hits, misses)` counters.
+    /// `(hits, misses)` counters, summed over all shards.
     pub fn stats(&self) -> (u64, u64) {
-        let inner = self.inner.lock();
-        (inner.hits, inner.misses)
+        let mut hits = 0;
+        let mut misses = 0;
+        for shard in &self.shards {
+            let inner = shard.lock();
+            hits += inner.hits;
+            misses += inner.misses;
+        }
+        (hits, misses)
     }
 
-    /// Number of cached subspaces.
+    /// Number of cached subspaces across all shards.
     pub fn len(&self) -> usize {
-        self.inner.lock().map.len()
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
+    }
+
+    /// Total capacity across all shards.
+    pub fn capacity(&self) -> usize {
+        self.shard_capacity * self.shards.len()
     }
 
     /// True when nothing is cached.
@@ -100,8 +150,9 @@ impl SubspaceCache {
 
     /// Drops all cached entries (e.g. after warehouse changes).
     pub fn clear(&self) {
-        let mut inner = self.inner.lock();
-        inner.map.clear();
+        for shard in &self.shards {
+            shard.lock().map.clear();
+        }
     }
 }
 
@@ -129,24 +180,35 @@ mod tests {
         let cache = SubspaceCache::new(8);
         for net in generate_star_nets(&fx.wh, &fx.index, &["columbus", "lcd"], &GenConfig::default()) {
             let cached = cache.materialize(&fx.wh, &fx.jidx, &net);
-            let direct = materialize(&fx.wh, &fx.jidx, &net);
+            let direct = crate::subspace::materialize(&fx.wh, &fx.jidx, &net);
             assert_eq!(cached.rows, direct.rows);
         }
     }
 
     #[test]
-    fn lru_evicts_oldest() {
+    fn lru_evicts_oldest_within_a_shard() {
         let fx = ebiz_fixture();
-        let cache = SubspaceCache::new(2);
+        // Capacity 1 forces a single shard with a single slot, making
+        // eviction order deterministic regardless of key hashing.
+        let cache = SubspaceCache::new(1);
+        assert_eq!(cache.capacity(), 1);
         let nets = generate_star_nets(&fx.wh, &fx.index, &["columbus"], &GenConfig::default());
-        assert!(nets.len() >= 3);
+        assert!(nets.len() >= 2);
         cache.materialize(&fx.wh, &fx.jidx, &nets[0]); // miss
-        cache.materialize(&fx.wh, &fx.jidx, &nets[1]); // miss
-        cache.materialize(&fx.wh, &fx.jidx, &nets[0]); // hit, refreshes 0
-        cache.materialize(&fx.wh, &fx.jidx, &nets[2]); // miss, evicts 1
-        cache.materialize(&fx.wh, &fx.jidx, &nets[1]); // miss again
-        assert_eq!(cache.stats(), (1, 4));
-        assert_eq!(cache.len(), 2);
+        cache.materialize(&fx.wh, &fx.jidx, &nets[0]); // hit
+        cache.materialize(&fx.wh, &fx.jidx, &nets[1]); // miss, evicts 0
+        cache.materialize(&fx.wh, &fx.jidx, &nets[0]); // miss again
+        assert_eq!(cache.stats(), (1, 3));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn sharded_capacity_never_exceeds_requested_total() {
+        for capacity in [1usize, 2, 5, 8, 10, 64] {
+            let cache = SubspaceCache::new(capacity);
+            assert!(cache.capacity() <= capacity, "capacity {capacity}");
+            assert!(cache.capacity() >= 1);
+        }
     }
 
     #[test]
@@ -173,5 +235,35 @@ mod tests {
         let mut reversed = net.clone();
         reversed.constraints.reverse();
         assert_eq!(net.fingerprint(), reversed.fingerprint());
+    }
+
+    #[test]
+    fn concurrent_access_stays_consistent() {
+        let fx = std::sync::Arc::new(ebiz_fixture());
+        let cache = std::sync::Arc::new(SubspaceCache::new(4));
+        let nets = std::sync::Arc::new(generate_star_nets(
+            &fx.wh,
+            &fx.index,
+            &["columbus", "lcd"],
+            &GenConfig::default(),
+        ));
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let fx = fx.clone();
+                let cache = cache.clone();
+                let nets = nets.clone();
+                s.spawn(move || {
+                    for i in 0..50 {
+                        let net = &nets[(t + i) % nets.len()];
+                        let cached = cache.materialize(&fx.wh, &fx.jidx, net);
+                        let direct = crate::subspace::materialize(&fx.wh, &fx.jidx, net);
+                        assert_eq!(cached.rows, direct.rows);
+                    }
+                });
+            }
+        });
+        assert!(cache.len() <= cache.capacity());
+        let (hits, misses) = cache.stats();
+        assert_eq!(hits + misses, 4 * 50);
     }
 }

@@ -1,0 +1,69 @@
+//! Unified error type for the KDAP core layer.
+
+use std::fmt;
+
+use kdap_query::QueryError;
+use kdap_warehouse::WarehouseError;
+
+/// Errors surfaced by session construction and core-layer operations,
+/// wrapping the storage- and query-layer error types.
+#[derive(Debug)]
+pub enum KdapError {
+    /// An error from the warehouse layer.
+    Warehouse(WarehouseError),
+    /// An error from the query executor.
+    Query(QueryError),
+    /// The warehouse declares no measure to aggregate.
+    NoMeasure,
+    /// The requested measure is not declared by the warehouse.
+    UnknownMeasure(String),
+}
+
+impl fmt::Display for KdapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KdapError::Warehouse(e) => write!(f, "warehouse error: {e}"),
+            KdapError::Query(e) => write!(f, "query error: {e}"),
+            KdapError::NoMeasure => write!(f, "warehouse declares no measure"),
+            KdapError::UnknownMeasure(name) => write!(f, "unknown measure {name:?}"),
+        }
+    }
+}
+
+impl std::error::Error for KdapError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            KdapError::Warehouse(e) => Some(e),
+            KdapError::Query(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WarehouseError> for KdapError {
+    fn from(e: WarehouseError) -> Self {
+        KdapError::Warehouse(e)
+    }
+}
+
+impl From<QueryError> for KdapError {
+    fn from(e: QueryError) -> Self {
+        KdapError::Query(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_lower_layers() {
+        let e: KdapError = QueryError::InvalidBucketCount.into();
+        assert!(matches!(e, KdapError::Query(_)));
+        assert!(e.to_string().contains("query error"));
+        let e: KdapError = WarehouseError::NoFactTable.into();
+        assert!(matches!(e, KdapError::Warehouse(_)));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(KdapError::UnknownMeasure("X".into()).to_string().contains("\"X\""));
+    }
+}

@@ -100,6 +100,113 @@ fn shared_prefix(a: &JoinPath, b: &JoinPath) -> usize {
         .count()
 }
 
+/// One attribute-evaluation unit of work: a promoted (hit) attribute with
+/// the constraint's own path, or a declared group-by candidate with its
+/// chosen path. Tasks are collected up front so the explore phase can
+/// score them across worker threads; evaluation is a pure function of the
+/// task, so the assembled ranking is identical for every thread count.
+#[derive(Debug, Clone)]
+pub(crate) struct AttrTask {
+    pub attr: ColRef,
+    pub kind: AttrKind,
+    pub path: JoinPath,
+    pub promoted: bool,
+}
+
+/// Collects the evaluation tasks of one dimension: promoted hit
+/// attributes first (constraint paths), then declared candidates in
+/// schema order (preferred paths). Duplicates are resolved at assembly.
+pub(crate) fn collect_attr_tasks(wh: &Warehouse, net: &StarNet, dim: &Dimension) -> Vec<AttrTask> {
+    let schema = wh.schema();
+    let fact = schema.fact_table();
+    let mut tasks = Vec::new();
+    for c in &net.constraints {
+        if c.path.dimension(schema) == Some(dim.id) {
+            let kind = dim
+                .groupby_candidates
+                .iter()
+                .find(|g| g.attr == c.group.attr)
+                .map(|g| g.kind)
+                .unwrap_or(AttrKind::Categorical);
+            tasks.push(AttrTask {
+                attr: c.group.attr,
+                kind,
+                path: c.path.clone(),
+                promoted: true,
+            });
+        }
+    }
+    for cand in &dim.groupby_candidates {
+        let Some(path) = path_for_attr(wh, net, dim, cand.attr.table) else {
+            continue;
+        };
+        debug_assert_eq!(path.target_table(schema, fact), cand.attr.table);
+        tasks.push(AttrTask {
+            attr: cand.attr,
+            kind: cand.kind,
+            path,
+            promoted: false,
+        });
+    }
+    tasks
+}
+
+/// Scores one task against the roll-up spaces. Pure: no shared mutable
+/// state, safe to run from any worker thread.
+pub(crate) fn evaluate_attr_task(
+    wh: &Warehouse,
+    jidx: &JoinIndex,
+    sub: &Subspace,
+    rups: &[Subspace],
+    measure: &Measure,
+    cfg: &FacetConfig,
+    task: &AttrTask,
+) -> Option<RankedAttr> {
+    let scored = match task.kind {
+        AttrKind::Categorical => {
+            score_categorical(wh, jidx, sub, rups, &task.path, task.attr, measure, cfg)
+                .map(|corr| (corr, None))
+        }
+        AttrKind::Numerical => {
+            score_numerical(wh, jidx, sub, rups, &task.path, task.attr, measure, cfg)
+                .map(|(corr, series)| (corr, Some(series)))
+        }
+    };
+    scored.map(|(correlation, numeric)| RankedAttr {
+        attr: task.attr,
+        kind: task.kind,
+        path: task.path.clone(),
+        correlation,
+        score: cfg.mode.attr_score(correlation),
+        promoted: task.promoted,
+        numeric,
+    })
+}
+
+/// Assembles evaluated tasks into the final per-dimension ranking:
+/// first successful evaluation per attribute wins (promoted tasks come
+/// first in task order), then the configured ordering policy applies.
+pub(crate) fn assemble_ranked(
+    dim: &Dimension,
+    cfg: &FacetConfig,
+    tasks: &[AttrTask],
+    results: Vec<Option<RankedAttr>>,
+) -> Vec<RankedAttr> {
+    let mut out: Vec<RankedAttr> = Vec::new();
+    let mut covered: Vec<ColRef> = Vec::new();
+    for (task, result) in tasks.iter().zip(results) {
+        if covered.contains(&task.attr) {
+            continue;
+        }
+        if let Some(r) = result {
+            covered.push(task.attr);
+            out.push(r);
+        }
+    }
+    sort_ranked(dim, cfg, &mut out);
+    out
+}
+
 /// Ranks the group-by candidates of one dimension against the roll-up
 /// spaces. Promoted (hit) attributes come first; the rest are ordered by
 /// descending interestingness.
@@ -114,74 +221,18 @@ pub fn rank_dimension_attrs(
     measure: &Measure,
     cfg: &FacetConfig,
 ) -> Vec<RankedAttr> {
-    let schema = wh.schema();
-    let fact = schema.fact_table();
+    let tasks = collect_attr_tasks(wh, net, dim);
+    let results: Vec<Option<RankedAttr>> = tasks
+        .iter()
+        .map(|t| evaluate_attr_task(wh, jidx, sub, rups, measure, cfg, t))
+        .collect();
+    assemble_ranked(dim, cfg, &tasks, results)
+}
 
-    // Hit-group attributes of this dimension are promoted, with the
-    // constraint's own path.
-    let mut promoted: Vec<(ColRef, JoinPath)> = Vec::new();
-    for c in &net.constraints {
-        if c.path.dimension(schema) == Some(dim.id) {
-            promoted.push((c.group.attr, c.path.clone()));
-        }
-    }
-
-    let mut out: Vec<RankedAttr> = Vec::new();
-    let mut covered: Vec<ColRef> = Vec::new();
-
-    let evaluate = |attr: ColRef, kind: AttrKind, path: JoinPath, is_promoted: bool| {
-        let scored = match kind {
-            AttrKind::Categorical => {
-                score_categorical(wh, jidx, sub, rups, &path, attr, measure, cfg)
-                    .map(|corr| (corr, None))
-            }
-            AttrKind::Numerical => {
-                score_numerical(wh, jidx, sub, rups, &path, attr, measure, cfg)
-                    .map(|(corr, series)| (corr, Some(series)))
-            }
-        };
-        scored.map(|(correlation, numeric)| RankedAttr {
-            attr,
-            kind,
-            path,
-            correlation,
-            score: cfg.mode.attr_score(correlation),
-            promoted: is_promoted,
-            numeric,
-        })
-    };
-
-    for (attr, path) in promoted {
-        if covered.contains(&attr) {
-            continue;
-        }
-        let kind = dim
-            .groupby_candidates
-            .iter()
-            .find(|g| g.attr == attr)
-            .map(|g| g.kind)
-            .unwrap_or(AttrKind::Categorical);
-        if let Some(r) = evaluate(attr, kind, path, true) {
-            covered.push(attr);
-            out.push(r);
-        }
-    }
-    for cand in &dim.groupby_candidates {
-        if covered.contains(&cand.attr) {
-            continue;
-        }
-        let Some(path) = path_for_attr(wh, net, dim, cand.attr.table) else {
-            continue;
-        };
-        debug_assert_eq!(path.target_table(schema, fact), cand.attr.table);
-        if let Some(r) = evaluate(cand.attr, cand.kind, path, false) {
-            covered.push(cand.attr);
-            out.push(r);
-        }
-    }
-
-    // Promoted first (they anchor navigation), then by the configured
-    // ordering policy (§7: dynamic / consistent / hybrid).
+/// Sorts a ranking in place: promoted first (they anchor navigation),
+/// then by the configured ordering policy (§7: dynamic / consistent /
+/// hybrid).
+fn sort_ranked(dim: &Dimension, cfg: &FacetConfig, out: &mut [RankedAttr]) {
     let declared_pos = |attr: ColRef| -> usize {
         dim.groupby_candidates
             .iter()
@@ -221,7 +272,6 @@ pub fn rank_dimension_attrs(
                 })
         }),
     }
-    out
 }
 
 #[allow(clippy::too_many_arguments)]

@@ -14,13 +14,14 @@ pub mod instance_rank;
 
 use std::collections::HashSet;
 
-use kdap_query::{AggFunc, JoinIndex};
+use kdap_query::{par_map, AggFunc, ExecConfig, JoinIndex};
 use kdap_warehouse::{AttrKind, ColRef, Measure, Warehouse};
 
+use crate::facet::attr_rank::{assemble_ranked, collect_attr_tasks, evaluate_attr_task, AttrTask};
 use crate::interest::InterestMode;
 use crate::interpret::StarNet;
-use crate::rollup::rollup_spaces;
-use crate::subspace::{materialize, Subspace};
+use crate::rollup::rollup_spaces_with;
+use crate::subspace::{materialize_with, Subspace};
 
 pub use anneal::{merge_intervals, merge_series, AnnealConfig, MergeResult};
 pub use attr_rank::{path_for_attr, rank_dimension_attrs, NumericSeries, RankedAttr};
@@ -84,7 +85,7 @@ impl Default for FacetConfig {
 }
 
 /// One entry (attribute instance or numeric range) of a facet.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FacetEntry {
     /// Display label: an attribute instance or a numeric range.
     pub label: String,
@@ -98,7 +99,7 @@ pub struct FacetEntry {
 }
 
 /// One selected group-by attribute with its displayed entries.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FacetAttr {
     /// The group-by attribute.
     pub attr: ColRef,
@@ -117,7 +118,7 @@ pub struct FacetAttr {
 }
 
 /// The facet panel of one dimension.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FacetPanel {
     /// Dimension name.
     pub dimension: String,
@@ -126,7 +127,7 @@ pub struct FacetPanel {
 }
 
 /// The explore-phase output for a chosen star net.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Exploration {
     /// Number of qualifying fact points in DS′.
     pub subspace_size: usize,
@@ -145,8 +146,21 @@ pub fn explore(
     measure: &Measure,
     cfg: &FacetConfig,
 ) -> Exploration {
-    let sub = materialize(wh, jidx, net);
-    explore_subspace(wh, jidx, net, &sub, measure, cfg)
+    explore_with(wh, jidx, net, measure, cfg, &ExecConfig::serial())
+}
+
+/// Runs the complete explore phase with an explicit execution
+/// configuration.
+pub fn explore_with(
+    wh: &Warehouse,
+    jidx: &JoinIndex,
+    net: &StarNet,
+    measure: &Measure,
+    cfg: &FacetConfig,
+    exec: &ExecConfig,
+) -> Exploration {
+    let sub = materialize_with(wh, jidx, net, exec);
+    explore_subspace_with(wh, jidx, net, &sub, measure, cfg, exec)
 }
 
 /// Explore phase over an already-materialized subspace.
@@ -158,9 +172,31 @@ pub fn explore_subspace(
     measure: &Measure,
     cfg: &FacetConfig,
 ) -> Exploration {
+    explore_subspace_with(wh, jidx, net, sub, measure, cfg, &ExecConfig::serial())
+}
+
+/// Explore phase over an already-materialized subspace, fanning the
+/// independent pieces of work out over `exec`'s worker threads.
+///
+/// Three stages parallelize: the per-constraint roll-up spaces, the
+/// attribute scoring tasks (flattened across all dimensions), and the
+/// per-attribute entry construction. Every task is a pure function of its
+/// inputs and results are reassembled in task order, so the output is
+/// identical for every thread count — `threads = 1` runs the exact serial
+/// pipeline.
+#[allow(clippy::too_many_arguments)]
+pub fn explore_subspace_with(
+    wh: &Warehouse,
+    jidx: &JoinIndex,
+    net: &StarNet,
+    sub: &Subspace,
+    measure: &Measure,
+    cfg: &FacetConfig,
+    exec: &ExecConfig,
+) -> Exploration {
     let schema = wh.schema();
-    let rups = rollup_spaces(wh, jidx, net);
-    let total_aggregate = sub.aggregate(wh, measure, cfg.agg);
+    let rups = rollup_spaces_with(wh, jidx, net, exec);
+    let total_aggregate = sub.aggregate_exec(wh, measure, cfg.agg, exec);
 
     // Hit codes per attribute (to pin hit instances).
     let mut hit_codes: std::collections::HashMap<ColRef, HashSet<u32>> =
@@ -175,48 +211,79 @@ pub fn explore_subspace(
     let mut dims: Vec<&kdap_warehouse::Dimension> = schema.dimensions().iter().collect();
     dims.sort_by(|a, b| a.name.cmp(&b.name));
 
-    let mut panels = Vec::new();
-    for dim in dims {
-        let ranked = rank_dimension_attrs(wh, jidx, net, sub, &rups, dim, measure, cfg);
-        let mut attrs = Vec::new();
+    // Stage 1: score every group-by candidate of every dimension. The
+    // tasks flatten into one pool so narrow dimensions don't leave
+    // workers idle while a wide one finishes.
+    let tasks: Vec<(usize, AttrTask)> = dims
+        .iter()
+        .enumerate()
+        .flat_map(|(di, dim)| {
+            collect_attr_tasks(wh, net, dim)
+                .into_iter()
+                .map(move |t| (di, t))
+        })
+        .collect();
+    let results = par_map(exec, &tasks, |_, (_, task)| {
+        evaluate_attr_task(wh, jidx, sub, &rups, measure, cfg, task)
+    });
+
+    // Reassemble the per-dimension rankings (tasks are grouped by
+    // dimension in task order) and select the top-k attributes.
+    let mut per_dim: Vec<(Vec<AttrTask>, Vec<Option<RankedAttr>>)> =
+        (0..dims.len()).map(|_| (Vec::new(), Vec::new())).collect();
+    for ((di, task), result) in tasks.into_iter().zip(results) {
+        per_dim[di].0.push(task);
+        per_dim[di].1.push(result);
+    }
+    let mut selected: Vec<(usize, RankedAttr)> = Vec::new();
+    for (di, (dim, (dim_tasks, dim_results))) in dims.iter().zip(per_dim).enumerate() {
+        let ranked = assemble_ranked(dim, cfg, &dim_tasks, dim_results);
         for ra in ranked.into_iter().take(cfg.top_k_attrs) {
-            let entries = match (&ra.kind, &ra.numeric) {
-                (AttrKind::Categorical, _) => {
-                    let empty = HashSet::new();
-                    let hits = hit_codes.get(&ra.attr).unwrap_or(&empty);
-                    rank_instances(
-                        wh, jidx, sub, &rups, &ra.path, ra.attr, measure, cfg, hits,
-                    )
-                    .into_iter()
-                    .take(cfg.top_k_instances)
-                    .map(|ri| FacetEntry {
-                        label: ri.label.to_string(),
-                        aggregate: ri.aggregate,
-                        score: ri.score,
-                        is_hit: ri.is_hit,
-                    })
-                    .collect()
-                }
-                (AttrKind::Numerical, Some(series)) => {
-                    numeric_entries(series, cfg)
-                }
-                (AttrKind::Numerical, None) => Vec::new(),
-            };
-            attrs.push(FacetAttr {
-                attr: ra.attr,
-                name: wh.col_name(ra.attr),
-                kind: ra.kind,
-                correlation: ra.correlation,
-                score: ra.score,
-                promoted: ra.promoted,
-                entries,
-            });
+            selected.push((di, ra));
         }
-        if !attrs.is_empty() {
-            panels.push(FacetPanel {
-                dimension: dim.name.clone(),
-                attrs,
-            });
+    }
+
+    // Stage 2: build the entries of every selected attribute (instance
+    // ranking for categorical, Algorithm 2 merging for numerical).
+    let entry_lists = par_map(exec, &selected, |_, (_, ra)| match (&ra.kind, &ra.numeric) {
+        (AttrKind::Categorical, _) => {
+            let empty = HashSet::new();
+            let hits = hit_codes.get(&ra.attr).unwrap_or(&empty);
+            rank_instances(wh, jidx, sub, &rups, &ra.path, ra.attr, measure, cfg, hits)
+                .into_iter()
+                .take(cfg.top_k_instances)
+                .map(|ri| FacetEntry {
+                    label: ri.label.to_string(),
+                    aggregate: ri.aggregate,
+                    score: ri.score,
+                    is_hit: ri.is_hit,
+                })
+                .collect()
+        }
+        (AttrKind::Numerical, Some(series)) => numeric_entries(series, cfg),
+        (AttrKind::Numerical, None) => Vec::new(),
+    });
+
+    let mut panels = Vec::new();
+    for ((di, ra), entries) in selected.into_iter().zip(entry_lists) {
+        let facet_attr = FacetAttr {
+            attr: ra.attr,
+            name: wh.col_name(ra.attr),
+            kind: ra.kind,
+            correlation: ra.correlation,
+            score: ra.score,
+            promoted: ra.promoted,
+            entries,
+        };
+        let dimension = dims[di].name.clone();
+        match panels.last_mut() {
+            Some(FacetPanel { dimension: d, attrs }) if *d == dimension => {
+                attrs.push(facet_attr)
+            }
+            _ => panels.push(FacetPanel {
+                dimension,
+                attrs: vec![facet_attr],
+            }),
         }
     }
 

@@ -6,6 +6,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod error;
 pub mod explain;
 pub mod facet;
 pub mod hit;
@@ -20,22 +21,26 @@ pub mod rollup;
 pub mod session;
 pub mod subspace;
 
-mod testutil;
+#[doc(hidden)]
+pub mod testutil;
 
 pub use hit::{build_hit_sets, Hit, HitConfig, HitGroup, HitSet};
 pub use interpret::{generate_star_nets, Constraint, GenConfig, StarNet};
 pub use phrase::merged_group_pool;
 pub use rank::{rank_star_nets, score_star_net, RankMethod, RankedStarNet};
 pub use render::{render_exploration, render_interpretations};
-pub use subspace::{materialize, Subspace};
+pub use subspace::{materialize, materialize_many, materialize_with, Subspace};
 pub use facet::{
-    explore, explore_subspace, AnnealConfig, Exploration, FacetAttr, FacetConfig, FacetEntry,
-    FacetOrder, FacetPanel, MergeResult,
+    explore, explore_subspace, explore_subspace_with, explore_with, AnnealConfig, Exploration,
+    FacetAttr, FacetConfig, FacetEntry, FacetOrder, FacetPanel, MergeResult,
 };
+pub use error::KdapError;
 pub use explain::{explain, ConstraintPlan, Plan};
 pub use interest::{combine_correlations, pearson, InterestMode};
-pub use rollup::{rollup_constraint, rollup_spaces, Rollup};
+pub use rollup::{rollup_constraint, rollup_spaces, rollup_spaces_with, Rollup};
 pub use navigate::{drill_down, remove_constraint, roll_up, slice};
 pub use cache::SubspaceCache;
 pub use numeric_hits::{numeric_groups, NumericConfig};
-pub use session::{split_query, Kdap};
+pub use session::{split_query, Kdap, KdapBuilder};
+
+pub use kdap_query::ExecConfig;

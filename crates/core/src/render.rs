@@ -63,7 +63,7 @@ mod tests {
     use crate::testutil::ebiz_fixture;
 
     fn session() -> Kdap {
-        Kdap::new(ebiz_fixture().wh).unwrap()
+        Kdap::builder(ebiz_fixture().wh).build().unwrap()
     }
 
     #[test]

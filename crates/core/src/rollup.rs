@@ -10,7 +10,7 @@
 
 use std::collections::BTreeSet;
 
-use kdap_query::{paths_between, JoinIndex, JoinPath, Selection};
+use kdap_query::{par_map, paths_between, ExecConfig, JoinIndex, JoinPath, Selection};
 use kdap_warehouse::{ColRef, Warehouse};
 
 use crate::interpret::{Constraint, StarNet};
@@ -92,46 +92,65 @@ fn parent_codes(
 /// roll-uppable constraint at all, the full dataspace serves as the single
 /// background space.
 pub fn rollup_spaces(wh: &Warehouse, jidx: &JoinIndex, net: &StarNet) -> Vec<Subspace> {
-    let mut spaces = Vec::new();
-    for (i, c) in net.constraints.iter().enumerate() {
-        let rolled = rollup_constraint(wh, jidx, c);
-        let mut constraints: Vec<Constraint> = Vec::with_capacity(net.constraints.len());
-        for (j, other) in net.constraints.iter().enumerate() {
-            if j != i {
-                constraints.push(other.clone());
-                continue;
-            }
-            match &rolled {
-                Rollup::Drop => {} // constraint removed
-                Rollup::Parent(sel) => {
-                    let kdap_query::Predicate::Codes(codes) = &sel.predicate else {
-                        unreachable!("rollup_constraint emits code selections");
-                    };
-                    constraints.push(Constraint {
-                        group: crate::hit::HitGroup {
-                            attr: sel.attr,
-                            hits: codes
-                                .iter()
-                                .map(|&code| crate::hit::Hit {
-                                    code,
-                                    value: wh
-                                        .column(sel.attr)
-                                        .dict()
-                                        .and_then(|d| d.resolve(code).cloned())
-                                        .unwrap_or_else(|| "?".into()),
-                                    score: 1.0,
-                                })
-                                .collect(),
-                            keywords: c.group.keywords.clone(),
-                            numeric: None,
-                        },
-                        path: sel.path.clone(),
-                    })
-                }
+    rollup_spaces_with(wh, jidx, net, &ExecConfig::serial())
+}
+
+/// Builds the rolled-up star net with constraint `i` generalized.
+fn rolled_net(wh: &Warehouse, jidx: &JoinIndex, net: &StarNet, i: usize) -> StarNet {
+    let c = &net.constraints[i];
+    let rolled = rollup_constraint(wh, jidx, c);
+    let mut constraints: Vec<Constraint> = Vec::with_capacity(net.constraints.len());
+    for (j, other) in net.constraints.iter().enumerate() {
+        if j != i {
+            constraints.push(other.clone());
+            continue;
+        }
+        match &rolled {
+            Rollup::Drop => {} // constraint removed
+            Rollup::Parent(sel) => {
+                let kdap_query::Predicate::Codes(codes) = &sel.predicate else {
+                    unreachable!("rollup_constraint emits code selections");
+                };
+                constraints.push(Constraint {
+                    group: crate::hit::HitGroup {
+                        attr: sel.attr,
+                        hits: codes
+                            .iter()
+                            .map(|&code| crate::hit::Hit {
+                                code,
+                                value: wh
+                                    .column(sel.attr)
+                                    .dict()
+                                    .and_then(|d| d.resolve(code).cloned())
+                                    .unwrap_or_else(|| "?".into()),
+                                score: 1.0,
+                            })
+                            .collect(),
+                        keywords: c.group.keywords.clone(),
+                        numeric: None,
+                    },
+                    path: sel.path.clone(),
+                })
             }
         }
-        spaces.push(materialize(wh, jidx, &StarNet { constraints }));
     }
+    StarNet { constraints }
+}
+
+/// Like [`rollup_spaces`], but materializes the per-constraint roll-up
+/// spaces across worker threads. The spaces are independent of each other,
+/// so output order (one space per constraint, in constraint order) and
+/// contents are identical for every thread count.
+pub fn rollup_spaces_with(
+    wh: &Warehouse,
+    jidx: &JoinIndex,
+    net: &StarNet,
+    exec: &ExecConfig,
+) -> Vec<Subspace> {
+    let indices: Vec<usize> = (0..net.constraints.len()).collect();
+    let mut spaces = par_map(exec, &indices, |_, &i| {
+        materialize(wh, jidx, &rolled_net(wh, jidx, net, i))
+    });
     if spaces.is_empty() {
         spaces.push(Subspace::full(wh));
     }

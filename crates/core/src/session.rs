@@ -5,70 +5,177 @@
 //! keywords ──▶ interpret() ──▶ ranked star nets ──(user picks one)──▶
 //!          explore() ──▶ aggregates + dynamic facets
 //! ```
+//!
+//! Sessions are configured through [`KdapBuilder`] and may run the
+//! explore phase over several worker threads; `threads = 1` (the
+//! default) reproduces the serial pipeline bit for bit.
 
-use kdap_query::JoinIndex;
+use kdap_query::{par_map, ExecConfig, JoinIndex};
 use kdap_textindex::TextIndex;
 use kdap_warehouse::{Measure, Warehouse, WarehouseError};
 
 use crate::cache::SubspaceCache;
-use crate::facet::{explore_subspace, Exploration, FacetConfig};
+use crate::error::KdapError;
+use crate::facet::{explore_subspace_with, Exploration, FacetConfig};
 use crate::interpret::{generate_star_nets, GenConfig, StarNet};
 use crate::rank::{rank_star_nets, RankMethod, RankedStarNet};
-use crate::subspace::materialize;
+use crate::subspace::{materialize_with, Subspace};
+
+/// Configures and constructs a [`Kdap`] session.
+///
+/// ```no_run
+/// # use kdap_core::Kdap;
+/// # fn wh() -> kdap_warehouse::Warehouse { unimplemented!() }
+/// let kdap = Kdap::builder(wh())
+///     .measure("Revenue")
+///     .cache_capacity(64)
+///     .threads(4)
+///     .build()
+///     .expect("valid session");
+/// ```
+pub struct KdapBuilder {
+    wh: Warehouse,
+    measure: Option<String>,
+    cache_capacity: Option<usize>,
+    gen: GenConfig,
+    facet: FacetConfig,
+    method: RankMethod,
+    threads: usize,
+}
+
+impl KdapBuilder {
+    /// Starts a builder over `wh` with default configuration: first
+    /// declared measure, no cache, serial execution.
+    pub fn new(wh: Warehouse) -> Self {
+        KdapBuilder {
+            wh,
+            measure: None,
+            cache_capacity: None,
+            gen: GenConfig::default(),
+            facet: FacetConfig::default(),
+            method: RankMethod::Standard,
+            threads: 1,
+        }
+    }
+
+    /// Selects the measure by name (default: the warehouse's first
+    /// declared measure).
+    pub fn measure(mut self, name: impl Into<String>) -> Self {
+        self.measure = Some(name.into());
+        self
+    }
+
+    /// Enables the subspace cache with the given total capacity (§7
+    /// future-work optimization): repeat explorations of the same
+    /// interpretation skip rematerialization.
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = Some(capacity);
+        self
+    }
+
+    /// Sets the differentiate-phase configuration.
+    pub fn gen_config(mut self, gen: GenConfig) -> Self {
+        self.gen = gen;
+        self
+    }
+
+    /// Sets the explore-phase configuration.
+    pub fn facet_config(mut self, facet: FacetConfig) -> Self {
+        self.facet = facet;
+        self
+    }
+
+    /// Sets the star-net ranking method (Standard unless ablating).
+    pub fn rank_method(mut self, method: RankMethod) -> Self {
+        self.method = method;
+        self
+    }
+
+    /// Sets the worker-thread count for the parallel execution engine.
+    /// `1` (the default) runs serially; `0` uses all available cores.
+    /// Results are identical for every setting.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Builds the offline indexes and the session.
+    pub fn build(self) -> Result<Kdap, KdapError> {
+        let measure = match &self.measure {
+            Some(name) => self
+                .wh
+                .schema()
+                .measure_by_name(name)
+                .cloned()
+                .ok_or_else(|| KdapError::UnknownMeasure(name.clone()))?,
+            None => self
+                .wh
+                .schema()
+                .measures()
+                .first()
+                .cloned()
+                .ok_or(KdapError::NoMeasure)?,
+        };
+        let index = TextIndex::build(&self.wh);
+        let jidx = JoinIndex::build(&self.wh);
+        let exec = if self.threads == 1 {
+            ExecConfig::serial()
+        } else {
+            ExecConfig::with_threads(self.threads)
+        };
+        Ok(Kdap {
+            wh: self.wh,
+            index,
+            jidx,
+            gen: self.gen,
+            facet: self.facet,
+            method: self.method,
+            measure,
+            cache: self.cache_capacity.map(SubspaceCache::new),
+            exec,
+        })
+    }
+}
 
 /// A ready-to-query KDAP system over one warehouse: text index and join
-/// indexes are built once at construction.
+/// indexes are built once at construction (see [`KdapBuilder`]).
 pub struct Kdap {
     wh: Warehouse,
     index: TextIndex,
     jidx: JoinIndex,
-    /// Differentiate-phase configuration.
-    pub gen: GenConfig,
-    /// Explore-phase configuration.
-    pub facet: FacetConfig,
-    /// Star-net ranking method (Standard unless ablating).
-    pub method: RankMethod,
+    gen: GenConfig,
+    facet: FacetConfig,
+    method: RankMethod,
     measure: Measure,
     cache: Option<SubspaceCache>,
+    exec: ExecConfig,
 }
 
 impl Kdap {
-    /// Builds the offline indexes and a session with default
-    /// configuration, using the warehouse's first declared measure.
+    /// Starts a [`KdapBuilder`] over `wh`.
+    pub fn builder(wh: Warehouse) -> KdapBuilder {
+        KdapBuilder::new(wh)
+    }
+
+    /// Builds a session with default configuration, using the
+    /// warehouse's first declared measure.
+    #[deprecated(note = "use `Kdap::builder(wh).build()` instead")]
     pub fn new(wh: Warehouse) -> Result<Self, WarehouseError> {
-        let measure = wh
-            .schema()
-            .measures()
-            .first()
-            .cloned()
-            .ok_or(WarehouseError::NoFactTable)?;
-        let index = TextIndex::build(&wh);
-        let jidx = JoinIndex::build(&wh);
-        Ok(Kdap {
-            wh,
-            index,
-            jidx,
-            gen: GenConfig::default(),
-            facet: FacetConfig::default(),
-            method: RankMethod::Standard,
-            measure,
-            cache: None,
+        KdapBuilder::new(wh).build().map_err(|e| match e {
+            KdapError::Warehouse(we) => we,
+            _ => WarehouseError::NoFactTable,
         })
     }
 
-    /// Enables the subspace cache (§7 future-work optimization): repeat
-    /// explorations of the same interpretation skip rematerialization.
+    /// Enables the subspace cache.
+    #[deprecated(note = "use `KdapBuilder::cache_capacity` instead")]
     pub fn with_cache(mut self, capacity: usize) -> Self {
         self.cache = Some(SubspaceCache::new(capacity));
         self
     }
 
-    /// Cache hit/miss counters, when the cache is enabled.
-    pub fn cache_stats(&self) -> Option<(u64, u64)> {
-        self.cache.as_ref().map(|c| c.stats())
-    }
-
     /// Selects the measure by name.
+    #[deprecated(note = "use `KdapBuilder::measure` instead")]
     pub fn with_measure(mut self, name: &str) -> Result<Self, WarehouseError> {
         self.measure = self
             .wh
@@ -77,6 +184,11 @@ impl Kdap {
             .cloned()
             .ok_or_else(|| WarehouseError::UnknownTable(format!("measure {name}")))?;
         Ok(self)
+    }
+
+    /// Cache hit/miss counters, when the cache is enabled.
+    pub fn cache_stats(&self) -> Option<(u64, u64)> {
+        self.cache.as_ref().map(|c| c.stats())
     }
 
     /// The underlying warehouse.
@@ -99,6 +211,51 @@ impl Kdap {
         &self.measure
     }
 
+    /// The differentiate-phase configuration.
+    pub fn gen_config(&self) -> &GenConfig {
+        &self.gen
+    }
+
+    /// Mutable access to the differentiate-phase configuration.
+    pub fn gen_config_mut(&mut self) -> &mut GenConfig {
+        &mut self.gen
+    }
+
+    /// The explore-phase configuration.
+    pub fn facet_config(&self) -> &FacetConfig {
+        &self.facet
+    }
+
+    /// Mutable access to the explore-phase configuration (interactive
+    /// sessions flip interestingness modes and facet ordering).
+    pub fn facet_config_mut(&mut self) -> &mut FacetConfig {
+        &mut self.facet
+    }
+
+    /// The star-net ranking method.
+    pub fn rank_method(&self) -> RankMethod {
+        self.method
+    }
+
+    /// Changes the star-net ranking method.
+    pub fn set_rank_method(&mut self, method: RankMethod) {
+        self.method = method;
+    }
+
+    /// The execution configuration of the parallel engine.
+    pub fn exec_config(&self) -> &ExecConfig {
+        &self.exec
+    }
+
+    /// Changes the worker-thread count (`1` = serial, `0` = all cores).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.exec = if threads == 1 {
+            ExecConfig::serial()
+        } else {
+            ExecConfig::with_threads(threads)
+        };
+    }
+
     /// Differentiate phase: parses the keyword query (double quotes group
     /// phrases, e.g. `"san jose" tv`), generates candidate star nets and
     /// returns them ranked.
@@ -107,6 +264,24 @@ impl Kdap {
         let refs: Vec<&str> = keywords.iter().map(String::as_str).collect();
         let nets = generate_star_nets(&self.wh, &self.index, &refs, &self.gen);
         rank_star_nets(nets, self.method)
+    }
+
+    /// Materializes the subspaces of the top-`k` ranked interpretations,
+    /// one worker per candidate, warming the cache when it is enabled.
+    /// Returned subspaces align with the input order.
+    pub fn materialize_top(&self, ranked: &[RankedStarNet], k: usize) -> Vec<Subspace> {
+        let nets: Vec<&StarNet> = ranked.iter().take(k).map(|r| &r.net).collect();
+        par_map(&self.exec, &nets, |_, net| self.materialize_net(net))
+    }
+
+    fn materialize_net(&self, net: &StarNet) -> Subspace {
+        // Inner materialization stays serial: candidates themselves are
+        // the unit of parallel work here, and the scoped engine does not
+        // nest worker pools.
+        match &self.cache {
+            Some(cache) => cache.materialize(&self.wh, &self.jidx, net),
+            None => materialize_with(&self.wh, &self.jidx, net, &ExecConfig::serial()),
+        }
     }
 
     /// Explore phase: aggregates the chosen interpretation's subspace and
@@ -119,10 +294,10 @@ impl Kdap {
     /// user-defined measures and aggregation functions, §5).
     pub fn explore_with_measure(&self, net: &StarNet, measure: &Measure) -> Exploration {
         let sub = match &self.cache {
-            Some(cache) => cache.materialize(&self.wh, &self.jidx, net),
-            None => materialize(&self.wh, &self.jidx, net),
+            Some(cache) => cache.materialize_with(&self.wh, &self.jidx, net, &self.exec),
+            None => materialize_with(&self.wh, &self.jidx, net, &self.exec),
         };
-        explore_subspace(&self.wh, &self.jidx, net, &sub, measure, &self.facet)
+        explore_subspace_with(&self.wh, &self.jidx, net, &sub, measure, &self.facet, &self.exec)
     }
 }
 
@@ -165,7 +340,7 @@ mod tests {
 
     fn session() -> Kdap {
         let fx = ebiz_fixture();
-        Kdap::new(fx.wh).unwrap()
+        Kdap::builder(fx.wh).build().unwrap()
     }
 
     #[test]
@@ -213,13 +388,43 @@ mod tests {
         b.table("F", &[("Id", ValueType::Int, false)]).unwrap();
         b.fact("F").unwrap();
         let wh = b.finish().unwrap();
-        assert!(Kdap::new(wh).is_err());
+        assert!(matches!(
+            Kdap::builder(wh).build(),
+            Err(KdapError::NoMeasure)
+        ));
+    }
+
+    #[test]
+    fn builder_rejects_unknown_measure() {
+        let fx = ebiz_fixture();
+        assert!(matches!(
+            Kdap::builder(fx.wh).measure("Nope").build(),
+            Err(KdapError::UnknownMeasure(_))
+        ));
+    }
+
+    #[test]
+    fn builder_selects_measure_by_name() {
+        let fx = ebiz_fixture();
+        let kdap = Kdap::builder(fx.wh).measure("Revenue").build().unwrap();
+        assert_eq!(kdap.measure().name, "Revenue");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_still_work() {
+        let fx = ebiz_fixture();
+        let kdap = Kdap::new(fx.wh).unwrap().with_measure("Revenue").unwrap();
+        assert_eq!(kdap.measure().name, "Revenue");
+        let kdap = kdap.with_cache(4);
+        assert_eq!(kdap.cache_stats(), Some((0, 0)));
     }
 
     #[test]
     fn cached_session_counts_hits_and_matches_uncached() {
+        let fx = ebiz_fixture();
         let kdap_plain = session();
-        let kdap_cached = session().with_cache(16);
+        let kdap_cached = Kdap::builder(fx.wh).cache_capacity(16).build().unwrap();
         assert_eq!(kdap_plain.cache_stats(), None);
         let ranked = kdap_cached.interpret("columbus");
         let a = kdap_cached.explore(&ranked[0].net);
@@ -231,6 +436,38 @@ mod tests {
         let ranked_p = kdap_plain.interpret("columbus");
         let c = kdap_plain.explore(&ranked_p[0].net);
         assert_eq!(a.total_aggregate, c.total_aggregate);
+    }
+
+    #[test]
+    fn threaded_session_matches_serial() {
+        let fx = ebiz_fixture();
+        let serial = session();
+        let threaded = Kdap::builder(fx.wh).threads(4).build().unwrap();
+        let rs = serial.interpret("columbus lcd");
+        let rt = threaded.interpret("columbus lcd");
+        assert_eq!(rs.len(), rt.len());
+        for (a, b) in rs.iter().zip(&rt) {
+            assert_eq!(serial.explore(&a.net), threaded.explore(&b.net));
+        }
+    }
+
+    #[test]
+    fn materialize_top_warms_the_cache() {
+        let fx = ebiz_fixture();
+        let kdap = Kdap::builder(fx.wh)
+            .cache_capacity(16)
+            .threads(4)
+            .build()
+            .unwrap();
+        let ranked = kdap.interpret("columbus");
+        let subs = kdap.materialize_top(&ranked, 3);
+        assert_eq!(subs.len(), 3.min(ranked.len()));
+        let (_, misses) = kdap.cache_stats().unwrap();
+        assert_eq!(misses, subs.len() as u64);
+        // Exploring a warmed interpretation hits the cache.
+        kdap.explore(&ranked[0].net);
+        let (hits, _) = kdap.cache_stats().unwrap();
+        assert!(hits >= 1);
     }
 
     #[test]
@@ -253,9 +490,14 @@ mod tests {
     }
 
     #[test]
-    fn with_measure_selects_by_name() {
-        let kdap = session().with_measure("Revenue").unwrap();
-        assert_eq!(kdap.measure().name, "Revenue");
-        assert!(session().with_measure("Nope").is_err());
+    fn config_accessors_round_trip() {
+        let mut kdap = session();
+        assert_eq!(kdap.rank_method(), RankMethod::Standard);
+        kdap.facet_config_mut().top_k_attrs = 1;
+        assert_eq!(kdap.facet_config().top_k_attrs, 1);
+        kdap.set_threads(4);
+        assert!(!kdap.exec_config().is_serial());
+        kdap.set_threads(1);
+        assert!(kdap.exec_config().is_serial());
     }
 }

@@ -6,7 +6,9 @@
 //! while the hits inside one group OR together. Hit groups on the fact
 //! table itself select fact points directly (§4.2).
 
-use kdap_query::{aggregate_total, AggFunc, JoinIndex, RowSet, Selection};
+use kdap_query::{
+    aggregate_total_exec, par_map, AggFunc, ExecConfig, JoinIndex, RowSet, Selection,
+};
 use kdap_warehouse::{Measure, Warehouse};
 
 use crate::interpret::StarNet;
@@ -38,24 +40,74 @@ impl Subspace {
 
     /// Aggregates the measure over the subspace.
     pub fn aggregate(&self, wh: &Warehouse, measure: &Measure, func: AggFunc) -> f64 {
-        aggregate_total(wh, measure, &self.rows, func)
+        self.aggregate_exec(wh, measure, func, &ExecConfig::serial())
+    }
+
+    /// Aggregates the measure with an explicit execution configuration.
+    pub fn aggregate_exec(
+        &self,
+        wh: &Warehouse,
+        measure: &Measure,
+        func: AggFunc,
+        exec: &ExecConfig,
+    ) -> f64 {
+        aggregate_total_exec(wh, measure, &self.rows, func, exec)
+    }
+}
+
+/// Builds the selection a constraint denotes on the fact table.
+fn constraint_selection(c: &crate::interpret::Constraint) -> Selection {
+    match c.group.numeric {
+        // Future-work extension (§7): numeric/measure hit candidates
+        // select by value range instead of dictionary codes.
+        Some((lo, hi)) => Selection::by_range(c.path.clone(), c.group.attr, lo, hi),
+        None => Selection::by_codes(c.path.clone(), c.group.attr, c.group.codes()),
     }
 }
 
 /// Materializes a star net into its subspace.
 pub fn materialize(wh: &Warehouse, jidx: &JoinIndex, net: &StarNet) -> Subspace {
+    materialize_with(wh, jidx, net, &ExecConfig::serial())
+}
+
+/// Materializes a star net, evaluating constraints across worker threads.
+///
+/// Each hit-group constraint is evaluated independently; the resulting
+/// fact bitmaps AND together, so the intersection order cannot change the
+/// result and `threads = 1` is bit-for-bit identical to any other setting.
+pub fn materialize_with(
+    wh: &Warehouse,
+    jidx: &JoinIndex,
+    net: &StarNet,
+    exec: &ExecConfig,
+) -> Subspace {
     let fact = wh.schema().fact_table();
     let mut rows = RowSet::full(wh.fact_rows());
-    for c in &net.constraints {
-        let sel = match c.group.numeric {
-            // Future-work extension (§7): numeric/measure hit candidates
-            // select by value range instead of dictionary codes.
-            Some((lo, hi)) => Selection::by_range(c.path.clone(), c.group.attr, lo, hi),
-            None => Selection::by_codes(c.path.clone(), c.group.attr, c.group.codes()),
-        };
-        rows.intersect_with(&sel.eval(wh, jidx, fact));
+    if exec.is_serial() || net.constraints.len() < 2 {
+        for c in &net.constraints {
+            rows.intersect_with(&constraint_selection(c).eval(wh, jidx, fact));
+        }
+        return Subspace { rows };
+    }
+    let selections = par_map(exec, &net.constraints, |_, c| {
+        constraint_selection(c).eval(wh, jidx, fact)
+    });
+    for sel in &selections {
+        rows.intersect_with(sel);
     }
     Subspace { rows }
+}
+
+/// Materializes several star nets concurrently (one worker per net),
+/// preserving input order. Used to build the top-k candidate subspaces of
+/// the differentiate phase in parallel.
+pub fn materialize_many(
+    wh: &Warehouse,
+    jidx: &JoinIndex,
+    nets: &[&StarNet],
+    exec: &ExecConfig,
+) -> Vec<Subspace> {
+    par_map(exec, nets, |_, net| materialize(wh, jidx, net))
 }
 
 #[cfg(test)]
@@ -134,6 +186,38 @@ mod tests {
         // whatever it is, the aggregate must equal the sum over its rows.
         assert!(!sub.is_empty());
         assert!(agg > 0.0);
+    }
+
+    #[test]
+    fn parallel_materialization_matches_serial() {
+        let fx = ebiz_fixture();
+        let nets = generate_star_nets(
+            &fx.wh,
+            &fx.index,
+            &["columbus", "plasma"],
+            &GenConfig::default(),
+        );
+        for threads in [2usize, 4, 8] {
+            let exec = kdap_query::ExecConfig::with_threads(threads);
+            for net in &nets {
+                let serial = materialize(&fx.wh, &fx.jidx, net);
+                let parallel = materialize_with(&fx.wh, &fx.jidx, net, &exec);
+                assert_eq!(
+                    serial.rows.iter().collect::<Vec<_>>(),
+                    parallel.rows.iter().collect::<Vec<_>>()
+                );
+            }
+            let refs: Vec<&StarNet> = nets.iter().collect();
+            let many = materialize_many(&fx.wh, &fx.jidx, &refs, &exec);
+            assert_eq!(many.len(), nets.len());
+            for (net, sub) in nets.iter().zip(&many) {
+                let serial = materialize(&fx.wh, &fx.jidx, net);
+                assert_eq!(
+                    serial.rows.iter().collect::<Vec<_>>(),
+                    sub.rows.iter().collect::<Vec<_>>()
+                );
+            }
+        }
     }
 
     #[test]

@@ -2,7 +2,10 @@
 //! both ambiguity kinds — the shared `LOC` table reachable via Store,
 //! Buyer and Seller paths (join-path ambiguity) and "Columbus" as a city
 //! and a holiday (attribute-instance ambiguity).
-#![cfg(test)]
+//!
+//! Exposed (hidden from docs) so the crate's integration tests can reuse
+//! the fixture; not part of the public API.
+#![allow(missing_docs)]
 
 use kdap_query::JoinIndex;
 use kdap_textindex::TextIndex;

@@ -141,3 +141,75 @@ proptest! {
         prop_assert!((r.history.last().copied().unwrap() - r.error).abs() < 1e-15);
     }
 }
+
+fn session_with_threads(threads: usize) -> kdap_core::Kdap {
+    kdap_core::Kdap::builder(kdap_core::testutil::ebiz_fixture().wh)
+        .threads(threads)
+        .build()
+        .expect("fixture declares Revenue")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The parallel engine (threads ∈ {2, 4, 8}) produces an `Exploration`
+    /// identical to the serial one for any vocabulary query: same panels,
+    /// same attribute order, same entries, same aggregates.
+    #[test]
+    fn parallel_explore_equals_serial(
+        words in proptest::collection::vec(
+            proptest::sample::select(vec![
+                "columbus", "seattle", "plasma", "lcd", "projector",
+                "alice", "ohio", "slimline",
+            ]),
+            1..4,
+        )
+    ) {
+        let serial = session_with_threads(1);
+        let query = words.join(" ");
+        let ranked = serial.interpret(&query);
+        for threads in [2usize, 4, 8] {
+            let par = session_with_threads(threads);
+            for r in ranked.iter().take(3) {
+                let a = serial.explore(&r.net);
+                let b = par.explore(&r.net);
+                prop_assert_eq!(&a, &b, "threads={} query={:?}", threads, query);
+            }
+        }
+    }
+}
+
+/// Eight threads hammering one sharded `SubspaceCache` stay consistent:
+/// every lookup returns the same rows as a direct materialization, the
+/// capacity bound holds, and the hit/miss accounting adds up.
+#[test]
+fn sharded_cache_consistent_under_hammering() {
+    let fx = kdap_core::testutil::ebiz_fixture();
+    let kdap = kdap_core::Kdap::builder(fx.wh).build().expect("measure");
+    let cache = kdap_core::SubspaceCache::new(3);
+    let nets: Vec<_> = ["columbus", "seattle", "plasma", "lcd"]
+        .iter()
+        .flat_map(|q| kdap.interpret(q))
+        .map(|r| r.net)
+        .collect();
+    assert!(nets.len() >= 4, "fixture yields several interpretations");
+    const THREADS: usize = 8;
+    const ITERS: usize = 50;
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let (kdap, cache, nets) = (&kdap, &cache, &nets);
+            s.spawn(move || {
+                for i in 0..ITERS {
+                    let net = &nets[(t * 31 + i * 7) % nets.len()];
+                    let cached = cache.materialize(kdap.warehouse(), kdap.join_index(), net);
+                    let direct =
+                        kdap_core::materialize(kdap.warehouse(), kdap.join_index(), net);
+                    assert_eq!(cached.rows, direct.rows);
+                }
+            });
+        }
+    });
+    assert!(cache.len() <= cache.capacity(), "capacity bound holds");
+    let (hits, misses) = cache.stats();
+    assert_eq!(hits + misses, (THREADS * ITERS) as u64);
+}

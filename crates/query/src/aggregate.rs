@@ -11,8 +11,15 @@ use std::collections::HashMap;
 use kdap_warehouse::{ColRef, Measure, TableId, Warehouse};
 
 use crate::bitmap::RowSet;
+use crate::exec::{chunk_ranges, par_map, ExecConfig};
 use crate::path::JoinPath;
 use crate::semijoin::JoinIndex;
+
+/// Bitmap words per parallel aggregation chunk (8192 rows). Small enough
+/// that even the 60k-fact synthetic warehouse splits into several chunks;
+/// chunking depends only on the universe size, so chunked results are
+/// identical for every thread count ≥ 2.
+const AGG_CHUNK_WORDS: usize = 128;
 
 /// Aggregation function over the measure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,6 +69,15 @@ impl Accumulator {
         self.max = self.max.max(v);
     }
 
+    /// Folds another accumulator into this one. Parallel kernels build one
+    /// accumulator per chunk and merge them in chunk order.
+    pub fn merge(&mut self, other: &Accumulator) {
+        self.sum += other.sum;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// Final aggregate under `func`; empty groups yield 0 (consistent with
     /// SQL `SUM`/`COUNT` over an empty slice, and what the score formulas
     /// expect for missing segments).
@@ -79,15 +95,48 @@ impl Accumulator {
     }
 }
 
-/// Aggregate of the measure over an entire row set.
+/// Aggregate of the measure over an entire row set. Iterates via the
+/// word-skipping bitmap iterator, so sparse subspaces cost time
+/// proportional to their occupied words.
 pub fn aggregate_total(wh: &Warehouse, measure: &Measure, rows: &RowSet, func: AggFunc) -> f64 {
-    let mut acc = Accumulator::default();
-    for row in rows.iter() {
-        if let Some(v) = wh.eval_measure(measure, row) {
-            acc.add(v);
+    aggregate_total_exec(wh, measure, rows, func, &ExecConfig::serial())
+}
+
+/// [`aggregate_total`] fanned out over `exec`'s workers: each worker
+/// accumulates a fixed word-range chunk, and the per-chunk accumulators
+/// are merged in chunk order.
+pub fn aggregate_total_exec(
+    wh: &Warehouse,
+    measure: &Measure,
+    rows: &RowSet,
+    func: AggFunc,
+    exec: &ExecConfig,
+) -> f64 {
+    let nwords = rows.as_words().len();
+    if exec.is_serial() || nwords < 2 * AGG_CHUNK_WORDS {
+        let mut acc = Accumulator::default();
+        for row in rows.iter() {
+            if let Some(v) = wh.eval_measure(measure, row) {
+                acc.add(v);
+            }
         }
+        return acc.finish(func);
     }
-    acc.finish(func)
+    let ranges = chunk_ranges(nwords, AGG_CHUNK_WORDS);
+    let partials = par_map(exec, &ranges, |_, r| {
+        let mut acc = Accumulator::default();
+        for row in rows.iter_word_range(r.clone()) {
+            if let Some(v) = wh.eval_measure(measure, row) {
+                acc.add(v);
+            }
+        }
+        acc
+    });
+    let mut total = Accumulator::default();
+    for p in &partials {
+        total.merge(p);
+    }
+    total.finish(func)
 }
 
 /// Groups `rows` (origin-table rows) by the dictionary code of `attr`
@@ -104,20 +153,65 @@ pub fn group_by_categorical(
     measure: &Measure,
     func: AggFunc,
 ) -> HashMap<u32, f64> {
+    group_by_categorical_exec(
+        wh,
+        idx,
+        origin,
+        path,
+        attr,
+        rows,
+        measure,
+        func,
+        &ExecConfig::serial(),
+    )
+}
+
+/// [`group_by_categorical`] fanned out over `exec`'s workers: each worker
+/// builds group accumulators for a fixed word-range chunk of the bitmap,
+/// and the per-chunk maps are merged in chunk order.
+#[allow(clippy::too_many_arguments)]
+pub fn group_by_categorical_exec(
+    wh: &Warehouse,
+    idx: &JoinIndex,
+    origin: TableId,
+    path: &JoinPath,
+    attr: ColRef,
+    rows: &RowSet,
+    measure: &Measure,
+    func: AggFunc,
+    exec: &ExecConfig,
+) -> HashMap<u32, f64> {
     let mapper = idx.row_mapper(wh, origin, path);
     let col = wh.column(attr);
-    let mut groups: HashMap<u32, Accumulator> = HashMap::new();
-    for row in rows.iter() {
-        let Some(target_row) = mapper[row] else {
-            continue;
-        };
-        let Some(code) = col.get_code(target_row as usize) else {
-            continue;
-        };
-        if let Some(v) = wh.eval_measure(measure, row) {
-            groups.entry(code).or_default().add(v);
+    let accumulate = |range: std::ops::Range<usize>| {
+        let mut groups: HashMap<u32, Accumulator> = HashMap::new();
+        for row in rows.iter_word_range(range) {
+            let Some(target_row) = mapper[row] else {
+                continue;
+            };
+            let Some(code) = col.get_code(target_row as usize) else {
+                continue;
+            };
+            if let Some(v) = wh.eval_measure(measure, row) {
+                groups.entry(code).or_default().add(v);
+            }
         }
-    }
+        groups
+    };
+    let nwords = rows.as_words().len();
+    let groups = if exec.is_serial() || nwords < 2 * AGG_CHUNK_WORDS {
+        accumulate(0..nwords)
+    } else {
+        let ranges = chunk_ranges(nwords, AGG_CHUNK_WORDS);
+        let partials = par_map(exec, &ranges, |_, r| accumulate(r.clone()));
+        let mut merged: HashMap<u32, Accumulator> = HashMap::new();
+        for partial in partials {
+            for (code, acc) in partial {
+                merged.entry(code).or_default().merge(&acc);
+            }
+        }
+        merged
+    };
     groups
         .into_iter()
         .map(|(code, acc)| (code, acc.finish(func)))
@@ -163,11 +257,17 @@ impl Bucketizer {
 
     /// One-bucket-per-distinct-value partitioning.
     pub fn per_distinct(values: impl IntoIterator<Item = f64>) -> Option<Self> {
-        let mut vals: Vec<f64> = values.into_iter().filter(|v| v.is_finite()).collect();
+        // Normalize -0.0 to 0.0 so total_cmp ordering matches value
+        // equality for every finite input.
+        let mut vals: Vec<f64> = values
+            .into_iter()
+            .filter(|v| v.is_finite())
+            .map(|v| if v == 0.0 { 0.0 } else { v })
+            .collect();
         if vals.is_empty() {
             return None;
         }
-        vals.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        vals.sort_by(f64::total_cmp);
         vals.dedup();
         Some(Bucketizer::Distinct { values: vals })
     }
@@ -196,9 +296,10 @@ impl Bucketizer {
                 let frac = (v - min) / (max - min);
                 Some(((frac * *n as f64) as usize).min(n - 1))
             }
-            Bucketizer::Distinct { values } => values
-                .binary_search_by(|x| x.partial_cmp(&v).expect("finite"))
-                .ok(),
+            Bucketizer::Distinct { values } => {
+                let v = if v == 0.0 { 0.0 } else { v };
+                values.binary_search_by(|x| x.total_cmp(&v)).ok()
+            }
         }
     }
 
@@ -230,23 +331,70 @@ pub fn group_by_buckets(
     func: AggFunc,
     buckets: &Bucketizer,
 ) -> Vec<f64> {
+    group_by_buckets_exec(
+        wh,
+        idx,
+        origin,
+        path,
+        attr,
+        rows,
+        measure,
+        func,
+        buckets,
+        &ExecConfig::serial(),
+    )
+}
+
+/// [`group_by_buckets`] fanned out over `exec`'s workers: each worker
+/// fills a bucket-accumulator array for a fixed word-range chunk, and the
+/// per-chunk arrays are merged in chunk order.
+#[allow(clippy::too_many_arguments)]
+pub fn group_by_buckets_exec(
+    wh: &Warehouse,
+    idx: &JoinIndex,
+    origin: TableId,
+    path: &JoinPath,
+    attr: ColRef,
+    rows: &RowSet,
+    measure: &Measure,
+    func: AggFunc,
+    buckets: &Bucketizer,
+    exec: &ExecConfig,
+) -> Vec<f64> {
     let mapper = idx.row_mapper(wh, origin, path);
     let col = wh.column(attr);
-    let mut accs = vec![Accumulator::default(); buckets.n_buckets()];
-    for row in rows.iter() {
-        let Some(target_row) = mapper[row] else {
-            continue;
-        };
-        let Some(v) = col.get_float(target_row as usize) else {
-            continue;
-        };
-        let Some(b) = buckets.bucket_of(v) else {
-            continue;
-        };
-        if let Some(m) = wh.eval_measure(measure, row) {
-            accs[b].add(m);
+    let accumulate = |range: std::ops::Range<usize>| {
+        let mut accs = vec![Accumulator::default(); buckets.n_buckets()];
+        for row in rows.iter_word_range(range) {
+            let Some(target_row) = mapper[row] else {
+                continue;
+            };
+            let Some(v) = col.get_float(target_row as usize) else {
+                continue;
+            };
+            let Some(b) = buckets.bucket_of(v) else {
+                continue;
+            };
+            if let Some(m) = wh.eval_measure(measure, row) {
+                accs[b].add(m);
+            }
         }
-    }
+        accs
+    };
+    let nwords = rows.as_words().len();
+    let accs = if exec.is_serial() || nwords < 2 * AGG_CHUNK_WORDS {
+        accumulate(0..nwords)
+    } else {
+        let ranges = chunk_ranges(nwords, AGG_CHUNK_WORDS);
+        let partials = par_map(exec, &ranges, |_, r| accumulate(r.clone()));
+        let mut merged = vec![Accumulator::default(); buckets.n_buckets()];
+        for partial in &partials {
+            for (m, p) in merged.iter_mut().zip(partial) {
+                m.merge(p);
+            }
+        }
+        merged
+    };
     accs.iter().map(|a| a.finish(func)).collect()
 }
 
@@ -451,6 +599,38 @@ mod tests {
         assert_eq!(b.bucket_of(5.0), Some(0));
         assert!(Bucketizer::equal_width(std::iter::empty(), 3).is_none());
         assert!(Bucketizer::per_distinct(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn exec_variants_match_serial() {
+        // The toy warehouse is one chunk; integer-ish revenues make f64
+        // sums exact, so serial and chunked schedules must agree exactly.
+        let (wh, idx, path, measure) = setup();
+        let fact = wh.schema().fact_table();
+        let attr = wh.col_ref("STORE", "City").unwrap();
+        let sqft = wh.col_ref("STORE", "SqFt").unwrap();
+        let all = RowSet::full(wh.fact_rows());
+        let buckets =
+            Bucketizer::equal_width(project_numeric(&wh, &idx, fact, &path, sqft, &all), 2)
+                .unwrap();
+        for threads in [1, 2, 4] {
+            let exec = ExecConfig::with_threads(threads);
+            assert_eq!(
+                aggregate_total_exec(&wh, &measure, &all, AggFunc::Sum, &exec),
+                100.0
+            );
+            let groups = group_by_categorical_exec(
+                &wh, &idx, fact, &path, attr, &all, &measure, AggFunc::Sum, &exec,
+            );
+            assert_eq!(
+                groups,
+                group_by_categorical(&wh, &idx, fact, &path, attr, &all, &measure, AggFunc::Sum)
+            );
+            let series = group_by_buckets_exec(
+                &wh, &idx, fact, &path, sqft, &all, &measure, AggFunc::Sum, &buckets, &exec,
+            );
+            assert_eq!(series, vec![30.0, 70.0]);
+        }
     }
 
     #[test]

@@ -1,5 +1,13 @@
 //! Fixed-width row bitmaps for fact-row sets (subspaces).
 
+use crate::error::QueryError;
+use crate::exec::{chunk_ranges, par_map, ExecConfig};
+
+/// Words per parallel chunk for the set-algebra kernels (1 MiB of rows).
+/// Chunking depends only on set size, so chunked results are identical
+/// for every thread count.
+const PAR_CHUNK_WORDS: usize = 16 * 1024;
+
 /// A set of row indices over a table of known size, stored as a bitmap.
 ///
 /// A KDAP *subspace* DS′ is exactly a `RowSet` over the fact table.
@@ -38,6 +46,35 @@ impl RowSet {
         s
     }
 
+    /// Builds a set directly from its word representation. `words` must
+    /// hold exactly `nrows.div_ceil(64)` words with no bits past `nrows`.
+    pub fn from_words(nrows: usize, words: Vec<u64>) -> Result<Self, QueryError> {
+        if words.len() != nrows.div_ceil(64) {
+            return Err(QueryError::RowOutOfRange {
+                row: words.len() * 64,
+                universe: nrows,
+            });
+        }
+        if let Some(&last) = words.last() {
+            let bits = nrows - (words.len() - 1) * 64;
+            let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+            if last & !mask != 0 {
+                return Err(QueryError::RowOutOfRange {
+                    row: nrows,
+                    universe: nrows,
+                });
+            }
+        }
+        Ok(RowSet { words, nrows })
+    }
+
+    /// The backing `u64` words, least-significant bit = lowest row.
+    /// Chunked kernels (aggregation, set algebra) operate directly on
+    /// word slices of this representation.
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
     /// Number of rows in the underlying table.
     pub fn universe(&self) -> usize {
         self.nrows
@@ -64,12 +101,30 @@ impl RowSet {
         self.words.iter().all(|&w| w == 0)
     }
 
+    fn check_universe(&self, other: &RowSet) -> Result<(), QueryError> {
+        if self.nrows == other.nrows {
+            Ok(())
+        } else {
+            Err(QueryError::UniverseMismatch {
+                left: self.nrows,
+                right: other.nrows,
+            })
+        }
+    }
+
     /// In-place intersection. Panics on mismatched universes.
     pub fn intersect_with(&mut self, other: &RowSet) {
         assert_eq!(self.nrows, other.nrows, "universe mismatch");
         for (a, b) in self.words.iter_mut().zip(&other.words) {
             *a &= b;
         }
+    }
+
+    /// Fallible in-place intersection.
+    pub fn try_intersect_with(&mut self, other: &RowSet) -> Result<(), QueryError> {
+        self.check_universe(other)?;
+        self.intersect_with(other);
+        Ok(())
     }
 
     /// In-place union. Panics on mismatched universes.
@@ -80,20 +135,123 @@ impl RowSet {
         }
     }
 
-    /// Iterates set rows in ascending order.
+    /// Fallible in-place union.
+    pub fn try_union_with(&mut self, other: &RowSet) -> Result<(), QueryError> {
+        self.check_universe(other)?;
+        self.union_with(other);
+        Ok(())
+    }
+
+    /// In-place difference (`self \ other`). Panics on mismatched
+    /// universes.
+    pub fn and_not_with(&mut self, other: &RowSet) {
+        assert_eq!(self.nrows, other.nrows, "universe mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// Fallible in-place difference.
+    pub fn try_and_not_with(&mut self, other: &RowSet) -> Result<(), QueryError> {
+        self.check_universe(other)?;
+        self.and_not_with(other);
+        Ok(())
+    }
+
+    /// Applies a word-level binary operation chunk-by-chunk, fanning the
+    /// chunks out over `exec`'s workers. Results are written back in chunk
+    /// order, so the outcome is identical for every thread count (the ops
+    /// are pure bitwise combines).
+    fn zip_words_exec(
+        &mut self,
+        other: &RowSet,
+        exec: &ExecConfig,
+        op: impl Fn(u64, u64) -> u64 + Sync,
+    ) {
+        if exec.is_serial() || self.words.len() < 2 * PAR_CHUNK_WORDS {
+            for (a, b) in self.words.iter_mut().zip(&other.words) {
+                *a = op(*a, *b);
+            }
+            return;
+        }
+        let ranges = chunk_ranges(self.words.len(), PAR_CHUNK_WORDS);
+        let words = &self.words;
+        let chunks: Vec<Vec<u64>> = par_map(exec, &ranges, |_, r| {
+            words[r.clone()]
+                .iter()
+                .zip(&other.words[r.clone()])
+                .map(|(&a, &b)| op(a, b))
+                .collect()
+        });
+        for (r, chunk) in ranges.into_iter().zip(chunks) {
+            self.words[r].copy_from_slice(&chunk);
+        }
+    }
+
+    /// Chunked intersection over `exec`'s workers.
+    pub fn intersect_with_exec(
+        &mut self,
+        other: &RowSet,
+        exec: &ExecConfig,
+    ) -> Result<(), QueryError> {
+        self.check_universe(other)?;
+        self.zip_words_exec(other, exec, |a, b| a & b);
+        Ok(())
+    }
+
+    /// Chunked union over `exec`'s workers.
+    pub fn union_with_exec(
+        &mut self,
+        other: &RowSet,
+        exec: &ExecConfig,
+    ) -> Result<(), QueryError> {
+        self.check_universe(other)?;
+        self.zip_words_exec(other, exec, |a, b| a | b);
+        Ok(())
+    }
+
+    /// Chunked difference over `exec`'s workers.
+    pub fn and_not_with_exec(
+        &mut self,
+        other: &RowSet,
+        exec: &ExecConfig,
+    ) -> Result<(), QueryError> {
+        self.check_universe(other)?;
+        self.zip_words_exec(other, exec, |a, b| a & !b);
+        Ok(())
+    }
+
+    /// Iterates set rows in ascending order, skipping empty words.
     pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
-        self.words.iter().enumerate().flat_map(|(i, &w)| {
-            let mut w = w;
-            std::iter::from_fn(move || {
-                if w == 0 {
-                    None
-                } else {
-                    let bit = w.trailing_zeros() as usize;
-                    w &= w - 1;
-                    Some(i * 64 + bit)
-                }
+        self.iter_word_range(0..self.words.len())
+    }
+
+    /// Word-skipping iterator over the rows encoded in the given word
+    /// range. Zero words are filtered out before any bit probing happens,
+    /// so sparse sets iterate in time proportional to their occupied words
+    /// rather than their universe. Chunked kernels hand each worker a
+    /// sub-range of words.
+    pub fn iter_word_range(
+        &self,
+        words: std::ops::Range<usize>,
+    ) -> impl Iterator<Item = usize> + '_ {
+        let start = words.start;
+        self.words[words]
+            .iter()
+            .enumerate()
+            .filter(|&(_, &w)| w != 0)
+            .flat_map(move |(i, &w)| {
+                let mut w = w;
+                std::iter::from_fn(move || {
+                    if w == 0 {
+                        None
+                    } else {
+                        let bit = w.trailing_zeros() as usize;
+                        w &= w - 1;
+                        Some((start + i) * 64 + bit)
+                    }
+                })
             })
-        })
     }
 }
 
@@ -156,5 +314,73 @@ mod tests {
     fn mismatched_universe_panics() {
         let mut a = RowSet::empty(5);
         a.intersect_with(&RowSet::empty(6));
+    }
+
+    #[test]
+    fn try_variants_surface_typed_errors() {
+        let mut a = RowSet::empty(5);
+        let err = a.try_intersect_with(&RowSet::empty(6)).unwrap_err();
+        assert_eq!(err, QueryError::UniverseMismatch { left: 5, right: 6 });
+        assert!(a.try_union_with(&RowSet::empty(6)).is_err());
+        assert!(a.try_and_not_with(&RowSet::empty(6)).is_err());
+        assert!(a.try_intersect_with(&RowSet::full(5)).is_ok());
+    }
+
+    #[test]
+    fn and_not_removes_rows() {
+        let mut a = RowSet::from_rows(10, [1, 2, 3]);
+        a.and_not_with(&RowSet::from_rows(10, [2, 4]));
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 3]);
+    }
+
+    #[test]
+    fn words_round_trip() {
+        let a = RowSet::from_rows(130, [0, 64, 129]);
+        let b = RowSet::from_words(130, a.as_words().to_vec()).unwrap();
+        assert_eq!(a, b);
+        // Wrong word count and stray bits past the universe are rejected.
+        assert!(RowSet::from_words(130, vec![0; 2]).is_err());
+        assert!(RowSet::from_words(130, vec![0, 0, u64::MAX]).is_err());
+    }
+
+    #[test]
+    fn word_range_iteration() {
+        let s = RowSet::from_rows(256, [0, 63, 64, 200]);
+        assert_eq!(s.iter_word_range(0..1).collect::<Vec<_>>(), vec![0, 63]);
+        assert_eq!(s.iter_word_range(1..4).collect::<Vec<_>>(), vec![64, 200]);
+        assert_eq!(s.iter_word_range(2..3).count(), 0);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 63, 64, 200]);
+    }
+
+    #[test]
+    fn chunked_kernels_match_serial_for_all_thread_counts() {
+        // Big enough to split into multiple parallel chunks.
+        let n = PAR_CHUNK_WORDS * 64 * 3 + 17;
+        let a = RowSet::from_rows(n, (0..n).filter(|r| r % 3 == 0));
+        let b = RowSet::from_rows(n, (0..n).filter(|r| r % 5 != 0));
+        let ops: [(fn(&mut RowSet, &RowSet), fn(&mut RowSet, &RowSet, &ExecConfig)); 3] = [
+            (
+                RowSet::intersect_with,
+                |s, o, e| s.intersect_with_exec(o, e).unwrap(),
+            ),
+            (RowSet::union_with, |s, o, e| s.union_with_exec(o, e).unwrap()),
+            (
+                RowSet::and_not_with,
+                |s, o, e| s.and_not_with_exec(o, e).unwrap(),
+            ),
+        ];
+        for (serial_op, exec_op) in ops {
+            let mut expect = a.clone();
+            serial_op(&mut expect, &b);
+            for threads in [1, 2, 4, 8] {
+                let mut got = a.clone();
+                exec_op(&mut got, &b, &ExecConfig::with_threads(threads));
+                assert_eq!(got, expect, "threads={threads}");
+            }
+        }
+        let mut x = RowSet::empty(5);
+        assert!(x
+            .intersect_with_exec(&RowSet::empty(6), &ExecConfig::serial())
+            .is_err());
     }
 }

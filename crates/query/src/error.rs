@@ -1,0 +1,73 @@
+//! Typed errors for the query layer.
+//!
+//! Historically the executor primitives panicked (`assert!`, `expect`) on
+//! misuse; the hot paths now surface structured [`QueryError`]s that the
+//! core layer wraps into `kdap_core::KdapError`.
+
+use std::fmt;
+
+/// Errors raised by query-layer primitives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// Two row sets over different universes were combined.
+    UniverseMismatch {
+        /// Universe (row count) of the left operand.
+        left: usize,
+        /// Universe of the right operand.
+        right: usize,
+    },
+    /// A row index outside the set's universe was inserted.
+    RowOutOfRange {
+        /// The offending row index.
+        row: usize,
+        /// The set's universe.
+        universe: usize,
+    },
+    /// A selection's attribute does not live on its join path's target
+    /// table.
+    AttrOffPathTarget {
+        /// Table id of the selection attribute.
+        attr_table: u32,
+        /// Table id the path actually reaches.
+        target_table: u32,
+    },
+    /// A bucketizer was requested with zero buckets.
+    InvalidBucketCount,
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::UniverseMismatch { left, right } => {
+                write!(f, "universe mismatch: {left} vs {right} rows")
+            }
+            QueryError::RowOutOfRange { row, universe } => {
+                write!(f, "row {row} out of range {universe}")
+            }
+            QueryError::AttrOffPathTarget {
+                attr_table,
+                target_table,
+            } => write!(
+                f,
+                "selection attribute lives on table #{attr_table}, but the join path targets table #{target_table}"
+            ),
+            QueryError::InvalidBucketCount => write!(f, "bucket count must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_human_readable() {
+        let e = QueryError::UniverseMismatch { left: 5, right: 6 };
+        assert_eq!(e.to_string(), "universe mismatch: 5 vs 6 rows");
+        let e = QueryError::RowOutOfRange { row: 9, universe: 5 };
+        assert!(e.to_string().contains("out of range"));
+        assert!(QueryError::InvalidBucketCount.to_string().contains("positive"));
+    }
+}

@@ -10,6 +10,7 @@ use parking_lot::Mutex;
 use kdap_warehouse::{ColRef, EdgeId, TableId, Warehouse};
 
 use crate::bitmap::RowSet;
+use crate::error::QueryError;
 use crate::path::JoinPath;
 
 /// Precomputed per-edge hash indexes over a warehouse.
@@ -197,10 +198,28 @@ impl Selection {
     }
 
     /// Evaluates the selection: origin-table rows whose joined target row
-    /// satisfies the predicate.
+    /// satisfies the predicate. Panics on a selection whose attribute is
+    /// off the path's target table; hot paths use [`Selection::try_eval`].
     pub fn eval(&self, wh: &Warehouse, idx: &JoinIndex, origin: TableId) -> RowSet {
+        self.try_eval(wh, idx, origin)
+            .expect("attr must live on path target")
+    }
+
+    /// Fallible [`Selection::eval`]: surfaces an attribute/path mismatch
+    /// as a typed [`QueryError`] instead of a debug-only assertion.
+    pub fn try_eval(
+        &self,
+        wh: &Warehouse,
+        idx: &JoinIndex,
+        origin: TableId,
+    ) -> Result<RowSet, QueryError> {
         let target = self.path.target_table(wh.schema(), origin);
-        debug_assert_eq!(self.attr.table, target, "attr must live on path target");
+        if self.attr.table != target {
+            return Err(QueryError::AttrOffPathTarget {
+                attr_table: self.attr.table.0,
+                target_table: target.0,
+            });
+        }
         let col = wh.column(self.attr);
         let matching: Vec<usize> = match &self.predicate {
             Predicate::Codes(codes) => col.rows_with_codes(codes),
@@ -213,7 +232,7 @@ impl Selection {
                 .collect(),
         };
         let target_rows = RowSet::from_rows(wh.table(target).nrows(), matching);
-        idx.rows_reaching(wh, origin, &self.path, &target_rows)
+        Ok(idx.rows_reaching(wh, origin, &self.path, &target_rows))
     }
 }
 
@@ -347,6 +366,20 @@ mod tests {
         // Second call hits the cache and returns the same Arc.
         let again = idx.row_mapper(&wh, fact, &path);
         assert!(Arc::ptr_eq(&mapping, &again));
+    }
+
+    #[test]
+    fn try_eval_rejects_off_path_attr() {
+        let wh = snowflake();
+        let idx = JoinIndex::build(&wh);
+        let fact = wh.schema().fact_table();
+        let outer = wh.table_id("OUTER").unwrap();
+        let path = paths_between(wh.schema(), fact, outer, 4).remove(0);
+        // DIM attribute, but the path targets OUTER.
+        let attr = wh.col_ref("DIM", "Name").unwrap();
+        let sel = Selection::by_codes(path, attr, vec![0]);
+        let err = sel.try_eval(&wh, &idx, fact).unwrap_err();
+        assert!(matches!(err, QueryError::AttrOffPathTarget { .. }));
     }
 
     #[test]

@@ -37,7 +37,7 @@ fn main() {
     println!("building the EBiz warehouse…");
     let wh = build_ebiz(EbizScale::full(), 42).expect("generator is valid");
     let mut repl = Repl {
-        kdap: Kdap::new(wh).expect("measure defined"),
+        kdap: Kdap::builder(wh).build().expect("measure defined"),
         interpretations: Vec::new(),
         current: None,
         exploration: None,
@@ -271,8 +271,8 @@ impl Repl {
 
     fn mode(&mut self, arg: &str) {
         match arg.trim() {
-            "surprise" => self.kdap.facet.mode = InterestMode::Surprise,
-            "bellwether" => self.kdap.facet.mode = InterestMode::Bellwether,
+            "surprise" => self.kdap.facet_config_mut().mode = InterestMode::Surprise,
+            "bellwether" => self.kdap.facet_config_mut().mode = InterestMode::Bellwether,
             _ => {
                 println!("usage: mode surprise|bellwether");
                 return;

@@ -16,10 +16,10 @@ use kdap_suite::datagen::{build_aw_reseller, Scale};
 fn main() {
     println!("building AW_RESELLER (60k+ facts)...");
     let wh = build_aw_reseller(Scale::full(), 42).expect("generator is valid");
-    let mut kdap = Kdap::new(wh).expect("warehouse has a measure");
-    kdap.facet.mode = InterestMode::Bellwether;
-    kdap.facet.top_k_attrs = 3;
-    kdap.facet.top_k_instances = 4;
+    let mut kdap = Kdap::builder(wh).build().expect("warehouse has a measure");
+    kdap.facet_config_mut().mode = InterestMode::Bellwether;
+    kdap.facet_config_mut().top_k_attrs = 3;
+    kdap.facet_config_mut().top_k_instances = 4;
 
     // The analyst zooms into one subcategory and asks: which partitions
     // of these sales behave like the whole Bikes category does?
@@ -55,7 +55,7 @@ fn main() {
 
     // Contrast with surprise mode on the same subspace: the ordering of
     // the two modes is exactly inverted.
-    kdap.facet.mode = InterestMode::Surprise;
+    kdap.facet_config_mut().mode = InterestMode::Surprise;
     let ex2 = kdap.explore(net);
     let most_surprising = ex2
         .panels

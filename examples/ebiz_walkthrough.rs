@@ -19,7 +19,7 @@ use kdap_suite::datagen::{build_ebiz, EbizScale};
 fn main() {
     println!("building EBiz...");
     let wh = build_ebiz(EbizScale::full(), 42).expect("generator is valid");
-    let kdap = Kdap::new(wh).expect("warehouse has a measure");
+    let kdap = Kdap::builder(wh).build().expect("warehouse has a measure");
     let wh = kdap.warehouse();
 
     // 1 + 2: "Columbus" alone.

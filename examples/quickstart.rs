@@ -13,7 +13,7 @@ use kdap_suite::datagen::{build_ebiz, EbizScale};
 fn main() {
     println!("building the EBiz warehouse (paper Figure 2)...");
     let wh = build_ebiz(EbizScale::full(), 42).expect("generator is valid");
-    let kdap = Kdap::new(wh).expect("warehouse has a measure");
+    let kdap = Kdap::builder(wh).build().expect("warehouse has a measure");
 
     // ---- Phase 1: differentiate ------------------------------------
     let query = "Columbus LCD";

@@ -16,10 +16,10 @@ use kdap_suite::datagen::{build_aw_online, Scale};
 fn main() {
     println!("building AW_ONLINE (60k+ facts)...");
     let wh = build_aw_online(Scale::full(), 42).expect("generator is valid");
-    let mut kdap = Kdap::new(wh).expect("warehouse has a measure");
-    kdap.facet.mode = InterestMode::Surprise;
-    kdap.facet.top_k_attrs = 3;
-    kdap.facet.top_k_instances = 5;
+    let mut kdap = Kdap::builder(wh).build().expect("warehouse has a measure");
+    kdap.facet_config_mut().mode = InterestMode::Surprise;
+    kdap.facet_config_mut().top_k_attrs = 3;
+    kdap.facet_config_mut().top_k_instances = 5;
 
     let ranked = kdap.interpret("California Mountain Bikes");
     let net = ranked.first().expect("interpretations exist").net.clone();

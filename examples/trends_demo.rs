@@ -16,9 +16,9 @@ use kdap_suite::datagen::{build_trends, TrendsScale};
 fn main() {
     println!("building the query-log warehouse…");
     let wh = build_trends(TrendsScale::full(), 42).expect("generator is valid");
-    let mut kdap = Kdap::new(wh).expect("measure defined");
-    kdap.facet.top_k_attrs = 2;
-    kdap.facet.top_k_instances = 12;
+    let mut kdap = Kdap::builder(wh).build().expect("measure defined");
+    kdap.facet_config_mut().top_k_attrs = 2;
+    kdap.facet_config_mut().top_k_instances = 12;
 
     // --- The Google Trends experience: term → volume over time/place ---
     let query = "christmas gifts";
@@ -53,7 +53,7 @@ fn main() {
     println!("surprise-ranked facets of the \"{query}\" subspace:\n");
     println!("{}", render_exploration(&ex));
 
-    kdap.facet.mode = InterestMode::Bellwether;
+    kdap.facet_config_mut().mode = InterestMode::Bellwether;
     let ex2 = kdap.explore(net);
     let bell = ex2
         .panels

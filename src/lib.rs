@@ -5,7 +5,7 @@
 //! use kdap_suite::core::Kdap;
 //! use kdap_suite::datagen::{build_ebiz, EbizScale};
 //!
-//! let kdap = Kdap::new(build_ebiz(EbizScale::small(), 7).unwrap()).unwrap();
+//! let kdap = Kdap::builder(build_ebiz(EbizScale::small(), 7).unwrap()).build().unwrap();
 //! let interpretations = kdap.interpret("seattle");
 //! assert!(!interpretations.is_empty());
 //! ```

@@ -10,7 +10,7 @@ use kdap_suite::query::{AggFunc, JoinIndex};
 use kdap_suite::textindex::TextIndex;
 
 fn ebiz_session() -> Kdap {
-    Kdap::new(build_ebiz(EbizScale::small(), 7).unwrap()).unwrap()
+    Kdap::builder(build_ebiz(EbizScale::small(), 7).unwrap()).build().unwrap()
 }
 
 #[test]
@@ -50,7 +50,7 @@ fn facet_partitions_sum_to_subspace_total() {
         for attr in &panel.attrs {
             // Facet construction truncates to top-k instances; only check
             // attributes whose full domain is visible.
-            if attr.entries.len() < kdap.facet.top_k_instances {
+            if attr.entries.len() < kdap.facet_config().top_k_instances {
                 let sum: f64 = attr.entries.iter().map(|e| e.aggregate).sum();
                 let diff = (sum - ex.total_aggregate).abs();
                 assert!(
@@ -124,7 +124,7 @@ fn both_aw_warehouses_run_the_full_pipeline() {
             "Warehouse",
         ),
     ] {
-        let kdap = Kdap::new(wh).unwrap();
+        let kdap = Kdap::builder(wh).build().unwrap();
         let ranked = kdap.interpret(query);
         assert!(!ranked.is_empty(), "{query} finds interpretations");
         let ex = kdap.explore(&ranked[0].net);

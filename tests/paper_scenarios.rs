@@ -8,7 +8,7 @@ use kdap_suite::core::Kdap;
 use kdap_suite::datagen::{build_aw_online, build_ebiz, EbizScale, Scale};
 
 fn ebiz() -> Kdap {
-    Kdap::new(build_ebiz(EbizScale::full(), 42).unwrap()).unwrap()
+    Kdap::builder(build_ebiz(EbizScale::full(), 42).unwrap()).build().unwrap()
 }
 
 /// §4.1 Example 3.1: "Columbus" may be a holiday or a city, and as a city
@@ -97,7 +97,7 @@ fn star_nets_go_through_the_fact_table() {
 /// state × subcategory interpretation first on AW_ONLINE.
 #[test]
 fn table1_intended_interpretation_ranks_first() {
-    let kdap = Kdap::new(build_aw_online(Scale::full(), 42).unwrap()).unwrap();
+    let kdap = Kdap::builder(build_aw_online(Scale::full(), 42).unwrap()).build().unwrap();
     let ranked = kdap.interpret("California Mountain Bikes");
     let top = ranked[0].net.display(kdap.warehouse());
     assert!(top.contains("StateProvinceName/{California}"), "got {top}");
@@ -108,7 +108,7 @@ fn table1_intended_interpretation_ranks_first() {
 /// promotes the subcategory with the "Mountain Bikes" hit pinned first.
 #[test]
 fn table2_product_panel_promotes_hit_attribute() {
-    let kdap = Kdap::new(build_aw_online(Scale::full(), 42).unwrap()).unwrap();
+    let kdap = Kdap::builder(build_aw_online(Scale::full(), 42).unwrap()).build().unwrap();
     let ranked = kdap.interpret("California Mountain Bikes");
     let ex = kdap.explore(&ranked[0].net);
     let product = ex

@@ -58,8 +58,8 @@ fn kdap_answers_identically_after_reload() {
     save_warehouse(&wh, &dir).unwrap();
     let loaded = load_warehouse(&dir).unwrap();
 
-    let a = Kdap::new(wh).unwrap();
-    let b = Kdap::new(loaded).unwrap();
+    let a = Kdap::builder(wh).build().unwrap();
+    let b = Kdap::builder(loaded).build().unwrap();
     for query in ["seattle", "plasma lcd", "\"columbus day\"", "premium"] {
         let ra = a.interpret(query);
         let rb = b.interpret(query);

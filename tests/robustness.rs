@@ -9,7 +9,7 @@ use kdap_suite::core::{Kdap, SubspaceCache};
 use kdap_suite::datagen::{build_ebiz, EbizScale};
 
 fn session() -> Kdap {
-    Kdap::new(build_ebiz(EbizScale::small(), 7).unwrap()).unwrap()
+    Kdap::builder(build_ebiz(EbizScale::small(), 7).unwrap()).build().unwrap()
 }
 
 proptest! {
@@ -54,7 +54,12 @@ proptest! {
 
 #[test]
 fn concurrent_sessions_share_cache_safely() {
-    let kdap = Arc::new(session().with_cache(8));
+    let kdap = Arc::new(
+        Kdap::builder(build_ebiz(EbizScale::small(), 7).unwrap())
+            .cache_capacity(8)
+            .build()
+            .unwrap(),
+    );
     let queries = ["columbus", "seattle", "plasma", "lcd"];
     let mut handles = Vec::new();
     for i in 0..4 {

@@ -30,7 +30,7 @@ fn bookshop_spec_builds_a_complete_warehouse() {
 
 #[test]
 fn kdap_runs_end_to_end_over_spec_data() {
-    let kdap = Kdap::new(load_bookshop()).unwrap();
+    let kdap = Kdap::builder(load_bookshop()).build().unwrap();
     // Attribute-instance ambiguity in the bookshop: "gardens" hits two
     // fantasy titles in one hit group.
     let ranked = kdap.interpret("gardens");
@@ -54,7 +54,7 @@ fn kdap_runs_end_to_end_over_spec_data() {
 
 #[test]
 fn hierarchy_rollup_works_on_spec_defined_hierarchies() {
-    let kdap = Kdap::new(load_bookshop()).unwrap();
+    let kdap = Kdap::builder(load_bookshop()).build().unwrap();
     // Title rolls up to genre.
     let ranked = kdap.interpret("\"the last lighthouse\"");
     let net = &ranked[0].net;

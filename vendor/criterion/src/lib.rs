@@ -1,0 +1,208 @@
+//! Offline shim for the `criterion` API surface this workspace uses.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! a minimal harness: each benchmark runs a short warm-up plus a fixed
+//! number of timed iterations and prints the mean wall-clock time. No
+//! statistics, plots, or baselines — just enough to keep `cargo bench`
+//! targets building and producing comparable numbers offline.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` callers keep working.
+pub use std::hint::black_box;
+
+const WARMUP_ITERS: u64 = 3;
+const DEFAULT_SAMPLE: u64 = 30;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: DEFAULT_SAMPLE,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, self.sample_size, &mut f);
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            _parent: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = (n as u64).max(1);
+        self
+    }
+
+    /// Runs a benchmark inside this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_id());
+        run_one(&label, self.sample_size, &mut f);
+        self
+    }
+
+    /// Runs a parameterized benchmark inside this group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_id());
+        run_one(&label, self.sample_size, &mut |b: &mut Bencher| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Identifier for a benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` style id.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Id from a bare parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion of the id forms `bench_function` accepts.
+pub trait IntoBenchmarkId {
+    /// The display label.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Timer handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    total: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over this bencher's iteration budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.total = start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, sample_size: u64, f: &mut F) {
+    let mut b = Bencher {
+        iters: sample_size,
+        total: Duration::ZERO,
+    };
+    f(&mut b);
+    let mean = if b.iters > 0 {
+        b.total / b.iters as u32
+    } else {
+        Duration::ZERO
+    };
+    println!("bench {label:<55} {mean:>12.3?}/iter ({} iters)", b.iters);
+}
+
+/// Collects benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut ran = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| ran += 1));
+        assert!(ran >= DEFAULT_SAMPLE);
+    }
+
+    #[test]
+    fn group_labels_compose() {
+        assert_eq!(BenchmarkId::new("f", 3).into_id(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").into_id(), "x");
+    }
+}

@@ -1,0 +1,596 @@
+//! Offline mini property-testing harness with a `proptest`-compatible API.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the subset of `proptest` its test suites use: the `proptest!` macro,
+//! `prop_assert!`/`prop_assert_eq!`, `ProptestConfig::with_cases`, range
+//! and regex-literal strategies, `collection::vec`, tuple strategies,
+//! `any::<T>()`, and `sample::Index`.
+//!
+//! Differences from upstream: cases are generated from a deterministic
+//! per-test seed (reproducible across runs), and failing cases are
+//! reported without shrinking.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps the offline suite quick while
+        // still exercising the properties broadly.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic test RNG (xoshiro256++ seeded from the property name).
+pub mod test_runner {
+    /// RNG handed to strategies while generating a case.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl TestRng {
+        /// RNG for case number `case` of the property named `name`.
+        pub fn for_case(name: &str, case: u64) -> Self {
+            // FNV-1a over the name, mixed with the case index.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            let mut sm = h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            TestRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+
+        /// The next 64 uniformly random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+
+        /// Unbiased integer in `[0, bound)`.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "cannot sample from empty range");
+            if bound.is_power_of_two() {
+                return self.next_u64() & (bound - 1);
+            }
+            let zone = u64::MAX - (u64::MAX % bound) - 1;
+            loop {
+                let v = self.next_u64();
+                if v <= zone {
+                    return v % bound;
+                }
+            }
+        }
+
+        /// Uniform float in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// Something that can generate values of `Self::Value` for a test case.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + rng.below(span as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+    }
+}
+
+/// String-literal strategies interpret the literal as a (small) regex:
+/// literals, `[...]` classes with ranges, `(...)` groups, and `{n}` /
+/// `{n,m}` quantifiers — the subset the workspace's suites use.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let ast = regex_lite::parse(self);
+        let mut out = String::new();
+        regex_lite::emit(&ast, rng, &mut out);
+        out
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+);)*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A);
+    (A, B);
+    (A, B, C);
+    (A, B, C, D);
+    (A, B, C, D, E);
+    (A, B, C, D, E, F);
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical full-domain strategy, used by [`any`].
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite floats only — mirrors proptest's default f64 strategy
+        // closely enough for these suites.
+        rng.unit_f64() * 2e9 - 1e9
+    }
+}
+
+/// Marker strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Full-domain strategy for `T` (`any::<T>()`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Collection strategies (subset of `proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Size specifications accepted by [`vec`]: a fixed length or a range.
+    pub trait SizeRange {
+        /// Draws a length.
+        fn pick_len(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick_len(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn pick_len(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty size range");
+            self.start + rng.below((self.end - self.start) as u64) as usize
+        }
+    }
+
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn pick_len(&self, rng: &mut TestRng) -> usize {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "empty size range");
+            lo + rng.below((hi - lo + 1) as u64) as usize
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub fn vec<S: Strategy, Z: SizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+        VecStrategy { element, size }
+    }
+
+    /// Strategy produced by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.pick_len(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Sampling helpers (subset of `proptest::sample`).
+pub mod sample {
+    use super::{Arbitrary, Strategy, TestRng};
+
+    /// Strategy choosing uniformly among a fixed set of values.
+    pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+        assert!(!values.is_empty(), "select requires at least one value");
+        Select { values }
+    }
+
+    /// Strategy produced by [`select`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T: Clone> {
+        values: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.values[rng.below(self.values.len() as u64) as usize].clone()
+        }
+    }
+
+    /// An index into a collection whose length is only known at use time.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Index {
+        raw: u64,
+    }
+
+    impl Index {
+        /// This index reduced modulo `len`; panics when `len == 0`.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.raw % len as u64) as usize
+        }
+
+        /// The element of `slice` this index selects.
+        pub fn get<'a, T>(&self, slice: &'a [T]) -> &'a T {
+            &slice[self.index(slice.len())]
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Index {
+            Index { raw: rng.next_u64() }
+        }
+    }
+}
+
+/// Tiny regex-subset parser/generator backing string-literal strategies.
+mod regex_lite {
+    use super::test_runner::TestRng;
+
+    #[derive(Debug)]
+    pub enum Node {
+        Literal(char),
+        Class(Vec<(char, char)>),
+        Group(Vec<Node>),
+        Repeat(Box<Node>, u32, u32),
+    }
+
+    pub fn parse(pattern: &str) -> Vec<Node> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pos = 0;
+        let nodes = parse_seq(&chars, &mut pos, false);
+        assert!(pos == chars.len(), "unsupported regex pattern: {pattern}");
+        nodes
+    }
+
+    fn parse_seq(chars: &[char], pos: &mut usize, in_group: bool) -> Vec<Node> {
+        let mut out = Vec::new();
+        while *pos < chars.len() {
+            let c = chars[*pos];
+            let atom = match c {
+                ')' if in_group => break,
+                '[' => {
+                    *pos += 1;
+                    Node::Class(parse_class(chars, pos))
+                }
+                '(' => {
+                    *pos += 1;
+                    let inner = parse_seq(chars, pos, true);
+                    assert!(
+                        *pos < chars.len() && chars[*pos] == ')',
+                        "unterminated group in regex"
+                    );
+                    *pos += 1;
+                    Node::Group(inner)
+                }
+                '\\' => {
+                    *pos += 1;
+                    assert!(*pos < chars.len(), "dangling escape in regex");
+                    let esc = chars[*pos];
+                    *pos += 1;
+                    Node::Literal(esc)
+                }
+                _ => {
+                    *pos += 1;
+                    Node::Literal(c)
+                }
+            };
+            // Optional {n} / {n,m} quantifier.
+            if *pos < chars.len() && chars[*pos] == '{' {
+                *pos += 1;
+                let (lo, hi) = parse_counts(chars, pos);
+                out.push(Node::Repeat(Box::new(atom), lo, hi));
+            } else {
+                out.push(atom);
+            }
+        }
+        out
+    }
+
+    fn parse_class(chars: &[char], pos: &mut usize) -> Vec<(char, char)> {
+        let mut ranges = Vec::new();
+        while *pos < chars.len() && chars[*pos] != ']' {
+            let lo = chars[*pos];
+            *pos += 1;
+            if *pos + 1 < chars.len() && chars[*pos] == '-' && chars[*pos + 1] != ']' {
+                let hi = chars[*pos + 1];
+                *pos += 2;
+                ranges.push((lo, hi));
+            } else {
+                ranges.push((lo, lo));
+            }
+        }
+        assert!(*pos < chars.len(), "unterminated class in regex");
+        *pos += 1; // consume ']'
+        ranges
+    }
+
+    fn parse_counts(chars: &[char], pos: &mut usize) -> (u32, u32) {
+        let mut lo = 0u32;
+        while chars[*pos].is_ascii_digit() {
+            lo = lo * 10 + chars[*pos].to_digit(10).unwrap();
+            *pos += 1;
+        }
+        let hi = if chars[*pos] == ',' {
+            *pos += 1;
+            let mut h = 0u32;
+            while chars[*pos].is_ascii_digit() {
+                h = h * 10 + chars[*pos].to_digit(10).unwrap();
+                *pos += 1;
+            }
+            h
+        } else {
+            lo
+        };
+        assert!(chars[*pos] == '}', "malformed quantifier in regex");
+        *pos += 1;
+        (lo, hi)
+    }
+
+    pub fn emit(nodes: &[Node], rng: &mut TestRng, out: &mut String) {
+        for node in nodes {
+            emit_one(node, rng, out);
+        }
+    }
+
+    fn emit_one(node: &Node, rng: &mut TestRng, out: &mut String) {
+        match node {
+            Node::Literal(c) => out.push(*c),
+            Node::Class(ranges) => {
+                let total: u64 = ranges
+                    .iter()
+                    .map(|(lo, hi)| (*hi as u64) - (*lo as u64) + 1)
+                    .sum();
+                let mut pick = rng.below(total);
+                for (lo, hi) in ranges {
+                    let span = (*hi as u64) - (*lo as u64) + 1;
+                    if pick < span {
+                        out.push(char::from_u32(*lo as u32 + pick as u32).unwrap());
+                        return;
+                    }
+                    pick -= span;
+                }
+                unreachable!()
+            }
+            Node::Group(inner) => emit(inner, rng, out),
+            Node::Repeat(atom, lo, hi) => {
+                let n = *lo + rng.below((*hi - *lo + 1) as u64) as u32;
+                for _ in 0..n {
+                    emit_one(atom, rng, out);
+                }
+            }
+        }
+    }
+}
+
+/// Everything the test suites import.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::sample;
+    pub use crate::test_runner::TestRng;
+    pub use crate::{any, prop_assert, prop_assert_eq, proptest, Any, Arbitrary, Just,
+        ProptestConfig, Strategy};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ..) { .. }`
+/// becomes a `#[test]` running `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                let mut __rng = $crate::test_runner::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case as u64,
+                );
+                $(let $arg = $crate::Strategy::generate(&$strat, &mut __rng);)+
+                $body
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property (panics with context on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property (panics with context on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 3i64..10, y in 0.5..2.5f64, n in 1usize..4) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((0.5..2.5).contains(&y));
+            prop_assert!(n >= 1 && n < 4);
+        }
+
+        #[test]
+        fn vec_and_tuple_strategies(
+            v in collection::vec(0u8..3, 2..6),
+            fixed in collection::vec((any::<bool>(), 0i32..5), 3),
+            pick in any::<sample::Index>(),
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&b| b < 3));
+            prop_assert_eq!(fixed.len(), 3);
+            prop_assert!(pick.index(7) < 7);
+        }
+
+        #[test]
+        fn regex_strategies(s in "[a-c]{2,4}", t in "x(y[0-9]){1,2}", u in "[ -~]{0,5}") {
+            prop_assert!(s.len() >= 2 && s.len() <= 4);
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+            prop_assert!(t.starts_with('x'));
+            prop_assert!(t.len() == 3 || t.len() == 5);
+            prop_assert!(u.len() <= 5);
+            prop_assert!(u.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn config_cases_respected() {
+        assert_eq!(ProptestConfig::with_cases(12).cases, 12);
+        assert_eq!(ProptestConfig::default().cases, 64);
+    }
+}
