@@ -69,11 +69,9 @@ fn bench_differentiate(c: &mut Criterion) {
     let keywords = ["california", "mountain", "bikes"];
     let nets = generate_star_nets(wh, index, &keywords, &gen_cfg);
     for method in RankMethod::ALL {
-        g.bench_with_input(
-            BenchmarkId::new("rank", method.label()),
-            &method,
-            |b, m| b.iter(|| black_box(rank_star_nets(nets.clone(), *m))),
-        );
+        g.bench_with_input(BenchmarkId::new("rank", method.label()), &method, |b, m| {
+            b.iter(|| black_box(rank_star_nets(nets.clone(), *m)))
+        });
     }
     g.finish();
 }
@@ -172,13 +170,17 @@ fn bench_anneal(c: &mut Criterion) {
     let y: Vec<f64> = (0..40).map(|i| ((i * 17) % 19) as f64).collect();
     let mut g = c.benchmark_group("anneal");
     for iters in [100usize, 500] {
-        g.bench_with_input(BenchmarkId::new("merge_intervals", iters), &iters, |b, &n| {
-            let cfg = AnnealConfig {
-                iterations: n,
-                ..AnnealConfig::default()
-            };
-            b.iter(|| black_box(merge_intervals(&x, &y, &cfg)))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("merge_intervals", iters),
+            &iters,
+            |b, &n| {
+                let cfg = AnnealConfig {
+                    iterations: n,
+                    ..AnnealConfig::default()
+                };
+                b.iter(|| black_box(merge_intervals(&x, &y, &cfg)))
+            },
+        );
     }
     g.finish();
 }

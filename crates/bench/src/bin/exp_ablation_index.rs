@@ -57,7 +57,10 @@ fn main() {
         total_tuple_hits += tuple_hits.len();
 
         let attr_hits = attr_index.search_keyword(kw, &opts);
-        let groups: HashSet<_> = attr_hits.iter().map(|h| attr_index.doc(h.doc).attr).collect();
+        let groups: HashSet<_> = attr_hits
+            .iter()
+            .map(|h| attr_index.doc(h.doc).attr)
+            .collect();
         total_attr_groups += groups.len();
 
         // Conflation: within one table, did the keyword match different
@@ -83,7 +86,11 @@ fn main() {
 
     println!("## Ablation — attribute-level vs tuple-level indexing (AW_ONLINE)\n");
     print_table(
-        &["metric", "attribute-level (paper §3)", "tuple-level (prior work)"],
+        &[
+            "metric",
+            "attribute-level (paper §3)",
+            "tuple-level (prior work)",
+        ],
         &[
             vec![
                 "virtual documents".into(),

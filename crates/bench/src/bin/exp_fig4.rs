@@ -16,9 +16,7 @@ use std::time::Instant;
 
 use kdap_bench::{cumulative_curve, print_table, rank_of_intended};
 use kdap_core::{generate_star_nets, rank_star_nets, GenConfig, Kdap, RankMethod};
-use kdap_datagen::{
-    build_aw_online, build_aw_reseller, generate_workload, Scale, WorkloadConfig,
-};
+use kdap_datagen::{build_aw_online, build_aw_reseller, generate_workload, Scale, WorkloadConfig};
 use kdap_textindex::TextIndex;
 
 const MAX_RANK: usize = 10;
@@ -121,9 +119,11 @@ fn main() {
     }
 
     // The Table 3 analogue: the full workload, two queries per row.
-    println!("
+    println!(
+        "
 ### workload queries (Table 3 analogue)
-");
+"
+    );
     let texts: Vec<String> = queries.iter().map(|q| q.text()).collect();
     let mut rows = Vec::new();
     for pair in texts.chunks(2) {
@@ -153,7 +153,7 @@ fn main() {
     for q in &queries {
         let ranked = kdap.interpret(&q.text());
         for r in ranked.iter().take(3) {
-            let ex = kdap.explore(&r.net);
+            let ex = kdap.explore(&r.net).expect("star net evaluates");
             checksum += ex.total_aggregate;
             explored += 1;
         }

@@ -31,9 +31,7 @@ fn main() {
 
     let income = wh.col_ref("DimCustomer", "YearlyIncome").unwrap();
     let dealer = wh.col_ref("DimProduct", "DealerPrice").unwrap();
-    let state = wh
-        .col_ref("DimStateProvince", "StateProvinceName")
-        .unwrap();
+    let state = wh.col_ref("DimStateProvince", "StateProvinceName").unwrap();
     let country = wh.col_ref("DimStateProvince", "CountryRegionName").unwrap();
     let subcat = wh
         .col_ref("DimProductSubcategory", "ProductSubcategoryName")

@@ -37,7 +37,10 @@ fn main() {
     );
 
     let attrs = [
-        ("AnnualSales", wh.col_ref("DimReseller", "AnnualSales").unwrap()),
+        (
+            "AnnualSales",
+            wh.col_ref("DimReseller", "AnnualSales").unwrap(),
+        ),
         (
             "AnnualRevenue",
             wh.col_ref("DimReseller", "AnnualRevenue").unwrap(),

@@ -41,8 +41,20 @@ fn main() {
         .expect("measure");
 
     let scenarios: [(&Kdap, &str, &str, &str, &str); 3] = [
-        (&online, "France Clothing", "Customer", "DimCustomer", "YearlyIncome"),
-        (&online, "France Accessories", "Customer", "DimCustomer", "YearlyIncome"),
+        (
+            &online,
+            "France Clothing",
+            "Customer",
+            "DimCustomer",
+            "YearlyIncome",
+        ),
+        (
+            &online,
+            "France Accessories",
+            "Customer",
+            "DimCustomer",
+            "YearlyIncome",
+        ),
         (
             &reseller,
             "\"British Columbia\"",
@@ -53,12 +65,13 @@ fn main() {
     ];
 
     for (kdap, query, dim_name, table, column) in scenarios {
-        let attr = kdap.warehouse().col_ref(table, column).expect("attr exists");
+        let attr = kdap
+            .warehouse()
+            .col_ref(table, column)
+            .expect("attr exists");
         match numeric_series(kdap, query, dim_name, attr) {
             Some(series) => report_scenario(query, column, &series),
-            None => println!(
-                "### \"{query}\" / {column}: no numeric series (empty subspace)\n"
-            ),
+            None => println!("### \"{query}\" / {column}: no numeric series (empty subspace)\n"),
         }
     }
     println!("(error = |corr(merged) − corr(basic intervals)| × 100; 40 basic intervals)");

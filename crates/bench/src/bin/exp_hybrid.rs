@@ -59,7 +59,7 @@ fn main() {
         for q in SESSION {
             let ranked = kdap.interpret(q);
             let Some(r) = ranked.first() else { continue };
-            let ex = kdap.explore(&r.net);
+            let ex = kdap.explore(&r.net).expect("star net evaluates");
             let mut layout = std::collections::BTreeMap::new();
             for panel in &ex.panels {
                 let attrs: Vec<String> = panel
@@ -81,16 +81,14 @@ fn main() {
         let mut churn_n = 0usize;
         for w in layouts.windows(2) {
             for (dim, attrs_a) in &w[0] {
-                let Some(attrs_b) = w[1].get(dim) else { continue };
+                let Some(attrs_b) = w[1].get(dim) else {
+                    continue;
+                };
                 let len = attrs_a.len().max(attrs_b.len());
                 if len == 0 {
                     continue;
                 }
-                let same = attrs_a
-                    .iter()
-                    .zip(attrs_b)
-                    .filter(|(x, y)| x == y)
-                    .count();
+                let same = attrs_a.iter().zip(attrs_b).filter(|(x, y)| x == y).count();
                 churn_sum += 1.0 - same as f64 / len as f64;
                 churn_n += 1;
             }
@@ -102,7 +100,11 @@ fn main() {
         ]);
     }
     print_table(
-        &["ordering policy", "layout churn per step", "mean facet interestingness"],
+        &[
+            "ordering policy",
+            "layout churn per step",
+            "mean facet interestingness",
+        ],
         &rows,
     );
     println!(

@@ -28,7 +28,10 @@ fn main() {
     println!("## Numeric hit candidates (§7 future work)\n");
 
     // Pick a price point that actually exists in the data.
-    let price_attr = kdap.warehouse().col_ref("DimProduct", "DealerPrice").unwrap();
+    let price_attr = kdap
+        .warehouse()
+        .col_ref("DimProduct", "DealerPrice")
+        .unwrap();
     let some_price = kdap
         .warehouse()
         .column(price_attr)
@@ -90,7 +93,7 @@ fn main() {
         .iter()
         .find(|r| r.net.constraints.iter().any(|c| c.group.numeric.is_some()))
     {
-        let ex = kdap.explore(&r.net);
+        let ex = kdap.explore(&r.net).expect("star net evaluates");
         println!(
             "\nexploring numeric interpretation of \"{price_kw}\": {} fact points, revenue {:.2}, {} facet panels",
             ex.subspace_size,

@@ -1,0 +1,195 @@
+//! Experiment E11 — the plan optimizer and shared semi-join reuse.
+//!
+//! Differentiation evaluates *every* candidate star net of a query, and
+//! candidates overlap heavily: the same `(hit group, join path)` semi-join
+//! appears in many nets. The optimizer compiles the whole candidate set to
+//! physical plans, deduplicates steps by canonical fingerprint, and
+//! evaluates each distinct constraint exactly once through the session's
+//! semi-join cache.
+//!
+//! This binary runs the differentiation phase of a labeled workload twice
+//! — optimizer ON (batch + cache + reorder + fusion) and OFF (naive
+//! per-net cascades, exactly the seed's execution) — verifies the
+//! subspaces are bit-identical, asserts the exactly-once property via the
+//! cache counters, and reports wall times and the cache hit rate.
+//!
+//! Run:
+//!   cargo run --release -p kdap-bench --bin exp_plan                # AW_ONLINE
+//!   cargo run --release -p kdap-bench --bin exp_plan -- --db=reseller
+//!   cargo run --release -p kdap-bench --bin exp_plan -- --small --threads=4
+
+use std::collections::HashSet;
+use std::time::Instant;
+
+use kdap_bench::print_table;
+use kdap_core::{materialize_batch, materialize_planned, Kdap, Planner, StarNet};
+use kdap_datagen::{build_aw_online, build_aw_reseller, generate_workload, Scale, WorkloadConfig};
+use kdap_query::ExecConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let reseller = args.iter().any(|a| a.contains("reseller"));
+    let threads: usize = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--threads="))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let scale = if args.iter().any(|a| a.contains("small")) {
+        Scale::small()
+    } else {
+        Scale::full()
+    };
+
+    let (wh, wl_cfg, db_name) = if reseller {
+        (
+            build_aw_reseller(scale, 42).expect("generator is valid"),
+            WorkloadConfig {
+                dimensions: Some(vec!["Reseller".into(), "Employee".into()]),
+                ..WorkloadConfig::default()
+            },
+            "AW_RESELLER",
+        )
+    } else {
+        (
+            build_aw_online(scale, 42).expect("generator is valid"),
+            WorkloadConfig::default(),
+            "AW_ONLINE",
+        )
+    };
+    eprintln!("building {db_name} ({} facts)...", scale.facts);
+    let queries = generate_workload(&wh, &wl_cfg);
+    let kdap = Kdap::builder(wh)
+        .threads(threads)
+        .build()
+        .expect("measure defined");
+    let wh = kdap.warehouse();
+    let jidx = kdap.join_index();
+    let exec = if threads == 1 {
+        ExecConfig::serial()
+    } else {
+        ExecConfig::with_threads(threads)
+    };
+
+    // Candidate sets, interpreted once and shared by both runs.
+    let candidate_sets: Vec<Vec<StarNet>> = queries
+        .iter()
+        .map(|q| {
+            kdap.interpret(&q.text())
+                .into_iter()
+                .map(|r| r.net)
+                .collect()
+        })
+        .collect();
+    let total_nets: usize = candidate_sets.iter().map(Vec::len).sum();
+    println!(
+        "## E11 — plan optimizer & shared semi-join reuse ({db_name}, {} queries, {} candidate nets, threads={threads})\n",
+        queries.len(),
+        total_nets,
+    );
+
+    // Optimizer OFF: the seed's execution — one semi-join cascade per net,
+    // no sharing between candidates of the same query.
+    let naive = Planner::naive();
+    let t0 = Instant::now();
+    let mut naive_checksum = 0u64;
+    let mut naive_sizes: Vec<usize> = Vec::with_capacity(total_nets);
+    for nets in &candidate_sets {
+        for net in nets {
+            let sub =
+                materialize_planned(wh, jidx, net, &naive, &exec).expect("star net evaluates");
+            naive_checksum = naive_checksum.wrapping_add(checksum(&sub.rows));
+            naive_sizes.push(sub.len());
+        }
+    }
+    let naive_time = t0.elapsed();
+
+    // Optimizer ON: per query, compile the whole candidate set, dedup
+    // shared steps, evaluate each distinct constraint exactly once.
+    let opt = Planner::optimized();
+    let t0 = Instant::now();
+    let mut opt_checksum = 0u64;
+    let mut opt_sizes: Vec<usize> = Vec::with_capacity(total_nets);
+    for nets in &candidate_sets {
+        let refs: Vec<&StarNet> = nets.iter().collect();
+        for sub in materialize_batch(wh, jidx, &refs, &opt, &exec).expect("star nets evaluate") {
+            opt_checksum = opt_checksum.wrapping_add(checksum(&sub.rows));
+            opt_sizes.push(sub.len());
+        }
+    }
+    let opt_time = t0.elapsed();
+
+    assert_eq!(
+        naive_sizes, opt_sizes,
+        "optimized subspace sizes must match naive"
+    );
+    assert_eq!(
+        naive_checksum, opt_checksum,
+        "optimized fact-row sets must be bit-identical to naive"
+    );
+
+    // The exactly-once property: across the whole run, the cache records
+    // one miss per distinct constraint fingerprint and one hit for every
+    // repeated appearance.
+    let (hits, misses) = opt.cache_stats().expect("optimized planner is cached");
+    let distinct: usize = {
+        let mut seen = HashSet::new();
+        for nets in &candidate_sets {
+            for net in nets {
+                for step in opt.plan(wh, net).steps {
+                    seen.insert(step.key());
+                }
+            }
+        }
+        seen.len()
+    };
+    assert_eq!(
+        misses as usize, distinct,
+        "each distinct constraint must be evaluated exactly once"
+    );
+    let total_steps = hits + misses;
+    let hit_rate = if total_steps == 0 {
+        0.0
+    } else {
+        100.0 * hits as f64 / total_steps as f64
+    };
+
+    let speedup = naive_time.as_secs_f64() / opt_time.as_secs_f64().max(1e-9);
+    print_table(
+        &[
+            "optimizer",
+            "wall ms",
+            "semi-joins",
+            "cache hits",
+            "hit rate",
+        ],
+        &[
+            vec![
+                "off (naive)".into(),
+                format!("{:.1}", naive_time.as_secs_f64() * 1e3),
+                format!("{total_steps}"),
+                "—".into(),
+                "—".into(),
+            ],
+            vec![
+                "on (batch+cache)".into(),
+                format!("{:.1}", opt_time.as_secs_f64() * 1e3),
+                format!("{misses}"),
+                format!("{hits}"),
+                format!("{hit_rate:.1}%"),
+            ],
+        ],
+    );
+    println!(
+        "\ndistinct constraints: {distinct} of {total_steps} total · speedup ×{speedup:.2} · checksum {naive_checksum:#x}"
+    );
+}
+
+/// Order-sensitive digest of a fact-row bitmap (FNV-1a over the words).
+fn checksum(rows: &kdap_query::RowSet) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for w in rows.as_words() {
+        h ^= *w;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}

@@ -79,6 +79,10 @@ fn main() {
     println!(
         "\nFigure 4 ordering (standard ≈ no-size-norm ≥ baseline ≫ no-number-norm) \
          holds for every seed: {}",
-        if ordering_holds_everywhere { "YES" } else { "NO" }
+        if ordering_holds_everywhere {
+            "YES"
+        } else {
+            "NO"
+        }
     );
 }

@@ -39,13 +39,16 @@ fn main() {
             ]
         })
         .collect();
-    print_table(&["rank", "star net (hit groups via join paths)", "score"], &rows);
+    print_table(
+        &["rank", "star net (hit groups via join paths)", "score"],
+        &rows,
+    );
 
     // Sanity line for EXPERIMENTS.md: is the intended interpretation #1?
     let top = ranked.first().map(|r| r.net.display(kdap.warehouse()));
     if let Some(top) = top {
-        let intended_first = top.contains("StateProvinceName/{California}")
-            && top.contains("Mountain Bikes");
+        let intended_first =
+            top.contains("StateProvinceName/{California}") && top.contains("Mountain Bikes");
         println!(
             "\nintended interpretation ranked first: {}",
             if intended_first { "YES" } else { "NO" }

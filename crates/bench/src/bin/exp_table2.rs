@@ -31,7 +31,7 @@ fn main() {
         "## Table 2 — selected attributes & instances (Product dimension)\n\nstar net: {}\n",
         net.display(kdap.warehouse())
     );
-    let ex = kdap.explore(net);
+    let ex = kdap.explore(net).expect("star net evaluates");
     println!(
         "subspace: {} fact points, total revenue {:.2}\n",
         ex.subspace_size, ex.total_aggregate
@@ -43,9 +43,17 @@ fn main() {
         for attr in &panel.attrs {
             for (i, e) in attr.entries.iter().enumerate() {
                 rows.push(vec![
-                    if i == 0 { attr.name.clone() } else { String::new() },
                     if i == 0 {
-                        format!("{:+.3}{}", attr.score, if attr.promoted { " (hit)" } else { "" })
+                        attr.name.clone()
+                    } else {
+                        String::new()
+                    },
+                    if i == 0 {
+                        format!(
+                            "{:+.3}{}",
+                            attr.score,
+                            if attr.promoted { " (hit)" } else { "" }
+                        )
                     } else {
                         String::new()
                     },
@@ -55,7 +63,12 @@ fn main() {
             }
         }
         print_table(
-            &["group-by attribute", "score", "attribute instance", "revenue"],
+            &[
+                "group-by attribute",
+                "score",
+                "attribute instance",
+                "revenue",
+            ],
             &rows,
         );
         println!();

@@ -126,8 +126,8 @@ pub fn hierarchy_rollup_cases(
         let Some(parent_code) = parent_code else {
             continue;
         };
-        let ds = Selection::by_codes(child_path.clone(), child_attr, vec![code])
-            .eval(wh, jidx, fact);
+        let ds =
+            Selection::by_codes(child_path.clone(), child_attr, vec![code]).eval(wh, jidx, fact);
         if ds.len() < min_facts {
             continue;
         }
@@ -255,7 +255,11 @@ pub fn bucket_sweep(
             }
             SweepPoint {
                 buckets: n,
-                mean_error_pct: if counted == 0 { 0.0 } else { total / counted as f64 },
+                mean_error_pct: if counted == 0 {
+                    0.0
+                } else {
+                    total / counted as f64
+                },
                 cases: counted,
             }
         })

@@ -86,10 +86,8 @@ impl Command {
                     Some("dynamic") => Ok(Command::Order(OrderArg::Dynamic)),
                     Some("consistent") => Ok(Command::Order(OrderArg::Consistent)),
                     Some("hybrid") => {
-                        let pinned = int(
-                            parts.next().unwrap_or(""),
-                            "usage: order hybrid <pinned>",
-                        )?;
+                        let pinned =
+                            int(parts.next().unwrap_or(""), "usage: order hybrid <pinned>")?;
                         Ok(Command::Order(OrderArg::Hybrid(pinned)))
                     }
                     _ => Err("usage: order dynamic|consistent|hybrid <pinned>".into()),
@@ -135,12 +133,18 @@ mod tests {
             Command::parse("order hybrid 2"),
             Ok(Command::Order(OrderArg::Hybrid(2)))
         );
-        assert_eq!(Command::parse("order dynamic"), Ok(Command::Order(OrderArg::Dynamic)));
+        assert_eq!(
+            Command::parse("order dynamic"),
+            Ok(Command::Order(OrderArg::Dynamic))
+        );
         assert_eq!(Command::parse("show"), Ok(Command::Show));
         assert_eq!(Command::parse("explain"), Ok(Command::Explain));
         assert_eq!(Command::parse("stats"), Ok(Command::Stats));
         assert_eq!(Command::parse("schema"), Ok(Command::Schema));
-        assert_eq!(Command::parse("save /tmp/wh"), Ok(Command::Save("/tmp/wh".into())));
+        assert_eq!(
+            Command::parse("save /tmp/wh"),
+            Ok(Command::Save("/tmp/wh".into()))
+        );
         assert_eq!(Command::parse("help"), Ok(Command::Help));
         assert_eq!(Command::parse("quit"), Ok(Command::Quit));
     }

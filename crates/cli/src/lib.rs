@@ -35,6 +35,9 @@ pub struct CliArgs {
     /// Worker threads for the parallel execution engine (1 = serial,
     /// 0 = all cores).
     pub threads: usize,
+    /// Plan optimizer (selectivity reordering, predicate fusion, semi-join
+    /// reuse); `--no-opt` turns it off for A/B comparison.
+    pub optimizer: bool,
 }
 
 /// Parses `kdap` arguments (everything after `argv[0]`).
@@ -43,6 +46,7 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
     let mut small = false;
     let mut seed = 42u64;
     let mut threads = 1usize;
+    let mut optimizer = true;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -79,6 +83,7 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
                     .parse()
                     .map_err(|_| "--threads must be an integer".to_string())?;
             }
+            "--no-opt" => optimizer = false,
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown argument `{other}`\n{}", usage())),
         }
@@ -88,13 +93,14 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
         small,
         seed,
         threads,
+        optimizer,
     })
 }
 
 /// The usage banner.
 pub fn usage() -> String {
     "usage: kdap [--demo ebiz|aw-online|aw-reseller|trends] [--spec FILE] \
-     [--small] [--seed N] [--threads N]"
+     [--small] [--seed N] [--threads N] [--no-opt]"
         .to_string()
 }
 
@@ -113,18 +119,27 @@ mod tests {
         assert!(!a.small);
         assert_eq!(a.seed, 42);
         assert_eq!(a.threads, 1);
+        assert!(a.optimizer);
     }
 
     #[test]
     fn parses_demo_and_flags() {
         let a = parse_args(&args(&[
-            "--demo", "aw-online", "--small", "--seed", "7", "--threads", "4",
+            "--demo",
+            "aw-online",
+            "--small",
+            "--seed",
+            "7",
+            "--threads",
+            "4",
+            "--no-opt",
         ]))
         .unwrap();
         assert_eq!(a.source, DataSource::DemoAwOnline);
         assert!(a.small);
         assert_eq!(a.seed, 7);
         assert_eq!(a.threads, 4);
+        assert!(!a.optimizer);
     }
 
     #[test]

@@ -23,22 +23,38 @@ fn main() {
     let wh = match &args.source {
         DataSource::DemoEbiz => {
             eprintln!("building the EBiz demo warehouse…");
-            let scale = if args.small { EbizScale::small() } else { EbizScale::full() };
+            let scale = if args.small {
+                EbizScale::small()
+            } else {
+                EbizScale::full()
+            };
             build_ebiz(scale, args.seed).expect("demo generator is valid")
         }
         DataSource::DemoAwOnline => {
             eprintln!("building AW_ONLINE…");
-            let scale = if args.small { Scale::small() } else { Scale::full() };
+            let scale = if args.small {
+                Scale::small()
+            } else {
+                Scale::full()
+            };
             build_aw_online(scale, args.seed).expect("demo generator is valid")
         }
         DataSource::DemoAwReseller => {
             eprintln!("building AW_RESELLER…");
-            let scale = if args.small { Scale::small() } else { Scale::full() };
+            let scale = if args.small {
+                Scale::small()
+            } else {
+                Scale::full()
+            };
             build_aw_reseller(scale, args.seed).expect("demo generator is valid")
         }
         DataSource::DemoTrends => {
             eprintln!("building the query-log demo warehouse…");
-            let scale = if args.small { TrendsScale::small() } else { TrendsScale::full() };
+            let scale = if args.small {
+                TrendsScale::small()
+            } else {
+                TrendsScale::full()
+            };
             build_trends(scale, args.seed).expect("demo generator is valid")
         }
         DataSource::Spec(path) => {
@@ -68,6 +84,7 @@ fn main() {
     let kdap = match Kdap::builder(wh)
         .cache_capacity(64)
         .threads(args.threads)
+        .optimizer(args.optimizer)
         .build()
     {
         Ok(k) => k,

@@ -113,14 +113,10 @@ impl Repl {
                 }
             }
             Command::Explain => match &self.current {
-                Some(net) => {
-                    let plan = kdap_core::explain(
-                        self.kdap.warehouse(),
-                        self.kdap.join_index(),
-                        net,
-                    );
-                    write!(out, "{}", plan.render())?;
-                }
+                Some(net) => match self.kdap.explain(net) {
+                    Ok(plan) => write!(out, "{}", plan.render())?,
+                    Err(e) => writeln!(out, "explain failed: {e}")?,
+                },
                 None => writeln!(out, "nothing explored yet")?,
             },
             Command::Show => match &self.exploration {
@@ -153,6 +149,9 @@ impl Repl {
                 if let Some((hits, misses)) = self.kdap.cache_stats() {
                     writeln!(out, "subspace cache: {hits} hits / {misses} misses")?;
                 }
+                if let Some((hits, misses)) = self.kdap.semijoin_stats() {
+                    writeln!(out, "semi-join cache: {hits} hits / {misses} misses")?;
+                }
             }
             Command::Help => writeln!(
                 out,
@@ -170,10 +169,14 @@ impl Repl {
             return Ok(());
         };
         writeln!(out, "exploring: {}", net.display(self.kdap.warehouse()))?;
-        let ex = self.kdap.explore(net);
-        write!(out, "{}", render_exploration(&ex))?;
-        writeln!(out, "(facets are numbered top to bottom for `drill`)")?;
-        self.exploration = Some(ex);
+        match self.kdap.explore(net) {
+            Ok(ex) => {
+                write!(out, "{}", render_exploration(&ex))?;
+                writeln!(out, "(facets are numbered top to bottom for `drill`)")?;
+                self.exploration = Some(ex);
+            }
+            Err(e) => writeln!(out, "explore failed: {e}")?,
+        }
         Ok(())
     }
 
@@ -209,10 +212,13 @@ impl Repl {
             writeln!(out, "numeric ranges are refined via a new query, not drill")?;
             return Ok(());
         };
-        let path = paths_between(wh.schema(), wh.schema().fact_table(), attr.attr.table, 8)
+        let Some(path) = paths_between(wh.schema(), wh.schema().fact_table(), attr.attr.table, 8)
             .into_iter()
             .next()
-            .expect("facet attrs are reachable");
+        else {
+            writeln!(out, "facet #{f} is not join-reachable from the fact table")?;
+            return Ok(());
+        };
         let drilled = drill_down(wh, net, attr.attr, &path, vec![code]);
         writeln!(out, "drilled into {} = {}", attr.name, entry.label)?;
         self.current = Some(drilled);
@@ -316,7 +322,20 @@ mod tests {
         run(&mut r, "pick 1");
         let out = run(&mut r, "stats");
         assert!(out.contains("subspace cache"), "{out}");
+        assert!(out.contains("semi-join cache"), "{out}");
         assert!(out.contains("facts:"), "{out}");
+    }
+
+    #[test]
+    fn explain_reports_cache_hits_on_repeat() {
+        let mut r = repl();
+        run(&mut r, "q seattle");
+        run(&mut r, "pick 1");
+        let first = run(&mut r, "explain");
+        assert!(first.contains("est "), "{first}");
+        // The session planner already evaluated these steps during
+        // `pick`, so the explain replay is served from the cache.
+        assert!(first.contains("[cache hit]"), "{first}");
     }
 
     #[test]

@@ -18,6 +18,7 @@
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 
@@ -35,11 +36,13 @@ const MAX_SHARDS: usize = 8;
 pub struct SubspaceCache {
     shards: Vec<Mutex<Inner>>,
     shard_capacity: usize,
+    /// Shared LRU clock: stamps must be comparable *across* shards so
+    /// eviction can pick the globally least recently used entry.
+    clock: AtomicU64,
 }
 
 struct Inner {
     map: HashMap<String, (Subspace, u64)>,
-    clock: u64,
     hits: u64,
     misses: u64,
 }
@@ -48,7 +51,6 @@ impl Inner {
     fn new() -> Self {
         Inner {
             map: HashMap::new(),
-            clock: 0,
             hits: 0,
             misses: 0,
         }
@@ -64,7 +66,12 @@ impl SubspaceCache {
         SubspaceCache {
             shards: (0..n_shards).map(|_| Mutex::new(Inner::new())).collect(),
             shard_capacity: capacity / n_shards,
+            clock: AtomicU64::new(0),
         }
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     fn shard(&self, key: &str) -> &Mutex<Inner> {
@@ -88,37 +95,63 @@ impl SubspaceCache {
         exec: &ExecConfig,
     ) -> Subspace {
         let key = net.fingerprint();
-        let shard = self.shard(&key);
-        {
-            let mut inner = shard.lock();
-            inner.clock += 1;
-            let clock = inner.clock;
-            if let Some((sub, stamp)) = inner.map.get_mut(&key) {
-                *stamp = clock;
-                let sub = sub.clone();
-                inner.hits += 1;
-                return sub;
-            }
-            inner.misses += 1;
+        if let Some(sub) = self.get(&key) {
+            return sub;
         }
         // Materialize outside the lock: concurrent sessions should not
         // serialize on the semi-join work.
         let sub = materialize_with(wh, jidx, net, exec);
-        let mut inner = shard.lock();
-        inner.clock += 1;
-        let clock = inner.clock;
-        if inner.map.len() >= self.shard_capacity && !inner.map.contains_key(&key) {
-            if let Some(oldest) = inner
-                .map
-                .iter()
-                .min_by_key(|(_, (_, stamp))| *stamp)
-                .map(|(k, _)| k.clone())
-            {
-                inner.map.remove(&oldest);
+        self.insert(key, sub.clone());
+        sub
+    }
+
+    /// Looks up a cached subspace by fingerprint, counting a hit or a
+    /// miss and refreshing the entry's LRU stamp on a hit.
+    pub fn get(&self, key: &str) -> Option<Subspace> {
+        let clock = self.tick();
+        let mut inner = self.shard(key).lock();
+        if let Some((sub, stamp)) = inner.map.get_mut(key) {
+            *stamp = clock;
+            let sub = sub.clone();
+            inner.hits += 1;
+            Some(sub)
+        } else {
+            inner.misses += 1;
+            None
+        }
+    }
+
+    /// Stores a subspace under `key`, then evicts the globally least
+    /// recently used entries while total occupancy exceeds capacity.
+    ///
+    /// Eviction is driven by *total* occupancy, not per-shard occupancy,
+    /// so skewed key hashing cannot evict entries while the cache as a
+    /// whole still has room. Locks are taken one shard at a time — never
+    /// nested — so concurrent inserts cannot deadlock.
+    pub fn insert(&self, key: String, sub: Subspace) {
+        let clock = self.tick();
+        self.shard(&key).lock().map.insert(key, (sub, clock));
+        while self.len() > self.capacity() {
+            // Scan for the entry with the smallest stamp across shards,
+            // then re-lock its shard to remove it. A concurrent touch may
+            // refresh or remove the victim in between; the removal is
+            // then a no-op and the loop re-checks occupancy.
+            let mut victim: Option<(usize, String, u64)> = None;
+            for (idx, shard) in self.shards.iter().enumerate() {
+                let inner = shard.lock();
+                if let Some((k, (_, stamp))) = inner.map.iter().min_by_key(|(_, (_, s))| *s) {
+                    if victim.as_ref().is_none_or(|(_, _, best)| *stamp < *best) {
+                        victim = Some((idx, k.clone(), *stamp));
+                    }
+                }
+            }
+            match victim {
+                Some((idx, k, _)) => {
+                    self.shards[idx].lock().map.remove(&k);
+                }
+                None => break,
             }
         }
-        inner.map.insert(key, (sub.clone(), clock));
-        sub
     }
 
     /// `(hits, misses)` counters, summed over all shards.
@@ -178,7 +211,12 @@ mod tests {
     fn cached_result_matches_direct_materialization() {
         let fx = ebiz_fixture();
         let cache = SubspaceCache::new(8);
-        for net in generate_star_nets(&fx.wh, &fx.index, &["columbus", "lcd"], &GenConfig::default()) {
+        for net in generate_star_nets(
+            &fx.wh,
+            &fx.index,
+            &["columbus", "lcd"],
+            &GenConfig::default(),
+        ) {
             let cached = cache.materialize(&fx.wh, &fx.jidx, &net);
             let direct = crate::subspace::materialize(&fx.wh, &fx.jidx, &net);
             assert_eq!(cached.rows, direct.rows);

@@ -64,6 +64,8 @@ mod tests {
         let e: KdapError = WarehouseError::NoFactTable.into();
         assert!(matches!(e, KdapError::Warehouse(_)));
         assert!(std::error::Error::source(&e).is_some());
-        assert!(KdapError::UnknownMeasure("X".into()).to_string().contains("\"X\""));
+        assert!(KdapError::UnknownMeasure("X".into())
+            .to_string()
+            .contains("\"X\""));
     }
 }

@@ -1,63 +1,112 @@
-//! EXPLAIN for star nets: per-constraint selectivity and join-plan
+//! EXPLAIN for star nets: the optimized physical plan with per-step
+//! estimated vs. actual cardinalities, cache hits, and join-plan
 //! description, so analysts (and the `kdap` console) can see *why* a
 //! subspace has the size it does before paying for facet construction.
+//!
+//! The plan is produced by the same [`Planner`] that executes queries:
+//! the entries appear in chosen execution order (most selective first
+//! when reordering is on), fused fact-local predicates collapse into one
+//! entry, and steps served from the session's semi-join cache are marked.
 
-use kdap_query::{JoinIndex, Predicate, RowSet, Selection};
+use kdap_query::{execute_plan_traced, ExecConfig, JoinIndex, Predicate};
 use kdap_warehouse::Warehouse;
 
+use crate::error::KdapError;
 use crate::interpret::StarNet;
+use crate::plan::Planner;
 
-/// The evaluated plan of one constraint.
+/// The evaluated plan of one physical step (one constraint, or several
+/// fused fact-local constraints).
 #[derive(Debug, Clone)]
 pub struct ConstraintPlan {
-    /// `Table.Attr` of the hit group.
+    /// `Table.Attr` of the hit group(s); fused steps join names with `∧`.
     pub attr: String,
     /// The join path walked, with role labels.
     pub path: String,
-    /// Number of hit instances in the group (`|HG|`).
+    /// Number of hit instances in the group (`|HG|`), summed when fused.
     pub n_hits: usize,
-    /// Fact rows this constraint alone selects.
+    /// Fact rows this step alone selects.
     pub fact_rows: usize,
     /// `fact_rows / |fact table|`.
     pub selectivity: f64,
-    /// True for numeric-range constraints (§7 extension).
+    /// True when the step carries a numeric-range constraint (§7
+    /// extension).
     pub numeric: bool,
+    /// The optimizer's estimated fact-row count (equals `fact_rows` only
+    /// by luck; the gap is the estimation error).
+    pub est_rows: usize,
+    /// True when the step's bitmap came from the semi-join cache.
+    pub cache_hit: bool,
+    /// Number of logical constraints this step covers (>1 when fact-local
+    /// predicates were fused into one scan).
+    pub fused: usize,
 }
 
 /// The evaluated plan of a star net.
 #[derive(Debug, Clone)]
 pub struct Plan {
-    /// Per-constraint evaluations, in star-net order.
+    /// Per-step evaluations, in chosen execution order.
     pub constraints: Vec<ConstraintPlan>,
-    /// Fact rows after intersecting all constraints.
+    /// Fact rows after intersecting all steps.
     pub subspace_size: usize,
     /// `subspace_size / |fact table|`.
     pub combined_selectivity: f64,
-    /// Ratio between the most selective single constraint and the
+    /// Ratio between the most selective single step and the
     /// intersection — how much the conjunction tightened the slice.
     pub intersection_gain: f64,
 }
 
-/// Evaluates each constraint independently, then their conjunction.
+/// Evaluates the net through a fresh fully-optimized [`Planner`].
+///
+/// Panics on malformed constraints (impossible for interpreter-produced
+/// nets); use [`explain_planned`] to explain through a session's planner
+/// and see its cache hits.
 pub fn explain(wh: &Warehouse, jidx: &JoinIndex, net: &StarNet) -> Plan {
+    explain_planned(wh, jidx, net, &Planner::optimized(), &ExecConfig::serial())
+        .expect("star-net constraints evaluate on the fact table")
+}
+
+/// Compiles, optimizes, and executes the net through `planner`, tracing
+/// each physical step.
+pub fn explain_planned(
+    wh: &Warehouse,
+    jidx: &JoinIndex,
+    net: &StarNet,
+    planner: &Planner,
+    exec: &ExecConfig,
+) -> Result<Plan, KdapError> {
     let fact = wh.schema().fact_table();
     let n_fact = wh.fact_rows().max(1);
-    let mut combined = RowSet::full(wh.fact_rows());
-    let mut constraints = Vec::with_capacity(net.constraints.len());
-    for c in &net.constraints {
-        let sel = match c.group.numeric {
-            Some((lo, hi)) => Selection::by_range(c.path.clone(), c.group.attr, lo, hi),
-            None => Selection::by_codes(c.path.clone(), c.group.attr, c.group.codes()),
-        };
-        let rows = sel.eval(wh, jidx, fact);
-        combined.intersect_with(&rows);
+    let plan = planner.plan(wh, net);
+    let (rows, traces) = execute_plan_traced(wh, jidx, fact, &plan, planner.cache(), exec)?;
+    let mut constraints = Vec::with_capacity(plan.steps.len());
+    for (step, trace) in plan.steps.iter().zip(&traces) {
+        let nodes = step.nodes();
+        let attr = nodes
+            .iter()
+            .map(|n| wh.col_name(n.selection.attr))
+            .collect::<Vec<_>>()
+            .join(" ∧ ");
+        let n_hits = nodes
+            .iter()
+            .map(|n| match &n.selection.predicate {
+                Predicate::Codes(codes) => codes.len(),
+                Predicate::Range { .. } => 1,
+            })
+            .sum();
+        let numeric = nodes
+            .iter()
+            .any(|n| matches!(n.selection.predicate, Predicate::Range { .. }));
         constraints.push(ConstraintPlan {
-            attr: wh.col_name(c.group.attr),
-            path: c.path.display(wh, fact),
-            n_hits: c.group.len(),
-            fact_rows: rows.len(),
-            selectivity: rows.len() as f64 / n_fact as f64,
-            numeric: matches!(sel.predicate, Predicate::Range { .. }),
+            attr,
+            path: nodes[0].selection.path.display(wh, fact),
+            n_hits,
+            fact_rows: trace.actual_rows,
+            selectivity: trace.actual_rows as f64 / n_fact as f64,
+            numeric,
+            est_rows: trace.est_rows,
+            cache_hit: trace.cache_hit,
+            fused: trace.fused,
         });
     }
     let best_single = constraints
@@ -65,8 +114,8 @@ pub fn explain(wh: &Warehouse, jidx: &JoinIndex, net: &StarNet) -> Plan {
         .map(|c| c.fact_rows)
         .min()
         .unwrap_or(wh.fact_rows());
-    let subspace_size = combined.len();
-    Plan {
+    let subspace_size = rows.len();
+    Ok(Plan {
         constraints,
         subspace_size,
         combined_selectivity: subspace_size as f64 / n_fact as f64,
@@ -75,7 +124,7 @@ pub fn explain(wh: &Warehouse, jidx: &JoinIndex, net: &StarNet) -> Plan {
         } else {
             best_single as f64 / subspace_size as f64
         },
-    }
+    })
 }
 
 impl Plan {
@@ -84,13 +133,20 @@ impl Plan {
         let mut out = String::new();
         for (i, c) in self.constraints.iter().enumerate() {
             out.push_str(&format!(
-                "({}) {}{}  [{} hits] → {} fact rows ({:.2}% of facts)\n      via {}\n",
+                "({}) {}{}{}  [{} hits] → {} fact rows ({:.2}% of facts, est {}){}\n      via {}\n",
                 i + 1,
                 c.attr,
                 if c.numeric { " (numeric range)" } else { "" },
+                if c.fused > 1 {
+                    format!(" [fused ×{}]", c.fused)
+                } else {
+                    String::new()
+                },
                 c.n_hits,
                 c.fact_rows,
                 100.0 * c.selectivity,
+                c.est_rows,
+                if c.cache_hit { "  [cache hit]" } else { "" },
                 c.path,
             ));
         }
@@ -118,13 +174,19 @@ mod tests {
     #[test]
     fn plan_matches_materialization() {
         let fx = ebiz_fixture();
-        for net in generate_star_nets(&fx.wh, &fx.index, &["columbus", "lcd"], &GenConfig::default())
-        {
+        for net in generate_star_nets(
+            &fx.wh,
+            &fx.index,
+            &["columbus", "lcd"],
+            &GenConfig::default(),
+        ) {
             let plan = explain(&fx.wh, &fx.jidx, &net);
             let sub = materialize(&fx.wh, &fx.jidx, &net);
             assert_eq!(plan.subspace_size, sub.len());
-            assert_eq!(plan.constraints.len(), net.n_groups());
-            // The intersection can never exceed any single constraint.
+            // Every logical constraint is covered by exactly one step.
+            let covered: usize = plan.constraints.iter().map(|c| c.fused).sum();
+            assert_eq!(covered, net.n_groups());
+            // The intersection can never exceed any single step.
             for c in &plan.constraints {
                 assert!(plan.subspace_size <= c.fact_rows);
             }
@@ -138,17 +200,19 @@ mod tests {
         let plan = explain(&fx.wh, &fx.jidx, &nets[0]);
         for c in &plan.constraints {
             assert!((0.0..=1.0).contains(&c.selectivity));
-            assert_eq!(
-                c.selectivity,
-                c.fact_rows as f64 / fx.wh.fact_rows() as f64
-            );
+            assert_eq!(c.selectivity, c.fact_rows as f64 / fx.wh.fact_rows() as f64);
         }
     }
 
     #[test]
     fn render_mentions_every_constraint_and_the_intersection() {
         let fx = ebiz_fixture();
-        let nets = generate_star_nets(&fx.wh, &fx.index, &["columbus", "lcd"], &GenConfig::default());
+        let nets = generate_star_nets(
+            &fx.wh,
+            &fx.index,
+            &["columbus", "lcd"],
+            &GenConfig::default(),
+        );
         let net = nets
             .iter()
             .find(|n| n.display(&fx.wh).contains("STORE"))
@@ -159,13 +223,34 @@ mod tests {
         assert!(text.contains("(2)"));
         assert!(text.contains("subspace:"));
         assert!(text.contains("via"));
+        assert!(text.contains("est "));
     }
 
     #[test]
     fn empty_net_plan_is_full_dataspace() {
         let fx = ebiz_fixture();
-        let plan = explain(&fx.wh, &fx.jidx, &StarNet { constraints: vec![] });
+        let plan = explain(
+            &fx.wh,
+            &fx.jidx,
+            &StarNet {
+                constraints: vec![],
+            },
+        );
         assert_eq!(plan.subspace_size, fx.wh.fact_rows());
         assert_eq!(plan.combined_selectivity, 1.0);
+    }
+
+    #[test]
+    fn session_planner_reports_cache_hits() {
+        let fx = ebiz_fixture();
+        let nets = generate_star_nets(&fx.wh, &fx.index, &["columbus"], &GenConfig::default());
+        let planner = Planner::optimized();
+        let first =
+            explain_planned(&fx.wh, &fx.jidx, &nets[0], &planner, &ExecConfig::serial()).unwrap();
+        assert!(first.constraints.iter().all(|c| !c.cache_hit));
+        let second =
+            explain_planned(&fx.wh, &fx.jidx, &nets[0], &planner, &ExecConfig::serial()).unwrap();
+        assert!(second.constraints.iter().all(|c| c.cache_hit));
+        assert_eq!(first.subspace_size, second.subspace_size);
     }
 }

@@ -64,10 +64,11 @@ pub fn path_for_attr(
 ) -> Option<JoinPath> {
     let schema = wh.schema();
     let fact = schema.fact_table();
-    let mut paths: Vec<JoinPath> = paths_between(schema, fact, attr_table, kdap_query::MAX_PATH_LEN)
-        .into_iter()
-        .filter(|p| p.dimension(schema) == Some(dim.id) || (p.is_empty() && attr_table == fact))
-        .collect();
+    let mut paths: Vec<JoinPath> =
+        paths_between(schema, fact, attr_table, kdap_query::MAX_PATH_LEN)
+            .into_iter()
+            .filter(|p| p.dimension(schema) == Some(dim.id) || (p.is_empty() && attr_table == fact))
+            .collect();
     if paths.is_empty() {
         return None;
     }
@@ -259,17 +260,15 @@ fn sort_ranked(dim: &Dimension, cfg: &FacetConfig, out: &mut [RankedAttr]) {
                 // the dynamic tail.
                 (if pos < pinned { pos } else { pinned }, pos < pinned)
             };
-            b.promoted
-                .cmp(&a.promoted)
-                .then_with(|| {
-                    let (ka, pa) = key(a);
-                    let (kb, pb) = key(b);
-                    ka.cmp(&kb).then(pb.cmp(&pa)).then_with(|| {
-                        b.score
-                            .partial_cmp(&a.score)
-                            .unwrap_or(std::cmp::Ordering::Equal)
-                    })
+            b.promoted.cmp(&a.promoted).then_with(|| {
+                let (ka, pa) = key(a);
+                let (kb, pb) = key(b);
+                ka.cmp(&kb).then(pb.cmp(&pa)).then_with(|| {
+                    b.score
+                        .partial_cmp(&a.score)
+                        .unwrap_or(std::cmp::Ordering::Equal)
                 })
+            })
         }),
     }
 }
@@ -293,8 +292,7 @@ fn score_categorical(
     let x_map = group_by_categorical(wh, jidx, fact, path, attr, &sub.rows, measure, cfg.agg);
     let x: Vec<f64> = dom.iter().map(|c| *x_map.get(c).unwrap_or(&0.0)).collect();
     let corrs = rups.iter().map(|rup| {
-        let y_map =
-            group_by_categorical(wh, jidx, fact, path, attr, &rup.rows, measure, cfg.agg);
+        let y_map = group_by_categorical(wh, jidx, fact, path, attr, &rup.rows, measure, cfg.agg);
         // Restrict to DOM(DS′, attr) — segments absent from DS′ are not
         // compared.
         let y: Vec<f64> = dom.iter().map(|c| *y_map.get(c).unwrap_or(&0.0)).collect();
@@ -318,7 +316,15 @@ fn score_numerical(
     let values = project_numeric(wh, jidx, fact, path, attr, &sub.rows);
     let bucketizer = Bucketizer::equal_width(values, cfg.n_basic_intervals)?;
     let x = group_by_buckets(
-        wh, jidx, fact, path, attr, &sub.rows, measure, cfg.agg, &bucketizer,
+        wh,
+        jidx,
+        fact,
+        path,
+        attr,
+        &sub.rows,
+        measure,
+        cfg.agg,
+        &bucketizer,
     );
     // §5.2.1: correlate only over basic intervals that exist in DS′
     // (occupied by at least one subspace fact).
@@ -343,7 +349,15 @@ fn score_numerical(
     let mut worst: Option<(f64, Vec<f64>)> = None;
     for rup in rups {
         let y = group_by_buckets(
-            wh, jidx, fact, path, attr, &rup.rows, measure, cfg.agg, &bucketizer,
+            wh,
+            jidx,
+            fact,
+            path,
+            attr,
+            &rup.rows,
+            measure,
+            cfg.agg,
+            &bucketizer,
         );
         let ys: Vec<f64> = occupied.iter().map(|&i| y[i]).collect();
         let corr = pearson(&xs, &ys);

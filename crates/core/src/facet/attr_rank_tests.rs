@@ -20,7 +20,12 @@ fn store_net(fx: &Fixture) -> StarNet {
         .unwrap()
 }
 
-fn ranked_for_dim(fx: &Fixture, net: &StarNet, dim_name: &str, cfg: &FacetConfig) -> Vec<crate::facet::RankedAttr> {
+fn ranked_for_dim(
+    fx: &Fixture,
+    net: &StarNet,
+    dim_name: &str,
+    cfg: &FacetConfig,
+) -> Vec<crate::facet::RankedAttr> {
     let sub = materialize(&fx.wh, &fx.jidx, net);
     let rups = rollup_spaces(&fx.wh, &fx.jidx, net);
     let dim = fx.wh.schema().dimension_by_name(dim_name).unwrap();
@@ -34,9 +39,7 @@ fn scores_equal_mode_applied_correlation() {
     let net = store_net(&fx);
     let cfg = FacetConfig::default();
     for ra in ranked_for_dim(&fx, &net, "Product", &cfg) {
-        assert!(
-            (ra.score - InterestMode::Surprise.attr_score(ra.correlation)).abs() < 1e-12
-        );
+        assert!((ra.score - InterestMode::Surprise.attr_score(ra.correlation)).abs() < 1e-12);
         // Floating-point: |corr| may exceed 1 by an ulp.
         assert!(ra.correlation.abs() <= 1.0 + 1e-12, "{}", ra.correlation);
     }
@@ -106,7 +109,9 @@ fn unconstrained_dimension_prefers_shortest_path() {
     let fx = ebiz_fixture();
     // No constraints at all: Customer paths to LOC have length 4 via both
     // roles; the deterministic pick must still be stable.
-    let net = StarNet { constraints: vec![] };
+    let net = StarNet {
+        constraints: vec![],
+    };
     let cust_dim = fx.wh.schema().dimension_by_name("Customer").unwrap();
     let loc = fx.wh.table_id("LOC").unwrap();
     let a = path_for_attr(&fx.wh, &net, cust_dim, loc).unwrap();
@@ -126,7 +131,10 @@ fn promoted_attr_uses_the_constraint_path() {
         .find(|n| n.display(&fx.wh).contains("(Buyer)"))
         .unwrap();
     let ranked = ranked_for_dim(&fx, &net, "Customer", &FacetConfig::default());
-    let promoted = ranked.iter().find(|r| r.promoted).expect("hit attr promoted");
+    let promoted = ranked
+        .iter()
+        .find(|r| r.promoted)
+        .expect("hit attr promoted");
     let d = promoted.path.display(&fx.wh, fx.wh.schema().fact_table());
     assert!(d.contains("(Buyer)"), "{d}");
 }

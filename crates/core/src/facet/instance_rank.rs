@@ -74,12 +74,19 @@ pub fn rank_instances(
         })
         .collect();
 
-    let dict = wh.column(attr).dict().expect("categorical attr is a string");
+    let dict = wh
+        .column(attr)
+        .dict()
+        .expect("categorical attr is a string");
     let mut out: Vec<RankedInstance> = dom
         .iter()
         .map(|&code| {
             let g_cat = *x_map.get(&code).unwrap_or(&0.0);
-            let share = if g_ds.abs() > f64::EPSILON { g_cat / g_ds } else { 0.0 };
+            let share = if g_ds.abs() > f64::EPSILON {
+                g_cat / g_ds
+            } else {
+                0.0
+            };
             // Worst-case (largest-magnitude) deviation across roll-ups.
             let deviation = rup_data
                 .iter()
@@ -129,7 +136,13 @@ mod tests {
     use crate::subspace::materialize;
     use crate::testutil::{ebiz_fixture, Fixture};
 
-    fn setup(fx: &Fixture) -> (StarNet, crate::subspace::Subspace, Vec<crate::subspace::Subspace>) {
+    fn setup(
+        fx: &Fixture,
+    ) -> (
+        StarNet,
+        crate::subspace::Subspace,
+        Vec<crate::subspace::Subspace>,
+    ) {
         let net = generate_star_nets(&fx.wh, &fx.index, &["columbus"], &GenConfig::default())
             .into_iter()
             .find(|n| n.display(&fx.wh).contains("STORE → LOC"))
@@ -149,7 +162,9 @@ mod tests {
             mode,
             ..crate::facet::FacetConfig::default()
         };
-        rank_instances(&fx.wh, &fx.jidx, &sub, &rups, &path, attr, &measure, &cfg, hit_codes)
+        rank_instances(
+            &fx.wh, &fx.jidx, &sub, &rups, &path, attr, &measure, &cfg, hit_codes,
+        )
     }
 
     #[test]

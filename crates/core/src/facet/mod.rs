@@ -17,11 +17,13 @@ use std::collections::HashSet;
 use kdap_query::{par_map, AggFunc, ExecConfig, JoinIndex};
 use kdap_warehouse::{AttrKind, ColRef, Measure, Warehouse};
 
+use crate::error::KdapError;
 use crate::facet::attr_rank::{assemble_ranked, collect_attr_tasks, evaluate_attr_task, AttrTask};
 use crate::interest::InterestMode;
 use crate::interpret::StarNet;
-use crate::rollup::rollup_spaces_with;
-use crate::subspace::{materialize_with, Subspace};
+use crate::plan::Planner;
+use crate::rollup::try_rollup_spaces_planned;
+use crate::subspace::{materialize_planned, Subspace};
 
 pub use anneal::{merge_intervals, merge_series, AnnealConfig, MergeResult};
 pub use attr_rank::{path_for_attr, rank_dimension_attrs, NumericSeries, RankedAttr};
@@ -145,7 +147,7 @@ pub fn explore(
     net: &StarNet,
     measure: &Measure,
     cfg: &FacetConfig,
-) -> Exploration {
+) -> Result<Exploration, KdapError> {
     explore_with(wh, jidx, net, measure, cfg, &ExecConfig::serial())
 }
 
@@ -158,9 +160,10 @@ pub fn explore_with(
     measure: &Measure,
     cfg: &FacetConfig,
     exec: &ExecConfig,
-) -> Exploration {
-    let sub = materialize_with(wh, jidx, net, exec);
-    explore_subspace_with(wh, jidx, net, &sub, measure, cfg, exec)
+) -> Result<Exploration, KdapError> {
+    let planner = Planner::naive();
+    let sub = materialize_planned(wh, jidx, net, &planner, exec)?;
+    explore_subspace_planned(wh, jidx, net, &sub, measure, cfg, exec, &planner)
 }
 
 /// Explore phase over an already-materialized subspace.
@@ -171,7 +174,7 @@ pub fn explore_subspace(
     sub: &Subspace,
     measure: &Measure,
     cfg: &FacetConfig,
-) -> Exploration {
+) -> Result<Exploration, KdapError> {
     explore_subspace_with(wh, jidx, net, sub, measure, cfg, &ExecConfig::serial())
 }
 
@@ -193,9 +196,26 @@ pub fn explore_subspace_with(
     measure: &Measure,
     cfg: &FacetConfig,
     exec: &ExecConfig,
-) -> Exploration {
+) -> Result<Exploration, KdapError> {
+    explore_subspace_planned(wh, jidx, net, sub, measure, cfg, exec, &Planner::naive())
+}
+
+/// [`explore_subspace_with`] with an explicit [`Planner`]: the roll-up
+/// spaces are compiled and executed through it, sharing its semi-join
+/// cache with the differentiate phase that materialized the subspace.
+#[allow(clippy::too_many_arguments)]
+pub fn explore_subspace_planned(
+    wh: &Warehouse,
+    jidx: &JoinIndex,
+    net: &StarNet,
+    sub: &Subspace,
+    measure: &Measure,
+    cfg: &FacetConfig,
+    exec: &ExecConfig,
+    planner: &Planner,
+) -> Result<Exploration, KdapError> {
     let schema = wh.schema();
-    let rups = rollup_spaces_with(wh, jidx, net, exec);
+    let rups = try_rollup_spaces_planned(wh, jidx, net, planner, exec)?;
     let total_aggregate = sub.aggregate_exec(wh, measure, cfg.agg, exec);
 
     // Hit codes per attribute (to pin hit instances).
@@ -245,23 +265,25 @@ pub fn explore_subspace_with(
 
     // Stage 2: build the entries of every selected attribute (instance
     // ranking for categorical, Algorithm 2 merging for numerical).
-    let entry_lists = par_map(exec, &selected, |_, (_, ra)| match (&ra.kind, &ra.numeric) {
-        (AttrKind::Categorical, _) => {
-            let empty = HashSet::new();
-            let hits = hit_codes.get(&ra.attr).unwrap_or(&empty);
-            rank_instances(wh, jidx, sub, &rups, &ra.path, ra.attr, measure, cfg, hits)
-                .into_iter()
-                .take(cfg.top_k_instances)
-                .map(|ri| FacetEntry {
-                    label: ri.label.to_string(),
-                    aggregate: ri.aggregate,
-                    score: ri.score,
-                    is_hit: ri.is_hit,
-                })
-                .collect()
+    let entry_lists = par_map(exec, &selected, |_, (_, ra)| {
+        match (&ra.kind, &ra.numeric) {
+            (AttrKind::Categorical, _) => {
+                let empty = HashSet::new();
+                let hits = hit_codes.get(&ra.attr).unwrap_or(&empty);
+                rank_instances(wh, jidx, sub, &rups, &ra.path, ra.attr, measure, cfg, hits)
+                    .into_iter()
+                    .take(cfg.top_k_instances)
+                    .map(|ri| FacetEntry {
+                        label: ri.label.to_string(),
+                        aggregate: ri.aggregate,
+                        score: ri.score,
+                        is_hit: ri.is_hit,
+                    })
+                    .collect()
+            }
+            (AttrKind::Numerical, Some(series)) => numeric_entries(series, cfg),
+            (AttrKind::Numerical, None) => Vec::new(),
         }
-        (AttrKind::Numerical, Some(series)) => numeric_entries(series, cfg),
-        (AttrKind::Numerical, None) => Vec::new(),
     });
 
     let mut panels = Vec::new();
@@ -277,9 +299,10 @@ pub fn explore_subspace_with(
         };
         let dimension = dims[di].name.clone();
         match panels.last_mut() {
-            Some(FacetPanel { dimension: d, attrs }) if *d == dimension => {
-                attrs.push(facet_attr)
-            }
+            Some(FacetPanel {
+                dimension: d,
+                attrs,
+            }) if *d == dimension => attrs.push(facet_attr),
             _ => panels.push(FacetPanel {
                 dimension,
                 attrs: vec![facet_attr],
@@ -287,11 +310,11 @@ pub fn explore_subspace_with(
         }
     }
 
-    Exploration {
+    Ok(Exploration {
         subspace_size: sub.len(),
         total_aggregate,
         panels,
-    }
+    })
 }
 
 /// Merges the basic intervals of a numerical attribute into display
@@ -341,7 +364,7 @@ mod tests {
             .find(|n| n.display(&fx.wh).contains(needle))
             .expect("net found");
         let measure = fx.wh.schema().measure_by_name("Revenue").unwrap().clone();
-        explore(&fx.wh, &fx.jidx, net, &measure, cfg)
+        explore(&fx.wh, &fx.jidx, net, &measure, cfg).unwrap()
     }
 
     #[test]
@@ -505,6 +528,8 @@ mod tests {
         let dim = fx.wh.schema().dimension_by_name("Customer").unwrap();
         let loc = fx.wh.table_id("LOC").unwrap();
         let path = path_for_attr(&fx.wh, buyer_net, dim, loc).unwrap();
-        assert!(path.display(&fx.wh, fx.wh.schema().fact_table()).contains("(Buyer)"));
+        assert!(path
+            .display(&fx.wh, fx.wh.schema().fact_table())
+            .contains("(Buyer)"));
     }
 }

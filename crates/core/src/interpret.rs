@@ -15,7 +15,9 @@
 //!   dimension produce intersection semantics on the fact table, and
 //!   structurally identical star nets are deduplicated by canonical key.
 
-use kdap_query::{fact_paths_by_table, JoinPath, MAX_PATH_LEN};
+use kdap_query::{
+    fact_paths_by_table, Fingerprint, JoinPath, LogicalPlan, Selection, MAX_PATH_LEN,
+};
 use kdap_textindex::TextIndex;
 use kdap_warehouse::{DimId, Warehouse};
 
@@ -37,11 +39,26 @@ impl Constraint {
     pub fn dimension(&self, wh: &Warehouse) -> Option<DimId> {
         self.path.dimension(wh.schema())
     }
+
+    /// The selection this constraint denotes on the fact table: hits OR
+    /// within the group (dictionary codes), numeric groups select by
+    /// value range (§7 future-work extension).
+    pub fn selection(&self) -> Selection {
+        match self.group.numeric {
+            Some((lo, hi)) => Selection::by_range(self.path.clone(), self.group.attr, lo, hi),
+            None => Selection::by_codes(self.path.clone(), self.group.attr, self.group.codes()),
+        }
+    }
+
+    /// Canonical `(group, path)` identity of this constraint — equal
+    /// fingerprints denote the same fact bitmap, across all nets.
+    pub fn fingerprint(&self) -> Fingerprint {
+        Fingerprint::of(&self.selection())
+    }
 }
 
-/// Canonical form of one constraint:
-/// (path edge ids, attr, sorted codes, numeric-range bits).
-type CanonicalKey = Vec<(Vec<u32>, (u32, u32), Vec<u32>, Option<(u64, u64)>)>;
+/// Canonical form of a star net: sorted constraint fingerprints.
+type CanonicalKey = Vec<Fingerprint>;
 
 /// A candidate interpretation: a join expression through the fact table.
 #[derive(Debug, Clone)]
@@ -63,22 +80,15 @@ impl StarNet {
     }
 
     /// Canonical identity used for deduplication: the multiset of
-    /// (path, attr, hit codes).
+    /// constraint fingerprints.
     fn canonical_key(&self) -> CanonicalKey {
-        let mut key: Vec<_> = self
-            .constraints
-            .iter()
-            .map(|c| {
-                let edges: Vec<u32> = c.path.edges().iter().map(|e| e.0).collect();
-                let attr = (c.group.attr.table.0, c.group.attr.col);
-                let mut codes = c.group.codes();
-                codes.sort_unstable();
-                let numeric = c.group.numeric.map(|(lo, hi)| (lo.to_bits(), hi.to_bits()));
-                (edges, attr, codes, numeric)
-            })
-            .collect();
-        key.sort();
-        key
+        self.compile().canonical_key()
+    }
+
+    /// Compiles the net into a [`LogicalPlan`]: one node per constraint,
+    /// keyed by canonical fingerprint, conjunctive on the fact table.
+    pub fn compile(&self) -> LogicalPlan {
+        LogicalPlan::from_selections(self.constraints.iter().map(|c| c.selection()).collect())
     }
 
     /// Human-readable rendering, e.g.
@@ -182,10 +192,8 @@ pub fn generate_from_hit_sets(
     let mut nets: Vec<StarNet> = Vec::new();
     let mut seen = std::collections::HashSet::new();
     'seeds: for seed in seeds {
-        let path_options: Option<Vec<&Vec<JoinPath>>> = seed
-            .iter()
-            .map(|g| fact_paths.get(&g.attr.table))
-            .collect();
+        let path_options: Option<Vec<&Vec<JoinPath>>> =
+            seed.iter().map(|g| fact_paths.get(&g.attr.table)).collect();
         // A group on a table with no join path to the fact table cannot
         // form a star net (the net must go through the fact table).
         let Some(path_options) = path_options else {

@@ -15,6 +15,7 @@ pub mod interpret;
 pub mod navigate;
 pub mod numeric_hits;
 pub mod phrase;
+pub mod plan;
 pub mod rank;
 pub mod render;
 pub mod rollup;
@@ -24,23 +25,32 @@ pub mod subspace;
 #[doc(hidden)]
 pub mod testutil;
 
+pub use cache::SubspaceCache;
+pub use error::KdapError;
+pub use explain::{explain, explain_planned, ConstraintPlan, Plan};
+pub use facet::{
+    explore, explore_subspace, explore_subspace_planned, explore_subspace_with, explore_with,
+    AnnealConfig, Exploration, FacetAttr, FacetConfig, FacetEntry, FacetOrder, FacetPanel,
+    MergeResult,
+};
 pub use hit::{build_hit_sets, Hit, HitConfig, HitGroup, HitSet};
+pub use interest::{combine_correlations, pearson, InterestMode};
 pub use interpret::{generate_star_nets, Constraint, GenConfig, StarNet};
+pub use navigate::{drill_down, remove_constraint, roll_up, slice};
+pub use numeric_hits::{numeric_groups, NumericConfig};
 pub use phrase::merged_group_pool;
+pub use plan::Planner;
 pub use rank::{rank_star_nets, score_star_net, RankMethod, RankedStarNet};
 pub use render::{render_exploration, render_interpretations};
-pub use subspace::{materialize, materialize_many, materialize_with, Subspace};
-pub use facet::{
-    explore, explore_subspace, explore_subspace_with, explore_with, AnnealConfig, Exploration,
-    FacetAttr, FacetConfig, FacetEntry, FacetOrder, FacetPanel, MergeResult,
+pub use rollup::{
+    rollup_constraint, rollup_spaces, rollup_spaces_with, try_rollup_spaces_planned, Rollup,
 };
-pub use error::KdapError;
-pub use explain::{explain, ConstraintPlan, Plan};
-pub use interest::{combine_correlations, pearson, InterestMode};
-pub use rollup::{rollup_constraint, rollup_spaces, rollup_spaces_with, Rollup};
-pub use navigate::{drill_down, remove_constraint, roll_up, slice};
-pub use cache::SubspaceCache;
-pub use numeric_hits::{numeric_groups, NumericConfig};
 pub use session::{split_query, Kdap, KdapBuilder};
+pub use subspace::{
+    materialize, materialize_batch, materialize_many, materialize_planned, materialize_with,
+    try_materialize_with, Subspace,
+};
 
-pub use kdap_query::ExecConfig;
+pub use kdap_query::{
+    ExecConfig, Fingerprint, LogicalPlan, PhysicalPlan, PlannerConfig, SemijoinCache,
+};

@@ -83,7 +83,12 @@ pub fn roll_up(wh: &Warehouse, jidx: &JoinIndex, net: &StarNet, idx: usize) -> O
                 let kdap_query::Predicate::Codes(codes) = &sel.predicate else {
                     unreachable!("rollup_constraint emits code selections");
                 };
-                constraints.push(nav_constraint(wh, sel.attr, sel.path.clone(), codes.clone()))
+                constraints.push(nav_constraint(
+                    wh,
+                    sel.attr,
+                    sel.path.clone(),
+                    codes.clone(),
+                ))
             }
         }
     }
@@ -136,14 +141,16 @@ mod tests {
         let before = materialize(&fx.wh, &fx.jidx, &net);
         // Drill into the "LCD Projectors" product group.
         let attr = fx.wh.col_ref("PGROUP", "GroupName").unwrap();
-        let code = fx.wh.column(attr).dict().unwrap().code_of("LCD Projectors").unwrap();
-        let path = kdap_query::paths_between(
-            fx.wh.schema(),
-            fx.wh.schema().fact_table(),
-            attr.table,
-            8,
-        )
-        .remove(0);
+        let code = fx
+            .wh
+            .column(attr)
+            .dict()
+            .unwrap()
+            .code_of("LCD Projectors")
+            .unwrap();
+        let path =
+            kdap_query::paths_between(fx.wh.schema(), fx.wh.schema().fact_table(), attr.table, 8)
+                .remove(0);
         let drilled = drill_down(&fx.wh, &net, attr, &path, vec![code]);
         let after = materialize(&fx.wh, &fx.jidx, &drilled);
         assert!(after.len() < before.len());
@@ -159,7 +166,13 @@ mod tests {
         let net = store_net(&fx);
         let attr = net.constraints[0].group.attr;
         let path = net.constraints[0].path.clone();
-        let seattle = fx.wh.column(attr).dict().unwrap().code_of("Seattle").unwrap();
+        let seattle = fx
+            .wh
+            .column(attr)
+            .dict()
+            .unwrap()
+            .code_of("Seattle")
+            .unwrap();
         let moved = drill_down(&fx.wh, &net, attr, &path, vec![seattle]);
         // Still one constraint (replaced, not stacked).
         assert_eq!(moved.n_groups(), 1);
@@ -202,24 +215,23 @@ mod tests {
         let fx = ebiz_fixture();
         let net = store_net(&fx);
         let attr = fx.wh.col_ref("HOLIDAY", "Event").unwrap();
-        let code = fx.wh.column(attr).dict().unwrap().code_of("Columbus Day").unwrap();
-        let path = kdap_query::paths_between(
-            fx.wh.schema(),
-            fx.wh.schema().fact_table(),
-            attr.table,
-            8,
-        )
-        .remove(0);
+        let code = fx
+            .wh
+            .column(attr)
+            .dict()
+            .unwrap()
+            .code_of("Columbus Day")
+            .unwrap();
+        let path =
+            kdap_query::paths_between(fx.wh.schema(), fx.wh.schema().fact_table(), attr.table, 8)
+                .remove(0);
         let sliced = slice(&fx.wh, &net, attr, &path, vec![code]);
         assert_eq!(sliced.n_groups(), net.n_groups() + 1);
         let sub_sliced = materialize(&fx.wh, &fx.jidx, &sliced);
         let sub_orig = materialize(&fx.wh, &fx.jidx, &net);
         assert!(sub_sliced.len() <= sub_orig.len());
         let back = remove_constraint(&sliced, sliced.n_groups() - 1).unwrap();
-        assert_eq!(
-            materialize(&fx.wh, &fx.jidx, &back).rows,
-            sub_orig.rows
-        );
+        assert_eq!(materialize(&fx.wh, &fx.jidx, &back).rows, sub_orig.rows);
         assert!(remove_constraint(&net, 99).is_none());
     }
 }

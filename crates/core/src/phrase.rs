@@ -59,8 +59,10 @@ pub fn merged_group_pool(index: &TextIndex, hit_sets: &[HitSet]) -> Vec<HitGroup
                     continue;
                 }
                 // Re-score the intersection with the phrase query.
-                let keywords: Vec<&str> =
-                    hit_sets[i..=j].iter().map(|hs| hs.keyword.as_str()).collect();
+                let keywords: Vec<&str> = hit_sets[i..=j]
+                    .iter()
+                    .map(|hs| hs.keyword.as_str())
+                    .collect();
                 let phrase_hits = index.search_phrase(&keywords, &Default::default());
                 let mut rescored: HashMap<u32, Hit> = HashMap::new();
                 for sh in phrase_hits {
@@ -131,8 +133,7 @@ mod tests {
     #[test]
     fn consecutive_city_keywords_merge_into_phrase_group() {
         let pool = pool_for(&["san", "jose"]);
-        let merged: Vec<&HitGroup> =
-            pool.iter().filter(|g| g.keywords.len() == 2).collect();
+        let merged: Vec<&HitGroup> = pool.iter().filter(|g| g.keywords.len() == 2).collect();
         assert_eq!(merged.len(), 1);
         let g = merged[0];
         assert_eq!(g.attr, attr(0, 0));

@@ -1,0 +1,121 @@
+//! The session-level planner: compiles star nets to logical plans, lowers
+//! them to physical plans with column statistics, and owns the shared
+//! [`SemijoinCache`] that deduplicates constraint evaluation across the
+//! whole candidate set.
+
+use kdap_query::{optimize, LogicalPlan, PhysicalPlan, PlannerConfig, SemijoinCache};
+use kdap_warehouse::{StatsCatalog, Warehouse};
+
+use crate::interpret::StarNet;
+
+/// Compiles and optimizes star-net plans for one session.
+///
+/// A planner bundles the optimizer switches, the lazily computed column
+/// statistics, and (when caching is enabled) the session's semi-join
+/// cache. It is `Sync`: one planner serves every worker thread.
+#[derive(Debug, Default)]
+pub struct Planner {
+    cfg: PlannerConfig,
+    stats: StatsCatalog,
+    cache: Option<SemijoinCache>,
+}
+
+impl Planner {
+    /// The full optimizer: selectivity reordering, fact-local fusion, and
+    /// a shared semi-join cache.
+    pub fn optimized() -> Self {
+        Planner {
+            cfg: PlannerConfig::default(),
+            stats: StatsCatalog::new(),
+            cache: Some(SemijoinCache::new()),
+        }
+    }
+
+    /// No optimization at all: constraints evaluate one by one in net
+    /// order with no statistics and no cache — exactly the unoptimized
+    /// per-net evaluation.
+    pub fn naive() -> Self {
+        Planner {
+            cfg: PlannerConfig::naive(),
+            stats: StatsCatalog::new(),
+            cache: None,
+        }
+    }
+
+    /// A planner with explicit optimizer switches and cache choice.
+    pub fn new(cfg: PlannerConfig, cached: bool) -> Self {
+        Planner {
+            cfg,
+            stats: StatsCatalog::new(),
+            cache: cached.then(SemijoinCache::new),
+        }
+    }
+
+    /// The optimizer switches in effect.
+    pub fn config(&self) -> &PlannerConfig {
+        &self.cfg
+    }
+
+    /// Compiles a star net and lowers it to a physical plan.
+    pub fn plan(&self, wh: &Warehouse, net: &StarNet) -> PhysicalPlan {
+        self.lower(wh, &net.compile())
+    }
+
+    /// Lowers a logical plan to a physical plan. Statistics are consulted
+    /// (and lazily computed) only when reordering is enabled.
+    pub fn lower(&self, wh: &Warehouse, logical: &LogicalPlan) -> PhysicalPlan {
+        let origin = wh.schema().fact_table();
+        let stats = self.cfg.reorder.then_some(&self.stats);
+        optimize(wh, origin, logical, &self.cfg, stats)
+    }
+
+    /// The session's semi-join cache, when caching is enabled.
+    pub fn cache(&self) -> Option<&SemijoinCache> {
+        self.cache.as_ref()
+    }
+
+    /// `(hits, misses)` of the semi-join cache, when caching is enabled.
+    pub fn cache_stats(&self) -> Option<(u64, u64)> {
+        self.cache.as_ref().map(|c| c.stats())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interpret::{generate_star_nets, GenConfig};
+    use crate::testutil::ebiz_fixture;
+
+    #[test]
+    fn naive_planner_preserves_net_order() {
+        let fx = ebiz_fixture();
+        let nets = generate_star_nets(
+            &fx.wh,
+            &fx.index,
+            &["columbus", "lcd"],
+            &GenConfig::default(),
+        );
+        let planner = Planner::naive();
+        for net in &nets {
+            let plan = planner.plan(&fx.wh, net);
+            assert_eq!(plan.steps.len(), net.n_groups());
+            for (step, c) in plan.steps.iter().zip(&net.constraints) {
+                assert_eq!(step.key(), vec![c.fingerprint()]);
+            }
+        }
+        assert!(planner.cache().is_none());
+        assert!(planner.cache_stats().is_none());
+    }
+
+    #[test]
+    fn optimized_planner_computes_stats_lazily() {
+        let fx = ebiz_fixture();
+        let nets = generate_star_nets(&fx.wh, &fx.index, &["columbus"], &GenConfig::default());
+        let planner = Planner::optimized();
+        let plan = planner.plan(&fx.wh, &nets[0]);
+        assert_eq!(plan.steps.len(), 1);
+        assert!(plan.steps[0].est_fraction() <= 1.0);
+        assert!(planner.cache().is_some());
+        assert_eq!(planner.cache_stats(), Some((0, 0)));
+    }
+}

@@ -11,7 +11,12 @@ use crate::rank::RankedStarNet;
 pub fn render_interpretations(wh: &Warehouse, ranked: &[RankedStarNet], limit: usize) -> String {
     let mut out = String::new();
     for (i, r) in ranked.iter().take(limit).enumerate() {
-        out.push_str(&format!("#{:<3} [{:.4}] {}\n", i + 1, r.score, r.net.display(wh)));
+        out.push_str(&format!(
+            "#{:<3} [{:.4}] {}\n",
+            i + 1,
+            r.score,
+            r.net.display(wh)
+        ));
     }
     if ranked.len() > limit {
         out.push_str(&format!("… and {} more\n", ranked.len() - limit));
@@ -83,7 +88,7 @@ mod tests {
     fn exploration_outline_shows_hits_and_totals() {
         let kdap = session();
         let ranked = kdap.interpret("columbus");
-        let ex = kdap.explore(&ranked[0].net);
+        let ex = kdap.explore(&ranked[0].net).unwrap();
         let text = render_exploration(&ex);
         assert!(text.starts_with(&format!("subspace: {} facts", ex.subspace_size)));
         assert!(text.contains("[Store]") || text.contains("[Customer]"));

@@ -10,11 +10,15 @@
 
 use std::collections::BTreeSet;
 
-use kdap_query::{par_map, paths_between, ExecConfig, JoinIndex, JoinPath, Selection};
+use kdap_query::{
+    execute_plan, par_map, paths_between, ExecConfig, JoinIndex, JoinPath, LogicalPlan, Selection,
+};
 use kdap_warehouse::{ColRef, Warehouse};
 
+use crate::error::KdapError;
 use crate::interpret::{Constraint, StarNet};
-use crate::subspace::{materialize, Subspace};
+use crate::plan::Planner;
+use crate::subspace::Subspace;
 
 /// The rolled-up form of one constraint.
 #[derive(Debug, Clone)]
@@ -95,46 +99,23 @@ pub fn rollup_spaces(wh: &Warehouse, jidx: &JoinIndex, net: &StarNet) -> Vec<Sub
     rollup_spaces_with(wh, jidx, net, &ExecConfig::serial())
 }
 
-/// Builds the rolled-up star net with constraint `i` generalized.
-fn rolled_net(wh: &Warehouse, jidx: &JoinIndex, net: &StarNet, i: usize) -> StarNet {
-    let c = &net.constraints[i];
-    let rolled = rollup_constraint(wh, jidx, c);
-    let mut constraints: Vec<Constraint> = Vec::with_capacity(net.constraints.len());
+/// Builds the logical plan of the net with constraint `i` generalized:
+/// the other constraints' selections unchanged, constraint `i` replaced
+/// by its parent-level selection (or removed when it rolls up to ALL).
+fn rolled_logical(wh: &Warehouse, jidx: &JoinIndex, net: &StarNet, i: usize) -> LogicalPlan {
+    let rolled = rollup_constraint(wh, jidx, &net.constraints[i]);
+    let mut selections: Vec<Selection> = Vec::with_capacity(net.constraints.len());
     for (j, other) in net.constraints.iter().enumerate() {
         if j != i {
-            constraints.push(other.clone());
+            selections.push(other.selection());
             continue;
         }
         match &rolled {
-            Rollup::Drop => {} // constraint removed
-            Rollup::Parent(sel) => {
-                let kdap_query::Predicate::Codes(codes) = &sel.predicate else {
-                    unreachable!("rollup_constraint emits code selections");
-                };
-                constraints.push(Constraint {
-                    group: crate::hit::HitGroup {
-                        attr: sel.attr,
-                        hits: codes
-                            .iter()
-                            .map(|&code| crate::hit::Hit {
-                                code,
-                                value: wh
-                                    .column(sel.attr)
-                                    .dict()
-                                    .and_then(|d| d.resolve(code).cloned())
-                                    .unwrap_or_else(|| "?".into()),
-                                score: 1.0,
-                            })
-                            .collect(),
-                        keywords: c.group.keywords.clone(),
-                        numeric: None,
-                    },
-                    path: sel.path.clone(),
-                })
-            }
+            Rollup::Drop => {} // constraint removed: dimension rolls up to ALL
+            Rollup::Parent(sel) => selections.push(sel.clone()),
         }
     }
-    StarNet { constraints }
+    LogicalPlan::from_selections(selections)
 }
 
 /// Like [`rollup_spaces`], but materializes the per-constraint roll-up
@@ -147,20 +128,49 @@ pub fn rollup_spaces_with(
     net: &StarNet,
     exec: &ExecConfig,
 ) -> Vec<Subspace> {
+    try_rollup_spaces_planned(wh, jidx, net, &Planner::naive(), exec)
+        .expect("roll-up selections evaluate on the fact table")
+}
+
+/// Fallible, planner-driven roll-up materialization: each rolled plan is
+/// lowered by `planner` (shared parent-level constraints hit the
+/// planner's semi-join cache) and the per-constraint spaces evaluate
+/// across `exec`'s worker threads.
+pub fn try_rollup_spaces_planned(
+    wh: &Warehouse,
+    jidx: &JoinIndex,
+    net: &StarNet,
+    planner: &Planner,
+    exec: &ExecConfig,
+) -> Result<Vec<Subspace>, KdapError> {
+    let fact = wh.schema().fact_table();
     let indices: Vec<usize> = (0..net.constraints.len()).collect();
-    let mut spaces = par_map(exec, &indices, |_, &i| {
-        materialize(wh, jidx, &rolled_net(wh, jidx, net, i))
+    let results = par_map(exec, &indices, |_, &i| {
+        let plan = planner.lower(wh, &rolled_logical(wh, jidx, net, i));
+        execute_plan(
+            wh,
+            jidx,
+            fact,
+            &plan,
+            planner.cache(),
+            &ExecConfig::serial(),
+        )
     });
+    let mut spaces = Vec::with_capacity(results.len());
+    for rows in results {
+        spaces.push(Subspace { rows: rows? });
+    }
     if spaces.is_empty() {
         spaces.push(Subspace::full(wh));
     }
-    spaces
+    Ok(spaces)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::interpret::{generate_star_nets, GenConfig};
+    use crate::subspace::materialize;
     use crate::testutil::ebiz_fixture;
 
     fn net_containing(fx: &crate::testutil::Fixture, query: &[&str], needle: &str) -> StarNet {

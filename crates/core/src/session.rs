@@ -10,16 +10,17 @@
 //! explore phase over several worker threads; `threads = 1` (the
 //! default) reproduces the serial pipeline bit for bit.
 
-use kdap_query::{par_map, ExecConfig, JoinIndex};
+use kdap_query::{ExecConfig, JoinIndex};
 use kdap_textindex::TextIndex;
-use kdap_warehouse::{Measure, Warehouse, WarehouseError};
+use kdap_warehouse::{Measure, Warehouse};
 
 use crate::cache::SubspaceCache;
 use crate::error::KdapError;
-use crate::facet::{explore_subspace_with, Exploration, FacetConfig};
+use crate::facet::{explore_subspace_planned, Exploration, FacetConfig};
 use crate::interpret::{generate_star_nets, GenConfig, StarNet};
+use crate::plan::Planner;
 use crate::rank::{rank_star_nets, RankMethod, RankedStarNet};
-use crate::subspace::{materialize_with, Subspace};
+use crate::subspace::{materialize_batch, materialize_planned, Subspace};
 
 /// Configures and constructs a [`Kdap`] session.
 ///
@@ -41,6 +42,7 @@ pub struct KdapBuilder {
     facet: FacetConfig,
     method: RankMethod,
     threads: usize,
+    optimizer: bool,
 }
 
 impl KdapBuilder {
@@ -55,6 +57,7 @@ impl KdapBuilder {
             facet: FacetConfig::default(),
             method: RankMethod::Standard,
             threads: 1,
+            optimizer: true,
         }
     }
 
@@ -99,6 +102,16 @@ impl KdapBuilder {
         self
     }
 
+    /// Enables or disables the plan optimizer (default: enabled).
+    /// With the optimizer on, star nets execute through selectivity-
+    /// reordered, fused physical plans and share a per-session semi-join
+    /// cache; off reproduces the naive per-net evaluation exactly.
+    /// Results are identical either way.
+    pub fn optimizer(mut self, enabled: bool) -> Self {
+        self.optimizer = enabled;
+        self
+    }
+
     /// Builds the offline indexes and the session.
     pub fn build(self) -> Result<Kdap, KdapError> {
         let measure = match &self.measure {
@@ -133,6 +146,11 @@ impl KdapBuilder {
             measure,
             cache: self.cache_capacity.map(SubspaceCache::new),
             exec,
+            planner: if self.optimizer {
+                Planner::optimized()
+            } else {
+                Planner::naive()
+            },
         })
     }
 }
@@ -149,41 +167,13 @@ pub struct Kdap {
     measure: Measure,
     cache: Option<SubspaceCache>,
     exec: ExecConfig,
+    planner: Planner,
 }
 
 impl Kdap {
     /// Starts a [`KdapBuilder`] over `wh`.
     pub fn builder(wh: Warehouse) -> KdapBuilder {
         KdapBuilder::new(wh)
-    }
-
-    /// Builds a session with default configuration, using the
-    /// warehouse's first declared measure.
-    #[deprecated(note = "use `Kdap::builder(wh).build()` instead")]
-    pub fn new(wh: Warehouse) -> Result<Self, WarehouseError> {
-        KdapBuilder::new(wh).build().map_err(|e| match e {
-            KdapError::Warehouse(we) => we,
-            _ => WarehouseError::NoFactTable,
-        })
-    }
-
-    /// Enables the subspace cache.
-    #[deprecated(note = "use `KdapBuilder::cache_capacity` instead")]
-    pub fn with_cache(mut self, capacity: usize) -> Self {
-        self.cache = Some(SubspaceCache::new(capacity));
-        self
-    }
-
-    /// Selects the measure by name.
-    #[deprecated(note = "use `KdapBuilder::measure` instead")]
-    pub fn with_measure(mut self, name: &str) -> Result<Self, WarehouseError> {
-        self.measure = self
-            .wh
-            .schema()
-            .measure_by_name(name)
-            .cloned()
-            .ok_or_else(|| WarehouseError::UnknownTable(format!("measure {name}")))?;
-        Ok(self)
     }
 
     /// Cache hit/miss counters, when the cache is enabled.
@@ -266,38 +256,93 @@ impl Kdap {
         rank_star_nets(nets, self.method)
     }
 
-    /// Materializes the subspaces of the top-`k` ranked interpretations,
-    /// one worker per candidate, warming the cache when it is enabled.
-    /// Returned subspaces align with the input order.
-    pub fn materialize_top(&self, ranked: &[RankedStarNet], k: usize) -> Vec<Subspace> {
+    /// Materializes the subspaces of the top-`k` ranked interpretations
+    /// as one batch — each distinct `(group, path)` constraint across the
+    /// whole candidate set is evaluated at most once — warming the
+    /// subspace cache when it is enabled. Returned subspaces align with
+    /// the input order.
+    pub fn materialize_top(
+        &self,
+        ranked: &[RankedStarNet],
+        k: usize,
+    ) -> Result<Vec<Subspace>, KdapError> {
         let nets: Vec<&StarNet> = ranked.iter().take(k).map(|r| &r.net).collect();
-        par_map(&self.exec, &nets, |_, net| self.materialize_net(net))
+        let Some(cache) = &self.cache else {
+            return materialize_batch(&self.wh, &self.jidx, &nets, &self.planner, &self.exec);
+        };
+        // Serve warm interpretations from the subspace cache; batch the
+        // misses through the planner.
+        let keys: Vec<String> = nets.iter().map(|n| n.fingerprint()).collect();
+        let mut out: Vec<Option<Subspace>> = keys.iter().map(|key| cache.get(key)).collect();
+        let missing: Vec<usize> = (0..nets.len()).filter(|&i| out[i].is_none()).collect();
+        let miss_nets: Vec<&StarNet> = missing.iter().map(|&i| nets[i]).collect();
+        let subs = materialize_batch(&self.wh, &self.jidx, &miss_nets, &self.planner, &self.exec)?;
+        for (&i, sub) in missing.iter().zip(subs) {
+            cache.insert(keys[i].clone(), sub.clone());
+            out[i] = Some(sub);
+        }
+        Ok(out
+            .into_iter()
+            .map(|s| s.expect("all slots filled"))
+            .collect())
     }
 
-    fn materialize_net(&self, net: &StarNet) -> Subspace {
-        // Inner materialization stays serial: candidates themselves are
-        // the unit of parallel work here, and the scoped engine does not
-        // nest worker pools.
-        match &self.cache {
-            Some(cache) => cache.materialize(&self.wh, &self.jidx, net),
-            None => materialize_with(&self.wh, &self.jidx, net, &ExecConfig::serial()),
+    fn materialize_net(&self, net: &StarNet) -> Result<Subspace, KdapError> {
+        let Some(cache) = &self.cache else {
+            return materialize_planned(&self.wh, &self.jidx, net, &self.planner, &self.exec);
+        };
+        let key = net.fingerprint();
+        if let Some(sub) = cache.get(&key) {
+            return Ok(sub);
         }
+        let sub = materialize_planned(&self.wh, &self.jidx, net, &self.planner, &self.exec)?;
+        cache.insert(key, sub.clone());
+        Ok(sub)
     }
 
     /// Explore phase: aggregates the chosen interpretation's subspace and
     /// constructs its dynamic facets.
-    pub fn explore(&self, net: &StarNet) -> Exploration {
+    pub fn explore(&self, net: &StarNet) -> Result<Exploration, KdapError> {
         self.explore_with_measure(net, &self.measure)
     }
 
     /// Explore phase with an explicit measure (the paper extends to
     /// user-defined measures and aggregation functions, §5).
-    pub fn explore_with_measure(&self, net: &StarNet, measure: &Measure) -> Exploration {
-        let sub = match &self.cache {
-            Some(cache) => cache.materialize_with(&self.wh, &self.jidx, net, &self.exec),
-            None => materialize_with(&self.wh, &self.jidx, net, &self.exec),
-        };
-        explore_subspace_with(&self.wh, &self.jidx, net, &sub, measure, &self.facet, &self.exec)
+    pub fn explore_with_measure(
+        &self,
+        net: &StarNet,
+        measure: &Measure,
+    ) -> Result<Exploration, KdapError> {
+        let sub = self.materialize_net(net)?;
+        explore_subspace_planned(
+            &self.wh,
+            &self.jidx,
+            net,
+            &sub,
+            measure,
+            &self.facet,
+            &self.exec,
+            &self.planner,
+        )
+    }
+
+    /// EXPLAIN: the optimized physical plan of `net` with estimated vs.
+    /// actual cardinalities and semi-join cache hits, executed through
+    /// this session's planner.
+    pub fn explain(&self, net: &StarNet) -> Result<crate::explain::Plan, KdapError> {
+        crate::explain::explain_planned(&self.wh, &self.jidx, net, &self.planner, &self.exec)
+    }
+
+    /// The session's planner (optimizer switches, statistics, semi-join
+    /// cache).
+    pub fn planner(&self) -> &Planner {
+        &self.planner
+    }
+
+    /// `(hits, misses)` of the semi-join cache, when the optimizer is
+    /// enabled.
+    pub fn semijoin_stats(&self) -> Option<(u64, u64)> {
+        self.planner.cache_stats()
     }
 }
 
@@ -346,12 +391,12 @@ mod tests {
     #[test]
     fn split_query_handles_phrases_and_whitespace() {
         assert_eq!(split_query("columbus lcd"), vec!["columbus", "lcd"]);
-        assert_eq!(
-            split_query("\"san jose\" tv"),
-            vec!["san jose", "tv"]
-        );
+        assert_eq!(split_query("\"san jose\" tv"), vec!["san jose", "tv"]);
         assert_eq!(split_query("  a   b  "), vec!["a", "b"]);
-        assert_eq!(split_query("\"unbalanced phrase"), vec!["unbalanced phrase"]);
+        assert_eq!(
+            split_query("\"unbalanced phrase"),
+            vec!["unbalanced phrase"]
+        );
         assert!(split_query("").is_empty());
         assert!(split_query("\"\"").is_empty());
     }
@@ -365,7 +410,7 @@ mod tests {
         for w in ranked.windows(2) {
             assert!(w[0].score >= w[1].score);
         }
-        let ex = kdap.explore(&ranked[0].net);
+        let ex = kdap.explore(&ranked[0].net).unwrap();
         assert!(ex.subspace_size > 0);
         assert!(!ex.panels.is_empty());
     }
@@ -411,30 +456,20 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructors_still_work() {
-        let fx = ebiz_fixture();
-        let kdap = Kdap::new(fx.wh).unwrap().with_measure("Revenue").unwrap();
-        assert_eq!(kdap.measure().name, "Revenue");
-        let kdap = kdap.with_cache(4);
-        assert_eq!(kdap.cache_stats(), Some((0, 0)));
-    }
-
-    #[test]
     fn cached_session_counts_hits_and_matches_uncached() {
         let fx = ebiz_fixture();
         let kdap_plain = session();
         let kdap_cached = Kdap::builder(fx.wh).cache_capacity(16).build().unwrap();
         assert_eq!(kdap_plain.cache_stats(), None);
         let ranked = kdap_cached.interpret("columbus");
-        let a = kdap_cached.explore(&ranked[0].net);
-        let b = kdap_cached.explore(&ranked[0].net);
+        let a = kdap_cached.explore(&ranked[0].net).unwrap();
+        let b = kdap_cached.explore(&ranked[0].net).unwrap();
         assert_eq!(a.subspace_size, b.subspace_size);
         assert_eq!(a.total_aggregate, b.total_aggregate);
         assert_eq!(kdap_cached.cache_stats(), Some((1, 1)));
         // Same numbers as the uncached session.
         let ranked_p = kdap_plain.interpret("columbus");
-        let c = kdap_plain.explore(&ranked_p[0].net);
+        let c = kdap_plain.explore(&ranked_p[0].net).unwrap();
         assert_eq!(a.total_aggregate, c.total_aggregate);
     }
 
@@ -447,7 +482,10 @@ mod tests {
         let rt = threaded.interpret("columbus lcd");
         assert_eq!(rs.len(), rt.len());
         for (a, b) in rs.iter().zip(&rt) {
-            assert_eq!(serial.explore(&a.net), threaded.explore(&b.net));
+            assert_eq!(
+                serial.explore(&a.net).unwrap(),
+                threaded.explore(&b.net).unwrap()
+            );
         }
     }
 
@@ -460,12 +498,12 @@ mod tests {
             .build()
             .unwrap();
         let ranked = kdap.interpret("columbus");
-        let subs = kdap.materialize_top(&ranked, 3);
+        let subs = kdap.materialize_top(&ranked, 3).unwrap();
         assert_eq!(subs.len(), 3.min(ranked.len()));
         let (_, misses) = kdap.cache_stats().unwrap();
         assert_eq!(misses, subs.len() as u64);
         // Exploring a warmed interpretation hits the cache.
-        kdap.explore(&ranked[0].net);
+        kdap.explore(&ranked[0].net).unwrap();
         let (hits, _) = kdap.cache_stats().unwrap();
         assert!(hits >= 1);
     }
@@ -474,7 +512,7 @@ mod tests {
     fn explore_with_alternate_measure() {
         let kdap = session();
         let ranked = kdap.interpret("columbus");
-        let revenue = kdap.explore(&ranked[0].net);
+        let revenue = kdap.explore(&ranked[0].net).unwrap();
         // COUNT-style measure: the fixture's only measure is Revenue, so
         // synthesize a quantity measure over the fact column.
         let qty = kdap
@@ -484,9 +522,41 @@ mod tests {
             .first()
             .cloned()
             .unwrap();
-        let again = kdap.explore_with_measure(&ranked[0].net, &qty);
+        let again = kdap.explore_with_measure(&ranked[0].net, &qty).unwrap();
         assert_eq!(revenue.total_aggregate, again.total_aggregate);
         assert_eq!(revenue.subspace_size, again.subspace_size);
+    }
+
+    #[test]
+    fn optimizer_off_matches_optimizer_on() {
+        let fx = ebiz_fixture();
+        let on = session();
+        let off = Kdap::builder(fx.wh).optimizer(false).build().unwrap();
+        assert!(on.semijoin_stats().is_some());
+        assert_eq!(off.semijoin_stats(), None);
+        let ro = on.interpret("columbus lcd");
+        let rn = off.interpret("columbus lcd");
+        for (a, b) in ro.iter().zip(&rn) {
+            assert_eq!(on.explore(&a.net).unwrap(), off.explore(&b.net).unwrap());
+        }
+        // The optimized session reused shared constraints across nets.
+        let (hits, misses) = on.semijoin_stats().unwrap();
+        assert!(misses > 0);
+        assert!(hits + misses > 0);
+    }
+
+    #[test]
+    fn session_explains_through_its_planner() {
+        let kdap = session();
+        let ranked = kdap.interpret("columbus lcd");
+        let plan = kdap.explain(&ranked[0].net).unwrap();
+        assert_eq!(
+            plan.subspace_size,
+            kdap.explore(&ranked[0].net).unwrap().subspace_size
+        );
+        // Explaining again hits the semi-join cache for every step.
+        let again = kdap.explain(&ranked[0].net).unwrap();
+        assert!(again.constraints.iter().all(|c| c.cache_hit));
     }
 
     #[test]

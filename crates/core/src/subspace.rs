@@ -5,16 +5,29 @@
 //! path; constraints AND together on the fact table (slice semantics),
 //! while the hits inside one group OR together. Hit groups on the fact
 //! table itself select fact points directly (§4.2).
+//!
+//! Star nets are not evaluated directly: they compile to a
+//! [`LogicalPlan`](kdap_query::LogicalPlan) which a [`Planner`] lowers to
+//! a physical plan (optionally reordered, fused, and cached). Batch
+//! materialization ([`materialize_batch`]) deduplicates shared physical
+//! steps across the whole candidate set, so each distinct `(group, path)`
+//! constraint is evaluated exactly once no matter how many nets share it.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 use kdap_query::{
-    aggregate_total_exec, par_map, AggFunc, ExecConfig, JoinIndex, RowSet, Selection,
+    aggregate_total_exec, execute_plan, execute_step, par_map, AggFunc, ExecConfig, JoinIndex,
+    PhysStep, PhysicalPlan, QueryError, RowSet, StepKey,
 };
 use kdap_warehouse::{Measure, Warehouse};
 
+use crate::error::KdapError;
 use crate::interpret::StarNet;
+use crate::plan::Planner;
 
 /// A materialized sub-dataspace DS′.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Subspace {
     /// The qualifying fact rows.
     pub rows: RowSet,
@@ -55,17 +68,12 @@ impl Subspace {
     }
 }
 
-/// Builds the selection a constraint denotes on the fact table.
-fn constraint_selection(c: &crate::interpret::Constraint) -> Selection {
-    match c.group.numeric {
-        // Future-work extension (§7): numeric/measure hit candidates
-        // select by value range instead of dictionary codes.
-        Some((lo, hi)) => Selection::by_range(c.path.clone(), c.group.attr, lo, hi),
-        None => Selection::by_codes(c.path.clone(), c.group.attr, c.group.codes()),
-    }
-}
-
 /// Materializes a star net into its subspace.
+///
+/// Panics if a constraint is malformed (attribute off its path's target
+/// table) — impossible for nets produced by the interpreter. Use
+/// [`try_materialize_with`] or [`materialize_planned`] for a fallible
+/// variant.
 pub fn materialize(wh: &Warehouse, jidx: &JoinIndex, net: &StarNet) -> Subspace {
     materialize_with(wh, jidx, net, &ExecConfig::serial())
 }
@@ -81,33 +89,108 @@ pub fn materialize_with(
     net: &StarNet,
     exec: &ExecConfig,
 ) -> Subspace {
-    let fact = wh.schema().fact_table();
-    let mut rows = RowSet::full(wh.fact_rows());
-    if exec.is_serial() || net.constraints.len() < 2 {
-        for c in &net.constraints {
-            rows.intersect_with(&constraint_selection(c).eval(wh, jidx, fact));
-        }
-        return Subspace { rows };
-    }
-    let selections = par_map(exec, &net.constraints, |_, c| {
-        constraint_selection(c).eval(wh, jidx, fact)
-    });
-    for sel in &selections {
-        rows.intersect_with(sel);
-    }
-    Subspace { rows }
+    try_materialize_with(wh, jidx, net, exec)
+        .expect("star-net constraints evaluate on the fact table")
 }
 
-/// Materializes several star nets concurrently (one worker per net),
-/// preserving input order. Used to build the top-k candidate subspaces of
-/// the differentiate phase in parallel.
+/// Fallible [`materialize_with`]: evaluates the net through an
+/// unoptimized plan (net order, no cache).
+pub fn try_materialize_with(
+    wh: &Warehouse,
+    jidx: &JoinIndex,
+    net: &StarNet,
+    exec: &ExecConfig,
+) -> Result<Subspace, KdapError> {
+    materialize_planned(wh, jidx, net, &Planner::naive(), exec)
+}
+
+/// Materializes a star net through a [`Planner`]: the net compiles to a
+/// logical plan, lowers to a physical plan (reordered / fused per the
+/// planner's config), and executes through the planner's semi-join cache
+/// when one is present.
+pub fn materialize_planned(
+    wh: &Warehouse,
+    jidx: &JoinIndex,
+    net: &StarNet,
+    planner: &Planner,
+    exec: &ExecConfig,
+) -> Result<Subspace, KdapError> {
+    let fact = wh.schema().fact_table();
+    let plan = planner.plan(wh, net);
+    let rows = execute_plan(wh, jidx, fact, &plan, planner.cache(), exec)?;
+    Ok(Subspace { rows })
+}
+
+/// Materializes several star nets concurrently, preserving input order.
+/// Used to build the top-k candidate subspaces of the differentiate phase
+/// in parallel. Shared constraints are evaluated once (see
+/// [`materialize_batch`]).
 pub fn materialize_many(
     wh: &Warehouse,
     jidx: &JoinIndex,
     nets: &[&StarNet],
     exec: &ExecConfig,
 ) -> Vec<Subspace> {
-    par_map(exec, nets, |_, net| materialize(wh, jidx, net))
+    materialize_batch(wh, jidx, nets, &Planner::naive(), exec)
+        .expect("star-net constraints evaluate on the fact table")
+}
+
+/// Materializes a whole candidate set through one planner, evaluating
+/// each distinct physical step exactly once.
+///
+/// All nets compile and lower first; the distinct steps across all plans
+/// (by cache key, first-occurrence order) are evaluated across `exec`'s
+/// worker threads — through the planner's semi-join cache when present,
+/// so steps already cached by earlier batches are not re-evaluated
+/// either. Each net's subspace is then assembled by intersecting its
+/// steps' bitmaps.
+pub fn materialize_batch(
+    wh: &Warehouse,
+    jidx: &JoinIndex,
+    nets: &[&StarNet],
+    planner: &Planner,
+    exec: &ExecConfig,
+) -> Result<Vec<Subspace>, KdapError> {
+    let fact = wh.schema().fact_table();
+    let plans: Vec<PhysicalPlan> = nets.iter().map(|net| planner.plan(wh, net)).collect();
+
+    let mut seen: HashSet<StepKey> = HashSet::new();
+    let mut distinct: Vec<&PhysStep> = Vec::new();
+    for plan in &plans {
+        for step in &plan.steps {
+            if seen.insert(step.key()) {
+                distinct.push(step);
+            }
+        }
+    }
+
+    let results: Vec<Result<(Arc<RowSet>, bool), QueryError>> =
+        if exec.is_serial() || distinct.len() < 2 {
+            distinct
+                .iter()
+                .map(|s| execute_step(wh, jidx, fact, s, planner.cache()))
+                .collect()
+        } else {
+            par_map(exec, &distinct, |_, s| {
+                execute_step(wh, jidx, fact, s, planner.cache())
+            })
+        };
+    let mut bitmaps: HashMap<StepKey, Arc<RowSet>> = HashMap::with_capacity(distinct.len());
+    for (step, result) in distinct.iter().zip(results) {
+        let (rows, _) = result?;
+        bitmaps.insert(step.key(), rows);
+    }
+
+    Ok(plans
+        .iter()
+        .map(|plan| {
+            let mut rows = RowSet::full(wh.fact_rows());
+            for step in &plan.steps {
+                rows.intersect_with(&bitmaps[&step.key()]);
+            }
+            Subspace { rows }
+        })
+        .collect())
 }
 
 #[cfg(test)]
@@ -230,5 +313,52 @@ mod tests {
         assert_eq!(sub.len(), fx.wh.fact_rows());
         let full = Subspace::full(&fx.wh);
         assert_eq!(full.len(), 6);
+    }
+
+    #[test]
+    fn optimized_planner_matches_naive() {
+        let fx = ebiz_fixture();
+        let nets = generate_star_nets(
+            &fx.wh,
+            &fx.index,
+            &["columbus", "lcd"],
+            &GenConfig::default(),
+        );
+        let planner = Planner::optimized();
+        for net in &nets {
+            let naive = materialize(&fx.wh, &fx.jidx, net);
+            let planned =
+                materialize_planned(&fx.wh, &fx.jidx, net, &planner, &ExecConfig::serial())
+                    .unwrap();
+            assert_eq!(naive, planned);
+        }
+    }
+
+    #[test]
+    fn batch_evaluates_each_distinct_constraint_once() {
+        let fx = ebiz_fixture();
+        let nets = generate_star_nets(
+            &fx.wh,
+            &fx.index,
+            &["columbus", "lcd"],
+            &GenConfig::default(),
+        );
+        // 4 nets sharing the single "lcd" constraint and 4 distinct
+        // "columbus" constraints → 5 distinct steps for 8 constraint
+        // instances.
+        let refs: Vec<&StarNet> = nets.iter().collect();
+        let planner = Planner::optimized();
+        let subs =
+            materialize_batch(&fx.wh, &fx.jidx, &refs, &planner, &ExecConfig::serial()).unwrap();
+        assert_eq!(subs.len(), 4);
+        let (hits, misses) = planner.cache_stats().unwrap();
+        assert_eq!((hits, misses), (0, 5), "each distinct step missed once");
+        for (net, sub) in nets.iter().zip(&subs) {
+            assert_eq!(&materialize(&fx.wh, &fx.jidx, net), sub);
+        }
+        // A second batch over the same nets hits the cache for every step.
+        materialize_batch(&fx.wh, &fx.jidx, &refs, &planner, &ExecConfig::serial()).unwrap();
+        let (hits, misses) = planner.cache_stats().unwrap();
+        assert_eq!((hits, misses), (5, 5));
     }
 }

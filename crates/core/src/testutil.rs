@@ -68,7 +68,10 @@ fn build_warehouse() -> Warehouse {
     .unwrap();
     b.table(
         "ACCT",
-        &[("AKey", ValueType::Int, false), ("CKey", ValueType::Int, false)],
+        &[
+            ("AKey", ValueType::Int, false),
+            ("CKey", ValueType::Int, false),
+        ],
     )
     .unwrap();
     b.table(
@@ -93,7 +96,10 @@ fn build_warehouse() -> Warehouse {
     .unwrap();
     b.table(
         "PGROUP",
-        &[("GKey", ValueType::Int, false), ("GroupName", ValueType::Str, true)],
+        &[
+            ("GKey", ValueType::Int, false),
+            ("GroupName", ValueType::Str, true),
+        ],
     )
     .unwrap();
     b.table(
@@ -107,7 +113,10 @@ fn build_warehouse() -> Warehouse {
     .unwrap();
     b.table(
         "HOLIDAY",
-        &[("HKey", ValueType::Int, false), ("Event", ValueType::Str, true)],
+        &[
+            ("HKey", ValueType::Int, false),
+            ("Event", ValueType::Str, true),
+        ],
     )
     .unwrap();
 
@@ -131,8 +140,18 @@ fn build_warehouse() -> Warehouse {
     b.rows(
         "CUST",
         vec![
-            vec![1i64.into(), "Alice Johnson".into(), 2i64.into(), 50_000.0.into()],
-            vec![2i64.into(), "Bob Smith".into(), 3i64.into(), 80_000.0.into()],
+            vec![
+                1i64.into(),
+                "Alice Johnson".into(),
+                2i64.into(),
+                50_000.0.into(),
+            ],
+            vec![
+                2i64.into(),
+                "Bob Smith".into(),
+                3i64.into(),
+                80_000.0.into(),
+            ],
         ],
     )
     .unwrap();
@@ -156,9 +175,24 @@ fn build_warehouse() -> Warehouse {
     b.rows(
         "PROD",
         vec![
-            vec![1i64.into(), "Slimline TV 42".into(), 1i64.into(), 550.0.into()],
-            vec![2i64.into(), "Projector X100".into(), 2i64.into(), 850.0.into()],
-            vec![3i64.into(), "Plasma TV 50".into(), 3i64.into(), 700.0.into()],
+            vec![
+                1i64.into(),
+                "Slimline TV 42".into(),
+                1i64.into(),
+                550.0.into(),
+            ],
+            vec![
+                2i64.into(),
+                "Projector X100".into(),
+                2i64.into(),
+                850.0.into(),
+            ],
+            vec![
+                3i64.into(),
+                "Plasma TV 50".into(),
+                3i64.into(),
+                700.0.into(),
+            ],
         ],
     )
     .unwrap();
@@ -184,35 +218,102 @@ fn build_warehouse() -> Warehouse {
         vec![
             // store Columbus, buyer Alice(Seattle), seller Bob(Portland),
             // Columbus Day
-            vec![1i64.into(), 1i64.into(), 1i64.into(), 2i64.into(), 1i64.into()],
+            vec![
+                1i64.into(),
+                1i64.into(),
+                1i64.into(),
+                2i64.into(),
+                1i64.into(),
+            ],
             // store Seattle, buyer Bob, seller Alice, New Year
-            vec![2i64.into(), 2i64.into(), 2i64.into(), 1i64.into(), 2i64.into()],
+            vec![
+                2i64.into(),
+                2i64.into(),
+                2i64.into(),
+                1i64.into(),
+                2i64.into(),
+            ],
             // store Columbus, buyer Alice, seller Alice, no holiday
-            vec![3i64.into(), 1i64.into(), 1i64.into(), 1i64.into(), 3i64.into()],
+            vec![
+                3i64.into(),
+                1i64.into(),
+                1i64.into(),
+                1i64.into(),
+                3i64.into(),
+            ],
         ],
     )
     .unwrap();
     b.rows(
         "ITEM",
         vec![
-            vec![1i64.into(), 1i64.into(), 1i64.into(), 2i64.into(), 500.0.into()],
-            vec![2i64.into(), 1i64.into(), 2i64.into(), 1i64.into(), 800.0.into()],
-            vec![3i64.into(), 2i64.into(), 3i64.into(), 1i64.into(), 700.0.into()],
-            vec![4i64.into(), 2i64.into(), 1i64.into(), 3i64.into(), 450.0.into()],
-            vec![5i64.into(), 3i64.into(), 2i64.into(), 1i64.into(), 900.0.into()],
-            vec![6i64.into(), 3i64.into(), 3i64.into(), 2i64.into(), 650.0.into()],
+            vec![
+                1i64.into(),
+                1i64.into(),
+                1i64.into(),
+                2i64.into(),
+                500.0.into(),
+            ],
+            vec![
+                2i64.into(),
+                1i64.into(),
+                2i64.into(),
+                1i64.into(),
+                800.0.into(),
+            ],
+            vec![
+                3i64.into(),
+                2i64.into(),
+                3i64.into(),
+                1i64.into(),
+                700.0.into(),
+            ],
+            vec![
+                4i64.into(),
+                2i64.into(),
+                1i64.into(),
+                3i64.into(),
+                450.0.into(),
+            ],
+            vec![
+                5i64.into(),
+                3i64.into(),
+                2i64.into(),
+                1i64.into(),
+                900.0.into(),
+            ],
+            vec![
+                6i64.into(),
+                3i64.into(),
+                3i64.into(),
+                2i64.into(),
+                650.0.into(),
+            ],
         ],
     )
     .unwrap();
 
     b.edge("ITEM.TKey", "TRANS.TKey", None, None).unwrap();
-    b.edge("ITEM.PKey", "PROD.PKey", None, Some("Product")).unwrap();
-    b.edge("TRANS.SKey", "STORE.SKey", None, Some("Store")).unwrap();
-    b.edge("TRANS.BuyerKey", "ACCT.AKey", Some("Buyer"), Some("Customer"))
+    b.edge("ITEM.PKey", "PROD.PKey", None, Some("Product"))
         .unwrap();
-    b.edge("TRANS.SellerKey", "ACCT.AKey", Some("Seller"), Some("Customer"))
+    b.edge("TRANS.SKey", "STORE.SKey", None, Some("Store"))
         .unwrap();
-    b.edge("TRANS.DKey", "DATE.DKey", None, Some("Time")).unwrap();
+    b.edge(
+        "TRANS.BuyerKey",
+        "ACCT.AKey",
+        Some("Buyer"),
+        Some("Customer"),
+    )
+    .unwrap();
+    b.edge(
+        "TRANS.SellerKey",
+        "ACCT.AKey",
+        Some("Seller"),
+        Some("Customer"),
+    )
+    .unwrap();
+    b.edge("TRANS.DKey", "DATE.DKey", None, Some("Time"))
+        .unwrap();
     b.edge("STORE.LKey", "LOC.LKey", None, None).unwrap();
     b.edge("ACCT.CKey", "CUST.CKey", None, None).unwrap();
     b.edge("CUST.LKey", "LOC.LKey", None, None).unwrap();
@@ -258,6 +359,7 @@ fn build_warehouse() -> Warehouse {
     )
     .unwrap();
     b.fact("ITEM").unwrap();
-    b.measure_product("Revenue", "ITEM.UnitPrice", "ITEM.Qty").unwrap();
+    b.measure_product("Revenue", "ITEM.UnitPrice", "ITEM.Qty")
+        .unwrap();
     b.finish().unwrap()
 }

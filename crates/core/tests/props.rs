@@ -171,8 +171,8 @@ proptest! {
         for threads in [2usize, 4, 8] {
             let par = session_with_threads(threads);
             for r in ranked.iter().take(3) {
-                let a = serial.explore(&r.net);
-                let b = par.explore(&r.net);
+                let a = serial.explore(&r.net).unwrap();
+                let b = par.explore(&r.net).unwrap();
                 prop_assert_eq!(&a, &b, "threads={} query={:?}", threads, query);
             }
         }
@@ -202,8 +202,7 @@ fn sharded_cache_consistent_under_hammering() {
                 for i in 0..ITERS {
                     let net = &nets[(t * 31 + i * 7) % nets.len()];
                     let cached = cache.materialize(kdap.warehouse(), kdap.join_index(), net);
-                    let direct =
-                        kdap_core::materialize(kdap.warehouse(), kdap.join_index(), net);
+                    let direct = kdap_core::materialize(kdap.warehouse(), kdap.join_index(), net);
                     assert_eq!(cached.rows, direct.rows);
                 }
             });

@@ -126,8 +126,18 @@ pub fn build_aw_online(scale: Scale, seed: u64) -> Result<Warehouse, WarehouseEr
         None,
         Some("Customer"),
     )?;
-    b.edge("DimCustomer.GeographyKey", "DimGeography.GeographyKey", None, None)?;
-    b.edge("DimGeography.StateKey", "DimStateProvince.StateKey", None, None)?;
+    b.edge(
+        "DimCustomer.GeographyKey",
+        "DimGeography.GeographyKey",
+        None,
+        None,
+    )?;
+    b.edge(
+        "DimGeography.StateKey",
+        "DimStateProvince.StateKey",
+        None,
+        None,
+    )?;
     b.edge(
         "FactInternetSales.ProductKey",
         "DimProduct.ProductKey",
@@ -146,7 +156,12 @@ pub fn build_aw_online(scale: Scale, seed: u64) -> Result<Warehouse, WarehouseEr
         None,
         None,
     )?;
-    b.edge("FactInternetSales.DateKey", "DimDate.DateKey", None, Some("Date"))?;
+    b.edge(
+        "FactInternetSales.DateKey",
+        "DimDate.DateKey",
+        None,
+        Some("Date"),
+    )?;
     b.edge(
         "FactInternetSales.PromotionKey",
         "DimPromotion.PromotionKey",
@@ -307,7 +322,12 @@ mod tests {
             "California street addresses seeded"
         );
         let state = wh.col_ref("DimStateProvince", "StateProvinceName").unwrap();
-        assert!(wh.column(state).dict().unwrap().code_of("California").is_some());
+        assert!(wh
+            .column(state)
+            .dict()
+            .unwrap()
+            .code_of("California")
+            .is_some());
     }
 
     #[test]

@@ -143,7 +143,11 @@ pub fn build_aw_reseller(scale: Scale, seed: u64) -> Result<Warehouse, Warehouse
         let reseller = s.skewed_index(scale.resellers) as i64 + 1;
         let employee = s.skewed_index(scale.employees) as i64 + 1;
         let product = s.skewed_index(n_products) as i64 + 1;
-        let promotion = if s.chance(0.75) { 1 } else { s.int(2, n_promos as i64) };
+        let promotion = if s.chance(0.75) {
+            1
+        } else {
+            s.int(2, n_promos as i64)
+        };
         // Reseller orders come in bulk.
         let qty = 1 + s.skewed_index(40) as i64;
         let price = (s.float(2.0, 1800.0) * 100.0).round() / 100.0;
@@ -170,8 +174,18 @@ pub fn build_aw_reseller(scale: Scale, seed: u64) -> Result<Warehouse, Warehouse
         None,
         Some("Reseller"),
     )?;
-    b.edge("DimReseller.GeographyKey", "DimGeography.GeographyKey", None, None)?;
-    b.edge("DimGeography.StateKey", "DimStateProvince.StateKey", None, None)?;
+    b.edge(
+        "DimReseller.GeographyKey",
+        "DimGeography.GeographyKey",
+        None,
+        None,
+    )?;
+    b.edge(
+        "DimGeography.StateKey",
+        "DimStateProvince.StateKey",
+        None,
+        None,
+    )?;
     b.edge(
         "FactResellerSales.EmployeeKey",
         "DimEmployee.EmployeeKey",
@@ -202,7 +216,12 @@ pub fn build_aw_reseller(scale: Scale, seed: u64) -> Result<Warehouse, Warehouse
         None,
         None,
     )?;
-    b.edge("FactResellerSales.DateKey", "DimDate.DateKey", None, Some("Date"))?;
+    b.edge(
+        "FactResellerSales.DateKey",
+        "DimDate.DateKey",
+        None,
+        Some("Date"),
+    )?;
     b.edge(
         "FactResellerSales.PromotionKey",
         "DimPromotion.PromotionKey",

@@ -259,7 +259,10 @@ pub fn add_date_table(b: &mut WarehouseBuilder, years: &[i64]) -> Result<usize, 
 }
 
 /// Promotion dimension. Returns the row count.
-pub fn add_promotion_table(b: &mut WarehouseBuilder, s: &mut Sampler) -> Result<usize, WarehouseError> {
+pub fn add_promotion_table(
+    b: &mut WarehouseBuilder,
+    s: &mut Sampler,
+) -> Result<usize, WarehouseError> {
     b.table(
         "DimPromotion",
         &[
@@ -275,7 +278,11 @@ pub fn add_promotion_table(b: &mut WarehouseBuilder, s: &mut Sampler) -> Result<
         } else {
             vocab::PROMOTION_TYPES[1 + s.index(vocab::PROMOTION_TYPES.len() - 1)]
         };
-        let pct = if *name == "No Discount" { 0.0 } else { s.float(0.02, 0.5) };
+        let pct = if *name == "No Discount" {
+            0.0
+        } else {
+            s.float(0.02, 0.5)
+        };
         b.row(
             "DimPromotion",
             vec![

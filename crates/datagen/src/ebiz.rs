@@ -73,13 +73,28 @@ const PRODUCT_LINES: &[(&str, &[&str])] = &[
     ),
     (
         "Office Electronics",
-        &["LCD Projectors", "Monitors", "Printers", "Scanners", "Shredders"],
+        &[
+            "LCD Projectors",
+            "Monitors",
+            "Printers",
+            "Scanners",
+            "Shredders",
+        ],
     ),
     (
         "Computers",
-        &["Laptops", "Desktops", "Tablets", "Servers", "Accessories Kits"],
+        &[
+            "Laptops",
+            "Desktops",
+            "Tablets",
+            "Servers",
+            "Accessories Kits",
+        ],
     ),
-    ("Software", &["Operating Systems", "Office Suites", "Games", "Antivirus"]),
+    (
+        "Software",
+        &["Operating Systems", "Office Suites", "Games", "Antivirus"],
+    ),
 ];
 
 /// UNSPSC family → classes.
@@ -90,7 +105,11 @@ const UNSPSC_FAMILIES: &[(&str, &[&str])] = &[
     ),
     (
         "Information Technology",
-        &["Computer Equipment", "Computer Accessories", "Software Products"],
+        &[
+            "Computer Equipment",
+            "Computer Accessories",
+            "Software Products",
+        ],
     ),
     (
         "Office Equipment",
@@ -99,8 +118,16 @@ const UNSPSC_FAMILIES: &[(&str, &[&str])] = &[
 ];
 
 const BRANDS: &[&str] = &[
-    "Vistron", "Lumax", "Pixelar", "SoundCore", "Clarity", "NovaTech", "Orbit",
-    "Zenlight", "Calypso", "Meridian",
+    "Vistron",
+    "Lumax",
+    "Pixelar",
+    "SoundCore",
+    "Clarity",
+    "NovaTech",
+    "Orbit",
+    "Zenlight",
+    "Calypso",
+    "Meridian",
 ];
 
 const PRODUCT_KINDS: &[&str] = &[
@@ -162,7 +189,12 @@ pub fn build_ebiz(scale: EbizScale, seed: u64) -> Result<Warehouse, WarehouseErr
                 lkey += 1;
                 b.row(
                     "LOCATION",
-                    vec![lkey.into(), (*city).into(), (*state).into(), (*country).into()],
+                    vec![
+                        lkey.into(),
+                        (*city).into(),
+                        (*state).into(),
+                        (*country).into(),
+                    ],
                 )?;
             }
         }
@@ -235,7 +267,10 @@ pub fn build_ebiz(scale: EbizScale, seed: u64) -> Result<Warehouse, WarehouseErr
     // ---- Product: two hierarchies ----
     b.table(
         "PLINE",
-        &[("LineKey", ValueType::Int, false), ("LineName", ValueType::Str, true)],
+        &[
+            ("LineKey", ValueType::Int, false),
+            ("LineName", ValueType::Str, true),
+        ],
     )?;
     b.table(
         "PGROUP",
@@ -333,7 +368,10 @@ pub fn build_ebiz(scale: EbizScale, seed: u64) -> Result<Warehouse, WarehouseErr
     }
     b.table(
         "HOLIDAY",
-        &[("HKey", ValueType::Int, false), ("Event", ValueType::Str, true)],
+        &[
+            ("HKey", ValueType::Int, false),
+            ("Event", ValueType::Str, true),
+        ],
     )?;
     for (i, h) in vocab::HOLIDAYS.iter().enumerate() {
         b.row("HOLIDAY", vec![(i as i64 + 1).into(), (*h).into()])?;
@@ -449,8 +487,18 @@ pub fn build_ebiz(scale: EbizScale, seed: u64) -> Result<Warehouse, WarehouseErr
     b.edge("TRANSITEM.TKey", "TRANS.TKey", None, None)?;
     b.edge("TRANSITEM.PKey", "PRODUCT.PKey", None, Some("Product"))?;
     b.edge("TRANS.SKey", "STORE.SKey", None, Some("Store"))?;
-    b.edge("TRANS.BuyerKey", "ACCOUNT.AKey", Some("Buyer"), Some("Customer"))?;
-    b.edge("TRANS.SellerKey", "ACCOUNT.AKey", Some("Seller"), Some("Customer"))?;
+    b.edge(
+        "TRANS.BuyerKey",
+        "ACCOUNT.AKey",
+        Some("Buyer"),
+        Some("Customer"),
+    )?;
+    b.edge(
+        "TRANS.SellerKey",
+        "ACCOUNT.AKey",
+        Some("Seller"),
+        Some("Customer"),
+    )?;
     b.edge("TRANS.DKey", "DATETBL.DKey", None, Some("Time"))?;
     b.edge("STORE.LKey", "LOCATION.LKey", None, None)?;
     b.edge("ACCOUNT.CKey", "CUSTOMER.CKey", None, None)?;
@@ -512,7 +560,12 @@ pub fn build_ebiz(scale: EbizScale, seed: u64) -> Result<Warehouse, WarehouseErr
         &["DATETBL", "QUARTER", "HOLIDAY"],
         vec![(
             "Calendar",
-            vec!["QUARTER.Year", "QUARTER.Quarter", "DATETBL.Month", "DATETBL.Week"],
+            vec![
+                "QUARTER.Year",
+                "QUARTER.Quarter",
+                "DATETBL.Month",
+                "DATETBL.Week",
+            ],
         )],
         vec![
             ("DATETBL.Month", AttrKind::Categorical),
@@ -554,7 +607,12 @@ mod tests {
     fn columbus_ambiguity_exists() {
         let wh = build_ebiz(EbizScale::small(), 42).unwrap();
         let city = wh.col_ref("LOCATION", "City").unwrap();
-        assert!(wh.column(city).dict().unwrap().code_of("Columbus").is_some());
+        assert!(wh
+            .column(city)
+            .dict()
+            .unwrap()
+            .code_of("Columbus")
+            .is_some());
         let event = wh.col_ref("HOLIDAY", "Event").unwrap();
         assert!(wh
             .column(event)

@@ -14,7 +14,7 @@
 //! each term carries a monthly profile ("sunscreen" peaks in summer,
 //! "christmas gifts" in December, "world cup" in June/July).
 
-use kdap_warehouse::{AttrKind, ValueType, Warehouse, WarehouseError, WarehouseBuilder};
+use kdap_warehouse::{AttrKind, ValueType, Warehouse, WarehouseBuilder, WarehouseError};
 
 use crate::rng::Sampler;
 use crate::vocab;
@@ -22,21 +22,81 @@ use crate::vocab;
 /// Search terms with their category and a 12-month seasonality profile
 /// (relative weights, January..December).
 const TERMS: &[(&str, &str, [u32; 12])] = &[
-    ("ipod nano", "Electronics", [8, 7, 6, 6, 6, 6, 6, 7, 8, 9, 12, 20]),
-    ("lcd tv", "Electronics", [9, 8, 7, 7, 7, 8, 8, 8, 9, 10, 14, 18]),
-    ("digital camera", "Electronics", [7, 6, 6, 7, 8, 10, 10, 9, 8, 8, 11, 16]),
-    ("laptop deals", "Electronics", [10, 8, 7, 7, 7, 8, 9, 14, 12, 9, 13, 15]),
-    ("sunscreen", "Health", [2, 2, 4, 7, 12, 18, 20, 16, 8, 3, 2, 2]),
-    ("flu shot", "Health", [8, 6, 4, 3, 2, 2, 2, 3, 10, 18, 16, 10]),
-    ("gym membership", "Health", [22, 14, 10, 8, 7, 6, 5, 5, 6, 6, 5, 6]),
-    ("world cup", "Sports", [3, 3, 4, 5, 8, 22, 24, 10, 5, 4, 4, 4]),
-    ("ski resort", "Sports", [18, 16, 10, 4, 2, 1, 1, 1, 2, 5, 12, 20]),
-    ("surfboard", "Sports", [4, 4, 6, 8, 12, 16, 18, 16, 10, 6, 4, 4]),
-    ("christmas gifts", "Shopping", [1, 1, 1, 1, 1, 1, 1, 1, 2, 4, 16, 40]),
-    ("halloween costume", "Shopping", [1, 1, 1, 1, 1, 1, 2, 4, 12, 38, 3, 1]),
-    ("tax software", "Finance", [14, 18, 24, 20, 4, 2, 2, 2, 2, 3, 3, 4]),
-    ("mortgage rates", "Finance", [10, 10, 11, 11, 10, 9, 9, 9, 9, 9, 8, 8]),
-    ("columbus day sale", "Shopping", [1, 1, 1, 1, 1, 1, 1, 2, 6, 30, 4, 1]),
+    (
+        "ipod nano",
+        "Electronics",
+        [8, 7, 6, 6, 6, 6, 6, 7, 8, 9, 12, 20],
+    ),
+    (
+        "lcd tv",
+        "Electronics",
+        [9, 8, 7, 7, 7, 8, 8, 8, 9, 10, 14, 18],
+    ),
+    (
+        "digital camera",
+        "Electronics",
+        [7, 6, 6, 7, 8, 10, 10, 9, 8, 8, 11, 16],
+    ),
+    (
+        "laptop deals",
+        "Electronics",
+        [10, 8, 7, 7, 7, 8, 9, 14, 12, 9, 13, 15],
+    ),
+    (
+        "sunscreen",
+        "Health",
+        [2, 2, 4, 7, 12, 18, 20, 16, 8, 3, 2, 2],
+    ),
+    (
+        "flu shot",
+        "Health",
+        [8, 6, 4, 3, 2, 2, 2, 3, 10, 18, 16, 10],
+    ),
+    (
+        "gym membership",
+        "Health",
+        [22, 14, 10, 8, 7, 6, 5, 5, 6, 6, 5, 6],
+    ),
+    (
+        "world cup",
+        "Sports",
+        [3, 3, 4, 5, 8, 22, 24, 10, 5, 4, 4, 4],
+    ),
+    (
+        "ski resort",
+        "Sports",
+        [18, 16, 10, 4, 2, 1, 1, 1, 2, 5, 12, 20],
+    ),
+    (
+        "surfboard",
+        "Sports",
+        [4, 4, 6, 8, 12, 16, 18, 16, 10, 6, 4, 4],
+    ),
+    (
+        "christmas gifts",
+        "Shopping",
+        [1, 1, 1, 1, 1, 1, 1, 1, 2, 4, 16, 40],
+    ),
+    (
+        "halloween costume",
+        "Shopping",
+        [1, 1, 1, 1, 1, 1, 2, 4, 12, 38, 3, 1],
+    ),
+    (
+        "tax software",
+        "Finance",
+        [14, 18, 24, 20, 4, 2, 2, 2, 2, 3, 3, 4],
+    ),
+    (
+        "mortgage rates",
+        "Finance",
+        [10, 10, 11, 11, 10, 9, 9, 9, 9, 9, 8, 8],
+    ),
+    (
+        "columbus day sale",
+        "Shopping",
+        [1, 1, 1, 1, 1, 1, 1, 2, 6, 30, 4, 1],
+    ),
 ];
 
 /// Scale of the generated query log.
@@ -107,7 +167,12 @@ pub fn build_trends(scale: TrendsScale, seed: u64) -> Result<Warehouse, Warehous
                 geo_key += 1;
                 b.row(
                     "GEO",
-                    vec![geo_key.into(), (*city).into(), (*state).into(), (*country).into()],
+                    vec![
+                        geo_key.into(),
+                        (*city).into(),
+                        (*state).into(),
+                        (*country).into(),
+                    ],
                 )?;
             }
         }
@@ -173,7 +238,12 @@ pub fn build_trends(scale: TrendsScale, seed: u64) -> Result<Warehouse, Warehous
         )?;
     }
 
-    b.edge("QUERYLOG.TermKey", "SEARCHTERM.TermKey", None, Some("SearchTerm"))?;
+    b.edge(
+        "QUERYLOG.TermKey",
+        "SEARCHTERM.TermKey",
+        None,
+        Some("SearchTerm"),
+    )?;
     b.edge("QUERYLOG.GeoKey", "GEO.GeoKey", None, Some("Location"))?;
     b.edge("QUERYLOG.MonthKey", "MONTH.MonthKey", None, Some("Time"))?;
 

@@ -12,7 +12,12 @@
 pub const CATEGORIES: &[(&str, &[&str])] = &[
     (
         "Bikes",
-        &["Mountain Bikes", "Road Bikes", "Touring Bikes", "Chainring Bikes"],
+        &[
+            "Mountain Bikes",
+            "Road Bikes",
+            "Touring Bikes",
+            "Chainring Bikes",
+        ],
     ),
     (
         "Components",
@@ -65,7 +70,14 @@ pub const CATEGORIES: &[(&str, &[&str])] = &[
 
 /// Model-name stems used to build product names like `Mountain-200 Black, 42`.
 pub const MODEL_STEMS: &[&str] = &[
-    "Mountain", "Road", "Touring", "Sport", "All-Purpose", "HL", "ML", "LL",
+    "Mountain",
+    "Road",
+    "Touring",
+    "Sport",
+    "All-Purpose",
+    "HL",
+    "ML",
+    "LL",
 ];
 
 /// Product colors.
@@ -163,38 +175,62 @@ pub const GEOGRAPHY: &[(&str, &[&str])] = &[
             "Arizona",
         ],
     ),
-    ("Canada", &["British Columbia", "Ontario", "Quebec", "Alberta"]),
-    ("Australia", &["New South Wales", "Victoria", "Queensland", "Tasmania"]),
+    (
+        "Canada",
+        &["British Columbia", "Ontario", "Quebec", "Alberta"],
+    ),
+    (
+        "Australia",
+        &["New South Wales", "Victoria", "Queensland", "Tasmania"],
+    ),
     ("United Kingdom", &["England", "Scotland", "Wales"]),
-    ("France", &["Seine Saint Denis", "Essonne", "Loiret", "Nord"]),
+    (
+        "France",
+        &["Seine Saint Denis", "Essonne", "Loiret", "Nord"],
+    ),
     ("Germany", &["Bayern", "Hessen", "Saarland", "Hamburg"]),
 ];
 
 /// State/province → cities. Collision seeds: "Columbus" (city and
 /// holiday), "Sydney" (city and first name), "Portland" in two states.
 pub const CITIES: &[(&str, &[&str])] = &[
-    ("California", &[
-        "San Francisco",
-        "San Jose",
-        "Palo Alto",
-        "Santa Cruz",
-        "Torrance",
-        "Central Valley",
-        "Los Angeles",
-        "Berkeley",
-    ]),
-    ("Washington", &["Seattle", "Tacoma", "Spokane", "Bellingham", "Portland"]),
+    (
+        "California",
+        &[
+            "San Francisco",
+            "San Jose",
+            "Palo Alto",
+            "Santa Cruz",
+            "Torrance",
+            "Central Valley",
+            "Los Angeles",
+            "Berkeley",
+        ],
+    ),
+    (
+        "Washington",
+        &["Seattle", "Tacoma", "Spokane", "Bellingham", "Portland"],
+    ),
     ("Oregon", &["Portland", "Salem", "Eugene"]),
     ("Colorado", &["Denver", "Boulder", "Aurora"]),
     ("Ohio", &["Columbus", "Cleveland", "Dayton"]),
-    ("New York", &["New York City", "Ithaca", "Buffalo", "Albany"]),
+    (
+        "New York",
+        &["New York City", "Ithaca", "Buffalo", "Albany"],
+    ),
     ("Texas", &["Austin", "Dallas", "Houston", "San Antonio"]),
     ("Arizona", &["Phoenix", "Tucson", "Mesa"]),
-    ("British Columbia", &["Vancouver", "Victoria City", "Burnaby", "Richmond"]),
+    (
+        "British Columbia",
+        &["Vancouver", "Victoria City", "Burnaby", "Richmond"],
+    ),
     ("Ontario", &["Toronto", "Ottawa", "London City"]),
     ("Quebec", &["Montreal", "Quebec City", "Laval"]),
     ("Alberta", &["Calgary", "Edmonton"]),
-    ("New South Wales", &["Sydney", "Newcastle", "Wollongong", "Alexandria"]),
+    (
+        "New South Wales",
+        &["Sydney", "Newcastle", "Wollongong", "Alexandria"],
+    ),
     ("Victoria", &["Melbourne", "Geelong", "Bendigo"]),
     ("Queensland", &["Brisbane", "Cairns", "Townsville"]),
     ("Tasmania", &["Hobart", "Launceston"]),
@@ -232,20 +268,54 @@ pub const STREETS: &[&str] = &[
 /// First names; "Sydney" and "Austin" collide with cities, "Jose" with
 /// "San Jose".
 pub const FIRST_NAMES: &[&str] = &[
-    "Fernando", "Alice", "Bob", "Carol", "David", "Emma", "Frank", "Grace", "Henry",
-    "Isabella", "Jack", "Karen", "Liam", "Mia", "Noah", "Olivia", "Peter", "Quinn",
-    "Rachel", "Samuel", "Tina", "Victor", "Wendy", "Xavier", "Yolanda", "Zachary",
-    "Sydney", "Austin", "Jose", "Maria", "Chen", "Wei", "Ana", "Luis", "Dalton",
-    "Casey", "Morgan", "Jordan", "Blake", "Rory",
+    "Fernando", "Alice", "Bob", "Carol", "David", "Emma", "Frank", "Grace", "Henry", "Isabella",
+    "Jack", "Karen", "Liam", "Mia", "Noah", "Olivia", "Peter", "Quinn", "Rachel", "Samuel", "Tina",
+    "Victor", "Wendy", "Xavier", "Yolanda", "Zachary", "Sydney", "Austin", "Jose", "Maria", "Chen",
+    "Wei", "Ana", "Luis", "Dalton", "Casey", "Morgan", "Jordan", "Blake", "Rory",
 ];
 
 /// Last names.
 pub const LAST_NAMES: &[&str] = &[
-    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis",
-    "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez", "Wilson", "Anderson",
-    "Thomas", "Taylor", "Moore", "Jackson", "Martin", "Lee", "Perez", "Thompson",
-    "White", "Harris", "Sanchez", "Clark", "Ramirez", "Lewis", "Robinson", "Walker",
-    "Young", "Allen", "King", "Wright", "Scott", "Torres", "Nguyen", "Hill", "Flores",
+    "Smith",
+    "Johnson",
+    "Williams",
+    "Brown",
+    "Jones",
+    "Garcia",
+    "Miller",
+    "Davis",
+    "Rodriguez",
+    "Martinez",
+    "Hernandez",
+    "Lopez",
+    "Gonzalez",
+    "Wilson",
+    "Anderson",
+    "Thomas",
+    "Taylor",
+    "Moore",
+    "Jackson",
+    "Martin",
+    "Lee",
+    "Perez",
+    "Thompson",
+    "White",
+    "Harris",
+    "Sanchez",
+    "Clark",
+    "Ramirez",
+    "Lewis",
+    "Robinson",
+    "Walker",
+    "Young",
+    "Allen",
+    "King",
+    "Wright",
+    "Scott",
+    "Torres",
+    "Nguyen",
+    "Hill",
+    "Flores",
 ];
 
 /// Occupations (searchable customer attribute).
@@ -310,13 +380,29 @@ pub const CURRENCIES: &[(&str, &str)] = &[
 
 /// Month names.
 pub const MONTHS: &[&str] = &[
-    "January", "February", "March", "April", "May", "June", "July", "August",
-    "September", "October", "November", "December",
+    "January",
+    "February",
+    "March",
+    "April",
+    "May",
+    "June",
+    "July",
+    "August",
+    "September",
+    "October",
+    "November",
+    "December",
 ];
 
 /// Weekday names.
 pub const WEEKDAYS: &[&str] = &[
-    "Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday", "Sunday",
+    "Monday",
+    "Tuesday",
+    "Wednesday",
+    "Thursday",
+    "Friday",
+    "Saturday",
+    "Sunday",
 ];
 
 /// Reseller business names (searchable). "Overstock", "Sport100" style
@@ -369,13 +455,32 @@ pub const DEPARTMENTS: &[&str] = &["North America Sales", "Europe Sales", "Pacif
 
 /// Sales-territory groups → regions.
 pub const TERRITORY_GROUPS: &[(&str, &[&str])] = &[
-    ("North America", &["Northwest", "Northeast", "Central", "Southwest", "Southeast", "Canada"]),
-    ("Europe", &["France Territory", "Germany Territory", "United Kingdom Territory"]),
+    (
+        "North America",
+        &[
+            "Northwest",
+            "Northeast",
+            "Central",
+            "Southwest",
+            "Southeast",
+            "Canada",
+        ],
+    ),
+    (
+        "Europe",
+        &[
+            "France Territory",
+            "Germany Territory",
+            "United Kingdom Territory",
+        ],
+    ),
     ("Pacific", &["Australia Territory"]),
 ];
 
 /// Size strings for bike products.
-pub const SIZES: &[&str] = &["38", "40", "42", "44", "46", "48", "50", "52", "54", "58", "60", "62"];
+pub const SIZES: &[&str] = &[
+    "38", "40", "42", "44", "46", "48", "50", "52", "54", "58", "60", "62",
+];
 
 /// Holidays for the EBiz time dimension.
 pub const HOLIDAYS: &[&str] = &[
@@ -393,7 +498,10 @@ mod tests {
 
     #[test]
     fn every_state_has_cities() {
-        let states: Vec<&str> = GEOGRAPHY.iter().flat_map(|(_, s)| s.iter().copied()).collect();
+        let states: Vec<&str> = GEOGRAPHY
+            .iter()
+            .flat_map(|(_, s)| s.iter().copied())
+            .collect();
         for state in &states {
             assert!(
                 CITIES.iter().any(|(s, _)| s == state),

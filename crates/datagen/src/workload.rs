@@ -91,8 +91,7 @@ pub fn generate_workload(wh: &Warehouse, cfg: &WorkloadConfig) -> Vec<LabeledQue
 /// names the subcategory "Gloves" — a human querier would mean the
 /// latter, so the ground-truth label would be wrong).
 fn exact_value_index(wh: &Warehouse) -> std::collections::HashMap<String, Vec<ColRef>> {
-    let mut map: std::collections::HashMap<String, Vec<ColRef>> =
-        std::collections::HashMap::new();
+    let mut map: std::collections::HashMap<String, Vec<ColRef>> = std::collections::HashMap::new();
     for (attr, col) in wh.searchable_columns() {
         let dict = col.dict().expect("searchable");
         for (_, value) in dict.iter() {

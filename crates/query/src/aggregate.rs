@@ -492,10 +492,12 @@ mod tests {
             ],
         )
         .unwrap();
-        b.edge("SALES.SKey", "STORE.SKey", None, Some("Store")).unwrap();
+        b.edge("SALES.SKey", "STORE.SKey", None, Some("Store"))
+            .unwrap();
         b.dimension("Store", &["STORE"], vec![], vec![]).unwrap();
         b.fact("SALES").unwrap();
-        b.measure_product("Revenue", "SALES.Price", "SALES.Qty").unwrap();
+        b.measure_product("Revenue", "SALES.Price", "SALES.Qty")
+            .unwrap();
         b.finish().unwrap()
     }
 
@@ -550,8 +552,16 @@ mod tests {
         let fact = wh.schema().fact_table();
         let attr = wh.col_ref("STORE", "City").unwrap();
         let subset = RowSet::from_rows(wh.fact_rows(), [0, 2]);
-        let groups =
-            group_by_categorical(&wh, &idx, fact, &path, attr, &subset, &measure, AggFunc::Sum);
+        let groups = group_by_categorical(
+            &wh,
+            &idx,
+            fact,
+            &path,
+            attr,
+            &subset,
+            &measure,
+            AggFunc::Sum,
+        );
         let dict = wh.column(attr).dict().unwrap();
         assert_eq!(groups[&dict.code_of("Columbus").unwrap()], 10.0);
         assert_eq!(groups[&dict.code_of("Seattle").unwrap()], 50.0);
@@ -566,7 +576,15 @@ mod tests {
         let values = project_numeric(&wh, &idx, fact, &path, attr, &all);
         let buckets = Bucketizer::equal_width(values, 2).unwrap();
         let series = group_by_buckets(
-            &wh, &idx, fact, &path, attr, &all, &measure, AggFunc::Sum, &buckets,
+            &wh,
+            &idx,
+            fact,
+            &path,
+            attr,
+            &all,
+            &measure,
+            AggFunc::Sum,
+            &buckets,
         );
         // Buckets are half-open: [100, 200) holds SqFt=100 (facts 0,1:
         // 10+20); [200, 300] holds SqFt=200 and 300 (facts 2,3: 50+20).
@@ -620,14 +638,31 @@ mod tests {
                 100.0
             );
             let groups = group_by_categorical_exec(
-                &wh, &idx, fact, &path, attr, &all, &measure, AggFunc::Sum, &exec,
+                &wh,
+                &idx,
+                fact,
+                &path,
+                attr,
+                &all,
+                &measure,
+                AggFunc::Sum,
+                &exec,
             );
             assert_eq!(
                 groups,
                 group_by_categorical(&wh, &idx, fact, &path, attr, &all, &measure, AggFunc::Sum)
             );
             let series = group_by_buckets_exec(
-                &wh, &idx, fact, &path, sqft, &all, &measure, AggFunc::Sum, &buckets, &exec,
+                &wh,
+                &idx,
+                fact,
+                &path,
+                sqft,
+                &all,
+                &measure,
+                AggFunc::Sum,
+                &buckets,
+                &exec,
             );
             assert_eq!(series, vec![30.0, 70.0]);
         }

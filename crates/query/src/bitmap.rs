@@ -32,7 +32,11 @@ impl RowSet {
         for (i, w) in s.words.iter_mut().enumerate() {
             let base = i * 64;
             let bits = nrows.saturating_sub(base).min(64);
-            *w = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+            *w = if bits == 64 {
+                u64::MAX
+            } else {
+                (1u64 << bits) - 1
+            };
         }
         s
     }
@@ -57,7 +61,11 @@ impl RowSet {
         }
         if let Some(&last) = words.last() {
             let bits = nrows - (words.len() - 1) * 64;
-            let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+            let mask = if bits == 64 {
+                u64::MAX
+            } else {
+                (1u64 << bits) - 1
+            };
             if last & !mask != 0 {
                 return Err(QueryError::RowOutOfRange {
                     row: nrows,
@@ -200,11 +208,7 @@ impl RowSet {
     }
 
     /// Chunked union over `exec`'s workers.
-    pub fn union_with_exec(
-        &mut self,
-        other: &RowSet,
-        exec: &ExecConfig,
-    ) -> Result<(), QueryError> {
+    pub fn union_with_exec(&mut self, other: &RowSet, exec: &ExecConfig) -> Result<(), QueryError> {
         self.check_universe(other)?;
         self.zip_words_exec(other, exec, |a, b| a | b);
         Ok(())
@@ -358,16 +362,19 @@ mod tests {
         let n = PAR_CHUNK_WORDS * 64 * 3 + 17;
         let a = RowSet::from_rows(n, (0..n).filter(|r| r % 3 == 0));
         let b = RowSet::from_rows(n, (0..n).filter(|r| r % 5 != 0));
-        let ops: [(fn(&mut RowSet, &RowSet), fn(&mut RowSet, &RowSet, &ExecConfig)); 3] = [
-            (
-                RowSet::intersect_with,
-                |s, o, e| s.intersect_with_exec(o, e).unwrap(),
-            ),
-            (RowSet::union_with, |s, o, e| s.union_with_exec(o, e).unwrap()),
-            (
-                RowSet::and_not_with,
-                |s, o, e| s.and_not_with_exec(o, e).unwrap(),
-            ),
+        let ops: [(
+            fn(&mut RowSet, &RowSet),
+            fn(&mut RowSet, &RowSet, &ExecConfig),
+        ); 3] = [
+            (RowSet::intersect_with, |s, o, e| {
+                s.intersect_with_exec(o, e).unwrap()
+            }),
+            (RowSet::union_with, |s, o, e| {
+                s.union_with_exec(o, e).unwrap()
+            }),
+            (RowSet::and_not_with, |s, o, e| {
+                s.and_not_with_exec(o, e).unwrap()
+            }),
         ];
         for (serial_op, exec_op) in ops {
             let mut expect = a.clone();

@@ -66,8 +66,13 @@ mod tests {
     fn display_is_human_readable() {
         let e = QueryError::UniverseMismatch { left: 5, right: 6 };
         assert_eq!(e.to_string(), "universe mismatch: 5 vs 6 rows");
-        let e = QueryError::RowOutOfRange { row: 9, universe: 5 };
+        let e = QueryError::RowOutOfRange {
+            row: 9,
+            universe: 5,
+        };
         assert!(e.to_string().contains("out of range"));
-        assert!(QueryError::InvalidBucketCount.to_string().contains("positive"));
+        assert!(QueryError::InvalidBucketCount
+            .to_string()
+            .contains("positive"));
     }
 }

@@ -41,7 +41,9 @@ impl ExecConfig {
         } else {
             threads
         };
-        ExecConfig { threads: threads.max(1) }
+        ExecConfig {
+            threads: threads.max(1),
+        }
     }
 
     /// True when kernels must take the serial code path.

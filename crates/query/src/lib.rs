@@ -13,15 +13,20 @@ pub mod bitmap;
 pub mod error;
 pub mod exec;
 pub mod path;
+pub mod plan;
 pub mod semijoin;
 
 pub use aggregate::{
     aggregate_total, aggregate_total_exec, group_by_buckets, group_by_buckets_exec,
-    group_by_categorical, group_by_categorical_exec, project_categorical, project_numeric,
-    AggFunc, Bucketizer,
+    group_by_categorical, group_by_categorical_exec, project_categorical, project_numeric, AggFunc,
+    Bucketizer,
 };
 pub use bitmap::RowSet;
 pub use error::QueryError;
 pub use exec::{chunk_ranges, par_map, ExecConfig};
 pub use path::{fact_paths_by_table, paths_between, JoinPath, MAX_PATH_LEN};
+pub use plan::{
+    execute_plan, execute_plan_traced, execute_step, optimize, Fingerprint, LogicalPlan, PhysStep,
+    PhysicalPlan, PlanNode, PlannerConfig, SemijoinCache, StepKey, StepTrace,
+};
 pub use semijoin::{JoinIndex, Predicate, Selection};

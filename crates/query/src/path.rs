@@ -76,9 +76,7 @@ impl JoinPath {
     /// The dimension this path enters: the first edge dimension tag
     /// walking outward from the origin.
     pub fn dimension(&self, schema: &Schema) -> Option<DimId> {
-        self.edges
-            .iter()
-            .find_map(|&e| schema.edge(e).dimension)
+        self.edges.iter().find_map(|&e| schema.edge(e).dimension)
     }
 
     /// Concatenates `self` with a continuation path starting at this
@@ -127,7 +125,15 @@ pub fn paths_between(
     }
     let mut stack: Vec<EdgeId> = Vec::new();
     let mut visited: Vec<TableId> = vec![origin];
-    dfs(schema, origin, target, max_len, &mut stack, &mut visited, &mut out);
+    dfs(
+        schema,
+        origin,
+        target,
+        max_len,
+        &mut stack,
+        &mut visited,
+        &mut out,
+    );
     out.sort();
     out
 }
@@ -223,24 +229,92 @@ mod tests {
     fn ebiz_mini() -> Warehouse {
         let mut b = WarehouseBuilder::new();
         b.skip_integrity_check();
-        b.table("ITEM", &[("Id", ValueType::Int, false), ("TKey", ValueType::Int, false), ("PKey", ValueType::Int, false)]).unwrap();
-        b.table("TRANS", &[("TKey", ValueType::Int, false), ("SKey", ValueType::Int, false), ("BuyerKey", ValueType::Int, false), ("SellerKey", ValueType::Int, false)]).unwrap();
-        b.table("STORE", &[("SKey", ValueType::Int, false), ("LKey", ValueType::Int, false)]).unwrap();
-        b.table("ACCT", &[("AKey", ValueType::Int, false), ("CKey", ValueType::Int, false)]).unwrap();
-        b.table("CUST", &[("CKey", ValueType::Int, false), ("LKey", ValueType::Int, false)]).unwrap();
-        b.table("LOC", &[("LKey", ValueType::Int, false), ("City", ValueType::Str, true)]).unwrap();
-        b.table("PROD", &[("PKey", ValueType::Int, false), ("Name", ValueType::Str, true)]).unwrap();
+        b.table(
+            "ITEM",
+            &[
+                ("Id", ValueType::Int, false),
+                ("TKey", ValueType::Int, false),
+                ("PKey", ValueType::Int, false),
+            ],
+        )
+        .unwrap();
+        b.table(
+            "TRANS",
+            &[
+                ("TKey", ValueType::Int, false),
+                ("SKey", ValueType::Int, false),
+                ("BuyerKey", ValueType::Int, false),
+                ("SellerKey", ValueType::Int, false),
+            ],
+        )
+        .unwrap();
+        b.table(
+            "STORE",
+            &[
+                ("SKey", ValueType::Int, false),
+                ("LKey", ValueType::Int, false),
+            ],
+        )
+        .unwrap();
+        b.table(
+            "ACCT",
+            &[
+                ("AKey", ValueType::Int, false),
+                ("CKey", ValueType::Int, false),
+            ],
+        )
+        .unwrap();
+        b.table(
+            "CUST",
+            &[
+                ("CKey", ValueType::Int, false),
+                ("LKey", ValueType::Int, false),
+            ],
+        )
+        .unwrap();
+        b.table(
+            "LOC",
+            &[
+                ("LKey", ValueType::Int, false),
+                ("City", ValueType::Str, true),
+            ],
+        )
+        .unwrap();
+        b.table(
+            "PROD",
+            &[
+                ("PKey", ValueType::Int, false),
+                ("Name", ValueType::Str, true),
+            ],
+        )
+        .unwrap();
         b.edge("ITEM.TKey", "TRANS.TKey", None, None).unwrap();
-        b.edge("ITEM.PKey", "PROD.PKey", None, Some("Product")).unwrap();
-        b.edge("TRANS.SKey", "STORE.SKey", None, Some("Store")).unwrap();
-        b.edge("TRANS.BuyerKey", "ACCT.AKey", Some("Buyer"), Some("Customer")).unwrap();
-        b.edge("TRANS.SellerKey", "ACCT.AKey", Some("Seller"), Some("Customer")).unwrap();
+        b.edge("ITEM.PKey", "PROD.PKey", None, Some("Product"))
+            .unwrap();
+        b.edge("TRANS.SKey", "STORE.SKey", None, Some("Store"))
+            .unwrap();
+        b.edge(
+            "TRANS.BuyerKey",
+            "ACCT.AKey",
+            Some("Buyer"),
+            Some("Customer"),
+        )
+        .unwrap();
+        b.edge(
+            "TRANS.SellerKey",
+            "ACCT.AKey",
+            Some("Seller"),
+            Some("Customer"),
+        )
+        .unwrap();
         b.edge("STORE.LKey", "LOC.LKey", None, None).unwrap();
         b.edge("ACCT.CKey", "CUST.CKey", None, None).unwrap();
         b.edge("CUST.LKey", "LOC.LKey", None, None).unwrap();
         b.dimension("Product", &["PROD"], vec![], vec![]).unwrap();
-        b.dimension("Store", &["STORE", "LOC"], vec![], vec![]).unwrap();
-        b.dimension("Customer", &["ACCT", "CUST", "LOC"], vec![], vec![]).unwrap();
+        b.dimension("Store", &["STORE", "LOC"], vec![], vec![])
+            .unwrap();
+        b.dimension("Customer", &["ACCT", "CUST", "LOC"], vec![], vec![])
+            .unwrap();
         b.fact("ITEM").unwrap();
         b.finish().unwrap()
     }

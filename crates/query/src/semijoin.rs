@@ -247,7 +247,10 @@ mod tests {
         let mut b = WarehouseBuilder::new();
         b.table(
             "FACT",
-            &[("Id", ValueType::Int, false), ("DKey", ValueType::Int, false)],
+            &[
+                ("Id", ValueType::Int, false),
+                ("DKey", ValueType::Int, false),
+            ],
         )
         .unwrap();
         b.table(
@@ -261,7 +264,10 @@ mod tests {
         .unwrap();
         b.table(
             "OUTER",
-            &[("OKey", ValueType::Int, false), ("Region", ValueType::Str, true)],
+            &[
+                ("OKey", ValueType::Int, false),
+                ("Region", ValueType::Str, true),
+            ],
         )
         .unwrap();
         b.rows(
@@ -349,7 +355,10 @@ mod tests {
         let sel = Selection::by_codes(
             path,
             attr,
-            vec![dict.code_of("Widget").unwrap(), dict.code_of("Gadget").unwrap()],
+            vec![
+                dict.code_of("Widget").unwrap(),
+                dict.code_of("Gadget").unwrap(),
+            ],
         );
         assert_eq!(sel.eval(&wh, &idx, fact).len(), 4);
     }

@@ -6,8 +6,8 @@ use std::collections::HashSet;
 use proptest::prelude::*;
 
 use kdap_query::{
-    aggregate_total, group_by_categorical, paths_between, AggFunc, Bucketizer, JoinIndex,
-    RowSet, Selection,
+    aggregate_total, group_by_categorical, paths_between, AggFunc, Bucketizer, JoinIndex, RowSet,
+    Selection,
 };
 use kdap_warehouse::{Value, ValueType, Warehouse, WarehouseBuilder};
 
@@ -161,12 +161,18 @@ fn build_chain(dim_outer: &[i64], fact_dim: &[i64], outer_labels: &[u8]) -> Ware
     .unwrap();
     b.table(
         "DIM",
-        &[("DKey", ValueType::Int, false), ("OKey", ValueType::Int, false)],
+        &[
+            ("DKey", ValueType::Int, false),
+            ("OKey", ValueType::Int, false),
+        ],
     )
     .unwrap();
     b.table(
         "OUTER",
-        &[("OKey", ValueType::Int, false), ("Label", ValueType::Str, true)],
+        &[
+            ("OKey", ValueType::Int, false),
+            ("Label", ValueType::Str, true),
+        ],
     )
     .unwrap();
     for (okey, label) in outer_labels.iter().enumerate() {
@@ -177,10 +183,15 @@ fn build_chain(dim_outer: &[i64], fact_dim: &[i64], outer_labels: &[u8]) -> Ware
         .unwrap();
     }
     for (dkey, okey) in dim_outer.iter().enumerate() {
-        b.row("DIM", vec![(dkey as i64).into(), (*okey).into()]).unwrap();
+        b.row("DIM", vec![(dkey as i64).into(), (*okey).into()])
+            .unwrap();
     }
     for (f, dkey) in fact_dim.iter().enumerate() {
-        let dval: Value = if *dkey < n_dim { (*dkey).into() } else { Value::Null };
+        let dval: Value = if *dkey < n_dim {
+            (*dkey).into()
+        } else {
+            Value::Null
+        };
         b.row(
             "FACT",
             vec![(f as i64).into(), dval, ((f % 7) as f64 + 1.0).into()],

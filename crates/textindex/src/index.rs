@@ -204,11 +204,7 @@ mod tests {
 
     #[test]
     fn repeated_term_in_one_doc_collapses_to_one_posting() {
-        let idx = TextIndex::from_documents(vec![(
-            attr(0, 0),
-            0,
-            Arc::from("bike bike bike"),
-        )]);
+        let idx = TextIndex::from_documents(vec![(attr(0, 0), 0, Arc::from("bike bike bike"))]);
         let tid = idx.term_id("bike").unwrap();
         assert_eq!(idx.postings[tid as usize].len(), 1);
         assert_eq!(idx.postings[tid as usize][0].positions.len(), 3);
@@ -237,7 +233,10 @@ mod tests {
         let mut b = WarehouseBuilder::new();
         b.table(
             "F",
-            &[("Id", ValueType::Int, false), ("PKey", ValueType::Int, false)],
+            &[
+                ("Id", ValueType::Int, false),
+                ("PKey", ValueType::Int, false),
+            ],
         )
         .unwrap();
         b.table(
@@ -249,8 +248,11 @@ mod tests {
             ],
         )
         .unwrap();
-        b.row("P", vec![1i64.into(), "LCD Projector".into(), "hidden".into()])
-            .unwrap();
+        b.row(
+            "P",
+            vec![1i64.into(), "LCD Projector".into(), "hidden".into()],
+        )
+        .unwrap();
         b.row("F", vec![1i64.into(), 1i64.into()]).unwrap();
         b.edge("F.PKey", "P.PKey", None, Some("Product")).unwrap();
         b.dimension("Product", &["P"], vec![], vec![]).unwrap();

@@ -45,8 +45,8 @@ pub fn score(matches: &[TermMatch], doc_len: u32, query_idfs: &[f64]) -> f64 {
         .sum::<f64>()
         * norm
         * coord;
-    let perfect: f64 = query_idfs.iter().map(|i| i * i).sum::<f64>()
-        / (query_idfs.len() as f64).sqrt();
+    let perfect: f64 =
+        query_idfs.iter().map(|i| i * i).sum::<f64>() / (query_idfs.len() as f64).sqrt();
     if perfect <= 0.0 {
         0.0
     } else {

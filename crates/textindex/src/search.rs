@@ -60,10 +60,7 @@ impl TextIndex {
     /// Searches for a phrase given as whitespace-separated keywords
     /// (§4.3 — used to re-score merged hit groups).
     pub fn search_phrase(&self, keywords: &[&str], _opts: &SearchOptions) -> Vec<SearchHit> {
-        let tokens: Vec<String> = keywords
-            .iter()
-            .flat_map(|k| tokenize_terms(k))
-            .collect();
+        let tokens: Vec<String> = keywords.iter().flat_map(|k| tokenize_terms(k)).collect();
         if tokens.is_empty() {
             return Vec::new();
         }
@@ -98,8 +95,7 @@ impl TextIndex {
             .map(|(tid, _)| idf(n, self.df(*tid)))
             .fold(f64::MIN, f64::max);
         // Per-document best match.
-        let mut best: std::collections::HashMap<u32, TermMatch> =
-            std::collections::HashMap::new();
+        let mut best: std::collections::HashMap<u32, TermMatch> = std::collections::HashMap::new();
         for (tid, penalty) in &candidates {
             let term_idf = idf(n, self.df(*tid));
             for p in &self.postings[*tid as usize] {
@@ -108,8 +104,7 @@ impl TextIndex {
                     idf: term_idf,
                     penalty: *penalty,
                 };
-                let weight =
-                    |m: &TermMatch| (m.tf as f64).sqrt() * m.idf * m.idf * m.penalty;
+                let weight = |m: &TermMatch| (m.tf as f64).sqrt() * m.idf * m.idf * m.penalty;
                 best.entry(p.doc)
                     .and_modify(|cur| {
                         if weight(&cand) > weight(cur) {
@@ -155,9 +150,7 @@ impl TextIndex {
             // Collect positions of every term in this doc.
             let mut positions: Vec<&[u32]> = Vec::with_capacity(term_ids.len());
             for &tid in &term_ids {
-                match self.postings[tid as usize]
-                    .binary_search_by_key(&doc, |p| p.doc)
-                {
+                match self.postings[tid as usize].binary_search_by_key(&doc, |p| p.doc) {
                     Ok(i) => positions.push(&self.postings[tid as usize][i].positions),
                     Err(_) => continue 'docs,
                 }

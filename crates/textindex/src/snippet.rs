@@ -28,11 +28,7 @@ pub fn snippet(text: &str, keywords: &[&str], max_tokens: usize) -> String {
         .collect();
     let word_matches: Vec<bool> = words
         .iter()
-        .map(|w| {
-            tokenize_terms(w)
-                .iter()
-                .any(|t| stems.contains(&stem(t)))
-        })
+        .map(|w| tokenize_terms(w).iter().any(|t| stems.contains(&stem(t))))
         .collect();
 
     // Slide a window of max_tokens words; maximize matches, earliest wins.

@@ -84,6 +84,9 @@ mod tests {
 
     #[test]
     fn lowercases_everything() {
-        assert_eq!(tokenize_terms("CALIFORNIA Street"), vec!["california", "street"]);
+        assert_eq!(
+            tokenize_terms("CALIFORNIA Street"),
+            vec!["california", "street"]
+        );
     }
 }

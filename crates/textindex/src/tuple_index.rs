@@ -216,16 +216,27 @@ mod tests {
             ],
         )
         .unwrap();
-        b.row("PRODUCT", vec![1i64.into(), "ABC EFG".into(), "TGS SDF".into()])
-            .unwrap();
+        b.row(
+            "PRODUCT",
+            vec![1i64.into(), "ABC EFG".into(), "TGS SDF".into()],
+        )
+        .unwrap();
         b.row("PRODUCT", vec![2i64.into(), "ERT EFG".into(), "ABC".into()])
             .unwrap();
-        b.table("F", &[("Id", ValueType::Int, false), ("PKey", ValueType::Int, false)])
-            .unwrap();
+        b.table(
+            "F",
+            &[
+                ("Id", ValueType::Int, false),
+                ("PKey", ValueType::Int, false),
+            ],
+        )
+        .unwrap();
         b.row("F", vec![1i64.into(), 1i64.into()]).unwrap();
         b.row("F", vec![2i64.into(), 2i64.into()]).unwrap();
-        b.edge("F.PKey", "PRODUCT.PKey", None, Some("Product")).unwrap();
-        b.dimension("Product", &["PRODUCT"], vec![], vec![]).unwrap();
+        b.edge("F.PKey", "PRODUCT.PKey", None, Some("Product"))
+            .unwrap();
+        b.dimension("Product", &["PRODUCT"], vec![], vec![])
+            .unwrap();
         b.fact("F").unwrap();
         b.finish().unwrap()
     }
@@ -243,7 +254,11 @@ mod tests {
         let ahits = aindex.search_keyword("abc", &crate::SearchOptions::default());
         let domains: std::collections::HashSet<_> =
             ahits.iter().map(|h| aindex.doc(h.doc).attr).collect();
-        assert_eq!(domains.len(), 2, "attribute-level distinguishes the domains");
+        assert_eq!(
+            domains.len(),
+            2,
+            "attribute-level distinguishes the domains"
+        );
         // The diagnostic channel confirms the conflation.
         let a0 = tindex.matched_attrs("abc", hits[0].doc);
         let a1 = tindex.matched_attrs("abc", hits[1].doc);

@@ -84,7 +84,8 @@ impl WarehouseBuilder {
             return Err(WarehouseError::DuplicateName(name.to_string()));
         }
         let t = Table::new(name, cols)?;
-        self.table_lookup.insert(name.to_string(), self.tables.len());
+        self.table_lookup
+            .insert(name.to_string(), self.tables.len());
         self.tables.push(t);
         Ok(self)
     }
@@ -189,9 +190,9 @@ impl WarehouseBuilder {
     }
 
     fn resolve_col(&self, qualified: &str) -> Result<ColRef, WarehouseError> {
-        let (t, c) = qualified
-            .split_once('.')
-            .ok_or_else(|| WarehouseError::InvalidEdge(format!("expected Table.Column, got {qualified}")))?;
+        let (t, c) = qualified.split_once('.').ok_or_else(|| {
+            WarehouseError::InvalidEdge(format!("expected Table.Column, got {qualified}"))
+        })?;
         let tid = *self
             .table_lookup
             .get(t)
@@ -313,7 +314,8 @@ impl WarehouseBuilder {
         // the parent keys.
         if self.check_integrity {
             for e in &edges {
-                let parent_col = self.tables[e.parent.table.0 as usize].column(e.parent.col as usize);
+                let parent_col =
+                    self.tables[e.parent.table.0 as usize].column(e.parent.col as usize);
                 let mut parent_keys = HashSet::with_capacity(parent_col.len());
                 for row in 0..parent_col.len() {
                     if let Some(k) = parent_col.get_int(row) {
@@ -406,13 +408,17 @@ mod tests {
         .unwrap();
         b.table(
             "P",
-            &[("PKey", ValueType::Int, false), ("Name", ValueType::Str, true)],
+            &[
+                ("PKey", ValueType::Int, false),
+                ("Name", ValueType::Str, true),
+            ],
         )
         .unwrap();
         b.row("P", vec![1i64.into(), "a".into()]).unwrap();
         b.row("FACT", vec![1i64.into(), 1i64.into(), 2.0.into()])
             .unwrap();
-        b.edge("FACT.PKey", "P.PKey", None, Some("Product")).unwrap();
+        b.edge("FACT.PKey", "P.PKey", None, Some("Product"))
+            .unwrap();
         b.dimension("Product", &["P"], vec![], vec![]).unwrap();
         b.fact("FACT").unwrap();
         b
@@ -441,7 +447,10 @@ mod tests {
             .unwrap();
         assert!(matches!(
             b.finish(),
-            Err(WarehouseError::BrokenForeignKey { missing_key: 99, .. })
+            Err(WarehouseError::BrokenForeignKey {
+                missing_key: 99,
+                ..
+            })
         ));
     }
 
@@ -488,7 +497,10 @@ mod tests {
         let mut b = WarehouseBuilder::new();
         b.table(
             "FACT",
-            &[("Id", ValueType::Int, false), ("GKey", ValueType::Int, false)],
+            &[
+                ("Id", ValueType::Int, false),
+                ("GKey", ValueType::Int, false),
+            ],
         )
         .unwrap();
         b.table(
@@ -501,8 +513,11 @@ mod tests {
             ],
         )
         .unwrap();
-        b.row("GEO", vec![1i64.into(), "US".into(), "CA".into(), "San Jose".into()])
-            .unwrap();
+        b.row(
+            "GEO",
+            vec![1i64.into(), "US".into(), "CA".into(), "San Jose".into()],
+        )
+        .unwrap();
         b.row("FACT", vec![1i64.into(), 1i64.into()]).unwrap();
         b.edge("FACT.GKey", "GEO.GKey", None, Some("Geo")).unwrap();
         b.dimension(

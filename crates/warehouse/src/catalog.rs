@@ -35,12 +35,12 @@ impl Warehouse {
     /// Resolves `table.column` names to a [`ColRef`].
     pub fn col_ref(&self, table: &str, column: &str) -> Result<ColRef, WarehouseError> {
         let tid = self.table_id(table)?;
-        let cidx = self.tables[tid.0 as usize].col_index(column).ok_or_else(|| {
-            WarehouseError::UnknownColumn {
+        let cidx = self.tables[tid.0 as usize]
+            .col_index(column)
+            .ok_or_else(|| WarehouseError::UnknownColumn {
                 table: table.to_string(),
                 column: column.to_string(),
-            }
-        })?;
+            })?;
         Ok(ColRef::new(tid, cidx as u32))
     }
 
@@ -150,11 +150,18 @@ mod tests {
             ],
         )
         .unwrap();
-        b.edge("FACT.ProductKey", "PRODUCT.ProductKey", None, Some("Product"))
+        b.edge(
+            "FACT.ProductKey",
+            "PRODUCT.ProductKey",
+            None,
+            Some("Product"),
+        )
+        .unwrap();
+        b.dimension("Product", &["PRODUCT"], vec![], vec![])
             .unwrap();
-        b.dimension("Product", &["PRODUCT"], vec![], vec![]).unwrap();
         b.fact("FACT").unwrap();
-        b.measure_product("Revenue", "FACT.Price", "FACT.Qty").unwrap();
+        b.measure_product("Revenue", "FACT.Price", "FACT.Qty")
+            .unwrap();
         b.finish().unwrap()
     }
 

@@ -54,10 +54,7 @@ impl StrDict {
 
     /// Iterates `(code, value)` pairs in code order.
     pub fn iter(&self) -> impl Iterator<Item = (u32, &Arc<str>)> {
-        self.values
-            .iter()
-            .enumerate()
-            .map(|(i, v)| (i as u32, v))
+        self.values.iter().enumerate().map(|(i, v)| (i as u32, v))
     }
 }
 
@@ -226,13 +223,10 @@ impl Column {
                     codes
                         .iter()
                         .enumerate()
-                        .filter_map(|(i, c)| {
-                            c.filter(|c| wanted.contains(c)).map(|_| i)
-                        })
+                        .filter_map(|(i, c)| c.filter(|c| wanted.contains(c)).map(|_| i))
                         .collect()
                 } else {
-                    let set: std::collections::HashSet<u32> =
-                        wanted.iter().copied().collect();
+                    let set: std::collections::HashSet<u32> = wanted.iter().copied().collect();
                     codes
                         .iter()
                         .enumerate()

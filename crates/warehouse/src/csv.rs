@@ -56,10 +56,8 @@ pub fn load_csv_table(
         };
         cols.push((name.to_string(), ty, text));
     }
-    let col_refs: Vec<(&str, ValueType, bool)> = cols
-        .iter()
-        .map(|(n, t, s)| (n.as_str(), *t, *s))
-        .collect();
+    let col_refs: Vec<(&str, ValueType, bool)> =
+        cols.iter().map(|(n, t, s)| (n.as_str(), *t, *s)).collect();
     b.table(table, &col_refs)?;
 
     let n = records.len();
@@ -329,10 +327,13 @@ mod tests {
         )
         .unwrap();
         load_csv_table(&mut b, "PRODUCT", "PKey:int,Name:str:text\n1,TV\n2,Radio\n").unwrap();
-        b.edge("SALES.PKey", "PRODUCT.PKey", None, Some("Product")).unwrap();
-        b.dimension("Product", &["PRODUCT"], vec![], vec![]).unwrap();
+        b.edge("SALES.PKey", "PRODUCT.PKey", None, Some("Product"))
+            .unwrap();
+        b.dimension("Product", &["PRODUCT"], vec![], vec![])
+            .unwrap();
         b.fact("SALES").unwrap();
-        b.measure_product("Rev", "SALES.Price", "SALES.Qty").unwrap();
+        b.measure_product("Rev", "SALES.Price", "SALES.Qty")
+            .unwrap();
         let wh = b.finish().unwrap();
         assert_eq!(wh.fact_rows(), 2);
     }

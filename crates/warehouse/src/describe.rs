@@ -119,11 +119,20 @@ mod tests {
             ],
         )
         .unwrap();
-        b.row("PRODUCT", vec![1i64.into(), "TV".into(), "Electronics".into()])
+        b.row(
+            "PRODUCT",
+            vec![1i64.into(), "TV".into(), "Electronics".into()],
+        )
+        .unwrap();
+        b.row("SALES", vec![1i64.into(), 1i64.into(), 9.0.into()])
             .unwrap();
-        b.row("SALES", vec![1i64.into(), 1i64.into(), 9.0.into()]).unwrap();
-        b.edge("SALES.PKey", "PRODUCT.PKey", Some("Bought"), Some("Product"))
-            .unwrap();
+        b.edge(
+            "SALES.PKey",
+            "PRODUCT.PKey",
+            Some("Bought"),
+            Some("Product"),
+        )
+        .unwrap();
         b.dimension(
             "Product",
             &["PRODUCT"],

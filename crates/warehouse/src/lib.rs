@@ -47,6 +47,7 @@ pub mod describe;
 pub mod error;
 pub mod schema;
 pub mod spec;
+pub mod stats;
 pub mod table;
 pub mod value;
 
@@ -56,10 +57,11 @@ pub use column::{Column, ColumnData, StrDict};
 pub use csv::{export_table, load_csv_table};
 pub use describe::describe;
 pub use error::WarehouseError;
-pub use spec::{export_spec, load_spec, load_warehouse, save_warehouse};
 pub use schema::{
     AttrKind, ColRef, DimId, Dimension, EdgeId, FkEdge, GroupByCandidate, Hierarchy, Measure,
     MeasureExpr, Schema, TableId,
 };
+pub use spec::{export_spec, load_spec, load_warehouse, save_warehouse};
+pub use stats::{ColumnStats, StatsCatalog};
 pub use table::Table;
 pub use value::{Value, ValueType};

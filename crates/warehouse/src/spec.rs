@@ -49,19 +49,29 @@ pub fn load_spec(
         let directive = parts.next().expect("non-empty line");
         match directive {
             "table" => {
-                let name = parts.next().ok_or_else(|| bad(line_no, "table needs a name"))?;
-                let file = parts.next().ok_or_else(|| bad(line_no, "table needs a csv file"))?;
-                let csv = resolve(file)
-                    .map_err(|e| bad(line_no, &format!("cannot read {file}: {e}")))?;
+                let name = parts
+                    .next()
+                    .ok_or_else(|| bad(line_no, "table needs a name"))?;
+                let file = parts
+                    .next()
+                    .ok_or_else(|| bad(line_no, "table needs a csv file"))?;
+                let csv =
+                    resolve(file).map_err(|e| bad(line_no, &format!("cannot read {file}: {e}")))?;
                 load_csv_table(&mut b, name, &csv)?;
             }
             "fact" => {
-                let name = parts.next().ok_or_else(|| bad(line_no, "fact needs a table"))?;
+                let name = parts
+                    .next()
+                    .ok_or_else(|| bad(line_no, "fact needs a table"))?;
                 b.fact(name)?;
             }
             "edge" => {
-                let child = parts.next().ok_or_else(|| bad(line_no, "edge needs child col"))?;
-                let parent = parts.next().ok_or_else(|| bad(line_no, "edge needs parent col"))?;
+                let child = parts
+                    .next()
+                    .ok_or_else(|| bad(line_no, "edge needs child col"))?;
+                let parent = parts
+                    .next()
+                    .ok_or_else(|| bad(line_no, "edge needs parent col"))?;
                 let mut role = None;
                 let mut dim = None;
                 for opt in parts {
@@ -176,7 +186,6 @@ fn logical_lines(spec: &str) -> Vec<(usize, String)> {
     }
     out
 }
-
 
 /// Renders the complete schema of `wh` back into spec syntax, referencing
 /// one CSV file per table (named `<table>.csv`). Together with

@@ -20,7 +20,9 @@
 use std::io::{BufRead, Write};
 
 use kdap_suite::core::interest::InterestMode;
-use kdap_suite::core::{drill_down, materialize, remove_constraint, roll_up, Exploration, Kdap, StarNet};
+use kdap_suite::core::{
+    drill_down, materialize, remove_constraint, roll_up, Exploration, Kdap, StarNet,
+};
 use kdap_suite::datagen::{build_ebiz, EbizScale};
 use kdap_suite::query::paths_between;
 use kdap_suite::textindex::snippet;
@@ -99,7 +101,12 @@ impl Repl {
         }
         println!("interpretations ({} total):", self.interpretations.len());
         for (i, r) in self.interpretations.iter().take(8).enumerate() {
-            println!("  #{:<2} [{:.4}] {}", i + 1, r.score, r.net.display(self.kdap.warehouse()));
+            println!(
+                "  #{:<2} [{:.4}] {}",
+                i + 1,
+                r.score,
+                r.net.display(self.kdap.warehouse())
+            );
         }
         println!("pick one with `pick <n>`.");
     }
@@ -122,7 +129,13 @@ impl Repl {
             println!("no interpretation selected — use `q` then `pick`");
             return;
         };
-        let ex = self.kdap.explore(net);
+        let ex = match self.kdap.explore(net) {
+            Ok(ex) => ex,
+            Err(e) => {
+                println!("explore failed: {e}");
+                return;
+            }
+        };
         println!(
             "subspace: {} fact points · total {:.2} · constraints:",
             ex.subspace_size, ex.total_aggregate
@@ -228,7 +241,10 @@ impl Repl {
             .expect("facet attrs are reachable");
         let drilled = drill_down(wh, net, attr.attr, &path, vec![code]);
         let size = materialize(wh, self.kdap.join_index(), &drilled).len();
-        println!("drilled into {} = {} ({} fact points)", attr.name, entry.label, size);
+        println!(
+            "drilled into {} = {} ({} fact points)",
+            attr.name, entry.label, size
+        );
         self.current = Some(drilled);
         self.explore();
     }
@@ -242,7 +258,12 @@ impl Repl {
             println!("nothing explored yet");
             return;
         };
-        match roll_up(self.kdap.warehouse(), self.kdap.join_index(), net, n.wrapping_sub(1)) {
+        match roll_up(
+            self.kdap.warehouse(),
+            self.kdap.join_index(),
+            net,
+            n.wrapping_sub(1),
+        ) {
             Some(rolled) => {
                 self.current = Some(rolled);
                 self.explore();

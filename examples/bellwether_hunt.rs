@@ -28,7 +28,7 @@ fn main() {
     let net = &ranked.first().expect("interpretations exist").net;
     println!("\nquery {query} → {}", net.display(kdap.warehouse()));
 
-    let ex = kdap.explore(net);
+    let ex = kdap.explore(net).expect("star net evaluates");
     println!(
         "subspace: {} facts, revenue {:.2}\n",
         ex.subspace_size, ex.total_aggregate
@@ -56,13 +56,17 @@ fn main() {
     // Contrast with surprise mode on the same subspace: the ordering of
     // the two modes is exactly inverted.
     kdap.facet_config_mut().mode = InterestMode::Surprise;
-    let ex2 = kdap.explore(net);
+    let ex2 = kdap.explore(net).expect("star net evaluates");
     let most_surprising = ex2
         .panels
         .iter()
         .flat_map(|p| p.attrs.iter())
         .filter(|a| !a.promoted)
-        .max_by(|a, b| a.score.partial_cmp(&b.score).unwrap_or(std::cmp::Ordering::Equal));
+        .max_by(|a, b| {
+            a.score
+                .partial_cmp(&b.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
     if let Some(attr) = most_surprising {
         println!(
             "\nfor contrast, the most *surprising* facet of the same subspace is {} \

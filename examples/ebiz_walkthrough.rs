@@ -43,7 +43,8 @@ fn main() {
         let d = r.net.display(wh);
         // One city through the store path, the other through an account
         // path: the aliased-location interpretation from §4.2.
-        d.contains("Seattle") && d.contains("Portland")
+        d.contains("Seattle")
+            && d.contains("Portland")
             && d.contains("STORE → LOCATION")
             && (d.contains("(Buyer)") || d.contains("(Seller)"))
     });
@@ -81,7 +82,7 @@ fn main() {
                 "  constraint sits directly on the fact table (empty join path): {}",
                 if on_fact { "YES" } else { "NO" }
             );
-            let ex = kdap.explore(&r.net);
+            let ex = kdap.explore(&r.net).expect("star net evaluates");
             println!(
                 "  fact points selected: {} (revenue {:.2})",
                 ex.subspace_size, ex.total_aggregate

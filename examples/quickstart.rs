@@ -21,13 +21,18 @@ fn main() {
     let ranked = kdap.interpret(query);
     println!("candidate interpretations (star nets): {}\n", ranked.len());
     for (i, r) in ranked.iter().take(5).enumerate() {
-        println!("  #{} [score {:.4}] {}", i + 1, r.score, r.net.display(kdap.warehouse()));
+        println!(
+            "  #{} [score {:.4}] {}",
+            i + 1,
+            r.score,
+            r.net.display(kdap.warehouse())
+        );
     }
 
     // ---- The user picks one; Phase 2: explore ----------------------
     let chosen = &ranked[0].net;
     println!("\nexploring interpretation #1 ...\n");
-    let ex = kdap.explore(chosen);
+    let ex = kdap.explore(chosen).expect("star net evaluates");
     println!(
         "subspace: {} fact points, total revenue {:.2}",
         ex.subspace_size, ex.total_aggregate

@@ -25,7 +25,7 @@ fn main() {
     let net = ranked.first().expect("interpretations exist").net.clone();
     println!("\ninterpretation: {}\n", net.display(kdap.warehouse()));
 
-    let ex = kdap.explore(&net);
+    let ex = kdap.explore(&net).expect("star net evaluates");
     println!(
         "subspace: {} facts, revenue {:.2}\n",
         ex.subspace_size, ex.total_aggregate
@@ -47,7 +47,10 @@ fn main() {
         attr.name, dim, attr.correlation
     );
     for e in &attr.entries {
-        println!("    {:<28} revenue {:>12.2}  deviation score {:+.4}", e.label, e.aggregate, e.score);
+        println!(
+            "    {:<28} revenue {:>12.2}  deviation score {:+.4}",
+            e.label, e.aggregate, e.score
+        );
     }
 
     // Drill down: narrow the subspace to the most deviant instance by
@@ -64,7 +67,7 @@ fn main() {
         let refined_query = format!("\"{}\" \"Mountain Bikes\" California", top_entry.label);
         let refined = kdap.interpret(&refined_query);
         if let Some(r) = refined.first() {
-            let ex2 = kdap.explore(&r.net);
+            let ex2 = kdap.explore(&r.net).expect("star net evaluates");
             print_drilldown(&r.net, &ex2, kdap.warehouse());
         }
     }

@@ -26,7 +26,7 @@ fn main() {
     let ranked = kdap.interpret(&format!("\"{query}\""));
     let net = &ranked.first().expect("term found").net;
     println!("interpretation: {}\n", net.display(kdap.warehouse()));
-    let ex = kdap.explore(net);
+    let ex = kdap.explore(net).expect("star net evaluates");
     // The Time panel is the classic Trends curve, as a facet.
     if let Some(time) = ex.panels.iter().find(|p| p.dimension == "Time") {
         for attr in &time.attrs {
@@ -54,13 +54,17 @@ fn main() {
     println!("{}", render_exploration(&ex));
 
     kdap.facet_config_mut().mode = InterestMode::Bellwether;
-    let ex2 = kdap.explore(net);
+    let ex2 = kdap.explore(net).expect("star net evaluates");
     let bell = ex2
         .panels
         .iter()
         .flat_map(|p| p.attrs.iter())
         .filter(|a| !a.promoted)
-        .max_by(|a, b| a.score.partial_cmp(&b.score).unwrap_or(std::cmp::Ordering::Equal));
+        .max_by(|a, b| {
+            a.score
+                .partial_cmp(&b.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
     if let Some(attr) = bell {
         println!(
             "best bellwether facet: {} (corr {:+.3}) — the partition whose\n\

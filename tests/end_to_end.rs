@@ -10,7 +10,9 @@ use kdap_suite::query::{AggFunc, JoinIndex};
 use kdap_suite::textindex::TextIndex;
 
 fn ebiz_session() -> Kdap {
-    Kdap::builder(build_ebiz(EbizScale::small(), 7).unwrap()).build().unwrap()
+    Kdap::builder(build_ebiz(EbizScale::small(), 7).unwrap())
+        .build()
+        .unwrap()
 }
 
 #[test]
@@ -45,7 +47,7 @@ fn subspace_is_contained_in_every_rollup_space() {
 fn facet_partitions_sum_to_subspace_total() {
     let kdap = ebiz_session();
     let ranked = kdap.interpret("Columbus");
-    let ex = kdap.explore(&ranked[0].net);
+    let ex = kdap.explore(&ranked[0].net).expect("star net evaluates");
     for panel in &ex.panels {
         for attr in &panel.attrs {
             // Facet construction truncates to top-k instances; only check
@@ -70,7 +72,12 @@ fn facet_partitions_sum_to_subspace_total() {
 fn ranking_is_stable_and_sorted_for_all_methods() {
     let wh = build_aw_online(Scale::small(), 3).unwrap();
     let index = TextIndex::build(&wh);
-    let nets = generate_star_nets(&wh, &index, &["mountain", "california"], &GenConfig::default());
+    let nets = generate_star_nets(
+        &wh,
+        &index,
+        &["mountain", "california"],
+        &GenConfig::default(),
+    );
     for method in RankMethod::ALL {
         let a = rank_star_nets(nets.clone(), method);
         let b = rank_star_nets(nets.clone(), method);
@@ -91,7 +98,7 @@ fn measures_agree_between_direct_and_facet_aggregation() {
     let net = &ranked[0].net;
     let sub = materialize(kdap.warehouse(), kdap.join_index(), net);
     let direct = sub.aggregate(kdap.warehouse(), kdap.measure(), AggFunc::Sum);
-    let ex = kdap.explore(net);
+    let ex = kdap.explore(net).expect("star net evaluates");
     assert_eq!(direct, ex.total_aggregate);
     assert_eq!(sub.len(), ex.subspace_size);
 }
@@ -127,7 +134,7 @@ fn both_aw_warehouses_run_the_full_pipeline() {
         let kdap = Kdap::builder(wh).build().unwrap();
         let ranked = kdap.interpret(query);
         assert!(!ranked.is_empty(), "{query} finds interpretations");
-        let ex = kdap.explore(&ranked[0].net);
+        let ex = kdap.explore(&ranked[0].net).expect("star net evaluates");
         assert!(ex.subspace_size > 0, "{query} subspace non-empty");
         assert!(!ex.panels.is_empty());
     }

@@ -8,7 +8,9 @@ use kdap_suite::core::Kdap;
 use kdap_suite::datagen::{build_aw_online, build_ebiz, EbizScale, Scale};
 
 fn ebiz() -> Kdap {
-    Kdap::builder(build_ebiz(EbizScale::full(), 42).unwrap()).build().unwrap()
+    Kdap::builder(build_ebiz(EbizScale::full(), 42).unwrap())
+        .build()
+        .unwrap()
 }
 
 /// §4.1 Example 3.1: "Columbus" may be a holiday or a city, and as a city
@@ -59,13 +61,15 @@ fn seattle_portland_cross_role_interpretation_exists() {
     let ranked = kdap.interpret("Seattle Portland TV");
     let found = ranked.iter().any(|r| {
         r.net.constraints.iter().any(|c| {
-            let d = c.path.display(kdap.warehouse(), kdap.warehouse().schema().fact_table());
-            d.contains("(Buyer)")
-                && c.group.hits.iter().any(|h| h.value.as_ref() == "Seattle")
+            let d = c
+                .path
+                .display(kdap.warehouse(), kdap.warehouse().schema().fact_table());
+            d.contains("(Buyer)") && c.group.hits.iter().any(|h| h.value.as_ref() == "Seattle")
         }) && r.net.constraints.iter().any(|c| {
-            let d = c.path.display(kdap.warehouse(), kdap.warehouse().schema().fact_table());
-            d.contains("STORE")
-                && c.group.hits.iter().any(|h| h.value.as_ref() == "Portland")
+            let d = c
+                .path
+                .display(kdap.warehouse(), kdap.warehouse().schema().fact_table());
+            d.contains("STORE") && c.group.hits.iter().any(|h| h.value.as_ref() == "Portland")
         })
     });
     assert!(found);
@@ -89,7 +93,7 @@ fn star_nets_go_through_the_fact_table() {
     }
     // The top interpretation has one group on the product line and one on
     // the group name — intersection on the fact table.
-    let ex = kdap.explore(&ranked[0].net);
+    let ex = kdap.explore(&ranked[0].net).expect("star net evaluates");
     assert!(ex.subspace_size > 0, "intersection selects fact points");
 }
 
@@ -97,7 +101,9 @@ fn star_nets_go_through_the_fact_table() {
 /// state × subcategory interpretation first on AW_ONLINE.
 #[test]
 fn table1_intended_interpretation_ranks_first() {
-    let kdap = Kdap::builder(build_aw_online(Scale::full(), 42).unwrap()).build().unwrap();
+    let kdap = Kdap::builder(build_aw_online(Scale::full(), 42).unwrap())
+        .build()
+        .unwrap();
     let ranked = kdap.interpret("California Mountain Bikes");
     let top = ranked[0].net.display(kdap.warehouse());
     assert!(top.contains("StateProvinceName/{California}"), "got {top}");
@@ -108,9 +114,11 @@ fn table1_intended_interpretation_ranks_first() {
 /// promotes the subcategory with the "Mountain Bikes" hit pinned first.
 #[test]
 fn table2_product_panel_promotes_hit_attribute() {
-    let kdap = Kdap::builder(build_aw_online(Scale::full(), 42).unwrap()).build().unwrap();
+    let kdap = Kdap::builder(build_aw_online(Scale::full(), 42).unwrap())
+        .build()
+        .unwrap();
     let ranked = kdap.interpret("California Mountain Bikes");
-    let ex = kdap.explore(&ranked[0].net);
+    let ex = kdap.explore(&ranked[0].net).expect("star net evaluates");
     let product = ex
         .panels
         .iter()
@@ -141,7 +149,10 @@ fn interval_merge_latency_claim_holds() {
         let _ = std::hint::black_box(merge_intervals(&x, &y, &cfg));
     }
     let per_run = t.elapsed().as_secs_f64() * 1000.0 / 20.0;
-    assert!(per_run < 5.0, "merge took {per_run:.2} ms (debug builds included)");
+    assert!(
+        per_run < 5.0,
+        "merge took {per_run:.2} ms (debug builds included)"
+    );
 }
 
 /// §6.2 content summaries: long textual attributes (descriptions) are

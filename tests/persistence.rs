@@ -28,7 +28,10 @@ fn ebiz_roundtrips_through_disk() {
         wh.schema().dimensions().len()
     );
     assert_eq!(loaded.schema().edges().len(), wh.schema().edges().len());
-    assert_eq!(loaded.schema().measures().len(), wh.schema().measures().len());
+    assert_eq!(
+        loaded.schema().measures().len(),
+        wh.schema().measures().len()
+    );
 
     // Every cell of every table matches.
     for t in wh.tables() {
@@ -73,8 +76,8 @@ fn kdap_answers_identically_after_reload() {
             );
         }
         if let (Some(x), Some(y)) = (ra.first(), rb.first()) {
-            let ea = a.explore(&x.net);
-            let eb = b.explore(&y.net);
+            let ea = a.explore(&x.net).expect("star net evaluates");
+            let eb = b.explore(&y.net).expect("star net evaluates");
             assert_eq!(ea.subspace_size, eb.subspace_size, "{query}");
             assert_eq!(ea.total_aggregate, eb.total_aggregate, "{query}");
         }

@@ -9,7 +9,9 @@ use kdap_suite::core::{Kdap, SubspaceCache};
 use kdap_suite::datagen::{build_ebiz, EbizScale};
 
 fn session() -> Kdap {
-    Kdap::builder(build_ebiz(EbizScale::small(), 7).unwrap()).build().unwrap()
+    Kdap::builder(build_ebiz(EbizScale::small(), 7).unwrap())
+        .build()
+        .unwrap()
 }
 
 proptest! {
@@ -22,7 +24,7 @@ proptest! {
         let kdap = session();
         let ranked = kdap.interpret(&query);
         for r in ranked.iter().take(3) {
-            let ex = kdap.explore(&r.net);
+            let ex = kdap.explore(&r.net).expect("star net evaluates");
             prop_assert!(ex.subspace_size <= kdap.warehouse().fact_rows());
         }
     }
@@ -69,7 +71,11 @@ fn concurrent_sessions_share_cache_safely() {
             for _ in 0..5 {
                 let ranked = kdap.interpret(queries[i % queries.len()]);
                 if let Some(r) = ranked.first() {
-                    sizes.push(kdap.explore(&r.net).subspace_size);
+                    sizes.push(
+                        kdap.explore(&r.net)
+                            .expect("star net evaluates")
+                            .subspace_size,
+                    );
                 }
             }
             sizes

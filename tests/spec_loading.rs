@@ -37,8 +37,12 @@ fn kdap_runs_end_to_end_over_spec_data() {
     assert!(!ranked.is_empty());
     let top = &ranked[0];
     assert_eq!(top.net.n_groups(), 1);
-    assert_eq!(top.net.constraints[0].group.hits.len(), 2, "both Gardens titles");
-    let ex = kdap.explore(&top.net);
+    assert_eq!(
+        top.net.constraints[0].group.hits.len(),
+        2,
+        "both Gardens titles"
+    );
+    let ex = kdap.explore(&top.net).expect("star net evaluates");
     // Sales of books 2 and 6: rows 2, 7, 8 → qty-weighted revenue.
     assert_eq!(ex.subspace_size, 3);
     let expected = 18.50 + 16.00 + 2.0 * 17.75;
@@ -58,12 +62,11 @@ fn hierarchy_rollup_works_on_spec_defined_hierarchies() {
     // Title rolls up to genre.
     let ranked = kdap.interpret("\"the last lighthouse\"");
     let net = &ranked[0].net;
-    let rolled =
-        kdap_suite::core::roll_up(kdap.warehouse(), kdap.join_index(), net, 0).unwrap();
+    let rolled = kdap_suite::core::roll_up(kdap.warehouse(), kdap.join_index(), net, 0).unwrap();
     assert_eq!(rolled.n_groups(), 1);
     let attr = rolled.constraints[0].group.attr;
     assert_eq!(kdap.warehouse().col_name(attr), "BOOK.Genre");
-    let ex = kdap.explore(&rolled);
+    let ex = kdap.explore(&rolled).expect("star net evaluates");
     // All Mystery sales: books 1 and 4 → rows 1, 4, 5.
     assert_eq!(ex.subspace_size, 3);
 }

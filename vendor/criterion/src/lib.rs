@@ -78,9 +78,7 @@ impl BenchmarkGroup<'_> {
         mut f: F,
     ) -> &mut Self {
         let label = format!("{}/{}", self.name, id.into_id());
-        run_one(&label, self.sample_size, &mut |b: &mut Bencher| {
-            f(b, input)
-        });
+        run_one(&label, self.sample_size, &mut |b: &mut Bencher| f(b, input));
         self
     }
 

@@ -73,10 +73,7 @@ pub mod test_runner {
         /// The next 64 uniformly random bits.
         pub fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
-            let result = s[0]
-                .wrapping_add(s[3])
-                .rotate_left(23)
-                .wrapping_add(s[0]);
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
             let t = s[1] << 17;
             s[2] ^= s[0];
             s[3] ^= s[1];
@@ -353,7 +350,9 @@ pub mod sample {
 
     impl Arbitrary for Index {
         fn arbitrary(rng: &mut TestRng) -> Index {
-            Index { raw: rng.next_u64() }
+            Index {
+                raw: rng.next_u64(),
+            }
         }
     }
 }
@@ -503,8 +502,9 @@ pub mod prelude {
     pub use crate::collection;
     pub use crate::sample;
     pub use crate::test_runner::TestRng;
-    pub use crate::{any, prop_assert, prop_assert_eq, proptest, Any, Arbitrary, Just,
-        ProptestConfig, Strategy};
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, proptest, Any, Arbitrary, Just, ProptestConfig, Strategy,
+    };
 }
 
 /// Defines property tests: each `fn name(arg in strategy, ..) { .. }`
