@@ -1,0 +1,265 @@
+//! Experiment E12 — single-pass fused facet aggregation.
+//!
+//! The explore phase ranks every candidate facet attribute of a subspace
+//! by correlation against the roll-up spaces (§5). The per-facet pipeline
+//! pays several scans of the subspace bitmap *per candidate* (group-by,
+//! domain projection, bucket series, plus one per roll-up space); the
+//! fused pipeline materializes the measure once and computes *all*
+//! candidate group-bys in one scan of the subspace and one scan per
+//! roll-up space, choosing dense accumulator arrays or a hash fallback
+//! per attribute from dictionary cardinality.
+//!
+//! This binary runs full facet ranking over a labeled workload twice —
+//! per-facet (the seed's execution, kept as the oracle) and fused —
+//! verifies the explorations are bit-identical (all kernels share the
+//! same fixed chunk-merge order, so this holds at any thread count),
+//! and reports wall times, facets/sec, and scans saved. Results also land in
+//! machine-readable form at `results/BENCH_explore.json`.
+//!
+//! Run:
+//!   cargo run --release -p kdap-bench --bin exp_explore               # AW_ONLINE + EBIZ
+//!   cargo run --release -p kdap-bench --bin exp_explore -- --db=ebiz
+//!   cargo run --release -p kdap-bench --bin exp_explore -- --small --threads=4
+
+use std::time::Instant;
+
+use kdap_bench::print_table;
+use kdap_core::{FacetConfig, FacetKernel, Kdap, StarNet};
+use kdap_datagen::{
+    build_aw_online, build_ebiz, generate_workload, EbizScale, Scale, WorkloadConfig,
+};
+use kdap_warehouse::Warehouse;
+
+struct DbResult {
+    db: &'static str,
+    facts: usize,
+    queries: usize,
+    nets: usize,
+    candidates: usize,
+    scans_fused: usize,
+    scans_old: usize,
+    per_facet_ms: f64,
+    fused_ms: f64,
+    repeats: usize,
+}
+
+impl DbResult {
+    fn speedup(&self) -> f64 {
+        self.per_facet_ms / self.fused_ms.max(1e-9)
+    }
+    fn facets_per_sec(&self, ms: f64) -> f64 {
+        (self.candidates * self.repeats) as f64 / (ms / 1e3).max(1e-9)
+    }
+}
+
+fn run_db(
+    db: &'static str,
+    build: impl Fn() -> Warehouse,
+    threads: usize,
+    repeats: usize,
+) -> DbResult {
+    eprintln!("building {db}...");
+    let wh = build();
+    let facts = wh.fact_rows();
+    let queries = generate_workload(&wh, &WorkloadConfig::default());
+    let fused = Kdap::builder(wh)
+        .threads(threads)
+        .build()
+        .expect("measure defined");
+    let per_facet = Kdap::builder(build())
+        .threads(threads)
+        .facet_config(FacetConfig {
+            kernel: FacetKernel::PerFacet,
+            ..FacetConfig::default()
+        })
+        .build()
+        .expect("measure defined");
+
+    // Top-ranked interpretation per query — the net a user actually explores.
+    let nets: Vec<StarNet> = queries
+        .iter()
+        .filter_map(|q| fused.interpret(&q.text()).into_iter().next())
+        .map(|r| r.net)
+        .collect();
+
+    // Instrumented pass: candidate counts and scan accounting, plus the
+    // fused explorations for the oracle check. Warms both sessions'
+    // subspace/semi-join caches so the timed runs compare kernels only.
+    let mut candidates = 0;
+    let mut scans_fused = 0;
+    let mut scans_old = 0;
+    let mut mismatches = 0;
+    for net in &nets {
+        let (ex, report) = fused.explain_explore(net).expect("explore succeeds");
+        candidates += report.candidates;
+        scans_fused += report.scans_fused;
+        scans_old += report.scans_old;
+        let oracle = per_facet.explore(net).expect("explore succeeds");
+        if ex != oracle {
+            mismatches += 1;
+        }
+    }
+    assert_eq!(
+        mismatches, 0,
+        "fused explorations must equal the per-facet oracle"
+    );
+
+    let t0 = Instant::now();
+    for _ in 0..repeats {
+        for net in &nets {
+            let _ = per_facet.explore(net).expect("explore succeeds");
+        }
+    }
+    let per_facet_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let t0 = Instant::now();
+    for _ in 0..repeats {
+        for net in &nets {
+            let _ = fused.explore(net).expect("explore succeeds");
+        }
+    }
+    let fused_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    DbResult {
+        db,
+        facts,
+        queries: queries.len(),
+        nets: nets.len(),
+        candidates,
+        scans_fused,
+        scans_old,
+        per_facet_ms,
+        fused_ms,
+        repeats,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let threads: usize = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--threads="))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let repeats: usize = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--repeats="))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let small = args.iter().any(|a| a.contains("small"));
+    let only_db = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--db="))
+        .map(str::to_owned);
+
+    let aw_scale = if small { Scale::small() } else { Scale::full() };
+    let ebiz_scale = if small {
+        EbizScale::small()
+    } else {
+        EbizScale::full()
+    };
+
+    let mut results: Vec<DbResult> = Vec::new();
+    if only_db.as_deref().is_none_or(|d| d.contains("online")) {
+        results.push(run_db(
+            "AW_ONLINE",
+            || build_aw_online(aw_scale, 42).expect("generator is valid"),
+            threads,
+            repeats,
+        ));
+    }
+    if only_db.as_deref().is_none_or(|d| d.contains("ebiz")) {
+        results.push(run_db(
+            "EBIZ",
+            || build_ebiz(ebiz_scale, 42).expect("generator is valid"),
+            threads,
+            repeats,
+        ));
+    }
+
+    println!(
+        "## E12 — single-pass fused facet aggregation (threads={threads}, repeats={repeats})\n"
+    );
+    let mut rows = Vec::new();
+    for r in &results {
+        rows.push(vec![
+            r.db.into(),
+            "per-facet".into(),
+            format!("{:.1}", r.per_facet_ms),
+            format!("{:.0}", r.facets_per_sec(r.per_facet_ms)),
+            format!("{}", r.scans_old),
+            "—".into(),
+            "—".into(),
+        ]);
+        rows.push(vec![
+            r.db.into(),
+            "fused".into(),
+            format!("{:.1}", r.fused_ms),
+            format!("{:.0}", r.facets_per_sec(r.fused_ms)),
+            format!("{}", r.scans_fused),
+            format!("{}", r.scans_old - r.scans_fused),
+            format!("×{:.2}", r.speedup()),
+        ]);
+    }
+    print_table(
+        &[
+            "db", "pipeline", "wall ms", "facets/s", "scans", "saved", "speedup",
+        ],
+        &rows,
+    );
+    for r in &results {
+        println!(
+            "\n{}: {} facts · {} queries · {} nets · {} candidate facets · scans {} → {} (saved {})",
+            r.db,
+            r.facts,
+            r.queries,
+            r.nets,
+            r.candidates,
+            r.scans_old,
+            r.scans_fused,
+            r.scans_old - r.scans_fused,
+        );
+    }
+
+    let json = render_json(&results, threads, repeats);
+    let path = "results/BENCH_explore.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+/// Hand-rolled JSON (the workspace carries no serde): one object per
+/// database with timings, throughput and scan accounting.
+fn render_json(results: &[DbResult], threads: usize, repeats: usize) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"E12\",\n");
+    out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str(&format!("  \"repeats\": {repeats},\n"));
+    out.push_str("  \"databases\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"db\": \"{}\", \"facts\": {}, \"queries\": {}, \"nets\": {}, \
+             \"candidate_facets\": {}, \"scans_per_facet\": {}, \"scans_fused\": {}, \
+             \"scans_saved\": {}, \"per_facet_ms\": {:.3}, \"fused_ms\": {:.3}, \
+             \"per_facet_facets_per_sec\": {:.1}, \"fused_facets_per_sec\": {:.1}, \
+             \"speedup\": {:.3}}}{}\n",
+            r.db,
+            r.facts,
+            r.queries,
+            r.nets,
+            r.candidates,
+            r.scans_old,
+            r.scans_fused,
+            r.scans_old - r.scans_fused,
+            r.per_facet_ms,
+            r.fused_ms,
+            r.facets_per_sec(r.per_facet_ms),
+            r.facets_per_sec(r.fused_ms),
+            r.speedup(),
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

@@ -114,7 +114,13 @@ impl Repl {
             }
             Command::Explain => match &self.current {
                 Some(net) => match self.kdap.explain(net) {
-                    Ok(plan) => write!(out, "{}", plan.render())?,
+                    Ok(plan) => {
+                        write!(out, "{}", plan.render())?;
+                        match self.kdap.explain_explore(net) {
+                            Ok((_, report)) => write!(out, "{}", report.render())?,
+                            Err(e) => writeln!(out, "explore report failed: {e}")?,
+                        }
+                    }
                     Err(e) => writeln!(out, "explain failed: {e}")?,
                 },
                 None => writeln!(out, "nothing explored yet")?,
@@ -292,6 +298,8 @@ mod tests {
         assert!(out.contains("fact rows"), "{out}");
         assert!(out.contains("subspace:"), "{out}");
         assert!(out.contains("via"), "{out}");
+        assert!(out.contains("fused scans"), "{out}");
+        assert!(out.contains("kernel"), "{out}");
     }
 
     #[test]

@@ -127,6 +127,66 @@ pub fn explain_planned(
     })
 }
 
+/// Kernel choice and observed group count of one fused facet spec.
+#[derive(Debug, Clone)]
+pub struct FacetKernelChoice {
+    /// `Table.Attr` display name of the candidate.
+    pub attr: String,
+    /// `dense` (accumulator array sized by dictionary cardinality),
+    /// `hash` (cardinality above the dense cutoff), or `buckets`
+    /// (bucketized numerical domain).
+    pub kernel: String,
+    /// Non-empty groups observed in the subspace.
+    pub groups: usize,
+}
+
+/// Instrumentation of one fused explore run: how many row-set scans the
+/// single-pass pipeline performed versus what the per-facet pipeline
+/// would have paid for the same exploration, plus the dense-vs-hash
+/// kernel choice per deduplicated facet spec. Produced by
+/// [`Kdap::explain_explore`](crate::Kdap::explain_explore).
+#[derive(Debug, Clone)]
+pub struct ExploreReport {
+    /// Roll-up spaces of the star net (one per constraint; one full
+    /// space when the net is unconstrained).
+    pub rollups: usize,
+    /// Attribute-evaluation tasks scored (duplicates share one spec).
+    pub candidates: usize,
+    /// Row-set scans the fused pipeline performed.
+    pub scans_fused: usize,
+    /// Row-set scans the per-facet pipeline performs for the same
+    /// exploration (its actual early-exits accounted).
+    pub scans_old: usize,
+    /// Kernel choice per deduplicated facet spec, in evaluation order.
+    pub facets: Vec<FacetKernelChoice>,
+}
+
+impl ExploreReport {
+    /// Scans avoided by fusing.
+    pub fn scans_saved(&self) -> usize {
+        self.scans_old.saturating_sub(self.scans_fused)
+    }
+
+    /// Human-readable rendering for the console.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "explore: {} candidates × {} roll-up space(s) → {} fused scans (per-facet: {}, saved {})\n",
+            self.candidates,
+            self.rollups,
+            self.scans_fused,
+            self.scans_old,
+            self.scans_saved(),
+        );
+        for f in &self.facets {
+            out.push_str(&format!(
+                "      {:<30} {:>7} kernel · {} group(s)\n",
+                f.attr, f.kernel, f.groups
+            ));
+        }
+        out
+    }
+}
+
 impl Plan {
     /// Human-readable rendering for the console.
     pub fn render(&self) -> String {

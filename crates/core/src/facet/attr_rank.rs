@@ -7,6 +7,8 @@
 //! (lowest) correlation is kept. Hit-group attributes of the dimension are
 //! *promoted*: always shown, independent of their score (§5.2.1).
 
+use std::collections::HashMap;
+
 use kdap_query::{
     group_by_buckets, group_by_categorical, paths_between, project_categorical, project_numeric,
     Bucketizer, JoinIndex, JoinPath,
@@ -273,6 +275,56 @@ fn sort_ranked(dim: &Dimension, cfg: &FacetConfig, out: &mut [RankedAttr]) {
     }
 }
 
+/// The Eq. 1 correlation of one categorical attribute from precomputed
+/// group-by maps: the DS′ and RUP series are built over `DOM(DS′, attr)`
+/// only (segments absent from DS′ are not compared) and combined to the
+/// worst case. Shared by the per-facet kernels (which compute the maps
+/// with one scan each) and the fused kernel (which reads them out of a
+/// single scan).
+pub(crate) fn categorical_correlation(
+    dom: &[u32],
+    x_map: &HashMap<u32, f64>,
+    y_maps: &[HashMap<u32, f64>],
+) -> Option<f64> {
+    let x: Vec<f64> = dom.iter().map(|c| *x_map.get(c).unwrap_or(&0.0)).collect();
+    let corrs = y_maps.iter().map(|y_map| {
+        // Restrict to DOM(DS′, attr) — segments absent from DS′ are not
+        // compared.
+        let y: Vec<f64> = dom.iter().map(|c| *y_map.get(c).unwrap_or(&0.0)).collect();
+        pearson(&x, &y)
+    });
+    combine_correlations(corrs)
+}
+
+/// The worst (lowest) correlation of one bucketized numerical attribute
+/// from precomputed per-interval series, restricted to intervals occupied
+/// in DS′ (§5.2.1). Returns the correlation together with the full series
+/// of the worst roll-up space (the display merge needs it).
+pub(crate) fn numeric_worst_correlation(
+    x: &[f64],
+    occupancy: &[f64],
+    rup_ys: &[Vec<f64>],
+) -> Option<(f64, Vec<f64>)> {
+    // §5.2.1: correlate only over basic intervals that exist in DS′
+    // (occupied by at least one subspace fact).
+    let occupied: Vec<usize> = occupancy
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c > 0.0)
+        .map(|(i, _)| i)
+        .collect();
+    let xs: Vec<f64> = occupied.iter().map(|&i| x[i]).collect();
+    let mut worst: Option<(f64, &Vec<f64>)> = None;
+    for y in rup_ys {
+        let ys: Vec<f64> = occupied.iter().map(|&i| y[i]).collect();
+        let corr = pearson(&xs, &ys);
+        if worst.as_ref().is_none_or(|(w, _)| corr < *w) {
+            worst = Some((corr, y));
+        }
+    }
+    worst.map(|(corr, y)| (corr, y.clone()))
+}
+
 #[allow(clippy::too_many_arguments)]
 fn score_categorical(
     wh: &Warehouse,
@@ -290,15 +342,11 @@ fn score_categorical(
         return None;
     }
     let x_map = group_by_categorical(wh, jidx, fact, path, attr, &sub.rows, measure, cfg.agg);
-    let x: Vec<f64> = dom.iter().map(|c| *x_map.get(c).unwrap_or(&0.0)).collect();
-    let corrs = rups.iter().map(|rup| {
-        let y_map = group_by_categorical(wh, jidx, fact, path, attr, &rup.rows, measure, cfg.agg);
-        // Restrict to DOM(DS′, attr) — segments absent from DS′ are not
-        // compared.
-        let y: Vec<f64> = dom.iter().map(|c| *y_map.get(c).unwrap_or(&0.0)).collect();
-        pearson(&x, &y)
-    });
-    combine_correlations(corrs)
+    let y_maps: Vec<HashMap<u32, f64>> = rups
+        .iter()
+        .map(|rup| group_by_categorical(wh, jidx, fact, path, attr, &rup.rows, measure, cfg.agg))
+        .collect();
+    categorical_correlation(&dom, &x_map, &y_maps)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -326,8 +374,6 @@ fn score_numerical(
         cfg.agg,
         &bucketizer,
     );
-    // §5.2.1: correlate only over basic intervals that exist in DS′
-    // (occupied by at least one subspace fact).
     let occupancy = group_by_buckets(
         wh,
         jidx,
@@ -339,33 +385,23 @@ fn score_numerical(
         kdap_query::AggFunc::Count,
         &bucketizer,
     );
-    let occupied: Vec<usize> = occupancy
+    let rup_ys: Vec<Vec<f64>> = rups
         .iter()
-        .enumerate()
-        .filter(|(_, &c)| c > 0.0)
-        .map(|(i, _)| i)
+        .map(|rup| {
+            group_by_buckets(
+                wh,
+                jidx,
+                fact,
+                path,
+                attr,
+                &rup.rows,
+                measure,
+                cfg.agg,
+                &bucketizer,
+            )
+        })
         .collect();
-    let xs: Vec<f64> = occupied.iter().map(|&i| x[i]).collect();
-    let mut worst: Option<(f64, Vec<f64>)> = None;
-    for rup in rups {
-        let y = group_by_buckets(
-            wh,
-            jidx,
-            fact,
-            path,
-            attr,
-            &rup.rows,
-            measure,
-            cfg.agg,
-            &bucketizer,
-        );
-        let ys: Vec<f64> = occupied.iter().map(|&i| y[i]).collect();
-        let corr = pearson(&xs, &ys);
-        if worst.as_ref().is_none_or(|(w, _)| corr < *w) {
-            worst = Some((corr, y));
-        }
-    }
-    let (corr, rup_series) = worst?;
+    let (corr, rup_series) = numeric_worst_correlation(&x, &occupancy, &rup_ys)?;
     Some((
         corr,
         NumericSeries {

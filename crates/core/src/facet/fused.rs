@@ -1,0 +1,463 @@
+//! The fused explore pipeline: single-pass vectorized facet aggregation.
+//!
+//! The per-facet pipeline issues one group-by kernel call per candidate
+//! attribute per space, and each call re-scans the subspace bitmap,
+//! re-derives the fact→dimension row mapper, and re-evaluates the measure
+//! expression row by row. This module replaces all of that with a handful
+//! of fused scans over session-materialized inputs:
+//!
+//! 1. **Scan A** over DS′: the total aggregate, every categorical
+//!    candidate's group stats, and every numerical candidate's domain —
+//!    one pass.
+//! 2. **Scan B** over DS′ (only when numerical candidates exist): the
+//!    per-basic-interval stats of every numerical candidate, using the
+//!    bucketizers derived from scan A. The same stats answer both the
+//!    aggregation series and the §5.2.1 occupancy filter.
+//! 3. **One scan per roll-up space**: totals plus every candidate's group
+//!    stats — shared by attribute scoring (Eq. 1) *and* instance ranking
+//!    (Eq. 2), which the per-facet pipeline recomputed from scratch in
+//!    its second stage.
+//!
+//! Candidate `(attr, path)` pairs are deduplicated into one spec each, the
+//! measure is decoded once into a [`MeasureVector`], and row mappers are
+//! shared `Arc`s from the session's `JoinIndex` memo. Scoring and ranking
+//! run through the same helpers as the per-facet pipeline
+//! ([`categorical_correlation`], [`numeric_worst_correlation`],
+//! [`rank_instances_from`]), so the serial fused exploration is
+//! bit-identical to the per-facet one (`tests/facet_equivalence.rs`).
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use kdap_query::{
+    multi_group_by_exec, AggFunc, Bucketizer, ExecConfig, FacetGroups, FacetSpec, JoinIndex,
+    JoinPath, MeasureVector, DENSE_GROUP_LIMIT,
+};
+use kdap_warehouse::{AttrKind, ColRef, Warehouse};
+
+use crate::error::KdapError;
+use crate::explain::{ExploreReport, FacetKernelChoice};
+use crate::facet::attr_rank::{
+    assemble_ranked, categorical_correlation, collect_attr_tasks, numeric_worst_correlation,
+    AttrTask, NumericSeries, RankedAttr,
+};
+use crate::facet::instance_rank::rank_instances_from;
+use crate::facet::{numeric_entries, Exploration, FacetAttr, FacetConfig, FacetEntry, FacetPanel};
+use crate::interpret::StarNet;
+use crate::plan::Planner;
+use crate::rollup::try_rollup_spaces_planned;
+use crate::subspace::Subspace;
+
+/// The fused-scan results of one deduplicated `(attr, path)` candidate.
+enum SlotData {
+    Categorical {
+        /// `DOM(DS′, attr)` — sorted codes present in the subspace.
+        dom: Vec<u32>,
+        /// DS′ group-by map under `cfg.agg`.
+        x_map: HashMap<u32, f64>,
+        /// Per-roll-up group-by maps, aligned with the roll-up order.
+        y_maps: Vec<HashMap<u32, f64>>,
+        dense: bool,
+        groups: usize,
+    },
+    Numerical {
+        /// `None` when the attribute has no finite value in DS′ (the
+        /// per-facet path's `Bucketizer::equal_width` returns `None`).
+        series: Option<NumSlot>,
+    },
+}
+
+struct NumSlot {
+    buckets: Bucketizer,
+    /// DS′ per-interval series under `cfg.agg`.
+    x: Vec<f64>,
+    /// DS′ per-interval COUNT series (§5.2.1 occupancy).
+    occupancy: Vec<f64>,
+    /// Per-roll-up per-interval series, aligned with the roll-up order.
+    rup_ys: Vec<Vec<f64>>,
+    groups: usize,
+}
+
+/// Runs the fused explore pipeline and reports its scan accounting.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn explore_fused(
+    wh: &Warehouse,
+    jidx: &JoinIndex,
+    net: &StarNet,
+    sub: &Subspace,
+    mv: &MeasureVector,
+    cfg: &FacetConfig,
+    exec: &ExecConfig,
+    planner: &Planner,
+) -> Result<(Exploration, ExploreReport), KdapError> {
+    let schema = wh.schema();
+    let fact = schema.fact_table();
+    let rups = try_rollup_spaces_planned(wh, jidx, net, planner, exec)?;
+    let n_rups = rups.len();
+
+    // Hit codes per attribute (to pin hit instances).
+    let mut hit_codes: HashMap<ColRef, HashSet<u32>> = HashMap::new();
+    for c in &net.constraints {
+        hit_codes
+            .entry(c.group.attr)
+            .or_default()
+            .extend(c.group.codes());
+    }
+
+    let mut dims: Vec<&kdap_warehouse::Dimension> = schema.dimensions().iter().collect();
+    dims.sort_by(|a, b| a.name.cmp(&b.name));
+    let tasks: Vec<(usize, AttrTask)> = dims
+        .iter()
+        .enumerate()
+        .flat_map(|(di, dim)| {
+            collect_attr_tasks(wh, net, dim)
+                .into_iter()
+                .map(move |t| (di, t))
+        })
+        .collect();
+
+    // Deduplicate tasks into one spec slot per (attr, path, kind): the
+    // promoted copy of a hit attribute and its declared-candidate copy
+    // aggregate identically, so they share one set of accumulators.
+    let mut slot_of: HashMap<(ColRef, JoinPath, bool), usize> = HashMap::new();
+    let mut slots: Vec<(ColRef, JoinPath, AttrKind)> = Vec::new();
+    for (_, task) in &tasks {
+        let key = (
+            task.attr,
+            task.path.clone(),
+            task.kind == AttrKind::Numerical,
+        );
+        slot_of.entry(key).or_insert_with(|| {
+            slots.push((task.attr, task.path.clone(), task.kind));
+            slots.len() - 1
+        });
+    }
+    let mappers: Vec<Arc<Vec<Option<u32>>>> = slots
+        .iter()
+        .map(|(_, path, _)| jidx.row_mapper(wh, fact, path))
+        .collect();
+
+    // Scan A over DS′: total + categorical groups + numerical domains.
+    let mut specs_a: Vec<FacetSpec> = vec![FacetSpec::Total];
+    let mut a_idx: Vec<usize> = Vec::with_capacity(slots.len());
+    for (i, (attr, _, kind)) in slots.iter().enumerate() {
+        a_idx.push(specs_a.len());
+        specs_a.push(match kind {
+            AttrKind::Categorical => FacetSpec::Categorical {
+                attr: *attr,
+                mapper: mappers[i].clone(),
+            },
+            AttrKind::Numerical => FacetSpec::NumericDomain {
+                attr: *attr,
+                mapper: mappers[i].clone(),
+            },
+        });
+    }
+    let groups_a = multi_group_by_exec(wh, &specs_a, &sub.rows, mv, exec, DENSE_GROUP_LIMIT);
+    let total_aggregate = groups_a[0].total(cfg.agg);
+
+    // Scan B over DS′: bucketized numerical groups, with bucketizers
+    // derived from the scan-A domains.
+    let mut specs_b: Vec<FacetSpec> = Vec::new();
+    let mut b_idx: Vec<Option<usize>> = vec![None; slots.len()];
+    let mut bucketizers: Vec<Option<Bucketizer>> = vec![None; slots.len()];
+    for (i, (attr, _, kind)) in slots.iter().enumerate() {
+        if *kind == AttrKind::Numerical {
+            if let Some(bz) = groups_a[a_idx[i]].bucketizer(cfg.n_basic_intervals) {
+                b_idx[i] = Some(specs_b.len());
+                specs_b.push(FacetSpec::Buckets {
+                    attr: *attr,
+                    mapper: mappers[i].clone(),
+                    buckets: bz.clone(),
+                });
+                bucketizers[i] = Some(bz);
+            }
+        }
+    }
+    let groups_b = if specs_b.is_empty() {
+        Vec::new()
+    } else {
+        multi_group_by_exec(wh, &specs_b, &sub.rows, mv, exec, DENSE_GROUP_LIMIT)
+    };
+
+    // One fused scan per roll-up space: total + every live candidate.
+    // Empty-domain categoricals and domain-less numericals are skipped —
+    // their tasks fail scoring regardless of the roll-up series.
+    let mut specs_r: Vec<FacetSpec> = vec![FacetSpec::Total];
+    let mut r_idx: Vec<Option<usize>> = vec![None; slots.len()];
+    for (i, (attr, _, kind)) in slots.iter().enumerate() {
+        match kind {
+            AttrKind::Categorical => {
+                if groups_a[a_idx[i]].n_groups() > 0 {
+                    r_idx[i] = Some(specs_r.len());
+                    specs_r.push(FacetSpec::Categorical {
+                        attr: *attr,
+                        mapper: mappers[i].clone(),
+                    });
+                }
+            }
+            AttrKind::Numerical => {
+                if let Some(bz) = &bucketizers[i] {
+                    r_idx[i] = Some(specs_r.len());
+                    specs_r.push(FacetSpec::Buckets {
+                        attr: *attr,
+                        mapper: mappers[i].clone(),
+                        buckets: bz.clone(),
+                    });
+                }
+            }
+        }
+    }
+    let rup_results: Vec<Vec<FacetGroups>> = rups
+        .iter()
+        .map(|rup| multi_group_by_exec(wh, &specs_r, &rup.rows, mv, exec, DENSE_GROUP_LIMIT))
+        .collect();
+    let rup_totals: Vec<f64> = rup_results.iter().map(|g| g[0].total(cfg.agg)).collect();
+
+    // Derive every slot's maps/series once; tasks and stage-2 ranking
+    // both read them.
+    let slot_data: Vec<SlotData> = slots
+        .iter()
+        .enumerate()
+        .map(|(i, (_, _, kind))| match kind {
+            AttrKind::Categorical => {
+                let g = &groups_a[a_idx[i]];
+                let y_maps = match r_idx[i] {
+                    Some(ri) => rup_results.iter().map(|r| r[ri].to_map(cfg.agg)).collect(),
+                    None => Vec::new(),
+                };
+                SlotData::Categorical {
+                    dom: g.domain(),
+                    x_map: g.to_map(cfg.agg),
+                    y_maps,
+                    dense: g.is_dense(),
+                    groups: g.n_groups(),
+                }
+            }
+            AttrKind::Numerical => SlotData::Numerical {
+                series: b_idx[i].map(|bi| {
+                    let g = &groups_b[bi];
+                    let ri = r_idx[i].expect("bucketized slots scan every roll-up");
+                    NumSlot {
+                        buckets: bucketizers[i].clone().expect("bucketizer built"),
+                        x: g.to_series(cfg.agg),
+                        occupancy: g.to_series(AggFunc::Count),
+                        rup_ys: rup_results
+                            .iter()
+                            .map(|r| r[ri].to_series(cfg.agg))
+                            .collect(),
+                        groups: g.n_groups(),
+                    }
+                }),
+            },
+        })
+        .collect();
+
+    // Stage 1: score every task from its slot's precomputed data — the
+    // same correlation helpers the per-facet kernels feed.
+    let task_slots: Vec<usize> = tasks
+        .iter()
+        .map(|(_, t)| slot_of[&(t.attr, t.path.clone(), t.kind == AttrKind::Numerical)])
+        .collect();
+    let results: Vec<Option<RankedAttr>> = tasks
+        .iter()
+        .zip(&task_slots)
+        .map(|((_, task), &si)| match &slot_data[si] {
+            SlotData::Categorical {
+                dom, x_map, y_maps, ..
+            } => {
+                if dom.is_empty() {
+                    return None;
+                }
+                categorical_correlation(dom, x_map, y_maps).map(|correlation| RankedAttr {
+                    attr: task.attr,
+                    kind: task.kind,
+                    path: task.path.clone(),
+                    correlation,
+                    score: cfg.mode.attr_score(correlation),
+                    promoted: task.promoted,
+                    numeric: None,
+                })
+            }
+            SlotData::Numerical { series: None } => None,
+            SlotData::Numerical { series: Some(ns) } => {
+                numeric_worst_correlation(&ns.x, &ns.occupancy, &ns.rup_ys).map(
+                    |(correlation, rup_series)| RankedAttr {
+                        attr: task.attr,
+                        kind: task.kind,
+                        path: task.path.clone(),
+                        correlation,
+                        score: cfg.mode.attr_score(correlation),
+                        promoted: task.promoted,
+                        numeric: Some(NumericSeries {
+                            bucketizer: ns.buckets.clone(),
+                            ds: ns.x.clone(),
+                            rup: rup_series,
+                        }),
+                    },
+                )
+            }
+        })
+        .collect();
+
+    // Reassemble the per-dimension rankings and select the top-k
+    // attributes — identical to the per-facet pipeline.
+    let mut per_dim: Vec<(Vec<AttrTask>, Vec<Option<RankedAttr>>)> =
+        (0..dims.len()).map(|_| (Vec::new(), Vec::new())).collect();
+    for ((di, task), result) in tasks.iter().zip(results) {
+        per_dim[*di].0.push(task.clone());
+        per_dim[*di].1.push(result);
+    }
+    let mut selected: Vec<(usize, RankedAttr)> = Vec::new();
+    for (di, (dim, (dim_tasks, dim_results))) in dims.iter().zip(per_dim).enumerate() {
+        let ranked = assemble_ranked(dim, cfg, &dim_tasks, dim_results);
+        for ra in ranked.into_iter().take(cfg.top_k_attrs) {
+            selected.push((di, ra));
+        }
+    }
+
+    // Stage 2: entries of every selected attribute — pure math over the
+    // scan results, no further scans (the per-facet pipeline re-scanned
+    // DS′ and every roll-up space per selected attribute here).
+    let empty = HashSet::new();
+    let mut panels: Vec<FacetPanel> = Vec::new();
+    for (di, ra) in selected.iter() {
+        let entries: Vec<FacetEntry> = match (&ra.kind, &ra.numeric) {
+            (AttrKind::Categorical, _) => {
+                let si = slot_of[&(ra.attr, ra.path.clone(), false)];
+                let SlotData::Categorical {
+                    dom, x_map, y_maps, ..
+                } = &slot_data[si]
+                else {
+                    unreachable!("categorical tasks map to categorical slots")
+                };
+                let hits = hit_codes.get(&ra.attr).unwrap_or(&empty);
+                let rup_data: Vec<(f64, &HashMap<u32, f64>)> =
+                    rup_totals.iter().copied().zip(y_maps.iter()).collect();
+                rank_instances_from(
+                    wh,
+                    ra.attr,
+                    dom,
+                    x_map,
+                    total_aggregate,
+                    &rup_data,
+                    cfg,
+                    hits,
+                )
+                .into_iter()
+                .take(cfg.top_k_instances)
+                .map(|ri| FacetEntry {
+                    label: ri.label.to_string(),
+                    aggregate: ri.aggregate,
+                    score: ri.score,
+                    is_hit: ri.is_hit,
+                })
+                .collect()
+            }
+            (AttrKind::Numerical, Some(series)) => numeric_entries(series, cfg),
+            (AttrKind::Numerical, None) => Vec::new(),
+        };
+        let facet_attr = FacetAttr {
+            attr: ra.attr,
+            name: wh.col_name(ra.attr),
+            kind: ra.kind,
+            correlation: ra.correlation,
+            score: ra.score,
+            promoted: ra.promoted,
+            entries,
+        };
+        let dimension = dims[*di].name.clone();
+        match panels.last_mut() {
+            Some(FacetPanel {
+                dimension: d,
+                attrs,
+            }) if *d == dimension => attrs.push(facet_attr),
+            _ => panels.push(FacetPanel {
+                dimension,
+                attrs: vec![facet_attr],
+            }),
+        }
+    }
+
+    let report = build_report(
+        wh,
+        &slots,
+        &slot_data,
+        &task_slots,
+        &selected,
+        n_rups,
+        !specs_b.is_empty(),
+    );
+
+    Ok((
+        Exploration {
+            subspace_size: sub.len(),
+            total_aggregate,
+            panels,
+        },
+        report,
+    ))
+}
+
+/// Scan accounting: what the fused pipeline did versus what the
+/// per-facet pipeline would have done for the same exploration.
+fn build_report(
+    wh: &Warehouse,
+    slots: &[(ColRef, JoinPath, AttrKind)],
+    slot_data: &[SlotData],
+    task_slots: &[usize],
+    selected: &[(usize, RankedAttr)],
+    n_rups: usize,
+    scanned_buckets: bool,
+) -> ExploreReport {
+    // Per-facet cost, task by task (the old pipeline evaluated every
+    // task, duplicates included): a categorical candidate paid a domain
+    // projection, a subspace group-by, and one group-by per roll-up —
+    // unless its domain was empty, where it stopped after the projection.
+    // A numerical candidate paid a projection, two subspace bucket
+    // group-bys (series + occupancy) and one per roll-up — or just the
+    // projection when the domain was empty. Each selected categorical
+    // attribute then paid a fresh projection, subspace total + group-by,
+    // and a total + group-by per roll-up in stage 2.
+    let mut scans_old = 1; // the subspace total aggregate
+    for &si in task_slots {
+        scans_old += match &slot_data[si] {
+            SlotData::Categorical { dom, .. } if dom.is_empty() => 1,
+            SlotData::Categorical { .. } => 2 + n_rups,
+            SlotData::Numerical { series: None } => 1,
+            SlotData::Numerical { series: Some(_) } => 3 + n_rups,
+        };
+    }
+    for (_, ra) in selected {
+        if ra.kind == AttrKind::Categorical {
+            scans_old += 3 + 2 * n_rups;
+        }
+    }
+    let scans_fused = 1 + usize::from(scanned_buckets) + n_rups;
+
+    let facets = slots
+        .iter()
+        .zip(slot_data)
+        .filter_map(|((attr, _, _), data)| match data {
+            SlotData::Categorical { dense, groups, .. } => Some(FacetKernelChoice {
+                attr: wh.col_name(*attr),
+                kernel: if *dense { "dense" } else { "hash" }.to_string(),
+                groups: *groups,
+            }),
+            SlotData::Numerical { series: Some(ns) } => Some(FacetKernelChoice {
+                attr: wh.col_name(*attr),
+                kernel: "buckets".to_string(),
+                groups: ns.groups,
+            }),
+            SlotData::Numerical { series: None } => None,
+        })
+        .collect();
+
+    ExploreReport {
+        rollups: n_rups,
+        candidates: task_slots.len(),
+        scans_fused,
+        scans_old,
+        facets,
+    }
+}

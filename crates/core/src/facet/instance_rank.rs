@@ -73,7 +73,29 @@ pub fn rank_instances(
             )
         })
         .collect();
+    let rup_refs: Vec<(f64, &std::collections::HashMap<u32, f64>)> =
+        rup_data.iter().map(|(g, m)| (*g, m)).collect();
+    rank_instances_from(wh, attr, &dom, &x_map, g_ds, &rup_refs, cfg, hit_codes)
+}
 
+/// The pure Eq. 2 ranking over precomputed aggregates: `dom`, the DS′
+/// group-by map, the DS′ total, and per-roll-up `(total, group-by map)`
+/// pairs. [`rank_instances`] computes those inputs with per-facet kernel
+/// calls; the fused explore pipeline reads them out of its single scans.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn rank_instances_from(
+    wh: &Warehouse,
+    attr: ColRef,
+    dom: &[u32],
+    x_map: &std::collections::HashMap<u32, f64>,
+    g_ds: f64,
+    rup_data: &[(f64, &std::collections::HashMap<u32, f64>)],
+    cfg: &FacetConfig,
+    hit_codes: &HashSet<u32>,
+) -> Vec<RankedInstance> {
+    if dom.is_empty() {
+        return Vec::new();
+    }
     let dict = wh
         .column(attr)
         .dict()

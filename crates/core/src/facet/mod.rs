@@ -10,6 +10,7 @@ pub mod anneal;
 pub mod attr_rank;
 #[cfg(test)]
 mod attr_rank_tests;
+pub(crate) mod fused;
 pub mod instance_rank;
 
 use std::collections::HashSet;
@@ -49,11 +50,28 @@ pub enum FacetOrder {
     },
 }
 
+/// Which group-by kernel drives the explore phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FacetKernel {
+    /// One fused scan per space feeds the accumulators of every candidate
+    /// facet at once (dense arrays under the cardinality cutoff, hash
+    /// fallback above), over a measure vector decoded once and shared
+    /// `Arc` row mappers. The default.
+    #[default]
+    Fused,
+    /// One group-by kernel invocation per facet per space — the original
+    /// pipeline, kept as the property-tested oracle and as the baseline
+    /// for the `exp_explore` benchmark.
+    PerFacet,
+}
+
 /// Knobs of the explore phase.
 #[derive(Debug, Clone)]
 pub struct FacetConfig {
     /// Surprise or bellwether interestingness.
     pub mode: InterestMode,
+    /// Which group-by kernel runs the aggregation scans.
+    pub kernel: FacetKernel,
     /// Attribute ordering policy within a panel (§7 hybrid extension).
     pub order: FacetOrder,
     /// Aggregation function applied to the measure.
@@ -75,6 +93,7 @@ impl Default for FacetConfig {
     fn default() -> Self {
         FacetConfig {
             mode: InterestMode::Surprise,
+            kernel: FacetKernel::Fused,
             order: FacetOrder::Dynamic,
             agg: AggFunc::Sum,
             top_k_attrs: 3,
@@ -203,8 +222,37 @@ pub fn explore_subspace_with(
 /// [`explore_subspace_with`] with an explicit [`Planner`]: the roll-up
 /// spaces are compiled and executed through it, sharing its semi-join
 /// cache with the differentiate phase that materialized the subspace.
+///
+/// Dispatches on [`FacetConfig::kernel`]: the fused single-pass pipeline
+/// (default) or the per-facet oracle. Both produce the same
+/// [`Exploration`] — the kernels are scan-for-scan equivalent and the
+/// fused serial path is bit-identical to the per-facet serial path
+/// (property-tested in `tests/facet_equivalence.rs`).
 #[allow(clippy::too_many_arguments)]
 pub fn explore_subspace_planned(
+    wh: &Warehouse,
+    jidx: &JoinIndex,
+    net: &StarNet,
+    sub: &Subspace,
+    measure: &Measure,
+    cfg: &FacetConfig,
+    exec: &ExecConfig,
+    planner: &Planner,
+) -> Result<Exploration, KdapError> {
+    match cfg.kernel {
+        FacetKernel::PerFacet => explore_per_facet(wh, jidx, net, sub, measure, cfg, exec, planner),
+        FacetKernel::Fused => {
+            let mv = kdap_query::MeasureVector::build(wh, measure);
+            fused::explore_fused(wh, jidx, net, sub, &mv, cfg, exec, planner).map(|(ex, _)| ex)
+        }
+    }
+}
+
+/// The original explore pipeline: one group-by kernel invocation per
+/// facet per space. Kept verbatim as the oracle the fused pipeline is
+/// equivalence-tested against.
+#[allow(clippy::too_many_arguments)]
+fn explore_per_facet(
     wh: &Warehouse,
     jidx: &JoinIndex,
     net: &StarNet,
@@ -320,7 +368,7 @@ pub fn explore_subspace_planned(
 /// Merges the basic intervals of a numerical attribute into display
 /// ranges (Algorithm 2) and renders them as facet entries in natural
 /// order.
-fn numeric_entries(series: &NumericSeries, cfg: &FacetConfig) -> Vec<FacetEntry> {
+pub(crate) fn numeric_entries(series: &NumericSeries, cfg: &FacetConfig) -> Vec<FacetEntry> {
     let mut anneal_cfg = cfg.anneal.clone();
     anneal_cfg.target_intervals = cfg.display_intervals;
     let merged = merge_intervals(&series.ds, &series.rup, &anneal_cfg);

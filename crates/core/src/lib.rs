@@ -27,11 +27,13 @@ pub mod testutil;
 
 pub use cache::SubspaceCache;
 pub use error::KdapError;
-pub use explain::{explain, explain_planned, ConstraintPlan, Plan};
+pub use explain::{
+    explain, explain_planned, ConstraintPlan, ExploreReport, FacetKernelChoice, Plan,
+};
 pub use facet::{
     explore, explore_subspace, explore_subspace_planned, explore_subspace_with, explore_with,
-    AnnealConfig, Exploration, FacetAttr, FacetConfig, FacetEntry, FacetOrder, FacetPanel,
-    MergeResult,
+    AnnealConfig, Exploration, FacetAttr, FacetConfig, FacetEntry, FacetKernel, FacetOrder,
+    FacetPanel, MergeResult,
 };
 pub use hit::{build_hit_sets, Hit, HitConfig, HitGroup, HitSet};
 pub use interest::{combine_correlations, pearson, InterestMode};
@@ -52,5 +54,5 @@ pub use subspace::{
 };
 
 pub use kdap_query::{
-    ExecConfig, Fingerprint, LogicalPlan, PhysicalPlan, PlannerConfig, SemijoinCache,
+    ExecConfig, Fingerprint, LogicalPlan, MeasureVector, PhysicalPlan, PlannerConfig, SemijoinCache,
 };

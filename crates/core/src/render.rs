@@ -34,8 +34,9 @@ pub fn render_interpretations(wh: &Warehouse, ranked: &[RankedStarNet], limit: u
 /// ```
 pub fn render_exploration(ex: &Exploration) -> String {
     let mut out = format!(
-        "subspace: {} facts · total {:.2}\n",
-        ex.subspace_size, ex.total_aggregate
+        "subspace: {} facts · total {}\n",
+        ex.subspace_size,
+        fmt_agg(ex.total_aggregate)
     );
     for panel in &ex.panels {
         out.push_str(&format!("[{}]\n", panel.dimension));
@@ -49,15 +50,25 @@ pub fn render_exploration(ex: &Exploration) -> String {
             ));
             for e in &attr.entries {
                 out.push_str(&format!(
-                    "      {:<30} {:>14.2}{}\n",
+                    "      {:<30} {:>14}{}\n",
                     e.label,
-                    e.aggregate,
+                    fmt_agg(e.aggregate),
                     if e.is_hit { " ←" } else { "" }
                 ));
             }
         }
     }
     out
+}
+
+/// Formats an aggregate value; the empty-set aggregate of MIN/MAX/AVG is
+/// NaN (no defined value) and renders as `∅` rather than a fake number.
+fn fmt_agg(v: f64) -> String {
+    if v.is_nan() {
+        "∅".to_string()
+    } else {
+        format!("{v:.2}")
+    }
 }
 
 #[cfg(test)]
@@ -94,6 +105,18 @@ mod tests {
         assert!(text.contains("[Store]") || text.contains("[Customer]"));
         assert!(text.contains('*'), "promoted marker present");
         assert!(text.contains('←'), "hit marker present");
+    }
+
+    #[test]
+    fn undefined_aggregates_render_as_empty_set() {
+        assert_eq!(fmt_agg(f64::NAN), "∅");
+        assert_eq!(fmt_agg(42.0), "42.00");
+        let ex = Exploration {
+            subspace_size: 0,
+            total_aggregate: f64::NAN,
+            panels: vec![],
+        };
+        assert!(render_exploration(&ex).contains("total ∅"));
     }
 
     #[test]

@@ -10,13 +10,17 @@
 //! explore phase over several worker threads; `threads = 1` (the
 //! default) reproduces the serial pipeline bit for bit.
 
-use kdap_query::{ExecConfig, JoinIndex};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use kdap_query::{ExecConfig, JoinIndex, MeasureVector};
 use kdap_textindex::TextIndex;
 use kdap_warehouse::{Measure, Warehouse};
 
 use crate::cache::SubspaceCache;
 use crate::error::KdapError;
-use crate::facet::{explore_subspace_planned, Exploration, FacetConfig};
+use crate::explain::ExploreReport;
+use crate::facet::{explore_subspace_planned, Exploration, FacetConfig, FacetKernel};
 use crate::interpret::{generate_star_nets, GenConfig, StarNet};
 use crate::plan::Planner;
 use crate::rank::{rank_star_nets, RankMethod, RankedStarNet};
@@ -151,6 +155,7 @@ impl KdapBuilder {
             } else {
                 Planner::naive()
             },
+            measure_vectors: Mutex::new(HashMap::new()),
         })
     }
 }
@@ -168,6 +173,10 @@ pub struct Kdap {
     cache: Option<SubspaceCache>,
     exec: ExecConfig,
     planner: Planner,
+    /// Measure expressions decoded to flat `f64` vectors, memoized by
+    /// measure name for the life of the session — every fused exploration
+    /// of the same measure shares one decode.
+    measure_vectors: Mutex<HashMap<String, Arc<MeasureVector>>>,
 }
 
 impl Kdap {
@@ -308,22 +317,74 @@ impl Kdap {
 
     /// Explore phase with an explicit measure (the paper extends to
     /// user-defined measures and aggregation functions, §5).
+    ///
+    /// With the fused kernel (the default) the measure vector is served
+    /// from the session memo, so repeated explorations of the same
+    /// measure decode it exactly once.
     pub fn explore_with_measure(
         &self,
         net: &StarNet,
         measure: &Measure,
     ) -> Result<Exploration, KdapError> {
+        match self.facet.kernel {
+            FacetKernel::PerFacet => {
+                let sub = self.materialize_net(net)?;
+                explore_subspace_planned(
+                    &self.wh,
+                    &self.jidx,
+                    net,
+                    &sub,
+                    measure,
+                    &self.facet,
+                    &self.exec,
+                    &self.planner,
+                )
+            }
+            FacetKernel::Fused => self.explore_instrumented(net, measure).map(|(ex, _)| ex),
+        }
+    }
+
+    /// The session-memoized measure vector for `measure`, decoding it on
+    /// first request.
+    fn measure_vector(&self, measure: &Measure) -> Arc<MeasureVector> {
+        let mut cache = self
+            .measure_vectors
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        cache
+            .entry(measure.name.clone())
+            .or_insert_with(|| Arc::new(MeasureVector::build(&self.wh, measure)))
+            .clone()
+    }
+
+    fn explore_instrumented(
+        &self,
+        net: &StarNet,
+        measure: &Measure,
+    ) -> Result<(Exploration, ExploreReport), KdapError> {
         let sub = self.materialize_net(net)?;
-        explore_subspace_planned(
+        let mv = self.measure_vector(measure);
+        crate::facet::fused::explore_fused(
             &self.wh,
             &self.jidx,
             net,
             &sub,
-            measure,
+            &mv,
             &self.facet,
             &self.exec,
             &self.planner,
         )
+    }
+
+    /// EXPLAIN of the explore phase: runs the fused pipeline (whatever
+    /// the configured kernel) and returns the exploration together with
+    /// its scan accounting — scans fused vs. the per-facet equivalent,
+    /// and the dense/hash/buckets kernel choice per facet spec.
+    pub fn explain_explore(
+        &self,
+        net: &StarNet,
+    ) -> Result<(Exploration, ExploreReport), KdapError> {
+        self.explore_instrumented(net, &self.measure)
     }
 
     /// EXPLAIN: the optimized physical plan of `net` with estimated vs.

@@ -19,7 +19,7 @@ use crate::semijoin::JoinIndex;
 /// that even the 60k-fact synthetic warehouse splits into several chunks;
 /// chunking depends only on the universe size, so chunked results are
 /// identical for every thread count ≥ 2.
-const AGG_CHUNK_WORDS: usize = 128;
+pub(crate) const AGG_CHUNK_WORDS: usize = 128;
 
 /// Aggregation function over the measure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,20 +78,29 @@ impl Accumulator {
         self.max = self.max.max(other.max);
     }
 
-    /// Final aggregate under `func`; empty groups yield 0 (consistent with
-    /// SQL `SUM`/`COUNT` over an empty slice, and what the score formulas
-    /// expect for missing segments).
+    /// Final aggregate under `func`.
+    ///
+    /// Empty groups follow SQL semantics: `SUM`/`COUNT` yield 0 (what the
+    /// score formulas expect for missing segments), while `AVG`/`MIN`/`MAX`
+    /// are undefined and yield NaN — surfacing 0.0 there would fabricate a
+    /// measure value that never occurred. Callers that need to distinguish
+    /// "no rows" explicitly should use [`Accumulator::finish_opt`].
     pub fn finish(&self, func: AggFunc) -> f64 {
-        if self.count == 0 {
-            return 0.0;
-        }
         match func {
             AggFunc::Sum => self.sum,
             AggFunc::Count => self.count as f64,
+            _ if self.count == 0 => f64::NAN,
             AggFunc::Avg => self.sum / self.count as f64,
             AggFunc::Min => self.min,
             AggFunc::Max => self.max,
         }
+    }
+
+    /// Like [`Accumulator::finish`], but reports an empty group as `None`
+    /// for every function (including `SUM`/`COUNT`, whose 0 is otherwise
+    /// indistinguishable from a real aggregate of 0).
+    pub fn finish_opt(&self, func: AggFunc) -> Option<f64> {
+        (self.count > 0).then(|| self.finish(func))
     }
 }
 
@@ -112,26 +121,25 @@ pub fn aggregate_total_exec(
     func: AggFunc,
     exec: &ExecConfig,
 ) -> f64 {
-    let nwords = rows.as_words().len();
-    if exec.is_serial() || nwords < 2 * AGG_CHUNK_WORDS {
+    let accumulate = |r: std::ops::Range<usize>| {
         let mut acc = Accumulator::default();
-        for row in rows.iter() {
-            if let Some(v) = wh.eval_measure(measure, row) {
-                acc.add(v);
-            }
-        }
-        return acc.finish(func);
-    }
-    let ranges = chunk_ranges(nwords, AGG_CHUNK_WORDS);
-    let partials = par_map(exec, &ranges, |_, r| {
-        let mut acc = Accumulator::default();
-        for row in rows.iter_word_range(r.clone()) {
+        for row in rows.iter_word_range(r) {
             if let Some(v) = wh.eval_measure(measure, row) {
                 acc.add(v);
             }
         }
         acc
-    });
+    };
+    let nwords = rows.as_words().len();
+    let ranges = chunk_ranges(nwords, AGG_CHUNK_WORDS);
+    // Fixed chunk boundaries and chunk-order merging in BOTH arms: the
+    // result depends only on the data, never on the thread count, so
+    // serial and parallel sessions render byte-identical output.
+    let partials = if exec.is_serial() || nwords < 2 * AGG_CHUNK_WORDS {
+        ranges.into_iter().map(accumulate).collect::<Vec<_>>()
+    } else {
+        par_map(exec, &ranges, |_, r| accumulate(r.clone()))
+    };
     let mut total = Accumulator::default();
     for p in &partials {
         total.merge(p);
@@ -199,20 +207,22 @@ pub fn group_by_categorical_exec(
         groups
     };
     let nwords = rows.as_words().len();
-    let groups = if exec.is_serial() || nwords < 2 * AGG_CHUNK_WORDS {
-        accumulate(0..nwords)
+    let ranges = chunk_ranges(nwords, AGG_CHUNK_WORDS);
+    // Both arms chunk identically and merge in chunk order, so results
+    // never depend on the thread count (per-code accumulators make the
+    // within-chunk map iteration order irrelevant).
+    let partials = if exec.is_serial() || nwords < 2 * AGG_CHUNK_WORDS {
+        ranges.into_iter().map(accumulate).collect::<Vec<_>>()
     } else {
-        let ranges = chunk_ranges(nwords, AGG_CHUNK_WORDS);
-        let partials = par_map(exec, &ranges, |_, r| accumulate(r.clone()));
-        let mut merged: HashMap<u32, Accumulator> = HashMap::new();
-        for partial in partials {
-            for (code, acc) in partial {
-                merged.entry(code).or_default().merge(&acc);
-            }
-        }
-        merged
+        par_map(exec, &ranges, |_, r| accumulate(r.clone()))
     };
-    groups
+    let mut merged: HashMap<u32, Accumulator> = HashMap::new();
+    for partial in partials {
+        for (code, acc) in partial {
+            merged.entry(code).or_default().merge(&acc);
+        }
+    }
+    merged
         .into_iter()
         .map(|(code, acc)| (code, acc.finish(func)))
         .collect()
@@ -382,20 +392,21 @@ pub fn group_by_buckets_exec(
         accs
     };
     let nwords = rows.as_words().len();
-    let accs = if exec.is_serial() || nwords < 2 * AGG_CHUNK_WORDS {
-        accumulate(0..nwords)
+    let ranges = chunk_ranges(nwords, AGG_CHUNK_WORDS);
+    // Both arms chunk identically and merge in chunk order, so results
+    // never depend on the thread count.
+    let partials = if exec.is_serial() || nwords < 2 * AGG_CHUNK_WORDS {
+        ranges.into_iter().map(accumulate).collect::<Vec<_>>()
     } else {
-        let ranges = chunk_ranges(nwords, AGG_CHUNK_WORDS);
-        let partials = par_map(exec, &ranges, |_, r| accumulate(r.clone()));
-        let mut merged = vec![Accumulator::default(); buckets.n_buckets()];
-        for partial in &partials {
-            for (m, p) in merged.iter_mut().zip(partial) {
-                m.merge(p);
-            }
-        }
-        merged
+        par_map(exec, &ranges, |_, r| accumulate(r.clone()))
     };
-    accs.iter().map(|a| a.finish(func)).collect()
+    let mut merged = vec![Accumulator::default(); buckets.n_buckets()];
+    for partial in &partials {
+        for (m, p) in merged.iter_mut().zip(partial) {
+            m.merge(p);
+        }
+    }
+    merged.iter().map(|a| a.finish(func)).collect()
 }
 
 /// Collects the numeric values of `attr` observed across `rows` via
@@ -523,11 +534,31 @@ mod tests {
     }
 
     #[test]
-    fn empty_set_aggregates_to_zero() {
+    fn empty_set_aggregation_semantics() {
         let (wh, _, _, measure) = setup();
         let none = RowSet::empty(wh.fact_rows());
+        // SUM/COUNT over nothing are 0, per SQL.
         assert_eq!(aggregate_total(&wh, &measure, &none, AggFunc::Sum), 0.0);
-        assert_eq!(aggregate_total(&wh, &measure, &none, AggFunc::Min), 0.0);
+        assert_eq!(aggregate_total(&wh, &measure, &none, AggFunc::Count), 0.0);
+        // MIN/MAX/AVG over nothing are undefined — NaN, never a fake 0.0.
+        assert!(aggregate_total(&wh, &measure, &none, AggFunc::Min).is_nan());
+        assert!(aggregate_total(&wh, &measure, &none, AggFunc::Max).is_nan());
+        assert!(aggregate_total(&wh, &measure, &none, AggFunc::Avg).is_nan());
+    }
+
+    #[test]
+    fn finish_opt_flags_empty_groups() {
+        let empty = Accumulator::default();
+        assert_eq!(empty.finish_opt(AggFunc::Sum), None);
+        assert_eq!(empty.finish_opt(AggFunc::Min), None);
+        let mut acc = Accumulator::default();
+        acc.add(3.0);
+        acc.add(5.0);
+        assert_eq!(acc.finish_opt(AggFunc::Sum), Some(8.0));
+        assert_eq!(acc.finish_opt(AggFunc::Min), Some(3.0));
+        assert_eq!(acc.finish_opt(AggFunc::Max), Some(5.0));
+        assert_eq!(acc.finish_opt(AggFunc::Avg), Some(4.0));
+        assert_eq!(acc.finish_opt(AggFunc::Count), Some(2.0));
     }
 
     #[test]

@@ -1,0 +1,692 @@
+//! Single-pass multi-aggregate facet kernel.
+//!
+//! The explore phase (§5) ranks *every* candidate group-by attribute over
+//! the chosen subspace and each of its roll-up spaces. Done naively that
+//! is one [`group_by_categorical`](crate::group_by_categorical) /
+//! [`group_by_buckets`](crate::group_by_buckets) call per attribute per
+//! space — each re-scanning the same bitmap, re-deriving the same row
+//! mappers, and re-evaluating the measure per row. This module fuses them:
+//! **one scan** of the row set feeds the accumulators of *all* facet
+//! specs at once, over session-materialized inputs — a [`MeasureVector`]
+//! decoded once per subspace and `Arc` row mappers memoized per
+//! `(origin, path)` in the [`JoinIndex`](crate::JoinIndex).
+//!
+//! Low-cardinality categorical attributes accumulate into **dense arrays
+//! sized by dictionary cardinality** (`stats[code as usize]`, no hashing);
+//! attributes above [`DENSE_GROUP_LIMIT`] fall back to the hash path. The
+//! raw [`Accumulator`]s are kept per group, so one scan answers every
+//! aggregation function afterwards (e.g. SUM for the series *and* COUNT
+//! for bucket occupancy).
+//!
+//! Parallel execution mirrors the per-facet kernels exactly: the same
+//! [`AGG_CHUNK_WORDS`] chunking of the bitmap with per-chunk partials
+//! merged in chunk order — in the serial arm too, so results depend only
+//! on the data, never on the thread count, and the fused kernel is
+//! bit-identical to the per-facet kernels at any thread count
+//! (property-tested in `tests/facet_equivalence.rs`).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use kdap_warehouse::{ColRef, Measure, Warehouse};
+
+use crate::aggregate::{Accumulator, AggFunc, Bucketizer, AGG_CHUNK_WORDS};
+use crate::bitmap::RowSet;
+use crate::exec::{chunk_ranges, par_map, ExecConfig};
+
+/// Default dictionary-cardinality cutoff for the dense accumulator path.
+///
+/// Dense arrays cost `cardinality × size_of::<GroupStats>()` per parallel
+/// chunk; 4096 groups keep a partial under 200 KiB while covering every
+/// dimension attribute of the synthetic warehouses.
+pub const DENSE_GROUP_LIMIT: usize = 4096;
+
+/// The measure decoded to a flat `f64` vector, once per fact table.
+///
+/// [`Warehouse::eval_measure`] walks the measure expression and the
+/// column enums per call; facet construction evaluates it for the same
+/// rows dozens of times (once per candidate attribute per space). This
+/// materializes it once per session: NULL is stored as NaN, so `get`
+/// reproduces `eval_measure` exactly for any measure whose non-null
+/// values are non-NaN (a NaN stored *in* the data would be conflated
+/// with NULL — acceptable, since a NaN measure value is meaningless to
+/// every aggregate anyway).
+#[derive(Debug, Clone)]
+pub struct MeasureVector {
+    values: Vec<f64>,
+}
+
+impl MeasureVector {
+    /// Decodes `measure` for every fact row of `wh`.
+    pub fn build(wh: &Warehouse, measure: &Measure) -> Self {
+        let values = (0..wh.fact_rows())
+            .map(|row| wh.eval_measure(measure, row).unwrap_or(f64::NAN))
+            .collect();
+        MeasureVector { values }
+    }
+
+    /// The measure value of `row`, `None` when NULL.
+    #[inline]
+    pub fn get(&self, row: usize) -> Option<f64> {
+        let v = self.values[row];
+        (!v.is_nan()).then_some(v)
+    }
+
+    /// Number of fact rows covered.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the fact table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// One group-by requested from the fused scan.
+///
+/// Every variant that reads an attribute carries its own fact→target row
+/// mapper (shared `Arc`s from the session's
+/// [`JoinIndex`](crate::JoinIndex) memo), so the scan itself touches no
+/// locks and builds no joins.
+#[derive(Debug, Clone)]
+pub enum FacetSpec {
+    /// Group by the dictionary code of a categorical attribute.
+    Categorical {
+        /// The group-by attribute.
+        attr: ColRef,
+        /// Fact row → attribute-table row.
+        mapper: Arc<Vec<Option<u32>>>,
+    },
+    /// Group a numerical attribute into basic intervals.
+    Buckets {
+        /// The group-by attribute.
+        attr: ColRef,
+        /// Fact row → attribute-table row.
+        mapper: Arc<Vec<Option<u32>>>,
+        /// The interval partitioning.
+        buckets: Bucketizer,
+    },
+    /// Min/max of a numerical attribute over the rows (the domain a
+    /// [`Bucketizer`] needs, without materializing the projection).
+    NumericDomain {
+        /// The attribute whose domain is measured.
+        attr: ColRef,
+        /// Fact row → attribute-table row.
+        mapper: Arc<Vec<Option<u32>>>,
+    },
+    /// Total aggregate of the measure over the row set (no grouping).
+    Total,
+}
+
+/// Accumulated state of one group: the measure accumulator plus a
+/// presence count.
+///
+/// `rows` counts every row whose join reached a non-null attribute value
+/// — independent of whether the measure was NULL — which is what domain
+/// projection (`DOM(DS′, attr)`, §5.2) observes. `acc.count` only counts
+/// rows that contributed a measure value, which is what the per-facet
+/// group-by kernels key their result maps by. Both views come out of the
+/// same scan.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GroupStats {
+    /// Measure accumulator over the group's non-null-measure rows.
+    pub acc: Accumulator,
+    /// Rows that reached the group, measure-null or not.
+    pub rows: u64,
+}
+
+impl GroupStats {
+    fn merge(&mut self, other: &GroupStats) {
+        self.acc.merge(&other.acc);
+        self.rows += other.rows;
+    }
+}
+
+/// The result of one [`FacetSpec`] after the fused scan.
+#[derive(Debug, Clone)]
+pub enum FacetGroups {
+    /// Categorical groups in a dense array indexed by dictionary code.
+    Dense {
+        /// One slot per dictionary code.
+        stats: Vec<GroupStats>,
+    },
+    /// Categorical groups in a hash map (cardinality above the cutoff).
+    Sparse {
+        /// Group stats keyed by dictionary code.
+        stats: HashMap<u32, GroupStats>,
+    },
+    /// Bucketized numerical groups, one slot per basic interval.
+    Buckets {
+        /// One slot per bucket.
+        stats: Vec<GroupStats>,
+    },
+    /// Observed numerical domain.
+    Domain {
+        /// Smallest finite value seen (+∞ when none).
+        min: f64,
+        /// Largest finite value seen (−∞ when none).
+        max: f64,
+        /// Whether any finite value was seen.
+        any: bool,
+    },
+    /// Ungrouped total over the row set.
+    Total {
+        /// The single accumulated group.
+        stats: GroupStats,
+    },
+}
+
+impl FacetGroups {
+    fn new_for(spec: &FacetSpec, wh: &Warehouse, dense_limit: usize) -> Self {
+        match spec {
+            FacetSpec::Categorical { attr, .. } => {
+                match wh.column(*attr).cardinality().filter(|&c| c <= dense_limit) {
+                    Some(card) => FacetGroups::Dense {
+                        stats: vec![GroupStats::default(); card],
+                    },
+                    None => FacetGroups::Sparse {
+                        stats: HashMap::new(),
+                    },
+                }
+            }
+            FacetSpec::Buckets { buckets, .. } => FacetGroups::Buckets {
+                stats: vec![GroupStats::default(); buckets.n_buckets()],
+            },
+            FacetSpec::NumericDomain { .. } => FacetGroups::Domain {
+                min: f64::INFINITY,
+                max: f64::NEG_INFINITY,
+                any: false,
+            },
+            FacetSpec::Total => FacetGroups::Total {
+                stats: GroupStats::default(),
+            },
+        }
+    }
+
+    /// Folds another partial of the same shape into this one. Callers
+    /// merge per-chunk partials in chunk order, which keeps every
+    /// group's accumulation order identical to the serial scan.
+    fn merge(&mut self, other: &FacetGroups) {
+        match (self, other) {
+            (FacetGroups::Dense { stats }, FacetGroups::Dense { stats: os }) => {
+                for (m, p) in stats.iter_mut().zip(os) {
+                    if p.rows > 0 {
+                        m.merge(p);
+                    }
+                }
+            }
+            (FacetGroups::Sparse { stats }, FacetGroups::Sparse { stats: os }) => {
+                for (code, p) in os {
+                    stats.entry(*code).or_default().merge(p);
+                }
+            }
+            (FacetGroups::Buckets { stats }, FacetGroups::Buckets { stats: os }) => {
+                for (m, p) in stats.iter_mut().zip(os) {
+                    m.merge(p);
+                }
+            }
+            (
+                FacetGroups::Domain { min, max, any },
+                FacetGroups::Domain {
+                    min: omin,
+                    max: omax,
+                    any: oany,
+                },
+            ) => {
+                *min = min.min(*omin);
+                *max = max.max(*omax);
+                *any |= oany;
+            }
+            (FacetGroups::Total { stats }, FacetGroups::Total { stats: os }) => {
+                stats.merge(os);
+            }
+            _ => unreachable!("partials of one spec share a shape"),
+        }
+    }
+
+    /// True when this spec ran on the dense array path.
+    pub fn is_dense(&self) -> bool {
+        matches!(self, FacetGroups::Dense { .. })
+    }
+
+    /// Number of non-empty groups (categorical: codes present; buckets:
+    /// occupied intervals; total: 0 or 1).
+    pub fn n_groups(&self) -> usize {
+        match self {
+            FacetGroups::Dense { stats } => stats.iter().filter(|g| g.rows > 0).count(),
+            FacetGroups::Sparse { stats } => stats.len(),
+            FacetGroups::Buckets { stats } => stats.iter().filter(|g| g.acc.count > 0).count(),
+            FacetGroups::Domain { any, .. } => usize::from(*any),
+            FacetGroups::Total { stats } => usize::from(stats.rows > 0),
+        }
+    }
+
+    /// Sorted dictionary codes present in the rows — exactly
+    /// [`project_categorical`](crate::project_categorical) (presence is a
+    /// reached non-null attribute value; the measure may be NULL).
+    pub fn domain(&self) -> Vec<u32> {
+        match self {
+            FacetGroups::Dense { stats } => stats
+                .iter()
+                .enumerate()
+                .filter(|(_, g)| g.rows > 0)
+                .map(|(code, _)| code as u32)
+                .collect(),
+            FacetGroups::Sparse { stats } => {
+                let mut codes: Vec<u32> = stats
+                    .iter()
+                    .filter(|(_, g)| g.rows > 0)
+                    .map(|(code, _)| *code)
+                    .collect();
+                codes.sort_unstable();
+                codes
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Finished categorical aggregates keyed by code — exactly the map
+    /// [`group_by_categorical`](crate::group_by_categorical) returns
+    /// (groups whose every measure value was NULL are absent).
+    pub fn to_map(&self, func: AggFunc) -> HashMap<u32, f64> {
+        match self {
+            FacetGroups::Dense { stats } => stats
+                .iter()
+                .enumerate()
+                .filter(|(_, g)| g.acc.count > 0)
+                .map(|(code, g)| (code as u32, g.acc.finish(func)))
+                .collect(),
+            FacetGroups::Sparse { stats } => stats
+                .iter()
+                .filter(|(_, g)| g.acc.count > 0)
+                .map(|(code, g)| (*code, g.acc.finish(func)))
+                .collect(),
+            _ => HashMap::new(),
+        }
+    }
+
+    /// Finished per-bucket aggregates — exactly the series
+    /// [`group_by_buckets`](crate::group_by_buckets) returns.
+    pub fn to_series(&self, func: AggFunc) -> Vec<f64> {
+        match self {
+            FacetGroups::Buckets { stats } => stats.iter().map(|g| g.acc.finish(func)).collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// An equal-width bucketizer over the observed numerical domain —
+    /// exactly `Bucketizer::equal_width(project_numeric(..), n)`.
+    pub fn bucketizer(&self, n: usize) -> Option<Bucketizer> {
+        match self {
+            FacetGroups::Domain { min, max, any } => any.then_some(Bucketizer::EqualWidth {
+                min: *min,
+                max: *max,
+                n,
+            }),
+            _ => None,
+        }
+    }
+
+    /// Finished total aggregate — exactly
+    /// [`aggregate_total`](crate::aggregate_total) over the same rows.
+    pub fn total(&self, func: AggFunc) -> f64 {
+        match self {
+            FacetGroups::Total { stats } => stats.acc.finish(func),
+            _ => f64::NAN,
+        }
+    }
+}
+
+/// Serial fused scan with the default dense cutoff; see
+/// [`multi_group_by_exec`].
+pub fn multi_group_by(
+    wh: &Warehouse,
+    specs: &[FacetSpec],
+    rows: &RowSet,
+    mv: &MeasureVector,
+) -> Vec<FacetGroups> {
+    multi_group_by_exec(
+        wh,
+        specs,
+        rows,
+        mv,
+        &ExecConfig::serial(),
+        DENSE_GROUP_LIMIT,
+    )
+}
+
+/// Scans `rows` once, feeding every spec's accumulators per row.
+///
+/// Returns one [`FacetGroups`] per spec, in spec order. Categorical specs
+/// whose dictionary cardinality is at most `dense_limit` use dense
+/// arrays; larger ones fall back to hash maps. Parallel runs chunk the
+/// bitmap exactly like the per-facet kernels ([`AGG_CHUNK_WORDS`] words,
+/// serial below two chunks) and merge partials in chunk order, so output
+/// is independent of the thread count.
+pub fn multi_group_by_exec(
+    wh: &Warehouse,
+    specs: &[FacetSpec],
+    rows: &RowSet,
+    mv: &MeasureVector,
+    exec: &ExecConfig,
+    dense_limit: usize,
+) -> Vec<FacetGroups> {
+    let cols: Vec<_> = specs
+        .iter()
+        .map(|s| match s {
+            FacetSpec::Categorical { attr, .. }
+            | FacetSpec::Buckets { attr, .. }
+            | FacetSpec::NumericDomain { attr, .. } => Some(wh.column(*attr)),
+            FacetSpec::Total => None,
+        })
+        .collect();
+    let accumulate = |range: std::ops::Range<usize>| {
+        let mut groups: Vec<FacetGroups> = specs
+            .iter()
+            .map(|s| FacetGroups::new_for(s, wh, dense_limit))
+            .collect();
+        for row in rows.iter_word_range(range) {
+            for (i, spec) in specs.iter().enumerate() {
+                match (spec, &mut groups[i]) {
+                    (FacetSpec::Categorical { mapper, .. }, FacetGroups::Dense { stats }) => {
+                        let Some(target_row) = mapper[row] else {
+                            continue;
+                        };
+                        let Some(code) = cols[i].expect("attr spec").get_code(target_row as usize)
+                        else {
+                            continue;
+                        };
+                        let g = &mut stats[code as usize];
+                        g.rows += 1;
+                        if let Some(v) = mv.get(row) {
+                            g.acc.add(v);
+                        }
+                    }
+                    (FacetSpec::Categorical { mapper, .. }, FacetGroups::Sparse { stats }) => {
+                        let Some(target_row) = mapper[row] else {
+                            continue;
+                        };
+                        let Some(code) = cols[i].expect("attr spec").get_code(target_row as usize)
+                        else {
+                            continue;
+                        };
+                        let g = stats.entry(code).or_default();
+                        g.rows += 1;
+                        if let Some(v) = mv.get(row) {
+                            g.acc.add(v);
+                        }
+                    }
+                    (
+                        FacetSpec::Buckets {
+                            mapper, buckets, ..
+                        },
+                        FacetGroups::Buckets { stats },
+                    ) => {
+                        let Some(target_row) = mapper[row] else {
+                            continue;
+                        };
+                        let Some(v) = cols[i].expect("attr spec").get_float(target_row as usize)
+                        else {
+                            continue;
+                        };
+                        let Some(b) = buckets.bucket_of(v) else {
+                            continue;
+                        };
+                        let g = &mut stats[b];
+                        g.rows += 1;
+                        if let Some(m) = mv.get(row) {
+                            g.acc.add(m);
+                        }
+                    }
+                    (
+                        FacetSpec::NumericDomain { mapper, .. },
+                        FacetGroups::Domain { min, max, any },
+                    ) => {
+                        let Some(target_row) = mapper[row] else {
+                            continue;
+                        };
+                        let Some(v) = cols[i].expect("attr spec").get_float(target_row as usize)
+                        else {
+                            continue;
+                        };
+                        if v.is_finite() {
+                            *min = min.min(v);
+                            *max = max.max(v);
+                            *any = true;
+                        }
+                    }
+                    (FacetSpec::Total, FacetGroups::Total { stats }) => {
+                        stats.rows += 1;
+                        if let Some(v) = mv.get(row) {
+                            stats.acc.add(v);
+                        }
+                    }
+                    _ => unreachable!("groups[i] was built from specs[i]"),
+                }
+            }
+        }
+        groups
+    };
+    let nwords = rows.as_words().len();
+    let ranges = chunk_ranges(nwords, AGG_CHUNK_WORDS);
+    // Both arms chunk identically and merge in chunk order — the same
+    // discipline as the per-facet kernels — so the fused result depends
+    // only on the data, never on the thread count.
+    let partials = if exec.is_serial() || nwords < 2 * AGG_CHUNK_WORDS {
+        ranges.into_iter().map(accumulate).collect::<Vec<_>>()
+    } else {
+        par_map(exec, &ranges, |_, r| accumulate(r.clone()))
+    };
+    let mut merged: Vec<FacetGroups> = specs
+        .iter()
+        .map(|s| FacetGroups::new_for(s, wh, dense_limit))
+        .collect();
+    for partial in &partials {
+        for (m, p) in merged.iter_mut().zip(partial) {
+            m.merge(p);
+        }
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::{
+        aggregate_total, group_by_buckets, group_by_categorical, project_categorical,
+        project_numeric,
+    };
+    use crate::path::paths_between;
+    use crate::semijoin::JoinIndex;
+    use kdap_warehouse::{ValueType, WarehouseBuilder};
+
+    /// SALES(5 rows, one with a NULL measure operand) → STORE(3 rows).
+    fn store_sales() -> Warehouse {
+        let mut b = WarehouseBuilder::new();
+        b.table(
+            "SALES",
+            &[
+                ("Id", ValueType::Int, false),
+                ("SKey", ValueType::Int, false),
+                ("Qty", ValueType::Int, false),
+                ("Price", ValueType::Float, false),
+            ],
+        )
+        .unwrap();
+        b.table(
+            "STORE",
+            &[
+                ("SKey", ValueType::Int, false),
+                ("City", ValueType::Str, true),
+                ("SqFt", ValueType::Float, false),
+            ],
+        )
+        .unwrap();
+        b.rows(
+            "STORE",
+            vec![
+                vec![1i64.into(), "Columbus".into(), 100.0.into()],
+                vec![2i64.into(), "Seattle".into(), 200.0.into()],
+                vec![3i64.into(), "Columbus".into(), 300.0.into()],
+            ],
+        )
+        .unwrap();
+        b.rows(
+            "SALES",
+            vec![
+                vec![0i64.into(), 1i64.into(), 1i64.into(), 10.0.into()],
+                vec![1i64.into(), 1i64.into(), 2i64.into(), 10.0.into()],
+                vec![2i64.into(), 2i64.into(), 1i64.into(), 50.0.into()],
+                vec![3i64.into(), 3i64.into(), 4i64.into(), 5.0.into()],
+                // NULL price: reaches the store, contributes no measure.
+                vec![
+                    4i64.into(),
+                    2i64.into(),
+                    1i64.into(),
+                    kdap_warehouse::Value::Null,
+                ],
+            ],
+        )
+        .unwrap();
+        b.edge("SALES.SKey", "STORE.SKey", None, Some("Store"))
+            .unwrap();
+        b.dimension("Store", &["STORE"], vec![], vec![]).unwrap();
+        b.fact("SALES").unwrap();
+        b.measure_product("Revenue", "SALES.Price", "SALES.Qty")
+            .unwrap();
+        b.finish().unwrap()
+    }
+
+    fn setup() -> (Warehouse, JoinIndex, crate::path::JoinPath, Measure) {
+        let wh = store_sales();
+        let idx = JoinIndex::build(&wh);
+        let fact = wh.schema().fact_table();
+        let store = wh.table_id("STORE").unwrap();
+        let path = paths_between(wh.schema(), fact, store, 4).remove(0);
+        let measure = wh.schema().measure_by_name("Revenue").unwrap().clone();
+        (wh, idx, path, measure)
+    }
+
+    #[test]
+    fn measure_vector_reproduces_eval_measure() {
+        let (wh, _, _, measure) = setup();
+        let mv = MeasureVector::build(&wh, &measure);
+        assert_eq!(mv.len(), wh.fact_rows());
+        assert!(!mv.is_empty());
+        for row in 0..wh.fact_rows() {
+            assert_eq!(mv.get(row), wh.eval_measure(&measure, row), "row {row}");
+        }
+    }
+
+    #[test]
+    fn fused_scan_matches_per_facet_kernels() {
+        let (wh, idx, path, measure) = setup();
+        let fact = wh.schema().fact_table();
+        let city = wh.col_ref("STORE", "City").unwrap();
+        let sqft = wh.col_ref("STORE", "SqFt").unwrap();
+        let all = RowSet::full(wh.fact_rows());
+        let mv = MeasureVector::build(&wh, &measure);
+        let mapper = idx.row_mapper(&wh, fact, &path);
+        let values = project_numeric(&wh, &idx, fact, &path, sqft, &all);
+        let buckets = Bucketizer::equal_width(values.iter().copied(), 2).unwrap();
+        let specs = vec![
+            FacetSpec::Categorical {
+                attr: city,
+                mapper: mapper.clone(),
+            },
+            FacetSpec::Buckets {
+                attr: sqft,
+                mapper: mapper.clone(),
+                buckets: buckets.clone(),
+            },
+            FacetSpec::NumericDomain {
+                attr: sqft,
+                mapper: mapper.clone(),
+            },
+            FacetSpec::Total,
+        ];
+        for dense_limit in [DENSE_GROUP_LIMIT, 0] {
+            let groups =
+                multi_group_by_exec(&wh, &specs, &all, &mv, &ExecConfig::serial(), dense_limit);
+            assert_eq!(groups[0].is_dense(), dense_limit > 0);
+            assert_eq!(
+                groups[0].to_map(AggFunc::Sum),
+                group_by_categorical(&wh, &idx, fact, &path, city, &all, &measure, AggFunc::Sum)
+            );
+            assert_eq!(
+                groups[0].domain(),
+                project_categorical(&wh, &idx, fact, &path, city, &all)
+            );
+            assert_eq!(
+                groups[1].to_series(AggFunc::Sum),
+                group_by_buckets(
+                    &wh,
+                    &idx,
+                    fact,
+                    &path,
+                    sqft,
+                    &all,
+                    &measure,
+                    AggFunc::Sum,
+                    &buckets
+                )
+            );
+            assert_eq!(
+                groups[2].bucketizer(2),
+                Bucketizer::equal_width(values.iter().copied(), 2)
+            );
+            assert_eq!(
+                groups[3].total(AggFunc::Sum),
+                aggregate_total(&wh, &measure, &all, AggFunc::Sum)
+            );
+        }
+    }
+
+    #[test]
+    fn null_measure_rows_count_for_presence_not_aggregates() {
+        let (wh, idx, path, measure) = setup();
+        let fact = wh.schema().fact_table();
+        let city = wh.col_ref("STORE", "City").unwrap();
+        let mv = MeasureVector::build(&wh, &measure);
+        let mapper = idx.row_mapper(&wh, fact, &path);
+        // Only the NULL-measure fact (row 4, Seattle).
+        let only_null = RowSet::from_rows(wh.fact_rows(), [4]);
+        let specs = vec![FacetSpec::Categorical { attr: city, mapper }];
+        let groups = multi_group_by(&wh, &specs, &only_null, &mv);
+        let seattle = wh.column(city).dict().unwrap().code_of("Seattle").unwrap();
+        // Seattle is present in the domain…
+        assert_eq!(groups[0].domain(), vec![seattle]);
+        assert_eq!(groups[0].n_groups(), 1);
+        // …but contributes no aggregate, matching the per-facet kernel.
+        assert!(groups[0].to_map(AggFunc::Sum).is_empty());
+    }
+
+    #[test]
+    fn chunked_execution_matches_serial() {
+        // Build a row set wide enough to actually chunk (> 2 × 8192 rows).
+        let (wh, idx, path, measure) = setup();
+        let fact = wh.schema().fact_table();
+        let city = wh.col_ref("STORE", "City").unwrap();
+        let mv = MeasureVector::build(&wh, &measure);
+        let mapper = idx.row_mapper(&wh, fact, &path);
+        let specs = vec![
+            FacetSpec::Categorical {
+                attr: city,
+                mapper: mapper.clone(),
+            },
+            FacetSpec::Total,
+        ];
+        let all = RowSet::full(wh.fact_rows());
+        let serial = multi_group_by(&wh, &specs, &all, &mv);
+        for threads in [2, 4] {
+            let exec = ExecConfig::with_threads(threads);
+            let par = multi_group_by_exec(&wh, &specs, &all, &mv, &exec, DENSE_GROUP_LIMIT);
+            assert_eq!(par[0].to_map(AggFunc::Sum), serial[0].to_map(AggFunc::Sum));
+            assert_eq!(
+                par[1].total(AggFunc::Sum).to_bits(),
+                serial[1].total(AggFunc::Sum).to_bits()
+            );
+        }
+    }
+}

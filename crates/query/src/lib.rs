@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod aggregate;
+pub mod aggregate_multi;
 pub mod bitmap;
 pub mod error;
 pub mod exec;
@@ -16,10 +17,15 @@ pub mod path;
 pub mod plan;
 pub mod semijoin;
 
+pub use aggregate::Accumulator;
 pub use aggregate::{
     aggregate_total, aggregate_total_exec, group_by_buckets, group_by_buckets_exec,
     group_by_categorical, group_by_categorical_exec, project_categorical, project_numeric, AggFunc,
     Bucketizer,
+};
+pub use aggregate_multi::{
+    multi_group_by, multi_group_by_exec, FacetGroups, FacetSpec, GroupStats, MeasureVector,
+    DENSE_GROUP_LIMIT,
 };
 pub use bitmap::RowSet;
 pub use error::QueryError;
@@ -29,4 +35,4 @@ pub use plan::{
     execute_plan, execute_plan_traced, execute_step, optimize, Fingerprint, LogicalPlan, PhysStep,
     PhysicalPlan, PlanNode, PlannerConfig, SemijoinCache, StepKey, StepTrace,
 };
-pub use semijoin::{JoinIndex, Predicate, Selection};
+pub use semijoin::{JoinIndex, Predicate, RowMapper, Selection};

@@ -13,6 +13,11 @@ use crate::bitmap::RowSet;
 use crate::error::QueryError;
 use crate::path::JoinPath;
 
+/// An origin→target row mapper: `mapper[origin_row]` is the row of the
+/// path's target table the origin row joins to, `None` when the join
+/// dead-ends.
+pub type RowMapper = Arc<Vec<Option<u32>>>;
+
 /// Precomputed per-edge hash indexes over a warehouse.
 ///
 /// For each FK edge `child.fk → parent.pk` we store both directions:
@@ -25,8 +30,10 @@ use crate::path::JoinPath;
 pub struct JoinIndex {
     children_by_key: Vec<HashMap<i64, Vec<u32>>>,
     parent_row_by_key: Vec<HashMap<i64, u32>>,
-    /// Memoized fact→target row mappers, keyed by path.
-    mapper_cache: Mutex<HashMap<JoinPath, Arc<Vec<Option<u32>>>>>,
+    /// Memoized origin→target row mappers, keyed by `(origin, path)` —
+    /// the same path walked from different origin tables (e.g. the fact
+    /// table vs. a hierarchy level during roll-up) maps different rows.
+    mapper_cache: Mutex<HashMap<(TableId, JoinPath), RowMapper>>,
 }
 
 impl JoinIndex {
@@ -114,15 +121,16 @@ impl JoinIndex {
     /// For each row of the path's origin table, the row of the target
     /// table it joins to (or `None` on a NULL FK along the way).
     ///
-    /// Mappers are memoized per path — facet construction reuses the same
-    /// dimension paths for every candidate attribute.
+    /// Mappers are memoized per `(origin, path)` — facet construction
+    /// reuses the same dimension paths for every candidate attribute, so
+    /// each mapping is built once per session, not once per group-by.
     pub fn row_mapper(
         &self,
         wh: &Warehouse,
         origin: TableId,
         path: &JoinPath,
     ) -> Arc<Vec<Option<u32>>> {
-        if let Some(m) = self.mapper_cache.lock().get(path) {
+        if let Some(m) = self.mapper_cache.lock().get(&(origin, path.clone())) {
             return m.clone();
         }
         let schema = wh.schema();
@@ -142,7 +150,7 @@ impl JoinIndex {
         let mapping = Arc::new(mapping);
         self.mapper_cache
             .lock()
-            .insert(path.clone(), mapping.clone());
+            .insert((origin, path.clone()), mapping.clone());
         mapping
     }
 }
@@ -375,6 +383,21 @@ mod tests {
         // Second call hits the cache and returns the same Arc.
         let again = idx.row_mapper(&wh, fact, &path);
         assert!(Arc::ptr_eq(&mapping, &again));
+    }
+
+    #[test]
+    fn row_mapper_cache_distinguishes_origins() {
+        let wh = snowflake();
+        let idx = JoinIndex::build(&wh);
+        let fact = wh.schema().fact_table();
+        let dim = wh.table_id("DIM").unwrap();
+        // The empty path is valid from any origin: its mapper is the
+        // identity over that origin's rows. A path-only cache key would
+        // hand the FACT-sized identity back for the DIM request.
+        let fact_map = idx.row_mapper(&wh, fact, &JoinPath::empty());
+        let dim_map = idx.row_mapper(&wh, dim, &JoinPath::empty());
+        assert_eq!(fact_map.len(), 4);
+        assert_eq!(dim_map.len(), 2, "empty path from DIM is DIM-sized");
     }
 
     #[test]

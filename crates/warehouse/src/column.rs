@@ -207,6 +207,14 @@ impl Column {
         }
     }
 
+    /// Distinct-code count of a dictionary-encoded column, `None` for
+    /// numeric columns. This is the single source of truth for both the
+    /// optimizer's distinct estimate and the dense/hash group-by kernel
+    /// cutoff: dense accumulator arrays are sized by exactly this value.
+    pub fn cardinality(&self) -> Option<usize> {
+        self.dict().map(StrDict::len)
+    }
+
     /// Raw access to the physical data.
     pub fn data(&self) -> &ColumnData {
         &self.data
@@ -269,6 +277,16 @@ mod tests {
         assert!(c.get(1).is_null());
         assert_eq!(c.get_code(0), c.get_code(3));
         assert_eq!(c.dict().unwrap().len(), 2);
+        assert_eq!(c.cardinality(), Some(2));
+    }
+
+    #[test]
+    fn cardinality_is_none_for_numeric_columns() {
+        let mut c = Column::new("qty", ValueType::Int, false);
+        c.push(Value::Int(3)).unwrap();
+        assert_eq!(c.cardinality(), None);
+        let f = Column::new("price", ValueType::Float, false);
+        assert_eq!(f.cardinality(), None);
     }
 
     #[test]

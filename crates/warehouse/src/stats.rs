@@ -48,7 +48,9 @@ impl ColumnStats {
                 ColumnStats {
                     rows: codes.len(),
                     nulls,
-                    distinct: dict.len(),
+                    // Sourced from the same accessor the dense/hash kernel
+                    // cutoff uses, so the two can never disagree.
+                    distinct: col.cardinality().unwrap_or(dict.len()),
                     code_counts: counts,
                     min: None,
                     max: None,
