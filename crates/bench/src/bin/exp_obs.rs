@@ -1,0 +1,317 @@
+//! Experiment E13 — observability overhead.
+//!
+//! The tracing/metrics layer (`kdap-obs`) threads an `Obs` handle through
+//! every hot path: text search, plan compile/optimize, semi-join steps,
+//! the fused group-by kernels, and the session loop. The design contract
+//! is that a *disabled* handle costs one branch — no clock read, no lock,
+//! no allocation — so sessions that never ask for profiles pay nothing.
+//!
+//! This binary measures that contract on a labeled workload:
+//!
+//! 1. `off` vs `off2`: two identical obs-off configurations, bounding
+//!    run-to-run noise on this machine.
+//! 2. `off` vs `on`: the recorder enabled and metrics recorded on every
+//!    step, giving the instrumented overhead.
+//! 3. A micro-benchmark of the disabled calls themselves (timer + span),
+//!    in ns/op.
+//!
+//! The three configurations are interleaved round-robin and the best
+//! round of each kept, so CPU-frequency drift cancels instead of
+//! masquerading as overhead. Every exploration is asserted bit-identical
+//! across obs on/off (the recorder only observes; it never reorders
+//! chunk merges). With `--check`, the run exits nonzero when the
+//! obs-on overhead exceeds `KDAP_OBS_MAX_OVERHEAD_PCT` (default 2%)
+//! plus the measured noise bound — the CI gate.
+//!
+//! Run:
+//!   cargo run --release -p kdap-bench --bin exp_obs
+//!   cargo run --release -p kdap-bench --bin exp_obs -- --small --repeats=5 --check
+
+use std::time::Instant;
+
+use kdap_bench::print_table;
+use kdap_core::{Exploration, Kdap, StarNet};
+use kdap_datagen::{
+    build_aw_online, build_ebiz, generate_workload, EbizScale, Scale, WorkloadConfig,
+};
+use kdap_obs::Obs;
+use kdap_warehouse::Warehouse;
+
+struct DbResult {
+    db: &'static str,
+    facts: usize,
+    nets: usize,
+    off_ms: f64,
+    off2_ms: f64,
+    on_ms: f64,
+    profile_stages: usize,
+    profile_json: String,
+}
+
+impl DbResult {
+    /// Overhead of the enabled recorder relative to the off baseline.
+    fn on_overhead_pct(&self) -> f64 {
+        (self.on_ms / self.off_ms - 1.0) * 100.0
+    }
+    /// Run-to-run noise between the two identical off runs.
+    fn noise_pct(&self) -> f64 {
+        (self.off2_ms / self.off_ms - 1.0).abs() * 100.0
+    }
+}
+
+fn explore_all(kdap: &Kdap, nets: &[StarNet]) -> (f64, Vec<Exploration>) {
+    let t0 = Instant::now();
+    let last = nets
+        .iter()
+        .map(|n| kdap.explore(n).expect("explore succeeds"))
+        .collect();
+    (t0.elapsed().as_secs_f64() * 1e3, last)
+}
+
+fn run_db(
+    db: &'static str,
+    build: impl Fn() -> Warehouse,
+    threads: usize,
+    repeats: usize,
+) -> DbResult {
+    eprintln!("building {db}...");
+    let wh = build();
+    let facts = wh.fact_rows();
+    let queries = generate_workload(&wh, &WorkloadConfig::default());
+    let off = Kdap::builder(wh).threads(threads).build().expect("measure");
+    let on = Kdap::builder(build())
+        .threads(threads)
+        .observability(true)
+        .build()
+        .expect("measure");
+
+    let nets: Vec<StarNet> = queries
+        .iter()
+        .filter_map(|q| off.interpret(&q.text()).into_iter().next())
+        .map(|r| r.net)
+        .collect();
+
+    // Warm both sessions (plans, stats, measure vectors) so the timed
+    // runs compare steady state.
+    let (_, ex_off) = explore_all(&off, &nets);
+    let (_, ex_on) = explore_all(&on, &nets);
+    assert_eq!(
+        ex_off, ex_on,
+        "{db}: obs on/off explorations must be bit-identical"
+    );
+
+    // Interleave the three configurations round-robin and keep the best
+    // round of each, so CPU-frequency drift between runs cancels instead
+    // of masquerading as recorder overhead.
+    let (mut off_ms, mut on_ms, mut off2_ms) = (f64::MAX, f64::MAX, f64::MAX);
+    for _ in 0..repeats {
+        off_ms = off_ms.min(explore_all(&off, &nets).0);
+        on_ms = on_ms.min(explore_all(&on, &nets).0);
+        off2_ms = off2_ms.min(explore_all(&off, &nets).0);
+    }
+
+    // One representative profile for the JSON artifact.
+    let label = queries
+        .first()
+        .map(|q| q.text())
+        .unwrap_or_else(|| "workload".to_string());
+    let report = on.profile_query(&label).expect("profile succeeds");
+    DbResult {
+        db,
+        facts,
+        nets: nets.len(),
+        off_ms,
+        off2_ms,
+        on_ms,
+        profile_stages: report.profile.len(),
+        profile_json: report.profile.to_json(),
+    }
+}
+
+/// ns/op of the calls disabled sessions actually pay.
+fn micro_disabled(iters: u64) -> (f64, f64) {
+    let obs = Obs::disabled();
+    let t0 = Instant::now();
+    let mut acc = 0u64;
+    for _ in 0..iters {
+        acc = acc.wrapping_add(obs.timer().stop());
+    }
+    let timer_ns = t0.elapsed().as_nanos() as f64 / iters as f64;
+    let t0 = Instant::now();
+    for i in 0..iters {
+        let s = obs.span("micro");
+        if i == u64::MAX {
+            s.rows_out(acc); // keep the guard alive without optimizing out
+        }
+    }
+    let span_ns = t0.elapsed().as_nanos() as f64 / iters as f64;
+    (timer_ns, span_ns)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let threads: usize = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--threads="))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let repeats: usize = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--repeats="))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
+    let small = args.iter().any(|a| a.contains("small"));
+    let check = args.iter().any(|a| a == "--check");
+    let max_overhead_pct: f64 = std::env::var("KDAP_OBS_MAX_OVERHEAD_PCT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2.0);
+
+    let aw_scale = if small { Scale::small() } else { Scale::full() };
+    let ebiz_scale = if small {
+        EbizScale::small()
+    } else {
+        EbizScale::full()
+    };
+
+    let results = vec![
+        run_db(
+            "AW_ONLINE",
+            || build_aw_online(aw_scale, 42).expect("generator is valid"),
+            threads,
+            repeats,
+        ),
+        run_db(
+            "EBIZ",
+            || build_ebiz(ebiz_scale, 42).expect("generator is valid"),
+            threads,
+            repeats,
+        ),
+    ];
+    let (timer_ns, span_ns) = micro_disabled(20_000_000);
+
+    println!("## E13 — observability overhead (threads={threads}, repeats={repeats})\n");
+    let mut rows = Vec::new();
+    for r in &results {
+        rows.push(vec![
+            r.db.into(),
+            format!("{}", r.nets),
+            format!("{:.1}", r.off_ms),
+            format!("{:.1}", r.off2_ms),
+            format!("{:.1}", r.on_ms),
+            format!("{:+.2}%", r.on_overhead_pct()),
+            format!("{:.2}%", r.noise_pct()),
+        ]);
+    }
+    print_table(
+        &[
+            "db",
+            "nets",
+            "off ms",
+            "off2 ms",
+            "on ms",
+            "on overhead",
+            "noise",
+        ],
+        &rows,
+    );
+    println!(
+        "\ndisabled-handle micro: timer {timer_ns:.2} ns/op · span {span_ns:.2} ns/op \
+         (obs off pays a branch, never a clock read)"
+    );
+    for r in &results {
+        println!(
+            "{}: {} facts · {} nets · profile of 1 query has {} stages",
+            r.db, r.facts, r.nets, r.profile_stages
+        );
+    }
+
+    let json = render_json(
+        &results,
+        threads,
+        repeats,
+        timer_ns,
+        span_ns,
+        max_overhead_pct,
+    );
+    let path = "results/BENCH_obs.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+
+    if check {
+        // The enabled recorder may legitimately cost a little; what must
+        // stay near zero is the *disabled* path. Enforce the threshold on
+        // the enabled run, allowing measured noise on top.
+        for r in &results {
+            let budget = max_overhead_pct + r.noise_pct();
+            assert!(
+                r.on_overhead_pct() <= budget,
+                "{}: obs-on overhead {:.2}% exceeds {:.2}% (threshold {}% + noise {:.2}%)",
+                r.db,
+                r.on_overhead_pct(),
+                budget,
+                max_overhead_pct,
+                r.noise_pct(),
+            );
+        }
+        println!("\ncheck passed: overhead within {max_overhead_pct}% (+ measured noise)");
+    }
+}
+
+fn render_json(
+    results: &[DbResult],
+    threads: usize,
+    repeats: usize,
+    timer_ns: f64,
+    span_ns: f64,
+    max_overhead_pct: f64,
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"E13\",\n");
+    out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str(&format!("  \"repeats\": {repeats},\n"));
+    out.push_str(&format!("  \"max_overhead_pct\": {max_overhead_pct},\n"));
+    out.push_str(&format!(
+        "  \"disabled_micro\": {{\"timer_ns_per_op\": {timer_ns:.3}, \"span_ns_per_op\": {span_ns:.3}}},\n"
+    ));
+    out.push_str("  \"databases\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"db\": \"{}\", \"facts\": {}, \"nets\": {}, \"off_ms\": {:.3}, \
+             \"off2_ms\": {:.3}, \"on_ms\": {:.3}, \"on_overhead_pct\": {:.3}, \
+             \"noise_pct\": {:.3}, \"bit_identical\": true, \"profile_stages\": {},\n\
+             \"sample_profile\": {}}}{}\n",
+            r.db,
+            r.facts,
+            r.nets,
+            r.off_ms,
+            r.off2_ms,
+            r.on_ms,
+            r.on_overhead_pct(),
+            r.noise_pct(),
+            r.profile_stages,
+            indent_json(&r.profile_json, 4),
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Re-indents a pre-rendered JSON fragment for embedding.
+fn indent_json(json: &str, spaces: usize) -> String {
+    let pad = " ".repeat(spaces);
+    json.lines()
+        .enumerate()
+        .map(|(i, l)| {
+            if i == 0 {
+                l.to_string()
+            } else {
+                format!("{pad}{l}")
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}

@@ -18,6 +18,9 @@ pub enum Command {
     Mode(ModeArg),
     /// `order dynamic|consistent|hybrid <pinned>`.
     Order(OrderArg),
+    /// `profile <keywords>` — run the query end to end and print the
+    /// per-stage timing tree (needs `--profile`).
+    Profile(String),
     /// `explain` — per-constraint selectivity plan of the current net.
     Explain,
     /// `show` — re-print the current facets.
@@ -93,6 +96,13 @@ impl Command {
                     _ => Err("usage: order dynamic|consistent|hybrid <pinned>".into()),
                 }
             }
+            "profile" => {
+                if rest.is_empty() {
+                    Err("usage: profile <keywords>".into())
+                } else {
+                    Ok(Command::Profile(rest.to_string()))
+                }
+            }
             "explain" => Ok(Command::Explain),
             "show" => Ok(Command::Show),
             "stats" => Ok(Command::Stats),
@@ -139,6 +149,10 @@ mod tests {
         );
         assert_eq!(Command::parse("show"), Ok(Command::Show));
         assert_eq!(Command::parse("explain"), Ok(Command::Explain));
+        assert_eq!(
+            Command::parse("profile columbus lcd"),
+            Ok(Command::Profile("columbus lcd".into()))
+        );
         assert_eq!(Command::parse("stats"), Ok(Command::Stats));
         assert_eq!(Command::parse("schema"), Ok(Command::Schema));
         assert_eq!(
@@ -167,6 +181,7 @@ mod tests {
         assert!(Command::parse("mode sideways").is_err());
         assert!(Command::parse("order hybrid").is_err());
         assert!(Command::parse("save").is_err());
+        assert!(Command::parse("profile").is_err());
         assert!(Command::parse("frobnicate").is_err());
         assert!(Command::parse("").is_err());
     }

@@ -12,6 +12,7 @@
 
 pub mod command;
 pub mod repl;
+pub mod stats;
 
 pub use command::Command;
 pub use repl::Repl;
@@ -26,6 +27,19 @@ pub enum DataSource {
     Spec(String),
 }
 
+/// What the invocation does: the interactive console (default) or a
+/// one-shot subcommand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliMode {
+    /// Interactive console (no subcommand).
+    Repl,
+    /// `kdap profile <keywords…>` — run the query once and print the
+    /// per-stage timing tree.
+    Profile(String),
+    /// `kdap stats` — print catalog statistics and exit.
+    Stats,
+}
+
 /// Parsed command-line arguments.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CliArgs {
@@ -38,6 +52,13 @@ pub struct CliArgs {
     /// Plan optimizer (selectivity reordering, predicate fusion, semi-join
     /// reuse); `--no-opt` turns it off for A/B comparison.
     pub optimizer: bool,
+    /// One-shot subcommand, or the console.
+    pub mode: CliMode,
+    /// `--profile`: enable the observability recorder; `explain` appends
+    /// live stage timings and the `profile` console command works.
+    pub profile: bool,
+    /// `--json`: machine-readable output for one-shot subcommands.
+    pub json: bool,
 }
 
 /// Parses `kdap` arguments (everything after `argv[0]`).
@@ -47,6 +68,9 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
     let mut seed = 42u64;
     let mut threads = 1usize;
     let mut optimizer = true;
+    let mut profile = false;
+    let mut json = false;
+    let mut positional: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -84,23 +108,48 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
                     .map_err(|_| "--threads must be an integer".to_string())?;
             }
             "--no-opt" => optimizer = false,
+            "--profile" => profile = true,
+            "--json" => json = true,
             "--help" | "-h" => return Err(usage()),
+            other if !other.starts_with('-') => positional.push(other.to_string()),
             other => return Err(format!("unknown argument `{other}`\n{}", usage())),
         }
     }
+    let mode = match positional.split_first() {
+        None => CliMode::Repl,
+        Some((cmd, rest)) => match cmd.as_str() {
+            "profile" => {
+                if rest.is_empty() {
+                    return Err("usage: kdap profile <keywords…>".into());
+                }
+                CliMode::Profile(rest.join(" "))
+            }
+            "stats" => {
+                if !rest.is_empty() {
+                    return Err("`kdap stats` takes no further arguments".into());
+                }
+                CliMode::Stats
+            }
+            other => return Err(format!("unknown subcommand `{other}`\n{}", usage())),
+        },
+    };
     Ok(CliArgs {
         source: source.unwrap_or(DataSource::DemoEbiz),
         small,
         seed,
         threads,
         optimizer,
+        mode,
+        profile,
+        json,
     })
 }
 
 /// The usage banner.
 pub fn usage() -> String {
-    "usage: kdap [--demo ebiz|aw-online|aw-reseller|trends] [--spec FILE] \
-     [--small] [--seed N] [--threads N] [--no-opt]"
+    "usage: kdap [profile <keywords…> | stats] \
+     [--demo ebiz|aw-online|aw-reseller|trends] [--spec FILE] \
+     [--small] [--seed N] [--threads N] [--no-opt] [--profile] [--json]"
         .to_string()
 }
 
@@ -120,6 +169,31 @@ mod tests {
         assert_eq!(a.seed, 42);
         assert_eq!(a.threads, 1);
         assert!(a.optimizer);
+        assert_eq!(a.mode, CliMode::Repl);
+        assert!(!a.profile);
+        assert!(!a.json);
+    }
+
+    #[test]
+    fn parses_profile_subcommand() {
+        let a = parse_args(&args(&["profile", "columbus", "lcd"])).unwrap();
+        assert_eq!(a.mode, CliMode::Profile("columbus lcd".into()));
+        let a = parse_args(&args(&["--demo", "ebiz", "profile", "tv", "--json"])).unwrap();
+        assert_eq!(a.mode, CliMode::Profile("tv".into()));
+        assert!(a.json);
+        assert!(parse_args(&args(&["profile"])).is_err());
+    }
+
+    #[test]
+    fn parses_stats_subcommand_and_flags() {
+        let a = parse_args(&args(&["stats", "--json"])).unwrap();
+        assert_eq!(a.mode, CliMode::Stats);
+        assert!(a.json);
+        let a = parse_args(&args(&["--profile"])).unwrap();
+        assert!(a.profile);
+        assert_eq!(a.mode, CliMode::Repl);
+        assert!(parse_args(&args(&["stats", "extra"])).is_err());
+        assert!(parse_args(&args(&["frobnicate"])).is_err());
     }
 
     #[test]

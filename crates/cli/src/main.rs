@@ -3,8 +3,9 @@
 
 use std::io::{BufRead, Write};
 
-use kdap_cli::{parse_args, Command, DataSource, Repl};
-use kdap_core::Kdap;
+use kdap_cli::stats::{stats_json, stats_text};
+use kdap_cli::{parse_args, CliMode, Command, DataSource, Repl};
+use kdap_core::{render_interpretations, Kdap};
 use kdap_datagen::{
     build_aw_online, build_aw_reseller, build_ebiz, build_trends, EbizScale, Scale, TrendsScale,
 };
@@ -81,10 +82,12 @@ fn main() {
         }
     };
 
+    let observability = args.profile || matches!(args.mode, CliMode::Profile(_));
     let kdap = match Kdap::builder(wh)
         .cache_capacity(64)
         .threads(args.threads)
         .optimizer(args.optimizer)
+        .observability(observability)
         .build()
     {
         Ok(k) => k,
@@ -93,6 +96,41 @@ fn main() {
             std::process::exit(1);
         }
     };
+
+    match &args.mode {
+        CliMode::Profile(query) => match kdap.profile_query(query) {
+            Ok(report) => {
+                if args.json {
+                    println!("{}", report.profile.to_json());
+                } else {
+                    if report.ranked.is_empty() {
+                        println!("no interpretation found for \"{query}\"");
+                    } else {
+                        print!(
+                            "{}",
+                            render_interpretations(kdap.warehouse(), &report.ranked, 3)
+                        );
+                    }
+                    print!("{}", report.profile.render());
+                }
+                return;
+            }
+            Err(e) => {
+                eprintln!("profile failed: {e}");
+                std::process::exit(1);
+            }
+        },
+        CliMode::Stats => {
+            if args.json {
+                println!("{}", stats_json(&kdap));
+            } else {
+                print!("{}", stats_text(&kdap));
+            }
+            return;
+        }
+        CliMode::Repl => {}
+    }
+
     let mut repl = Repl::new(kdap);
     println!("KDAP console ready — `help` lists commands. Try: q Columbus LCD");
 

@@ -112,17 +112,49 @@ impl Repl {
                     self.explore(out)?;
                 }
             }
-            Command::Explain => match &self.current {
-                Some(net) => match self.kdap.explain(net) {
-                    Ok(plan) => {
-                        write!(out, "{}", plan.render())?;
-                        match self.kdap.explain_explore(net) {
-                            Ok((_, report)) => write!(out, "{}", report.render())?,
-                            Err(e) => writeln!(out, "explore report failed: {e}")?,
+            Command::Profile(q) => {
+                if !self.kdap.obs().is_enabled() {
+                    writeln!(out, "observability is off — restart kdap with --profile")?;
+                } else {
+                    match self.kdap.profile_query(&q) {
+                        Ok(report) => {
+                            if report.ranked.is_empty() {
+                                writeln!(out, "no interpretation found for \"{q}\"")?;
+                            } else {
+                                writeln!(
+                                    out,
+                                    "profiled the top of {} interpretation(s):",
+                                    report.ranked.len()
+                                )?;
+                            }
+                            write!(out, "{}", report.profile.render())?;
+                            self.current = report.ranked.first().map(|r| r.net.clone());
+                            self.interpretations = report.ranked;
+                            self.exploration = report.exploration;
                         }
+                        Err(e) => writeln!(out, "profile failed: {e}")?,
                     }
-                    Err(e) => writeln!(out, "explain failed: {e}")?,
-                },
+                }
+            }
+            Command::Explain => match &self.current {
+                Some(net) => {
+                    // With `--profile`, the replayed plan execution is
+                    // recorded and its timing tree appended to EXPLAIN.
+                    self.kdap.obs().start_profile("explain");
+                    match self.kdap.explain(net) {
+                        Ok(plan) => {
+                            write!(out, "{}", plan.render())?;
+                            match self.kdap.explain_explore(net) {
+                                Ok((_, report)) => write!(out, "{}", report.render())?,
+                                Err(e) => writeln!(out, "explore report failed: {e}")?,
+                            }
+                        }
+                        Err(e) => writeln!(out, "explain failed: {e}")?,
+                    }
+                    if let Some(p) = self.kdap.obs().take_profile() {
+                        write!(out, "{}", p.render())?;
+                    }
+                }
                 None => writeln!(out, "nothing explored yet")?,
             },
             Command::Show => match &self.exploration {
@@ -144,26 +176,46 @@ impl Repl {
             }
             Command::Stats => {
                 let wh = self.kdap.warehouse();
+                let ts = self.kdap.text_index().stats();
                 writeln!(
                     out,
                     "facts: {} · tables: {} · searchable domains: {} · virtual docs: {}",
                     wh.fact_rows(),
                     wh.tables().len(),
                     wh.searchable_columns().count(),
-                    self.kdap.text_index().n_docs()
+                    ts.docs,
                 )?;
-                if let Some((hits, misses)) = self.kdap.cache_stats() {
-                    writeln!(out, "subspace cache: {hits} hits / {misses} misses")?;
+                writeln!(
+                    out,
+                    "text index: {} term(s) · {} posting(s) · avg doc len {:.1}",
+                    ts.terms, ts.postings, ts.avg_doc_len
+                )?;
+                if let Some(c) = self.kdap.subspace_cache_counters() {
+                    writeln!(
+                        out,
+                        "subspace cache: {} hits / {} misses / {} evictions",
+                        c.hits, c.misses, c.evictions
+                    )?;
                 }
-                if let Some((hits, misses)) = self.kdap.semijoin_stats() {
-                    writeln!(out, "semi-join cache: {hits} hits / {misses} misses")?;
+                if let Some(c) = self.kdap.semijoin_counters() {
+                    writeln!(
+                        out,
+                        "semi-join cache: {} hits / {} misses / {} evictions",
+                        c.hits, c.misses, c.evictions
+                    )?;
                 }
+                let m = self.kdap.mapper_counters();
+                writeln!(
+                    out,
+                    "row-mapper cache: {} hits / {} misses",
+                    m.hits, m.misses
+                )?;
             }
             Command::Help => writeln!(
                 out,
                 "q <keywords> · pick <n> · drill <facet#> <entry#> · up <n> · drop <n>\n\
                  mode surprise|bellwether · order dynamic|consistent|hybrid <p>\n\
-                 explain · show · schema · stats · save <dir> · quit"
+                 explain · profile <keywords> · show · schema · stats · save <dir> · quit"
             )?,
             Command::Quit => return Ok(false),
         }
@@ -331,7 +383,58 @@ mod tests {
         let out = run(&mut r, "stats");
         assert!(out.contains("subspace cache"), "{out}");
         assert!(out.contains("semi-join cache"), "{out}");
+        assert!(out.contains("row-mapper cache"), "{out}");
+        assert!(out.contains("text index:"), "{out}");
         assert!(out.contains("facts:"), "{out}");
+    }
+
+    fn profiling_repl() -> Repl {
+        let wh = build_ebiz(EbizScale::small(), 7).unwrap();
+        Repl::new(
+            Kdap::builder(wh)
+                .cache_capacity(8)
+                .observability(true)
+                .build()
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn profile_command_prints_stage_tree() {
+        let mut r = profiling_repl();
+        let out = run(&mut r, "profile columbus lcd");
+        assert!(out.contains("profile: columbus lcd"), "{out}");
+        assert!(out.contains("differentiate"), "{out}");
+        assert!(out.contains("explore"), "{out}");
+        assert!(out.contains("materialize"), "{out}");
+        assert!(out.contains('%'), "{out}");
+        // The profiled exploration becomes the current state.
+        let out = run(&mut r, "show");
+        assert!(out.contains("subspace:"), "{out}");
+    }
+
+    #[test]
+    fn profile_command_requires_observability() {
+        let mut r = repl();
+        let out = run(&mut r, "profile columbus");
+        assert!(out.contains("observability is off"), "{out}");
+    }
+
+    #[test]
+    fn explain_appends_timings_when_profiling() {
+        let mut r = profiling_repl();
+        run(&mut r, "q seattle");
+        run(&mut r, "pick 1");
+        let out = run(&mut r, "explain");
+        assert!(out.contains("fused scans"), "{out}");
+        assert!(out.contains("profile: explain"), "{out}");
+        assert!(out.contains("plan.compile"), "{out}");
+        // Without --profile, explain output carries no timing tree.
+        let mut plain = repl();
+        run(&mut plain, "q seattle");
+        run(&mut plain, "pick 1");
+        let out = run(&mut plain, "explain");
+        assert!(!out.contains("profile: explain"), "{out}");
     }
 
     #[test]

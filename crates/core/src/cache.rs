@@ -22,6 +22,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 
+use kdap_obs::CacheCounters;
 use kdap_query::{ExecConfig, JoinIndex};
 use kdap_warehouse::Warehouse;
 
@@ -39,6 +40,7 @@ pub struct SubspaceCache {
     /// Shared LRU clock: stamps must be comparable *across* shards so
     /// eviction can pick the globally least recently used entry.
     clock: AtomicU64,
+    evictions: AtomicU64,
 }
 
 struct Inner {
@@ -67,6 +69,7 @@ impl SubspaceCache {
             shards: (0..n_shards).map(|_| Mutex::new(Inner::new())).collect(),
             shard_capacity: capacity / n_shards,
             clock: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
@@ -147,7 +150,9 @@ impl SubspaceCache {
             }
             match victim {
                 Some((idx, k, _)) => {
-                    self.shards[idx].lock().map.remove(&k);
+                    if self.shards[idx].lock().map.remove(&k).is_some() {
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
                 None => break,
             }
@@ -166,6 +171,17 @@ impl SubspaceCache {
         (hits, misses)
     }
 
+    /// Hit/miss/eviction counters. Evictions count LRU victims and
+    /// entries dropped by [`SubspaceCache::clear`].
+    pub fn counters(&self) -> CacheCounters {
+        let (hits, misses) = self.stats();
+        CacheCounters {
+            hits,
+            misses,
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
     /// Number of cached subspaces across all shards.
     pub fn len(&self) -> usize {
         self.shards.iter().map(|s| s.lock().map.len()).sum()
@@ -181,10 +197,14 @@ impl SubspaceCache {
         self.len() == 0
     }
 
-    /// Drops all cached entries (e.g. after warehouse changes).
+    /// Drops all cached entries (e.g. after warehouse changes); the
+    /// dropped entries count as evictions.
     pub fn clear(&self) {
         for shard in &self.shards {
-            shard.lock().map.clear();
+            let mut inner = shard.lock();
+            self.evictions
+                .fetch_add(inner.map.len() as u64, Ordering::Relaxed);
+            inner.map.clear();
         }
     }
 }
@@ -238,6 +258,8 @@ mod tests {
         cache.materialize(&fx.wh, &fx.jidx, &nets[0]); // miss again
         assert_eq!(cache.stats(), (1, 3));
         assert_eq!(cache.len(), 1);
+        // Two LRU victims: net 0 (for net 1) and net 1 (for net 0 again).
+        assert_eq!(cache.counters(), CacheCounters::new(1, 3, 2));
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! when reordering is on), fused fact-local predicates collapse into one
 //! entry, and steps served from the session's semi-join cache are marked.
 
+use kdap_obs::CacheCounters;
 use kdap_query::{execute_plan_traced, ExecConfig, JoinIndex, Predicate};
 use kdap_warehouse::Warehouse;
 
@@ -159,6 +160,14 @@ pub struct ExploreReport {
     pub scans_old: usize,
     /// Kernel choice per deduplicated facet spec, in evaluation order.
     pub facets: Vec<FacetKernelChoice>,
+    /// Session subspace-cache counters at report time, when the session
+    /// caches subspaces.
+    pub subspace_cache: Option<CacheCounters>,
+    /// Session semi-join-cache counters at report time, when the planner
+    /// caches step bitmaps.
+    pub semijoin_cache: Option<CacheCounters>,
+    /// Row-mapper-cache counters of the session's join index.
+    pub mapper_cache: Option<CacheCounters>,
 }
 
 impl ExploreReport {
@@ -182,6 +191,19 @@ impl ExploreReport {
                 "      {:<30} {:>7} kernel · {} group(s)\n",
                 f.attr, f.kernel, f.groups
             ));
+        }
+        let caches: [(&str, &Option<CacheCounters>); 3] = [
+            ("subspace cache", &self.subspace_cache),
+            ("semi-join cache", &self.semijoin_cache),
+            ("row-mapper cache", &self.mapper_cache),
+        ];
+        for (name, counters) in caches {
+            if let Some(c) = counters {
+                out.push_str(&format!(
+                    "      {:<16} {} hit(s) / {} miss(es) / {} eviction(s)\n",
+                    name, c.hits, c.misses, c.evictions
+                ));
+            }
         }
         out
     }

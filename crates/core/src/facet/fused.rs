@@ -92,7 +92,11 @@ pub(crate) fn explore_fused(
 ) -> Result<(Exploration, ExploreReport), KdapError> {
     let schema = wh.schema();
     let fact = schema.fact_table();
-    let rups = try_rollup_spaces_planned(wh, jidx, net, planner, exec)?;
+    let obs = exec.obs.clone();
+    let rups = {
+        let _s = obs.span("explore.rollups");
+        try_rollup_spaces_planned(wh, jidx, net, planner, exec)?
+    };
     let n_rups = rups.len();
 
     // Hit codes per attribute (to pin hit instances).
@@ -153,7 +157,12 @@ pub(crate) fn explore_fused(
             },
         });
     }
-    let groups_a = multi_group_by_exec(wh, &specs_a, &sub.rows, mv, exec, DENSE_GROUP_LIMIT);
+    let groups_a = {
+        let s = obs.span("explore.scan_a");
+        s.rows_in(sub.len() as u64);
+        s.note("specs", specs_a.len());
+        multi_group_by_exec(wh, &specs_a, &sub.rows, mv, exec, DENSE_GROUP_LIMIT)
+    };
     let total_aggregate = groups_a[0].total(cfg.agg);
 
     // Scan B over DS′: bucketized numerical groups, with bucketizers
@@ -177,6 +186,9 @@ pub(crate) fn explore_fused(
     let groups_b = if specs_b.is_empty() {
         Vec::new()
     } else {
+        let s = obs.span("explore.scan_b");
+        s.rows_in(sub.len() as u64);
+        s.note("specs", specs_b.len());
         multi_group_by_exec(wh, &specs_b, &sub.rows, mv, exec, DENSE_GROUP_LIMIT)
     };
 
@@ -208,10 +220,13 @@ pub(crate) fn explore_fused(
             }
         }
     }
-    let rup_results: Vec<Vec<FacetGroups>> = rups
-        .iter()
-        .map(|rup| multi_group_by_exec(wh, &specs_r, &rup.rows, mv, exec, DENSE_GROUP_LIMIT))
-        .collect();
+    let rup_results: Vec<Vec<FacetGroups>> = {
+        let s = obs.span("explore.rollup_scans");
+        s.note("rollups", n_rups);
+        rups.iter()
+            .map(|rup| multi_group_by_exec(wh, &specs_r, &rup.rows, mv, exec, DENSE_GROUP_LIMIT))
+            .collect()
+    };
     let rup_totals: Vec<f64> = rup_results.iter().map(|g| g[0].total(cfg.agg)).collect();
 
     // Derive every slot's maps/series once; tasks and stage-2 ranking
@@ -255,6 +270,7 @@ pub(crate) fn explore_fused(
 
     // Stage 1: score every task from its slot's precomputed data — the
     // same correlation helpers the per-facet kernels feed.
+    let score_span = obs.span("explore.score");
     let task_slots: Vec<usize> = tasks
         .iter()
         .map(|(_, t)| slot_of[&(t.attr, t.path.clone(), t.kind == AttrKind::Numerical)])
@@ -315,10 +331,14 @@ pub(crate) fn explore_fused(
             selected.push((di, ra));
         }
     }
+    score_span.rows_in(task_slots.len() as u64);
+    score_span.rows_out(selected.len() as u64);
+    drop(score_span);
 
     // Stage 2: entries of every selected attribute — pure math over the
     // scan results, no further scans (the per-facet pipeline re-scanned
     // DS′ and every roll-up space per selected attribute here).
+    let entries_span = obs.span("explore.entries");
     let empty = HashSet::new();
     let mut panels: Vec<FacetPanel> = Vec::new();
     for (di, ra) in selected.iter() {
@@ -378,6 +398,9 @@ pub(crate) fn explore_fused(
             }),
         }
     }
+
+    entries_span.rows_out(panels.iter().map(|p| p.attrs.len() as u64).sum());
+    drop(entries_span);
 
     let report = build_report(
         wh,
@@ -459,5 +482,8 @@ fn build_report(
         scans_fused,
         scans_old,
         facets,
+        subspace_cache: None,
+        semijoin_cache: None,
+        mapper_cache: None,
     }
 }

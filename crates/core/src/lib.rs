@@ -47,7 +47,7 @@ pub use render::{render_exploration, render_interpretations};
 pub use rollup::{
     rollup_constraint, rollup_spaces, rollup_spaces_with, try_rollup_spaces_planned, Rollup,
 };
-pub use session::{split_query, Kdap, KdapBuilder};
+pub use session::{split_query, Kdap, KdapBuilder, ProfileReport};
 pub use subspace::{
     materialize, materialize_batch, materialize_many, materialize_planned, materialize_with,
     try_materialize_with, Subspace,
@@ -56,3 +56,5 @@ pub use subspace::{
 pub use kdap_query::{
     ExecConfig, Fingerprint, LogicalPlan, MeasureVector, PhysicalPlan, PlannerConfig, SemijoinCache,
 };
+
+pub use kdap_obs::{CacheCounters, CacheOutcome, MetricsSnapshot, Obs, ProfileNode, QueryProfile};

@@ -3,6 +3,7 @@
 //! [`SemijoinCache`] that deduplicates constraint evaluation across the
 //! whole candidate set.
 
+use kdap_obs::{CacheCounters, Obs};
 use kdap_query::{optimize, LogicalPlan, PhysicalPlan, PlannerConfig, SemijoinCache};
 use kdap_warehouse::{StatsCatalog, Warehouse};
 
@@ -18,6 +19,7 @@ pub struct Planner {
     cfg: PlannerConfig,
     stats: StatsCatalog,
     cache: Option<SemijoinCache>,
+    obs: Obs,
 }
 
 impl Planner {
@@ -28,6 +30,7 @@ impl Planner {
             cfg: PlannerConfig::default(),
             stats: StatsCatalog::new(),
             cache: Some(SemijoinCache::new()),
+            obs: Obs::disabled(),
         }
     }
 
@@ -39,6 +42,7 @@ impl Planner {
             cfg: PlannerConfig::naive(),
             stats: StatsCatalog::new(),
             cache: None,
+            obs: Obs::disabled(),
         }
     }
 
@@ -48,7 +52,14 @@ impl Planner {
             cfg,
             stats: StatsCatalog::new(),
             cache: cached.then(SemijoinCache::new),
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Attaches an observability handle; compile/optimize timings flow
+    /// into it from then on.
+    pub fn attach_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// The optimizer switches in effect.
@@ -58,7 +69,21 @@ impl Planner {
 
     /// Compiles a star net and lowers it to a physical plan.
     pub fn plan(&self, wh: &Warehouse, net: &StarNet) -> PhysicalPlan {
-        self.lower(wh, &net.compile())
+        let t = self.obs.timer();
+        let logical = net.compile();
+        let compile_ns = t.stop();
+        if self.obs.is_enabled() {
+            self.obs.record_ns("planner.compile_ns", compile_ns);
+            self.obs.leaf(
+                "plan.compile",
+                kdap_obs::LeafData {
+                    wall_ns: compile_ns,
+                    rows_out: Some(logical.len() as u64),
+                    ..kdap_obs::LeafData::default()
+                },
+            );
+        }
+        self.lower(wh, &logical)
     }
 
     /// Lowers a logical plan to a physical plan. Statistics are consulted
@@ -66,7 +91,26 @@ impl Planner {
     pub fn lower(&self, wh: &Warehouse, logical: &LogicalPlan) -> PhysicalPlan {
         let origin = wh.schema().fact_table();
         let stats = self.cfg.reorder.then_some(&self.stats);
-        optimize(wh, origin, logical, &self.cfg, stats)
+        let t = self.obs.timer();
+        let plan = optimize(wh, origin, logical, &self.cfg, stats);
+        let optimize_ns = t.stop();
+        if self.obs.is_enabled() {
+            self.obs.record_ns("planner.optimize_ns", optimize_ns);
+            self.obs.leaf(
+                "plan.optimize",
+                kdap_obs::LeafData {
+                    wall_ns: optimize_ns,
+                    rows_in: Some(logical.len() as u64),
+                    rows_out: Some(plan.steps.len() as u64),
+                    notes: vec![
+                        ("reorder".into(), self.cfg.reorder.to_string()),
+                        ("fuse".into(), self.cfg.fuse_fact_local.to_string()),
+                    ],
+                    ..kdap_obs::LeafData::default()
+                },
+            );
+        }
+        plan
     }
 
     /// The session's semi-join cache, when caching is enabled.
@@ -77,6 +121,12 @@ impl Planner {
     /// `(hits, misses)` of the semi-join cache, when caching is enabled.
     pub fn cache_stats(&self) -> Option<(u64, u64)> {
         self.cache.as_ref().map(|c| c.stats())
+    }
+
+    /// Hit/miss/eviction counters of the semi-join cache, when caching is
+    /// enabled.
+    pub fn cache_counters(&self) -> Option<CacheCounters> {
+        self.cache.as_ref().map(|c| c.counters())
     }
 }
 

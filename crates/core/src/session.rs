@@ -13,6 +13,7 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
+use kdap_obs::{CacheCounters, CacheOutcome, Obs, QueryProfile};
 use kdap_query::{ExecConfig, JoinIndex, MeasureVector};
 use kdap_textindex::TextIndex;
 use kdap_warehouse::{Measure, Warehouse};
@@ -47,6 +48,7 @@ pub struct KdapBuilder {
     method: RankMethod,
     threads: usize,
     optimizer: bool,
+    observability: bool,
 }
 
 impl KdapBuilder {
@@ -62,6 +64,7 @@ impl KdapBuilder {
             method: RankMethod::Standard,
             threads: 1,
             optimizer: true,
+            observability: false,
         }
     }
 
@@ -116,6 +119,16 @@ impl KdapBuilder {
         self
     }
 
+    /// Enables or disables the observability recorder (default:
+    /// disabled). Enabled, the session records per-stage timings into
+    /// query profiles ([`Kdap::profile_query`]) and metrics; disabled,
+    /// every instrumentation point is a no-op branch and results are
+    /// bit-identical either way.
+    pub fn observability(mut self, enabled: bool) -> Self {
+        self.observability = enabled;
+        self
+    }
+
     /// Builds the offline indexes and the session.
     pub fn build(self) -> Result<Kdap, KdapError> {
         let measure = match &self.measure {
@@ -133,13 +146,26 @@ impl KdapBuilder {
                 .cloned()
                 .ok_or(KdapError::NoMeasure)?,
         };
-        let index = TextIndex::build(&self.wh);
+        let obs = if self.observability {
+            Obs::enabled()
+        } else {
+            Obs::disabled()
+        };
+        let mut index = TextIndex::build(&self.wh);
+        index.attach_obs(obs.clone());
         let jidx = JoinIndex::build(&self.wh);
         let exec = if self.threads == 1 {
             ExecConfig::serial()
         } else {
             ExecConfig::with_threads(self.threads)
+        }
+        .with_obs(obs.clone());
+        let mut planner = if self.optimizer {
+            Planner::optimized()
+        } else {
+            Planner::naive()
         };
+        planner.attach_obs(obs.clone());
         Ok(Kdap {
             wh: self.wh,
             index,
@@ -150,11 +176,8 @@ impl KdapBuilder {
             measure,
             cache: self.cache_capacity.map(SubspaceCache::new),
             exec,
-            planner: if self.optimizer {
-                Planner::optimized()
-            } else {
-                Planner::naive()
-            },
+            planner,
+            obs,
             measure_vectors: Mutex::new(HashMap::new()),
         })
     }
@@ -173,6 +196,7 @@ pub struct Kdap {
     cache: Option<SubspaceCache>,
     exec: ExecConfig,
     planner: Planner,
+    obs: Obs,
     /// Measure expressions decoded to flat `f64` vectors, memoized by
     /// measure name for the life of the session — every fused exploration
     /// of the same measure shares one decode.
@@ -252,17 +276,28 @@ impl Kdap {
             ExecConfig::serial()
         } else {
             ExecConfig::with_threads(threads)
-        };
+        }
+        .with_obs(self.obs.clone());
     }
 
     /// Differentiate phase: parses the keyword query (double quotes group
     /// phrases, e.g. `"san jose" tv`), generates candidate star nets and
     /// returns them ranked.
     pub fn interpret(&self, query: &str) -> Vec<RankedStarNet> {
+        let span = self.obs.span("differentiate");
         let keywords = split_query(query);
+        span.note("keywords", keywords.len());
         let refs: Vec<&str> = keywords.iter().map(String::as_str).collect();
-        let nets = generate_star_nets(&self.wh, &self.index, &refs, &self.gen);
-        rank_star_nets(nets, self.method)
+        let nets = {
+            let _s = self.obs.span("generate_star_nets");
+            generate_star_nets(&self.wh, &self.index, &refs, &self.gen)
+        };
+        let ranked = {
+            let _s = self.obs.span("rank_star_nets");
+            rank_star_nets(nets, self.method)
+        };
+        span.rows_out(ranked.len() as u64);
+        ranked
     }
 
     /// Materializes the subspaces of the top-`k` ranked interpretations
@@ -297,15 +332,22 @@ impl Kdap {
     }
 
     fn materialize_net(&self, net: &StarNet) -> Result<Subspace, KdapError> {
+        let span = self.obs.span("materialize");
         let Some(cache) = &self.cache else {
-            return materialize_planned(&self.wh, &self.jidx, net, &self.planner, &self.exec);
+            let sub = materialize_planned(&self.wh, &self.jidx, net, &self.planner, &self.exec)?;
+            span.rows_out(sub.len() as u64);
+            return Ok(sub);
         };
         let key = net.fingerprint();
         if let Some(sub) = cache.get(&key) {
+            span.cache(CacheOutcome::Hit);
+            span.rows_out(sub.len() as u64);
             return Ok(sub);
         }
+        span.cache(CacheOutcome::Miss);
         let sub = materialize_planned(&self.wh, &self.jidx, net, &self.planner, &self.exec)?;
         cache.insert(key, sub.clone());
+        span.rows_out(sub.len() as u64);
         Ok(sub)
     }
 
@@ -326,6 +368,7 @@ impl Kdap {
         net: &StarNet,
         measure: &Measure,
     ) -> Result<Exploration, KdapError> {
+        let _span = self.obs.span("explore");
         match self.facet.kernel {
             FacetKernel::PerFacet => {
                 let sub = self.materialize_net(net)?;
@@ -384,7 +427,14 @@ impl Kdap {
         &self,
         net: &StarNet,
     ) -> Result<(Exploration, ExploreReport), KdapError> {
-        self.explore_instrumented(net, &self.measure)
+        let (ex, mut report) = {
+            let _span = self.obs.span("explore");
+            self.explore_instrumented(net, &self.measure)?
+        };
+        report.subspace_cache = self.cache.as_ref().map(|c| c.counters());
+        report.semijoin_cache = self.planner.cache_counters();
+        report.mapper_cache = Some(self.jidx.mapper_counters());
+        Ok((ex, report))
     }
 
     /// EXPLAIN: the optimized physical plan of `net` with estimated vs.
@@ -405,6 +455,68 @@ impl Kdap {
     pub fn semijoin_stats(&self) -> Option<(u64, u64)> {
         self.planner.cache_stats()
     }
+
+    /// The session's observability handle (disabled unless the session
+    /// was built with [`KdapBuilder::observability`]).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Subspace-cache hit/miss/eviction counters, when the cache is
+    /// enabled.
+    pub fn subspace_cache_counters(&self) -> Option<CacheCounters> {
+        self.cache.as_ref().map(|c| c.counters())
+    }
+
+    /// Semi-join-cache hit/miss/eviction counters, when the optimizer is
+    /// enabled.
+    pub fn semijoin_counters(&self) -> Option<CacheCounters> {
+        self.planner.cache_counters()
+    }
+
+    /// Row-mapper-cache hit/miss counters of the session's join index.
+    pub fn mapper_counters(&self) -> CacheCounters {
+        self.jidx.mapper_counters()
+    }
+
+    /// Runs the full differentiate → explore loop for `query` under the
+    /// session recorder and returns the ranked interpretations, the
+    /// exploration of the top one, and the per-stage timing profile.
+    ///
+    /// The profile is empty unless the session was built with
+    /// [`KdapBuilder::observability`] — instrumentation stays inert (and
+    /// results stay bit-identical) with the recorder off.
+    pub fn profile_query(&self, query: &str) -> Result<ProfileReport, KdapError> {
+        self.obs.start_profile(query);
+        let ranked = self.interpret(query);
+        let exploration = match ranked.first() {
+            Some(top) => Some(self.explore(&top.net)?),
+            None => None,
+        };
+        let profile = self
+            .obs
+            .take_profile()
+            .unwrap_or_else(|| QueryProfile::empty(query));
+        Ok(ProfileReport {
+            ranked,
+            exploration,
+            profile,
+        })
+    }
+}
+
+/// The result of [`Kdap::profile_query`]: the query's ranked
+/// interpretations, the exploration of the top-ranked one (when any
+/// interpretation exists), and the recorded per-stage timing profile.
+#[derive(Debug, Clone)]
+pub struct ProfileReport {
+    /// Ranked star-net interpretations, best first.
+    pub ranked: Vec<RankedStarNet>,
+    /// Exploration of the top interpretation; `None` when the query
+    /// produced no interpretation at all.
+    pub exploration: Option<Exploration>,
+    /// The per-stage timing tree (empty when observability is off).
+    pub profile: QueryProfile,
 }
 
 /// Splits a raw query into keywords; double-quoted spans stay together so
@@ -618,6 +730,97 @@ mod tests {
         // Explaining again hits the semi-join cache for every step.
         let again = kdap.explain(&ranked[0].net).unwrap();
         assert!(again.constraints.iter().all(|c| c.cache_hit));
+    }
+
+    #[test]
+    fn profile_query_records_stage_tree() {
+        let fx = ebiz_fixture();
+        let kdap = Kdap::builder(fx.wh)
+            .cache_capacity(16)
+            .observability(true)
+            .build()
+            .unwrap();
+        assert!(kdap.obs().is_enabled());
+        let report = kdap.profile_query("columbus lcd").unwrap();
+        assert!(!report.ranked.is_empty());
+        assert!(report.exploration.is_some());
+        let stages = report.profile.stage_names();
+        assert_eq!(stages[0], "differentiate");
+        assert!(stages.iter().any(|s| s.trim() == "textindex.search"));
+        assert!(stages.iter().any(|s| s.trim() == "rank_star_nets"));
+        assert!(stages.iter().any(|s| s.trim() == "explore"));
+        assert!(stages.iter().any(|s| s.trim() == "materialize"));
+        assert!(stages.iter().any(|s| s.trim() == "plan.compile"));
+        assert!(stages.iter().any(|s| s.trim() == "multi_group_by"));
+        // Profiling again hits the subspace cache for the same net.
+        let again = kdap.profile_query("columbus lcd").unwrap();
+        let hit = again
+            .profile
+            .roots
+            .iter()
+            .flat_map(|r| r.children.iter())
+            .find(|n| n.name == "materialize")
+            .unwrap();
+        assert_eq!(hit.cache, Some(kdap_obs::CacheOutcome::Hit));
+        // Metrics accumulated along the way.
+        let snap = kdap.obs().metrics_snapshot();
+        assert!(snap.counters["textindex.searches"] >= 2);
+        assert!(snap.histograms.contains_key("query.semijoin_step_ns"));
+    }
+
+    #[test]
+    fn profile_structure_is_identical_across_thread_counts() {
+        let fx = ebiz_fixture();
+        let serial = Kdap::builder(fx.wh)
+            .observability(true)
+            .threads(1)
+            .build()
+            .unwrap();
+        let fx4 = ebiz_fixture();
+        let threaded = Kdap::builder(fx4.wh)
+            .observability(true)
+            .threads(4)
+            .build()
+            .unwrap();
+        let a = serial.profile_query("columbus lcd").unwrap();
+        let b = threaded.profile_query("columbus lcd").unwrap();
+        assert_eq!(a.profile.stage_names(), b.profile.stage_names());
+        assert_eq!(a.exploration, b.exploration);
+    }
+
+    #[test]
+    fn observability_off_is_bit_identical_and_profile_empty() {
+        let fx = ebiz_fixture();
+        let off = session();
+        let on = Kdap::builder(fx.wh).observability(true).build().unwrap();
+        assert!(!off.obs().is_enabled());
+        let ro = off.profile_query("columbus lcd").unwrap();
+        let rn = on.profile_query("columbus lcd").unwrap();
+        assert!(ro.profile.is_empty());
+        assert!(!rn.profile.is_empty());
+        assert_eq!(ro.ranked.len(), rn.ranked.len());
+        for (a, b) in ro.ranked.iter().zip(&rn.ranked) {
+            assert_eq!(a.score, b.score);
+            assert_eq!(a.net.fingerprint(), b.net.fingerprint());
+        }
+        assert_eq!(ro.exploration, rn.exploration);
+    }
+
+    #[test]
+    fn explain_explore_reports_cache_counters() {
+        let fx = ebiz_fixture();
+        let kdap = Kdap::builder(fx.wh).cache_capacity(16).build().unwrap();
+        let ranked = kdap.interpret("columbus lcd");
+        let (_, report) = kdap.explain_explore(&ranked[0].net).unwrap();
+        let sub = report.subspace_cache.unwrap();
+        assert_eq!(sub.misses, 1);
+        assert!(report.semijoin_cache.is_some());
+        let mapper = report.mapper_cache.unwrap();
+        assert!(mapper.hits + mapper.misses > 0);
+        let text = report.render();
+        assert!(text.contains("subspace cache"));
+        assert!(text.contains("semi-join cache"));
+        assert!(text.contains("row-mapper cache"));
     }
 
     #[test]

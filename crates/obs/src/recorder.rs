@@ -1,0 +1,439 @@
+//! The recorder: an [`Obs`] handle cloned into every layer of the
+//! engine, a span stack that builds [`QueryProfile`] trees, and timers
+//! that cost nothing when observability is off.
+//!
+//! # Zero cost when disabled
+//!
+//! `Obs` wraps `Option<Arc<Recorder>>`. The disabled handle is `None`;
+//! every operation checks that first and returns immediately — no clock
+//! read, no allocation, no lock. [`Obs::timer`] on a disabled handle
+//! skips `Instant::now()` entirely and reports 0 ns.
+//!
+//! # Deterministic profile structure
+//!
+//! Only the coordinating thread opens spans. Parallel workers measure
+//! raw durations and hand them back; the coordinator records them as
+//! completed leaves (via [`Obs::leaf`]) in chunk/step order. The shape of
+//! the profile tree is therefore a pure function of the query and data —
+//! identical for any thread count — which the equivalence tests assert.
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::metrics::{Counter, Histogram, Metrics, MetricsSnapshot};
+use crate::profile::{CacheOutcome, ProfileNode, QueryProfile};
+
+/// Data of one completed leaf stage, recorded post-hoc by the
+/// coordinating thread (typically a per-chunk or per-step measurement
+/// taken on a worker).
+#[derive(Debug, Clone, Default)]
+pub struct LeafData {
+    /// Wall-clock nanoseconds the stage took.
+    pub wall_ns: u64,
+    /// Rows entering the stage.
+    pub rows_in: Option<u64>,
+    /// Rows leaving the stage.
+    pub rows_out: Option<u64>,
+    /// Cache outcome, if a cache was consulted.
+    pub cache: Option<CacheOutcome>,
+    /// Free-form `key=value` annotations.
+    pub notes: Vec<(String, String)>,
+}
+
+/// Span-stack state guarded by one mutex: an arena of nodes plus the
+/// stack of currently-open span indices.
+#[derive(Debug, Default)]
+struct ProfileState {
+    label: String,
+    nodes: Vec<ProfileNode>,
+    /// Children of `nodes[i]`, as arena indices; index 0 is unused
+    /// (nodes[0] exists only when a profile is open).
+    children: Vec<Vec<usize>>,
+    /// Arena indices of roots, in open order.
+    roots: Vec<usize>,
+    /// Open spans, outermost first.
+    stack: Vec<usize>,
+    active: bool,
+}
+
+impl ProfileState {
+    fn push_node(&mut self, node: ProfileNode) -> usize {
+        let idx = self.nodes.len();
+        self.nodes.push(node);
+        self.children.push(Vec::new());
+        match self.stack.last() {
+            Some(&parent) => self.children[parent].push(idx),
+            None => self.roots.push(idx),
+        }
+        idx
+    }
+
+    fn assemble(&mut self) -> QueryProfile {
+        fn build(state: &ProfileState, idx: usize) -> ProfileNode {
+            let mut n = state.nodes[idx].clone();
+            n.children = state.children[idx]
+                .iter()
+                .map(|&c| build(state, c))
+                .collect();
+            n
+        }
+        let roots = self.roots.iter().map(|&r| build(self, r)).collect();
+        let label = std::mem::take(&mut self.label);
+        self.nodes.clear();
+        self.children.clear();
+        self.roots.clear();
+        self.stack.clear();
+        self.active = false;
+        QueryProfile { label, roots }
+    }
+}
+
+/// The enabled recorder: a metrics registry plus the span-stack state.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    metrics: Metrics,
+    profile: Mutex<ProfileState>,
+}
+
+fn lock(m: &Mutex<ProfileState>) -> std::sync::MutexGuard<'_, ProfileState> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The observability handle threaded through the engine. Cheap to clone
+/// (an `Option<Arc>`); the [`Obs::disabled`] handle makes every
+/// operation a no-op after a single branch.
+#[derive(Debug, Clone, Default)]
+pub struct Obs(Option<Arc<Recorder>>);
+
+impl Obs {
+    /// The no-op handle: every operation returns immediately.
+    pub fn disabled() -> Self {
+        Obs(None)
+    }
+
+    /// A live handle backed by a fresh recorder.
+    pub fn enabled() -> Self {
+        Obs(Some(Arc::new(Recorder::default())))
+    }
+
+    /// True when this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Begins collecting a [`QueryProfile`] labelled `label`. Replaces
+    /// any profile in progress. No-op when disabled.
+    pub fn start_profile(&self, label: &str) {
+        if let Some(rec) = &self.0 {
+            let mut st = lock(&rec.profile);
+            st.label = label.to_string();
+            st.nodes.clear();
+            st.children.clear();
+            st.roots.clear();
+            st.stack.clear();
+            st.active = true;
+        }
+    }
+
+    /// Finishes and returns the profile started by
+    /// [`Obs::start_profile`]. `None` when disabled or when no profile
+    /// was started.
+    pub fn take_profile(&self) -> Option<QueryProfile> {
+        let rec = self.0.as_ref()?;
+        let mut st = lock(&rec.profile);
+        if !st.active {
+            return None;
+        }
+        Some(st.assemble())
+    }
+
+    /// Opens a span named `name` on the coordinating thread. Returns a
+    /// guard that closes the span (recording its wall time) on drop.
+    /// Disabled handles and handles without an active profile return an
+    /// inert guard.
+    pub fn span(&self, name: &str) -> Span {
+        if let Some(rec) = &self.0 {
+            let mut st = lock(&rec.profile);
+            if st.active {
+                let idx = st.push_node(ProfileNode::new(name));
+                st.stack.push(idx);
+                return Span {
+                    obs: Some(rec.clone()),
+                    idx,
+                    start: Some(Instant::now()),
+                };
+            }
+        }
+        Span {
+            obs: None,
+            idx: 0,
+            start: None,
+        }
+    }
+
+    /// Records a completed leaf stage under the currently-open span.
+    /// This is how parallel work enters the profile: workers measure,
+    /// the coordinator calls `leaf` in deterministic order. No-op when
+    /// disabled or no profile is active.
+    pub fn leaf(&self, name: &str, data: LeafData) {
+        if let Some(rec) = &self.0 {
+            let mut st = lock(&rec.profile);
+            if st.active {
+                let mut node = ProfileNode::new(name);
+                node.wall_ns = data.wall_ns;
+                node.rows_in = data.rows_in;
+                node.rows_out = data.rows_out;
+                node.cache = data.cache;
+                node.notes = data.notes;
+                st.push_node(node);
+            }
+        }
+    }
+
+    /// Starts a timer. Disabled handles skip the clock read and report
+    /// 0 ns — the property the overhead bench measures.
+    pub fn timer(&self) -> Timer {
+        match &self.0 {
+            Some(_) => Timer(Some(Instant::now())),
+            None => Timer(None),
+        }
+    }
+
+    /// Adds `n` to the counter named `name`. No-op when disabled.
+    pub fn inc(&self, name: &str, n: u64) {
+        if let Some(rec) = &self.0 {
+            rec.metrics.counter(name).add(n);
+        }
+    }
+
+    /// Records a sample into the histogram named `name`. No-op when
+    /// disabled.
+    pub fn record_ns(&self, name: &str, ns: u64) {
+        if let Some(rec) = &self.0 {
+            rec.metrics.histogram(name).record(ns);
+        }
+    }
+
+    /// Sets the gauge named `name`. No-op when disabled.
+    pub fn gauge(&self, name: &str, v: i64) {
+        if let Some(rec) = &self.0 {
+            rec.metrics.gauge(name).set(v);
+        }
+    }
+
+    /// The counter handle, for hoisting out of hot loops. `None` when
+    /// disabled.
+    pub fn counter_handle(&self, name: &str) -> Option<Arc<Counter>> {
+        self.0.as_ref().map(|rec| rec.metrics.counter(name))
+    }
+
+    /// The histogram handle, for hoisting out of hot loops. `None` when
+    /// disabled.
+    pub fn histogram_handle(&self, name: &str) -> Option<Arc<Histogram>> {
+        self.0.as_ref().map(|rec| rec.metrics.histogram(name))
+    }
+
+    /// A snapshot of every metric. Empty when disabled.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        match &self.0 {
+            Some(rec) => rec.metrics.snapshot(),
+            None => MetricsSnapshot::default(),
+        }
+    }
+}
+
+/// Guard of an open span; closes it on drop, recording wall time.
+#[derive(Debug)]
+pub struct Span {
+    obs: Option<Arc<Recorder>>,
+    idx: usize,
+    start: Option<Instant>,
+}
+
+impl Span {
+    /// Adds a `key=value` annotation to the span. No-op on inert spans.
+    pub fn note(&self, key: &str, value: impl ToString) {
+        if let Some(rec) = &self.obs {
+            let mut st = lock(&rec.profile);
+            let idx = self.idx;
+            if idx < st.nodes.len() {
+                st.nodes[idx]
+                    .notes
+                    .push((key.to_string(), value.to_string()));
+            }
+        }
+    }
+
+    /// Sets the span's rows-in count.
+    pub fn rows_in(&self, rows: u64) {
+        if let Some(rec) = &self.obs {
+            let mut st = lock(&rec.profile);
+            let idx = self.idx;
+            if idx < st.nodes.len() {
+                st.nodes[idx].rows_in = Some(rows);
+            }
+        }
+    }
+
+    /// Sets the span's rows-out count.
+    pub fn rows_out(&self, rows: u64) {
+        if let Some(rec) = &self.obs {
+            let mut st = lock(&rec.profile);
+            let idx = self.idx;
+            if idx < st.nodes.len() {
+                st.nodes[idx].rows_out = Some(rows);
+            }
+        }
+    }
+
+    /// Sets the span's cache outcome.
+    pub fn cache(&self, outcome: CacheOutcome) {
+        if let Some(rec) = &self.obs {
+            let mut st = lock(&rec.profile);
+            let idx = self.idx;
+            if idx < st.nodes.len() {
+                st.nodes[idx].cache = Some(outcome);
+            }
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(rec) = self.obs.take() {
+            let ns = self
+                .start
+                .map(|t| t.elapsed().as_nanos() as u64)
+                .unwrap_or(0);
+            let mut st = lock(&rec.profile);
+            let idx = self.idx;
+            if idx < st.nodes.len() {
+                st.nodes[idx].wall_ns = ns;
+            }
+            if st.stack.last() == Some(&idx) {
+                st.stack.pop();
+            }
+        }
+    }
+}
+
+/// A started (or inert) timer; [`Timer::stop`] returns elapsed
+/// nanoseconds, 0 for inert timers.
+#[derive(Debug, Clone, Copy)]
+pub struct Timer(Option<Instant>);
+
+impl Timer {
+    /// Elapsed nanoseconds since the timer started; 0 when the handle
+    /// was disabled.
+    pub fn stop(&self) -> u64 {
+        match self.0 {
+            Some(t) => t.elapsed().as_nanos() as u64,
+            None => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let obs = Obs::disabled();
+        assert!(!obs.is_enabled());
+        obs.start_profile("q");
+        {
+            let s = obs.span("stage");
+            s.note("k", "v");
+            s.rows_out(3);
+        }
+        obs.leaf("leaf", LeafData::default());
+        obs.inc("c", 1);
+        obs.record_ns("h", 5);
+        assert_eq!(obs.timer().stop(), 0);
+        assert!(obs.take_profile().is_none());
+        assert!(obs.counter_handle("c").is_none());
+        let snap = obs.metrics_snapshot();
+        assert!(snap.counters.is_empty() && snap.histograms.is_empty());
+    }
+
+    #[test]
+    fn span_stack_builds_tree_in_order() {
+        let obs = Obs::enabled();
+        obs.start_profile("columbus lcd");
+        {
+            let outer = obs.span("differentiate");
+            outer.rows_out(10);
+            {
+                let inner = obs.span("textindex.search");
+                inner.note("terms", 2);
+            }
+            obs.leaf(
+                "rank",
+                LeafData {
+                    rows_in: Some(10),
+                    ..LeafData::default()
+                },
+            );
+        }
+        {
+            let _e = obs.span("explore");
+        }
+        let p = obs.take_profile().expect("profile active");
+        assert_eq!(p.label, "columbus lcd");
+        assert_eq!(
+            p.stage_names(),
+            vec!["differentiate", "  textindex.search", "  rank", "explore"]
+        );
+        assert_eq!(p.roots[0].rows_out, Some(10));
+        assert_eq!(
+            p.roots[0].children[0].notes,
+            vec![("terms".to_string(), "2".to_string())]
+        );
+        assert_eq!(p.roots[0].children[1].rows_in, Some(10));
+        // Taking again returns None until a new profile starts.
+        assert!(obs.take_profile().is_none());
+    }
+
+    #[test]
+    fn spans_without_active_profile_are_inert() {
+        let obs = Obs::enabled();
+        {
+            let s = obs.span("orphan");
+            s.note("k", "v");
+        }
+        assert!(obs.take_profile().is_none());
+        obs.start_profile("q");
+        let p = obs.take_profile().unwrap();
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn metrics_flow_through_handle() {
+        let obs = Obs::enabled();
+        obs.inc("searches", 2);
+        obs.record_ns("lat", 100);
+        obs.record_ns("lat", 200);
+        obs.gauge("cap", 64);
+        let snap = obs.metrics_snapshot();
+        assert_eq!(snap.counters["searches"], 2);
+        assert_eq!(snap.gauges["cap"], 64);
+        assert_eq!(snap.histograms["lat"].count, 2);
+        let h = obs.histogram_handle("lat").unwrap();
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn restart_profile_resets_state() {
+        let obs = Obs::enabled();
+        obs.start_profile("first");
+        let _ = obs.span("a");
+        obs.start_profile("second");
+        {
+            let _ = obs.span("b");
+        }
+        let p = obs.take_profile().unwrap();
+        assert_eq!(p.label, "second");
+        assert_eq!(p.stage_names(), vec!["b"]);
+    }
+}

@@ -470,22 +470,57 @@ pub fn multi_group_by_exec(
     };
     let nwords = rows.as_words().len();
     let ranges = chunk_ranges(nwords, AGG_CHUNK_WORDS);
+    // Each chunk measures its own wall time (a no-op with obs off); the
+    // coordinator records them in chunk order below.
+    let timed = |range: std::ops::Range<usize>| {
+        let t = exec.obs.timer();
+        let groups = accumulate(range);
+        (groups, t.stop())
+    };
     // Both arms chunk identically and merge in chunk order — the same
     // discipline as the per-facet kernels — so the fused result depends
     // only on the data, never on the thread count.
     let partials = if exec.is_serial() || nwords < 2 * AGG_CHUNK_WORDS {
-        ranges.into_iter().map(accumulate).collect::<Vec<_>>()
+        ranges.iter().map(|r| timed(r.clone())).collect::<Vec<_>>()
     } else {
-        par_map(exec, &ranges, |_, r| accumulate(r.clone()))
+        par_map(exec, &ranges, |_, r| timed(r.clone()))
     };
     let mut merged: Vec<FacetGroups> = specs
         .iter()
         .map(|s| FacetGroups::new_for(s, wh, dense_limit))
         .collect();
-    for partial in &partials {
+    for (partial, _) in &partials {
         for (m, p) in merged.iter_mut().zip(partial) {
             m.merge(p);
         }
+    }
+    if exec.obs.is_enabled() {
+        for (_, chunk_ns) in &partials {
+            exec.obs.record_ns("query.agg_chunk_ns", *chunk_ns);
+        }
+        // The dense/hash dispatch decision per categorical spec.
+        let dense = merged.iter().filter(|g| g.is_dense()).count();
+        let hash = merged
+            .iter()
+            .filter(|g| matches!(g, FacetGroups::Sparse { .. }))
+            .count();
+        exec.obs.inc("query.agg_dense_dispatch", dense as u64);
+        exec.obs.inc("query.agg_hash_dispatch", hash as u64);
+        exec.obs.leaf(
+            "multi_group_by",
+            kdap_obs::LeafData {
+                wall_ns: partials.iter().map(|(_, ns)| ns).sum(),
+                rows_in: Some(rows.len() as u64),
+                rows_out: Some(merged.iter().map(|g| g.n_groups() as u64).sum()),
+                cache: None,
+                notes: vec![
+                    ("specs".into(), specs.len().to_string()),
+                    ("chunks".into(), partials.len().to_string()),
+                    ("dense".into(), dense.to_string()),
+                    ("hash".into(), hash.to_string()),
+                ],
+            },
+        );
     }
     merged
 }

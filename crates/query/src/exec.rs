@@ -17,18 +17,37 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use kdap_obs::Obs;
+
 /// How query kernels execute: serially or across a fixed number of
-/// worker threads.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// worker threads. Also carries the [`Obs`] telemetry handle, so every
+/// kernel that receives an `ExecConfig` can record timings without an
+/// extra parameter; the handle does not participate in equality —
+/// configs compare by thread count alone.
+#[derive(Debug, Clone)]
 pub struct ExecConfig {
     /// Number of worker threads; `1` means strictly serial execution.
     pub threads: usize,
+    /// Observability handle; [`Obs::disabled`] by default, making all
+    /// instrumentation a no-op.
+    pub obs: Obs,
 }
+
+impl PartialEq for ExecConfig {
+    fn eq(&self, other: &Self) -> bool {
+        self.threads == other.threads
+    }
+}
+
+impl Eq for ExecConfig {}
 
 impl ExecConfig {
     /// Strictly serial execution (the default).
     pub fn serial() -> Self {
-        ExecConfig { threads: 1 }
+        ExecConfig {
+            threads: 1,
+            obs: Obs::disabled(),
+        }
     }
 
     /// Execution over `threads` workers; `0` selects the machine's
@@ -43,7 +62,14 @@ impl ExecConfig {
         };
         ExecConfig {
             threads: threads.max(1),
+            obs: Obs::disabled(),
         }
+    }
+
+    /// The same configuration with `obs` attached.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// True when kernels must take the serial code path.

@@ -24,6 +24,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use kdap_obs::{CacheCounters, CacheOutcome, LeafData};
 use kdap_warehouse::{StatsCatalog, TableId, Warehouse};
 
 use crate::bitmap::RowSet;
@@ -300,6 +301,7 @@ pub struct SemijoinCache {
     map: Mutex<HashMap<StepKey, Arc<RowSet>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl SemijoinCache {
@@ -335,6 +337,16 @@ impl SemijoinCache {
         )
     }
 
+    /// Hit/miss/eviction counters. The cache is unbounded, so evictions
+    /// only come from [`SemijoinCache::clear`].
+    pub fn counters(&self) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
     /// Number of cached bitmaps.
     pub fn len(&self) -> usize {
         self.map.lock().len()
@@ -345,9 +357,13 @@ impl SemijoinCache {
         self.len() == 0
     }
 
-    /// Drops all cached bitmaps (counters are kept).
+    /// Drops all cached bitmaps (hit/miss counters are kept; the dropped
+    /// entries count as evictions).
     pub fn clear(&self) {
-        self.map.lock().clear();
+        let mut map = self.map.lock();
+        self.evictions
+            .fetch_add(map.len() as u64, Ordering::Relaxed);
+        map.clear();
     }
 }
 
@@ -469,23 +485,58 @@ pub fn execute_plan_traced(
     exec: &ExecConfig,
 ) -> Result<(RowSet, Vec<StepTrace>), QueryError> {
     let n = wh.table(origin).nrows();
-    let results: Vec<Result<(Arc<RowSet>, bool), QueryError>> =
-        if exec.is_serial() || plan.steps.len() < 2 {
-            plan.steps
-                .iter()
-                .map(|s| execute_step(wh, jidx, origin, s, cache))
-                .collect()
-        } else {
-            par_map(exec, &plan.steps, |_, s| {
-                execute_step(wh, jidx, origin, s, cache)
-            })
-        };
+    // Each (worker or serial) evaluation measures its own wall time; the
+    // coordinator below records the leaves in step order, so the profile
+    // structure is identical at any thread count.
+    type TimedStep = (Result<(Arc<RowSet>, bool), QueryError>, u64);
+    let timed_step = |s: &PhysStep| -> TimedStep {
+        let t = exec.obs.timer();
+        let result = execute_step(wh, jidx, origin, s, cache);
+        (result, t.stop())
+    };
+    let results: Vec<TimedStep> = if exec.is_serial() || plan.steps.len() < 2 {
+        plan.steps.iter().map(timed_step).collect()
+    } else {
+        par_map(exec, &plan.steps, |_, s| timed_step(s))
+    };
+    let obs_on = exec.obs.is_enabled();
     let mut rows = RowSet::full(n);
     let mut traces = Vec::with_capacity(plan.steps.len());
-    for (step, result) in plan.steps.iter().zip(results) {
+    for (step, (result, step_ns)) in plan.steps.iter().zip(results) {
         let (bitmap, cache_hit) = result?;
         rows.intersect_with(&bitmap);
         let est_fraction = step.est_fraction();
+        if obs_on {
+            exec.obs.record_ns("query.semijoin_step_ns", step_ns);
+            exec.obs.inc(
+                if cache_hit {
+                    "query.step_cache_hits"
+                } else {
+                    "query.step_cache_misses"
+                },
+                1,
+            );
+            exec.obs.leaf(
+                if step.n_constraints() > 1 {
+                    "fused_scan"
+                } else {
+                    "semijoin"
+                },
+                LeafData {
+                    wall_ns: step_ns,
+                    rows_in: Some(n as u64),
+                    rows_out: Some(bitmap.len() as u64),
+                    cache: cache.map(|_| {
+                        if cache_hit {
+                            CacheOutcome::Hit
+                        } else {
+                            CacheOutcome::Miss
+                        }
+                    }),
+                    notes: vec![("constraints".into(), step.n_constraints().to_string())],
+                },
+            );
+        }
         traces.push(StepTrace {
             est_fraction,
             est_rows: (est_fraction * n as f64).round() as usize,
@@ -675,6 +726,32 @@ mod tests {
         assert_eq!(cache.len(), 1);
         cache.clear();
         assert!(cache.is_empty());
+        assert_eq!(cache.counters(), CacheCounters::new(1, 1, 1));
+    }
+
+    #[test]
+    fn traced_execution_feeds_profile_leaves() {
+        let wh = fixture();
+        let jidx = JoinIndex::build(&wh);
+        let fact = wh.schema().fact_table();
+        let logical = LogicalPlan::from_selections(vec![
+            dim_selection(&wh, "Widget"),
+            tag_selection(&wh, "hot"),
+        ]);
+        let cfg = PlannerConfig {
+            reorder: false,
+            fuse_fact_local: false,
+        };
+        let plan = optimize(&wh, fact, &logical, &cfg, None);
+        let obs = kdap_obs::Obs::enabled();
+        obs.start_profile("q");
+        let exec = ExecConfig::serial().with_obs(obs.clone());
+        let _ = execute_plan_traced(&wh, &jidx, fact, &plan, None, &exec).unwrap();
+        let p = obs.take_profile().unwrap();
+        assert_eq!(p.stage_names(), vec!["semijoin", "semijoin"]);
+        assert_eq!(p.roots[0].rows_out, Some(2));
+        let snap = obs.metrics_snapshot();
+        assert_eq!(snap.histograms["query.semijoin_step_ns"].count, 2);
     }
 
     #[test]

@@ -3,10 +3,12 @@
 //! group-by aggregation.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use kdap_obs::CacheCounters;
 use kdap_warehouse::{ColRef, EdgeId, TableId, Warehouse};
 
 use crate::bitmap::RowSet;
@@ -34,6 +36,8 @@ pub struct JoinIndex {
     /// the same path walked from different origin tables (e.g. the fact
     /// table vs. a hierarchy level during roll-up) maps different rows.
     mapper_cache: Mutex<HashMap<(TableId, JoinPath), RowMapper>>,
+    mapper_hits: AtomicU64,
+    mapper_misses: AtomicU64,
 }
 
 impl JoinIndex {
@@ -68,6 +72,18 @@ impl JoinIndex {
             children_by_key,
             parent_row_by_key,
             mapper_cache: Mutex::new(HashMap::new()),
+            mapper_hits: AtomicU64::new(0),
+            mapper_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Hit/miss/eviction counters of the row-mapper cache. Mappers are
+    /// never dropped, so evictions stay 0 for the index's lifetime.
+    pub fn mapper_counters(&self) -> CacheCounters {
+        CacheCounters {
+            hits: self.mapper_hits.load(Ordering::Relaxed),
+            misses: self.mapper_misses.load(Ordering::Relaxed),
+            evictions: 0,
         }
     }
 
@@ -131,8 +147,10 @@ impl JoinIndex {
         path: &JoinPath,
     ) -> Arc<Vec<Option<u32>>> {
         if let Some(m) = self.mapper_cache.lock().get(&(origin, path.clone())) {
+            self.mapper_hits.fetch_add(1, Ordering::Relaxed);
             return m.clone();
         }
+        self.mapper_misses.fetch_add(1, Ordering::Relaxed);
         let schema = wh.schema();
         let n = wh.table(origin).nrows();
         let mut mapping: Vec<Option<u32>> = (0..n as u32).map(Some).collect();
@@ -383,6 +401,7 @@ mod tests {
         // Second call hits the cache and returns the same Arc.
         let again = idx.row_mapper(&wh, fact, &path);
         assert!(Arc::ptr_eq(&mapping, &again));
+        assert_eq!(idx.mapper_counters(), CacheCounters::new(1, 1, 0));
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+use kdap_obs::Obs;
 use kdap_warehouse::{ColRef, Warehouse};
 
 use crate::doc::{DocId, DocMeta};
@@ -30,6 +31,23 @@ pub struct TextIndex {
     /// Raw token → stemmed term ids it maps to (almost always one).
     pub(crate) raw_vocab: BTreeMap<String, Vec<u32>>,
     pub(crate) postings: Vec<Vec<Posting>>,
+    pub(crate) obs: Obs,
+}
+
+/// Summary statistics of a built [`TextIndex`] (the `kdap stats`
+/// surface).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TextIndexStats {
+    /// Virtual documents (attribute instances) indexed.
+    pub docs: usize,
+    /// Distinct stemmed terms.
+    pub terms: usize,
+    /// Total postings across all term lists.
+    pub postings: usize,
+    /// Mean token length of a virtual document.
+    pub avg_doc_len: f64,
+    /// Rough in-memory footprint in bytes.
+    pub approx_bytes: usize,
 }
 
 impl TextIndex {
@@ -82,6 +100,30 @@ impl TextIndex {
             if !raw_ids.contains(&term_id) {
                 raw_ids.push(term_id);
             }
+        }
+    }
+
+    /// Attaches an observability handle; search timings and counters flow
+    /// into it from then on.
+    pub fn attach_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
+    /// Summary statistics: documents, terms, postings, and average
+    /// document length.
+    pub fn stats(&self) -> TextIndexStats {
+        let postings = self.postings.iter().map(Vec::len).sum();
+        let total_len: u64 = self.docs.iter().map(|d| d.len as u64).sum();
+        TextIndexStats {
+            docs: self.docs.len(),
+            terms: self.terms.len(),
+            postings,
+            avg_doc_len: if self.docs.is_empty() {
+                0.0
+            } else {
+                total_len as f64 / self.docs.len() as f64
+            },
+            approx_bytes: self.approx_bytes(),
         }
     }
 

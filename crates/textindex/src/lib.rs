@@ -34,7 +34,7 @@ pub mod tokenizer;
 pub mod tuple_index;
 
 pub use doc::{DocId, DocMeta};
-pub use index::{Posting, TextIndex};
+pub use index::{Posting, TextIndex, TextIndexStats};
 pub use search::{SearchHit, SearchOptions};
 pub use snippet::snippet;
 pub use stemmer::stem;

@@ -148,6 +148,92 @@ impl ColumnStats {
     }
 }
 
+/// One column's line in a [`WarehouseSummary`].
+#[derive(Debug, Clone)]
+pub struct ColumnSummary {
+    /// Column name (without the table prefix).
+    pub name: String,
+    /// Value type rendered as `str`/`int`/`float`.
+    pub value_type: String,
+    /// Distinct non-null values.
+    pub distinct: usize,
+    /// NULL rows.
+    pub nulls: usize,
+    /// True when the column is full-text searchable.
+    pub searchable: bool,
+    /// Minimum value, for numeric columns with data.
+    pub min: Option<f64>,
+    /// Maximum value, for numeric columns with data.
+    pub max: Option<f64>,
+}
+
+/// One table's line in a [`WarehouseSummary`].
+#[derive(Debug, Clone)]
+pub struct TableSummary {
+    /// Table name.
+    pub name: String,
+    /// Row count.
+    pub rows: usize,
+    /// True when this is the fact table.
+    pub fact: bool,
+    /// Per-column summaries, in definition order.
+    pub columns: Vec<ColumnSummary>,
+}
+
+/// Catalog-wide summary — row counts and per-column cardinalities — the
+/// data behind the `kdap stats` console command.
+#[derive(Debug, Clone)]
+pub struct WarehouseSummary {
+    /// Per-table summaries, in catalog order.
+    pub tables: Vec<TableSummary>,
+    /// Fact-table row count.
+    pub fact_rows: usize,
+    /// Rough in-memory footprint in bytes.
+    pub approx_bytes: usize,
+}
+
+/// Computes a full catalog summary in one pass over every column.
+pub fn summarize(wh: &Warehouse) -> WarehouseSummary {
+    use crate::value::ValueType;
+    let fact = wh.schema().fact_table();
+    let tables = wh
+        .tables()
+        .iter()
+        .enumerate()
+        .map(|(ti, t)| TableSummary {
+            name: t.name().to_string(),
+            rows: t.nrows(),
+            fact: ti == fact.0 as usize,
+            columns: t
+                .columns()
+                .iter()
+                .map(|c| {
+                    let s = ColumnStats::compute(c);
+                    ColumnSummary {
+                        name: c.name().to_string(),
+                        value_type: match c.value_type() {
+                            ValueType::Str => "str",
+                            ValueType::Int => "int",
+                            ValueType::Float => "float",
+                        }
+                        .to_string(),
+                        distinct: s.distinct,
+                        nulls: s.nulls,
+                        searchable: c.is_searchable(),
+                        min: s.min,
+                        max: s.max,
+                    }
+                })
+                .collect(),
+        })
+        .collect();
+    WarehouseSummary {
+        tables,
+        fact_rows: wh.fact_rows(),
+        approx_bytes: wh.approx_bytes(),
+    }
+}
+
 /// Lazily computed, memoized per-column statistics for one warehouse.
 ///
 /// Safe to share across worker threads; the first request for a column
@@ -250,6 +336,45 @@ mod tests {
         let s = ColumnStats::compute(&c);
         assert_eq!((s.min, s.max), (Some(1.0), Some(4.0)));
         assert_eq!(s.range_fraction(1.0, 4.0), 1.0);
+    }
+
+    #[test]
+    fn summarize_covers_every_table_and_column() {
+        use crate::builder::WarehouseBuilder;
+        let mut b = WarehouseBuilder::new();
+        b.table(
+            "F",
+            &[
+                ("Id", ValueType::Int, false),
+                ("City", ValueType::Str, true),
+                ("Price", ValueType::Float, false),
+            ],
+        )
+        .unwrap();
+        b.row("F", vec![1i64.into(), "Columbus".into(), 9.5.into()])
+            .unwrap();
+        b.row("F", vec![2i64.into(), "Seattle".into(), 1.5.into()])
+            .unwrap();
+        b.row("F", vec![3i64.into(), "Columbus".into(), 4.0.into()])
+            .unwrap();
+        b.fact("F").unwrap();
+        let wh = b.finish().unwrap();
+        let s = crate::stats::summarize(&wh);
+        assert_eq!(s.fact_rows, 3);
+        assert!(s.approx_bytes > 0);
+        assert_eq!(s.tables.len(), 1);
+        let t = &s.tables[0];
+        assert!(t.fact);
+        assert_eq!(t.rows, 3);
+        assert_eq!(t.columns.len(), 3);
+        let city = &t.columns[1];
+        assert_eq!(city.name, "City");
+        assert_eq!(city.value_type, "str");
+        assert_eq!(city.distinct, 2);
+        assert!(city.searchable);
+        let price = &t.columns[2];
+        assert_eq!(price.value_type, "float");
+        assert_eq!((price.min, price.max), (Some(1.5), Some(9.5)));
     }
 
     #[test]

@@ -1,0 +1,91 @@
+//! Observability is a pure observer: enabling the recorder must never
+//! change a single result bit — not interpretation ranking, not the
+//! exploration aggregates, not facet ordering — at any thread count.
+//! The per-query profile tree, in turn, must keep a stable stage
+//! structure whether the kernels run on one worker or four (timings
+//! differ; the tree does not).
+
+use kdap_suite::core::Kdap;
+use kdap_suite::datagen::{build_ebiz, generate_workload, EbizScale, WorkloadConfig};
+
+fn sessions(threads: usize) -> (Kdap, Kdap) {
+    let off = Kdap::builder(build_ebiz(EbizScale::small(), 42).expect("generator is valid"))
+        .threads(threads)
+        .build()
+        .expect("measure defined");
+    let on = Kdap::builder(build_ebiz(EbizScale::small(), 42).expect("generator is valid"))
+        .threads(threads)
+        .observability(true)
+        .build()
+        .expect("measure defined");
+    (off, on)
+}
+
+#[test]
+fn obs_on_off_results_are_bit_identical_across_thread_counts() {
+    for threads in [1usize, 4] {
+        let (off, on) = sessions(threads);
+        let queries = generate_workload(off.warehouse(), &WorkloadConfig::default());
+        let mut explored = 0usize;
+        for q in queries.iter().take(24) {
+            let text = q.text();
+            let ranked_off = off.interpret(&text);
+            let ranked_on = on.interpret(&text);
+            assert_eq!(
+                ranked_off.len(),
+                ranked_on.len(),
+                "threads={threads} `{text}`: interpretation count diverged"
+            );
+            for (a, b) in ranked_off.iter().zip(&ranked_on) {
+                assert_eq!(
+                    a.score, b.score,
+                    "threads={threads} `{text}`: ranking score diverged"
+                );
+                assert_eq!(
+                    a.net.fingerprint(),
+                    b.net.fingerprint(),
+                    "threads={threads} `{text}`: net diverged"
+                );
+            }
+            if let (Some(a), Some(b)) = (ranked_off.first(), ranked_on.first()) {
+                let ex_off = off.explore(&a.net).expect("explore succeeds");
+                let ex_on = on.explore(&b.net).expect("explore succeeds");
+                assert_eq!(
+                    ex_off, ex_on,
+                    "threads={threads} `{text}`: exploration diverged"
+                );
+                explored += 1;
+            }
+        }
+        assert!(explored > 4, "workload produced too few explorable queries");
+    }
+}
+
+#[test]
+fn profile_stage_structure_is_stable_across_thread_counts() {
+    let (_, on1) = sessions(1);
+    let (_, on4) = sessions(4);
+    let p1 = on1.profile_query("columbus lcd").expect("profile succeeds");
+    let p4 = on4.profile_query("columbus lcd").expect("profile succeeds");
+    assert!(!p1.profile.is_empty(), "profile recorded no stages");
+    assert_eq!(
+        p1.profile.stage_names(),
+        p4.profile.stage_names(),
+        "profile tree shape must not depend on the worker count"
+    );
+    assert_eq!(p1.exploration, p4.exploration);
+}
+
+#[test]
+fn disabled_sessions_record_nothing() {
+    let (off, _) = sessions(1);
+    assert!(!off.obs().is_enabled());
+    // A profile request on a disabled session returns an empty tree
+    // rather than erroring — the query itself still runs.
+    let report = off.profile_query("columbus lcd").expect("query still runs");
+    assert!(report.profile.is_empty());
+    assert!(report.exploration.is_some());
+    let snap = off.obs().metrics_snapshot();
+    assert!(snap.counters.is_empty());
+    assert!(snap.histograms.is_empty());
+}
