@@ -59,6 +59,9 @@ pub struct CliArgs {
     pub profile: bool,
     /// `--json`: machine-readable output for one-shot subcommands.
     pub json: bool,
+    /// `--timeout-ms N`: per-query deadline; queries that exceed it abort
+    /// with a timeout error instead of running to completion.
+    pub timeout_ms: Option<u64>,
 }
 
 /// Parses `kdap` arguments (everything after `argv[0]`).
@@ -70,6 +73,7 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
     let mut optimizer = true;
     let mut profile = false;
     let mut json = false;
+    let mut timeout_ms = None;
     let mut positional: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -110,6 +114,17 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
             "--no-opt" => optimizer = false,
             "--profile" => profile = true,
             "--json" => json = true,
+            "--timeout-ms" => {
+                let ms: u64 = it
+                    .next()
+                    .ok_or("--timeout-ms needs a value")?
+                    .parse()
+                    .map_err(|_| "--timeout-ms must be an integer".to_string())?;
+                if ms == 0 {
+                    return Err("--timeout-ms must be positive".into());
+                }
+                timeout_ms = Some(ms);
+            }
             "--help" | "-h" => return Err(usage()),
             other if !other.starts_with('-') => positional.push(other.to_string()),
             other => return Err(format!("unknown argument `{other}`\n{}", usage())),
@@ -142,6 +157,7 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
         mode,
         profile,
         json,
+        timeout_ms,
     })
 }
 
@@ -149,7 +165,8 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
 pub fn usage() -> String {
     "usage: kdap [profile <keywords…> | stats] \
      [--demo ebiz|aw-online|aw-reseller|trends] [--spec FILE] \
-     [--small] [--seed N] [--threads N] [--no-opt] [--profile] [--json]"
+     [--small] [--seed N] [--threads N] [--no-opt] [--profile] [--json] \
+     [--timeout-ms N]"
         .to_string()
 }
 
@@ -172,6 +189,16 @@ mod tests {
         assert_eq!(a.mode, CliMode::Repl);
         assert!(!a.profile);
         assert!(!a.json);
+        assert_eq!(a.timeout_ms, None);
+    }
+
+    #[test]
+    fn parses_timeout_ms() {
+        let a = parse_args(&args(&["--timeout-ms", "250"])).unwrap();
+        assert_eq!(a.timeout_ms, Some(250));
+        assert!(parse_args(&args(&["--timeout-ms"])).is_err());
+        assert!(parse_args(&args(&["--timeout-ms", "abc"])).is_err());
+        assert!(parse_args(&args(&["--timeout-ms", "0"])).is_err());
     }
 
     #[test]

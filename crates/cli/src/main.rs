@@ -2,10 +2,40 @@
 //! interactive analytical console.
 
 use std::io::{BufRead, Write};
+use std::time::Duration;
 
 use kdap_cli::stats::{stats_json, stats_text};
 use kdap_cli::{parse_args, CliMode, Command, DataSource, Repl};
-use kdap_core::{render_interpretations, Kdap};
+use kdap_core::{render_interpretations, CancelToken, Kdap};
+
+/// Ctrl-C cancels the in-flight query, not the process. The handler does
+/// nothing but a relaxed atomic store through a pre-registered
+/// [`CancelToken`] — the only async-signal-safe thing it could do.
+#[cfg(unix)]
+mod sigint {
+    use kdap_core::CancelToken;
+    use std::sync::OnceLock;
+
+    static TOKEN: OnceLock<CancelToken> = OnceLock::new();
+
+    extern "C" fn on_sigint(_sig: i32) {
+        if let Some(token) = TOKEN.get() {
+            token.cancel();
+        }
+    }
+
+    /// Registers `token` and installs the SIGINT handler.
+    pub fn install(token: CancelToken) {
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        let _ = TOKEN.set(token);
+        unsafe {
+            signal(SIGINT, on_sigint as extern "C" fn(i32) as usize);
+        }
+    }
+}
 use kdap_datagen::{
     build_aw_online, build_aw_reseller, build_ebiz, build_trends, EbizScale, Scale, TrendsScale,
 };
@@ -83,13 +113,15 @@ fn main() {
     };
 
     let observability = args.profile || matches!(args.mode, CliMode::Profile(_));
-    let kdap = match Kdap::builder(wh)
+    let mut builder = Kdap::builder(wh)
         .cache_capacity(64)
         .threads(args.threads)
         .optimizer(args.optimizer)
-        .observability(observability)
-        .build()
-    {
+        .observability(observability);
+    if let Some(ms) = args.timeout_ms {
+        builder = builder.deadline(Duration::from_millis(ms));
+    }
+    let kdap = match builder.build() {
         Ok(k) => k,
         Err(e) => {
             eprintln!("cannot open warehouse: {e} (a `measure` declaration is required)");
@@ -131,6 +163,20 @@ fn main() {
         CliMode::Repl => {}
     }
 
+    // Ctrl-C cancels the in-flight query instead of killing the console.
+    let cancel: Option<CancelToken> = {
+        #[cfg(unix)]
+        {
+            let token = kdap.cancel_token();
+            sigint::install(token.clone());
+            Some(token)
+        }
+        #[cfg(not(unix))]
+        {
+            None
+        }
+    };
+
     let mut repl = Repl::new(kdap);
     println!("KDAP console ready — `help` lists commands. Try: q Columbus LCD");
 
@@ -141,8 +187,18 @@ fn main() {
         stdout.flush().ok();
         let mut line = String::new();
         match stdin.lock().read_line(&mut line) {
-            Ok(0) | Err(_) => break,
+            Ok(0) => break,
             Ok(_) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {
+                // Ctrl-C at the prompt: nothing in flight; re-prompt.
+                println!();
+                continue;
+            }
+            Err(_) => break,
+        }
+        // A Ctrl-C that landed between queries must not cancel the next.
+        if let Some(token) = &cancel {
+            token.reset();
         }
         match Command::parse(&line) {
             Ok(cmd) => match repl.execute(cmd, &mut stdout) {

@@ -7,7 +7,7 @@ use std::io::Write;
 use kdap_core::interest::InterestMode;
 use kdap_core::{
     drill_down, remove_constraint, render_exploration, render_interpretations, roll_up,
-    Exploration, FacetOrder, Kdap, RankedStarNet, StarNet,
+    Exploration, FacetOrder, Kdap, KdapError, RankedStarNet, StarNet,
 };
 use kdap_query::paths_between;
 
@@ -39,19 +39,25 @@ impl Repl {
     /// Executes one command; returns `false` when the session should end.
     pub fn execute(&mut self, cmd: Command, out: &mut impl Write) -> std::io::Result<bool> {
         match cmd {
-            Command::Query(q) => {
-                self.interpretations = self.kdap.interpret(&q);
-                if self.interpretations.is_empty() {
-                    writeln!(out, "no interpretation found for \"{q}\"")?;
-                } else {
-                    write!(
-                        out,
-                        "{}",
-                        render_interpretations(self.kdap.warehouse(), &self.interpretations, 8)
-                    )?;
-                    writeln!(out, "pick one with `pick <n>`.")?;
+            Command::Query(q) => match self.kdap.try_interpret(&q) {
+                Ok(ranked) => {
+                    self.interpretations = ranked;
+                    if self.interpretations.is_empty() {
+                        writeln!(out, "no interpretation found for \"{q}\"")?;
+                    } else {
+                        write!(
+                            out,
+                            "{}",
+                            render_interpretations(self.kdap.warehouse(), &self.interpretations, 8)
+                        )?;
+                        writeln!(out, "pick one with `pick <n>`.")?;
+                    }
                 }
-            }
+                Err(e) => {
+                    self.interpretations.clear();
+                    writeln!(out, "{}", query_failure(&e))?;
+                }
+            },
             Command::Pick(n) => match self.interpretations.get(n.wrapping_sub(1)) {
                 Some(r) => {
                     self.current = Some(r.net.clone());
@@ -284,6 +290,20 @@ impl Repl {
     }
 }
 
+/// Console-friendly rendering of a failed query, with a hint on how to
+/// proceed for the governance breaches an analyst can act on.
+fn query_failure(e: &KdapError) -> String {
+    match e {
+        KdapError::EmptyQuery => {
+            "query has no usable keywords — try content words, e.g. `q columbus lcd`".to_string()
+        }
+        KdapError::Timeout { .. } => format!("{e} — raise --timeout-ms or narrow the query"),
+        KdapError::Cancelled { .. } => format!("{e} — interrupted with Ctrl-C"),
+        KdapError::BudgetExceeded { .. } => format!("{e} — narrow the query or raise the budget"),
+        other => format!("query failed: {other}"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -320,6 +340,42 @@ mod tests {
         assert!(run(&mut r, "up 1").contains("nothing explored"));
         let out = run(&mut r, "q zzzzqqqq");
         assert!(out.contains("no interpretation found"));
+    }
+
+    #[test]
+    fn stopword_only_query_gets_a_friendly_hint() {
+        let mut r = repl();
+        let out = run(&mut r, "q the and of");
+        assert!(out.contains("no usable keywords"), "{out}");
+        // The previous result list is cleared, so `pick` has nothing.
+        assert!(run(&mut r, "pick 1").contains("no interpretation"));
+    }
+
+    #[test]
+    fn timed_out_query_reports_timeout_not_panic() {
+        let wh = build_ebiz(EbizScale::small(), 7).unwrap();
+        let mut kdap = Kdap::builder(wh).cache_capacity(8).build().unwrap();
+        kdap.set_deadline(Some(std::time::Duration::ZERO));
+        let mut r = Repl::new(kdap);
+        let out = run(&mut r, "q columbus lcd");
+        assert!(out.contains("timed out"), "{out}");
+        assert!(out.contains("--timeout-ms"), "{out}");
+    }
+
+    #[test]
+    fn cancelled_query_reports_cancellation() {
+        let wh = build_ebiz(EbizScale::small(), 7).unwrap();
+        let kdap = Kdap::builder(wh).cache_capacity(8).build().unwrap();
+        let token = kdap.cancel_token();
+        token.cancel();
+        let mut r = Repl::new(kdap);
+        let out = run(&mut r, "q columbus lcd");
+        assert!(out.contains("cancelled"), "{out}");
+        // Resetting the token (what the console does per prompt line)
+        // makes the next query run normally.
+        token.reset();
+        let out = run(&mut r, "q columbus");
+        assert!(out.contains("#1"), "{out}");
     }
 
     #[test]

@@ -17,6 +17,30 @@ pub enum KdapError {
     NoMeasure,
     /// The requested measure is not declared by the warehouse.
     UnknownMeasure(String),
+    /// The query ran past its deadline and was aborted cooperatively.
+    Timeout {
+        /// Pipeline stage that observed the breach (an obs span name).
+        stage: &'static str,
+        /// Wall-clock time spent before the deadline check fired.
+        elapsed_ms: u64,
+    },
+    /// The query's cancellation token was triggered (e.g. REPL Ctrl-C).
+    Cancelled {
+        /// Pipeline stage that observed the cancellation.
+        stage: &'static str,
+    },
+    /// The query charged more bytes against its memory budget than allowed.
+    BudgetExceeded {
+        /// Pipeline stage whose allocation breached the budget.
+        stage: &'static str,
+        /// The configured budget in bytes.
+        budget_bytes: u64,
+        /// Cumulative bytes charged when the breach was detected.
+        charged_bytes: u64,
+    },
+    /// The keyword input contains no usable keywords (empty, or nothing
+    /// but stopwords/punctuation).
+    EmptyQuery,
 }
 
 impl fmt::Display for KdapError {
@@ -26,6 +50,22 @@ impl fmt::Display for KdapError {
             KdapError::Query(e) => write!(f, "query error: {e}"),
             KdapError::NoMeasure => write!(f, "warehouse declares no measure"),
             KdapError::UnknownMeasure(name) => write!(f, "unknown measure {name:?}"),
+            KdapError::Timeout { stage, elapsed_ms } => {
+                write!(f, "query timed out after {elapsed_ms} ms in `{stage}`")
+            }
+            KdapError::Cancelled { stage } => write!(f, "query cancelled in `{stage}`"),
+            KdapError::BudgetExceeded {
+                stage,
+                budget_bytes,
+                charged_bytes,
+            } => write!(
+                f,
+                "query exceeded its memory budget in `{stage}` \
+                 ({charged_bytes} bytes charged, {budget_bytes} allowed)"
+            ),
+            KdapError::EmptyQuery => {
+                write!(f, "query contains no usable keywords")
+            }
         }
     }
 }
@@ -48,7 +88,23 @@ impl From<WarehouseError> for KdapError {
 
 impl From<QueryError> for KdapError {
     fn from(e: QueryError) -> Self {
-        KdapError::Query(e)
+        match e {
+            QueryError::Governed { breach, stage, .. } => match breach {
+                kdap_query::Breach::Timeout { elapsed_ms } => {
+                    KdapError::Timeout { stage, elapsed_ms }
+                }
+                kdap_query::Breach::Cancelled => KdapError::Cancelled { stage },
+                kdap_query::Breach::Budget {
+                    budget_bytes,
+                    charged_bytes,
+                } => KdapError::BudgetExceeded {
+                    stage,
+                    budget_bytes,
+                    charged_bytes,
+                },
+            },
+            other => KdapError::Query(other),
+        }
     }
 }
 

@@ -63,6 +63,9 @@ pub struct Plan {
 /// nets); use [`explain_planned`] to explain through a session's planner
 /// and see its cache hits.
 pub fn explain(wh: &Warehouse, jidx: &JoinIndex, net: &StarNet) -> Plan {
+    // Documented panic (see doc comment above); the serial ungoverned
+    // config cannot breach any governance limit.
+    #[allow(clippy::expect_used)]
     explain_planned(wh, jidx, net, &Planner::optimized(), &ExecConfig::serial())
         .expect("star-net constraints evaluate on the fact table")
 }

@@ -161,7 +161,7 @@ pub(crate) fn explore_fused(
         let s = obs.span("explore.scan_a");
         s.rows_in(sub.len() as u64);
         s.note("specs", specs_a.len());
-        multi_group_by_exec(wh, &specs_a, &sub.rows, mv, exec, DENSE_GROUP_LIMIT)
+        multi_group_by_exec(wh, &specs_a, &sub.rows, mv, exec, DENSE_GROUP_LIMIT)?
     };
     let total_aggregate = groups_a[0].total(cfg.agg);
 
@@ -189,7 +189,7 @@ pub(crate) fn explore_fused(
         let s = obs.span("explore.scan_b");
         s.rows_in(sub.len() as u64);
         s.note("specs", specs_b.len());
-        multi_group_by_exec(wh, &specs_b, &sub.rows, mv, exec, DENSE_GROUP_LIMIT)
+        multi_group_by_exec(wh, &specs_b, &sub.rows, mv, exec, DENSE_GROUP_LIMIT)?
     };
 
     // One fused scan per roll-up space: total + every live candidate.
@@ -225,7 +225,7 @@ pub(crate) fn explore_fused(
         s.note("rollups", n_rups);
         rups.iter()
             .map(|rup| multi_group_by_exec(wh, &specs_r, &rup.rows, mv, exec, DENSE_GROUP_LIMIT))
-            .collect()
+            .collect::<Result<_, _>>()?
     };
     let rup_totals: Vec<f64> = rup_results.iter().map(|g| g[0].total(cfg.agg)).collect();
 
@@ -252,7 +252,11 @@ pub(crate) fn explore_fused(
             AttrKind::Numerical => SlotData::Numerical {
                 series: b_idx[i].map(|bi| {
                     let g = &groups_b[bi];
+                    // Infallible: b_idx[i] is Some only when a bucketizer
+                    // was built, which also registered the roll-up spec.
+                    #[allow(clippy::expect_used)]
                     let ri = r_idx[i].expect("bucketized slots scan every roll-up");
+                    #[allow(clippy::expect_used)]
                     NumSlot {
                         buckets: bucketizers[i].clone().expect("bucketizer built"),
                         x: g.to_series(cfg.agg),

@@ -96,6 +96,9 @@ pub(crate) fn rank_instances_from(
     if dom.is_empty() {
         return Vec::new();
     }
+    // Infallible: callers pass attributes of kind Categorical, which are
+    // dictionary-encoded by construction in the warehouse.
+    #[allow(clippy::expect_used)]
     let dict = wh
         .column(attr)
         .dict()

@@ -264,7 +264,7 @@ fn explore_per_facet(
 ) -> Result<Exploration, KdapError> {
     let schema = wh.schema();
     let rups = try_rollup_spaces_planned(wh, jidx, net, planner, exec)?;
-    let total_aggregate = sub.aggregate_exec(wh, measure, cfg.agg, exec);
+    let total_aggregate = sub.aggregate_exec(wh, measure, cfg.agg, exec)?;
 
     // Hit codes per attribute (to pin hit instances).
     let mut hit_codes: std::collections::HashMap<ColRef, HashSet<u32>> =

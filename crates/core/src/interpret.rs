@@ -16,7 +16,8 @@
 //!   structurally identical star nets are deduplicated by canonical key.
 
 use kdap_query::{
-    fact_paths_by_table, Fingerprint, JoinPath, LogicalPlan, Selection, MAX_PATH_LEN,
+    fact_paths_by_table, ExecConfig, Fingerprint, JoinPath, LogicalPlan, QueryError, Selection,
+    MAX_PATH_LEN,
 };
 use kdap_textindex::TextIndex;
 use kdap_warehouse::{DimId, Warehouse};
@@ -154,8 +155,22 @@ pub fn generate_star_nets(
     keywords: &[&str],
     cfg: &GenConfig,
 ) -> Vec<StarNet> {
+    // A serial ungoverned config cannot breach any limit.
+    try_generate_star_nets(wh, index, keywords, cfg, &ExecConfig::serial()).unwrap_or_default()
+}
+
+/// Governable [`generate_star_nets`]: polls `exec`'s deadline and
+/// cancellation token once per generated net, so a runaway join-path
+/// product aborts mid-differentiate instead of running to the cap.
+pub fn try_generate_star_nets(
+    wh: &Warehouse,
+    index: &TextIndex,
+    keywords: &[&str],
+    cfg: &GenConfig,
+    exec: &ExecConfig,
+) -> Result<Vec<StarNet>, QueryError> {
     let hit_sets = build_hit_sets(index, keywords, &cfg.hit);
-    generate_from_hit_sets(wh, index, &hit_sets, cfg)
+    try_generate_from_hit_sets(wh, index, &hit_sets, cfg, exec)
 }
 
 /// Same as [`generate_star_nets`] but starting from prebuilt hit sets.
@@ -165,6 +180,18 @@ pub fn generate_from_hit_sets(
     hit_sets: &[HitSet],
     cfg: &GenConfig,
 ) -> Vec<StarNet> {
+    // A serial ungoverned config cannot breach any limit.
+    try_generate_from_hit_sets(wh, index, hit_sets, cfg, &ExecConfig::serial()).unwrap_or_default()
+}
+
+/// Governable [`generate_from_hit_sets`].
+pub fn try_generate_from_hit_sets(
+    wh: &Warehouse,
+    index: &TextIndex,
+    hit_sets: &[HitSet],
+    cfg: &GenConfig,
+    exec: &ExecConfig,
+) -> Result<Vec<StarNet>, QueryError> {
     let mut pool = merged_group_pool(index, hit_sets);
     if cfg.numeric.enabled {
         for (ki, hs) in hit_sets.iter().enumerate() {
@@ -179,7 +206,7 @@ pub fn generate_from_hit_sets(
     coverable.sort_unstable();
     coverable.dedup();
     if coverable.is_empty() {
-        return Vec::new();
+        return Ok(Vec::new());
     }
 
     // Enumerate star seeds: exact covers of the coverable keywords.
@@ -201,17 +228,17 @@ pub fn generate_from_hit_sets(
         };
         let mut indices = vec![0usize; seed.len()];
         loop {
+            // One governance poll per candidate net: the join-path
+            // product is where differentiate-phase time concentrates.
+            exec.check_at("generate_star_nets", nets.len() as u64, 0)?;
             let net = StarNet {
                 constraints: seed
                     .iter()
+                    .enumerate()
                     .zip(&indices)
-                    .map(|(g, &pi)| Constraint {
+                    .map(|((gi, g), &pi)| Constraint {
                         group: (*g).clone(),
-                        path: path_options[seed
-                            .iter()
-                            .position(|x| std::ptr::eq(*x, *g))
-                            .expect("group in seed")][pi]
-                            .clone(),
+                        path: path_options[gi][pi].clone(),
                     })
                     .collect(),
             };
@@ -239,7 +266,7 @@ pub fn generate_from_hit_sets(
             }
         }
     }
-    nets
+    Ok(nets)
 }
 
 /// Backtracking exact cover: pick a group covering the first uncovered

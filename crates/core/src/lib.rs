@@ -4,11 +4,13 @@
 //! 2007): keyword search meets OLAP aggregation.
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod cache;
 pub mod error;
 pub mod explain;
 pub mod facet;
+pub mod governor;
 pub mod hit;
 pub mod interest;
 pub mod interpret;
@@ -35,9 +37,10 @@ pub use facet::{
     AnnealConfig, Exploration, FacetAttr, FacetConfig, FacetEntry, FacetKernel, FacetOrder,
     FacetPanel, MergeResult,
 };
+pub use governor::{record_breach, CancelToken, Governor};
 pub use hit::{build_hit_sets, Hit, HitConfig, HitGroup, HitSet};
 pub use interest::{combine_correlations, pearson, InterestMode};
-pub use interpret::{generate_star_nets, Constraint, GenConfig, StarNet};
+pub use interpret::{generate_star_nets, try_generate_star_nets, Constraint, GenConfig, StarNet};
 pub use navigate::{drill_down, remove_constraint, roll_up, slice};
 pub use numeric_hits::{numeric_groups, NumericConfig};
 pub use phrase::merged_group_pool;
@@ -54,7 +57,8 @@ pub use subspace::{
 };
 
 pub use kdap_query::{
-    ExecConfig, Fingerprint, LogicalPlan, MeasureVector, PhysicalPlan, PlannerConfig, SemijoinCache,
+    Breach, ExecConfig, Fingerprint, LogicalPlan, MeasureVector, PhysicalPlan, PlannerConfig,
+    QueryContext, SemijoinCache,
 };
 
 pub use kdap_obs::{CacheCounters, CacheOutcome, MetricsSnapshot, Obs, ProfileNode, QueryProfile};

@@ -41,6 +41,9 @@ pub fn merged_group_pool(index: &TextIndex, hit_sets: &[HitSet]) -> Vec<HitGroup
                 // Intersect hit codes across the run.
                 let mut codes: Option<HashSet<u32>> = None;
                 for hs in &hit_sets[i..=j] {
+                    // Infallible: `attr` was intersected from exactly
+                    // these hit sets' group attributes above.
+                    #[allow(clippy::expect_used)]
                     let g = hs
                         .groups
                         .iter()
@@ -52,6 +55,8 @@ pub fn merged_group_pool(index: &TextIndex, hit_sets: &[HitSet]) -> Vec<HitGroup
                         Some(prev) => prev.intersection(&c).copied().collect(),
                     });
                 }
+                // Infallible: the run `i..=j` holds at least one hit set.
+                #[allow(clippy::expect_used)]
                 let codes = codes.expect("run is non-empty");
                 if codes.is_empty() {
                     // Requirement (b): non-overlapping groups stay separate

@@ -128,6 +128,10 @@ pub fn rollup_spaces_with(
     net: &StarNet,
     exec: &ExecConfig,
 ) -> Vec<Subspace> {
+    // Documented panic: roll-ups of interpreter-produced nets are
+    // well-formed, and this convenience entry point is not meant for
+    // governed configs (those call `try_rollup_spaces_planned`).
+    #[allow(clippy::expect_used)]
     try_rollup_spaces_planned(wh, jidx, net, &Planner::naive(), exec)
         .expect("roll-up selections evaluate on the fact table")
 }
@@ -145,16 +149,17 @@ pub fn try_rollup_spaces_planned(
 ) -> Result<Vec<Subspace>, KdapError> {
     let fact = wh.schema().fact_table();
     let indices: Vec<usize> = (0..net.constraints.len()).collect();
+    // Each rolled plan executes serially inside its par_map worker —
+    // without the outer obs handle, matching the coordinator-side-only
+    // recording contract — but the governed context (deadline / cancel /
+    // budget) must flow in or the plan steps would run unchecked.
+    let mut inner = ExecConfig::serial();
+    if let Some(ctx) = &exec.govern {
+        inner = inner.with_govern(ctx.clone());
+    }
     let results = par_map(exec, &indices, |_, &i| {
         let plan = planner.lower(wh, &rolled_logical(wh, jidx, net, i));
-        execute_plan(
-            wh,
-            jidx,
-            fact,
-            &plan,
-            planner.cache(),
-            &ExecConfig::serial(),
-        )
+        execute_plan(wh, jidx, fact, &plan, planner.cache(), &inner)
     });
     let mut spaces = Vec::with_capacity(results.len());
     for rows in results {

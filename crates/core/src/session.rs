@@ -12,17 +12,19 @@
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use kdap_obs::{CacheCounters, CacheOutcome, Obs, QueryProfile};
 use kdap_query::{ExecConfig, JoinIndex, MeasureVector};
-use kdap_textindex::TextIndex;
+use kdap_textindex::{tokenize_terms, TextIndex};
 use kdap_warehouse::{Measure, Warehouse};
 
 use crate::cache::SubspaceCache;
 use crate::error::KdapError;
 use crate::explain::ExploreReport;
 use crate::facet::{explore_subspace_planned, Exploration, FacetConfig, FacetKernel};
-use crate::interpret::{generate_star_nets, GenConfig, StarNet};
+use crate::governor::{record_breach, CancelToken, Governor};
+use crate::interpret::{try_generate_star_nets, GenConfig, StarNet};
 use crate::plan::Planner;
 use crate::rank::{rank_star_nets, RankMethod, RankedStarNet};
 use crate::subspace::{materialize_batch, materialize_planned, Subspace};
@@ -49,6 +51,8 @@ pub struct KdapBuilder {
     threads: usize,
     optimizer: bool,
     observability: bool,
+    deadline: Option<Duration>,
+    memory_budget: Option<u64>,
 }
 
 impl KdapBuilder {
@@ -65,6 +69,8 @@ impl KdapBuilder {
             threads: 1,
             optimizer: true,
             observability: false,
+            deadline: None,
+            memory_budget: None,
         }
     }
 
@@ -129,6 +135,23 @@ impl KdapBuilder {
         self
     }
 
+    /// Sets a per-query wall-clock deadline. Each `interpret`/`explore`
+    /// call restarts the clock; a query running past it aborts
+    /// cooperatively with [`KdapError::Timeout`] at the next kernel
+    /// chunk boundary.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets a per-query memory budget in bytes, charged by accumulator
+    /// and bitmap allocations. A query charging past it aborts with
+    /// [`KdapError::BudgetExceeded`].
+    pub fn memory_budget(mut self, bytes: u64) -> Self {
+        self.memory_budget = Some(bytes);
+        self
+    }
+
     /// Builds the offline indexes and the session.
     pub fn build(self) -> Result<Kdap, KdapError> {
         let measure = match &self.measure {
@@ -178,6 +201,11 @@ impl KdapBuilder {
             exec,
             planner,
             obs,
+            governor: Governor {
+                deadline: self.deadline,
+                memory_budget: self.memory_budget,
+                cancel: CancelToken::new(),
+            },
             measure_vectors: Mutex::new(HashMap::new()),
         })
     }
@@ -197,6 +225,7 @@ pub struct Kdap {
     exec: ExecConfig,
     planner: Planner,
     obs: Obs,
+    governor: Governor,
     /// Measure expressions decoded to flat `f64` vectors, memoized by
     /// measure name for the life of the session — every fused exploration
     /// of the same measure shares one decode.
@@ -280,24 +309,79 @@ impl Kdap {
         .with_obs(self.obs.clone());
     }
 
+    /// Per-query wall-clock deadline (None = unlimited).
+    pub fn set_deadline(&mut self, deadline: Option<Duration>) {
+        self.governor.deadline = deadline;
+    }
+
+    /// Per-query memory budget in bytes (None = unlimited).
+    pub fn set_memory_budget(&mut self, bytes: Option<u64>) {
+        self.governor.memory_budget = bytes;
+    }
+
+    /// A clonable handle that cancels the in-flight query when tripped
+    /// (safe to call from a signal handler). Once handed out, every query
+    /// of this session polls it at chunk granularity; call
+    /// [`CancelToken::reset`] after a cancelled query unwinds.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.governor.cancel.clone()
+    }
+
+    /// The per-query execution config: the session's `exec` plus a fresh
+    /// governance context when limits are set or a cancel token has been
+    /// handed out. Fresh per query, so the deadline clock restarts here.
+    fn query_exec(&self) -> ExecConfig {
+        if self.governor.is_unlimited() && !self.governor.cancel.is_shared() {
+            self.exec.clone()
+        } else {
+            self.exec.clone().with_govern(self.governor.fresh_context())
+        }
+    }
+
     /// Differentiate phase: parses the keyword query (double quotes group
     /// phrases, e.g. `"san jose" tv`), generates candidate star nets and
     /// returns them ranked.
+    ///
+    /// Infallible convenience wrapper: empty/stopword-only input and
+    /// governance aborts all collapse to an empty ranking. Use
+    /// [`Kdap::try_interpret`] to distinguish them.
     pub fn interpret(&self, query: &str) -> Vec<RankedStarNet> {
+        self.try_interpret(query).unwrap_or_default()
+    }
+
+    /// Fallible differentiate phase: [`KdapError::EmptyQuery`] when the
+    /// input holds no usable keyword (empty, or nothing but stopwords
+    /// and punctuation), and a governance error when the session's
+    /// deadline, cancel token, or budget fires mid-generation. A
+    /// well-formed query whose keywords simply match nothing still
+    /// returns `Ok` with an empty ranking.
+    pub fn try_interpret(&self, query: &str) -> Result<Vec<RankedStarNet>, KdapError> {
+        let result = self.try_interpret_inner(query);
+        if let Err(err) = &result {
+            record_breach(&self.obs, err);
+        }
+        result
+    }
+
+    fn try_interpret_inner(&self, query: &str) -> Result<Vec<RankedStarNet>, KdapError> {
         let span = self.obs.span("differentiate");
         let keywords = split_query(query);
+        if !has_usable_keyword(&keywords) {
+            return Err(KdapError::EmptyQuery);
+        }
         span.note("keywords", keywords.len());
+        let exec = self.query_exec();
         let refs: Vec<&str> = keywords.iter().map(String::as_str).collect();
         let nets = {
             let _s = self.obs.span("generate_star_nets");
-            generate_star_nets(&self.wh, &self.index, &refs, &self.gen)
+            try_generate_star_nets(&self.wh, &self.index, &refs, &self.gen, &exec)?
         };
         let ranked = {
             let _s = self.obs.span("rank_star_nets");
             rank_star_nets(nets, self.method)
         };
         span.rows_out(ranked.len() as u64);
-        ranked
+        Ok(ranked)
     }
 
     /// Materializes the subspaces of the top-`k` ranked interpretations
@@ -310,31 +394,50 @@ impl Kdap {
         ranked: &[RankedStarNet],
         k: usize,
     ) -> Result<Vec<Subspace>, KdapError> {
+        let exec = self.query_exec();
+        let result = self.materialize_top_inner(ranked, k, &exec);
+        if let Err(err) = &result {
+            record_breach(&self.obs, err);
+        }
+        result
+    }
+
+    fn materialize_top_inner(
+        &self,
+        ranked: &[RankedStarNet],
+        k: usize,
+        exec: &ExecConfig,
+    ) -> Result<Vec<Subspace>, KdapError> {
         let nets: Vec<&StarNet> = ranked.iter().take(k).map(|r| &r.net).collect();
         let Some(cache) = &self.cache else {
-            return materialize_batch(&self.wh, &self.jidx, &nets, &self.planner, &self.exec);
+            return materialize_batch(&self.wh, &self.jidx, &nets, &self.planner, exec);
         };
         // Serve warm interpretations from the subspace cache; batch the
-        // misses through the planner.
+        // misses through the planner. The cache is written only after the
+        // whole batch succeeded, so a governed abort leaves it untouched.
         let keys: Vec<String> = nets.iter().map(|n| n.fingerprint()).collect();
         let mut out: Vec<Option<Subspace>> = keys.iter().map(|key| cache.get(key)).collect();
         let missing: Vec<usize> = (0..nets.len()).filter(|&i| out[i].is_none()).collect();
         let miss_nets: Vec<&StarNet> = missing.iter().map(|&i| nets[i]).collect();
-        let subs = materialize_batch(&self.wh, &self.jidx, &miss_nets, &self.planner, &self.exec)?;
+        let subs = materialize_batch(&self.wh, &self.jidx, &miss_nets, &self.planner, exec)?;
         for (&i, sub) in missing.iter().zip(subs) {
             cache.insert(keys[i].clone(), sub.clone());
             out[i] = Some(sub);
         }
         Ok(out
             .into_iter()
-            .map(|s| s.expect("all slots filled"))
+            // Infallible: every index is either a cache hit or in `missing`.
+            .map(|s| {
+                #[allow(clippy::expect_used)]
+                s.expect("all slots filled")
+            })
             .collect())
     }
 
-    fn materialize_net(&self, net: &StarNet) -> Result<Subspace, KdapError> {
+    fn materialize_net(&self, net: &StarNet, exec: &ExecConfig) -> Result<Subspace, KdapError> {
         let span = self.obs.span("materialize");
         let Some(cache) = &self.cache else {
-            let sub = materialize_planned(&self.wh, &self.jidx, net, &self.planner, &self.exec)?;
+            let sub = materialize_planned(&self.wh, &self.jidx, net, &self.planner, exec)?;
             span.rows_out(sub.len() as u64);
             return Ok(sub);
         };
@@ -345,7 +448,9 @@ impl Kdap {
             return Ok(sub);
         }
         span.cache(CacheOutcome::Miss);
-        let sub = materialize_planned(&self.wh, &self.jidx, net, &self.planner, &self.exec)?;
+        // The subspace-cache insert happens strictly after successful
+        // materialization: a governed abort cannot leave a partial entry.
+        let sub = materialize_planned(&self.wh, &self.jidx, net, &self.planner, exec)?;
         cache.insert(key, sub.clone());
         span.rows_out(sub.len() as u64);
         Ok(sub)
@@ -368,10 +473,23 @@ impl Kdap {
         net: &StarNet,
         measure: &Measure,
     ) -> Result<Exploration, KdapError> {
+        let result = self.explore_with_measure_inner(net, measure);
+        if let Err(err) = &result {
+            record_breach(&self.obs, err);
+        }
+        result
+    }
+
+    fn explore_with_measure_inner(
+        &self,
+        net: &StarNet,
+        measure: &Measure,
+    ) -> Result<Exploration, KdapError> {
         let _span = self.obs.span("explore");
+        let exec = self.query_exec();
         match self.facet.kernel {
             FacetKernel::PerFacet => {
-                let sub = self.materialize_net(net)?;
+                let sub = self.materialize_net(net, &exec)?;
                 explore_subspace_planned(
                     &self.wh,
                     &self.jidx,
@@ -379,11 +497,13 @@ impl Kdap {
                     &sub,
                     measure,
                     &self.facet,
-                    &self.exec,
+                    &exec,
                     &self.planner,
                 )
             }
-            FacetKernel::Fused => self.explore_instrumented(net, measure).map(|(ex, _)| ex),
+            FacetKernel::Fused => self
+                .explore_instrumented(net, measure, &exec)
+                .map(|(ex, _)| ex),
         }
     }
 
@@ -404,8 +524,9 @@ impl Kdap {
         &self,
         net: &StarNet,
         measure: &Measure,
+        exec: &ExecConfig,
     ) -> Result<(Exploration, ExploreReport), KdapError> {
-        let sub = self.materialize_net(net)?;
+        let sub = self.materialize_net(net, exec)?;
         let mv = self.measure_vector(measure);
         crate::facet::fused::explore_fused(
             &self.wh,
@@ -414,7 +535,7 @@ impl Kdap {
             &sub,
             &mv,
             &self.facet,
-            &self.exec,
+            exec,
             &self.planner,
         )
     }
@@ -429,7 +550,8 @@ impl Kdap {
     ) -> Result<(Exploration, ExploreReport), KdapError> {
         let (ex, mut report) = {
             let _span = self.obs.span("explore");
-            self.explore_instrumented(net, &self.measure)?
+            let exec = self.query_exec();
+            self.explore_instrumented(net, &self.measure, &exec)?
         };
         report.subspace_cache = self.cache.as_ref().map(|c| c.counters());
         report.semijoin_cache = self.planner.cache_counters();
@@ -474,6 +596,17 @@ impl Kdap {
         self.planner.cache_counters()
     }
 
+    /// Number of entries in the subspace cache, when enabled. Governance
+    /// tests use this to assert that aborted queries commit nothing.
+    pub fn subspace_cache_len(&self) -> Option<usize> {
+        self.cache.as_ref().map(|c| c.len())
+    }
+
+    /// Number of entries in the planner's semi-join cache, when enabled.
+    pub fn semijoin_cache_len(&self) -> Option<usize> {
+        self.planner.cache().map(|c| c.len())
+    }
+
     /// Row-mapper-cache hit/miss counters of the session's join index.
     pub fn mapper_counters(&self) -> CacheCounters {
         self.jidx.mapper_counters()
@@ -488,7 +621,12 @@ impl Kdap {
     /// results stay bit-identical) with the recorder off.
     pub fn profile_query(&self, query: &str) -> Result<ProfileReport, KdapError> {
         self.obs.start_profile(query);
-        let ranked = self.interpret(query);
+        let ranked = match self.try_interpret(query) {
+            Ok(ranked) => ranked,
+            // No usable keywords is an empty (not failed) profile run.
+            Err(KdapError::EmptyQuery) => Vec::new(),
+            Err(err) => return Err(err),
+        };
         let exploration = match ranked.first() {
             Some(top) => Some(self.explore(&top.net)?),
             None => None,
@@ -517,6 +655,25 @@ pub struct ProfileReport {
     pub exploration: Option<Exploration>,
     /// The per-stage timing tree (empty when observability is off).
     pub profile: QueryProfile,
+}
+
+/// The classic Lucene StandardAnalyzer stopword list. Keyword input made
+/// entirely of these (plus punctuation) carries no analytical intent, so
+/// the session rejects it with [`KdapError::EmptyQuery`] instead of
+/// generating a degenerate star net over the whole dataspace.
+const STOPWORDS: &[&str] = &[
+    "a", "an", "and", "are", "as", "at", "be", "but", "by", "for", "if", "in", "into", "is", "it",
+    "no", "not", "of", "on", "or", "such", "that", "the", "their", "then", "there", "these",
+    "they", "this", "to", "was", "will", "with",
+];
+
+/// True when at least one keyword tokenizes to a non-stopword term.
+fn has_usable_keyword(keywords: &[String]) -> bool {
+    keywords.iter().any(|k| {
+        tokenize_terms(k)
+            .iter()
+            .any(|t| !STOPWORDS.contains(&t.as_str()))
+    })
 }
 
 /// Splits a raw query into keywords; double-quoted spans stay together so

@@ -17,7 +17,7 @@ use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use kdap_query::{
-    aggregate_total_exec, execute_plan, execute_step, par_map, AggFunc, ExecConfig, JoinIndex,
+    aggregate_total_exec, execute_plan, execute_step_raw, par_map, AggFunc, ExecConfig, JoinIndex,
     PhysStep, PhysicalPlan, QueryError, RowSet, StepKey,
 };
 use kdap_warehouse::{Measure, Warehouse};
@@ -53,18 +53,22 @@ impl Subspace {
 
     /// Aggregates the measure over the subspace.
     pub fn aggregate(&self, wh: &Warehouse, measure: &Measure, func: AggFunc) -> f64 {
+        // A serial ungoverned config cannot breach any limit.
         self.aggregate_exec(wh, measure, func, &ExecConfig::serial())
+            .unwrap_or(f64::NAN)
     }
 
     /// Aggregates the measure with an explicit execution configuration.
+    /// Fails only when `exec` carries governance limits that fire
+    /// mid-scan.
     pub fn aggregate_exec(
         &self,
         wh: &Warehouse,
         measure: &Measure,
         func: AggFunc,
         exec: &ExecConfig,
-    ) -> f64 {
-        aggregate_total_exec(wh, measure, &self.rows, func, exec)
+    ) -> Result<f64, KdapError> {
+        Ok(aggregate_total_exec(wh, measure, &self.rows, func, exec)?)
     }
 }
 
@@ -89,6 +93,10 @@ pub fn materialize_with(
     net: &StarNet,
     exec: &ExecConfig,
 ) -> Subspace {
+    // Documented panic: interpreter-produced nets are well-formed, and
+    // this convenience entry point is not meant for governed configs —
+    // governed callers go through `materialize_planned`.
+    #[allow(clippy::expect_used)]
     try_materialize_with(wh, jidx, net, exec)
         .expect("star-net constraints evaluate on the fact table")
 }
@@ -131,6 +139,8 @@ pub fn materialize_many(
     nets: &[&StarNet],
     exec: &ExecConfig,
 ) -> Vec<Subspace> {
+    // Documented panic: see `materialize_with`.
+    #[allow(clippy::expect_used)]
     materialize_batch(wh, jidx, nets, &Planner::naive(), exec)
         .expect("star-net constraints evaluate on the fact table")
 }
@@ -164,21 +174,38 @@ pub fn materialize_batch(
         }
     }
 
+    let total = distinct.len() as u64;
+    let timed_step = |i: usize, s: &&PhysStep| {
+        exec.check_at("semijoin", i as u64, total)?;
+        execute_step_raw(wh, jidx, fact, s, planner.cache())
+    };
     let results: Vec<Result<(Arc<RowSet>, bool), QueryError>> =
         if exec.is_serial() || distinct.len() < 2 {
             distinct
                 .iter()
-                .map(|s| execute_step(wh, jidx, fact, s, planner.cache()))
+                .enumerate()
+                .map(|(i, s)| timed_step(i, s))
                 .collect()
         } else {
-            par_map(exec, &distinct, |_, s| {
-                execute_step(wh, jidx, fact, s, planner.cache())
-            })
+            par_map(exec, &distinct, timed_step)
         };
+    // Fresh (uncached) results are committed to the semi-join cache only
+    // after every step of the batch succeeded: a query aborted by its
+    // deadline, token, or budget leaves the cache exactly as it found it.
     let mut bitmaps: HashMap<StepKey, Arc<RowSet>> = HashMap::with_capacity(distinct.len());
+    let mut fresh: Vec<(StepKey, Arc<RowSet>)> = Vec::new();
     for (step, result) in distinct.iter().zip(results) {
-        let (rows, _) = result?;
+        let (rows, cache_hit) = result?;
+        if !cache_hit {
+            exec.charge("semijoin", rows.heap_bytes())?;
+            fresh.push((step.key(), Arc::clone(&rows)));
+        }
         bitmaps.insert(step.key(), rows);
+    }
+    if let Some(cache) = planner.cache() {
+        for (key, rows) in fresh {
+            cache.insert(key, rows);
+        }
     }
 
     Ok(plans

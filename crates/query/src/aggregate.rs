@@ -11,9 +11,40 @@ use std::collections::HashMap;
 use kdap_warehouse::{ColRef, Measure, TableId, Warehouse};
 
 use crate::bitmap::RowSet;
+use crate::error::QueryError;
 use crate::exec::{chunk_ranges, par_map, ExecConfig};
 use crate::path::JoinPath;
 use crate::semijoin::JoinIndex;
+
+/// Runs a chunked aggregation: polls governance per chunk (a single
+/// branch when ungoverned), then evaluates the fixed chunk ranges either
+/// serially or across `exec`'s workers. Both arms chunk identically and
+/// merge happens in the caller in chunk order, so results never depend on
+/// the thread count.
+fn run_chunked<R: Send>(
+    exec: &ExecConfig,
+    stage: &'static str,
+    nwords: usize,
+    accumulate: impl Fn(std::ops::Range<usize>) -> R + Sync,
+) -> Result<Vec<R>, QueryError> {
+    let ranges = chunk_ranges(nwords, AGG_CHUNK_WORDS);
+    let nchunks = ranges.len() as u64;
+    let checked = |i: usize, r: std::ops::Range<usize>| {
+        exec.check_at(stage, i as u64, nchunks)?;
+        Ok::<_, QueryError>(accumulate(r))
+    };
+    if exec.is_serial() || nwords < 2 * AGG_CHUNK_WORDS {
+        ranges
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| checked(i, r))
+            .collect()
+    } else {
+        par_map(exec, &ranges, |i, r| checked(i, r.clone()))
+            .into_iter()
+            .collect()
+    }
+}
 
 /// Bitmap words per parallel aggregation chunk (8192 rows). Small enough
 /// that even the 60k-fact synthetic warehouse splits into several chunks;
@@ -108,19 +139,21 @@ impl Accumulator {
 /// word-skipping bitmap iterator, so sparse subspaces cost time
 /// proportional to their occupied words.
 pub fn aggregate_total(wh: &Warehouse, measure: &Measure, rows: &RowSet, func: AggFunc) -> f64 {
-    aggregate_total_exec(wh, measure, rows, func, &ExecConfig::serial())
+    // A serial ungoverned config cannot breach any limit.
+    aggregate_total_exec(wh, measure, rows, func, &ExecConfig::serial()).unwrap_or(f64::NAN)
 }
 
 /// [`aggregate_total`] fanned out over `exec`'s workers: each worker
 /// accumulates a fixed word-range chunk, and the per-chunk accumulators
-/// are merged in chunk order.
+/// are merged in chunk order. Governance (deadline / cancellation) is
+/// polled once per chunk.
 pub fn aggregate_total_exec(
     wh: &Warehouse,
     measure: &Measure,
     rows: &RowSet,
     func: AggFunc,
     exec: &ExecConfig,
-) -> f64 {
+) -> Result<f64, QueryError> {
     let accumulate = |r: std::ops::Range<usize>| {
         let mut acc = Accumulator::default();
         for row in rows.iter_word_range(r) {
@@ -130,21 +163,15 @@ pub fn aggregate_total_exec(
         }
         acc
     };
-    let nwords = rows.as_words().len();
-    let ranges = chunk_ranges(nwords, AGG_CHUNK_WORDS);
     // Fixed chunk boundaries and chunk-order merging in BOTH arms: the
     // result depends only on the data, never on the thread count, so
     // serial and parallel sessions render byte-identical output.
-    let partials = if exec.is_serial() || nwords < 2 * AGG_CHUNK_WORDS {
-        ranges.into_iter().map(accumulate).collect::<Vec<_>>()
-    } else {
-        par_map(exec, &ranges, |_, r| accumulate(r.clone()))
-    };
+    let partials = run_chunked(exec, "aggregate_total", rows.as_words().len(), accumulate)?;
     let mut total = Accumulator::default();
     for p in &partials {
         total.merge(p);
     }
-    total.finish(func)
+    Ok(total.finish(func))
 }
 
 /// Groups `rows` (origin-table rows) by the dictionary code of `attr`
@@ -172,11 +199,14 @@ pub fn group_by_categorical(
         func,
         &ExecConfig::serial(),
     )
+    // A serial ungoverned config cannot breach any limit.
+    .unwrap_or_default()
 }
 
 /// [`group_by_categorical`] fanned out over `exec`'s workers: each worker
 /// builds group accumulators for a fixed word-range chunk of the bitmap,
-/// and the per-chunk maps are merged in chunk order.
+/// and the per-chunk maps are merged in chunk order. Governance is polled
+/// once per chunk.
 #[allow(clippy::too_many_arguments)]
 pub fn group_by_categorical_exec(
     wh: &Warehouse,
@@ -188,7 +218,7 @@ pub fn group_by_categorical_exec(
     measure: &Measure,
     func: AggFunc,
     exec: &ExecConfig,
-) -> HashMap<u32, f64> {
+) -> Result<HashMap<u32, f64>, QueryError> {
     let mapper = idx.row_mapper(wh, origin, path);
     let col = wh.column(attr);
     let accumulate = |range: std::ops::Range<usize>| {
@@ -206,26 +236,20 @@ pub fn group_by_categorical_exec(
         }
         groups
     };
-    let nwords = rows.as_words().len();
-    let ranges = chunk_ranges(nwords, AGG_CHUNK_WORDS);
     // Both arms chunk identically and merge in chunk order, so results
     // never depend on the thread count (per-code accumulators make the
     // within-chunk map iteration order irrelevant).
-    let partials = if exec.is_serial() || nwords < 2 * AGG_CHUNK_WORDS {
-        ranges.into_iter().map(accumulate).collect::<Vec<_>>()
-    } else {
-        par_map(exec, &ranges, |_, r| accumulate(r.clone()))
-    };
+    let partials = run_chunked(exec, "group_by", rows.as_words().len(), accumulate)?;
     let mut merged: HashMap<u32, Accumulator> = HashMap::new();
     for partial in partials {
         for (code, acc) in partial {
             merged.entry(code).or_default().merge(&acc);
         }
     }
-    merged
+    Ok(merged
         .into_iter()
         .map(|(code, acc)| (code, acc.finish(func)))
-        .collect()
+        .collect())
 }
 
 /// Partitioning of a numerical domain into basic intervals.
@@ -353,11 +377,15 @@ pub fn group_by_buckets(
         buckets,
         &ExecConfig::serial(),
     )
+    // A serial ungoverned config cannot breach any limit.
+    .unwrap_or_default()
 }
 
 /// [`group_by_buckets`] fanned out over `exec`'s workers: each worker
 /// fills a bucket-accumulator array for a fixed word-range chunk, and the
-/// per-chunk arrays are merged in chunk order.
+/// per-chunk arrays are merged in chunk order. Governance is polled once
+/// per chunk and each chunk's bucket array is charged to the memory
+/// budget.
 #[allow(clippy::too_many_arguments)]
 pub fn group_by_buckets_exec(
     wh: &Warehouse,
@@ -370,9 +398,10 @@ pub fn group_by_buckets_exec(
     func: AggFunc,
     buckets: &Bucketizer,
     exec: &ExecConfig,
-) -> Vec<f64> {
+) -> Result<Vec<f64>, QueryError> {
     let mapper = idx.row_mapper(wh, origin, path);
     let col = wh.column(attr);
+    let chunk_bytes = (buckets.n_buckets() * std::mem::size_of::<Accumulator>()) as u64;
     let accumulate = |range: std::ops::Range<usize>| {
         let mut accs = vec![Accumulator::default(); buckets.n_buckets()];
         for row in rows.iter_word_range(range) {
@@ -391,22 +420,20 @@ pub fn group_by_buckets_exec(
         }
         accs
     };
-    let nwords = rows.as_words().len();
-    let ranges = chunk_ranges(nwords, AGG_CHUNK_WORDS);
     // Both arms chunk identically and merge in chunk order, so results
     // never depend on the thread count.
-    let partials = if exec.is_serial() || nwords < 2 * AGG_CHUNK_WORDS {
-        ranges.into_iter().map(accumulate).collect::<Vec<_>>()
-    } else {
-        par_map(exec, &ranges, |_, r| accumulate(r.clone()))
-    };
+    let partials = run_chunked(exec, "group_by", rows.as_words().len(), |r| {
+        exec.charge("group_by", chunk_bytes).map(|()| accumulate(r))
+    })?
+    .into_iter()
+    .collect::<Result<Vec<_>, _>>()?;
     let mut merged = vec![Accumulator::default(); buckets.n_buckets()];
     for partial in &partials {
         for (m, p) in merged.iter_mut().zip(partial) {
             m.merge(p);
         }
     }
-    merged.iter().map(|a| a.finish(func)).collect()
+    Ok(merged.iter().map(|a| a.finish(func)).collect())
 }
 
 /// Collects the numeric values of `attr` observed across `rows` via
@@ -665,7 +692,7 @@ mod tests {
         for threads in [1, 2, 4] {
             let exec = ExecConfig::with_threads(threads);
             assert_eq!(
-                aggregate_total_exec(&wh, &measure, &all, AggFunc::Sum, &exec),
+                aggregate_total_exec(&wh, &measure, &all, AggFunc::Sum, &exec).unwrap(),
                 100.0
             );
             let groups = group_by_categorical_exec(
@@ -678,7 +705,8 @@ mod tests {
                 &measure,
                 AggFunc::Sum,
                 &exec,
-            );
+            )
+            .unwrap();
             assert_eq!(
                 groups,
                 group_by_categorical(&wh, &idx, fact, &path, attr, &all, &measure, AggFunc::Sum)
@@ -694,7 +722,8 @@ mod tests {
                 AggFunc::Sum,
                 &buckets,
                 &exec,
-            );
+            )
+            .unwrap();
             assert_eq!(series, vec![30.0, 70.0]);
         }
     }

@@ -32,6 +32,7 @@ use kdap_warehouse::{ColRef, Measure, Warehouse};
 
 use crate::aggregate::{Accumulator, AggFunc, Bucketizer, AGG_CHUNK_WORDS};
 use crate::bitmap::RowSet;
+use crate::error::QueryError;
 use crate::exec::{chunk_ranges, par_map, ExecConfig};
 
 /// Default dictionary-cardinality cutoff for the dense accumulator path.
@@ -207,7 +208,20 @@ impl FacetGroups {
     /// Folds another partial of the same shape into this one. Callers
     /// merge per-chunk partials in chunk order, which keeps every
     /// group's accumulation order identical to the serial scan.
+    ///
+    /// Categorical partials may arrive in *mixed* shapes: a chunk that
+    /// saw a dictionary code beyond the dense array (stale statistics)
+    /// falls back to the hash path mid-scan, so one partial can be
+    /// `Sparse` while its siblings stayed `Dense`. The merge promotes
+    /// itself to `Sparse` in that case — code-keyed accumulation is
+    /// shape-independent, so the result is unchanged.
     fn merge(&mut self, other: &FacetGroups) {
+        if matches!(
+            (&*self, other),
+            (FacetGroups::Dense { .. }, FacetGroups::Sparse { .. })
+        ) {
+            promote_to_sparse(self);
+        }
         match (self, other) {
             (FacetGroups::Dense { stats }, FacetGroups::Dense { stats: os }) => {
                 for (m, p) in stats.iter_mut().zip(os) {
@@ -219,6 +233,13 @@ impl FacetGroups {
             (FacetGroups::Sparse { stats }, FacetGroups::Sparse { stats: os }) => {
                 for (code, p) in os {
                     stats.entry(*code).or_default().merge(p);
+                }
+            }
+            (FacetGroups::Sparse { stats }, FacetGroups::Dense { stats: os }) => {
+                for (code, p) in os.iter().enumerate() {
+                    if p.rows > 0 {
+                        stats.entry(code as u32).or_default().merge(p);
+                    }
                 }
             }
             (FacetGroups::Buckets { stats }, FacetGroups::Buckets { stats: os }) => {
@@ -336,6 +357,62 @@ impl FacetGroups {
             _ => f64::NAN,
         }
     }
+
+    /// Heap bytes of the group state — what the memory budget charges.
+    pub(crate) fn heap_bytes(&self) -> u64 {
+        let unit = std::mem::size_of::<GroupStats>() as u64;
+        match self {
+            FacetGroups::Dense { stats } | FacetGroups::Buckets { stats } => {
+                stats.len() as u64 * unit
+            }
+            // Hash maps grow with the data; charge the entries themselves
+            // (bucket overhead is uncharged — see DESIGN.md).
+            FacetGroups::Sparse { stats } => stats.len() as u64 * (unit + 4),
+            FacetGroups::Domain { .. } | FacetGroups::Total { .. } => 0,
+        }
+    }
+}
+
+/// Converts a dense categorical partial to the hash representation,
+/// carrying every touched group over. Used when a dictionary code walks
+/// past the dense array (stale statistics) and by mixed-shape merges.
+fn promote_to_sparse(g: &mut FacetGroups) {
+    if let FacetGroups::Dense { stats } = g {
+        let sparse: HashMap<u32, GroupStats> = stats
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.rows > 0)
+            .map(|(code, s)| (code as u32, *s))
+            .collect();
+        *g = FacetGroups::Sparse { stats: sparse };
+    }
+}
+
+/// One categorical accumulation step with the dense bounds check: a code
+/// beyond the dense array (possible only with stale column statistics)
+/// promotes the partial to the hash path instead of indexing out of
+/// bounds, and bumps `oob`.
+#[inline]
+fn update_categorical(g: &mut FacetGroups, code: u32, measure: Option<f64>, oob: &mut u64) {
+    if let FacetGroups::Dense { stats } = g {
+        if let Some(s) = stats.get_mut(code as usize) {
+            s.rows += 1;
+            if let Some(v) = measure {
+                s.acc.add(v);
+            }
+            return;
+        }
+        *oob += 1;
+        promote_to_sparse(g);
+    }
+    let FacetGroups::Sparse { stats } = g else {
+        unreachable!("categorical groups are dense or sparse")
+    };
+    let s = stats.entry(code).or_default();
+    s.rows += 1;
+    if let Some(v) = measure {
+        s.acc.add(v);
+    }
 }
 
 /// Serial fused scan with the default dense cutoff; see
@@ -345,7 +422,7 @@ pub fn multi_group_by(
     specs: &[FacetSpec],
     rows: &RowSet,
     mv: &MeasureVector,
-) -> Vec<FacetGroups> {
+) -> Result<Vec<FacetGroups>, QueryError> {
     multi_group_by_exec(
         wh,
         specs,
@@ -360,10 +437,16 @@ pub fn multi_group_by(
 ///
 /// Returns one [`FacetGroups`] per spec, in spec order. Categorical specs
 /// whose dictionary cardinality is at most `dense_limit` use dense
-/// arrays; larger ones fall back to hash maps. Parallel runs chunk the
-/// bitmap exactly like the per-facet kernels ([`AGG_CHUNK_WORDS`] words,
-/// serial below two chunks) and merge partials in chunk order, so output
-/// is independent of the thread count.
+/// arrays; larger ones fall back to hash maps. A dictionary code that
+/// nonetheless walks past a dense array (stale statistics) promotes that
+/// spec to the hash path mid-scan instead of indexing out of bounds.
+/// Parallel runs chunk the bitmap exactly like the per-facet kernels
+/// ([`AGG_CHUNK_WORDS`] words, serial below two chunks) and merge
+/// partials in chunk order, so output is independent of the thread count.
+///
+/// Governance (when `exec` carries a [`crate::QueryContext`]) is polled
+/// per chunk, and every chunk's accumulator allocation is charged to the
+/// memory budget; breaches return [`QueryError::Governed`].
 pub fn multi_group_by_exec(
     wh: &Warehouse,
     specs: &[FacetSpec],
@@ -371,7 +454,7 @@ pub fn multi_group_by_exec(
     mv: &MeasureVector,
     exec: &ExecConfig,
     dense_limit: usize,
-) -> Vec<FacetGroups> {
+) -> Result<Vec<FacetGroups>, QueryError> {
     let cols: Vec<_> = specs
         .iter()
         .map(|s| match s {
@@ -386,68 +469,50 @@ pub fn multi_group_by_exec(
             .iter()
             .map(|s| FacetGroups::new_for(s, wh, dense_limit))
             .collect();
+        let mut oob = 0u64;
         for row in rows.iter_word_range(range) {
             for (i, spec) in specs.iter().enumerate() {
-                match (spec, &mut groups[i]) {
-                    (FacetSpec::Categorical { mapper, .. }, FacetGroups::Dense { stats }) => {
+                let g = &mut groups[i];
+                match spec {
+                    FacetSpec::Categorical { mapper, .. } => {
                         let Some(target_row) = mapper[row] else {
                             continue;
                         };
-                        let Some(code) = cols[i].expect("attr spec").get_code(target_row as usize)
+                        let Some(code) = cols[i].and_then(|c| c.get_code(target_row as usize))
                         else {
                             continue;
                         };
-                        let g = &mut stats[code as usize];
-                        g.rows += 1;
-                        if let Some(v) = mv.get(row) {
-                            g.acc.add(v);
-                        }
+                        update_categorical(g, code, mv.get(row), &mut oob);
                     }
-                    (FacetSpec::Categorical { mapper, .. }, FacetGroups::Sparse { stats }) => {
+                    FacetSpec::Buckets {
+                        mapper, buckets, ..
+                    } => {
+                        let FacetGroups::Buckets { stats } = g else {
+                            unreachable!("groups[i] was built from specs[i]")
+                        };
                         let Some(target_row) = mapper[row] else {
                             continue;
                         };
-                        let Some(code) = cols[i].expect("attr spec").get_code(target_row as usize)
-                        else {
-                            continue;
-                        };
-                        let g = stats.entry(code).or_default();
-                        g.rows += 1;
-                        if let Some(v) = mv.get(row) {
-                            g.acc.add(v);
-                        }
-                    }
-                    (
-                        FacetSpec::Buckets {
-                            mapper, buckets, ..
-                        },
-                        FacetGroups::Buckets { stats },
-                    ) => {
-                        let Some(target_row) = mapper[row] else {
-                            continue;
-                        };
-                        let Some(v) = cols[i].expect("attr spec").get_float(target_row as usize)
-                        else {
+                        let Some(v) = cols[i].and_then(|c| c.get_float(target_row as usize)) else {
                             continue;
                         };
                         let Some(b) = buckets.bucket_of(v) else {
                             continue;
                         };
-                        let g = &mut stats[b];
-                        g.rows += 1;
+                        let s = &mut stats[b];
+                        s.rows += 1;
                         if let Some(m) = mv.get(row) {
-                            g.acc.add(m);
+                            s.acc.add(m);
                         }
                     }
-                    (
-                        FacetSpec::NumericDomain { mapper, .. },
-                        FacetGroups::Domain { min, max, any },
-                    ) => {
+                    FacetSpec::NumericDomain { mapper, .. } => {
+                        let FacetGroups::Domain { min, max, any } = g else {
+                            unreachable!("groups[i] was built from specs[i]")
+                        };
                         let Some(target_row) = mapper[row] else {
                             continue;
                         };
-                        let Some(v) = cols[i].expect("attr spec").get_float(target_row as usize)
-                        else {
+                        let Some(v) = cols[i].and_then(|c| c.get_float(target_row as usize)) else {
                             continue;
                         };
                         if v.is_finite() {
@@ -456,46 +521,65 @@ pub fn multi_group_by_exec(
                             *any = true;
                         }
                     }
-                    (FacetSpec::Total, FacetGroups::Total { stats }) => {
+                    FacetSpec::Total => {
+                        let FacetGroups::Total { stats } = g else {
+                            unreachable!("groups[i] was built from specs[i]")
+                        };
                         stats.rows += 1;
                         if let Some(v) = mv.get(row) {
                             stats.acc.add(v);
                         }
                     }
-                    _ => unreachable!("groups[i] was built from specs[i]"),
                 }
             }
         }
-        groups
+        (groups, oob)
     };
     let nwords = rows.as_words().len();
     let ranges = chunk_ranges(nwords, AGG_CHUNK_WORDS);
-    // Each chunk measures its own wall time (a no-op with obs off); the
-    // coordinator records them in chunk order below.
-    let timed = |range: std::ops::Range<usize>| {
+    let nchunks = ranges.len() as u64;
+    // Fixed-size accumulator state of one chunk partial (dense arrays and
+    // bucket slots), charged to the budget before the chunk scans.
+    let partial_bytes: u64 = specs
+        .iter()
+        .map(|s| FacetGroups::new_for(s, wh, dense_limit).heap_bytes())
+        .sum();
+    // Each chunk polls governance, then measures its own wall time (a
+    // no-op with obs off); the coordinator records them in chunk order.
+    let timed = |idx: usize, range: std::ops::Range<usize>| {
+        exec.check_at("multi_group_by", idx as u64, nchunks)?;
+        exec.charge("multi_group_by", partial_bytes)?;
         let t = exec.obs.timer();
-        let groups = accumulate(range);
-        (groups, t.stop())
+        let (groups, oob) = accumulate(range);
+        Ok::<_, QueryError>((groups, oob, t.stop()))
     };
     // Both arms chunk identically and merge in chunk order — the same
     // discipline as the per-facet kernels — so the fused result depends
     // only on the data, never on the thread count.
-    let partials = if exec.is_serial() || nwords < 2 * AGG_CHUNK_WORDS {
-        ranges.iter().map(|r| timed(r.clone())).collect::<Vec<_>>()
-    } else {
-        par_map(exec, &ranges, |_, r| timed(r.clone()))
-    };
+    let partials: Vec<(Vec<FacetGroups>, u64, u64)> =
+        if exec.is_serial() || nwords < 2 * AGG_CHUNK_WORDS {
+            ranges
+                .iter()
+                .enumerate()
+                .map(|(i, r)| timed(i, r.clone()))
+                .collect::<Result<_, _>>()?
+        } else {
+            par_map(exec, &ranges, |i, r| timed(i, r.clone()))
+                .into_iter()
+                .collect::<Result<_, _>>()?
+        };
     let mut merged: Vec<FacetGroups> = specs
         .iter()
         .map(|s| FacetGroups::new_for(s, wh, dense_limit))
         .collect();
-    for (partial, _) in &partials {
+    for (partial, _, _) in &partials {
         for (m, p) in merged.iter_mut().zip(partial) {
             m.merge(p);
         }
     }
+    let oob_total: u64 = partials.iter().map(|(_, oob, _)| oob).sum();
     if exec.obs.is_enabled() {
-        for (_, chunk_ns) in &partials {
+        for (_, _, chunk_ns) in &partials {
             exec.obs.record_ns("query.agg_chunk_ns", *chunk_ns);
         }
         // The dense/hash dispatch decision per categorical spec.
@@ -506,10 +590,13 @@ pub fn multi_group_by_exec(
             .count();
         exec.obs.inc("query.agg_dense_dispatch", dense as u64);
         exec.obs.inc("query.agg_hash_dispatch", hash as u64);
+        if oob_total > 0 {
+            exec.obs.inc("query.agg_dense_oob_fallback", oob_total);
+        }
         exec.obs.leaf(
             "multi_group_by",
             kdap_obs::LeafData {
-                wall_ns: partials.iter().map(|(_, ns)| ns).sum(),
+                wall_ns: partials.iter().map(|(_, _, ns)| ns).sum(),
                 rows_in: Some(rows.len() as u64),
                 rows_out: Some(merged.iter().map(|g| g.n_groups() as u64).sum()),
                 cache: None,
@@ -522,7 +609,7 @@ pub fn multi_group_by_exec(
             },
         );
     }
-    merged
+    Ok(merged)
 }
 
 #[cfg(test)]
@@ -643,7 +730,8 @@ mod tests {
         ];
         for dense_limit in [DENSE_GROUP_LIMIT, 0] {
             let groups =
-                multi_group_by_exec(&wh, &specs, &all, &mv, &ExecConfig::serial(), dense_limit);
+                multi_group_by_exec(&wh, &specs, &all, &mv, &ExecConfig::serial(), dense_limit)
+                    .unwrap();
             assert_eq!(groups[0].is_dense(), dense_limit > 0);
             assert_eq!(
                 groups[0].to_map(AggFunc::Sum),
@@ -688,7 +776,7 @@ mod tests {
         // Only the NULL-measure fact (row 4, Seattle).
         let only_null = RowSet::from_rows(wh.fact_rows(), [4]);
         let specs = vec![FacetSpec::Categorical { attr: city, mapper }];
-        let groups = multi_group_by(&wh, &specs, &only_null, &mv);
+        let groups = multi_group_by(&wh, &specs, &only_null, &mv).unwrap();
         let seattle = wh.column(city).dict().unwrap().code_of("Seattle").unwrap();
         // Seattle is present in the domain…
         assert_eq!(groups[0].domain(), vec![seattle]);
@@ -713,15 +801,127 @@ mod tests {
             FacetSpec::Total,
         ];
         let all = RowSet::full(wh.fact_rows());
-        let serial = multi_group_by(&wh, &specs, &all, &mv);
+        let serial = multi_group_by(&wh, &specs, &all, &mv).unwrap();
         for threads in [2, 4] {
             let exec = ExecConfig::with_threads(threads);
-            let par = multi_group_by_exec(&wh, &specs, &all, &mv, &exec, DENSE_GROUP_LIMIT);
+            let par =
+                multi_group_by_exec(&wh, &specs, &all, &mv, &exec, DENSE_GROUP_LIMIT).unwrap();
             assert_eq!(par[0].to_map(AggFunc::Sum), serial[0].to_map(AggFunc::Sum));
             assert_eq!(
                 par[1].total(AggFunc::Sum).to_bits(),
                 serial[1].total(AggFunc::Sum).to_bits()
             );
         }
+    }
+
+    #[test]
+    fn out_of_range_code_promotes_to_sparse_instead_of_panicking() {
+        // A dense partial sized for 2 codes sees code 7 — the stale-stats
+        // scenario. It must fall back to the hash path, keeping every
+        // previously accumulated group.
+        let mut g = FacetGroups::Dense {
+            stats: vec![GroupStats::default(); 2],
+        };
+        let mut oob = 0;
+        update_categorical(&mut g, 1, Some(10.0), &mut oob);
+        assert!(g.is_dense());
+        update_categorical(&mut g, 7, Some(5.0), &mut oob);
+        assert_eq!(oob, 1);
+        assert!(!g.is_dense());
+        update_categorical(&mut g, 1, None, &mut oob);
+        assert_eq!(oob, 1);
+        let map = g.to_map(AggFunc::Sum);
+        assert_eq!(map.get(&1), Some(&10.0));
+        assert_eq!(map.get(&7), Some(&5.0));
+        assert_eq!(g.domain(), vec![1, 7]);
+        // Presence of the measure-null touch survived the promotion.
+        let FacetGroups::Sparse { stats } = &g else {
+            panic!("expected sparse")
+        };
+        assert_eq!(stats[&1].rows, 2);
+    }
+
+    #[test]
+    fn mixed_shape_partials_merge_to_the_same_totals() {
+        // Chunk 1 stayed dense, chunk 2 fell back to sparse: the merge
+        // must promote and lose nothing, in either merge order.
+        let mut oob = 0;
+        let mut dense = FacetGroups::Dense {
+            stats: vec![GroupStats::default(); 2],
+        };
+        update_categorical(&mut dense, 0, Some(3.0), &mut oob);
+        let mut sparse = FacetGroups::Sparse {
+            stats: HashMap::new(),
+        };
+        update_categorical(&mut sparse, 0, Some(4.0), &mut oob);
+        update_categorical(&mut sparse, 9, Some(1.0), &mut oob);
+
+        let mut a = dense.clone();
+        a.merge(&sparse);
+        let map = a.to_map(AggFunc::Sum);
+        assert_eq!(map.get(&0), Some(&7.0));
+        assert_eq!(map.get(&9), Some(&1.0));
+
+        let mut b = sparse.clone();
+        b.merge(&dense);
+        assert_eq!(b.to_map(AggFunc::Sum), map);
+    }
+
+    #[test]
+    fn governed_scan_honors_cancellation_and_budget() {
+        use crate::govern::QueryContext;
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+
+        let (wh, idx, path, measure) = setup();
+        let fact = wh.schema().fact_table();
+        let city = wh.col_ref("STORE", "City").unwrap();
+        let mv = MeasureVector::build(&wh, &measure);
+        let mapper = idx.row_mapper(&wh, fact, &path);
+        let specs = vec![FacetSpec::Categorical { attr: city, mapper }];
+        let all = RowSet::full(wh.fact_rows());
+
+        // Pre-cancelled token: the first chunk check aborts the scan.
+        let cancel = Arc::new(AtomicBool::new(true));
+        let ctx = Arc::new(QueryContext::new(None, None, cancel));
+        let exec = ExecConfig::serial().with_govern(ctx);
+        let err =
+            multi_group_by_exec(&wh, &specs, &all, &mv, &exec, DENSE_GROUP_LIMIT).unwrap_err();
+        assert!(matches!(
+            err,
+            QueryError::Governed {
+                breach: crate::govern::Breach::Cancelled,
+                stage: "multi_group_by",
+                ..
+            }
+        ));
+
+        // A one-byte budget: the dense partial allocation breaches it.
+        let ctx = Arc::new(QueryContext::new(
+            None,
+            Some(1),
+            Arc::new(AtomicBool::new(false)),
+        ));
+        let exec = ExecConfig::serial().with_govern(ctx);
+        let err =
+            multi_group_by_exec(&wh, &specs, &all, &mv, &exec, DENSE_GROUP_LIMIT).unwrap_err();
+        assert!(matches!(
+            err,
+            QueryError::Governed {
+                breach: crate::govern::Breach::Budget { .. },
+                ..
+            }
+        ));
+
+        // Ungoverned (and generous) runs still succeed.
+        let ctx = Arc::new(QueryContext::new(
+            None,
+            Some(1 << 20),
+            Arc::new(AtomicBool::new(false)),
+        ));
+        let exec = ExecConfig::serial().with_govern(ctx.clone());
+        let groups = multi_group_by_exec(&wh, &specs, &all, &mv, &exec, DENSE_GROUP_LIMIT);
+        assert!(groups.is_ok());
+        assert!(ctx.charged() > 0, "allocations were charged");
     }
 }

@@ -88,6 +88,12 @@ impl RowSet {
         self.nrows
     }
 
+    /// Heap footprint of the backing word vector in bytes. Memory-budget
+    /// accounting charges this for every freshly materialized set.
+    pub fn heap_bytes(&self) -> u64 {
+        (self.words.len() * std::mem::size_of::<u64>()) as u64
+    }
+
     /// Inserts one row. Panics when out of range (programming error).
     pub fn insert(&mut self, row: usize) {
         assert!(row < self.nrows, "row {row} out of range {}", self.nrows);
@@ -362,6 +368,7 @@ mod tests {
         let n = PAR_CHUNK_WORDS * 64 * 3 + 17;
         let a = RowSet::from_rows(n, (0..n).filter(|r| r % 3 == 0));
         let b = RowSet::from_rows(n, (0..n).filter(|r| r % 5 != 0));
+        #[allow(clippy::type_complexity)]
         let ops: [(
             fn(&mut RowSet, &RowSet),
             fn(&mut RowSet, &RowSet, &ExecConfig),

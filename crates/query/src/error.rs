@@ -33,6 +33,18 @@ pub enum QueryError {
     },
     /// A bucketizer was requested with zero buckets.
     InvalidBucketCount,
+    /// A governed query breached its deadline, cancellation token, or
+    /// memory budget (see [`crate::govern::QueryContext`]).
+    Governed {
+        /// Which limit was breached.
+        breach: crate::govern::Breach,
+        /// Observability span name of the stage where the check fired.
+        stage: &'static str,
+        /// Chunks/steps of the stage completed before the breach.
+        completed: u64,
+        /// Total chunks/steps the stage would have run (0 when unknown).
+        total: u64,
+    },
 }
 
 impl fmt::Display for QueryError {
@@ -52,6 +64,31 @@ impl fmt::Display for QueryError {
                 "selection attribute lives on table #{attr_table}, but the join path targets table #{target_table}"
             ),
             QueryError::InvalidBucketCount => write!(f, "bucket count must be positive"),
+            QueryError::Governed {
+                breach,
+                stage,
+                completed,
+                total,
+            } => {
+                use crate::govern::Breach;
+                match breach {
+                    Breach::Timeout { elapsed_ms } => {
+                        write!(f, "query timed out after {elapsed_ms} ms in `{stage}`")?
+                    }
+                    Breach::Cancelled => write!(f, "query cancelled in `{stage}`")?,
+                    Breach::Budget {
+                        budget_bytes,
+                        charged_bytes,
+                    } => write!(
+                        f,
+                        "memory budget exceeded in `{stage}`: charged {charged_bytes} of {budget_bytes} bytes"
+                    )?,
+                }
+                if *total > 0 {
+                    write!(f, " ({completed}/{total} chunks done)")?;
+                }
+                Ok(())
+            }
         }
     }
 }

@@ -16,14 +16,19 @@
 //! both schedules.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use kdap_obs::Obs;
 
+use crate::error::QueryError;
+use crate::govern::QueryContext;
+
 /// How query kernels execute: serially or across a fixed number of
-/// worker threads. Also carries the [`Obs`] telemetry handle, so every
-/// kernel that receives an `ExecConfig` can record timings without an
-/// extra parameter; the handle does not participate in equality —
-/// configs compare by thread count alone.
+/// worker threads. Also carries the [`Obs`] telemetry handle and the
+/// optional per-query [`QueryContext`], so every kernel that receives an
+/// `ExecConfig` can record timings and poll governance limits without
+/// extra parameters; neither participates in equality — configs compare
+/// by thread count alone.
 #[derive(Debug, Clone)]
 pub struct ExecConfig {
     /// Number of worker threads; `1` means strictly serial execution.
@@ -31,6 +36,9 @@ pub struct ExecConfig {
     /// Observability handle; [`Obs::disabled`] by default, making all
     /// instrumentation a no-op.
     pub obs: Obs,
+    /// Per-query governance (deadline / cancellation / memory budget);
+    /// `None` by default, making every check a single branch.
+    pub govern: Option<Arc<QueryContext>>,
 }
 
 impl PartialEq for ExecConfig {
@@ -47,6 +55,7 @@ impl ExecConfig {
         ExecConfig {
             threads: 1,
             obs: Obs::disabled(),
+            govern: None,
         }
     }
 
@@ -63,6 +72,7 @@ impl ExecConfig {
         ExecConfig {
             threads: threads.max(1),
             obs: Obs::disabled(),
+            govern: None,
         }
     }
 
@@ -72,9 +82,50 @@ impl ExecConfig {
         self
     }
 
+    /// The same configuration governed by `ctx`.
+    pub fn with_govern(mut self, ctx: Arc<QueryContext>) -> Self {
+        self.govern = Some(ctx);
+        self
+    }
+
     /// True when kernels must take the serial code path.
     pub fn is_serial(&self) -> bool {
         self.threads <= 1
+    }
+
+    /// Polls the governance context, if any. A single branch when the
+    /// query is ungoverned.
+    #[inline]
+    pub fn check(&self, stage: &'static str) -> Result<(), QueryError> {
+        match &self.govern {
+            None => Ok(()),
+            Some(g) => g.check(stage),
+        }
+    }
+
+    /// Polls governance with stage progress (`completed` of `total`
+    /// chunks/steps done). A single branch when ungoverned.
+    #[inline]
+    pub fn check_at(
+        &self,
+        stage: &'static str,
+        completed: u64,
+        total: u64,
+    ) -> Result<(), QueryError> {
+        match &self.govern {
+            None => Ok(()),
+            Some(g) => g.check_at(stage, completed, total),
+        }
+    }
+
+    /// Charges `bytes` against the memory budget, if any. A single
+    /// branch when ungoverned.
+    #[inline]
+    pub fn charge(&self, stage: &'static str, bytes: u64) -> Result<(), QueryError> {
+        match &self.govern {
+            None => Ok(()),
+            Some(g) => g.charge(stage, bytes),
+        }
     }
 }
 
@@ -121,7 +172,12 @@ where
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("parallel worker panicked"))
+            // Infallible unless `f` itself panicked, in which case
+            // re-raising the panic on the caller's thread is the contract.
+            .map(|h| {
+                #[allow(clippy::expect_used)]
+                h.join().expect("parallel worker panicked")
+            })
             .collect()
     });
     let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
@@ -130,7 +186,11 @@ where
     }
     slots
         .into_iter()
-        .map(|r| r.expect("every index is computed exactly once"))
+        // Infallible: the shared counter hands out each index exactly once.
+        .map(|r| {
+            #[allow(clippy::expect_used)]
+            r.expect("every index is computed exactly once")
+        })
         .collect()
 }
 

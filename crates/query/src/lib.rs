@@ -7,12 +7,14 @@
 //! materialization and facet construction in the KDAP core.
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod aggregate;
 pub mod aggregate_multi;
 pub mod bitmap;
 pub mod error;
 pub mod exec;
+pub mod govern;
 pub mod path;
 pub mod plan;
 pub mod semijoin;
@@ -30,9 +32,11 @@ pub use aggregate_multi::{
 pub use bitmap::RowSet;
 pub use error::QueryError;
 pub use exec::{chunk_ranges, par_map, ExecConfig};
+pub use govern::{Breach, QueryContext};
 pub use path::{fact_paths_by_table, paths_between, JoinPath, MAX_PATH_LEN};
 pub use plan::{
-    execute_plan, execute_plan_traced, execute_step, optimize, Fingerprint, LogicalPlan, PhysStep,
-    PhysicalPlan, PlanNode, PlannerConfig, SemijoinCache, StepKey, StepTrace,
+    execute_plan, execute_plan_traced, execute_step, execute_step_raw, optimize, Fingerprint,
+    LogicalPlan, PhysStep, PhysicalPlan, PlanNode, PlannerConfig, SemijoinCache, StepKey,
+    StepTrace,
 };
 pub use semijoin::{JoinIndex, Predicate, RowMapper, Selection};

@@ -264,7 +264,9 @@ pub fn optimize(
     match fact_local.len() {
         0 => {}
         1 => {
-            let node = fact_local.pop().expect("one fused node");
+            // Infallible: this arm only runs when `fact_local.len() == 1`.
+            #[allow(clippy::unwrap_used)]
+            let node = fact_local.pop().unwrap();
             steps.push(PhysStep::Semijoin {
                 est_fraction: est(&node.selection),
                 node,
@@ -439,7 +441,34 @@ fn eval_step(
 /// Evaluates one physical step through an optional cache, returning the
 /// fact bitmap and whether it came from the cache. This is the unit of
 /// work batch materialization deduplicates across plans.
+///
+/// A fresh result is inserted into the cache immediately. Coordinators
+/// that can abort mid-plan (governed queries) must use
+/// [`execute_step_raw`] and commit the staged results themselves, so an
+/// aborted query never publishes entries.
 pub fn execute_step(
+    wh: &Warehouse,
+    jidx: &JoinIndex,
+    origin: TableId,
+    step: &PhysStep,
+    cache: Option<&SemijoinCache>,
+) -> Result<(Arc<RowSet>, bool), QueryError> {
+    let (rows, cache_hit) = execute_step_raw(wh, jidx, origin, step, cache)?;
+    if !cache_hit {
+        if let Some(cache) = cache {
+            cache.insert(step.key(), rows.clone());
+        }
+    }
+    Ok((rows, cache_hit))
+}
+
+/// [`execute_step`] without the cache insert: the cache is consulted
+/// (counting a hit or miss) but a freshly evaluated bitmap is NOT
+/// stored. The coordinator collects `(key, bitmap)` pairs of the misses
+/// and commits them only once every step of the plan (or batch) has
+/// succeeded — the invariant that keeps an aborted query from poisoning
+/// the [`SemijoinCache`] with partial state.
+pub fn execute_step_raw(
     wh: &Warehouse,
     jidx: &JoinIndex,
     origin: TableId,
@@ -449,13 +478,10 @@ pub fn execute_step(
     let Some(cache) = cache else {
         return Ok((Arc::new(eval_step(wh, jidx, origin, step)?), false));
     };
-    let key = step.key();
-    if let Some(rows) = cache.lookup(&key) {
+    if let Some(rows) = cache.lookup(&step.key()) {
         return Ok((rows, true));
     }
-    let rows = Arc::new(eval_step(wh, jidx, origin, step)?);
-    cache.insert(key, rows.clone());
-    Ok((rows, false))
+    Ok((Arc::new(eval_step(wh, jidx, origin, step)?), false))
 }
 
 /// Executes a physical plan from `origin`, AND-ing the step bitmaps.
@@ -485,25 +511,45 @@ pub fn execute_plan_traced(
     exec: &ExecConfig,
 ) -> Result<(RowSet, Vec<StepTrace>), QueryError> {
     let n = wh.table(origin).nrows();
-    // Each (worker or serial) evaluation measures its own wall time; the
-    // coordinator below records the leaves in step order, so the profile
-    // structure is identical at any thread count.
+    let total_steps = plan.steps.len() as u64;
+    // Each (worker or serial) evaluation polls governance, then measures
+    // its own wall time; the coordinator below records the leaves in step
+    // order, so the profile structure is identical at any thread count.
+    // Fresh bitmaps go through `execute_step_raw` and are committed to
+    // the cache only after EVERY step succeeded — an aborted plan leaves
+    // the cache exactly as it found it.
     type TimedStep = (Result<(Arc<RowSet>, bool), QueryError>, u64);
-    let timed_step = |s: &PhysStep| -> TimedStep {
+    let timed_step = |i: usize, s: &PhysStep| -> TimedStep {
         let t = exec.obs.timer();
-        let result = execute_step(wh, jidx, origin, s, cache);
+        let result = exec
+            .check_at("semijoin", i as u64, total_steps)
+            .and_then(|()| execute_step_raw(wh, jidx, origin, s, cache))
+            .and_then(|(bitmap, hit)| {
+                if !hit {
+                    exec.charge("semijoin", bitmap.heap_bytes())?;
+                }
+                Ok((bitmap, hit))
+            });
         (result, t.stop())
     };
     let results: Vec<TimedStep> = if exec.is_serial() || plan.steps.len() < 2 {
-        plan.steps.iter().map(timed_step).collect()
+        plan.steps
+            .iter()
+            .enumerate()
+            .map(|(i, s)| timed_step(i, s))
+            .collect()
     } else {
-        par_map(exec, &plan.steps, |_, s| timed_step(s))
+        par_map(exec, &plan.steps, |i, s| timed_step(i, s))
     };
     let obs_on = exec.obs.is_enabled();
     let mut rows = RowSet::full(n);
     let mut traces = Vec::with_capacity(plan.steps.len());
+    let mut fresh: Vec<(StepKey, Arc<RowSet>)> = Vec::with_capacity(plan.steps.len());
     for (step, (result, step_ns)) in plan.steps.iter().zip(results) {
         let (bitmap, cache_hit) = result?;
+        if cache.is_some() && !cache_hit {
+            fresh.push((step.key(), bitmap.clone()));
+        }
         rows.intersect_with(&bitmap);
         let est_fraction = step.est_fraction();
         if obs_on {
@@ -544,6 +590,12 @@ pub fn execute_plan_traced(
             cache_hit,
             fused: step.n_constraints(),
         });
+    }
+    // Every step succeeded: publish the fresh bitmaps.
+    if let Some(cache) = cache {
+        for (key, bitmap) in fresh {
+            cache.insert(key, bitmap);
+        }
     }
     Ok((rows, traces))
 }

@@ -227,6 +227,8 @@ impl Selection {
     /// satisfies the predicate. Panics on a selection whose attribute is
     /// off the path's target table; hot paths use [`Selection::try_eval`].
     pub fn eval(&self, wh: &Warehouse, idx: &JoinIndex, origin: TableId) -> RowSet {
+        // Documented panic (see doc comment above).
+        #[allow(clippy::expect_used)]
         self.try_eval(wh, idx, origin)
             .expect("attr must live on path target")
     }

@@ -55,6 +55,9 @@ impl TextIndex {
     pub fn build(wh: &Warehouse) -> Self {
         let mut index = TextIndex::default();
         for (attr, column) in wh.searchable_columns() {
+            // Infallible: `searchable_columns` yields only dictionary-
+            // encoded string columns.
+            #[allow(clippy::expect_used)]
             let dict = column.dict().expect("searchable columns are strings");
             for (code, text) in dict.iter() {
                 index.add_document(attr, code, text.clone());

@@ -162,12 +162,15 @@ impl TextIndex {
         let idfs: Vec<f64> = term_ids.iter().map(|&t| idf(n, self.df(t))).collect();
 
         // Intersect postings, driving from the rarest term.
-        let driver = term_ids
+        // An empty phrase (no tokens survived tokenization) matches nothing.
+        let Some(driver) = term_ids
             .iter()
             .enumerate()
             .min_by_key(|(_, &t)| self.df(t))
             .map(|(i, _)| i)
-            .expect("non-empty phrase");
+        else {
+            return Vec::new();
+        };
         let mut hits = Vec::new();
         'docs: for p in &self.postings[term_ids[driver] as usize] {
             let doc = p.doc;

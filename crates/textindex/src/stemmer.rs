@@ -24,7 +24,9 @@ pub fn stem(word: &str) -> String {
     s.step4();
     s.step5a();
     s.step5b();
-    // The buffer stays ASCII throughout.
+    // Infallible: the input is lowercase ASCII (tokenizer output) and
+    // every rewrite step only truncates or substitutes ASCII bytes.
+    #[allow(clippy::expect_used)]
     String::from_utf8(s.b).expect("stemmer buffer is ASCII")
 }
 

@@ -168,6 +168,9 @@ impl Column {
             ColumnData::Int(v) => v[row].map(Value::Int).unwrap_or(Value::Null),
             ColumnData::Float(v) => v[row].map(Value::Float).unwrap_or(Value::Null),
             ColumnData::Str { dict, codes } => match codes[row] {
+                // Infallible: stored codes are handed out by this column's
+                // own dictionary during construction.
+                #[allow(clippy::expect_used)]
                 Some(c) => Value::Str(dict.resolve(c).expect("valid code").clone()),
                 None => Value::Null,
             },

@@ -46,7 +46,9 @@ pub fn load_spec(
             continue;
         }
         let mut parts = line.split_whitespace();
-        let directive = parts.next().expect("non-empty line");
+        let Some(directive) = parts.next() else {
+            continue;
+        };
         match directive {
             "table" => {
                 let name = parts

@@ -145,13 +145,14 @@ proptest! {
             let sub = materialize(wh, jidx, net);
             let tagged = candidate_specs(kdap, &sub.rows);
             let specs: Vec<FacetSpec> = tagged.iter().map(|(_, s)| s.clone()).collect();
-            let groups = multi_group_by_exec(wh, &specs, &sub.rows, &mv, &exec, dense_limit);
+            let groups = multi_group_by_exec(wh, &specs, &sub.rows, &mv, &exec, dense_limit).unwrap();
             prop_assert_eq!(groups.len(), specs.len());
             for ((path, spec), fg) in tagged.iter().zip(&groups) {
                 match spec {
                     FacetSpec::Total => {
                         let expect =
-                            aggregate_total_exec(wh, measure, &sub.rows, AggFunc::Sum, &exec);
+                            aggregate_total_exec(wh, measure, &sub.rows, AggFunc::Sum, &exec)
+                                .unwrap();
                         let got = fg.total(AggFunc::Sum);
                         prop_assert!(
                             got == expect || (got.is_nan() && expect.is_nan()),
@@ -167,7 +168,7 @@ proptest! {
                             group_by_categorical_exec(
                                 wh, jidx, fact, path, *attr, &sub.rows, measure,
                                 AggFunc::Sum, &exec,
-                            )
+                            ).unwrap()
                         );
                         prop_assert_eq!(
                             fg.domain(),
@@ -180,7 +181,7 @@ proptest! {
                             group_by_buckets_exec(
                                 wh, jidx, fact, path, *attr, &sub.rows, measure,
                                 AggFunc::Sum, buckets, &exec,
-                            )
+                            ).unwrap()
                         );
                     }
                     FacetSpec::NumericDomain { attr, .. } => {

@@ -1,0 +1,221 @@
+//! Query-governance integration tests: deadlines, cooperative
+//! cancellation, and memory budgets must abort cleanly with typed errors,
+//! never panic, and never poison the session caches with partial state —
+//! under both serial and parallel execution.
+
+use std::time::Duration;
+
+use kdap_suite::core::{render_exploration, Kdap, KdapError};
+use kdap_suite::datagen::{build_ebiz, EbizScale};
+
+const THREADS: [usize; 2] = [1, 4];
+
+fn session(threads: usize) -> Kdap {
+    Kdap::builder(build_ebiz(EbizScale::small(), 7).unwrap())
+        .cache_capacity(16)
+        .threads(threads)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn zero_deadline_times_out_differentiate() {
+    for threads in THREADS {
+        let mut kdap = session(threads);
+        kdap.set_deadline(Some(Duration::ZERO));
+        match kdap.try_interpret("columbus lcd") {
+            Err(KdapError::Timeout { stage, .. }) => {
+                assert!(!stage.is_empty(), "breach reports its stage");
+            }
+            other => panic!("expected Timeout with {threads} thread(s), got {other:?}"),
+        }
+        // The infallible facade degrades to "no interpretations".
+        assert!(kdap.interpret("columbus lcd").is_empty());
+    }
+}
+
+#[test]
+fn zero_deadline_times_out_explore() {
+    for threads in THREADS {
+        let mut kdap = session(threads);
+        let ranked = kdap.interpret("columbus");
+        assert!(!ranked.is_empty());
+        let net = ranked[0].net.clone();
+        kdap.set_deadline(Some(Duration::ZERO));
+        match kdap.explore(&net) {
+            Err(KdapError::Timeout { stage, .. }) => assert!(!stage.is_empty()),
+            other => panic!("expected Timeout with {threads} thread(s), got {other:?}"),
+        }
+        // Clearing the deadline restores normal service: the deadline
+        // clock restarts per query, so earlier breaches leave no residue.
+        kdap.set_deadline(None);
+        kdap.explore(&net).expect("no deadline, no breach");
+    }
+}
+
+#[test]
+fn pre_cancelled_token_aborts_the_next_query() {
+    for threads in THREADS {
+        let kdap = session(threads);
+        let token = kdap.cancel_token();
+        let ranked = kdap.interpret("columbus");
+        let net = ranked[0].net.clone();
+        token.cancel();
+        match kdap.explore(&net) {
+            Err(KdapError::Cancelled { .. }) => {}
+            other => panic!("expected Cancelled with {threads} thread(s), got {other:?}"),
+        }
+        token.reset();
+        kdap.explore(&net).expect("reset token runs normally");
+    }
+}
+
+#[test]
+fn cancellation_from_another_thread_stops_a_running_query() {
+    let kdap = session(4);
+    let token = kdap.cancel_token();
+    let ranked = kdap.interpret("columbus");
+    let net = ranked[0].net.clone();
+    let canceller = std::thread::spawn({
+        let token = token.clone();
+        move || {
+            std::thread::sleep(Duration::from_millis(5));
+            token.cancel();
+        }
+    });
+    // Re-run the query until the asynchronous cancel lands; the flag
+    // persists until reset, so one of the runs must observe it.
+    let give_up = std::time::Instant::now() + Duration::from_secs(30);
+    let mut cancelled = false;
+    while std::time::Instant::now() < give_up {
+        match kdap.explore(&net) {
+            Ok(_) => continue,
+            Err(KdapError::Cancelled { .. }) => {
+                cancelled = true;
+                break;
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    canceller.join().unwrap();
+    assert!(cancelled, "cancellation was never observed");
+    token.reset();
+    kdap.explore(&net).expect("token reset restores service");
+}
+
+#[test]
+fn tiny_budget_is_exceeded_and_reported() {
+    for threads in THREADS {
+        let mut kdap = session(threads);
+        let ranked = kdap.interpret("columbus");
+        let net = ranked[0].net.clone();
+        kdap.set_memory_budget(Some(1));
+        match kdap.explore(&net) {
+            Err(KdapError::BudgetExceeded {
+                stage,
+                budget_bytes,
+                charged_bytes,
+            }) => {
+                assert!(!stage.is_empty());
+                assert_eq!(budget_bytes, 1);
+                assert!(charged_bytes > budget_bytes);
+            }
+            other => panic!("expected BudgetExceeded with {threads} thread(s), got {other:?}"),
+        }
+        kdap.set_memory_budget(None);
+        kdap.explore(&net).expect("no budget, no breach");
+    }
+}
+
+#[test]
+fn empty_and_stopword_queries_are_typed_errors() {
+    let kdap = session(1);
+    for q in ["", "   ", "!!! ???", "the and of", "a the with"] {
+        match kdap.try_interpret(q) {
+            Err(KdapError::EmptyQuery) => {}
+            other => panic!("{q:?}: expected EmptyQuery, got {other:?}"),
+        }
+        assert!(kdap.interpret(q).is_empty());
+    }
+    // Usable-but-unmatched keywords are an empty result, not an error.
+    assert!(kdap.try_interpret("zzzzqqqq").unwrap().is_empty());
+}
+
+#[test]
+fn breaches_increment_governor_counters() {
+    let mut kdap = Kdap::builder(build_ebiz(EbizScale::small(), 7).unwrap())
+        .cache_capacity(16)
+        .observability(true)
+        .build()
+        .unwrap();
+    kdap.set_deadline(Some(Duration::ZERO));
+    assert!(kdap.try_interpret("columbus lcd").is_err());
+    assert!(kdap.try_interpret("seattle").is_err());
+    kdap.set_deadline(None);
+    let token = kdap.cancel_token();
+    token.cancel();
+    let ranked_err = kdap.try_interpret("columbus");
+    assert!(matches!(ranked_err, Err(KdapError::Cancelled { .. })));
+    let snap = kdap.obs().metrics_snapshot();
+    assert_eq!(snap.counters.get("governor.timeouts"), Some(&2));
+    assert_eq!(snap.counters.get("governor.cancellations"), Some(&1));
+}
+
+/// The cache-poisoning invariant: a query that breaches a limit commits
+/// nothing — entry counts stay put, and the session afterwards produces
+/// results identical to a session that never saw the failed query.
+#[test]
+fn timed_out_query_leaves_caches_unpoisoned() {
+    for threads in THREADS {
+        let mut kdap = session(threads);
+        // Warm the caches with a successful exploration.
+        let ranked = kdap.interpret("columbus");
+        let warm = kdap.explore(&ranked[0].net).unwrap();
+        let semijoin_len = kdap.semijoin_cache_len();
+        let subspace_len = kdap.subspace_cache_len();
+        assert!(semijoin_len.unwrap_or(0) > 0, "warm-up populated the cache");
+
+        // A different query breaches the deadline before committing.
+        let victim = kdap.interpret("seattle");
+        assert!(!victim.is_empty());
+        kdap.set_deadline(Some(Duration::ZERO));
+        for r in victim.iter().take(3) {
+            assert!(matches!(
+                kdap.explore(&r.net),
+                Err(KdapError::Timeout { .. })
+            ));
+        }
+        assert_eq!(kdap.semijoin_cache_len(), semijoin_len);
+        assert_eq!(kdap.subspace_cache_len(), subspace_len);
+
+        // The surviving session renders the warm query exactly as a
+        // control session that never ran the failed one.
+        kdap.set_deadline(None);
+        let again = kdap.explore(&ranked[0].net).unwrap();
+        let control = session(threads);
+        let control_ranked = control.interpret("columbus");
+        let control_ex = control.explore(&control_ranked[0].net).unwrap();
+        assert_eq!(render_exploration(&warm), render_exploration(&again));
+        assert_eq!(render_exploration(&again), render_exploration(&control_ex));
+    }
+}
+
+/// A budget breach mid-query must obey the same invariant as a timeout.
+#[test]
+fn budget_breach_leaves_caches_unpoisoned() {
+    for threads in THREADS {
+        let mut kdap = session(threads);
+        let ranked = kdap.interpret("columbus");
+        kdap.explore(&ranked[0].net).unwrap();
+        let semijoin_len = kdap.semijoin_cache_len();
+        let subspace_len = kdap.subspace_cache_len();
+
+        let victim = kdap.interpret("seattle");
+        kdap.set_memory_budget(Some(1));
+        for r in victim.iter().take(3) {
+            assert!(kdap.explore(&r.net).is_err());
+        }
+        assert_eq!(kdap.semijoin_cache_len(), semijoin_len);
+        assert_eq!(kdap.subspace_cache_len(), subspace_len);
+    }
+}
