@@ -38,6 +38,9 @@ pub enum CliMode {
     Profile(String),
     /// `kdap stats` — print catalog statistics and exit.
     Stats,
+    /// `kdap serve` — expose the warehouse over HTTP behind the unified
+    /// query API until killed.
+    Serve,
 }
 
 /// Parsed command-line arguments.
@@ -62,6 +65,15 @@ pub struct CliArgs {
     /// `--timeout-ms N`: per-query deadline; queries that exceed it abort
     /// with a timeout error instead of running to completion.
     pub timeout_ms: Option<u64>,
+    /// `--listen ADDR` (serve): interface to bind.
+    pub listen: String,
+    /// `--port N` (serve): port to bind; `0` picks an ephemeral port.
+    pub port: u16,
+    /// `--workers N` (serve): HTTP worker threads.
+    pub workers: usize,
+    /// `--max-inflight N` (serve): per-tenant admission cap; requests
+    /// over it receive a typed 429.
+    pub max_inflight: usize,
 }
 
 /// Parses `kdap` arguments (everything after `argv[0]`).
@@ -74,6 +86,10 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
     let mut profile = false;
     let mut json = false;
     let mut timeout_ms = None;
+    let mut listen = "127.0.0.1".to_string();
+    let mut port = 8642u16;
+    let mut workers = 4usize;
+    let mut max_inflight = 64usize;
     let mut positional: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -125,6 +141,30 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
                 }
                 timeout_ms = Some(ms);
             }
+            "--listen" => {
+                listen = it.next().ok_or("--listen needs an address")?.clone();
+            }
+            "--port" => {
+                port = it
+                    .next()
+                    .ok_or("--port needs a value")?
+                    .parse()
+                    .map_err(|_| "--port must be 0..=65535".to_string())?;
+            }
+            "--workers" => {
+                workers = it
+                    .next()
+                    .ok_or("--workers needs a value")?
+                    .parse()
+                    .map_err(|_| "--workers must be an integer".to_string())?;
+            }
+            "--max-inflight" => {
+                max_inflight = it
+                    .next()
+                    .ok_or("--max-inflight needs a value")?
+                    .parse()
+                    .map_err(|_| "--max-inflight must be an integer".to_string())?;
+            }
             "--help" | "-h" => return Err(usage()),
             other if !other.starts_with('-') => positional.push(other.to_string()),
             other => return Err(format!("unknown argument `{other}`\n{}", usage())),
@@ -145,6 +185,12 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
                 }
                 CliMode::Stats
             }
+            "serve" => {
+                if !rest.is_empty() {
+                    return Err("`kdap serve` takes no further arguments".into());
+                }
+                CliMode::Serve
+            }
             other => return Err(format!("unknown subcommand `{other}`\n{}", usage())),
         },
     };
@@ -158,15 +204,20 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
         profile,
         json,
         timeout_ms,
+        listen,
+        port,
+        workers,
+        max_inflight,
     })
 }
 
 /// The usage banner.
 pub fn usage() -> String {
-    "usage: kdap [profile <keywords…> | stats] \
+    "usage: kdap [profile <keywords…> | stats | serve] \
      [--demo ebiz|aw-online|aw-reseller|trends] [--spec FILE] \
      [--small] [--seed N] [--threads N] [--no-opt] [--profile] [--json] \
-     [--timeout-ms N]"
+     [--timeout-ms N] \
+     [--listen ADDR] [--port N] [--workers N] [--max-inflight N]"
         .to_string()
 }
 
@@ -221,6 +272,37 @@ mod tests {
         assert_eq!(a.mode, CliMode::Repl);
         assert!(parse_args(&args(&["stats", "extra"])).is_err());
         assert!(parse_args(&args(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn parses_serve_subcommand_and_flags() {
+        let a = parse_args(&args(&["serve"])).unwrap();
+        assert_eq!(a.mode, CliMode::Serve);
+        assert_eq!(a.listen, "127.0.0.1");
+        assert_eq!(a.port, 8642);
+        assert_eq!(a.workers, 4);
+        assert_eq!(a.max_inflight, 64);
+        let a = parse_args(&args(&[
+            "serve",
+            "--listen",
+            "0.0.0.0",
+            "--port",
+            "9000",
+            "--workers",
+            "8",
+            "--max-inflight",
+            "2",
+        ]))
+        .unwrap();
+        assert_eq!(a.listen, "0.0.0.0");
+        assert_eq!(a.port, 9000);
+        assert_eq!(a.workers, 8);
+        assert_eq!(a.max_inflight, 2);
+        assert!(parse_args(&args(&["serve", "extra"])).is_err());
+        assert!(parse_args(&args(&["--port", "notaport"])).is_err());
+        assert!(parse_args(&args(&["--port", "70000"])).is_err());
+        assert!(parse_args(&args(&["--workers"])).is_err());
+        assert!(parse_args(&args(&["--max-inflight", "x"])).is_err());
     }
 
     #[test]

@@ -1,16 +1,27 @@
-//! The `kdap` binary: open a warehouse (demo or spec-defined) and run the
-//! interactive analytical console.
+//! The `kdap` binary: open a warehouse (demo or spec-defined) and run
+//! the interactive analytical console, a one-shot subcommand, or the
+//! HTTP server. Every query path goes through the unified request API
+//! ([`QueryRequest`] → [`Kdap::run`]).
 
 use std::io::{BufRead, Write};
+use std::sync::Arc;
 use std::time::Duration;
 
 use kdap_cli::stats::{stats_json, stats_text};
-use kdap_cli::{parse_args, CliMode, Command, DataSource, Repl};
-use kdap_core::{render_interpretations, CancelToken, Kdap};
+use kdap_cli::{parse_args, CliArgs, CliMode, Command, DataSource, Repl};
+use kdap_core::{
+    render_interpretations, CancelToken, Kdap, KdapError, QueryRequest, Verb, WireFormat,
+};
+use kdap_server::{EngineRegistry, KdapServer, ServerConfig};
 
 /// Ctrl-C cancels the in-flight query, not the process. The handler does
 /// nothing but a relaxed atomic store through a pre-registered
 /// [`CancelToken`] — the only async-signal-safe thing it could do.
+///
+/// The token is created by the console and scoped to its session via
+/// [`kdap_core::KdapBuilder::cancel_token`]; one-shot subcommands and
+/// `kdap serve` never install the handler, so SIGINT kills them normally
+/// and server tenants are only ever cancelled by their own clients.
 #[cfg(unix)]
 mod sigint {
     use kdap_core::CancelToken;
@@ -39,7 +50,7 @@ mod sigint {
 use kdap_datagen::{
     build_aw_online, build_aw_reseller, build_ebiz, build_trends, EbizScale, Scale, TrendsScale,
 };
-use kdap_warehouse::load_spec;
+use kdap_warehouse::{load_spec, Warehouse};
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -51,7 +62,92 @@ fn main() {
         }
     };
 
-    let wh = match &args.source {
+    let wh = build_warehouse(&args);
+
+    let observability = args.profile
+        || matches!(args.mode, CliMode::Profile(_))
+        || matches!(args.mode, CliMode::Serve);
+    let mut builder = Kdap::builder(wh)
+        .cache_capacity(64)
+        .threads(args.threads)
+        .optimizer(args.optimizer)
+        .observability(observability);
+    if let Some(ms) = args.timeout_ms {
+        builder = builder.deadline(Duration::from_millis(ms));
+    }
+
+    // Ctrl-C cancels the console's in-flight query. The token is owned
+    // here and wired into this session only; non-console modes leave the
+    // default SIGINT disposition alone.
+    let cancel: Option<CancelToken> = {
+        #[cfg(unix)]
+        if args.mode == CliMode::Repl {
+            let token = CancelToken::new();
+            builder = builder.cancel_token(token.clone());
+            sigint::install(token.clone());
+            Some(token)
+        } else {
+            None
+        }
+        #[cfg(not(unix))]
+        None
+    };
+
+    let kdap = match builder.build() {
+        Ok(k) => k,
+        Err(e) => {
+            eprintln!("cannot open warehouse: {e} (a `measure` declaration is required)");
+            std::process::exit(1);
+        }
+    };
+
+    match &args.mode {
+        CliMode::Profile(query) => {
+            match kdap.run(&QueryRequest::new(Verb::Profile, query.as_str())) {
+                Ok(resp) => {
+                    if args.json {
+                        match resp.encode(WireFormat::Json) {
+                            Ok(body) => print!("{body}"),
+                            Err(e) => {
+                                eprintln!("profile failed: {e}");
+                                std::process::exit(1);
+                            }
+                        }
+                    } else {
+                        print!(
+                            "{}",
+                            render_interpretations(kdap.warehouse(), &resp.ranked, 3)
+                        );
+                        if let Some(p) = &resp.profile {
+                            print!("{}", p.render());
+                        }
+                    }
+                }
+                Err(KdapError::NoInterpretation { .. } | KdapError::EmptyQuery) => {
+                    println!("no interpretation found for \"{query}\"");
+                }
+                Err(e) => {
+                    eprintln!("profile failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        CliMode::Stats => {
+            if args.json {
+                println!("{}", stats_json(&kdap));
+            } else {
+                print!("{}", stats_text(&kdap));
+            }
+        }
+        CliMode::Serve => serve(&args, kdap),
+        CliMode::Repl => repl(kdap, cancel),
+    }
+}
+
+/// Builds the warehouse the invocation asked for, exiting with a
+/// diagnostic when a spec is missing or invalid.
+fn build_warehouse(args: &CliArgs) -> Warehouse {
+    match &args.source {
         DataSource::DemoEbiz => {
             eprintln!("building the EBiz demo warehouse…");
             let scale = if args.small {
@@ -110,73 +206,57 @@ fn main() {
                 }
             }
         }
-    };
-
-    let observability = args.profile || matches!(args.mode, CliMode::Profile(_));
-    let mut builder = Kdap::builder(wh)
-        .cache_capacity(64)
-        .threads(args.threads)
-        .optimizer(args.optimizer)
-        .observability(observability);
-    if let Some(ms) = args.timeout_ms {
-        builder = builder.deadline(Duration::from_millis(ms));
     }
-    let kdap = match builder.build() {
-        Ok(k) => k,
+}
+
+/// The tenant name a data source is served under.
+fn tenant_name(source: &DataSource) -> String {
+    match source {
+        DataSource::DemoEbiz => "ebiz".to_string(),
+        DataSource::DemoAwOnline => "aw-online".to_string(),
+        DataSource::DemoAwReseller => "aw-reseller".to_string(),
+        DataSource::DemoTrends => "trends".to_string(),
+        DataSource::Spec(path) => std::path::Path::new(path)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("warehouse")
+            .to_string(),
+    }
+}
+
+/// `kdap serve`: host the warehouse behind the HTTP query API until the
+/// process is killed.
+fn serve(args: &CliArgs, kdap: Kdap) {
+    let name = tenant_name(&args.source);
+    let registry = EngineRegistry::new().with(name.clone(), Arc::new(kdap));
+    let config = ServerConfig {
+        listen: args.listen.clone(),
+        port: args.port,
+        workers: args.workers,
+        max_inflight: args.max_inflight,
+        ..ServerConfig::default()
+    };
+    let server = match KdapServer::start(registry, &config) {
+        Ok(s) => s,
         Err(e) => {
-            eprintln!("cannot open warehouse: {e} (a `measure` declaration is required)");
+            eprintln!("cannot bind {}:{}: {e}", config.listen, config.port);
             std::process::exit(1);
         }
     };
-
-    match &args.mode {
-        CliMode::Profile(query) => match kdap.profile_query(query) {
-            Ok(report) => {
-                if args.json {
-                    println!("{}", report.profile.to_json());
-                } else {
-                    if report.ranked.is_empty() {
-                        println!("no interpretation found for \"{query}\"");
-                    } else {
-                        print!(
-                            "{}",
-                            render_interpretations(kdap.warehouse(), &report.ranked, 3)
-                        );
-                    }
-                    print!("{}", report.profile.render());
-                }
-                return;
-            }
-            Err(e) => {
-                eprintln!("profile failed: {e}");
-                std::process::exit(1);
-            }
-        },
-        CliMode::Stats => {
-            if args.json {
-                println!("{}", stats_json(&kdap));
-            } else {
-                print!("{}", stats_text(&kdap));
-            }
-            return;
-        }
-        CliMode::Repl => {}
+    println!(
+        "kdap-server listening on http://{} — try: curl -s http://{}/v1/{}/stats",
+        server.addr(),
+        server.addr(),
+        name
+    );
+    // Serve until killed; the worker pool owns all the work.
+    loop {
+        std::thread::park();
     }
+}
 
-    // Ctrl-C cancels the in-flight query instead of killing the console.
-    let cancel: Option<CancelToken> = {
-        #[cfg(unix)]
-        {
-            let token = kdap.cancel_token();
-            sigint::install(token.clone());
-            Some(token)
-        }
-        #[cfg(not(unix))]
-        {
-            None
-        }
-    };
-
+/// The interactive console loop over stdio.
+fn repl(kdap: Kdap, cancel: Option<CancelToken>) {
     let mut repl = Repl::new(kdap);
     println!("KDAP console ready — `help` lists commands. Try: q Columbus LCD");
 

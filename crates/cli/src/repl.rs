@@ -7,15 +7,19 @@ use std::io::Write;
 use kdap_core::interest::InterestMode;
 use kdap_core::{
     drill_down, remove_constraint, render_exploration, render_interpretations, roll_up,
-    Exploration, FacetOrder, Kdap, KdapError, RankedStarNet, StarNet,
+    Exploration, FacetOrder, Kdap, KdapError, QueryOptions, QueryRequest, RankedStarNet, StarNet,
+    Verb,
 };
 use kdap_query::paths_between;
 
 use crate::command::{Command, ModeArg, OrderArg};
 
-/// Interactive session state.
+/// Interactive session state. All queries flow through the unified
+/// request API ([`Kdap::run`]); console toggles like `mode` and `order`
+/// accumulate in a [`QueryOptions`] instead of mutating session config.
 pub struct Repl {
     kdap: Kdap,
+    options: QueryOptions,
     interpretations: Vec<RankedStarNet>,
     current: Option<StarNet>,
     exploration: Option<Exploration>,
@@ -25,6 +29,7 @@ impl Repl {
     pub fn new(kdap: Kdap) -> Self {
         Repl {
             kdap,
+            options: QueryOptions::default(),
             interpretations: Vec::new(),
             current: None,
             exploration: None,
@@ -36,12 +41,23 @@ impl Repl {
         &self.kdap
     }
 
+    /// The option overrides the console has accumulated so far.
+    pub fn options(&self) -> &QueryOptions {
+        &self.options
+    }
+
+    /// This console's request for `verb` over `keywords`, carrying the
+    /// accumulated option overrides.
+    fn request(&self, verb: Verb, keywords: &str) -> QueryRequest {
+        QueryRequest::new(verb, keywords).with_options(self.options.clone())
+    }
+
     /// Executes one command; returns `false` when the session should end.
     pub fn execute(&mut self, cmd: Command, out: &mut impl Write) -> std::io::Result<bool> {
         match cmd {
-            Command::Query(q) => match self.kdap.try_interpret(&q) {
-                Ok(ranked) => {
-                    self.interpretations = ranked;
+            Command::Query(q) => match self.kdap.run(&self.request(Verb::Differentiate, &q)) {
+                Ok(resp) => {
+                    self.interpretations = resp.ranked;
                     if self.interpretations.is_empty() {
                         writeln!(out, "no interpretation found for \"{q}\"")?;
                     } else {
@@ -98,21 +114,21 @@ impl Repl {
                 }
             }
             Command::Mode(m) => {
-                self.kdap.facet_config_mut().mode = match m {
+                self.options.mode = Some(match m {
                     ModeArg::Surprise => InterestMode::Surprise,
                     ModeArg::Bellwether => InterestMode::Bellwether,
-                };
+                });
                 writeln!(out, "interestingness mode set")?;
                 if self.current.is_some() {
                     self.explore(out)?;
                 }
             }
             Command::Order(o) => {
-                self.kdap.facet_config_mut().order = match o {
+                self.options.order = Some(match o {
                     OrderArg::Dynamic => FacetOrder::Dynamic,
                     OrderArg::Consistent => FacetOrder::Consistent,
                     OrderArg::Hybrid(p) => FacetOrder::Hybrid { pinned: p },
-                };
+                });
                 writeln!(out, "facet ordering set")?;
                 if self.current.is_some() {
                     self.explore(out)?;
@@ -122,21 +138,22 @@ impl Repl {
                 if !self.kdap.obs().is_enabled() {
                     writeln!(out, "observability is off — restart kdap with --profile")?;
                 } else {
-                    match self.kdap.profile_query(&q) {
-                        Ok(report) => {
-                            if report.ranked.is_empty() {
-                                writeln!(out, "no interpretation found for \"{q}\"")?;
-                            } else {
-                                writeln!(
-                                    out,
-                                    "profiled the top of {} interpretation(s):",
-                                    report.ranked.len()
-                                )?;
+                    match self.kdap.run(&self.request(Verb::Profile, &q)) {
+                        Ok(resp) => {
+                            writeln!(
+                                out,
+                                "profiled the top of {} interpretation(s):",
+                                resp.n_interpretations
+                            )?;
+                            if let Some(p) = &resp.profile {
+                                write!(out, "{}", p.render())?;
                             }
-                            write!(out, "{}", report.profile.render())?;
-                            self.current = report.ranked.first().map(|r| r.net.clone());
-                            self.interpretations = report.ranked;
-                            self.exploration = report.exploration;
+                            self.current = resp.ranked.first().map(|r| r.net.clone());
+                            self.interpretations = resp.ranked;
+                            self.exploration = resp.exploration;
+                        }
+                        Err(KdapError::NoInterpretation { .. } | KdapError::EmptyQuery) => {
+                            writeln!(out, "no interpretation found for \"{q}\"")?;
                         }
                         Err(e) => writeln!(out, "profile failed: {e}")?,
                     }
@@ -150,7 +167,7 @@ impl Repl {
                     match self.kdap.explain(net) {
                         Ok(plan) => {
                             write!(out, "{}", plan.render())?;
-                            match self.kdap.explain_explore(net) {
+                            match self.kdap.explain_explore_with(net, &self.options) {
                                 Ok((_, report)) => write!(out, "{}", report.render())?,
                                 Err(e) => writeln!(out, "explore report failed: {e}")?,
                             }
@@ -233,7 +250,7 @@ impl Repl {
             return Ok(());
         };
         writeln!(out, "exploring: {}", net.display(self.kdap.warehouse()))?;
-        match self.kdap.explore(net) {
+        match self.kdap.explore_with_options(net, &self.options) {
             Ok(ex) => {
                 write!(out, "{}", render_exploration(&ex))?;
                 writeln!(out, "(facets are numbered top to bottom for `drill`)")?;
@@ -394,6 +411,17 @@ mod tests {
         assert!(out.contains("subspace:"), "re-rendered: {out}");
         let out = run(&mut r, "order consistent");
         assert!(out.contains("subspace:"), "re-rendered: {out}");
+    }
+
+    #[test]
+    fn console_toggles_accumulate_in_query_options() {
+        let mut r = repl();
+        assert_eq!(r.options().mode, None);
+        assert_eq!(r.options().order, None);
+        run(&mut r, "mode bellwether");
+        run(&mut r, "order hybrid 2");
+        assert_eq!(r.options().mode, Some(InterestMode::Bellwether));
+        assert_eq!(r.options().order, Some(FacetOrder::Hybrid { pinned: 2 }));
     }
 
     #[test]

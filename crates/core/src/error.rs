@@ -41,6 +41,14 @@ pub enum KdapError {
     /// The keyword input contains no usable keywords (empty, or nothing
     /// but stopwords/punctuation).
     EmptyQuery,
+    /// A request asked for interpretation `pick` but the ranking holds
+    /// fewer entries (or none at all).
+    NoInterpretation {
+        /// The 1-based interpretation index the request asked for.
+        pick: usize,
+        /// How many interpretations the ranking actually produced.
+        available: usize,
+    },
 }
 
 impl fmt::Display for KdapError {
@@ -65,6 +73,16 @@ impl fmt::Display for KdapError {
             ),
             KdapError::EmptyQuery => {
                 write!(f, "query contains no usable keywords")
+            }
+            KdapError::NoInterpretation { pick, available } => {
+                if *available == 0 {
+                    write!(f, "no interpretations found for the query")
+                } else {
+                    write!(
+                        f,
+                        "interpretation {pick} requested but only {available} available"
+                    )
+                }
             }
         }
     }

@@ -6,6 +6,7 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod api;
 pub mod cache;
 pub mod error;
 pub mod explain;
@@ -27,6 +28,9 @@ pub mod subspace;
 #[doc(hidden)]
 pub mod testutil;
 
+pub use api::{
+    ApiError, InterpretationSummary, QueryOptions, QueryRequest, QueryResponse, Verb, WireFormat,
+};
 pub use cache::SubspaceCache;
 pub use error::KdapError;
 pub use explain::{

@@ -19,6 +19,7 @@ use kdap_query::{ExecConfig, JoinIndex, MeasureVector};
 use kdap_textindex::{tokenize_terms, TextIndex};
 use kdap_warehouse::{Measure, Warehouse};
 
+use crate::api::{InterpretationSummary, QueryOptions, QueryRequest, QueryResponse, Verb};
 use crate::cache::SubspaceCache;
 use crate::error::KdapError;
 use crate::explain::ExploreReport;
@@ -53,6 +54,7 @@ pub struct KdapBuilder {
     observability: bool,
     deadline: Option<Duration>,
     memory_budget: Option<u64>,
+    cancel: Option<CancelToken>,
 }
 
 impl KdapBuilder {
@@ -71,6 +73,7 @@ impl KdapBuilder {
             observability: false,
             deadline: None,
             memory_budget: None,
+            cancel: None,
         }
     }
 
@@ -152,6 +155,16 @@ impl KdapBuilder {
         self
     }
 
+    /// Attaches an externally owned cancellation token instead of a
+    /// private one. Interactive frontends hand the same token to a
+    /// console signal handler; server deployments keep each session's
+    /// token private and pass per-request tokens through
+    /// [`Kdap::run_cancellable`] instead.
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
     /// Builds the offline indexes and the session.
     pub fn build(self) -> Result<Kdap, KdapError> {
         let measure = match &self.measure {
@@ -204,7 +217,7 @@ impl KdapBuilder {
             governor: Governor {
                 deadline: self.deadline,
                 memory_budget: self.memory_budget,
-                cancel: CancelToken::new(),
+                cancel: self.cancel.unwrap_or_default(),
             },
             measure_vectors: Mutex::new(HashMap::new()),
         })
@@ -327,6 +340,15 @@ impl Kdap {
         self.governor.cancel.clone()
     }
 
+    /// Replaces the session's cancellation token. Interactive frontends
+    /// use this to scope a console signal handler to one session at a
+    /// time; sessions hosted in a server registry keep their private
+    /// token and receive per-request tokens via [`Kdap::run_cancellable`]
+    /// instead.
+    pub fn set_cancel_token(&mut self, token: CancelToken) {
+        self.governor.cancel = token;
+    }
+
     /// The per-query execution config: the session's `exec` plus a fresh
     /// governance context when limits are set or a cancel token has been
     /// handed out. Fresh per query, so the deadline clock restarts here.
@@ -338,47 +360,82 @@ impl Kdap {
         }
     }
 
-    /// Differentiate phase: parses the keyword query (double quotes group
-    /// phrases, e.g. `"san jose" tv`), generates candidate star nets and
-    /// returns them ranked.
-    ///
-    /// Infallible convenience wrapper: empty/stopword-only input and
-    /// governance aborts all collapse to an empty ranking. Use
-    /// [`Kdap::try_interpret`] to distinguish them.
-    pub fn interpret(&self, query: &str) -> Vec<RankedStarNet> {
-        self.try_interpret(query).unwrap_or_default()
+    /// A request-scoped execution config: the session's `exec` governed
+    /// by a [`Governor`] built from the request's overrides (`timeout_ms`
+    /// / `budget_bytes` replace the session defaults when present) and an
+    /// optional per-request cancel token (the server trips one on client
+    /// disconnect). A `timeout_ms` of 0 is an already-expired deadline.
+    fn request_exec(&self, options: &QueryOptions, cancel: Option<CancelToken>) -> ExecConfig {
+        let deadline = options
+            .timeout_ms
+            .map(Duration::from_millis)
+            .or(self.governor.deadline);
+        let memory_budget = options.budget_bytes.or(self.governor.memory_budget);
+        // An externally supplied token is shared by construction (its
+        // owner holds a clone); the session token only counts when an
+        // embedder has taken a handle out via `cancel_token()`.
+        let shared = cancel.is_some() || self.governor.cancel.is_shared();
+        if deadline.is_none() && memory_budget.is_none() && !shared {
+            return self.exec.clone();
+        }
+        let governor = Governor {
+            deadline,
+            memory_budget,
+            cancel: cancel.unwrap_or_else(|| self.governor.cancel.clone()),
+        };
+        self.exec.clone().with_govern(governor.fresh_context())
     }
 
-    /// Fallible differentiate phase: [`KdapError::EmptyQuery`] when the
-    /// input holds no usable keyword (empty, or nothing but stopwords
-    /// and punctuation), and a governance error when the session's
-    /// deadline, cancel token, or budget fires mid-generation. A
-    /// well-formed query whose keywords simply match nothing still
-    /// returns `Ok` with an empty ranking.
+    /// Differentiate phase — the **primary** entry point: parses the
+    /// keyword query (double quotes group phrases, e.g. `"san jose" tv`),
+    /// generates candidate star nets and returns them ranked.
+    ///
+    /// Errors are typed: [`KdapError::EmptyQuery`] when the input holds
+    /// no usable keyword (empty, or nothing but stopwords and
+    /// punctuation), and a governance error when the session's deadline,
+    /// cancel token, or budget fires mid-generation. A well-formed query
+    /// whose keywords simply match nothing still returns `Ok` with an
+    /// empty ranking. Server, CLI and REPL all share this one
+    /// typed-error path; [`Kdap::interpret`] is the lossy convenience
+    /// form.
     pub fn try_interpret(&self, query: &str) -> Result<Vec<RankedStarNet>, KdapError> {
-        let result = self.try_interpret_inner(query);
+        let result = self.interpret_stage(query, self.method, &self.query_exec());
         if let Err(err) = &result {
             record_breach(&self.obs, err);
         }
         result
     }
 
-    fn try_interpret_inner(&self, query: &str) -> Result<Vec<RankedStarNet>, KdapError> {
+    /// Infallible convenience wrapper over [`Kdap::try_interpret`]:
+    /// empty/stopword-only input and governance aborts all collapse to
+    /// an empty ranking. Prefer `try_interpret` anywhere the caller can
+    /// surface an error.
+    pub fn interpret(&self, query: &str) -> Vec<RankedStarNet> {
+        self.try_interpret(query).unwrap_or_default()
+    }
+
+    /// The differentiate pipeline with explicit ranking method and
+    /// execution config — the request-scoped form `run()` uses.
+    fn interpret_stage(
+        &self,
+        query: &str,
+        method: RankMethod,
+        exec: &ExecConfig,
+    ) -> Result<Vec<RankedStarNet>, KdapError> {
         let span = self.obs.span("differentiate");
         let keywords = split_query(query);
         if !has_usable_keyword(&keywords) {
             return Err(KdapError::EmptyQuery);
         }
         span.note("keywords", keywords.len());
-        let exec = self.query_exec();
         let refs: Vec<&str> = keywords.iter().map(String::as_str).collect();
         let nets = {
             let _s = self.obs.span("generate_star_nets");
-            try_generate_star_nets(&self.wh, &self.index, &refs, &self.gen, &exec)?
+            try_generate_star_nets(&self.wh, &self.index, &refs, &self.gen, exec)?
         };
         let ranked = {
             let _s = self.obs.span("rank_star_nets");
-            rank_star_nets(nets, self.method)
+            rank_star_nets(nets, method)
         };
         span.rows_out(ranked.len() as u64);
         Ok(ranked)
@@ -485,26 +542,56 @@ impl Kdap {
         net: &StarNet,
         measure: &Measure,
     ) -> Result<Exploration, KdapError> {
+        self.explore_stage(net, measure, &self.facet, &self.query_exec())
+    }
+
+    /// The explore pipeline with explicit facet and execution configs —
+    /// the request-scoped form `run()` and `explore_with_options()` use.
+    fn explore_stage(
+        &self,
+        net: &StarNet,
+        measure: &Measure,
+        facet: &FacetConfig,
+        exec: &ExecConfig,
+    ) -> Result<Exploration, KdapError> {
         let _span = self.obs.span("explore");
-        let exec = self.query_exec();
-        match self.facet.kernel {
+        match facet.kernel {
             FacetKernel::PerFacet => {
-                let sub = self.materialize_net(net, &exec)?;
+                let sub = self.materialize_net(net, exec)?;
                 explore_subspace_planned(
                     &self.wh,
                     &self.jidx,
                     net,
                     &sub,
                     measure,
-                    &self.facet,
-                    &exec,
+                    facet,
+                    exec,
                     &self.planner,
                 )
             }
             FacetKernel::Fused => self
-                .explore_instrumented(net, measure, &exec)
+                .explore_instrumented(net, measure, facet, exec)
                 .map(|(ex, _)| ex),
         }
+    }
+
+    /// Explore phase with per-request option overrides ([`QueryOptions`]
+    /// from the `api` module) — the hook interactive frontends use for
+    /// drill/roll-up navigation so they never mutate [`FacetConfig`]
+    /// directly. Governance overrides (`timeout_ms`, `budget_bytes`)
+    /// apply to this call only.
+    pub fn explore_with_options(
+        &self,
+        net: &StarNet,
+        options: &QueryOptions,
+    ) -> Result<Exploration, KdapError> {
+        let facet = options.apply_facet(self.facet.clone());
+        let exec = self.request_exec(options, None);
+        let result = self.explore_stage(net, &self.measure, &facet, &exec);
+        if let Err(err) = &result {
+            record_breach(&self.obs, err);
+        }
+        result
     }
 
     /// The session-memoized measure vector for `measure`, decoding it on
@@ -524,6 +611,7 @@ impl Kdap {
         &self,
         net: &StarNet,
         measure: &Measure,
+        facet: &FacetConfig,
         exec: &ExecConfig,
     ) -> Result<(Exploration, ExploreReport), KdapError> {
         let sub = self.materialize_net(net, exec)?;
@@ -534,7 +622,7 @@ impl Kdap {
             net,
             &sub,
             &mv,
-            &self.facet,
+            facet,
             exec,
             &self.planner,
         )
@@ -548,10 +636,22 @@ impl Kdap {
         &self,
         net: &StarNet,
     ) -> Result<(Exploration, ExploreReport), KdapError> {
+        self.explain_explore_with(net, &QueryOptions::default())
+    }
+
+    /// [`Kdap::explain_explore`] with per-request option overrides, so
+    /// frontends replay EXPLAIN under the exact facet configuration of
+    /// the request being explained.
+    pub fn explain_explore_with(
+        &self,
+        net: &StarNet,
+        options: &QueryOptions,
+    ) -> Result<(Exploration, ExploreReport), KdapError> {
+        let facet = options.apply_facet(self.facet.clone());
+        let exec = self.request_exec(options, None);
         let (ex, mut report) = {
             let _span = self.obs.span("explore");
-            let exec = self.query_exec();
-            self.explore_instrumented(net, &self.measure, &exec)?
+            self.explore_instrumented(net, &self.measure, &facet, &exec)?
         };
         report.subspace_cache = self.cache.as_ref().map(|c| c.counters());
         report.semijoin_cache = self.planner.cache_counters();
@@ -610,6 +710,141 @@ impl Kdap {
     /// Row-mapper-cache hit/miss counters of the session's join index.
     pub fn mapper_counters(&self) -> CacheCounters {
         self.jidx.mapper_counters()
+    }
+
+    /// Executes one typed [`QueryRequest`] — **the** unified entry point
+    /// every frontend (HTTP server, CLI, REPL) drives. The verb selects
+    /// the pipeline: `differentiate` ranks interpretations,
+    /// `explore`/`profile`/`explain` additionally run the explore phase
+    /// on the picked interpretation (profile under the session recorder,
+    /// explain with plan and scan accounting). Request options override
+    /// the session's ranking method, facet configuration and governance
+    /// limits for this call only; the session configuration is never
+    /// mutated, so one `Arc<Kdap>` serves concurrent requests with
+    /// differing options.
+    ///
+    /// Errors are typed [`KdapError`]s ([`crate::api::ApiError::from_kdap`]
+    /// maps them onto HTTP statuses), and governance breaches are counted
+    /// in the obs metrics before returning.
+    pub fn run(&self, request: &QueryRequest) -> Result<QueryResponse, KdapError> {
+        self.run_cancellable(request, None)
+    }
+
+    /// [`Kdap::run`] with an explicit per-request cancellation token.
+    /// The server trips the token when the client disconnects mid-query;
+    /// the query then unwinds with [`KdapError::Cancelled`] at the next
+    /// kernel chunk boundary, leaving every cache untouched.
+    pub fn run_cancellable(
+        &self,
+        request: &QueryRequest,
+        cancel: Option<CancelToken>,
+    ) -> Result<QueryResponse, KdapError> {
+        let exec = self.request_exec(&request.options, cancel);
+        let result = self.run_inner(request, &exec);
+        if let Err(err) = &result {
+            record_breach(&self.obs, err);
+        }
+        result
+    }
+
+    fn run_inner(
+        &self,
+        request: &QueryRequest,
+        exec: &ExecConfig,
+    ) -> Result<QueryResponse, KdapError> {
+        let method = request.options.rank.unwrap_or(self.method);
+        let facet = request.options.apply_facet(self.facet.clone());
+        let profiling = request.verb == Verb::Profile;
+        if profiling {
+            self.obs.start_profile(&request.keywords);
+        }
+        let ranked = self.interpret_stage(&request.keywords, method, exec);
+        // A failed differentiate must not leave profile state behind.
+        let ranked = match ranked {
+            Ok(ranked) => ranked,
+            Err(err) => {
+                if profiling {
+                    self.obs.take_profile();
+                }
+                return Err(err);
+            }
+        };
+        let n = ranked.len();
+        let shown = if request.limit == 0 { n } else { request.limit };
+        let interpretations = ranked
+            .iter()
+            .take(shown)
+            .enumerate()
+            .map(|(i, r)| InterpretationSummary {
+                rank: i + 1,
+                score: r.score,
+                display: r.net.display(&self.wh),
+                fingerprint: r.net.fingerprint(),
+            })
+            .collect();
+        let mut response = QueryResponse {
+            verb: request.verb,
+            keywords: request.keywords.clone(),
+            n_interpretations: n,
+            interpretations,
+            ranked,
+            picked: None,
+            exploration: None,
+            plan: None,
+            report: None,
+            profile: None,
+        };
+        if request.verb != Verb::Differentiate {
+            let net = match response.ranked.get(request.pick.wrapping_sub(1)) {
+                Some(r) => r.net.clone(),
+                None => {
+                    if profiling {
+                        self.obs.take_profile();
+                    }
+                    return Err(KdapError::NoInterpretation {
+                        pick: request.pick,
+                        available: n,
+                    });
+                }
+            };
+            response.picked = Some(request.pick);
+            match request.verb {
+                Verb::Explain => {
+                    let explained = {
+                        let _span = self.obs.span("explore");
+                        self.explore_instrumented(&net, &self.measure, &facet, exec)
+                    };
+                    let (ex, mut report) = explained?;
+                    report.subspace_cache = self.cache.as_ref().map(|c| c.counters());
+                    report.semijoin_cache = self.planner.cache_counters();
+                    report.mapper_cache = Some(self.jidx.mapper_counters());
+                    response.plan = Some(self.explain(&net)?.render());
+                    response.report = Some(report.render());
+                    response.exploration = Some(ex);
+                }
+                _ => {
+                    let explored = self.explore_stage(&net, &self.measure, &facet, exec);
+                    let ex = match explored {
+                        Ok(ex) => ex,
+                        Err(err) => {
+                            if profiling {
+                                self.obs.take_profile();
+                            }
+                            return Err(err);
+                        }
+                    };
+                    response.exploration = Some(ex);
+                }
+            }
+        }
+        if profiling {
+            response.profile = Some(
+                self.obs
+                    .take_profile()
+                    .unwrap_or_else(|| QueryProfile::empty(&request.keywords)),
+            );
+        }
+        Ok(response)
     }
 
     /// Runs the full differentiate → explore loop for `query` under the
@@ -978,6 +1213,159 @@ mod tests {
         assert!(text.contains("subspace cache"));
         assert!(text.contains("semi-join cache"));
         assert!(text.contains("row-mapper cache"));
+    }
+
+    #[test]
+    fn run_differentiate_matches_try_interpret() {
+        let kdap = session();
+        let direct = kdap.try_interpret("columbus lcd").unwrap();
+        let resp = kdap
+            .run(&QueryRequest::new(Verb::Differentiate, "columbus lcd"))
+            .unwrap();
+        assert_eq!(resp.n_interpretations, direct.len());
+        assert_eq!(resp.ranked.len(), direct.len());
+        for (r, d) in resp.ranked.iter().zip(&direct) {
+            assert_eq!(r.score, d.score);
+            assert_eq!(r.net.fingerprint(), d.net.fingerprint());
+        }
+        for (i, s) in resp.interpretations.iter().enumerate() {
+            assert_eq!(s.rank, i + 1);
+            assert_eq!(s.fingerprint, direct[i].net.fingerprint());
+            assert_eq!(s.display, direct[i].net.display(kdap.warehouse()));
+        }
+        assert!(resp.exploration.is_none());
+        // limit truncates the summaries but not the ranking.
+        let mut req = QueryRequest::new(Verb::Differentiate, "columbus lcd");
+        req.limit = 1;
+        let resp = kdap.run(&req).unwrap();
+        assert_eq!(resp.interpretations.len(), 1);
+        assert_eq!(resp.ranked.len(), direct.len());
+    }
+
+    #[test]
+    fn run_explore_matches_direct_calls_and_options_do_not_stick() {
+        let kdap = session();
+        let direct = kdap.try_interpret("columbus lcd").unwrap();
+        let expected = kdap.explore(&direct[0].net).unwrap();
+        let resp = kdap
+            .run(&QueryRequest::new(Verb::Explore, "columbus lcd"))
+            .unwrap();
+        assert_eq!(resp.picked, Some(1));
+        assert_eq!(resp.exploration.as_ref(), Some(&expected));
+        // Per-request overrides do not mutate the session config.
+        let mut req = QueryRequest::new(Verb::Explore, "columbus lcd");
+        req.options.top_k_attrs = Some(1);
+        req.options.mode = Some(crate::interest::InterestMode::Bellwether);
+        let over = kdap.run(&req).unwrap();
+        assert!(over
+            .exploration
+            .unwrap()
+            .panels
+            .iter()
+            .all(|p| p.attrs.len() <= 1));
+        assert_eq!(
+            kdap.facet_config().mode,
+            crate::interest::InterestMode::Surprise
+        );
+        // And a plain request afterwards reproduces the original result.
+        let resp = kdap
+            .run(&QueryRequest::new(Verb::Explore, "columbus lcd"))
+            .unwrap();
+        assert_eq!(resp.exploration.as_ref(), Some(&expected));
+    }
+
+    #[test]
+    fn run_rejects_out_of_range_pick() {
+        let kdap = session();
+        let mut req = QueryRequest::new(Verb::Explore, "columbus lcd");
+        req.pick = 99;
+        match kdap.run(&req) {
+            Err(KdapError::NoInterpretation { pick, available }) => {
+                assert_eq!(pick, 99);
+                assert!(available > 0);
+            }
+            other => panic!("expected NoInterpretation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_profile_and_explain_carry_their_payloads() {
+        let fx = ebiz_fixture();
+        let kdap = Kdap::builder(fx.wh).observability(true).build().unwrap();
+        let resp = kdap
+            .run(&QueryRequest::new(Verb::Profile, "columbus lcd"))
+            .unwrap();
+        let profile = resp.profile.expect("profile captured");
+        assert!(!profile.is_empty());
+        assert!(profile.stage_names().iter().any(|s| s.trim() == "explore"));
+        let resp = kdap
+            .run(&QueryRequest::new(Verb::Explain, "columbus lcd"))
+            .unwrap();
+        assert!(resp.plan.unwrap().contains("subspace:"));
+        assert!(resp.report.unwrap().contains("fused scans"));
+        assert!(resp.exploration.is_some());
+    }
+
+    #[test]
+    fn run_zero_timeout_times_out_without_touching_caches() {
+        let fx = ebiz_fixture();
+        let kdap = Kdap::builder(fx.wh)
+            .cache_capacity(16)
+            .observability(true)
+            .build()
+            .unwrap();
+        let mut req = QueryRequest::new(Verb::Explore, "columbus lcd");
+        req.options.timeout_ms = Some(0);
+        let err = kdap.run(&req).unwrap_err();
+        assert!(matches!(err, KdapError::Timeout { .. }), "{err:?}");
+        assert_eq!(kdap.subspace_cache_len(), Some(0));
+        assert_eq!(kdap.semijoin_cache_len(), Some(0));
+        let snap = kdap.obs().metrics_snapshot();
+        assert_eq!(snap.counters.get("governor.timeouts"), Some(&1));
+        // The session itself remains ungoverned: a follow-up request
+        // with no overrides succeeds.
+        req.options.timeout_ms = None;
+        assert!(kdap.run(&req).is_ok());
+    }
+
+    #[test]
+    fn run_cancellable_observes_a_pre_tripped_token() {
+        let kdap = session();
+        let token = CancelToken::new();
+        token.cancel();
+        let err = kdap
+            .run_cancellable(
+                &QueryRequest::new(Verb::Explore, "columbus lcd"),
+                Some(token.clone()),
+            )
+            .unwrap_err();
+        assert!(matches!(err, KdapError::Cancelled { .. }), "{err:?}");
+        // The per-request token does not poison the session.
+        assert!(!kdap.cancel_token().is_cancelled());
+        assert!(kdap
+            .run(&QueryRequest::new(Verb::Explore, "columbus lcd"))
+            .is_ok());
+    }
+
+    #[test]
+    fn explore_with_options_overrides_without_mutation() {
+        let kdap = session();
+        let ranked = kdap.try_interpret("columbus lcd").unwrap();
+        let base = kdap.explore(&ranked[0].net).unwrap();
+        let opts = QueryOptions {
+            top_k_instances: Some(1),
+            ..QueryOptions::default()
+        };
+        let narrowed = kdap.explore_with_options(&ranked[0].net, &opts).unwrap();
+        // top_k_instances bounds categorical facets (numerical facets keep
+        // their merged display intervals).
+        assert!(narrowed
+            .panels
+            .iter()
+            .flat_map(|p| p.attrs.iter())
+            .filter(|a| a.kind == kdap_warehouse::AttrKind::Categorical)
+            .all(|a| a.entries.len() <= 1));
+        assert_eq!(kdap.explore(&ranked[0].net).unwrap(), base);
     }
 
     #[test]

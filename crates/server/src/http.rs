@@ -1,0 +1,382 @@
+//! A deliberately small HTTP/1.1 layer over [`std::net::TcpStream`]:
+//! just enough to parse one request (request line, headers, fixed-length
+//! body) and write one response, with hard limits on head and body size.
+//! Connections are one-request (`Connection: close`) — the server's
+//! clients are curl, load generators and the integration tests, none of
+//! which need keep-alive.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// Maximum bytes accepted for the request line plus headers.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Maximum bytes accepted for a request body.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method, uppercased (`GET`, `POST`, …).
+    pub method: String,
+    /// Request path with the query string stripped (e.g. `/healthz`).
+    pub path: String,
+    /// Decoded query parameters, in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// Headers with lowercased names, in order of appearance.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: String,
+}
+
+impl Request {
+    /// The first header with the given lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The first query parameter with the given name.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be parsed, mapped to the status the server
+/// answers with before closing the connection.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The request violates the grammar or a size limit; respond with
+    /// the carried status (400, 413 or 431) and this message.
+    Bad {
+        /// Response status code.
+        status: u16,
+        /// Human-readable reason.
+        message: String,
+    },
+    /// The socket failed or the peer vanished mid-request; nothing can
+    /// be written back.
+    Io(io::Error),
+}
+
+impl HttpError {
+    fn bad(status: u16, message: impl Into<String>) -> Self {
+        HttpError::Bad {
+            status,
+            message: message.into(),
+        }
+    }
+}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// Reads and parses one request from `stream`.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
+    let (head, mut carry) = read_head(stream)?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => return Err(HttpError::bad(400, "malformed request line")),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::bad(
+            400,
+            format!("unsupported version {version}"),
+        ));
+    }
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::bad(400, format!("malformed header `{line}`")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let (path, query) = split_target(target);
+
+    let content_length = match headers.iter().find(|(k, _)| k == "content-length") {
+        Some((_, v)) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::bad(400, "invalid Content-Length"))?,
+        None => 0,
+    };
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::bad(
+            413,
+            format!("body exceeds {MAX_BODY_BYTES} bytes"),
+        ));
+    }
+    while carry.len() < content_length {
+        let mut buf = [0u8; 4096];
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            return Err(HttpError::bad(400, "body shorter than Content-Length"));
+        }
+        carry.extend_from_slice(&buf[..n]);
+    }
+    carry.truncate(content_length);
+    let body = String::from_utf8(carry)
+        .map_err(|_| HttpError::bad(400, "request body is not valid UTF-8"))?;
+
+    Ok(Request {
+        method: method.to_ascii_uppercase(),
+        path,
+        query,
+        headers,
+        body,
+    })
+}
+
+/// Reads up to the end of the header block; returns the head as a string
+/// plus any body bytes already pulled off the socket.
+fn read_head(stream: &mut TcpStream) -> Result<(String, Vec<u8>), HttpError> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    loop {
+        if let Some(end) = find_head_end(&buf) {
+            if end > MAX_HEAD_BYTES {
+                return Err(HttpError::bad(
+                    431,
+                    format!("request head exceeds {MAX_HEAD_BYTES} bytes"),
+                ));
+            }
+            let carry = buf.split_off(end + 4);
+            buf.truncate(end);
+            let head = String::from_utf8(buf)
+                .map_err(|_| HttpError::bad(400, "request head is not valid UTF-8"))?;
+            return Ok((head, carry));
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::bad(
+                431,
+                format!("request head exceeds {MAX_HEAD_BYTES} bytes"),
+            ));
+        }
+        let mut chunk = [0u8; 4096];
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(HttpError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed before a full request arrived",
+            )));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Splits a request target into path and parsed query parameters.
+/// Parameters are split on `&`/`=` without percent-decoding — the API's
+/// parameter values (`format=json|csv`) never need escaping.
+fn split_target(target: &str) -> (String, Vec<(String, String)>) {
+    match target.split_once('?') {
+        None => (target.to_string(), Vec::new()),
+        Some((path, qs)) => {
+            let query = qs
+                .split('&')
+                .filter(|p| !p.is_empty())
+                .map(|p| match p.split_once('=') {
+                    Some((k, v)) => (k.to_string(), v.to_string()),
+                    None => (p.to_string(), String::new()),
+                })
+                .collect();
+            (path.to_string(), query)
+        }
+    }
+}
+
+/// The reason phrase for the statuses this server emits.
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        406 => "Not Acceptable",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        499 => "Client Closed Request",
+        500 => "Internal Server Error",
+        507 => "Insufficient Storage",
+        _ => "Unknown",
+    }
+}
+
+/// A response ready to serialize.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` of the body.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+impl Response {
+    /// A 200 response with the given content type.
+    pub fn ok(content_type: &'static str, body: impl Into<String>) -> Self {
+        Response {
+            status: 200,
+            content_type,
+            body: body.into(),
+        }
+    }
+
+    /// A JSON response with an explicit status.
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into(),
+        }
+    }
+}
+
+/// Serializes `response` onto the stream. Errors are returned to the
+/// caller only for logging — the connection closes either way.
+pub fn write_response(stream: &mut TcpStream, response: &Response) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        response.status,
+        status_text(response.status),
+        response.content_type,
+        response.body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(response.body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    /// Feeds `raw` to a socket pair and parses it off the server side.
+    fn parse(raw: &str) -> Result<Request, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_string();
+        let writer = std::thread::spawn(move || {
+            let mut c = TcpStream::connect(addr).unwrap();
+            c.write_all(raw.as_bytes()).unwrap();
+            // Keep the connection open until the parse is done.
+            c.shutdown(std::net::Shutdown::Write).ok();
+            let mut sink = Vec::new();
+            c.read_to_end(&mut sink).ok();
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let out = read_request(&mut stream);
+        drop(stream);
+        writer.join().unwrap();
+        out
+    }
+
+    #[test]
+    fn parses_get_with_query_and_headers() {
+        let req = parse(
+            "GET /v1/sales/stats?format=json&verbose HTTP/1.1\r\n\
+             Host: localhost\r\nAccept: text/csv\r\n\r\n",
+        )
+        .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/v1/sales/stats");
+        assert_eq!(req.query_param("format"), Some("json"));
+        assert_eq!(req.query_param("verbose"), Some(""));
+        assert_eq!(req.header("accept"), Some("text/csv"));
+        assert_eq!(req.header("host"), Some("localhost"));
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let body = r#"{"keywords": "columbus"}"#;
+        let req = parse(&format!(
+            "POST /v1/sales/explore HTTP/1.1\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        ))
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, body);
+    }
+
+    #[test]
+    fn rejects_garbage_and_truncated_requests() {
+        match parse("NONSENSE\r\n\r\n") {
+            Err(HttpError::Bad { status: 400, .. }) => {}
+            other => panic!("expected 400, got {other:?}"),
+        }
+        match parse("POST / HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort") {
+            Err(HttpError::Bad {
+                status: 400,
+                message,
+            }) => {
+                assert!(message.contains("Content-Length"), "{message}");
+            }
+            other => panic!("expected 400, got {other:?}"),
+        }
+        match parse("GET / SPDY/99\r\n\r\n") {
+            Err(HttpError::Bad { status: 400, .. }) => {}
+            other => panic!("expected 400, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_oversized_heads_and_bodies() {
+        let huge = format!(
+            "GET / HTTP/1.1\r\nX-Pad: {}\r\n\r\n",
+            "x".repeat(MAX_HEAD_BYTES)
+        );
+        match parse(&huge) {
+            Err(HttpError::Bad { status: 431, .. }) => {}
+            other => panic!("expected 431, got {other:?}"),
+        }
+        let req = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        match parse(&req) {
+            Err(HttpError::Bad { status: 413, .. }) => {}
+            other => panic!("expected 413, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn response_serializes_with_length_and_close() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let reader = std::thread::spawn(move || {
+            let mut c = TcpStream::connect(addr).unwrap();
+            let mut out = String::new();
+            c.read_to_string(&mut out).unwrap();
+            out
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        write_response(&mut stream, &Response::json(404, "{\"error\": {}}")).unwrap();
+        drop(stream);
+        let raw = reader.join().unwrap();
+        assert!(raw.starts_with("HTTP/1.1 404 Not Found\r\n"), "{raw}");
+        assert!(raw.contains("Content-Type: application/json\r\n"), "{raw}");
+        assert!(raw.contains("Content-Length: 13\r\n"), "{raw}");
+        assert!(raw.contains("Connection: close\r\n"), "{raw}");
+        assert!(raw.ends_with("{\"error\": {}}"), "{raw}");
+    }
+}

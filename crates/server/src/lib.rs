@@ -1,0 +1,183 @@
+//! # kdap-server
+//!
+//! KDAP as a service: a zero-dependency HTTP/1.1 server on [`std::net`]
+//! exposing one or many [`Kdap`] engines (tenants) behind the unified
+//! query API of [`kdap_core::api`].
+//!
+//! The server is a fixed-size worker pool draining an accept queue;
+//! every request is parsed by [`http`], dispatched by [`router`], and
+//! executed through [`Kdap::run_cancellable`] so per-request governance
+//! (deadline, memory budget, client-disconnect cancellation) maps onto
+//! typed 408/429/499/507 responses. Per-tenant request counters and
+//! latency histograms are served at `GET /v1/{tenant}/stats`.
+//!
+//! ```no_run
+//! # use std::sync::Arc;
+//! # use kdap_core::Kdap;
+//! # use kdap_server::{EngineRegistry, KdapServer, ServerConfig};
+//! # fn engine() -> Arc<Kdap> { unimplemented!() }
+//! let registry = EngineRegistry::new().with("sales", engine());
+//! let server = KdapServer::start(registry, &ServerConfig::default())?;
+//! println!("listening on http://{}", server.addr());
+//! server.shutdown();
+//! # Ok::<(), std::io::Error>(())
+//! ```
+//!
+//! [`Kdap`]: kdap_core::Kdap
+//! [`Kdap::run_cancellable`]: kdap_core::Kdap::run_cancellable
+
+#![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod http;
+pub mod registry;
+pub mod router;
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use kdap_core::api::ApiError;
+
+pub use registry::{EngineRegistry, InflightGuard, TenantEngine};
+
+use crate::http::{HttpError, Response};
+
+/// Server deployment knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Interface to bind (default `127.0.0.1`).
+    pub listen: String,
+    /// Port to bind; `0` picks an ephemeral port (default `8642`).
+    pub port: u16,
+    /// Worker threads draining the accept queue (default `4`; `0` is
+    /// clamped to `1`).
+    pub workers: usize,
+    /// Maximum concurrently executing queries per tenant; requests over
+    /// the cap receive a typed `429`. `0` admits nothing — useful for
+    /// drain testing (default `64`).
+    pub max_inflight: usize,
+    /// Per-connection socket read timeout, bounding slow or stalled
+    /// clients (default 10 s).
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            listen: "127.0.0.1".to_string(),
+            port: 8642,
+            workers: 4,
+            max_inflight: 64,
+            read_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// A running server: accept thread plus worker pool. Dropping the handle
+/// leaves the threads running; call [`KdapServer::shutdown`] for an
+/// orderly stop.
+pub struct KdapServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<thread::JoinHandle<()>>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl KdapServer {
+    /// Binds the listener and starts the accept loop and worker pool.
+    /// Returns once the socket is live — `addr()` is immediately
+    /// routable (with `port: 0`, it carries the ephemeral port picked by
+    /// the OS).
+    pub fn start(registry: EngineRegistry, config: &ServerConfig) -> io::Result<KdapServer> {
+        let listener = TcpListener::bind((config.listen.as_str(), config.port))?;
+        let addr = listener.local_addr()?;
+        let registry = Arc::new(registry);
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = channel();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let registry = Arc::clone(&registry);
+                let config = config.clone();
+                thread::spawn(move || loop {
+                    let next = rx.lock().unwrap_or_else(|e| e.into_inner()).recv();
+                    match next {
+                        Ok(stream) => serve_connection(&registry, &config, stream),
+                        // Sender dropped: the server is shutting down.
+                        Err(_) => break,
+                    }
+                })
+            })
+            .collect();
+
+        let accept_stop = Arc::clone(&stop);
+        let accept_thread = thread::spawn(move || {
+            for conn in listener.incoming() {
+                if accept_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                if tx.send(stream).is_err() {
+                    break;
+                }
+            }
+            // tx drops here; idle workers wake and exit.
+        });
+
+        Ok(KdapServer {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+            workers,
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains queued connections, and joins every
+    /// thread. In-flight requests run to completion.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with one throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        if let Some(t) = self.accept_thread.take() {
+            t.join().ok();
+        }
+        for w in self.workers.drain(..) {
+            w.join().ok();
+        }
+    }
+}
+
+/// Serves one connection: parse, route, respond, close.
+fn serve_connection(registry: &EngineRegistry, config: &ServerConfig, mut stream: TcpStream) {
+    stream.set_read_timeout(Some(config.read_timeout)).ok();
+    stream.set_nodelay(true).ok();
+    match http::read_request(&mut stream) {
+        Ok(request) => {
+            let response = router::route(registry, config.max_inflight, &request, &stream);
+            http::write_response(&mut stream, &response).ok();
+        }
+        Err(HttpError::Bad { status, message }) => {
+            let err = ApiError {
+                status,
+                code: "bad_request",
+                message,
+            };
+            http::write_response(&mut stream, &Response::json(status, err.to_json())).ok();
+        }
+        // The socket died (or the probe connection from shutdown()
+        // closed without sending): nothing to answer.
+        Err(HttpError::Io(_)) => {}
+    }
+}

@@ -1,0 +1,232 @@
+//! Request routing: URL space, admission control, per-request
+//! governance, client-disconnect cancellation, and endpoint metrics.
+//!
+//! ```text
+//! GET  /healthz                    liveness (no tenant)
+//! GET  /v1/{tenant}/stats          tenant metrics + cache state
+//! POST /v1/{tenant}/differentiate  ranked interpretations
+//! POST /v1/{tenant}/explore        interpretation + facets
+//! POST /v1/{tenant}/profile        + per-stage timing tree
+//! POST /v1/{tenant}/explain        + physical plan and scan report
+//! ```
+
+use std::io;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use kdap_core::api::{ApiError, QueryRequest, Verb, WireFormat};
+use kdap_core::CancelToken;
+
+use crate::http::{Request, Response};
+use crate::registry::{EngineRegistry, TenantEngine};
+
+/// Governance header: per-request deadline in milliseconds. The body
+/// field `timeout_ms` wins when both are present.
+pub const HDR_TIMEOUT_MS: &str = "x-kdap-timeout-ms";
+/// Governance header: per-request memory budget in bytes. The body
+/// field `budget_bytes` wins when both are present.
+pub const HDR_BUDGET_BYTES: &str = "x-kdap-budget-bytes";
+
+/// How often the disconnect watcher polls the client socket.
+const WATCH_INTERVAL: Duration = Duration::from_millis(5);
+
+/// Routes one parsed request to its handler and returns the response.
+/// `stream` is the client connection, watched for disconnect while a
+/// query runs. Error bodies are always JSON regardless of the
+/// negotiated result format.
+pub fn route(
+    registry: &EngineRegistry,
+    max_inflight: usize,
+    request: &Request,
+    stream: &TcpStream,
+) -> Response {
+    match route_inner(registry, max_inflight, request, stream) {
+        Ok(resp) => resp,
+        Err(err) => Response::json(err.status, err.to_json()),
+    }
+}
+
+fn route_inner(
+    registry: &EngineRegistry,
+    max_inflight: usize,
+    request: &Request,
+    stream: &TcpStream,
+) -> Result<Response, ApiError> {
+    if request.path == "/healthz" {
+        return match request.method.as_str() {
+            "GET" => Ok(Response::ok("application/json", "{\"status\": \"ok\"}\n")),
+            _ => Err(method_not_allowed("GET")),
+        };
+    }
+    let Some(rest) = request.path.strip_prefix("/v1/") else {
+        return Err(ApiError::not_found(format!(
+            "no route for `{}` (try /healthz or /v1/{{tenant}}/…)",
+            request.path
+        )));
+    };
+    let mut segments = rest.split('/');
+    let (Some(tenant_name), Some(action), None) =
+        (segments.next(), segments.next(), segments.next())
+    else {
+        return Err(ApiError::not_found(
+            "routes are /v1/{tenant}/{differentiate|explore|profile|explain|stats}",
+        ));
+    };
+    let Some(tenant) = registry.get(tenant_name) else {
+        return Err(ApiError::not_found(format!(
+            "unknown tenant `{tenant_name}` (registered: {})",
+            registry.tenant_names().join(", ")
+        )));
+    };
+
+    if action == "stats" {
+        if request.method != "GET" {
+            return Err(method_not_allowed("GET"));
+        }
+        tenant.http_obs().inc("http.requests", 1);
+        tenant.http_obs().inc("http.stats.requests", 1);
+        return Ok(Response::ok("application/json", tenant.stats_json()));
+    }
+
+    let Some(verb) = Verb::parse(action) else {
+        return Err(ApiError::not_found(format!(
+            "unknown action `{action}` (differentiate, explore, profile, explain, stats)"
+        )));
+    };
+    if request.method != "POST" {
+        return Err(method_not_allowed("POST"));
+    }
+    run_query(tenant, max_inflight, verb, request, stream)
+}
+
+fn run_query(
+    tenant: &Arc<TenantEngine>,
+    max_inflight: usize,
+    verb: Verb,
+    request: &Request,
+    stream: &TcpStream,
+) -> Result<Response, ApiError> {
+    let obs = tenant.http_obs().clone();
+    obs.inc("http.requests", 1);
+    obs.inc(&format!("http.{verb}.requests"), 1);
+
+    // Everything that can fail cheaply fails before admission.
+    let format = WireFormat::negotiate(request.query_param("format"), request.header("accept"))?;
+    let mut query = QueryRequest::from_json(verb, &request.body)?;
+    if query.options.timeout_ms.is_none() {
+        query.options.timeout_ms = header_u64(request, HDR_TIMEOUT_MS)?;
+    }
+    if query.options.budget_bytes.is_none() {
+        query.options.budget_bytes = header_u64(request, HDR_BUDGET_BYTES)?;
+    }
+
+    let Some(_slot) = tenant.admit(max_inflight) else {
+        obs.inc("http.rejected", 1);
+        obs.inc("http.status.429", 1);
+        return Err(ApiError::too_many_requests(format!(
+            "tenant `{}` is at its in-flight limit ({max_inflight})",
+            tenant.name()
+        )));
+    };
+
+    // Profile capture is per-session state: one capture at a time.
+    let _profile_guard = (verb == Verb::Profile).then(|| tenant.lock_profile());
+
+    let token = CancelToken::new();
+    let _watcher = DisconnectWatcher::spawn(stream, token.clone());
+    let timer = obs.timer();
+    let result = tenant.kdap().run_cancellable(&query, Some(token));
+    obs.record_ns(&format!("http.{verb}.latency_ns"), timer.stop());
+
+    match result {
+        Ok(response) => {
+            let body = response.encode(format)?;
+            obs.inc("http.status.200", 1);
+            Ok(Response::ok(format.content_type(), body))
+        }
+        Err(err) => {
+            let api = ApiError::from_kdap(&err);
+            obs.inc(&format!("http.status.{}", api.status), 1);
+            Err(api)
+        }
+    }
+}
+
+fn method_not_allowed(allowed: &str) -> ApiError {
+    ApiError {
+        status: 405,
+        code: "method_not_allowed",
+        message: format!("use {allowed}"),
+    }
+}
+
+fn header_u64(request: &Request, name: &str) -> Result<Option<u64>, ApiError> {
+    match request.header(name) {
+        None => Ok(None),
+        Some(raw) => raw
+            .parse::<u64>()
+            .map(Some)
+            .map_err(|_| ApiError::bad_request(format!("`{name}` must be a non-negative integer"))),
+    }
+}
+
+/// Watches the client socket while a query runs and trips the query's
+/// cancel token when the peer disconnects, so abandoned requests stop
+/// consuming workers. The watcher owns a non-blocking clone of the
+/// stream; dropping it stops the poll thread and restores the original
+/// stream to blocking mode before the response is written.
+struct DisconnectWatcher<'a> {
+    stream: &'a TcpStream,
+    done: Arc<AtomicBool>,
+    handle: Option<thread::JoinHandle<()>>,
+}
+
+impl<'a> DisconnectWatcher<'a> {
+    fn spawn(stream: &'a TcpStream, token: CancelToken) -> Self {
+        let done = Arc::new(AtomicBool::new(false));
+        let handle = stream.try_clone().ok().and_then(|clone| {
+            clone.set_nonblocking(true).ok()?;
+            let done = Arc::clone(&done);
+            Some(thread::spawn(move || {
+                let mut buf = [0u8; 1];
+                while !done.load(Ordering::Relaxed) {
+                    match clone.peek(&mut buf) {
+                        // EOF: the client hung up; abort the query.
+                        Ok(0) => {
+                            token.cancel();
+                            break;
+                        }
+                        // Pipelined bytes: the peer is still connected.
+                        Ok(_) => {}
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+                        Err(_) => {
+                            token.cancel();
+                            break;
+                        }
+                    }
+                    thread::sleep(WATCH_INTERVAL);
+                }
+            }))
+        });
+        DisconnectWatcher {
+            stream,
+            done,
+            handle,
+        }
+    }
+}
+
+impl Drop for DisconnectWatcher<'_> {
+    fn drop(&mut self) {
+        self.done.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            handle.join().ok();
+        }
+        // The clone shares the socket's non-blocking flag; restore it so
+        // the response write blocks normally.
+        self.stream.set_nonblocking(false).ok();
+    }
+}

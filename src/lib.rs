@@ -14,5 +14,6 @@ pub use kdap_core as core;
 pub use kdap_datagen as datagen;
 pub use kdap_obs as obs;
 pub use kdap_query as query;
+pub use kdap_server as server;
 pub use kdap_textindex as textindex;
 pub use kdap_warehouse as warehouse;

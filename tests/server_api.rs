@@ -1,0 +1,301 @@
+//! End-to-end tests of the HTTP query API over a real socket: tenant
+//! isolation, bit-identity with direct library calls, typed error
+//! mapping, governance (408/429) without cache poisoning, and wire
+//! format negotiation.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::thread;
+
+use kdap_suite::core::{Kdap, QueryRequest, Verb, WireFormat};
+use kdap_suite::datagen::{build_ebiz, EbizScale};
+use kdap_suite::server::{EngineRegistry, KdapServer, ServerConfig};
+
+fn engine(seed: u64) -> Kdap {
+    Kdap::builder(build_ebiz(EbizScale::small(), seed).unwrap())
+        .cache_capacity(16)
+        .observability(true)
+        .build()
+        .unwrap()
+}
+
+/// Two-tenant server on an ephemeral port. Tenants are the same schema
+/// at different seeds, so identical requests must produce different,
+/// per-tenant data.
+fn start(max_inflight: usize) -> KdapServer {
+    let registry = EngineRegistry::new()
+        .with("ebiz", Arc::new(engine(7)))
+        .with("ebiz-alt", Arc::new(engine(11)));
+    let config = ServerConfig {
+        port: 0,
+        workers: 4,
+        max_inflight,
+        ..ServerConfig::default()
+    };
+    KdapServer::start(registry, &config).expect("ephemeral bind")
+}
+
+/// Minimal HTTP/1.1 client: one request, `Connection: close`, returns
+/// `(status, content_type, body)`.
+fn http(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &str,
+) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let mut req = format!("{method} {path} HTTP/1.1\r\nHost: kdap\r\nConnection: close\r\n");
+    for (name, value) in headers {
+        req.push_str(&format!("{name}: {value}\r\n"));
+    }
+    req.push_str(&format!("Content-Length: {}\r\n\r\n{body}", body.len()));
+    stream.write_all(req.as_bytes()).expect("send");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("recv");
+    let text = String::from_utf8(raw).expect("utf-8 response");
+    let (head, body) = text.split_once("\r\n\r\n").expect("header terminator");
+    let status = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    let content_type = head
+        .lines()
+        .find_map(|l| {
+            let (name, value) = l.split_once(':')?;
+            name.eq_ignore_ascii_case("content-type")
+                .then(|| value.trim().to_string())
+        })
+        .unwrap_or_default();
+    (status, content_type, body.to_string())
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String, String) {
+    http(addr, "POST", path, &[], body)
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, String, String) {
+    http(addr, "GET", path, &[], "")
+}
+
+/// Entry counts of the two plan caches, parsed out of a `/stats` body.
+fn cache_lens(stats: &str) -> (u64, u64) {
+    fn len_of(stats: &str, cache: &str) -> u64 {
+        let marker = format!("\"{cache}\": {{\"len\": ");
+        let at = stats.find(&marker).expect("cache entry in stats") + marker.len();
+        stats[at..]
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect::<String>()
+            .parse()
+            .expect("len value")
+    }
+    (len_of(stats, "subspace"), len_of(stats, "semijoin"))
+}
+
+#[test]
+fn concurrent_tenants_are_bit_identical_to_direct_library_calls() {
+    let server = start(16);
+    let addr = server.addr();
+
+    // Expected bodies come from freshly built engines with the same
+    // seeds — the server must add nothing and lose nothing.
+    let cases: Vec<(&str, u64, &str)> = vec![("ebiz", 7, "columbus"), ("ebiz-alt", 11, "seattle")];
+    let expected: Vec<(String, String, String)> = cases
+        .iter()
+        .map(|(tenant, seed, keywords)| {
+            let direct = engine(*seed)
+                .run(&QueryRequest::new(Verb::Explore, *keywords))
+                .expect("direct explore succeeds");
+            (
+                format!("/v1/{tenant}/explore"),
+                format!("{{\"keywords\": \"{keywords}\"}}"),
+                direct.encode(WireFormat::Json).expect("encodes"),
+            )
+        })
+        .collect();
+
+    // Hammer both tenants concurrently; every response must match its
+    // tenant's direct result byte for byte.
+    let handles: Vec<_> = (0..3)
+        .flat_map(|_| expected.clone())
+        .map(|(path, body, want)| {
+            thread::spawn(move || {
+                let (status, content_type, got) = post(addr, &path, &body);
+                assert_eq!(status, 200, "{path}: {got}");
+                assert_eq!(content_type, "application/json");
+                assert_eq!(got, want, "{path} drifted from the library result");
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+
+    // The two tenants really are different data sets.
+    let (_, _, a) = post(addr, "/v1/ebiz/explore", "{\"keywords\": \"seattle\"}");
+    let (_, _, b) = post(addr, "/v1/ebiz-alt/explore", "{\"keywords\": \"seattle\"}");
+    assert_ne!(a, b, "tenants must not share state");
+
+    server.shutdown();
+}
+
+#[test]
+fn malformed_requests_get_typed_errors() {
+    let server = start(16);
+    let addr = server.addr();
+
+    for (body, want) in [
+        ("{", "invalid JSON"),
+        ("{\"keywords\": 42}", "`keywords` must be a string"),
+        (
+            "{\"keywords\": \"x\", \"bogus\": 1}",
+            "unknown field `bogus`",
+        ),
+        ("{\"keywords\": \"x\", \"rank\": \"nope\"}", "unknown rank"),
+    ] {
+        let (status, content_type, resp) = post(addr, "/v1/ebiz/differentiate", body);
+        assert_eq!(status, 400, "{body} -> {resp}");
+        assert_eq!(content_type, "application/json");
+        assert!(resp.contains("\"code\": \"bad_request\""), "{resp}");
+        assert!(resp.contains(want), "{resp}");
+    }
+
+    let (status, _, resp) = post(addr, "/v1/nope/explore", "{\"keywords\": \"x\"}");
+    assert_eq!(status, 404);
+    assert!(resp.contains("ebiz, ebiz-alt"), "lists tenants: {resp}");
+
+    let (status, _, resp) = post(addr, "/v1/ebiz/frobnicate", "{}");
+    assert_eq!(status, 404);
+    assert!(resp.contains("unknown action"), "{resp}");
+
+    let (status, _, resp) = get(addr, "/v1/ebiz/explore");
+    assert_eq!(status, 405);
+    assert!(resp.contains("method_not_allowed"), "{resp}");
+
+    // A pick beyond the interpretation list is a 404, not a 500.
+    let (status, _, resp) = post(
+        addr,
+        "/v1/ebiz/explore",
+        "{\"keywords\": \"columbus\", \"pick\": 999}",
+    );
+    assert_eq!(status, 404);
+    assert!(resp.contains("no_interpretation"), "{resp}");
+
+    server.shutdown();
+}
+
+#[test]
+fn governed_timeout_is_a_typed_408_and_poisons_no_cache() {
+    let server = start(16);
+    let addr = server.addr();
+
+    // Warm the caches with one healthy query.
+    let (status, _, _) = post(addr, "/v1/ebiz/explore", "{\"keywords\": \"columbus\"}");
+    assert_eq!(status, 200);
+    let (_, _, before) = get(addr, "/v1/ebiz/stats");
+    let lens_before = cache_lens(&before);
+    assert!(lens_before.0 > 0, "warm-up populated the subspace cache");
+
+    // `timeout_ms: 0` is an already-expired deadline: the query aborts
+    // at its first governance check, deterministically.
+    let (status, content_type, resp) = post(
+        addr,
+        "/v1/ebiz/explore",
+        "{\"keywords\": \"seattle\", \"timeout_ms\": 0}",
+    );
+    assert_eq!(status, 408, "{resp}");
+    assert_eq!(content_type, "application/json");
+    assert!(resp.contains("\"code\": \"timeout\""), "{resp}");
+
+    // The abort left the caches byte-identical and was counted.
+    let (_, _, after) = get(addr, "/v1/ebiz/stats");
+    assert_eq!(
+        cache_lens(&after),
+        lens_before,
+        "aborted query must not commit"
+    );
+    assert!(after.contains("\"governor.timeouts\": 1"), "{after}");
+    assert!(after.contains("\"http.status.408\": 1"), "{after}");
+
+    // The governance header works too, and the tenant stays healthy.
+    let (status, _, _) = http(
+        addr,
+        "POST",
+        "/v1/ebiz/explore",
+        &[("x-kdap-timeout-ms", "0")],
+        "{\"keywords\": \"seattle\"}",
+    );
+    assert_eq!(status, 408);
+    let (status, _, _) = post(addr, "/v1/ebiz/explore", "{\"keywords\": \"seattle\"}");
+    assert_eq!(status, 200, "tenant recovered after governed aborts");
+
+    server.shutdown();
+}
+
+#[test]
+fn saturated_tenant_rejects_with_429_but_stays_routable() {
+    // `max_inflight: 0` admits nothing — every query is a deterministic
+    // 429 while liveness and stats stay up.
+    let server = start(0);
+    let addr = server.addr();
+
+    let (status, _, resp) = post(addr, "/v1/ebiz/explore", "{\"keywords\": \"columbus\"}");
+    assert_eq!(status, 429, "{resp}");
+    assert!(resp.contains("\"code\": \"too_many_requests\""), "{resp}");
+
+    let (status, _, resp) = get(addr, "/healthz");
+    assert_eq!(status, 200);
+    assert!(resp.contains("\"status\": \"ok\""), "{resp}");
+
+    let (status, _, stats) = get(addr, "/v1/ebiz/stats");
+    assert_eq!(status, 200);
+    assert!(stats.contains("\"http.rejected\": 1"), "{stats}");
+    assert!(stats.contains("\"http.status.429\": 1"), "{stats}");
+
+    server.shutdown();
+}
+
+#[test]
+fn wire_format_negotiation_round_trips() {
+    let server = start(16);
+    let addr = server.addr();
+    let body = "{\"keywords\": \"columbus\"}";
+
+    // Default: JSON.
+    let (status, content_type, json) = post(addr, "/v1/ebiz/differentiate", body);
+    assert_eq!(status, 200);
+    assert_eq!(content_type, "application/json");
+    assert!(json.contains("\"verb\": \"differentiate\""), "{json}");
+    assert!(json.contains("\"interpretations\""), "{json}");
+
+    // `?format=csv` wins over everything.
+    let (status, content_type, csv) = post(addr, "/v1/ebiz/differentiate?format=csv", body);
+    assert_eq!(status, 200);
+    assert_eq!(content_type, "text/csv");
+    assert!(
+        csv.starts_with("rank,score,interpretation,fingerprint"),
+        "{csv}"
+    );
+
+    // `Accept: text/csv` negotiates the same thing.
+    let (status, content_type, accept_csv) = http(
+        addr,
+        "POST",
+        "/v1/ebiz/differentiate",
+        &[("Accept", "text/csv")],
+        body,
+    );
+    assert_eq!(status, 200);
+    assert_eq!(content_type, "text/csv");
+    assert_eq!(accept_csv, csv, "header and query negotiation agree");
+
+    // Unknown explicit formats are refused, not silently defaulted.
+    let (status, _, resp) = post(addr, "/v1/ebiz/differentiate?format=xml", body);
+    assert_eq!(status, 406, "{resp}");
+    assert!(resp.contains("not_acceptable"), "{resp}");
+
+    server.shutdown();
+}
