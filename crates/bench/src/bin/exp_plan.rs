@@ -187,8 +187,8 @@ fn main() {
 /// Order-sensitive digest of a fact-row bitmap (FNV-1a over the words).
 fn checksum(rows: &kdap_query::RowSet) -> u64 {
     let mut h = 0xcbf29ce484222325u64;
-    for w in rows.as_words() {
-        h ^= *w;
+    for w in rows.to_words() {
+        h ^= w;
         h = h.wrapping_mul(0x100000001b3);
     }
     h

@@ -48,6 +48,10 @@ pub enum CliMode {
 pub struct CliArgs {
     pub source: DataSource,
     pub small: bool,
+    /// `--scale N`: multiply the demo generator's scale (1..=200). Fact
+    /// rows grow linearly, dimension tables by `√N`. Ignored with
+    /// `--spec`.
+    pub scale: usize,
     pub seed: u64,
     /// Worker threads for the parallel execution engine (1 = serial,
     /// 0 = all cores).
@@ -80,6 +84,7 @@ pub struct CliArgs {
 pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
     let mut source = None;
     let mut small = false;
+    let mut scale = 1usize;
     let mut seed = 42u64;
     let mut threads = 1usize;
     let mut optimizer = true;
@@ -113,6 +118,16 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
                 source = Some(DataSource::Spec(path.clone()));
             }
             "--small" => small = true,
+            "--scale" => {
+                scale = it
+                    .next()
+                    .ok_or("--scale needs a value")?
+                    .parse()
+                    .map_err(|_| "--scale must be an integer".to_string())?;
+                if !(1..=200).contains(&scale) {
+                    return Err("--scale must be in 1..=200".into());
+                }
+            }
             "--seed" => {
                 seed = it
                     .next()
@@ -197,6 +212,7 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
     Ok(CliArgs {
         source: source.unwrap_or(DataSource::DemoEbiz),
         small,
+        scale,
         seed,
         threads,
         optimizer,
@@ -215,7 +231,7 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
 pub fn usage() -> String {
     "usage: kdap [profile <keywords…> | stats | serve] \
      [--demo ebiz|aw-online|aw-reseller|trends] [--spec FILE] \
-     [--small] [--seed N] [--threads N] [--no-opt] [--profile] [--json] \
+     [--small] [--scale N] [--seed N] [--threads N] [--no-opt] [--profile] [--json] \
      [--timeout-ms N] \
      [--listen ADDR] [--port N] [--workers N] [--max-inflight N]"
         .to_string()
@@ -241,6 +257,17 @@ mod tests {
         assert!(!a.profile);
         assert!(!a.json);
         assert_eq!(a.timeout_ms, None);
+    }
+
+    #[test]
+    fn parses_scale() {
+        assert_eq!(parse_args(&[]).unwrap().scale, 1);
+        let a = parse_args(&args(&["--scale", "20"])).unwrap();
+        assert_eq!(a.scale, 20);
+        assert!(parse_args(&args(&["--scale"])).is_err());
+        assert!(parse_args(&args(&["--scale", "0"])).is_err());
+        assert!(parse_args(&args(&["--scale", "201"])).is_err());
+        assert!(parse_args(&args(&["--scale", "xyz"])).is_err());
     }
 
     #[test]

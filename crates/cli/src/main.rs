@@ -154,7 +154,8 @@ fn build_warehouse(args: &CliArgs) -> Warehouse {
                 EbizScale::small()
             } else {
                 EbizScale::full()
-            };
+            }
+            .scaled(args.scale);
             build_ebiz(scale, args.seed).expect("demo generator is valid")
         }
         DataSource::DemoAwOnline => {
@@ -163,7 +164,8 @@ fn build_warehouse(args: &CliArgs) -> Warehouse {
                 Scale::small()
             } else {
                 Scale::full()
-            };
+            }
+            .scaled(args.scale);
             build_aw_online(scale, args.seed).expect("demo generator is valid")
         }
         DataSource::DemoAwReseller => {
@@ -172,7 +174,8 @@ fn build_warehouse(args: &CliArgs) -> Warehouse {
                 Scale::small()
             } else {
                 Scale::full()
-            };
+            }
+            .scaled(args.scale);
             build_aw_reseller(scale, args.seed).expect("demo generator is valid")
         }
         DataSource::DemoTrends => {
@@ -181,7 +184,8 @@ fn build_warehouse(args: &CliArgs) -> Warehouse {
                 TrendsScale::small()
             } else {
                 TrendsScale::full()
-            };
+            }
+            .scaled(args.scale);
             build_trends(scale, args.seed).expect("demo generator is valid")
         }
         DataSource::Spec(path) => {

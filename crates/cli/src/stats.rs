@@ -18,10 +18,11 @@ pub fn stats_text(kdap: &Kdap) -> String {
     );
     for t in &s.tables {
         out.push_str(&format!(
-            "{}{}  {} row(s)\n",
+            "{}{}  {} row(s) · ~{} KB compressed\n",
             t.name,
             if t.fact { "  [fact]" } else { "" },
             t.rows,
+            t.heap_bytes / 1024,
         ));
         for c in &t.columns {
             let range = match (c.min, c.max) {
@@ -59,6 +60,11 @@ pub fn stats_text(kdap: &Kdap) -> String {
             c.hits, c.misses, c.evictions
         ));
     }
+    let h = kdap.cache_container_histogram();
+    out.push_str(&format!(
+        "rowset containers: {} array / {} bitmap / {} run\n",
+        h.arrays, h.bitmaps, h.runs
+    ));
     out
 }
 
@@ -70,9 +76,10 @@ pub fn stats_json(kdap: &Kdap) -> String {
     let mut out = String::from("{\n  \"tables\": [\n");
     for (ti, t) in s.tables.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"name\": {}, \"rows\": {}, \"fact\": {}, \"columns\": [\n",
+            "    {{\"name\": {}, \"rows\": {}, \"heap_bytes\": {}, \"fact\": {}, \"columns\": [\n",
             json_string(&t.name),
             t.rows,
+            t.heap_bytes,
             t.fact,
         ));
         for (ci, c) in t.columns.iter().enumerate() {
@@ -114,6 +121,11 @@ pub fn stats_json(kdap: &Kdap) -> String {
             c.hits, c.misses, c.evictions
         ));
     }
+    let h = kdap.cache_container_histogram();
+    out.push_str(&format!(
+        ",\n  \"rowset_containers\": {{\"array\": {}, \"bitmap\": {}, \"run\": {}}}",
+        h.arrays, h.bitmaps, h.runs
+    ));
     out.push_str("\n}");
     out
 }
@@ -139,6 +151,8 @@ mod tests {
         assert!(out.contains("text index:"), "{out}");
         assert!(out.contains("subspace cache:"), "{out}");
         assert!(out.contains("semi-join cache:"), "{out}");
+        assert!(out.contains("KB compressed"), "{out}");
+        assert!(out.contains("rowset containers:"), "{out}");
     }
 
     #[test]
@@ -149,6 +163,8 @@ mod tests {
         assert!(out.contains("\"fact_rows\""), "{out}");
         assert!(out.contains("\"text_index\""), "{out}");
         assert!(out.contains("\"subspace_cache\""), "{out}");
+        assert!(out.contains("\"heap_bytes\""), "{out}");
+        assert!(out.contains("\"rowset_containers\""), "{out}");
         assert_eq!(
             out.matches('{').count(),
             out.matches('}').count(),

@@ -187,6 +187,18 @@ impl SubspaceCache {
         self.shards.iter().map(|s| s.lock().map.len()).sum()
     }
 
+    /// Container histogram over every cached subspace's row set — how the
+    /// session's live subspaces compress (array/bitmap/run block counts).
+    pub fn container_histogram(&self) -> kdap_query::ContainerHistogram {
+        let mut h = kdap_query::ContainerHistogram::default();
+        for shard in &self.shards {
+            for (sub, _) in shard.lock().map.values() {
+                h.merge(&sub.rows.container_histogram());
+            }
+        }
+        h
+    }
+
     /// Total capacity across all shards.
     pub fn capacity(&self) -> usize {
         self.shard_capacity * self.shards.len()

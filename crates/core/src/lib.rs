@@ -61,8 +61,8 @@ pub use subspace::{
 };
 
 pub use kdap_query::{
-    Breach, ExecConfig, Fingerprint, LogicalPlan, MeasureVector, PhysicalPlan, PlannerConfig,
-    QueryContext, SemijoinCache,
+    Breach, ContainerHistogram, ExecConfig, Fingerprint, LogicalPlan, MeasureVector, PhysicalPlan,
+    PlannerConfig, QueryContext, SemijoinCache,
 };
 
 pub use kdap_obs::{CacheCounters, CacheOutcome, MetricsSnapshot, Obs, ProfileNode, QueryProfile};

@@ -712,6 +712,20 @@ impl Kdap {
         self.jidx.mapper_counters()
     }
 
+    /// Container histogram over every row set held by the session's
+    /// caches (subspace cache + semi-join cache) — how the live hybrid
+    /// bitmaps compress into array/bitmap/run blocks.
+    pub fn cache_container_histogram(&self) -> kdap_query::ContainerHistogram {
+        let mut h = kdap_query::ContainerHistogram::default();
+        if let Some(cache) = self.cache.as_ref() {
+            h.merge(&cache.container_histogram());
+        }
+        if let Some(cache) = self.planner.cache() {
+            h.merge(&cache.container_histogram());
+        }
+        h
+    }
+
     /// Executes one typed [`QueryRequest`] — **the** unified entry point
     /// every frontend (HTTP server, CLI, REPL) drives. The verb selects
     /// the pipeline: `differentiate` ranks interpretations,

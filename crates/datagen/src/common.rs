@@ -53,6 +53,24 @@ impl Scale {
         assert!(self.customers > 0 && self.products > 0 && self.facts > 0);
         self
     }
+
+    /// Multiplies the scale by `factor` (clamped to 1..=200): fact rows
+    /// grow linearly, dimension tables by `√factor` — star schemas grow
+    /// their fact tables much faster than their dimensions, and the
+    /// sub-linear dimension growth keeps per-key fan-out rising the way
+    /// real warehouses do. Scale 200 on `full()` is ~12.1M facts.
+    pub fn scaled(self, factor: usize) -> Self {
+        let f = factor.clamp(1, 200);
+        let d = f.isqrt();
+        Scale {
+            customers: self.customers * d,
+            products: self.products * d,
+            resellers: self.resellers * d,
+            employees: self.employees * d,
+            facts: self.facts * f,
+        }
+        .validate()
+    }
 }
 
 /// Geography rows `(GeoKey, City, StateKey)` + state rows
@@ -345,5 +363,19 @@ mod tests {
     fn scales_are_sane() {
         assert!(Scale::full().facts > 60_000);
         assert!(Scale::small().facts < 5_000);
+    }
+
+    #[test]
+    fn scaled_grows_facts_linearly_and_dims_sublinearly() {
+        let base = Scale::full();
+        let s = base.scaled(100);
+        assert_eq!(s.facts, base.facts * 100);
+        assert_eq!(s.customers, base.customers * 10);
+        assert_eq!(s.products, base.products * 10);
+        // Factor 200 clears the 10M-row bar.
+        assert!(base.scaled(200).facts > 10_000_000);
+        // Clamped at both ends.
+        assert_eq!(base.scaled(0).facts, base.facts);
+        assert_eq!(base.scaled(10_000).facts, base.facts * 200);
     }
 }

@@ -56,6 +56,21 @@ impl EbizScale {
             max_items_per_transaction: 3,
         }
     }
+
+    /// Multiplies the scale by `factor` (clamped to 1..=200):
+    /// transactions grow linearly, dimensions by `√factor` (see
+    /// [`crate::Scale::scaled`]).
+    pub fn scaled(self, factor: usize) -> Self {
+        let f = factor.clamp(1, 200);
+        let d = f.isqrt();
+        EbizScale {
+            customers: self.customers * d,
+            stores: self.stores * d,
+            products: self.products * d,
+            transactions: self.transactions * f,
+            max_items_per_transaction: self.max_items_per_transaction,
+        }
+    }
 }
 
 /// Product lines → product groups for the electronics catalog.

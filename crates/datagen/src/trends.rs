@@ -124,6 +124,16 @@ impl TrendsScale {
             years: 1,
         }
     }
+
+    /// Multiplies the fact-row count by `factor` (clamped to 1..=200).
+    /// The calendar span is left alone: a busier query log over the same
+    /// years, like the other generators' sub-linear dimension growth.
+    pub fn scaled(self, factor: usize) -> Self {
+        TrendsScale {
+            entries: self.entries * factor.clamp(1, 200),
+            years: self.years,
+        }
+    }
 }
 
 /// Builds the query-log warehouse deterministically from `seed`.

@@ -156,17 +156,17 @@ pub fn aggregate_total_exec(
 ) -> Result<f64, QueryError> {
     let accumulate = |r: std::ops::Range<usize>| {
         let mut acc = Accumulator::default();
-        for row in rows.iter_word_range(r) {
+        rows.for_each_in_word_range(r, |row| {
             if let Some(v) = wh.eval_measure(measure, row) {
                 acc.add(v);
             }
-        }
+        });
         acc
     };
     // Fixed chunk boundaries and chunk-order merging in BOTH arms: the
     // result depends only on the data, never on the thread count, so
     // serial and parallel sessions render byte-identical output.
-    let partials = run_chunked(exec, "aggregate_total", rows.as_words().len(), accumulate)?;
+    let partials = run_chunked(exec, "aggregate_total", rows.n_words(), accumulate)?;
     let mut total = Accumulator::default();
     for p in &partials {
         total.merge(p);
@@ -223,23 +223,23 @@ pub fn group_by_categorical_exec(
     let col = wh.column(attr);
     let accumulate = |range: std::ops::Range<usize>| {
         let mut groups: HashMap<u32, Accumulator> = HashMap::new();
-        for row in rows.iter_word_range(range) {
+        rows.for_each_in_word_range(range, |row| {
             let Some(target_row) = mapper[row] else {
-                continue;
+                return;
             };
             let Some(code) = col.get_code(target_row as usize) else {
-                continue;
+                return;
             };
             if let Some(v) = wh.eval_measure(measure, row) {
                 groups.entry(code).or_default().add(v);
             }
-        }
+        });
         groups
     };
     // Both arms chunk identically and merge in chunk order, so results
     // never depend on the thread count (per-code accumulators make the
     // within-chunk map iteration order irrelevant).
-    let partials = run_chunked(exec, "group_by", rows.as_words().len(), accumulate)?;
+    let partials = run_chunked(exec, "group_by", rows.n_words(), accumulate)?;
     let mut merged: HashMap<u32, Accumulator> = HashMap::new();
     for partial in partials {
         for (code, acc) in partial {
@@ -404,25 +404,25 @@ pub fn group_by_buckets_exec(
     let chunk_bytes = (buckets.n_buckets() * std::mem::size_of::<Accumulator>()) as u64;
     let accumulate = |range: std::ops::Range<usize>| {
         let mut accs = vec![Accumulator::default(); buckets.n_buckets()];
-        for row in rows.iter_word_range(range) {
+        rows.for_each_in_word_range(range, |row| {
             let Some(target_row) = mapper[row] else {
-                continue;
+                return;
             };
             let Some(v) = col.get_float(target_row as usize) else {
-                continue;
+                return;
             };
             let Some(b) = buckets.bucket_of(v) else {
-                continue;
+                return;
             };
             if let Some(m) = wh.eval_measure(measure, row) {
                 accs[b].add(m);
             }
-        }
+        });
         accs
     };
     // Both arms chunk identically and merge in chunk order, so results
     // never depend on the thread count.
-    let partials = run_chunked(exec, "group_by", rows.as_words().len(), |r| {
+    let partials = run_chunked(exec, "group_by", rows.n_words(), |r| {
         exec.charge("group_by", chunk_bytes).map(|()| accumulate(r))
     })?
     .into_iter()

@@ -470,7 +470,7 @@ pub fn multi_group_by_exec(
             .map(|s| FacetGroups::new_for(s, wh, dense_limit))
             .collect();
         let mut oob = 0u64;
-        for row in rows.iter_word_range(range) {
+        rows.for_each_in_word_range(range, |row| {
             for (i, spec) in specs.iter().enumerate() {
                 let g = &mut groups[i];
                 match spec {
@@ -532,10 +532,10 @@ pub fn multi_group_by_exec(
                     }
                 }
             }
-        }
+        });
         (groups, oob)
     };
-    let nwords = rows.as_words().len();
+    let nwords = rows.n_words();
     let ranges = chunk_ranges(nwords, AGG_CHUNK_WORDS);
     let nchunks = ranges.len() as u64;
     // Fixed-size accumulator state of one chunk partial (dense arrays and

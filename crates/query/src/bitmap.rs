@@ -1,42 +1,522 @@
-//! Fixed-width row bitmaps for fact-row sets (subspaces).
+//! Hybrid row sets for fact-row sets (subspaces).
+//!
+//! A KDAP *subspace* DS′ is exactly a [`RowSet`] over the fact table.
+//! Historically this was one flat `Vec<u64>` bitmap; at 10M+ rows that
+//! costs 8 bytes per 64 rows regardless of density, and set algebra
+//! always walks the whole universe. The hybrid layout splits the
+//! universe into blocks of [`BLOCK_ROWS`] rows, each stored as whichever
+//! container is smallest for its density (the Roaring design):
+//!
+//! * **Array** — sorted `u16` row offsets, for sparse blocks
+//!   (≤ [`ARRAY_MAX`] rows);
+//! * **Bitmap** — a 1024-word bitmap, for dense scattered blocks;
+//! * **Run** — sorted `(start, end)` runs, for contiguous blocks
+//!   (`full()` is one run per block).
+//!
+//! Containers auto-convert at density thresholds: an array grows into a
+//! bitmap past [`ARRAY_MAX`], and every set-algebra result is
+//! re-canonicalized to the smallest of the three forms. The public API —
+//! `intersect/union/and_not`, their `try_` and `_exec` variants,
+//! `iter`/`iter_word_range` — is unchanged from the flat bitmap;
+//! word-granular entry points (`n_words`, `to_words`, `from_words`,
+//! `for_each_in_word_range`) keep the chunked kernels and their
+//! thread-count-invariant results working on top.
 
 use crate::error::QueryError;
 use crate::exec::{chunk_ranges, par_map, ExecConfig};
 
-/// Words per parallel chunk for the set-algebra kernels (1 MiB of rows).
-/// Chunking depends only on set size, so chunked results are identical
-/// for every thread count.
-const PAR_CHUNK_WORDS: usize = 16 * 1024;
+/// Rows per block: matches the warehouse chunk size so one block of rows
+/// corresponds to one packed column chunk.
+pub const BLOCK_ROWS: usize = 1 << 16;
 
-/// A set of row indices over a table of known size, stored as a bitmap.
-///
-/// A KDAP *subspace* DS′ is exactly a `RowSet` over the fact table.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Words per full block bitmap.
+const BLOCK_WORDS: usize = BLOCK_ROWS / 64;
+
+/// Largest array container: beyond this many rows a block converts to a
+/// bitmap (4096 × 2 bytes = the break-even point against 8 KiB bitmaps).
+pub const ARRAY_MAX: usize = 4096;
+
+/// Blocks per parallel chunk for the set-algebra kernels (1 MiB of
+/// rows). Chunking depends only on set size, so chunked results are
+/// identical for every thread count.
+const PAR_CHUNK_BLOCKS: usize = 16;
+
+/// Counts of each container type across a set of row sets — the
+/// compression telemetry surfaced by `kdap stats` and the HTTP stats
+/// endpoint.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ContainerHistogram {
+    /// Sparse blocks stored as sorted row arrays.
+    pub arrays: usize,
+    /// Dense scattered blocks stored as bitmaps.
+    pub bitmaps: usize,
+    /// Contiguous blocks stored as run lists.
+    pub runs: usize,
+}
+
+impl ContainerHistogram {
+    /// Accumulates another histogram into this one.
+    pub fn merge(&mut self, other: &ContainerHistogram) {
+        self.arrays += other.arrays;
+        self.bitmaps += other.bitmaps;
+        self.runs += other.runs;
+    }
+
+    /// Total container count.
+    pub fn total(&self) -> usize {
+        self.arrays + self.bitmaps + self.runs
+    }
+}
+
+/// One block's physical container.
+#[derive(Debug, Clone)]
+enum Container {
+    /// Sorted row offsets within the block.
+    Array(Vec<u16>),
+    /// Bitmap over the block's rows; `limit.div_ceil(64)` words.
+    Bitmap(Box<[u64]>),
+    /// Sorted, disjoint, non-adjacent inclusive `(start, end)` runs.
+    Run(Vec<(u16, u16)>),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SetOp {
+    And,
+    Or,
+    AndNot,
+}
+
+/// Sets bits `s..=e` in `words`.
+fn set_bit_range(words: &mut [u64], s: usize, e: usize) {
+    let (sw, sb) = (s / 64, s % 64);
+    let (ew, eb) = (e / 64, e % 64);
+    if sw == ew {
+        let width = eb - sb + 1;
+        let mask = if width == 64 {
+            u64::MAX
+        } else {
+            ((1u64 << width) - 1) << sb
+        };
+        words[sw] |= mask;
+    } else {
+        words[sw] |= u64::MAX << sb;
+        for w in &mut words[sw + 1..ew] {
+            *w = u64::MAX;
+        }
+        words[ew] |= u64::MAX >> (63 - eb);
+    }
+}
+
+impl Container {
+    fn empty() -> Container {
+        Container::Array(Vec::new())
+    }
+
+    fn cardinality(&self) -> usize {
+        match self {
+            Container::Array(a) => a.len(),
+            Container::Bitmap(w) => w.iter().map(|w| w.count_ones() as usize).sum(),
+            Container::Run(rs) => rs.iter().map(|&(s, e)| e as usize - s as usize + 1).sum(),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        match self {
+            Container::Array(a) => a.is_empty(),
+            Container::Bitmap(w) => w.iter().all(|&w| w == 0),
+            Container::Run(rs) => rs.is_empty(),
+        }
+    }
+
+    fn contains(&self, r: u16) -> bool {
+        match self {
+            Container::Array(a) => a.binary_search(&r).is_ok(),
+            Container::Bitmap(w) => {
+                let (wi, b) = (r as usize / 64, r as usize % 64);
+                wi < w.len() && w[wi] >> b & 1 == 1
+            }
+            Container::Run(rs) => {
+                let idx = rs.partition_point(|&(s, _)| s <= r);
+                idx > 0 && rs[idx - 1].1 >= r
+            }
+        }
+    }
+
+    /// Inserts a row, converting the container when the current form
+    /// can't absorb it (array past [`ARRAY_MAX`], run with a new
+    /// non-contained row).
+    fn insert(&mut self, r: u16, limit: usize) {
+        match self {
+            Container::Array(a) => match a.last() {
+                // Fast path: ascending appends.
+                Some(&last) if last < r => {
+                    if a.len() == ARRAY_MAX {
+                        *self = self.to_bitmap(limit);
+                        self.insert(r, limit);
+                    } else {
+                        a.push(r);
+                    }
+                }
+                None => a.push(r),
+                _ => {
+                    if let Err(pos) = a.binary_search(&r) {
+                        if a.len() == ARRAY_MAX {
+                            *self = self.to_bitmap(limit);
+                            self.insert(r, limit);
+                        } else {
+                            a.insert(pos, r);
+                        }
+                    }
+                }
+            },
+            Container::Bitmap(w) => w[r as usize / 64] |= 1u64 << (r as usize % 64),
+            Container::Run(_) => {
+                if !self.contains(r) {
+                    *self = self.to_bitmap(limit);
+                    self.insert(r, limit);
+                }
+            }
+        }
+    }
+
+    fn to_bitmap(&self, limit: usize) -> Container {
+        let mut words = vec![0u64; limit.div_ceil(64)];
+        self.write_words(&mut words);
+        Container::Bitmap(words.into_boxed_slice())
+    }
+
+    /// Writes this container's bits into `out` (zeroing it first).
+    /// `out` must hold the block's word count.
+    fn write_words(&self, out: &mut [u64]) {
+        out.fill(0);
+        match self {
+            Container::Array(a) => {
+                for &r in a {
+                    out[r as usize / 64] |= 1u64 << (r as usize % 64);
+                }
+            }
+            Container::Bitmap(w) => out[..w.len()].copy_from_slice(w),
+            Container::Run(rs) => {
+                for &(s, e) in rs {
+                    set_bit_range(out, s as usize, e as usize);
+                }
+            }
+        }
+    }
+
+    /// Builds the canonical (smallest) container for the given words.
+    fn from_words(words: &[u64]) -> Container {
+        let card: usize = words.iter().map(|w| w.count_ones() as usize).sum();
+        if card == 0 {
+            return Container::empty();
+        }
+        // Count 0→1 transitions (runs) in one pass.
+        let mut n_runs = 0usize;
+        let mut carry = 0u64;
+        for &w in words {
+            n_runs += (w & !((w << 1) | carry)).count_ones() as usize;
+            carry = w >> 63;
+        }
+        let run_bytes = n_runs * 4;
+        let array_bytes = card * 2;
+        let bitmap_bytes = words.len() * 8;
+        if run_bytes < array_bytes.min(bitmap_bytes) {
+            // Pair up run starts (0→1) and ends (1→0) in order.
+            let mut runs = Vec::with_capacity(n_runs);
+            let mut starts = Vec::with_capacity(n_runs);
+            let mut carry = 0u64;
+            for (wi, &w) in words.iter().enumerate() {
+                let next = words.get(wi + 1).copied().unwrap_or(0);
+                let mut sbits = w & !((w << 1) | carry);
+                while sbits != 0 {
+                    starts.push((wi * 64 + sbits.trailing_zeros() as usize) as u16);
+                    sbits &= sbits - 1;
+                }
+                let mut ebits = w & !((w >> 1) | (next << 63));
+                while ebits != 0 {
+                    let e = (wi * 64 + ebits.trailing_zeros() as usize) as u16;
+                    // Starts always lead ends, so one is available.
+                    runs.push((starts[runs.len()], e));
+                    ebits &= ebits - 1;
+                }
+                carry = w >> 63;
+            }
+            Container::Run(runs)
+        } else if card <= ARRAY_MAX {
+            let mut rows = Vec::with_capacity(card);
+            for (wi, &w) in words.iter().enumerate() {
+                let mut w = w;
+                while w != 0 {
+                    rows.push((wi * 64 + w.trailing_zeros() as usize) as u16);
+                    w &= w - 1;
+                }
+            }
+            Container::Array(rows)
+        } else {
+            Container::Bitmap(words.to_vec().into_boxed_slice())
+        }
+    }
+
+    /// True when this is a single run covering the whole block universe.
+    fn covers_all(&self, limit: usize) -> bool {
+        matches!(self, Container::Run(rs)
+            if rs.len() == 1 && rs[0].0 == 0 && rs[0].1 as usize == limit - 1)
+    }
+
+    /// Visits every set row in `local_range` (block-local, ascending),
+    /// offset by `base`. Bitmap blocks decode word-at-a-time (64 rows per
+    /// load); run blocks iterate without any probing at all.
+    fn for_each_range<F: FnMut(usize)>(
+        &self,
+        local_range: std::ops::Range<usize>,
+        base: usize,
+        f: &mut F,
+    ) {
+        match self {
+            Container::Array(a) => {
+                let lo = a.partition_point(|&r| (r as usize) < local_range.start);
+                for &r in &a[lo..] {
+                    if r as usize >= local_range.end {
+                        break;
+                    }
+                    f(base + r as usize);
+                }
+            }
+            Container::Bitmap(words) => {
+                let start_w = local_range.start / 64;
+                let end_w = local_range.end.div_ceil(64).min(words.len());
+                for wi in start_w..end_w {
+                    let mut w = words[wi];
+                    if wi == start_w {
+                        let lo = local_range.start % 64;
+                        if lo > 0 {
+                            w &= u64::MAX << lo;
+                        }
+                    }
+                    if wi == end_w - 1 {
+                        let hi = local_range.end - wi * 64;
+                        if hi < 64 {
+                            w &= (1u64 << hi) - 1;
+                        }
+                    }
+                    let word_base = base + wi * 64;
+                    while w != 0 {
+                        f(word_base + w.trailing_zeros() as usize);
+                        w &= w - 1;
+                    }
+                }
+            }
+            Container::Run(rs) => {
+                for &(s, e) in rs {
+                    let s = (s as usize).max(local_range.start);
+                    let e = (e as usize + 1).min(local_range.end);
+                    for r in s..e {
+                        f(base + r);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Next set row at or after `local`, if any.
+    fn next_from(&self, local: usize) -> Option<usize> {
+        match self {
+            Container::Array(a) => {
+                let idx = a.partition_point(|&r| (r as usize) < local);
+                a.get(idx).map(|&r| r as usize)
+            }
+            Container::Bitmap(words) => {
+                let mut wi = local / 64;
+                if wi >= words.len() {
+                    return None;
+                }
+                let mut w = words[wi] & (u64::MAX << (local % 64));
+                loop {
+                    if w != 0 {
+                        return Some(wi * 64 + w.trailing_zeros() as usize);
+                    }
+                    wi += 1;
+                    if wi >= words.len() {
+                        return None;
+                    }
+                    w = words[wi];
+                }
+            }
+            Container::Run(rs) => {
+                let idx = rs.partition_point(|&(s, _)| (s as usize) <= local);
+                if idx > 0 && rs[idx - 1].1 as usize >= local {
+                    return Some(local);
+                }
+                rs.get(idx).map(|&(s, _)| s as usize)
+            }
+        }
+    }
+
+    fn heap_bytes(&self) -> usize {
+        match self {
+            Container::Array(a) => a.capacity() * 2,
+            Container::Bitmap(w) => w.len() * 8,
+            Container::Run(rs) => rs.capacity() * 4,
+        }
+    }
+}
+
+/// Combines two blocks. `limit` is the block's universe (rows valid in
+/// it); inputs never hold bits past `limit`, so neither does the result.
+fn op_block(a: &Container, b: &Container, op: SetOp, limit: usize) -> Container {
+    // Cheap structural fast paths before any materialization.
+    match op {
+        SetOp::And => {
+            if a.is_empty() || b.is_empty() {
+                return Container::empty();
+            }
+            if a.covers_all(limit) {
+                return b.clone();
+            }
+            if b.covers_all(limit) {
+                return a.clone();
+            }
+        }
+        SetOp::Or => {
+            if a.covers_all(limit) || b.is_empty() {
+                return a.clone();
+            }
+            if b.covers_all(limit) || a.is_empty() {
+                return b.clone();
+            }
+        }
+        SetOp::AndNot => {
+            if a.is_empty() || b.covers_all(limit) {
+                return Container::empty();
+            }
+            if b.is_empty() {
+                return a.clone();
+            }
+        }
+    }
+    // Array-driven paths: probe or merge without touching full bitmaps.
+    match (a, b, op) {
+        (Container::Array(xs), Container::Array(ys), SetOp::And) => {
+            Container::Array(merge_arrays(xs, ys, SetOp::And))
+        }
+        (Container::Array(xs), Container::Array(ys), SetOp::AndNot) => {
+            Container::Array(merge_arrays(xs, ys, SetOp::AndNot))
+        }
+        (Container::Array(xs), Container::Array(ys), SetOp::Or) => {
+            let merged = merge_arrays(xs, ys, SetOp::Or);
+            if merged.len() <= ARRAY_MAX {
+                Container::Array(merged)
+            } else {
+                let mut out = Container::Array(merged).to_bitmap(limit);
+                if let Container::Bitmap(w) = &out {
+                    out = Container::from_words(w);
+                }
+                out
+            }
+        }
+        (Container::Array(xs), _, SetOp::And) => {
+            Container::Array(xs.iter().copied().filter(|&r| b.contains(r)).collect())
+        }
+        (Container::Array(xs), _, SetOp::AndNot) => {
+            Container::Array(xs.iter().copied().filter(|&r| !b.contains(r)).collect())
+        }
+        (_, Container::Array(ys), SetOp::And) => {
+            Container::Array(ys.iter().copied().filter(|&r| a.contains(r)).collect())
+        }
+        _ => {
+            // General path: materialize both sides to words, combine with
+            // one word-at-a-time loop, re-canonicalize the result.
+            let n_words = limit.div_ceil(64);
+            let mut wa = [0u64; BLOCK_WORDS];
+            let mut wb = [0u64; BLOCK_WORDS];
+            a.write_words(&mut wa[..n_words]);
+            b.write_words(&mut wb[..n_words]);
+            for (x, y) in wa[..n_words].iter_mut().zip(&wb[..n_words]) {
+                *x = match op {
+                    SetOp::And => *x & y,
+                    SetOp::Or => *x | y,
+                    SetOp::AndNot => *x & !y,
+                };
+            }
+            Container::from_words(&wa[..n_words])
+        }
+    }
+}
+
+/// Merges two sorted arrays under `op`.
+fn merge_arrays(xs: &[u16], ys: &[u16], op: SetOp) -> Vec<u16> {
+    let mut out = Vec::with_capacity(match op {
+        SetOp::And => xs.len().min(ys.len()),
+        SetOp::Or => xs.len() + ys.len(),
+        SetOp::AndNot => xs.len(),
+    });
+    let (mut i, mut j) = (0, 0);
+    while i < xs.len() && j < ys.len() {
+        match xs[i].cmp(&ys[j]) {
+            std::cmp::Ordering::Less => {
+                if op != SetOp::And {
+                    out.push(xs[i]);
+                }
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                if op == SetOp::Or {
+                    out.push(ys[j]);
+                }
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                if op != SetOp::AndNot {
+                    out.push(xs[i]);
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    if op != SetOp::And {
+        out.extend_from_slice(&xs[i..]);
+    }
+    if op == SetOp::Or {
+        out.extend_from_slice(&ys[j..]);
+    }
+    out
+}
+
+/// A set of row indices over a table of known size, stored as one hybrid
+/// container (array / bitmap / run) per [`BLOCK_ROWS`]-row block.
+#[derive(Debug, Clone)]
 pub struct RowSet {
-    words: Vec<u64>,
+    blocks: Vec<Container>,
     nrows: usize,
 }
 
 impl RowSet {
+    fn n_blocks(nrows: usize) -> usize {
+        nrows.div_ceil(BLOCK_ROWS)
+    }
+
+    /// Rows valid in block `b` (== `BLOCK_ROWS` except the last block).
+    fn block_limit(&self, b: usize) -> usize {
+        (self.nrows - b * BLOCK_ROWS).min(BLOCK_ROWS)
+    }
+
     /// Empty set over `nrows` rows.
     pub fn empty(nrows: usize) -> Self {
         RowSet {
-            words: vec![0; nrows.div_ceil(64)],
+            blocks: (0..Self::n_blocks(nrows))
+                .map(|_| Container::empty())
+                .collect(),
             nrows,
         }
     }
 
-    /// Full set over `nrows` rows.
+    /// Full set over `nrows` rows — one run container per block.
     pub fn full(nrows: usize) -> Self {
         let mut s = RowSet::empty(nrows);
-        for (i, w) in s.words.iter_mut().enumerate() {
-            let base = i * 64;
-            let bits = nrows.saturating_sub(base).min(64);
-            *w = if bits == 64 {
-                u64::MAX
-            } else {
-                (1u64 << bits) - 1
-            };
+        for b in 0..s.blocks.len() {
+            let limit = s.block_limit(b);
+            s.blocks[b] = Container::Run(vec![(0, (limit - 1) as u16)]);
         }
         s
     }
@@ -50,8 +530,9 @@ impl RowSet {
         s
     }
 
-    /// Builds a set directly from its word representation. `words` must
-    /// hold exactly `nrows.div_ceil(64)` words with no bits past `nrows`.
+    /// Builds a set from its flat word representation. `words` must hold
+    /// exactly `nrows.div_ceil(64)` words with no bits past `nrows`; a
+    /// stray trailing bit yields [`QueryError::TrailingBits`].
     pub fn from_words(nrows: usize, words: Vec<u64>) -> Result<Self, QueryError> {
         if words.len() != nrows.div_ceil(64) {
             return Err(QueryError::RowOutOfRange {
@@ -66,21 +547,41 @@ impl RowSet {
             } else {
                 (1u64 << bits) - 1
             };
-            if last & !mask != 0 {
-                return Err(QueryError::RowOutOfRange {
-                    row: nrows,
+            let stray = last & !mask;
+            if stray != 0 {
+                return Err(QueryError::TrailingBits {
                     universe: nrows,
+                    trailing: stray.count_ones(),
                 });
             }
         }
-        Ok(RowSet { words, nrows })
+        let mut s = RowSet::empty(nrows);
+        for b in 0..s.blocks.len() {
+            let start_w = b * BLOCK_WORDS;
+            let end_w = (start_w + BLOCK_WORDS).min(words.len());
+            s.blocks[b] = Container::from_words(&words[start_w..end_w]);
+        }
+        Ok(s)
     }
 
-    /// The backing `u64` words, least-significant bit = lowest row.
-    /// Chunked kernels (aggregation, set algebra) operate directly on
-    /// word slices of this representation.
-    pub fn as_words(&self) -> &[u64] {
-        &self.words
+    /// Number of words in the flat `u64` representation
+    /// (`nrows.div_ceil(64)`). Chunked kernels partition work by word
+    /// index, which keeps their results identical for every thread count.
+    pub fn n_words(&self) -> usize {
+        self.nrows.div_ceil(64)
+    }
+
+    /// Materializes the flat word representation (least-significant bit =
+    /// lowest row) — for fingerprinting and equivalence checks, not hot
+    /// paths.
+    pub fn to_words(&self) -> Vec<u64> {
+        let mut words = vec![0u64; self.n_words()];
+        for (b, c) in self.blocks.iter().enumerate() {
+            let start_w = b * BLOCK_WORDS;
+            let end_w = (start_w + BLOCK_WORDS).min(words.len());
+            c.write_words(&mut words[start_w..end_w]);
+        }
+        words
     }
 
     /// Number of rows in the underlying table.
@@ -88,31 +589,47 @@ impl RowSet {
         self.nrows
     }
 
-    /// Heap footprint of the backing word vector in bytes. Memory-budget
+    /// Heap footprint of the hybrid containers in bytes. Memory-budget
     /// accounting charges this for every freshly materialized set.
     pub fn heap_bytes(&self) -> u64 {
-        (self.words.len() * std::mem::size_of::<u64>()) as u64
+        let containers: usize = self.blocks.iter().map(Container::heap_bytes).sum();
+        (containers + self.blocks.capacity() * std::mem::size_of::<Container>()) as u64
+    }
+
+    /// Counts this set's blocks by container type.
+    pub fn container_histogram(&self) -> ContainerHistogram {
+        let mut h = ContainerHistogram::default();
+        for c in &self.blocks {
+            match c {
+                Container::Array(_) => h.arrays += 1,
+                Container::Bitmap(_) => h.bitmaps += 1,
+                Container::Run(_) => h.runs += 1,
+            }
+        }
+        h
     }
 
     /// Inserts one row. Panics when out of range (programming error).
     pub fn insert(&mut self, row: usize) {
         assert!(row < self.nrows, "row {row} out of range {}", self.nrows);
-        self.words[row / 64] |= 1u64 << (row % 64);
+        let b = row / BLOCK_ROWS;
+        let limit = self.block_limit(b);
+        self.blocks[b].insert((row % BLOCK_ROWS) as u16, limit);
     }
 
     /// Membership test.
     pub fn contains(&self, row: usize) -> bool {
-        row < self.nrows && self.words[row / 64] & (1u64 << (row % 64)) != 0
+        row < self.nrows && self.blocks[row / BLOCK_ROWS].contains((row % BLOCK_ROWS) as u16)
     }
 
     /// Number of rows in the set.
     pub fn len(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        self.blocks.iter().map(Container::cardinality).sum()
     }
 
     /// True when no row is set.
     pub fn is_empty(&self) -> bool {
-        self.words.iter().all(|&w| w == 0)
+        self.blocks.iter().all(Container::is_empty)
     }
 
     fn check_universe(&self, other: &RowSet) -> Result<(), QueryError> {
@@ -126,33 +643,36 @@ impl RowSet {
         }
     }
 
+    fn zip_blocks(&mut self, other: &RowSet, op: SetOp) {
+        for b in 0..self.blocks.len() {
+            let limit = self.block_limit(b);
+            self.blocks[b] = op_block(&self.blocks[b], &other.blocks[b], op, limit);
+        }
+    }
+
     /// In-place intersection. Panics on mismatched universes.
     pub fn intersect_with(&mut self, other: &RowSet) {
         assert_eq!(self.nrows, other.nrows, "universe mismatch");
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a &= b;
-        }
+        self.zip_blocks(other, SetOp::And);
     }
 
     /// Fallible in-place intersection.
     pub fn try_intersect_with(&mut self, other: &RowSet) -> Result<(), QueryError> {
         self.check_universe(other)?;
-        self.intersect_with(other);
+        self.zip_blocks(other, SetOp::And);
         Ok(())
     }
 
     /// In-place union. Panics on mismatched universes.
     pub fn union_with(&mut self, other: &RowSet) {
         assert_eq!(self.nrows, other.nrows, "universe mismatch");
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a |= b;
-        }
+        self.zip_blocks(other, SetOp::Or);
     }
 
     /// Fallible in-place union.
     pub fn try_union_with(&mut self, other: &RowSet) -> Result<(), QueryError> {
         self.check_universe(other)?;
-        self.union_with(other);
+        self.zip_blocks(other, SetOp::Or);
         Ok(())
     }
 
@@ -160,46 +680,41 @@ impl RowSet {
     /// universes.
     pub fn and_not_with(&mut self, other: &RowSet) {
         assert_eq!(self.nrows, other.nrows, "universe mismatch");
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a &= !b;
-        }
+        self.zip_blocks(other, SetOp::AndNot);
     }
 
     /// Fallible in-place difference.
     pub fn try_and_not_with(&mut self, other: &RowSet) -> Result<(), QueryError> {
         self.check_universe(other)?;
-        self.and_not_with(other);
+        self.zip_blocks(other, SetOp::AndNot);
         Ok(())
     }
 
-    /// Applies a word-level binary operation chunk-by-chunk, fanning the
-    /// chunks out over `exec`'s workers. Results are written back in chunk
-    /// order, so the outcome is identical for every thread count (the ops
-    /// are pure bitwise combines).
-    fn zip_words_exec(
-        &mut self,
-        other: &RowSet,
-        exec: &ExecConfig,
-        op: impl Fn(u64, u64) -> u64 + Sync,
-    ) {
-        if exec.is_serial() || self.words.len() < 2 * PAR_CHUNK_WORDS {
-            for (a, b) in self.words.iter_mut().zip(&other.words) {
-                *a = op(*a, *b);
-            }
+    /// Applies a set operation block-by-block, fanning block ranges out
+    /// over `exec`'s workers. Each block's result depends only on the two
+    /// operand blocks, and results are written back in block order, so
+    /// the outcome is identical for every thread count.
+    fn zip_blocks_exec(&mut self, other: &RowSet, exec: &ExecConfig, op: SetOp) {
+        if exec.is_serial() || self.blocks.len() < 2 * PAR_CHUNK_BLOCKS {
+            self.zip_blocks(other, op);
             return;
         }
-        let ranges = chunk_ranges(self.words.len(), PAR_CHUNK_WORDS);
-        let words = &self.words;
-        let chunks: Vec<Vec<u64>> = par_map(exec, &ranges, |_, r| {
-            words[r.clone()]
-                .iter()
-                .zip(&other.words[r.clone()])
-                .map(|(&a, &b)| op(a, b))
+        let ranges = chunk_ranges(self.blocks.len(), PAR_CHUNK_BLOCKS);
+        let blocks = &self.blocks;
+        let nrows = self.nrows;
+        let results: Vec<Vec<Container>> = par_map(exec, &ranges, |_, r| {
+            r.clone()
+                .map(|b| {
+                    let limit = (nrows - b * BLOCK_ROWS).min(BLOCK_ROWS);
+                    op_block(&blocks[b], &other.blocks[b], op, limit)
+                })
                 .collect()
         });
-        for (r, chunk) in ranges.into_iter().zip(chunks) {
-            self.words[r].copy_from_slice(&chunk);
+        let mut out = Vec::with_capacity(self.blocks.len());
+        for chunk in results {
+            out.extend(chunk);
         }
+        self.blocks = out;
     }
 
     /// Chunked intersection over `exec`'s workers.
@@ -209,14 +724,14 @@ impl RowSet {
         exec: &ExecConfig,
     ) -> Result<(), QueryError> {
         self.check_universe(other)?;
-        self.zip_words_exec(other, exec, |a, b| a & b);
+        self.zip_blocks_exec(other, exec, SetOp::And);
         Ok(())
     }
 
     /// Chunked union over `exec`'s workers.
     pub fn union_with_exec(&mut self, other: &RowSet, exec: &ExecConfig) -> Result<(), QueryError> {
         self.check_universe(other)?;
-        self.zip_words_exec(other, exec, |a, b| a | b);
+        self.zip_blocks_exec(other, exec, SetOp::Or);
         Ok(())
     }
 
@@ -227,41 +742,100 @@ impl RowSet {
         exec: &ExecConfig,
     ) -> Result<(), QueryError> {
         self.check_universe(other)?;
-        self.zip_words_exec(other, exec, |a, b| a & !b);
+        self.zip_blocks_exec(other, exec, SetOp::AndNot);
         Ok(())
     }
 
-    /// Iterates set rows in ascending order, skipping empty words.
-    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
-        self.iter_word_range(0..self.words.len())
+    /// Iterates set rows in ascending order.
+    pub fn iter(&self) -> RowIter<'_> {
+        self.iter_word_range(0..self.n_words())
     }
 
-    /// Word-skipping iterator over the rows encoded in the given word
-    /// range. Zero words are filtered out before any bit probing happens,
-    /// so sparse sets iterate in time proportional to their occupied words
-    /// rather than their universe. Chunked kernels hand each worker a
-    /// sub-range of words.
-    pub fn iter_word_range(
-        &self,
-        words: std::ops::Range<usize>,
-    ) -> impl Iterator<Item = usize> + '_ {
-        let start = words.start;
-        self.words[words]
-            .iter()
-            .enumerate()
-            .filter(|&(_, &w)| w != 0)
-            .flat_map(move |(i, &w)| {
-                let mut w = w;
-                std::iter::from_fn(move || {
-                    if w == 0 {
-                        None
-                    } else {
-                        let bit = w.trailing_zeros() as usize;
-                        w &= w - 1;
-                        Some((start + i) * 64 + bit)
+    /// Iterator over the rows encoded in the given word range of the flat
+    /// representation. Sparse containers iterate in time proportional to
+    /// their occupancy rather than the universe. Chunked kernels hand
+    /// each worker a sub-range of words.
+    pub fn iter_word_range(&self, words: std::ops::Range<usize>) -> RowIter<'_> {
+        let start = words.start * 64;
+        let end = (words.end * 64).min(self.nrows);
+        RowIter {
+            set: self,
+            cur: start,
+            end: end.max(start),
+        }
+    }
+
+    /// Visits every set row in the given word range in ascending order —
+    /// the tight-loop twin of [`RowSet::iter_word_range`] for hot
+    /// kernels: bitmap blocks decode 64 rows per word load, run blocks
+    /// iterate with no probing, and the callback is invoked directly
+    /// without iterator state.
+    pub fn for_each_in_word_range<F: FnMut(usize)>(&self, words: std::ops::Range<usize>, mut f: F) {
+        let start = words.start * 64;
+        let end = (words.end * 64).min(self.nrows);
+        let mut row = start;
+        while row < end {
+            let b = row / BLOCK_ROWS;
+            let base = b * BLOCK_ROWS;
+            let local_start = row - base;
+            let local_end = (end - base).min(BLOCK_ROWS);
+            self.blocks[b].for_each_range(local_start..local_end, base, &mut f);
+            row = base + local_end;
+        }
+    }
+}
+
+impl PartialEq for RowSet {
+    fn eq(&self, other: &Self) -> bool {
+        if self.nrows != other.nrows {
+            return false;
+        }
+        // Compare semantically: equal sets may sit in different container
+        // forms (e.g. an insert-built bitmap vs an op-canonicalized run).
+        let mut wa = [0u64; BLOCK_WORDS];
+        let mut wb = [0u64; BLOCK_WORDS];
+        for (b, (x, y)) in self.blocks.iter().zip(&other.blocks).enumerate() {
+            let n_words = self.block_limit(b).div_ceil(64);
+            x.write_words(&mut wa[..n_words]);
+            y.write_words(&mut wb[..n_words]);
+            if wa[..n_words] != wb[..n_words] {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl Eq for RowSet {}
+
+/// Ascending row iterator over a [`RowSet`] range; see
+/// [`RowSet::iter_word_range`].
+#[derive(Debug, Clone)]
+pub struct RowIter<'a> {
+    set: &'a RowSet,
+    cur: usize,
+    end: usize,
+}
+
+impl Iterator for RowIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.cur < self.end {
+            let b = self.cur / BLOCK_ROWS;
+            match self.set.blocks[b].next_from(self.cur % BLOCK_ROWS) {
+                Some(local) => {
+                    let row = b * BLOCK_ROWS + local;
+                    if row >= self.end {
+                        return None;
                     }
-                })
-            })
+                    self.cur = row + 1;
+                    return Some(row);
+                }
+                None => self.cur = (b + 1) * BLOCK_ROWS,
+            }
+        }
+        None
     }
 }
 
@@ -282,11 +856,29 @@ mod tests {
 
     #[test]
     fn full_has_no_stray_bits_past_end() {
-        for n in [1usize, 63, 64, 65, 128, 130] {
+        for n in [1usize, 63, 64, 65, 128, 130, BLOCK_ROWS, BLOCK_ROWS + 1] {
             let f = RowSet::full(n);
             assert_eq!(f.len(), n, "n={n}");
+            let words = f.to_words();
+            let bits: usize = words.iter().map(|w| w.count_ones() as usize).sum();
+            assert_eq!(bits, n, "n={n}");
         }
         assert_eq!(RowSet::full(0).len(), 0);
+    }
+
+    #[test]
+    fn full_uses_run_containers() {
+        let f = RowSet::full(BLOCK_ROWS * 2 + 100);
+        let h = f.container_histogram();
+        assert_eq!(
+            h,
+            ContainerHistogram {
+                arrays: 0,
+                bitmaps: 0,
+                runs: 3
+            }
+        );
+        assert_eq!(h.total(), 3);
     }
 
     #[test]
@@ -302,6 +894,41 @@ mod tests {
     }
 
     #[test]
+    fn array_converts_to_bitmap_past_threshold() {
+        let n = BLOCK_ROWS;
+        let mut s = RowSet::empty(n);
+        for r in 0..ARRAY_MAX {
+            s.insert(r * 2);
+        }
+        assert_eq!(s.container_histogram().arrays, 1);
+        s.insert(ARRAY_MAX * 2); // one past the array limit
+        let h = s.container_histogram();
+        assert_eq!((h.arrays, h.bitmaps), (0, 1));
+        assert_eq!(s.len(), ARRAY_MAX + 1);
+        for r in 0..=ARRAY_MAX {
+            assert!(s.contains(r * 2), "row {}", r * 2);
+        }
+    }
+
+    #[test]
+    fn run_absorbs_contained_inserts_and_converts_otherwise() {
+        let mut s = RowSet::full(100);
+        s.insert(50); // contained: run container survives
+        assert_eq!(s.container_histogram().runs, 1);
+        let mut t = RowSet::from_words(200, {
+            let mut f = RowSet::full(100).to_words();
+            f.resize(4, 0);
+            f
+        })
+        .unwrap();
+        // Blocks are canonicalized: rows 0..100 of a 200-universe → run.
+        assert_eq!(t.container_histogram().runs, 1);
+        t.insert(150); // outside the run → converts to bitmap
+        assert!(t.contains(150));
+        assert_eq!(t.len(), 101);
+    }
+
+    #[test]
     fn set_algebra() {
         let a = RowSet::from_rows(10, [1, 2, 3]);
         let b = RowSet::from_rows(10, [2, 3, 4]);
@@ -311,6 +938,56 @@ mod tests {
         let mut u = a.clone();
         u.union_with(&b);
         assert_eq!(u.iter().collect::<Vec<_>>(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn set_algebra_across_container_kinds() {
+        let n = BLOCK_ROWS * 2 + 500;
+        let full = RowSet::full(n); // runs
+        let sparse = RowSet::from_rows(n, (0..n).step_by(1000)); // arrays
+        let dense = RowSet::from_rows(n, (0..n).filter(|r| r % 3 != 0)); // bitmaps
+        for x in [&full, &sparse, &dense] {
+            for y in [&full, &sparse, &dense] {
+                let mut i = x.clone();
+                i.intersect_with(y);
+                let mut u = x.clone();
+                u.union_with(y);
+                let mut d = x.clone();
+                d.and_not_with(y);
+                let xs: std::collections::HashSet<usize> = x.iter().collect();
+                let ys: std::collections::HashSet<usize> = y.iter().collect();
+                assert_eq!(i.len(), xs.intersection(&ys).count());
+                assert_eq!(u.len(), xs.union(&ys).count());
+                assert_eq!(d.len(), xs.difference(&ys).count());
+            }
+        }
+    }
+
+    #[test]
+    fn ops_canonicalize_to_smallest_container() {
+        let n = BLOCK_ROWS;
+        // Dense bitmap minus almost everything → tiny scattered array.
+        let mut a = RowSet::from_rows(n, (0..n).step_by(2));
+        let b = RowSet::from_rows(n, (20..n).step_by(2));
+        a.and_not_with(&b);
+        assert_eq!(
+            a.iter().collect::<Vec<_>>(),
+            (0..20).step_by(2).collect::<Vec<_>>()
+        );
+        assert_eq!(a.container_histogram().arrays, 1);
+        // Contiguous residuals canonicalize all the way to runs.
+        let mut c = RowSet::from_rows(n, 0..n - 1);
+        c.and_not_with(&RowSet::from_rows(n, 10..n - 1));
+        assert_eq!(c.len(), 10);
+        assert_eq!(c.container_histogram().runs, 1);
+        // Two half-range unions → one run container.
+        let lo = RowSet::from_rows(n, 0..n / 2);
+        let hi = RowSet::from_rows(n, n / 2..n);
+        let mut u = lo.clone();
+        u.union_with(&hi);
+        assert_eq!(u.len(), n);
+        assert_eq!(u.container_histogram().runs, 1);
+        assert!(u.heap_bytes() < 64);
     }
 
     #[test]
@@ -346,11 +1023,47 @@ mod tests {
     #[test]
     fn words_round_trip() {
         let a = RowSet::from_rows(130, [0, 64, 129]);
-        let b = RowSet::from_words(130, a.as_words().to_vec()).unwrap();
+        let b = RowSet::from_words(130, a.to_words()).unwrap();
         assert_eq!(a, b);
-        // Wrong word count and stray bits past the universe are rejected.
+        // Wrong word count is rejected.
         assert!(RowSet::from_words(130, vec![0; 2]).is_err());
-        assert!(RowSet::from_words(130, vec![0, 0, u64::MAX]).is_err());
+        // Round-trip across block boundaries.
+        let n = BLOCK_ROWS + 77;
+        let c = RowSet::from_rows(n, (0..n).step_by(13));
+        assert_eq!(RowSet::from_words(n, c.to_words()).unwrap(), c);
+    }
+
+    #[test]
+    fn trailing_bits_past_universe_are_a_typed_error() {
+        // 130-row universe: the last word may only use bits 0 and 1.
+        let err = RowSet::from_words(130, vec![0, 0, u64::MAX]).unwrap_err();
+        assert_eq!(
+            err,
+            QueryError::TrailingBits {
+                universe: 130,
+                trailing: 62,
+            }
+        );
+        let err = RowSet::from_words(64, vec![u64::MAX]).map(|_| ());
+        assert_eq!(err, Ok(())); // exactly 64 rows: all bits valid
+        let err = RowSet::from_words(63, vec![u64::MAX]).unwrap_err();
+        assert!(matches!(err, QueryError::TrailingBits { trailing: 1, .. }));
+    }
+
+    #[test]
+    fn equality_is_semantic_across_representations() {
+        let n = BLOCK_ROWS;
+        // Same rows, three different container forms.
+        let via_inserts = RowSet::from_rows(n, 0..n); // bitmap (insert-built)
+        let via_full = RowSet::full(n); // run
+        assert_ne!(
+            via_inserts.container_histogram(),
+            via_full.container_histogram()
+        );
+        assert_eq!(via_inserts, via_full);
+        let mut different = via_full.clone();
+        different.and_not_with(&RowSet::from_rows(n, [77]));
+        assert_ne!(different, via_full);
     }
 
     #[test]
@@ -363,9 +1076,54 @@ mod tests {
     }
 
     #[test]
+    fn for_each_matches_iter_on_every_container_kind() {
+        let n = BLOCK_ROWS * 2 + 300;
+        let sets = [
+            RowSet::full(n),
+            RowSet::from_rows(n, (0..n).step_by(701)),
+            RowSet::from_rows(n, (0..n).filter(|r| r % 2 == 0)),
+            RowSet::empty(n),
+        ];
+        for s in &sets {
+            // Whole-set scan.
+            let mut seen = Vec::new();
+            s.for_each_in_word_range(0..s.n_words(), |r| seen.push(r));
+            assert_eq!(seen, s.iter().collect::<Vec<_>>());
+            // Sub-word-range scans, including block-straddling ones.
+            for range in [
+                0..2,
+                5..9,
+                1020..1030,
+                (BLOCK_ROWS / 64 - 1)..(BLOCK_ROWS / 64 + 2),
+            ] {
+                let mut seen = Vec::new();
+                s.for_each_in_word_range(range.clone(), |r| seen.push(r));
+                assert_eq!(
+                    seen,
+                    s.iter_word_range(range.clone()).collect::<Vec<_>>(),
+                    "range {range:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn heap_bytes_tracks_density() {
+        let n = BLOCK_ROWS * 8;
+        let full = RowSet::full(n);
+        let sparse = RowSet::from_rows(n, (0..n).step_by(10_000));
+        let dense = RowSet::from_rows(n, (0..n).filter(|r| r % 3 == 0));
+        // Runs and arrays are orders of magnitude below the flat bitmap
+        // cost (n/8 bytes); insert-built dense sets pay the bitmap cost.
+        assert!(full.heap_bytes() < 2048, "{}", full.heap_bytes());
+        assert!(sparse.heap_bytes() < 8192, "{}", sparse.heap_bytes());
+        assert!(dense.heap_bytes() >= (n / 8) as u64);
+    }
+
+    #[test]
     fn chunked_kernels_match_serial_for_all_thread_counts() {
         // Big enough to split into multiple parallel chunks.
-        let n = PAR_CHUNK_WORDS * 64 * 3 + 17;
+        let n = PAR_CHUNK_BLOCKS * BLOCK_ROWS * 3 + 17;
         let a = RowSet::from_rows(n, (0..n).filter(|r| r % 3 == 0));
         let b = RowSet::from_rows(n, (0..n).filter(|r| r % 5 != 0));
         #[allow(clippy::type_complexity)]

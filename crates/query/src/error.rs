@@ -31,6 +31,14 @@ pub enum QueryError {
         /// Table id the path actually reaches.
         target_table: u32,
     },
+    /// A word-level set representation carried set bits past its
+    /// universe (`RowSet::from_words` with stray bits in the last word).
+    TrailingBits {
+        /// The set's universe (row count).
+        universe: usize,
+        /// How many stray bits were set past the universe.
+        trailing: u32,
+    },
     /// A bucketizer was requested with zero buckets.
     InvalidBucketCount,
     /// A governed query breached its deadline, cancellation token, or
@@ -62,6 +70,10 @@ impl fmt::Display for QueryError {
             } => write!(
                 f,
                 "selection attribute lives on table #{attr_table}, but the join path targets table #{target_table}"
+            ),
+            QueryError::TrailingBits { universe, trailing } => write!(
+                f,
+                "word representation has {trailing} set bit(s) past the universe of {universe} rows"
             ),
             QueryError::InvalidBucketCount => write!(f, "bucket count must be positive"),
             QueryError::Governed {
@@ -108,6 +120,11 @@ mod tests {
             universe: 5,
         };
         assert!(e.to_string().contains("out of range"));
+        let e = QueryError::TrailingBits {
+            universe: 130,
+            trailing: 3,
+        };
+        assert!(e.to_string().contains("past the universe of 130 rows"));
         assert!(QueryError::InvalidBucketCount
             .to_string()
             .contains("positive"));

@@ -29,7 +29,7 @@ pub use aggregate_multi::{
     multi_group_by, multi_group_by_exec, FacetGroups, FacetSpec, GroupStats, MeasureVector,
     DENSE_GROUP_LIMIT,
 };
-pub use bitmap::RowSet;
+pub use bitmap::{ContainerHistogram, RowSet};
 pub use error::QueryError;
 pub use exec::{chunk_ranges, par_map, ExecConfig};
 pub use govern::{Breach, QueryContext};

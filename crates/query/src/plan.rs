@@ -354,6 +354,16 @@ impl SemijoinCache {
         self.map.lock().len()
     }
 
+    /// Container histogram over every cached row set — how the session's
+    /// live constraint bitmaps compress (array/bitmap/run block counts).
+    pub fn container_histogram(&self) -> crate::bitmap::ContainerHistogram {
+        let mut h = crate::bitmap::ContainerHistogram::default();
+        for rows in self.map.lock().values() {
+            h.merge(&rows.container_histogram());
+        }
+        h
+    }
+
     /// True when nothing is cached.
     pub fn is_empty(&self) -> bool {
         self.len() == 0

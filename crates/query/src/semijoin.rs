@@ -122,13 +122,13 @@ impl JoinIndex {
             let parent_col = wh.column(edge.parent);
             let child_nrows = wh.table(edge.child.table).nrows();
             let mut next = RowSet::empty(child_nrows);
-            for parent_row in current.iter() {
+            current.for_each_in_word_range(0..current.n_words(), |parent_row| {
                 if let Some(key) = parent_col.get_int(parent_row) {
                     for &child_row in self.children(eid, key) {
                         next.insert(child_row as usize);
                     }
                 }
-            }
+            });
             current = next;
         }
         current

@@ -114,7 +114,24 @@ impl TenantEngine {
         if !first {
             out.push_str("\n  ");
         }
-        out.push_str("}\n}\n");
+        out.push_str("},\n");
+        let h = self.kdap.cache_container_histogram();
+        out.push_str(&format!(
+            "  \"rowset_containers\": {{\"array\": {}, \"bitmap\": {}, \"run\": {}}},\n",
+            h.arrays, h.bitmaps, h.runs
+        ));
+        let wh = self.kdap.warehouse();
+        out.push_str("  \"tables\": [");
+        for (ti, t) in wh.tables().iter().enumerate() {
+            out.push_str(if ti == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "    {{\"name\": {}, \"rows\": {}, \"heap_bytes\": {}}}",
+                json_string(t.name()),
+                t.nrows(),
+                t.heap_bytes()
+            ));
+        }
+        out.push_str("\n  ]\n}\n");
         out
     }
 }
@@ -281,6 +298,8 @@ mod tests {
         assert!(out.contains("\"http.explore.latency_ns\""), "{out}");
         assert!(out.contains("\"subspace\": {\"len\": 0"), "{out}");
         assert!(out.contains("\"semijoin\": {\"len\": 0"), "{out}");
+        assert!(out.contains("\"rowset_containers\""), "{out}");
+        assert!(out.contains("\"heap_bytes\""), "{out}");
         assert_eq!(out.matches('{').count(), out.matches('}').count(), "{out}");
     }
 }

@@ -377,8 +377,15 @@ impl WarehouseBuilder {
             measures.push(Measure { name, expr });
         }
 
+        // Seal partially-filled column chunks: the warehouse is immutable
+        // from here on, so the packed representation becomes final.
+        let mut tables = self.tables;
+        for t in &mut tables {
+            t.freeze();
+        }
+
         Ok(Warehouse {
-            tables: self.tables,
+            tables,
             schema: Schema {
                 fact_table,
                 edges,

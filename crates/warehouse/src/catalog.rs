@@ -88,24 +88,11 @@ impl Warehouse {
         })
     }
 
-    /// A rough byte-size estimate of the warehouse (for reporting, like the
-    /// paper's "the full-text index takes around 5 MB").
+    /// The in-memory byte size of the warehouse's compressed column
+    /// storage (for reporting, like the paper's "the full-text index
+    /// takes around 5 MB"), summed from per-column chunk metadata.
     pub fn approx_bytes(&self) -> usize {
-        use crate::column::ColumnData;
-        let mut total = 0usize;
-        for t in &self.tables {
-            for c in t.columns() {
-                total += match c.data() {
-                    ColumnData::Int(v) => v.len() * std::mem::size_of::<Option<i64>>(),
-                    ColumnData::Float(v) => v.len() * std::mem::size_of::<Option<f64>>(),
-                    ColumnData::Str { dict, codes } => {
-                        codes.len() * std::mem::size_of::<Option<u32>>()
-                            + dict.iter().map(|(_, s)| s.len() + 16).sum::<usize>()
-                    }
-                };
-            }
-        }
-        total
+        self.tables.iter().map(Table::heap_bytes).sum()
     }
 }
 

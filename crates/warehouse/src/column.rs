@@ -5,10 +5,18 @@
 //! purposes: (a) compact storage, and (b) the set of distinct attribute
 //! values *is* the set of "virtual documents" that the KDAP text index
 //! indexes (the paper indexes attribute instances, not tuples — §3).
+//!
+//! Physically, codes live in bit-packed fixed-size chunks
+//! ([`crate::chunk::PackedCodes`]) and numeric columns in dense vectors
+//! with lazy null bitmaps ([`crate::chunk::NullableVec`]). Everything
+//! outside this module reads columns through the accessor API below —
+//! `get`/`get_int`/`get_float`/`get_code`/`for_each_code` — never through
+//! raw vectors.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use crate::chunk::{NullableVec, PackedCodes};
 use crate::error::WarehouseError;
 use crate::value::{Value, ValueType};
 
@@ -56,21 +64,30 @@ impl StrDict {
     pub fn iter(&self) -> impl Iterator<Item = (u32, &Arc<str>)> {
         self.values.iter().enumerate().map(|(i, v)| (i as u32, v))
     }
+
+    /// Approximate heap bytes: string payloads plus per-entry bookkeeping
+    /// (one `Arc<str>` in the vector, one in the lookup map, a code).
+    pub fn heap_bytes(&self) -> usize {
+        let payload: usize = self.values.iter().map(|s| s.len()).sum();
+        let entry = 2 * std::mem::size_of::<Arc<str>>() + std::mem::size_of::<u32>();
+        payload + self.values.len() * entry
+    }
 }
 
-/// The physical data of one column.
+/// The physical data of one column. External code should prefer the
+/// [`Column`] accessors; the variants are exposed for type dispatch only.
 #[derive(Debug, Clone)]
 pub enum ColumnData {
     /// Nullable 64-bit integers.
-    Int(Vec<Option<i64>>),
+    Int(NullableVec<i64>),
     /// Nullable 64-bit floats.
-    Float(Vec<Option<f64>>),
+    Float(NullableVec<f64>),
     /// Dictionary-encoded nullable strings.
     Str {
         /// Distinct values of the column.
         dict: StrDict,
-        /// Per-row dictionary codes.
-        codes: Vec<Option<u32>>,
+        /// Per-row dictionary codes, bit-packed in chunks.
+        codes: PackedCodes,
     },
 }
 
@@ -88,11 +105,11 @@ impl Column {
     /// Creates an empty column of the given type.
     pub fn new(name: impl Into<String>, ty: ValueType, searchable: bool) -> Self {
         let data = match ty {
-            ValueType::Int => ColumnData::Int(Vec::new()),
-            ValueType::Float => ColumnData::Float(Vec::new()),
+            ValueType::Int => ColumnData::Int(NullableVec::new()),
+            ValueType::Float => ColumnData::Float(NullableVec::new()),
             ValueType::Str => ColumnData::Str {
                 dict: StrDict::default(),
-                codes: Vec::new(),
+                codes: PackedCodes::new(),
             },
         };
         Column {
@@ -161,13 +178,24 @@ impl Column {
         Ok(())
     }
 
+    /// Seals partially-filled chunks and trims spare capacity. Called once
+    /// when a warehouse build completes; reads work identically before
+    /// and after.
+    pub fn freeze(&mut self) {
+        match &mut self.data {
+            ColumnData::Int(v) => v.freeze(),
+            ColumnData::Float(v) => v.freeze(),
+            ColumnData::Str { codes, .. } => codes.freeze(),
+        }
+    }
+
     /// Returns the value at `row` (NULL when out of bounds is an error by
     /// contract; callers index within `0..len()`).
     pub fn get(&self, row: usize) -> Value {
         match &self.data {
-            ColumnData::Int(v) => v[row].map(Value::Int).unwrap_or(Value::Null),
-            ColumnData::Float(v) => v[row].map(Value::Float).unwrap_or(Value::Null),
-            ColumnData::Str { dict, codes } => match codes[row] {
+            ColumnData::Int(v) => v.get(row).map(Value::Int).unwrap_or(Value::Null),
+            ColumnData::Float(v) => v.get(row).map(Value::Float).unwrap_or(Value::Null),
+            ColumnData::Str { dict, codes } => match codes.get(row) {
                 // Infallible: stored codes are handed out by this column's
                 // own dictionary during construction.
                 #[allow(clippy::expect_used)]
@@ -180,7 +208,7 @@ impl Column {
     /// Integer value at `row`, if the column is Int and non-null.
     pub fn get_int(&self, row: usize) -> Option<i64> {
         match &self.data {
-            ColumnData::Int(v) => v[row],
+            ColumnData::Int(v) => v.get(row),
             _ => None,
         }
     }
@@ -188,8 +216,8 @@ impl Column {
     /// Float value at `row` (Int columns widen), if non-null.
     pub fn get_float(&self, row: usize) -> Option<f64> {
         match &self.data {
-            ColumnData::Float(v) => v[row],
-            ColumnData::Int(v) => v[row].map(|x| x as f64),
+            ColumnData::Float(v) => v.get(row),
+            ColumnData::Int(v) => v.get(row).map(|x| x as f64),
             _ => None,
         }
     }
@@ -197,8 +225,17 @@ impl Column {
     /// Dictionary code at `row` for string columns.
     pub fn get_code(&self, row: usize) -> Option<u32> {
         match &self.data {
-            ColumnData::Str { codes, .. } => codes[row],
+            ColumnData::Str { codes, .. } => codes.get(row),
             _ => None,
+        }
+    }
+
+    /// Visits `(row, code)` over the whole column in row order, decoding
+    /// packed chunks one word at a time (several codes per word load).
+    /// No-op for numeric columns.
+    pub fn for_each_code<F: FnMut(usize, Option<u32>)>(&self, f: F) {
+        if let ColumnData::Str { codes, .. } = &self.data {
+            codes.for_each(0..codes.len(), f);
         }
     }
 
@@ -214,45 +251,76 @@ impl Column {
     /// numeric columns. This is the single source of truth for both the
     /// optimizer's distinct estimate and the dense/hash group-by kernel
     /// cutoff: dense accumulator arrays are sized by exactly this value.
+    ///
+    /// Sourced from the packed-chunk metadata (largest code ever stored);
+    /// codes are handed out densely by this column's own dictionary, so
+    /// `max_code + 1 == dict.len()` whenever any row is non-null.
     pub fn cardinality(&self) -> Option<usize> {
-        self.dict().map(StrDict::len)
+        match &self.data {
+            ColumnData::Str { dict, codes } => Some(
+                codes
+                    .max_code()
+                    .map_or_else(|| dict.len(), |m| m as usize + 1),
+            ),
+            _ => None,
+        }
     }
 
-    /// Raw access to the physical data.
+    /// Heap bytes held by this column's physical storage (packed chunks,
+    /// null bitmaps, dictionary), from the chunk metadata.
+    pub fn heap_bytes(&self) -> usize {
+        match &self.data {
+            ColumnData::Int(v) => v.heap_bytes(),
+            ColumnData::Float(v) => v.heap_bytes(),
+            ColumnData::Str { dict, codes } => dict.heap_bytes() + codes.heap_bytes(),
+        }
+    }
+
+    /// Raw access to the physical data (type dispatch only; row access
+    /// goes through the accessors).
     pub fn data(&self) -> &ColumnData {
         &self.data
     }
 
     /// Scans for all row indices whose string code is in `codes`.
     ///
-    /// `codes` should be small (it comes from a hit group); rows are scanned
-    /// linearly which is the dominant cost either way.
+    /// `codes` should be small (it comes from a hit group); rows are
+    /// scanned with the word-at-a-time decoder, which is the dominant
+    /// cost either way.
     pub fn rows_with_codes(&self, wanted: &[u32]) -> Vec<usize> {
-        match &self.data {
-            ColumnData::Str { codes, .. } => {
-                if wanted.len() <= 4 {
-                    codes
-                        .iter()
-                        .enumerate()
-                        .filter_map(|(i, c)| c.filter(|c| wanted.contains(c)).map(|_| i))
-                        .collect()
-                } else {
-                    let set: std::collections::HashSet<u32> = wanted.iter().copied().collect();
-                    codes
-                        .iter()
-                        .enumerate()
-                        .filter_map(|(i, c)| c.filter(|c| set.contains(c)).map(|_| i))
-                        .collect()
-                }
-            }
-            _ => Vec::new(),
+        let ColumnData::Str { codes, .. } = &self.data else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        if wanted.is_empty() {
+            return out;
         }
+        if wanted.len() <= 4 {
+            codes.for_each(0..codes.len(), |row, c| {
+                if let Some(c) = c {
+                    if wanted.contains(&c) {
+                        out.push(row);
+                    }
+                }
+            });
+        } else {
+            let set: std::collections::HashSet<u32> = wanted.iter().copied().collect();
+            codes.for_each(0..codes.len(), |row, c| {
+                if let Some(c) = c {
+                    if set.contains(&c) {
+                        out.push(row);
+                    }
+                }
+            });
+        }
+        out
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::chunk::CHUNK_ROWS;
 
     #[test]
     fn dict_interning_is_stable() {
@@ -281,6 +349,52 @@ mod tests {
         assert_eq!(c.get_code(0), c.get_code(3));
         assert_eq!(c.dict().unwrap().len(), 2);
         assert_eq!(c.cardinality(), Some(2));
+    }
+
+    #[test]
+    fn roundtrip_survives_freeze_and_chunk_seal() {
+        let mut c = Column::new("city", ValueType::Str, true);
+        let names = ["Columbus", "Seattle", "Berlin", "Osaka", "Quito"];
+        let n = CHUNK_ROWS + 777;
+        for i in 0..n {
+            if i % 53 == 0 {
+                c.push(Value::Null).unwrap();
+            } else {
+                c.push(Value::from(names[i % names.len()])).unwrap();
+            }
+        }
+        c.freeze();
+        assert_eq!(c.len(), n);
+        assert_eq!(c.cardinality(), Some(5));
+        for i in [0, 1, 52, 53, CHUNK_ROWS - 1, CHUNK_ROWS, n - 1] {
+            if i % 53 == 0 {
+                assert!(c.get(i).is_null(), "row {i}");
+            } else {
+                assert_eq!(c.get(i).as_str(), Some(names[i % names.len()]), "row {i}");
+            }
+        }
+        // Packed footprint beats the unpacked Vec<Option<u32>> layout.
+        assert!(c.heap_bytes() < n * std::mem::size_of::<Option<u32>>());
+    }
+
+    #[test]
+    fn for_each_code_matches_get_code() {
+        let mut c = Column::new("s", ValueType::Str, true);
+        for i in 0..1000usize {
+            if i % 7 == 0 {
+                c.push(Value::Null).unwrap();
+            } else {
+                c.push(Value::from(format!("v{}", i % 19).as_str()))
+                    .unwrap();
+            }
+        }
+        c.freeze();
+        let mut scanned = Vec::new();
+        c.for_each_code(|row, code| scanned.push((row, code)));
+        assert_eq!(scanned.len(), 1000);
+        for (row, code) in scanned {
+            assert_eq!(code, c.get_code(row), "row {row}");
+        }
     }
 
     #[test]
@@ -319,6 +433,17 @@ mod tests {
         assert_eq!(c.rows_with_codes(&[code_a]), vec![0, 2, 5]);
         assert_eq!(c.rows_with_codes(&[code_a, code_c]), vec![0, 2, 3, 5]);
         assert!(c.rows_with_codes(&[]).is_empty());
+    }
+
+    #[test]
+    fn heap_bytes_counts_numeric_storage() {
+        let mut c = Column::new("qty", ValueType::Int, false);
+        for i in 0..100 {
+            c.push(Value::Int(i)).unwrap();
+        }
+        c.freeze();
+        // 8 bytes per row, no null bitmap: half the Vec<Option<i64>> cost.
+        assert_eq!(c.heap_bytes(), 100 * 8);
     }
 
     #[test]

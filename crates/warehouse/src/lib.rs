@@ -42,6 +42,7 @@
 
 pub mod builder;
 pub mod catalog;
+pub mod chunk;
 pub mod column;
 pub mod csv;
 pub mod describe;
@@ -54,6 +55,7 @@ pub mod value;
 
 pub use builder::WarehouseBuilder;
 pub use catalog::Warehouse;
+pub use chunk::{NullableVec, PackedCodes, CHUNK_ROWS};
 pub use column::{Column, ColumnData, StrDict};
 pub use csv::{export_table, load_csv_table};
 pub use describe::describe;

@@ -36,17 +36,16 @@ impl ColumnStats {
     /// Computes statistics over `col` in one scan.
     pub fn compute(col: &Column) -> Self {
         match col.data() {
-            ColumnData::Str { dict, codes } => {
+            ColumnData::Str { dict, .. } => {
                 let mut counts = vec![0u32; dict.len()];
                 let mut nulls = 0usize;
-                for c in codes {
-                    match c {
-                        Some(c) => counts[*c as usize] += 1,
-                        None => nulls += 1,
-                    }
-                }
+                // Word-at-a-time decode of the packed chunks.
+                col.for_each_code(|_, c| match c {
+                    Some(c) => counts[c as usize] += 1,
+                    None => nulls += 1,
+                });
                 ColumnStats {
-                    rows: codes.len(),
+                    rows: col.len(),
                     nulls,
                     // Sourced from the same accessor the dense/hash kernel
                     // cutoff uses, so the two can never disagree.
@@ -59,11 +58,11 @@ impl ColumnStats {
             ColumnData::Int(values) => {
                 let mut distinct = std::collections::HashSet::new();
                 let (mut nulls, mut min, mut max) = (0usize, None::<f64>, None::<f64>);
-                for v in values {
+                for v in values.iter() {
                     match v {
                         Some(x) => {
-                            distinct.insert(*x);
-                            let x = *x as f64;
+                            distinct.insert(x);
+                            let x = x as f64;
                             min = Some(min.map_or(x, |m: f64| m.min(x)));
                             max = Some(max.map_or(x, |m: f64| m.max(x)));
                         }
@@ -82,12 +81,12 @@ impl ColumnStats {
             ColumnData::Float(values) => {
                 let mut distinct = std::collections::HashSet::new();
                 let (mut nulls, mut min, mut max) = (0usize, None::<f64>, None::<f64>);
-                for v in values {
+                for v in values.iter() {
                     match v {
                         Some(x) => {
                             distinct.insert(x.to_bits());
-                            min = Some(min.map_or(*x, |m: f64| m.min(*x)));
-                            max = Some(max.map_or(*x, |m: f64| m.max(*x)));
+                            min = Some(min.map_or(x, |m: f64| m.min(x)));
+                            max = Some(max.map_or(x, |m: f64| m.max(x)));
                         }
                         None => nulls += 1,
                     }
@@ -174,6 +173,8 @@ pub struct TableSummary {
     pub name: String,
     /// Row count.
     pub rows: usize,
+    /// Compressed column-storage footprint in bytes, from chunk metadata.
+    pub heap_bytes: usize,
     /// True when this is the fact table.
     pub fact: bool,
     /// Per-column summaries, in definition order.
@@ -203,6 +204,7 @@ pub fn summarize(wh: &Warehouse) -> WarehouseSummary {
         .map(|(ti, t)| TableSummary {
             name: t.name().to_string(),
             rows: t.nrows(),
+            heap_bytes: t.heap_bytes(),
             fact: ti == fact.0 as usize,
             columns: t
                 .columns()

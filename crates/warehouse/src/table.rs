@@ -104,6 +104,20 @@ impl Table {
     pub fn row(&self, idx: usize) -> Vec<Value> {
         self.columns.iter().map(|c| c.get(idx)).collect()
     }
+
+    /// Seals partially-filled column chunks and trims spare capacity.
+    /// Called once when a warehouse build completes.
+    pub fn freeze(&mut self) {
+        for c in &mut self.columns {
+            c.freeze();
+        }
+    }
+
+    /// Heap bytes held by this table's compressed column storage, summed
+    /// from per-column chunk metadata.
+    pub fn heap_bytes(&self) -> usize {
+        self.columns.iter().map(Column::heap_bytes).sum()
+    }
 }
 
 #[cfg(test)]

@@ -68,8 +68,8 @@ proptest! {
             let planned = materialize_planned(wh, jidx, net, &planner, &exec)
                 .expect("star net evaluates");
             prop_assert_eq!(
-                naive.rows.as_words(),
-                planned.rows.as_words(),
+                naive.rows.to_words(),
+                planned.rows.to_words(),
                 "reorder={} fuse={} cached={} threads={}",
                 reorder, fuse_fact_local, cached, threads
             );
@@ -97,8 +97,8 @@ proptest! {
         for (net, sub) in nets.iter().zip(&batched) {
             let naive = materialize(wh, jidx, net);
             prop_assert_eq!(
-                naive.rows.as_words(),
-                sub.rows.as_words(),
+                naive.rows.to_words(),
+                sub.rows.to_words(),
                 "reorder={} fuse={} threads={}",
                 reorder, fuse_fact_local, threads
             );
