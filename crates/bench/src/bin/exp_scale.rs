@@ -11,10 +11,13 @@
 //!
 //! Methodology: per rung, the session is warmed once over every net
 //! (plans, row mappers, the measure vector), then each net is explored
-//! `repeats` times per thread count and the median latency kept. Warm
-//! state is the honest comparison across rungs — every rung amortizes the
-//! same one-time costs, so the curve isolates the per-query work that
-//! actually scales with the data.
+//! `repeats` times per thread count — rounds interleaved over the nets,
+//! keeping each net's best round (the same best-of-N discipline as
+//! `exp_obs`, so frequency drift cancels instead of inflating a rung) —
+//! and the p50 over the per-net minima kept. Warm state is the honest
+//! comparison across rungs — every rung amortizes the same one-time
+//! costs, so the curve isolates the per-query work that actually scales
+//! with the data.
 //!
 //! With `--check`, the run exits nonzero unless p50 latency grew by a
 //! smaller factor than the fact count between the smallest and largest
@@ -92,16 +95,19 @@ fn run_rung(
     let mut p50_ms = Vec::new();
     for &t in threads {
         kdap.set_threads(t);
-        let mut samples = Vec::with_capacity(nets.len() * repeats);
+        // Interleave rounds over the nets and keep each net's best, so
+        // CPU-frequency drift across the run cancels; the rung's number
+        // is the p50 over per-net minima.
+        let mut best = vec![f64::MAX; nets.len()];
         for _ in 0..repeats {
-            for net in &nets {
+            for (i, net) in nets.iter().enumerate() {
                 let t0 = Instant::now();
                 let ex = kdap.explore(net).expect("explore within budget");
-                samples.push(t0.elapsed().as_secs_f64() * 1e3);
+                best[i] = best[i].min(t0.elapsed().as_secs_f64() * 1e3);
                 std::hint::black_box(ex);
             }
         }
-        p50_ms.push((t, p50(&mut samples)));
+        p50_ms.push((t, p50(&mut best)));
     }
     Rung {
         scale,

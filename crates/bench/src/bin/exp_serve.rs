@@ -1,0 +1,270 @@
+//! Experiment E16 — multi-tenant server load test.
+//!
+//! Drives an in-process [`KdapServer`] (the same engine `kdap serve`
+//! runs) with N concurrent client connections over a mixed request
+//! stream — keyword explorations, differentiations, and stats reads —
+//! split across two tenants, and reports per-tenant throughput and
+//! latency percentiles. Each client thread opens one TCP connection per
+//! request (`Connection: close`), so the numbers include accept + parse
+//! overhead, matching what a simple HTTP client experiences.
+//!
+//! With `--check`, the run exits nonzero when any request fails (a
+//! non-2xx status) — the CI smoke gate. Admission-control 429s count as
+//! failures here because the drive rate is sized under `max_inflight`.
+//!
+//! Run:
+//!   cargo run --release -p kdap-bench --bin exp_serve
+//!   cargo run --release -p kdap-bench --bin exp_serve -- --small --clients=4 --check
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Instant;
+
+use kdap_bench::print_table;
+use kdap_core::Kdap;
+use kdap_datagen::{
+    build_aw_online, build_ebiz, generate_workload, EbizScale, Scale, WorkloadConfig,
+};
+use kdap_server::{EngineRegistry, KdapServer, ServerConfig};
+
+/// One completed request: tenant index, action, latency, HTTP status.
+struct Sample {
+    tenant: usize,
+    action: &'static str,
+    micros: u64,
+    status: u16,
+}
+
+const TENANTS: [&str; 2] = ["aw", "ebiz"];
+
+/// Minimal HTTP/1.1 client: one request per connection, returns the
+/// status code (0 on transport error).
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> u16 {
+    let Ok(mut stream) = TcpStream::connect(addr) else {
+        return 0;
+    };
+    let req = format!(
+        "{method} {path} HTTP/1.1\r\nHost: kdap\r\nConnection: close\r\n\
+         Content-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    if stream.write_all(req.as_bytes()).is_err() {
+        return 0;
+    }
+    let mut raw = Vec::new();
+    if stream.read_to_end(&mut raw).is_err() {
+        return 0;
+    }
+    let text = String::from_utf8_lossy(&raw);
+    text.split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+/// The request mix one client thread walks, round-robin: index `i`
+/// picks the tenant, the keyword, and the action; `offset` staggers each
+/// client into the cycle so tenants and actions interleave across the
+/// fleet.
+fn drive(
+    addr: SocketAddr,
+    keywords: &[Vec<String>],
+    requests: usize,
+    offset: usize,
+) -> Vec<Sample> {
+    let mut out = Vec::with_capacity(requests);
+    for i in (offset..).take(requests) {
+        // Shift the tenant by the mix cycle so every action lands on
+        // every tenant (plain `i % 2` would pin odd actions to one).
+        let tenant = (i + i / 6) % TENANTS.len();
+        let t = TENANTS[tenant];
+        let (action, method, path, body): (&'static str, _, String, String) = match i % 6 {
+            5 => ("stats", "GET", format!("/v1/{t}/stats"), String::new()),
+            3 => {
+                let kw = &keywords[tenant][i / 2 % keywords[tenant].len()];
+                (
+                    "differentiate",
+                    "POST",
+                    format!("/v1/{t}/differentiate"),
+                    format!("{{\"keywords\": \"{kw}\"}}"),
+                )
+            }
+            _ => {
+                let kw = &keywords[tenant][i / 2 % keywords[tenant].len()];
+                (
+                    "explore",
+                    "POST",
+                    format!("/v1/{t}/explore"),
+                    format!("{{\"keywords\": \"{kw}\"}}"),
+                )
+            }
+        };
+        let t0 = Instant::now();
+        let status = request(addr, method, &path, &body);
+        out.push(Sample {
+            tenant,
+            action,
+            micros: t0.elapsed().as_micros() as u64,
+            status,
+        });
+    }
+    out
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let small = args.iter().any(|a| a.contains("small"));
+    let check = args.iter().any(|a| a == "--check");
+    let clients: usize = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--clients="))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+    let per_client: usize = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--requests="))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if small { 30 } else { 120 });
+
+    eprintln!("building tenants...");
+    let aw = build_aw_online(Scale::small(), 42).expect("generator is valid");
+    let ebiz = build_ebiz(EbizScale::small(), 7).expect("generator is valid");
+    let kw_aw: Vec<String> = generate_workload(&aw, &WorkloadConfig::default())
+        .iter()
+        .take(16)
+        .map(|q| q.text())
+        .collect();
+    let kw_ebiz: Vec<String> = generate_workload(&ebiz, &WorkloadConfig::default())
+        .iter()
+        .take(16)
+        .map(|q| q.text())
+        .collect();
+    let keywords = vec![kw_aw, kw_ebiz];
+    let registry = EngineRegistry::new()
+        .with(
+            TENANTS[0],
+            Arc::new(
+                Kdap::builder(aw)
+                    .cache_capacity(64)
+                    .observability(true)
+                    .build()
+                    .expect("measure defined"),
+            ),
+        )
+        .with(
+            TENANTS[1],
+            Arc::new(
+                Kdap::builder(ebiz)
+                    .cache_capacity(64)
+                    .observability(true)
+                    .build()
+                    .expect("measure defined"),
+            ),
+        );
+    let config = ServerConfig {
+        port: 0,
+        workers: clients.max(4),
+        ..ServerConfig::default()
+    };
+    let server = KdapServer::start(registry, &config).expect("ephemeral bind");
+    let addr = server.addr();
+    eprintln!("server on {addr}, {clients} clients x {per_client} requests");
+
+    let t0 = Instant::now();
+    let samples: Vec<Sample> = std::thread::scope(|s| {
+        let keywords = &keywords;
+        let handles: Vec<_> = (0..clients)
+            .map(|c| s.spawn(move || drive(addr, keywords, per_client, c)))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let wall_s = t0.elapsed().as_secs_f64();
+    server.shutdown();
+
+    // Aggregate per (tenant, action) and per tenant.
+    let mut by_key: BTreeMap<(usize, &'static str), Vec<u64>> = BTreeMap::new();
+    let mut failures = 0usize;
+    for sm in &samples {
+        if !(200..300).contains(&sm.status) {
+            failures += 1;
+        }
+        by_key
+            .entry((sm.tenant, sm.action))
+            .or_default()
+            .push(sm.micros);
+    }
+    let total = samples.len();
+    println!(
+        "## E16 — server load ({clients} clients, {total} requests, {:.2}s wall, \
+         {:.0} req/s, {failures} failures)\n",
+        wall_s,
+        total as f64 / wall_s
+    );
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    for ((tenant, action), mut lat) in by_key {
+        lat.sort_unstable();
+        let (p50, p95, p99) = (
+            percentile(&lat, 0.50),
+            percentile(&lat, 0.95),
+            percentile(&lat, 0.99),
+        );
+        rows.push(vec![
+            TENANTS[tenant].to_string(),
+            action.to_string(),
+            format!("{}", lat.len()),
+            format!("{:.2}", p50 as f64 / 1e3),
+            format!("{:.2}", p95 as f64 / 1e3),
+            format!("{:.2}", p99 as f64 / 1e3),
+        ]);
+        json_rows.push(format!(
+            "    {{\"tenant\": \"{}\", \"action\": \"{}\", \"requests\": {}, \
+             \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}}}",
+            TENANTS[tenant],
+            action,
+            lat.len(),
+            p50 as f64 / 1e3,
+            p95 as f64 / 1e3,
+            p99 as f64 / 1e3,
+        ));
+    }
+    print_table(
+        &["tenant", "action", "requests", "p50 ms", "p95 ms", "p99 ms"],
+        &rows,
+    );
+
+    let json = format!(
+        "{{\n  \"experiment\": \"E16\",\n  \"clients\": {clients},\n  \
+         \"requests\": {total},\n  \"wall_s\": {wall_s:.3},\n  \
+         \"throughput_rps\": {:.1},\n  \"failures\": {failures},\n  \
+         \"latencies\": [\n{}\n  ]\n}}\n",
+        total as f64 / wall_s,
+        json_rows.join(",\n"),
+    );
+    let path = "results/BENCH_serve.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+
+    if check {
+        assert!(
+            failures == 0,
+            "{failures} of {total} requests failed under load"
+        );
+        println!("\ncheck passed: {total} requests, zero failures");
+    }
+}

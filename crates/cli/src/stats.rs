@@ -65,6 +65,17 @@ pub fn stats_text(kdap: &Kdap) -> String {
         "rowset containers: {} array / {} bitmap / {} run\n",
         h.arrays, h.bitmaps, h.runs
     ));
+    out.push_str(&format!(
+        "kernels: {} active ({} detected: {}){}\n",
+        kdap.kernel_tier().name(),
+        kdap_core::kernel::detected_tier().name(),
+        kdap_core::kernel::detected_features().join(", "),
+        if kdap_core::kernel::simd_disabled_by_env() {
+            "  [KDAP_NO_SIMD]"
+        } else {
+            ""
+        },
+    ));
     out
 }
 
@@ -126,6 +137,18 @@ pub fn stats_json(kdap: &Kdap) -> String {
         ",\n  \"rowset_containers\": {{\"array\": {}, \"bitmap\": {}, \"run\": {}}}",
         h.arrays, h.bitmaps, h.runs
     ));
+    out.push_str(&format!(
+        ",\n  \"kernel\": {{\"active\": \"{}\", \"detected\": \"{}\", \"features\": [{}], \
+         \"no_simd_env\": {}}}",
+        kdap.kernel_tier().name(),
+        kdap_core::kernel::detected_tier().name(),
+        kdap_core::kernel::detected_features()
+            .iter()
+            .map(|f| format!("\"{f}\""))
+            .collect::<Vec<_>>()
+            .join(", "),
+        kdap_core::kernel::simd_disabled_by_env(),
+    ));
     out.push_str("\n}");
     out
 }
@@ -153,6 +176,14 @@ mod tests {
         assert!(out.contains("semi-join cache:"), "{out}");
         assert!(out.contains("KB compressed"), "{out}");
         assert!(out.contains("rowset containers:"), "{out}");
+        assert!(out.contains("kernels:"), "{out}");
+        assert!(
+            out.contains(&format!(
+                "{} detected",
+                kdap_core::kernel::detected_tier().name()
+            )),
+            "{out}"
+        );
     }
 
     #[test]
@@ -165,6 +196,14 @@ mod tests {
         assert!(out.contains("\"subspace_cache\""), "{out}");
         assert!(out.contains("\"heap_bytes\""), "{out}");
         assert!(out.contains("\"rowset_containers\""), "{out}");
+        assert!(out.contains("\"kernel\""), "{out}");
+        assert!(
+            out.contains(&format!(
+                "\"active\": \"{}\"",
+                kdap_core::kernel::active_tier().name()
+            )),
+            "{out}"
+        );
         assert_eq!(
             out.matches('{').count(),
             out.matches('}').count(),

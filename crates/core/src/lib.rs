@@ -60,9 +60,10 @@ pub use subspace::{
     try_materialize_with, Subspace,
 };
 
+pub use kdap_query::kernel;
 pub use kdap_query::{
-    Breach, ContainerHistogram, ExecConfig, Fingerprint, LogicalPlan, MeasureVector, PhysicalPlan,
-    PlannerConfig, QueryContext, SemijoinCache,
+    Breach, ContainerHistogram, ExecConfig, Fingerprint, KernelTier, LogicalPlan, MeasureVector,
+    PhysicalPlan, PlannerConfig, QueryContext, SemijoinCache,
 };
 
 pub use kdap_obs::{CacheCounters, CacheOutcome, MetricsSnapshot, Obs, ProfileNode, QueryProfile};

@@ -52,6 +52,7 @@ pub struct KdapBuilder {
     threads: usize,
     optimizer: bool,
     observability: bool,
+    force_scalar: bool,
     deadline: Option<Duration>,
     memory_budget: Option<u64>,
     cancel: Option<CancelToken>,
@@ -71,6 +72,7 @@ impl KdapBuilder {
             threads: 1,
             optimizer: true,
             observability: false,
+            force_scalar: false,
             deadline: None,
             memory_budget: None,
             cancel: None,
@@ -115,6 +117,16 @@ impl KdapBuilder {
     /// Results are identical for every setting.
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Forces the scalar kernel tier for this session (default: off),
+    /// overriding runtime CPU dispatch exactly like the `KDAP_NO_SIMD`
+    /// environment variable but scoped to one session. Results are
+    /// bit-identical either way; the scalar tier is the reference the
+    /// SIMD tiers are tested against.
+    pub fn force_scalar_kernels(mut self, force: bool) -> Self {
+        self.force_scalar = force;
         self
     }
 
@@ -195,7 +207,8 @@ impl KdapBuilder {
         } else {
             ExecConfig::with_threads(self.threads)
         }
-        .with_obs(obs.clone());
+        .with_obs(obs.clone())
+        .with_force_scalar(self.force_scalar);
         let mut planner = if self.optimizer {
             Planner::optimized()
         } else {
@@ -314,12 +327,21 @@ impl Kdap {
 
     /// Changes the worker-thread count (`1` = serial, `0` = all cores).
     pub fn set_threads(&mut self, threads: usize) {
+        let force_scalar = self.exec.force_scalar;
         self.exec = if threads == 1 {
             ExecConfig::serial()
         } else {
             ExecConfig::with_threads(threads)
         }
-        .with_obs(self.obs.clone());
+        .with_obs(self.obs.clone())
+        .with_force_scalar(force_scalar);
+    }
+
+    /// The kernel tier this session's batch kernels dispatch to: the
+    /// process-wide detected tier unless the session (or `KDAP_NO_SIMD`)
+    /// forces the scalar reference tier.
+    pub fn kernel_tier(&self) -> kdap_query::KernelTier {
+        self.exec.kernel_tier()
     }
 
     /// Per-query wall-clock deadline (None = unlimited).

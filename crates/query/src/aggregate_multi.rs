@@ -25,6 +25,7 @@
 //! bit-identical to the per-facet kernels at any thread count
 //! (property-tested in `tests/facet_equivalence.rs`).
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -34,6 +35,7 @@ use crate::aggregate::{Accumulator, AggFunc, Bucketizer, AGG_CHUNK_WORDS};
 use crate::bitmap::RowSet;
 use crate::error::QueryError;
 use crate::exec::{chunk_ranges, par_map, ExecConfig};
+use crate::kernel::{self, NULL_CODE};
 
 /// Default dictionary-cardinality cutoff for the dense accumulator path.
 ///
@@ -76,6 +78,12 @@ impl MeasureVector {
     /// Number of fact rows covered.
     pub fn len(&self) -> usize {
         self.values.len()
+    }
+
+    /// The raw decoded values, one `f64` per fact row with NULL stored as
+    /// NaN — the gather source for the batch group-by kernels.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.values
     }
 
     /// True when the fact table has no rows.
@@ -179,10 +187,22 @@ pub enum FacetGroups {
 }
 
 impl FacetGroups {
-    fn new_for(spec: &FacetSpec, wh: &Warehouse, dense_limit: usize) -> Self {
+    /// Empty groups for `spec`; `dense_size` (when set) replaces the column
+    /// statistics as the dense-array size for categorical specs — the
+    /// stale-statistics simulation hook used by the OOB-promotion tests.
+    fn new_for_sized(
+        spec: &FacetSpec,
+        wh: &Warehouse,
+        dense_limit: usize,
+        dense_size: Option<usize>,
+    ) -> Self {
         match spec {
             FacetSpec::Categorical { attr, .. } => {
-                match wh.column(*attr).cardinality().filter(|&c| c <= dense_limit) {
+                let card = match dense_size {
+                    Some(n) => Some(n),
+                    None => wh.column(*attr).cardinality(),
+                };
+                match card.filter(|&c| c <= dense_limit) {
                     Some(card) => FacetGroups::Dense {
                         stats: vec![GroupStats::default(); card],
                     },
@@ -433,6 +453,100 @@ pub fn multi_group_by(
     )
 }
 
+/// One predecoded attribute column for the batch scan path.
+enum DecodedCol {
+    /// Total spec, or a column the spec's accessor cannot decode (e.g. a
+    /// categorical spec over a numeric column) — the batch path skips
+    /// every row, exactly like the per-row accessors returning `None`.
+    Missing,
+    /// Dictionary codes per attribute-table row, NULL as [`NULL_CODE`].
+    Codes(Vec<u32>),
+    /// Float values per attribute-table row, NULL as NaN.
+    Floats(Vec<f64>),
+}
+
+thread_local! {
+    /// Per-worker batch buffers: selected row indices and their gathered
+    /// measure values for one chunk (≤ 8192 rows = 96 KiB), reused across
+    /// chunks so the steady-state scan allocates nothing.
+    static BATCH_SCRATCH: RefCell<(Vec<u32>, Vec<f64>)> =
+        const { RefCell::new((Vec::new(), Vec::new())) };
+}
+
+/// Batch categorical accumulation over one chunk's gathered rows, with
+/// the same mid-scan dense→sparse promotion as [`update_categorical`]:
+/// the dense loop runs bounds-checked, and the first out-of-range code
+/// (stale statistics) promotes the partial and resumes sparsely from the
+/// same row.
+fn batch_categorical(
+    g: &mut FacetGroups,
+    codes: &[u32],
+    mapper: &[Option<u32>],
+    row_buf: &[u32],
+    meas_buf: &[f64],
+    oob: &mut u64,
+) {
+    let len = row_buf.len();
+    let mut k = 0;
+    loop {
+        match g {
+            FacetGroups::Dense { stats } => {
+                let mut hit_oob = false;
+                while k < len {
+                    let row = row_buf[k] as usize;
+                    let Some(t) = mapper[row] else {
+                        k += 1;
+                        continue;
+                    };
+                    let code = codes[t as usize];
+                    if code == NULL_CODE {
+                        k += 1;
+                        continue;
+                    }
+                    if let Some(s) = stats.get_mut(code as usize) {
+                        s.rows += 1;
+                        let m = meas_buf[k];
+                        if !m.is_nan() {
+                            s.acc.add(m);
+                        }
+                        k += 1;
+                    } else {
+                        hit_oob = true;
+                        break;
+                    }
+                }
+                if !hit_oob {
+                    return;
+                }
+                *oob += 1;
+                promote_to_sparse(g);
+                // Row k is re-handled by the sparse arm.
+            }
+            FacetGroups::Sparse { stats } => {
+                while k < len {
+                    let row = row_buf[k] as usize;
+                    let m = meas_buf[k];
+                    k += 1;
+                    let Some(t) = mapper[row] else {
+                        continue;
+                    };
+                    let code = codes[t as usize];
+                    if code == NULL_CODE {
+                        continue;
+                    }
+                    let s = stats.entry(code).or_default();
+                    s.rows += 1;
+                    if !m.is_nan() {
+                        s.acc.add(m);
+                    }
+                }
+                return;
+            }
+            _ => unreachable!("categorical groups are dense or sparse"),
+        }
+    }
+}
+
 /// Scans `rows` once, feeding every spec's accumulators per row.
 ///
 /// Returns one [`FacetGroups`] per spec, in spec order. Categorical specs
@@ -443,6 +557,17 @@ pub fn multi_group_by(
 /// Parallel runs chunk the bitmap exactly like the per-facet kernels
 /// ([`AGG_CHUNK_WORDS`] words, serial below two chunks) and merge
 /// partials in chunk order, so output is independent of the thread count.
+///
+/// When the session's [`ExecConfig::kernel_tier`] is above Scalar, each
+/// chunk runs as a **batch**: the selected row indices are collected into
+/// a reusable buffer, their measure values gathered in one vectorized
+/// pass against predecoded attribute columns (bulk-unpacked through the
+/// dispatched kernels), and the per-spec accumulation runs as a tight
+/// loop per spec over those buffers. Because every gathered row is
+/// visited in the same ascending order and floating-point accumulation
+/// stays strictly sequential per group, the batch path is bit-identical
+/// to the per-row reference path (`force_scalar` / `KDAP_NO_SIMD`),
+/// which `tests/simd_equivalence.rs` proves.
 ///
 /// Governance (when `exec` carries a [`crate::QueryContext`]) is polled
 /// per chunk, and every chunk's accumulator allocation is charged to the
@@ -455,6 +580,24 @@ pub fn multi_group_by_exec(
     exec: &ExecConfig,
     dense_limit: usize,
 ) -> Result<Vec<FacetGroups>, QueryError> {
+    multi_group_by_exec_sized(wh, specs, rows, mv, exec, dense_limit, None)
+}
+
+/// [`multi_group_by_exec`] with an explicit dense-array size override for
+/// categorical specs, simulating stale column statistics (dense arrays
+/// smaller than the live code range) so tests can drive the mid-scan
+/// OOB promotion path deterministically. Not part of the stable API.
+#[doc(hidden)]
+pub fn multi_group_by_exec_sized(
+    wh: &Warehouse,
+    specs: &[FacetSpec],
+    rows: &RowSet,
+    mv: &MeasureVector,
+    exec: &ExecConfig,
+    dense_limit: usize,
+    dense_size: Option<usize>,
+) -> Result<Vec<FacetGroups>, QueryError> {
+    exec.check("multi_group_by")?;
     let cols: Vec<_> = specs
         .iter()
         .map(|s| match s {
@@ -464,10 +607,135 @@ pub fn multi_group_by_exec(
             FacetSpec::Total => None,
         })
         .collect();
-    let accumulate = |range: std::ops::Range<usize>| {
+    // Tier dispatch: the per-row closure chain below is the retained
+    // scalar reference; everything else batches. Universes past u32 row
+    // indices keep the reference path (gather buffers index with u32).
+    let tier = exec.kernel_tier();
+    let use_batch = !tier.is_scalar() && rows.universe() <= u32::MAX as usize;
+    // Predecode each spec's attribute column once per scan (codes with a
+    // NULL sentinel, floats with NaN) so chunk workers only gather.
+    let decoded: Vec<DecodedCol> = if use_batch {
+        let mut bytes = 0u64;
+        let decoded: Vec<DecodedCol> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| match s {
+                FacetSpec::Categorical { .. } => {
+                    let mut codes = Vec::new();
+                    // Infallible for Str columns; numeric columns yield
+                    // Missing, matching get_code's permanent None.
+                    if cols[i].is_some_and(|c| c.unpack_codes_into(&mut codes)) {
+                        bytes += codes.len() as u64 * 4;
+                        DecodedCol::Codes(codes)
+                    } else {
+                        DecodedCol::Missing
+                    }
+                }
+                FacetSpec::Buckets { .. } | FacetSpec::NumericDomain { .. } => {
+                    let mut vals = Vec::new();
+                    if cols[i].is_some_and(|c| c.unpack_floats_into(&mut vals)) {
+                        bytes += vals.len() as u64 * 8;
+                        DecodedCol::Floats(vals)
+                    } else {
+                        DecodedCol::Missing
+                    }
+                }
+                FacetSpec::Total => DecodedCol::Missing,
+            })
+            .collect();
+        exec.charge("multi_group_by", bytes)?;
+        decoded
+    } else {
+        Vec::new()
+    };
+    let accumulate_batch = |range: std::ops::Range<usize>| {
         let mut groups: Vec<FacetGroups> = specs
             .iter()
-            .map(|s| FacetGroups::new_for(s, wh, dense_limit))
+            .map(|s| FacetGroups::new_for_sized(s, wh, dense_limit, dense_size))
+            .collect();
+        let mut oob = 0u64;
+        BATCH_SCRATCH.with(|scratch| {
+            let (row_buf, meas_buf) = &mut *scratch.borrow_mut();
+            rows.collect_rows_in_word_range(range, row_buf);
+            if row_buf.is_empty() {
+                return;
+            }
+            meas_buf.clear();
+            meas_buf.resize(row_buf.len(), 0.0);
+            kernel::gather_f64(mv.as_slice(), row_buf, meas_buf);
+            for (i, spec) in specs.iter().enumerate() {
+                let g = &mut groups[i];
+                match (spec, &decoded[i]) {
+                    (FacetSpec::Categorical { mapper, .. }, DecodedCol::Codes(codes)) => {
+                        batch_categorical(g, codes, mapper, row_buf, meas_buf, &mut oob);
+                    }
+                    (
+                        FacetSpec::Buckets {
+                            mapper, buckets, ..
+                        },
+                        DecodedCol::Floats(vals),
+                    ) => {
+                        let FacetGroups::Buckets { stats } = g else {
+                            unreachable!("groups[i] was built from specs[i]")
+                        };
+                        for (k, &row) in row_buf.iter().enumerate() {
+                            let Some(t) = mapper[row as usize] else {
+                                continue;
+                            };
+                            let Some(b) = buckets.bucket_of(vals[t as usize]) else {
+                                continue;
+                            };
+                            let s = &mut stats[b];
+                            s.rows += 1;
+                            let m = meas_buf[k];
+                            if !m.is_nan() {
+                                s.acc.add(m);
+                            }
+                        }
+                    }
+                    (FacetSpec::NumericDomain { mapper, .. }, DecodedCol::Floats(vals)) => {
+                        let FacetGroups::Domain { min, max, any } = g else {
+                            unreachable!("groups[i] was built from specs[i]")
+                        };
+                        for &row in row_buf.iter() {
+                            let Some(t) = mapper[row as usize] else {
+                                continue;
+                            };
+                            let v = vals[t as usize];
+                            if v.is_finite() {
+                                *min = min.min(v);
+                                *max = max.max(v);
+                                *any = true;
+                            }
+                        }
+                    }
+                    (FacetSpec::Total, _) => {
+                        let FacetGroups::Total { stats } = g else {
+                            unreachable!("groups[i] was built from specs[i]")
+                        };
+                        for &m in meas_buf.iter() {
+                            stats.rows += 1;
+                            if !m.is_nan() {
+                                stats.acc.add(m);
+                            }
+                        }
+                    }
+                    // Undecodable column: the accessors would return None
+                    // for every row — nothing to accumulate.
+                    (_, DecodedCol::Missing) => {}
+                    _ => unreachable!("decoded[i] was built from specs[i]"),
+                }
+            }
+        });
+        (groups, oob)
+    };
+    let accumulate = |range: std::ops::Range<usize>| {
+        if use_batch {
+            return accumulate_batch(range);
+        }
+        let mut groups: Vec<FacetGroups> = specs
+            .iter()
+            .map(|s| FacetGroups::new_for_sized(s, wh, dense_limit, dense_size))
             .collect();
         let mut oob = 0u64;
         rows.for_each_in_word_range(range, |row| {
@@ -542,7 +810,7 @@ pub fn multi_group_by_exec(
     // bucket slots), charged to the budget before the chunk scans.
     let partial_bytes: u64 = specs
         .iter()
-        .map(|s| FacetGroups::new_for(s, wh, dense_limit).heap_bytes())
+        .map(|s| FacetGroups::new_for_sized(s, wh, dense_limit, dense_size).heap_bytes())
         .sum();
     // Each chunk polls governance, then measures its own wall time (a
     // no-op with obs off); the coordinator records them in chunk order.
@@ -570,7 +838,7 @@ pub fn multi_group_by_exec(
         };
     let mut merged: Vec<FacetGroups> = specs
         .iter()
-        .map(|s| FacetGroups::new_for(s, wh, dense_limit))
+        .map(|s| FacetGroups::new_for_sized(s, wh, dense_limit, dense_size))
         .collect();
     for (partial, _, _) in &partials {
         for (m, p) in merged.iter_mut().zip(partial) {
@@ -590,6 +858,9 @@ pub fn multi_group_by_exec(
             .count();
         exec.obs.inc("query.agg_dense_dispatch", dense as u64);
         exec.obs.inc("query.agg_hash_dispatch", hash as u64);
+        // Which kernel tier ran this scan (batch path above Scalar).
+        exec.obs
+            .inc(&format!("query.kernel_tier.{}", tier.name()), 1);
         if oob_total > 0 {
             exec.obs.inc("query.agg_dense_oob_fallback", oob_total);
         }
@@ -605,6 +876,7 @@ pub fn multi_group_by_exec(
                     ("chunks".into(), partials.len().to_string()),
                     ("dense".into(), dense.to_string()),
                     ("hash".into(), hash.to_string()),
+                    ("kernel".into(), tier.name().to_string()),
                 ],
             },
         );

@@ -24,6 +24,7 @@
 
 use crate::error::QueryError;
 use crate::exec::{chunk_ranges, par_map, ExecConfig};
+use crate::kernel;
 
 /// Rows per block: matches the warehouse chunk size so one block of rows
 /// corresponds to one packed column chunk.
@@ -115,7 +116,7 @@ impl Container {
     fn cardinality(&self) -> usize {
         match self {
             Container::Array(a) => a.len(),
-            Container::Bitmap(w) => w.iter().map(|w| w.count_ones() as usize).sum(),
+            Container::Bitmap(w) => kernel::popcount_words(w),
             Container::Run(rs) => rs.iter().map(|&(s, e)| e as usize - s as usize + 1).sum(),
         }
     }
@@ -205,18 +206,14 @@ impl Container {
     }
 
     /// Builds the canonical (smallest) container for the given words.
+    /// The two counting passes (popcount, 0→1 run transitions) run
+    /// through the dispatched vectorized kernels.
     fn from_words(words: &[u64]) -> Container {
-        let card: usize = words.iter().map(|w| w.count_ones() as usize).sum();
+        let card = kernel::popcount_words(words);
         if card == 0 {
             return Container::empty();
         }
-        // Count 0→1 transitions (runs) in one pass.
-        let mut n_runs = 0usize;
-        let mut carry = 0u64;
-        for &w in words {
-            n_runs += (w & !((w << 1) | carry)).count_ones() as usize;
-            carry = w >> 63;
-        }
+        let n_runs = kernel::count_run_starts(words);
         let run_bytes = n_runs * 4;
         let array_bytes = card * 2;
         let bitmap_bytes = words.len() * 8;
@@ -425,18 +422,16 @@ fn op_block(a: &Container, b: &Container, op: SetOp, limit: usize) -> Container 
         }
         _ => {
             // General path: materialize both sides to words, combine with
-            // one word-at-a-time loop, re-canonicalize the result.
+            // one dispatched vectorized pass, re-canonicalize the result.
             let n_words = limit.div_ceil(64);
             let mut wa = [0u64; BLOCK_WORDS];
             let mut wb = [0u64; BLOCK_WORDS];
             a.write_words(&mut wa[..n_words]);
             b.write_words(&mut wb[..n_words]);
-            for (x, y) in wa[..n_words].iter_mut().zip(&wb[..n_words]) {
-                *x = match op {
-                    SetOp::And => *x & y,
-                    SetOp::Or => *x | y,
-                    SetOp::AndNot => *x & !y,
-                };
+            match op {
+                SetOp::And => kernel::and_words(&mut wa[..n_words], &wb[..n_words]),
+                SetOp::Or => kernel::or_words(&mut wa[..n_words], &wb[..n_words]),
+                SetOp::AndNot => kernel::andnot_words(&mut wa[..n_words], &wb[..n_words]),
             }
             Container::from_words(&wa[..n_words])
         }
@@ -763,6 +758,18 @@ impl RowSet {
             cur: start,
             end: end.max(start),
         }
+    }
+
+    /// Collects every set row in the given word range into `out`
+    /// (cleared first) as `u32` row indices, in ascending order — the
+    /// gather-buffer feeder for batch kernels that want a materialized
+    /// index list (one tight pass per block) instead of a per-row
+    /// callback. The universe must fit in `u32` (callers with > 4Bi rows
+    /// keep the callback path).
+    pub fn collect_rows_in_word_range(&self, words: std::ops::Range<usize>, out: &mut Vec<u32>) {
+        debug_assert!(self.nrows <= u32::MAX as usize + 1);
+        out.clear();
+        self.for_each_in_word_range(words, |r| out.push(r as u32));
     }
 
     /// Visits every set row in the given word range in ascending order —

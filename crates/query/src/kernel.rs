@@ -1,0 +1,413 @@
+//! Runtime-dispatched vectorized set-algebra and gather kernels.
+//!
+//! Sibling of [`kdap_warehouse::kernel`] (which owns tier detection and
+//! code unpacking — both re-exported here): this module holds the
+//! query-side batch kernels that the hybrid [`crate::RowSet`] containers
+//! and the fused group-by build on:
+//!
+//! * bitwise AND / OR / ANDNOT over `u64` word slices (8 KiB block
+//!   bitmaps),
+//! * population count and run-start count (the two passes of
+//!   `Container::from_words` canonicalization),
+//! * `f64` gather by `u32` index (measure gathers in the batch group-by).
+//!
+//! All kernels move integers or copy floats — nothing reassociates
+//! floating-point arithmetic — so every tier is bit-identical to the
+//! public `_scalar` reference twins, which `tests/simd_equivalence.rs`
+//! checks property-style.
+
+pub use kdap_warehouse::kernel::{
+    active_tier, apply_null_sentinel, detected_features, detected_tier, simd_disabled_by_env,
+    unpack_words, unpack_words_scalar, KernelTier, NULL_CODE,
+};
+
+/// Scalar reference: `dst[i] &= src[i]`.
+pub fn and_words_scalar(dst: &mut [u64], src: &[u64]) {
+    for (x, y) in dst.iter_mut().zip(src) {
+        *x &= y;
+    }
+}
+
+/// Scalar reference: `dst[i] |= src[i]`.
+pub fn or_words_scalar(dst: &mut [u64], src: &[u64]) {
+    for (x, y) in dst.iter_mut().zip(src) {
+        *x |= y;
+    }
+}
+
+/// Scalar reference: `dst[i] &= !src[i]`.
+pub fn andnot_words_scalar(dst: &mut [u64], src: &[u64]) {
+    for (x, y) in dst.iter_mut().zip(src) {
+        *x &= !y;
+    }
+}
+
+/// Scalar reference: total set bits in `words`.
+pub fn popcount_words_scalar(words: &[u64]) -> usize {
+    words.iter().map(|w| w.count_ones() as usize).sum()
+}
+
+/// Scalar reference: number of 0→1 transitions across `words` (the run
+/// count of the bitmap, carrying the top bit across word boundaries).
+pub fn count_run_starts_scalar(words: &[u64]) -> usize {
+    let mut n = 0usize;
+    let mut carry = 0u64;
+    for &w in words {
+        n += (w & !((w << 1) | carry)).count_ones() as usize;
+        carry = w >> 63;
+    }
+    n
+}
+
+/// Scalar reference: `out[k] = values[idx[k]]`; all indices must be in
+/// bounds.
+pub fn gather_f64_scalar(values: &[f64], idx: &[u32], out: &mut [f64]) {
+    for (slot, &i) in out.iter_mut().zip(idx) {
+        *slot = values[i as usize];
+    }
+}
+
+/// Four-wide unrolled twins for the Sse2/Neon tiers: fixed-trip inner
+/// loops that LLVM auto-vectorizes at the target's native width.
+mod unrolled {
+    pub fn and_words(dst: &mut [u64], src: &[u64]) {
+        let n4 = dst.len().min(src.len()) / 4 * 4;
+        for (x, y) in dst[..n4].chunks_exact_mut(4).zip(src[..n4].chunks_exact(4)) {
+            x[0] &= y[0];
+            x[1] &= y[1];
+            x[2] &= y[2];
+            x[3] &= y[3];
+        }
+        super::and_words_scalar(&mut dst[n4..], &src[n4..]);
+    }
+
+    pub fn or_words(dst: &mut [u64], src: &[u64]) {
+        let n4 = dst.len().min(src.len()) / 4 * 4;
+        for (x, y) in dst[..n4].chunks_exact_mut(4).zip(src[..n4].chunks_exact(4)) {
+            x[0] |= y[0];
+            x[1] |= y[1];
+            x[2] |= y[2];
+            x[3] |= y[3];
+        }
+        super::or_words_scalar(&mut dst[n4..], &src[n4..]);
+    }
+
+    pub fn andnot_words(dst: &mut [u64], src: &[u64]) {
+        let n4 = dst.len().min(src.len()) / 4 * 4;
+        for (x, y) in dst[..n4].chunks_exact_mut(4).zip(src[..n4].chunks_exact(4)) {
+            x[0] &= !y[0];
+            x[1] &= !y[1];
+            x[2] &= !y[2];
+            x[3] &= !y[3];
+        }
+        super::andnot_words_scalar(&mut dst[n4..], &src[n4..]);
+    }
+
+    pub fn popcount_words(words: &[u64]) -> usize {
+        let mut acc = [0usize; 4];
+        let n4 = words.len() / 4 * 4;
+        for c in words[..n4].chunks_exact(4) {
+            acc[0] += c[0].count_ones() as usize;
+            acc[1] += c[1].count_ones() as usize;
+            acc[2] += c[2].count_ones() as usize;
+            acc[3] += c[3].count_ones() as usize;
+        }
+        acc[0] + acc[1] + acc[2] + acc[3] + super::popcount_words_scalar(&words[n4..])
+    }
+}
+
+/// Dispatched `dst[i] &= src[i]` over `min(dst.len(), src.len())` words.
+pub fn and_words(dst: &mut [u64], src: &[u64]) {
+    match active_tier() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: tier Avx2 is only returned after runtime detection.
+        KernelTier::Avx2 => unsafe { avx2::and_words(dst, src) },
+        KernelTier::Scalar => and_words_scalar(dst, src),
+        _ => unrolled::and_words(dst, src),
+    }
+}
+
+/// Dispatched `dst[i] |= src[i]` over `min(dst.len(), src.len())` words.
+pub fn or_words(dst: &mut [u64], src: &[u64]) {
+    match active_tier() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: tier Avx2 is only returned after runtime detection.
+        KernelTier::Avx2 => unsafe { avx2::or_words(dst, src) },
+        KernelTier::Scalar => or_words_scalar(dst, src),
+        _ => unrolled::or_words(dst, src),
+    }
+}
+
+/// Dispatched `dst[i] &= !src[i]` over `min(dst.len(), src.len())` words.
+pub fn andnot_words(dst: &mut [u64], src: &[u64]) {
+    match active_tier() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: tier Avx2 is only returned after runtime detection.
+        KernelTier::Avx2 => unsafe { avx2::andnot_words(dst, src) },
+        KernelTier::Scalar => andnot_words_scalar(dst, src),
+        _ => unrolled::andnot_words(dst, src),
+    }
+}
+
+/// Dispatched population count over `words`.
+pub fn popcount_words(words: &[u64]) -> usize {
+    match active_tier() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: tier Avx2 is only returned after runtime detection.
+        KernelTier::Avx2 => unsafe { avx2::popcount_words(words) },
+        KernelTier::Scalar => popcount_words_scalar(words),
+        _ => unrolled::popcount_words(words),
+    }
+}
+
+/// Dispatched run-start (0→1 transition) count over `words`.
+pub fn count_run_starts(words: &[u64]) -> usize {
+    match active_tier() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: tier Avx2 is only returned after runtime detection.
+        KernelTier::Avx2 => unsafe { avx2::count_run_starts(words) },
+        // The word-serial carry chain is already tight; the unrolled tiers
+        // share the scalar loop.
+        _ => count_run_starts_scalar(words),
+    }
+}
+
+/// Dispatched gather: `out[k] = values[idx[k]]` for `k` in
+/// `0..min(idx.len(), out.len())`. Panics (scalar) or debug-asserts
+/// (AVX2) on out-of-bounds indices — callers pass row indices they
+/// collected from a `RowSet` over the same universe.
+pub fn gather_f64(values: &[f64], idx: &[u32], out: &mut [f64]) {
+    match active_tier() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: tier Avx2 is detection-proven; indices are validated
+        // against `values.len()` inside.
+        KernelTier::Avx2 => unsafe { avx2::gather_f64(values, idx, out) },
+        _ => gather_f64_scalar(values, idx, out),
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    //! Explicit AVX2 kernels; callers must have proved AVX2 support via
+    //! runtime detection.
+    use std::arch::x86_64::*;
+
+    macro_rules! binop {
+        ($name:ident, $combine:expr, $tail:path) => {
+            /// # Safety
+            /// Caller must guarantee AVX2 (runtime-detected).
+            #[target_feature(enable = "avx2")]
+            pub unsafe fn $name(dst: &mut [u64], src: &[u64]) {
+                let n = dst.len().min(src.len());
+                let n4 = n / 4 * 4;
+                let d = dst.as_mut_ptr();
+                let s = src.as_ptr();
+                let mut i = 0;
+                while i < n4 {
+                    let x = _mm256_loadu_si256(d.add(i) as *const __m256i);
+                    let y = _mm256_loadu_si256(s.add(i) as *const __m256i);
+                    #[allow(clippy::redundant_closure_call)]
+                    _mm256_storeu_si256(d.add(i) as *mut __m256i, ($combine)(x, y));
+                    i += 4;
+                }
+                $tail(&mut dst[n4..n], &src[n4..n]);
+            }
+        };
+    }
+
+    binop!(
+        and_words,
+        |x, y| _mm256_and_si256(x, y),
+        super::and_words_scalar
+    );
+    binop!(
+        or_words,
+        |x, y| _mm256_or_si256(x, y),
+        super::or_words_scalar
+    );
+    binop!(
+        andnot_words,
+        // vpandn computes !a & b, so swap the operands.
+        |x, y| _mm256_andnot_si256(y, x),
+        super::andnot_words_scalar
+    );
+
+    /// Per-byte popcount of one 256-bit lane via the nibble-LUT trick,
+    /// horizontally summed into four u64 lanes by `vpsadbw`.
+    ///
+    /// # Safety
+    /// Caller must guarantee AVX2 (runtime-detected).
+    #[target_feature(enable = "avx2")]
+    unsafe fn popcount256(v: __m256i) -> __m256i {
+        let lut = _mm256_setr_epi8(
+            0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, //
+            0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+        );
+        let low_mask = _mm256_set1_epi8(0x0f);
+        let lo = _mm256_and_si256(v, low_mask);
+        let hi = _mm256_and_si256(_mm256_srli_epi32::<4>(v), low_mask);
+        let cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo), _mm256_shuffle_epi8(lut, hi));
+        _mm256_sad_epu8(cnt, _mm256_setzero_si256())
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn hsum_epi64(v: __m256i) -> u64 {
+        let lo = _mm256_castsi256_si128(v);
+        let hi = _mm256_extracti128_si256::<1>(v);
+        let s = _mm_add_epi64(lo, hi);
+        (_mm_cvtsi128_si64(s) as u64).wrapping_add(_mm_extract_epi64::<1>(s) as u64)
+    }
+
+    /// # Safety
+    /// Caller must guarantee AVX2 (runtime-detected).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn popcount_words(words: &[u64]) -> usize {
+        let n4 = words.len() / 4 * 4;
+        let p = words.as_ptr();
+        let mut acc = _mm256_setzero_si256();
+        let mut i = 0;
+        while i < n4 {
+            let v = _mm256_loadu_si256(p.add(i) as *const __m256i);
+            acc = _mm256_add_epi64(acc, popcount256(v));
+            i += 4;
+        }
+        hsum_epi64(acc) as usize + super::popcount_words_scalar(&words[n4..])
+    }
+
+    /// Counts 0→1 transitions: for each word `w` with predecessor `p`,
+    /// the starts are `w & !((w << 1) | (p >> 63))` — the predecessor load
+    /// is just an offset-by-one unaligned load, so the whole pass
+    /// vectorizes despite the carry chain.
+    ///
+    /// # Safety
+    /// Caller must guarantee AVX2 (runtime-detected).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn count_run_starts(words: &[u64]) -> usize {
+        if words.is_empty() {
+            return 0;
+        }
+        let w0 = words[0];
+        let mut n = (w0 & !(w0 << 1)).count_ones() as usize;
+        let m = words.len() - 1; // words[1..] vectorized against words[0..]
+        let n4 = m / 4 * 4;
+        let p = words.as_ptr();
+        let mut acc = _mm256_setzero_si256();
+        let mut i = 0;
+        while i < n4 {
+            let w = _mm256_loadu_si256(p.add(1 + i) as *const __m256i);
+            let prev = _mm256_loadu_si256(p.add(i) as *const __m256i);
+            let shifted = _mm256_or_si256(_mm256_slli_epi64::<1>(w), _mm256_srli_epi64::<63>(prev));
+            let starts = _mm256_andnot_si256(shifted, w);
+            acc = _mm256_add_epi64(acc, popcount256(starts));
+            i += 4;
+        }
+        n += hsum_epi64(acc) as usize;
+        for k in (1 + n4)..words.len() {
+            let w = words[k];
+            n += (w & !((w << 1) | (words[k - 1] >> 63))).count_ones() as usize;
+        }
+        n
+    }
+
+    /// # Safety
+    /// Caller must guarantee AVX2 (runtime-detected) and every index in
+    /// `idx[..out.len()]` in bounds for `values` (debug-asserted).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn gather_f64(values: &[f64], idx: &[u32], out: &mut [f64]) {
+        let n = idx.len().min(out.len());
+        debug_assert!(idx[..n].iter().all(|&i| (i as usize) < values.len()));
+        let n4 = n / 4 * 4;
+        let base = values.as_ptr();
+        let mut k = 0;
+        while k < n4 {
+            let ix = _mm_loadu_si128(idx.as_ptr().add(k) as *const __m128i);
+            let v = _mm256_i32gather_pd::<8>(base, ix);
+            _mm256_storeu_pd(out.as_mut_ptr().add(k), v);
+            k += 4;
+        }
+        super::gather_f64_scalar(values, &idx[n4..n], &mut out[n4..n]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words_pattern(len: usize, seed: u64) -> Vec<u64> {
+        let mut x = seed | 1;
+        (0..len)
+            .map(|_| {
+                // xorshift64
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x
+            })
+            .collect()
+    }
+
+    #[test]
+    fn word_ops_match_scalar_on_all_tiers() {
+        for len in [0usize, 1, 3, 4, 7, 128, 1024, 1029] {
+            let a = words_pattern(len, 0xDEAD);
+            let b = words_pattern(len, 0xBEEF);
+            type Pair = (fn(&mut [u64], &[u64]), fn(&mut [u64], &[u64]));
+            let cases: [Pair; 3] = [
+                (and_words, and_words_scalar),
+                (or_words, or_words_scalar),
+                (andnot_words, andnot_words_scalar),
+            ];
+            for (dispatched, scalar) in cases {
+                let mut x = a.clone();
+                let mut y = a.clone();
+                dispatched(&mut x, &b);
+                scalar(&mut y, &b);
+                assert_eq!(x, y, "len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn popcount_and_run_starts_match_scalar() {
+        for len in [0usize, 1, 4, 5, 1024, 1023] {
+            for seed in [1u64, 0xFFFF_FFFF_FFFF_FFFF, 0x8000_0000_0000_0001] {
+                let mut w = words_pattern(len, seed);
+                if len > 2 {
+                    w[1] = u64::MAX; // exercise cross-word runs
+                    w[2] = 1;
+                }
+                assert_eq!(popcount_words(&w), popcount_words_scalar(&w), "len={len}");
+                assert_eq!(
+                    count_run_starts(&w),
+                    count_run_starts_scalar(&w),
+                    "len={len} seed={seed}"
+                );
+            }
+        }
+        // Known values: 0b0110 has one run; a run spanning words has one.
+        assert_eq!(count_run_starts(&[0b0110]), 1);
+        assert_eq!(count_run_starts(&[1 << 63, 1]), 1);
+        assert_eq!(count_run_starts(&[1 << 63, 2]), 2);
+    }
+
+    #[test]
+    fn gather_matches_scalar_and_preserves_bits() {
+        let values: Vec<f64> = (0..1000)
+            .map(|i| {
+                if i % 9 == 0 {
+                    f64::NAN
+                } else {
+                    i as f64 * 1.25 - 3.0
+                }
+            })
+            .collect();
+        let idx: Vec<u32> = (0..997u32).map(|k| (k * 7919) % 1000).collect();
+        let mut got = vec![0f64; idx.len()];
+        let mut want = vec![0f64; idx.len()];
+        gather_f64(&values, &idx, &mut got);
+        gather_f64_scalar(&values, &idx, &mut want);
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.to_bits(), w.to_bits());
+        }
+    }
+}

@@ -15,6 +15,7 @@ pub mod bitmap;
 pub mod error;
 pub mod exec;
 pub mod govern;
+pub mod kernel;
 pub mod path;
 pub mod plan;
 pub mod semijoin;
@@ -33,6 +34,7 @@ pub use bitmap::{ContainerHistogram, RowSet};
 pub use error::QueryError;
 pub use exec::{chunk_ranges, par_map, ExecConfig};
 pub use govern::{Breach, QueryContext};
+pub use kernel::KernelTier;
 pub use path::{fact_paths_by_table, paths_between, JoinPath, MAX_PATH_LEN};
 pub use plan::{
     execute_plan, execute_plan_traced, execute_step, execute_step_raw, optimize, Fingerprint,

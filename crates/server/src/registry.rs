@@ -120,6 +120,18 @@ impl TenantEngine {
             "  \"rowset_containers\": {{\"array\": {}, \"bitmap\": {}, \"run\": {}}},\n",
             h.arrays, h.bitmaps, h.runs
         ));
+        out.push_str(&format!(
+            "  \"kernel\": {{\"active\": \"{}\", \"detected\": \"{}\", \"features\": [{}], \
+             \"no_simd_env\": {}}},\n",
+            self.kdap.kernel_tier().name(),
+            kdap_core::kernel::detected_tier().name(),
+            kdap_core::kernel::detected_features()
+                .iter()
+                .map(|f| format!("\"{f}\""))
+                .collect::<Vec<_>>()
+                .join(", "),
+            kdap_core::kernel::simd_disabled_by_env(),
+        ));
         let wh = self.kdap.warehouse();
         out.push_str("  \"tables\": [");
         for (ti, t) in wh.tables().iter().enumerate() {
@@ -300,6 +312,12 @@ mod tests {
         assert!(out.contains("\"semijoin\": {\"len\": 0"), "{out}");
         assert!(out.contains("\"rowset_containers\""), "{out}");
         assert!(out.contains("\"heap_bytes\""), "{out}");
+        let tier = kdap_core::kernel::active_tier().name();
+        assert!(
+            out.contains(&format!("\"kernel\": {{\"active\": \"{tier}\"")),
+            "{out}"
+        );
+        assert!(out.contains("\"no_simd_env\""), "{out}");
         assert_eq!(out.matches('{').count(), out.matches('}').count(), "{out}");
     }
 }

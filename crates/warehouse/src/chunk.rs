@@ -19,11 +19,25 @@
 //! keeps full-column scans (`rows_with_codes`, statistics) fast on packed
 //! data.
 
+use std::cell::RefCell;
 use std::ops::Range;
+
+use crate::kernel;
 
 /// Rows per sealed chunk. A power of two so sealed-chunk addressing is a
 /// shift, and small enough that one packed chunk fits in L2.
 pub const CHUNK_ROWS: usize = 1 << 16;
+
+/// Minimum rows in a sealed-chunk visit before `for_each` pays for a bulk
+/// vectorized unpack into scratch instead of word-at-a-time decode.
+const BULK_DECODE_MIN: usize = 256;
+
+thread_local! {
+    /// Reusable per-thread decode scratch (≤ CHUNK_ROWS × 4 bytes =
+    /// 256 KiB at full size), shared by every bulk `for_each` on the
+    /// thread so steady-state scans allocate nothing.
+    static DECODE_SCRATCH: RefCell<Vec<u32>> = const { RefCell::new(Vec::new()) };
+}
 
 /// Smallest supported packing width (bits) that fits `max_code`.
 fn bits_for(max_code: u32) -> u8 {
@@ -94,6 +108,57 @@ impl CodeChunk {
         let per_word = 64 / bits;
         let mask = (1u64 << bits) - 1;
         Some(((self.words[i / per_word] >> ((i % per_word) * bits)) & mask) as u32)
+    }
+
+    /// Bulk-decodes rows `[0, len)` into `out[..len]` via the dispatched
+    /// kernel, overwriting NULL rows with [`kernel::NULL_CODE`].
+    fn unpack_into(&self, out: &mut [u32]) {
+        let len = self.len as usize;
+        kernel::unpack_words(&self.words, self.bits, len, &mut out[..len]);
+        if let Some(nulls) = &self.nulls {
+            kernel::apply_null_sentinel(nulls, &mut out[..len]);
+        }
+    }
+
+    /// Visits `range` (chunk-local) via a bulk-unpacked scratch buffer:
+    /// the covering packed words are decoded in one vectorized pass, then
+    /// rows are read back as plain `u32` loads (no per-row shift chain).
+    /// `scratch` is reused across chunks by the caller.
+    fn for_each_bulk<F: FnMut(usize, Option<u32>)>(
+        &self,
+        range: Range<usize>,
+        base: usize,
+        scratch: &mut Vec<u32>,
+        f: &mut F,
+    ) {
+        let bits = self.bits as usize;
+        let per_word = 64 / bits;
+        let word_start = range.start / per_word;
+        let decode_base = word_start * per_word;
+        let n = range.end - decode_base;
+        scratch.clear();
+        scratch.resize(n, 0);
+        kernel::unpack_words(&self.words[word_start..], self.bits, n, scratch);
+        match &self.nulls {
+            None => {
+                for i in range {
+                    f(base + i, Some(scratch[i - decode_base]));
+                }
+            }
+            Some(bitmap) => {
+                for i in range {
+                    let null = (bitmap[i / 64] >> (i % 64)) & 1 == 1;
+                    f(
+                        base + i,
+                        if null {
+                            None
+                        } else {
+                            Some(scratch[i - decode_base])
+                        },
+                    );
+                }
+            }
+        }
     }
 
     /// Visits `range` (chunk-local) in order, one packed word at a time.
@@ -231,8 +296,10 @@ impl PackedCodes {
         }
     }
 
-    /// Visits `(row, code)` for every row in `range`, in row order,
-    /// decoding sealed chunks one packed word at a time.
+    /// Visits `(row, code)` for every row in `range`, in row order. Sealed
+    /// chunks covering at least [`BULK_DECODE_MIN`] rows of the range are
+    /// bulk-unpacked into a per-thread scratch buffer by the dispatched
+    /// vectorized kernel; smaller slices decode one packed word at a time.
     pub fn for_each<F: FnMut(usize, Option<u32>)>(&self, range: Range<usize>, mut f: F) {
         let start = range.start.min(self.len());
         let end = range.end.min(self.len());
@@ -243,12 +310,50 @@ impl PackedCodes {
             let chunk_base = chunk_idx * CHUNK_ROWS;
             let local_start = row - chunk_base;
             let local_end = (end - chunk_base).min(chunk.len as usize);
-            chunk.for_each(local_start..local_end, chunk_base, &mut f);
+            let local = local_start..local_end;
+            if local.len() >= BULK_DECODE_MIN {
+                // The scratch is borrowed for the duration of the visit;
+                // if the closure re-enters a packed scan (so the scratch
+                // is already borrowed), fall back to word-at-a-time.
+                let bulk_done = DECODE_SCRATCH.with(|s| match s.try_borrow_mut() {
+                    Ok(mut scratch) => {
+                        chunk.for_each_bulk(local.clone(), chunk_base, &mut scratch, &mut f);
+                        true
+                    }
+                    Err(_) => false,
+                });
+                if !bulk_done {
+                    chunk.for_each(local, chunk_base, &mut f);
+                }
+            } else {
+                chunk.for_each(local, chunk_base, &mut f);
+            }
             row = chunk_base + local_end;
         }
         while row < end {
             f(row, self.tail[row - self.sealed_rows]);
             row += 1;
+        }
+    }
+
+    /// Bulk-decodes the whole store into `out` (cleared first): one `u32`
+    /// per row, NULL rows as [`kernel::NULL_CODE`]. Sealed chunks decode
+    /// through the dispatched vectorized kernel.
+    ///
+    /// The sentinel makes this unsuitable for stores that legitimately
+    /// contain the code `u32::MAX`; dictionary-encoded columns never do
+    /// (codes are dense dictionary indices).
+    pub fn unpack_all(&self, out: &mut Vec<u32>) {
+        out.clear();
+        out.resize(self.len(), 0);
+        let mut base = 0;
+        for chunk in &self.sealed {
+            let len = chunk.len as usize;
+            chunk.unpack_into(&mut out[base..base + len]);
+            base += len;
+        }
+        for (i, v) in self.tail.iter().enumerate() {
+            out[base + i] = v.unwrap_or(kernel::NULL_CODE);
         }
     }
 
@@ -339,6 +444,17 @@ impl<T: Copy + Default> NullableVec<T> {
     /// Iterates all rows in order.
     pub fn iter(&self) -> impl Iterator<Item = Option<T>> + '_ {
         (0..self.len()).map(move |i| self.get(i))
+    }
+
+    /// The dense value vector (NULL rows hold `T::default()`); pair with
+    /// [`NullableVec::null_bitmap`] for batch decoding.
+    pub fn values_slice(&self) -> &[T] {
+        &self.values
+    }
+
+    /// The null bitmap (bit set = NULL), `None` when no row is NULL.
+    pub fn null_bitmap(&self) -> Option<&[u64]> {
+        self.nulls.as_deref()
     }
 
     /// Trims spare capacity after a build completes.
@@ -474,6 +590,52 @@ mod tests {
         assert_eq!(rows.len(), 10);
         assert_eq!(rows[0], (5, Some(5)));
         assert_eq!(rows[9], (14, Some(14)));
+    }
+
+    #[test]
+    fn unpack_all_matches_get_with_sentinel() {
+        // Several widths across chunks + an unfrozen tail, with nulls.
+        let n = CHUNK_ROWS * 2 + 999;
+        let mut pc = PackedCodes::new();
+        for i in 0..n {
+            if i % 41 == 0 {
+                pc.push(None);
+            } else if i < CHUNK_ROWS {
+                pc.push(Some((i % 4) as u32)); // 2-bit chunk
+            } else {
+                pc.push(Some((i % 700) as u32)); // 16-bit chunk
+            }
+        }
+        let mut out = Vec::new();
+        pc.unpack_all(&mut out);
+        assert_eq!(out.len(), n);
+        for (i, &got) in out.iter().enumerate() {
+            match pc.get(i) {
+                Some(c) => assert_eq!(got, c, "row {i}"),
+                None => assert_eq!(got, crate::kernel::NULL_CODE, "row {i}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bulk_for_each_matches_word_decode() {
+        // Range large enough to trigger the bulk scratch path, with a
+        // word-misaligned start and nulls.
+        let n = CHUNK_ROWS + 500;
+        let mut pc = PackedCodes::new();
+        for i in 0..n {
+            if i % 13 == 0 {
+                pc.push(None);
+            } else {
+                pc.push(Some((i % 30) as u32));
+            }
+        }
+        pc.freeze();
+        let range = 7..CHUNK_ROWS + 123;
+        let mut seen = Vec::new();
+        pc.for_each(range.clone(), |row, code| seen.push((row, code)));
+        let want: Vec<_> = range.map(|i| (i, pc.get(i))).collect();
+        assert_eq!(seen, want);
     }
 
     #[test]

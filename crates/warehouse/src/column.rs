@@ -239,6 +239,51 @@ impl Column {
         }
     }
 
+    /// Bulk-decodes a string column's codes into `out` (cleared first):
+    /// one `u32` per row, NULL rows as [`crate::kernel::NULL_CODE`],
+    /// decoded through the dispatched vectorized kernel. Returns `false`
+    /// (leaving `out` empty) for numeric columns.
+    pub fn unpack_codes_into(&self, out: &mut Vec<u32>) -> bool {
+        match &self.data {
+            ColumnData::Str { codes, .. } => {
+                codes.unpack_all(out);
+                true
+            }
+            _ => {
+                out.clear();
+                false
+            }
+        }
+    }
+
+    /// Bulk-decodes a numeric column into `out` (cleared first): one `f64`
+    /// per row (Int columns widen, matching [`Column::get_float`]), NULL
+    /// rows as NaN. Returns `false` (leaving `out` empty) for string
+    /// columns. NaN is a faithful NULL stand-in for the aggregation
+    /// kernels: stored NaN and NULL are both skipped by bucket and domain
+    /// logic, exactly as with per-row `get_float`.
+    pub fn unpack_floats_into(&self, out: &mut Vec<f64>) -> bool {
+        out.clear();
+        match &self.data {
+            ColumnData::Float(v) => {
+                out.extend_from_slice(v.values_slice());
+            }
+            ColumnData::Int(v) => {
+                out.extend(v.values_slice().iter().map(|&x| x as f64));
+            }
+            ColumnData::Str { .. } => return false,
+        }
+        let nulls = match &self.data {
+            ColumnData::Float(v) => v.null_bitmap(),
+            ColumnData::Int(v) => v.null_bitmap(),
+            ColumnData::Str { .. } => None,
+        };
+        if let Some(bitmap) = nulls {
+            crate::kernel::for_each_null(bitmap, 0..out.len(), |i| out[i] = f64::NAN);
+        }
+        true
+    }
+
     /// The string dictionary, for string columns.
     pub fn dict(&self) -> Option<&StrDict> {
         match &self.data {
@@ -395,6 +440,60 @@ mod tests {
         for (row, code) in scanned {
             assert_eq!(code, c.get_code(row), "row {row}");
         }
+    }
+
+    #[test]
+    fn unpack_codes_matches_get_code() {
+        let mut c = Column::new("s", ValueType::Str, true);
+        for i in 0..(CHUNK_ROWS + 100) {
+            if i % 11 == 0 {
+                c.push(Value::Null).unwrap();
+            } else {
+                c.push(Value::from(format!("v{}", i % 300).as_str()))
+                    .unwrap();
+            }
+        }
+        c.freeze();
+        let mut codes = Vec::new();
+        assert!(c.unpack_codes_into(&mut codes));
+        assert_eq!(codes.len(), c.len());
+        for (i, &got) in codes.iter().enumerate() {
+            match c.get_code(i) {
+                Some(code) => assert_eq!(got, code, "row {i}"),
+                None => assert_eq!(got, crate::kernel::NULL_CODE, "row {i}"),
+            }
+        }
+        let mut floats = Vec::new();
+        assert!(!c.unpack_floats_into(&mut floats));
+        assert!(floats.is_empty());
+    }
+
+    #[test]
+    fn unpack_floats_matches_get_float() {
+        let mut f = Column::new("price", ValueType::Float, false);
+        let mut q = Column::new("qty", ValueType::Int, false);
+        for i in 0..500i64 {
+            if i % 9 == 0 {
+                f.push(Value::Null).unwrap();
+                q.push(Value::Null).unwrap();
+            } else {
+                f.push(Value::Float(i as f64 * 1.5)).unwrap();
+                q.push(Value::Int(i)).unwrap();
+            }
+        }
+        for c in [&f, &q] {
+            let mut out = Vec::new();
+            assert!(c.unpack_floats_into(&mut out));
+            assert_eq!(out.len(), 500);
+            for (i, &got) in out.iter().enumerate() {
+                match c.get_float(i) {
+                    Some(v) => assert_eq!(got.to_bits(), v.to_bits(), "row {i}"),
+                    None => assert!(got.is_nan(), "row {i}"),
+                }
+            }
+        }
+        let mut codes = Vec::new();
+        assert!(!f.unpack_codes_into(&mut codes));
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub mod column;
 pub mod csv;
 pub mod describe;
 pub mod error;
+pub mod kernel;
 pub mod schema;
 pub mod spec;
 pub mod stats;
@@ -60,6 +61,7 @@ pub use column::{Column, ColumnData, StrDict};
 pub use csv::{export_table, load_csv_table};
 pub use describe::describe;
 pub use error::WarehouseError;
+pub use kernel::{KernelTier, NULL_CODE};
 pub use schema::{
     AttrKind, ColRef, DimId, Dimension, EdgeId, FkEdge, GroupByCandidate, Hierarchy, Measure,
     MeasureExpr, Schema, TableId,

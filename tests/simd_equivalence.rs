@@ -1,0 +1,514 @@
+//! The vectorized kernel layer is an *execution* strategy, never a
+//! *semantics* change: every dispatched kernel (bit-unpack, bitmap word
+//! ops, popcount/run canonicalization, measure gather, and the batch
+//! fused group-by built on them) must reproduce its scalar reference
+//! bit-for-bit — across bit widths, container shapes, null bitmaps,
+//! thread counts, and the dense-array / hash-fallback / mid-scan
+//! promotion accumulator paths. On hosts whose detected tier is already
+//! Scalar these checks degenerate to scalar-vs-scalar and pass trivially;
+//! CI additionally runs the whole suite under `KDAP_NO_SIMD=1`.
+
+use std::collections::BTreeMap;
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+
+use kdap_suite::core::{materialize, Kdap, StarNet};
+use kdap_suite::datagen::{build_aw_online, generate_workload, Scale, WorkloadConfig};
+use kdap_suite::obs::Obs;
+use kdap_suite::query::aggregate_multi::multi_group_by_exec_sized;
+use kdap_suite::query::bitmap::BLOCK_ROWS;
+use kdap_suite::query::kernel as qkernel;
+use kdap_suite::query::{
+    fact_paths_by_table, multi_group_by_exec, Bucketizer, ExecConfig, FacetGroups, FacetSpec,
+    MeasureVector, RowSet, DENSE_GROUP_LIMIT, MAX_PATH_LEN,
+};
+use kdap_suite::warehouse::kernel as wkernel;
+use kdap_suite::warehouse::{ColRef, TableId, ValueType};
+
+// ---------------------------------------------------------------------
+// Kernel level: decode
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Bulk bit-unpack: the dispatched kernel equals the scalar
+    /// reference for every supported width, at every length (including
+    /// empty and partial final words), and null-sentinel application on
+    /// top of both yields identical buffers.
+    #[test]
+    fn unpack_dispatch_matches_scalar(
+        bits in proptest::sample::select(vec![1u8, 2, 4, 8, 16, 32]),
+        len in 0usize..3000,
+        seed in any::<u64>(),
+        null_every in 0usize..8,
+    ) {
+        let per_word = 64 / bits as usize;
+        let n_words = len.div_ceil(per_word);
+        // Deterministic pseudo-random words from the seed (splitmix64).
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let words: Vec<u64> = (0..n_words).map(|_| next()).collect();
+        let mut scalar = vec![0u32; len];
+        let mut dispatched = vec![0xAAAA_AAAAu32; len];
+        wkernel::unpack_words_scalar(&words, bits, len, &mut scalar);
+        wkernel::unpack_words(&words, bits, len, &mut dispatched);
+        prop_assert_eq!(&scalar, &dispatched);
+        // Null sentinel on top: same bits set, same sentinel writes.
+        let null_words: Vec<u64> = (0..len.div_ceil(64))
+            .map(|_| if null_every == 0 { 0 } else { next() })
+            .collect();
+        wkernel::apply_null_sentinel(&null_words, &mut scalar);
+        wkernel::apply_null_sentinel(&null_words, &mut dispatched);
+        prop_assert_eq!(&scalar, &dispatched);
+        for (i, v) in scalar.iter().enumerate() {
+            let is_null = null_words[i / 64] >> (i % 64) & 1 == 1;
+            prop_assert_eq!(is_null, *v == wkernel::NULL_CODE || *v == u32::MAX && is_null,
+                "row {}", i);
+        }
+    }
+
+    /// Bitmap word kernels: AND / OR / ANDNOT, popcount, and
+    /// run-start counting all match their scalar references on random
+    /// word blocks of every length up to beyond one container.
+    #[test]
+    fn word_ops_dispatch_matches_scalar(
+        n_words in 0usize..1100,
+        seed in any::<u64>(),
+    ) {
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let a: Vec<u64> = (0..n_words).map(|_| next()).collect();
+        let b: Vec<u64> = (0..n_words).map(|_| next()).collect();
+        for op in 0..3 {
+            let mut want = a.clone();
+            let mut got = a.clone();
+            match op {
+                0 => {
+                    qkernel::and_words_scalar(&mut want, &b);
+                    qkernel::and_words(&mut got, &b);
+                }
+                1 => {
+                    qkernel::or_words_scalar(&mut want, &b);
+                    qkernel::or_words(&mut got, &b);
+                }
+                _ => {
+                    qkernel::andnot_words_scalar(&mut want, &b);
+                    qkernel::andnot_words(&mut got, &b);
+                }
+            }
+            prop_assert_eq!(want, got, "op {}", op);
+        }
+        prop_assert_eq!(qkernel::popcount_words_scalar(&a), qkernel::popcount_words(&a));
+        prop_assert_eq!(qkernel::count_run_starts_scalar(&a), qkernel::count_run_starts(&a));
+    }
+
+    /// Measure gather: the dispatched gather copies exact bit patterns
+    /// (including NaN NULL sentinels) for arbitrary index orders.
+    #[test]
+    fn gather_dispatch_matches_scalar(
+        n_values in 1usize..4000,
+        n_idx in 0usize..2000,
+        seed in any::<u64>(),
+    ) {
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        // Raw bit patterns: every eighth value is a NaN payload.
+        let values: Vec<f64> = (0..n_values)
+            .map(|i| {
+                if i % 8 == 7 {
+                    f64::from_bits(f64::NAN.to_bits() | (i as u64))
+                } else {
+                    f64::from_bits(next() & 0x7FEF_FFFF_FFFF_FFFF)
+                }
+            })
+            .collect();
+        let idx: Vec<u32> = (0..n_idx).map(|_| (next() as usize % n_values) as u32).collect();
+        let mut want = vec![0.0f64; n_idx];
+        let mut got = vec![0.0f64; n_idx];
+        qkernel::gather_f64_scalar(&values, &idx, &mut want);
+        qkernel::gather_f64(&values, &idx, &mut got);
+        let want_bits: Vec<u64> = want.iter().map(|v| v.to_bits()).collect();
+        let got_bits: Vec<u64> = got.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(want_bits, got_bits);
+    }
+}
+
+// ---------------------------------------------------------------------
+// RowSet level: container shapes against a naive model
+// ---------------------------------------------------------------------
+
+/// Fills `set` and `model` with the same rows from one shape recipe:
+/// 0 = sparse scatter (Array), 1 = dense runs (Run), 2 = random fill
+/// (Bitmap) — per block, so multi-block sets mix container kinds.
+fn fill_block(set: &mut RowSet, model: &mut [bool], block: usize, shape: u8, seed: u64) {
+    let base = block * BLOCK_ROWS;
+    let limit = model.len().min(base + BLOCK_ROWS);
+    if base >= limit {
+        return;
+    }
+    let span = limit - base;
+    let mut state = seed;
+    let mut next = || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let mut put = |row: usize| {
+        set.insert(row);
+        model[row] = true;
+    };
+    match shape {
+        0 => {
+            for _ in 0..200 {
+                put(base + next() as usize % span);
+            }
+        }
+        1 => {
+            for _ in 0..4 {
+                let start = next() as usize % span;
+                let len = (next() as usize % 5000).min(span - start);
+                for r in start..start + len {
+                    put(base + r);
+                }
+            }
+        }
+        _ => {
+            for _ in 0..span / 3 {
+                put(base + next() as usize % span);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Set algebra over mixed container shapes equals the boolean-vector
+    /// model: intersection, union, and difference (all routed through the
+    /// dispatched word kernels), plus cardinality (dispatched popcount)
+    /// and membership after canonicalization.
+    #[test]
+    fn rowset_ops_match_naive_model(
+        shapes_a in proptest::collection::vec(0u8..3, 3),
+        shapes_b in proptest::collection::vec(0u8..3, 3),
+        seed in any::<u64>(),
+        tail in 1usize..2000,
+    ) {
+        let universe = 2 * BLOCK_ROWS + tail;
+        let mut a = RowSet::empty(universe);
+        let mut b = RowSet::empty(universe);
+        let mut ma = vec![false; universe];
+        let mut mb = vec![false; universe];
+        for blk in 0..3 {
+            fill_block(&mut a, &mut ma, blk, shapes_a[blk], seed ^ (blk as u64 + 1));
+            fill_block(&mut b, &mut mb, blk, shapes_b[blk], seed ^ (0x100 + blk as u64));
+        }
+        prop_assert_eq!(a.len(), ma.iter().filter(|&&x| x).count());
+        let check = |set: &RowSet, model: &[bool]| {
+            let want: Vec<usize> =
+                model.iter().enumerate().filter(|(_, &x)| x).map(|(i, _)| i).collect();
+            let got: Vec<usize> = set.iter().collect();
+            assert_eq!(got, want);
+            assert_eq!(set.len(), want.len());
+        };
+        let mut and = a.clone();
+        and.intersect_with(&b);
+        let m_and: Vec<bool> = ma.iter().zip(&mb).map(|(&x, &y)| x && y).collect();
+        check(&and, &m_and);
+        let mut or = a.clone();
+        or.union_with(&b);
+        let m_or: Vec<bool> = ma.iter().zip(&mb).map(|(&x, &y)| x || y).collect();
+        check(&or, &m_or);
+        let mut diff = a.clone();
+        diff.and_not_with(&b);
+        let m_diff: Vec<bool> = ma.iter().zip(&mb).map(|(&x, &y)| x && !y).collect();
+        check(&diff, &m_diff);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fused group-by: forced-scalar reference vs dispatched batch path
+// ---------------------------------------------------------------------
+
+struct Fixture {
+    kdap: Kdap,
+    candidate_sets: Vec<Vec<StarNet>>,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let wh = build_aw_online(Scale::small(), 42).expect("generator is valid");
+        let queries = generate_workload(&wh, &WorkloadConfig::default());
+        let kdap = Kdap::builder(wh)
+            .threads(1)
+            .build()
+            .expect("measure defined");
+        let candidate_sets = queries
+            .iter()
+            .map(|q| {
+                kdap.interpret(&q.text())
+                    .into_iter()
+                    .map(|r| r.net)
+                    .collect()
+            })
+            .filter(|nets: &Vec<StarNet>| !nets.is_empty())
+            .collect();
+        Fixture {
+            kdap,
+            candidate_sets,
+        }
+    })
+}
+
+/// Every categorical and float attribute reachable from the fact table
+/// as one fused spec list, plus a Total.
+fn candidate_specs(kdap: &Kdap, rows: &RowSet) -> Vec<FacetSpec> {
+    let wh = kdap.warehouse();
+    let jidx = kdap.join_index();
+    let schema = wh.schema();
+    let fact = schema.fact_table();
+    let by_table = fact_paths_by_table(schema, MAX_PATH_LEN);
+    let mut out = vec![FacetSpec::Total];
+    for t in 0..wh.tables().len() as u32 {
+        let tid = TableId(t);
+        if tid == fact {
+            continue;
+        }
+        let Some(path) = by_table.get(&tid).and_then(|paths| paths.first()) else {
+            continue;
+        };
+        let mapper = jidx.row_mapper(wh, fact, path);
+        for (c, col) in wh.tables()[t as usize].columns().iter().enumerate() {
+            let attr = ColRef::new(tid, c as u32);
+            if col.dict().is_some() {
+                out.push(FacetSpec::Categorical {
+                    attr,
+                    mapper: mapper.clone(),
+                });
+            } else if col.value_type() == ValueType::Float {
+                out.push(FacetSpec::NumericDomain {
+                    attr,
+                    mapper: mapper.clone(),
+                });
+                let values: Vec<f64> = rows
+                    .iter()
+                    .filter_map(|r| mapper[r].and_then(|t| col.get_float(t as usize)))
+                    .collect();
+                if let Some(buckets) = Bucketizer::equal_width(values.iter().copied(), 8) {
+                    out.push(FacetSpec::Buckets {
+                        attr,
+                        mapper: mapper.clone(),
+                        buckets,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Exact accumulator digest of one facet result: shape tag, then per
+/// touched group the presence count and the raw bit patterns of the
+/// accumulator fields. Untouched dense slots are skipped so a promoted
+/// (or hash-built) result digests identically to its dense twin.
+fn digest(fg: &FacetGroups) -> Vec<(u32, u64, u64, u64, u64, u64)> {
+    fn stat_row(key: u32, s: &kdap_suite::query::GroupStats) -> (u32, u64, u64, u64, u64, u64) {
+        (
+            key,
+            s.rows,
+            s.acc.count,
+            s.acc.sum.to_bits(),
+            s.acc.min.to_bits(),
+            s.acc.max.to_bits(),
+        )
+    }
+    match fg {
+        FacetGroups::Dense { stats } => stats
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.rows > 0 || s.acc.count > 0)
+            .map(|(i, s)| stat_row(i as u32, s))
+            .collect(),
+        FacetGroups::Sparse { stats } => {
+            let sorted: BTreeMap<u32, _> = stats.iter().map(|(k, v)| (*k, v)).collect();
+            sorted.iter().map(|(k, s)| stat_row(*k, s)).collect()
+        }
+        // Buckets keep zero slots: the series is positional.
+        FacetGroups::Buckets { stats } => stats
+            .iter()
+            .enumerate()
+            .map(|(i, s)| stat_row(i as u32, s))
+            .collect(),
+        FacetGroups::Domain { min, max, any } => {
+            vec![(u32::MAX, *any as u64, 0, min.to_bits(), max.to_bits(), 0)]
+        }
+        FacetGroups::Total { stats } => vec![stat_row(0, stats)],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The batch (SIMD-dispatched) fused scan equals the forced-scalar
+    /// per-row reference bit-for-bit: same group presence counts, same
+    /// accumulator bit patterns, on both accumulator paths, at one and
+    /// four threads.
+    #[test]
+    fn fused_group_by_scalar_vs_dispatched_bit_identical(
+        query_idx in 0usize..64,
+        threads in proptest::sample::select(vec![1usize, 4]),
+        dense in any::<bool>(),
+    ) {
+        let fx = fixture();
+        let nets = &fx.candidate_sets[query_idx % fx.candidate_sets.len()];
+        let kdap = &fx.kdap;
+        let wh = kdap.warehouse();
+        let mv = MeasureVector::build(wh, kdap.measure());
+        let dense_limit = if dense { DENSE_GROUP_LIMIT } else { 0 };
+        let scalar_exec = ExecConfig::with_threads(threads).with_force_scalar(true);
+        let simd_exec = ExecConfig::with_threads(threads);
+        for net in nets.iter().take(2) {
+            let sub = materialize(wh, kdap.join_index(), net);
+            let specs = candidate_specs(kdap, &sub.rows);
+            let want =
+                multi_group_by_exec(wh, &specs, &sub.rows, &mv, &scalar_exec, dense_limit)
+                    .unwrap();
+            let got =
+                multi_group_by_exec(wh, &specs, &sub.rows, &mv, &simd_exec, dense_limit).unwrap();
+            prop_assert_eq!(want.len(), got.len());
+            for (i, (w, g)) in want.iter().zip(&got).enumerate() {
+                prop_assert_eq!(digest(w), digest(g), "spec {} ({:?})", i, &specs[i]);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Mid-scan dense→sparse promotion (stale statistics)
+// ---------------------------------------------------------------------
+
+/// Drives the out-of-bounds promotion path deterministically: a dense
+/// array sized for one code while the column holds many forces every
+/// scan — scalar and batch, serial and threaded — to promote mid-scan.
+/// The promoted result must equal the hash-path result bit-for-bit, the
+/// scalar and dispatched promoted results must match each other, and the
+/// `agg_dense_oob_fallback` counter must record the promotions.
+#[test]
+fn oob_promotion_matches_hash_path_under_threads() {
+    let fx = fixture();
+    let kdap = &fx.kdap;
+    let wh = kdap.warehouse();
+    let mv = MeasureVector::build(wh, kdap.measure());
+    let rows = RowSet::full(wh.fact_rows());
+    // A categorical spec whose domain has at least two codes, so a
+    // one-slot dense array must promote.
+    let spec = candidate_specs(kdap, &rows)
+        .into_iter()
+        .find(|s| {
+            let FacetSpec::Categorical { .. } = s else {
+                return false;
+            };
+            let groups = multi_group_by_exec(
+                wh,
+                std::slice::from_ref(s),
+                &rows,
+                &mv,
+                &ExecConfig::serial(),
+                DENSE_GROUP_LIMIT,
+            )
+            .unwrap();
+            groups[0].n_groups() >= 2
+        })
+        .expect("AW_ONLINE has a multi-valued categorical attribute");
+    let specs = vec![spec];
+    for threads in [1usize, 4] {
+        // Reference: plain hash path (dense disabled).
+        let hash = multi_group_by_exec(
+            wh,
+            &specs,
+            &rows,
+            &mv,
+            &ExecConfig::with_threads(threads),
+            0,
+        )
+        .unwrap();
+        for force_scalar in [true, false] {
+            let obs = Obs::enabled();
+            let exec = ExecConfig::with_threads(threads)
+                .with_obs(obs.clone())
+                .with_force_scalar(force_scalar);
+            let promoted = multi_group_by_exec_sized(
+                wh,
+                &specs,
+                &rows,
+                &mv,
+                &exec,
+                DENSE_GROUP_LIMIT,
+                Some(1),
+            )
+            .unwrap();
+            assert!(
+                matches!(promoted[0], FacetGroups::Sparse { .. }),
+                "dense array for 1 code must promote (threads={threads}, scalar={force_scalar})"
+            );
+            assert_eq!(
+                digest(&promoted[0]),
+                digest(&hash[0]),
+                "promoted ≡ hash (threads={threads}, scalar={force_scalar})"
+            );
+            let counters = obs.metrics_snapshot().counters;
+            let oob = counters
+                .get("query.agg_dense_oob_fallback")
+                .copied()
+                .unwrap_or(0);
+            assert!(
+                oob >= 1,
+                "promotion must be counted (threads={threads}, scalar={force_scalar}): {counters:?}"
+            );
+        }
+    }
+}
+
+/// The session builder's force-scalar switch pins the tier and survives
+/// thread-count changes; the env-independent detected tier is what the
+/// default session reports.
+#[test]
+fn session_force_scalar_pins_tier() {
+    let wh = build_aw_online(Scale::small(), 7).expect("generator is valid");
+    let mut kdap = Kdap::builder(wh)
+        .force_scalar_kernels(true)
+        .build()
+        .expect("measure defined");
+    assert!(kdap.kernel_tier().is_scalar());
+    kdap.set_threads(4);
+    assert!(
+        kdap.kernel_tier().is_scalar(),
+        "set_threads must preserve force_scalar"
+    );
+    let wh2 = build_aw_online(Scale::small(), 7).expect("generator is valid");
+    let default = Kdap::builder(wh2).build().expect("measure defined");
+    assert_eq!(default.kernel_tier(), wkernel::active_tier());
+}
