@@ -10,8 +10,10 @@
 //!
 //! 1. `off` vs `off2`: two identical obs-off configurations, bounding
 //!    run-to-run noise on this machine.
-//! 2. `off` vs `on`: the recorder enabled and metrics recorded on every
-//!    step, giving the instrumented overhead.
+//! 2. `off` vs `on`: the recorder enabled, metrics recorded on every
+//!    step, a JSONL access-log line formatted per query, and every query
+//!    offered to a slow-query ledger — the full service-grade telemetry
+//!    path, giving the instrumented overhead.
 //! 3. A micro-benchmark of the disabled calls themselves (timer + span),
 //!    in ns/op.
 //!
@@ -34,7 +36,7 @@ use kdap_core::{Exploration, Kdap, StarNet};
 use kdap_datagen::{
     build_aw_online, build_ebiz, generate_workload, EbizScale, Scale, WorkloadConfig,
 };
-use kdap_obs::Obs;
+use kdap_obs::{JsonLogger, LedgerEntry, Obs, SlowQueryLedger};
 use kdap_warehouse::Warehouse;
 
 struct DbResult {
@@ -59,13 +61,47 @@ impl DbResult {
     }
 }
 
-fn explore_all(kdap: &Kdap, nets: &[StarNet]) -> (f64, Vec<Exploration>) {
+/// Runs the workload once. With `telemetry`, every query also pays the
+/// service path a live server pays: a JSONL access-log line and a
+/// slow-query-ledger insertion — so the measured "on" overhead covers
+/// the whole telemetry stack, not just the recorder.
+fn explore_all(
+    kdap: &Kdap,
+    nets: &[StarNet],
+    telemetry: Option<(&JsonLogger, &SlowQueryLedger)>,
+) -> (f64, Vec<Exploration>) {
     let t0 = Instant::now();
-    let last = nets
-        .iter()
-        .map(|n| kdap.explore(n).expect("explore succeeds"))
-        .collect();
-    (t0.elapsed().as_secs_f64() * 1e3, last)
+    let mut out = Vec::with_capacity(nets.len());
+    for (i, n) in nets.iter().enumerate() {
+        let q0 = Instant::now();
+        let ex = kdap.explore(n).expect("explore succeeds");
+        if let Some((logger, ledger)) = telemetry {
+            let latency_ns = q0.elapsed().as_nanos() as u64;
+            logger.info(
+                "access",
+                &[
+                    ("net", (i as u64).into()),
+                    ("latency_ns", latency_ns.into()),
+                ],
+            );
+            // The admission pre-check is the path a live server takes:
+            // only queries the full ledger could retain pay the entry
+            // construction.
+            if ledger.admits(latency_ns) {
+                ledger.record(LedgerEntry {
+                    trace_id: None,
+                    verb: "explore".to_string(),
+                    keywords: format!("net-{i}"),
+                    latency_ns,
+                    status: 200,
+                    breach: None,
+                    profile: None,
+                });
+            }
+        }
+        out.push(ex);
+    }
+    (t0.elapsed().as_secs_f64() * 1e3, out)
 }
 
 fn run_db(
@@ -91,10 +127,16 @@ fn run_db(
         .map(|r| r.net)
         .collect();
 
+    // The "on" configuration pays the full service telemetry path: log
+    // lines go to a sink writer (formatting cost without disk noise) and
+    // every query is offered to a bounded slow-query ledger.
+    let logger = JsonLogger::to_writer(Box::new(std::io::sink()));
+    let ledger = SlowQueryLedger::new(32);
+
     // Warm both sessions (plans, stats, measure vectors) so the timed
     // runs compare steady state.
-    let (_, ex_off) = explore_all(&off, &nets);
-    let (_, ex_on) = explore_all(&on, &nets);
+    let (_, ex_off) = explore_all(&off, &nets, None);
+    let (_, ex_on) = explore_all(&on, &nets, Some((&logger, &ledger)));
     assert_eq!(
         ex_off, ex_on,
         "{db}: obs on/off explorations must be bit-identical"
@@ -105,9 +147,9 @@ fn run_db(
     // of masquerading as recorder overhead.
     let (mut off_ms, mut on_ms, mut off2_ms) = (f64::MAX, f64::MAX, f64::MAX);
     for _ in 0..repeats {
-        off_ms = off_ms.min(explore_all(&off, &nets).0);
-        on_ms = on_ms.min(explore_all(&on, &nets).0);
-        off2_ms = off2_ms.min(explore_all(&off, &nets).0);
+        off_ms = off_ms.min(explore_all(&off, &nets, None).0);
+        on_ms = on_ms.min(explore_all(&on, &nets, Some((&logger, &ledger))).0);
+        off2_ms = off2_ms.min(explore_all(&off, &nets, None).0);
     }
 
     // One representative profile for the JSON artifact.

@@ -27,6 +27,7 @@ use kdap_core::Kdap;
 use kdap_datagen::{
     build_aw_online, build_ebiz, generate_workload, EbizScale, Scale, WorkloadConfig,
 };
+use kdap_obs::lint_exposition;
 use kdap_server::{EngineRegistry, KdapServer, ServerConfig};
 
 /// One completed request: tenant index, action, latency, HTTP status.
@@ -62,6 +63,37 @@ fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> u16 {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(0)
+}
+
+/// Like [`request`] but also returns the response body — used for the
+/// post-load `/metrics` scrape.
+fn request_body(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let Ok(mut stream) = TcpStream::connect(addr) else {
+        return (0, String::new());
+    };
+    let req = format!(
+        "{method} {path} HTTP/1.1\r\nHost: kdap\r\nConnection: close\r\n\
+         Content-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    if stream.write_all(req.as_bytes()).is_err() {
+        return (0, String::new());
+    }
+    let mut raw = Vec::new();
+    if stream.read_to_end(&mut raw).is_err() {
+        return (0, String::new());
+    }
+    let text = String::from_utf8_lossy(&raw);
+    let status = text
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let payload = text
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, payload)
 }
 
 /// The request mix one client thread walks, round-robin: index `i`
@@ -192,6 +224,44 @@ fn main() {
             .collect()
     });
     let wall_s = t0.elapsed().as_secs_f64();
+
+    // Telemetry sweep: provoke one governor breach per tenant (instant
+    // deadline → typed 408), then scrape the cross-tenant Prometheus
+    // exposition and lint it with the in-repo checker.
+    for (tenant, kws) in TENANTS.iter().zip(&keywords) {
+        let kw = kws.first().map(String::as_str).unwrap_or("sales");
+        let status = request(
+            addr,
+            "POST",
+            &format!("/v1/{tenant}/explore"),
+            &format!("{{\"keywords\": \"{kw}\", \"timeout_ms\": 0}}"),
+        );
+        assert_eq!(status, 408, "instant deadline on `{tenant}` must breach");
+    }
+    let (status, exposition) = request_body(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200, "/metrics must serve under load");
+    let prom_samples = match lint_exposition(&exposition) {
+        Ok(n) => n,
+        Err(e) => panic!("/metrics exposition failed lint: {e}"),
+    };
+    for t in TENANTS {
+        assert!(
+            exposition.contains(&format!("tenant=\"{t}\"")),
+            "exposition must label tenant `{t}`"
+        );
+    }
+    for needle in [
+        "kdap_http_requests",
+        "kdap_http_explore_latency_ns_bucket{",
+        "kdap_governor_timeouts",
+    ] {
+        assert!(
+            exposition.contains(needle),
+            "exposition must carry {needle}"
+        );
+    }
+    eprintln!("metrics: {prom_samples} prometheus samples, lint clean, both tenants labeled");
+
     server.shutdown();
 
     // Aggregate per (tenant, action) and per tenant.

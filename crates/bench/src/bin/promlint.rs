@@ -1,0 +1,43 @@
+//! A small Prometheus text-exposition linter for CI: reads an exposition
+//! (file argument or stdin), validates it with
+//! [`kdap_obs::lint_exposition`], and exits nonzero on the first
+//! violation. The same checker the server's own tests use — no external
+//! promtool needed.
+//!
+//! Run:
+//!   curl -s http://127.0.0.1:8642/metrics | cargo run -p kdap-bench --bin promlint
+//!   cargo run -p kdap-bench --bin promlint -- metrics.txt
+
+use std::io::Read;
+
+use kdap_obs::lint_exposition;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (source, text) = match args.first() {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => (path.clone(), text),
+            Err(e) => {
+                eprintln!("promlint: cannot read {path}: {e}");
+                std::process::exit(2);
+            }
+        },
+        None => {
+            let mut text = String::new();
+            if let Err(e) = std::io::stdin().read_to_string(&mut text) {
+                eprintln!("promlint: cannot read stdin: {e}");
+                std::process::exit(2);
+            }
+            ("<stdin>".to_string(), text)
+        }
+    };
+    match lint_exposition(&text) {
+        Ok(samples) => {
+            println!("promlint: {source}: OK ({samples} samples)");
+        }
+        Err(msg) => {
+            eprintln!("promlint: {source}: {msg}");
+            std::process::exit(1);
+        }
+    }
+}

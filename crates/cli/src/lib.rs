@@ -41,6 +41,9 @@ pub enum CliMode {
     /// `kdap serve` — expose the warehouse over HTTP behind the unified
     /// query API until killed.
     Serve,
+    /// `kdap slow` — run queries read from stdin (one per line) through
+    /// a slow-query ledger and print the most interesting ones.
+    Slow,
 }
 
 /// Parsed command-line arguments.
@@ -78,6 +81,12 @@ pub struct CliArgs {
     /// `--max-inflight N` (serve): per-tenant admission cap; requests
     /// over it receive a typed 429.
     pub max_inflight: usize,
+    /// `--log SPEC` (serve): structured JSONL access-log destination
+    /// (`stderr` or a file path); `None` disables logging.
+    pub log: Option<String>,
+    /// `--trace-out PATH` (profile): also write the profile as a Chrome
+    /// trace-event JSON file loadable in Perfetto.
+    pub trace_out: Option<String>,
 }
 
 /// Parses `kdap` arguments (everything after `argv[0]`).
@@ -95,6 +104,8 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
     let mut port = 8642u16;
     let mut workers = 4usize;
     let mut max_inflight = 64usize;
+    let mut log = None;
+    let mut trace_out = None;
     let mut positional: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -180,6 +191,12 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
                     .parse()
                     .map_err(|_| "--max-inflight must be an integer".to_string())?;
             }
+            "--log" => {
+                log = Some(it.next().ok_or("--log needs `stderr` or a path")?.clone());
+            }
+            "--trace-out" => {
+                trace_out = Some(it.next().ok_or("--trace-out needs a path")?.clone());
+            }
             "--help" | "-h" => return Err(usage()),
             other if !other.starts_with('-') => positional.push(other.to_string()),
             other => return Err(format!("unknown argument `{other}`\n{}", usage())),
@@ -206,6 +223,12 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
                 }
                 CliMode::Serve
             }
+            "slow" => {
+                if !rest.is_empty() {
+                    return Err("`kdap slow` takes no further arguments (reads stdin)".into());
+                }
+                CliMode::Slow
+            }
             other => return Err(format!("unknown subcommand `{other}`\n{}", usage())),
         },
     };
@@ -224,16 +247,18 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
         port,
         workers,
         max_inflight,
+        log,
+        trace_out,
     })
 }
 
 /// The usage banner.
 pub fn usage() -> String {
-    "usage: kdap [profile <keywords…> | stats | serve] \
+    "usage: kdap [profile <keywords…> | stats | serve | slow] \
      [--demo ebiz|aw-online|aw-reseller|trends] [--spec FILE] \
      [--small] [--scale N] [--seed N] [--threads N] [--no-opt] [--profile] [--json] \
-     [--timeout-ms N] \
-     [--listen ADDR] [--port N] [--workers N] [--max-inflight N]"
+     [--timeout-ms N] [--trace-out FILE] \
+     [--listen ADDR] [--port N] [--workers N] [--max-inflight N] [--log stderr|FILE]"
         .to_string()
 }
 
@@ -330,6 +355,30 @@ mod tests {
         assert!(parse_args(&args(&["--port", "70000"])).is_err());
         assert!(parse_args(&args(&["--workers"])).is_err());
         assert!(parse_args(&args(&["--max-inflight", "x"])).is_err());
+    }
+
+    #[test]
+    fn parses_telemetry_flags() {
+        let a = parse_args(&args(&["serve", "--log", "stderr"])).unwrap();
+        assert_eq!(a.log, Some("stderr".into()));
+        let a = parse_args(&args(&["serve", "--log", "/tmp/access.jsonl"])).unwrap();
+        assert_eq!(a.log, Some("/tmp/access.jsonl".into()));
+        assert_eq!(parse_args(&args(&["serve"])).unwrap().log, None);
+        assert!(parse_args(&args(&["serve", "--log"])).is_err());
+
+        let a = parse_args(&args(&["profile", "tv", "--trace-out", "t.json"])).unwrap();
+        assert_eq!(a.mode, CliMode::Profile("tv".into()));
+        assert_eq!(a.trace_out, Some("t.json".into()));
+        assert!(parse_args(&args(&["profile", "tv", "--trace-out"])).is_err());
+    }
+
+    #[test]
+    fn parses_slow_subcommand() {
+        let a = parse_args(&args(&["slow"])).unwrap();
+        assert_eq!(a.mode, CliMode::Slow);
+        let a = parse_args(&args(&["slow", "--json"])).unwrap();
+        assert!(a.json);
+        assert!(parse_args(&args(&["slow", "extra"])).is_err());
     }
 
     #[test]

@@ -12,6 +12,7 @@ use kdap_cli::{parse_args, CliArgs, CliMode, Command, DataSource, Repl};
 use kdap_core::{
     render_interpretations, CancelToken, Kdap, KdapError, QueryRequest, Verb, WireFormat,
 };
+use kdap_obs::{chrome_trace, LedgerEntry, QueryProfile, SlowQueryLedger, TraceId};
 use kdap_server::{EngineRegistry, KdapServer, ServerConfig};
 
 /// Ctrl-C cancels the in-flight query, not the process. The handler does
@@ -66,7 +67,8 @@ fn main() {
 
     let observability = args.profile
         || matches!(args.mode, CliMode::Profile(_))
-        || matches!(args.mode, CliMode::Serve);
+        || matches!(args.mode, CliMode::Serve)
+        || matches!(args.mode, CliMode::Slow);
     let mut builder = Kdap::builder(wh)
         .cache_capacity(64)
         .threads(args.threads)
@@ -103,8 +105,24 @@ fn main() {
 
     match &args.mode {
         CliMode::Profile(query) => {
-            match kdap.run(&QueryRequest::new(Verb::Profile, query.as_str())) {
+            // One-shot profiles get an edge-minted trace id, same as
+            // server requests, so CLI traces correlate with logs.
+            let trace = TraceId::mint().to_string();
+            let request =
+                QueryRequest::new(Verb::Profile, query.as_str()).with_trace_id(trace.clone());
+            match kdap.run(&request) {
                 Ok(resp) => {
+                    if let Some(path) = &args.trace_out {
+                        let body = match &resp.profile {
+                            Some(p) => chrome_trace(p),
+                            None => chrome_trace(&QueryProfile::empty(query)),
+                        };
+                        if let Err(e) = std::fs::write(path, body) {
+                            eprintln!("cannot write {path}: {e}");
+                            std::process::exit(1);
+                        }
+                        eprintln!("wrote Chrome trace to {path} (open at https://ui.perfetto.dev)");
+                    }
                     if args.json {
                         match resp.encode(WireFormat::Json) {
                             Ok(body) => print!("{body}"),
@@ -140,7 +158,71 @@ fn main() {
             }
         }
         CliMode::Serve => serve(&args, kdap),
+        CliMode::Slow => slow(&args, kdap),
         CliMode::Repl => repl(kdap, cancel),
+    }
+}
+
+/// `kdap slow`: run each stdin line as a profile query through a
+/// slow-query ledger and print the most interesting entries — the same
+/// retention policy the server applies at `GET /v1/{tenant}/slow`.
+fn slow(args: &CliArgs, kdap: Kdap) {
+    let ledger = SlowQueryLedger::new(16);
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        let keywords = line.trim();
+        if keywords.is_empty() {
+            continue;
+        }
+        let trace = TraceId::mint().to_string();
+        let mut request = QueryRequest::new(Verb::Profile, keywords).with_trace_id(trace.clone());
+        if let Some(ms) = args.timeout_ms {
+            request.options.timeout_ms = Some(ms);
+        }
+        let started = std::time::Instant::now();
+        let result = kdap.run(&request);
+        let latency_ns = started.elapsed().as_nanos() as u64;
+        let (status, breach, profile) = match &result {
+            Ok(resp) => (200, None, resp.profile.clone()),
+            Err(KdapError::Timeout { .. }) => (408, Some("timeout".to_string()), None),
+            Err(KdapError::Cancelled { .. }) => (499, Some("cancelled".to_string()), None),
+            Err(KdapError::BudgetExceeded { .. }) => {
+                (507, Some("budget_exceeded".to_string()), None)
+            }
+            Err(_) => (400, None, None),
+        };
+        ledger.record(LedgerEntry {
+            trace_id: Some(trace),
+            verb: "profile".to_string(),
+            keywords: keywords.to_string(),
+            latency_ns,
+            status,
+            breach,
+            profile,
+        });
+    }
+    if args.json {
+        println!("{}", ledger.to_json());
+    } else if ledger.is_empty() {
+        println!("slow-query ledger is empty (no queries read from stdin)");
+    } else {
+        println!("slow-query ledger — most interesting first:");
+        for entry in ledger.snapshot() {
+            let breach = entry
+                .breach
+                .as_deref()
+                .map(|b| format!(" breach={b}"))
+                .unwrap_or_default();
+            println!(
+                "  {:>10}  status={}{}  trace={}  {}",
+                kdap_obs::fmt_ns(entry.latency_ns),
+                entry.status,
+                breach,
+                entry.trace_id.as_deref().unwrap_or("-"),
+                entry.keywords,
+            );
+        }
     }
 }
 
@@ -238,6 +320,7 @@ fn serve(args: &CliArgs, kdap: Kdap) {
         port: args.port,
         workers: args.workers,
         max_inflight: args.max_inflight,
+        log: args.log.clone(),
         ..ServerConfig::default()
     };
     let server = match KdapServer::start(registry, &config) {

@@ -3,7 +3,7 @@
 //! counters, rendered as a console table or as JSON.
 
 use kdap_core::Kdap;
-use kdap_obs::json_string;
+use kdap_obs::{json_string, snapshot_json};
 use kdap_warehouse::summarize;
 
 /// Human-readable statistics table.
@@ -149,6 +149,10 @@ pub fn stats_json(kdap: &Kdap) -> String {
             .join(", "),
         kdap_core::kernel::simd_disabled_by_env(),
     ));
+    // Session metrics, encoded by the same snapshot encoder the server's
+    // `GET /v1/{tenant}/stats` uses — identical shape in both surfaces.
+    out.push_str(",\n  \"metrics\": ");
+    out.push_str(&snapshot_json(&kdap.obs().metrics_snapshot(), "  "));
     out.push_str("\n}");
     out
 }
@@ -197,6 +201,9 @@ mod tests {
         assert!(out.contains("\"heap_bytes\""), "{out}");
         assert!(out.contains("\"rowset_containers\""), "{out}");
         assert!(out.contains("\"kernel\""), "{out}");
+        assert!(out.contains("\"metrics\""), "{out}");
+        assert!(out.contains("\"counters\""), "{out}");
+        assert!(out.contains("\"histograms\""), "{out}");
         assert!(
             out.contains(&format!(
                 "\"active\": \"{}\"",

@@ -266,14 +266,18 @@ impl<'a> Parser<'a> {
                             self.pos += 1;
                             let hi = self.hex4()?;
                             let ch = if (0xD800..0xDC00).contains(&hi) {
-                                // Surrogate pair: a second \uXXXX must follow.
+                                // Surrogate pair: a second \uXXXX carrying a
+                                // low surrogate must follow.
                                 if self.bytes[self.pos..].starts_with(b"\\u") {
                                     self.pos += 2;
                                     let lo = self.hex4()?;
-                                    let code = 0x10000
-                                        + ((hi - 0xD800) << 10)
-                                        + (lo.wrapping_sub(0xDC00) & 0x3FF);
-                                    char::from_u32(code)
+                                    if (0xDC00..0xE000).contains(&lo) {
+                                        char::from_u32(
+                                            0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00),
+                                        )
+                                    } else {
+                                        None
+                                    }
                                 } else {
                                     None
                                 }
@@ -362,9 +366,14 @@ impl<'a> Parser<'a> {
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|_| self.err("invalid number"))?;
-        text.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| self.err("invalid number"))
+        let v: f64 = text.parse().map_err(|_| self.err("invalid number"))?;
+        // `"1e999".parse::<f64>()` yields ±∞; JSON has no non-finite
+        // numbers, so an overflowing literal is a malformed document,
+        // not a silent infinity flowing into option plumbing.
+        if !v.is_finite() {
+            return Err(self.err("number out of range"));
+        }
+        Ok(Json::Num(v))
     }
 }
 
@@ -445,6 +454,80 @@ mod tests {
     fn rejects_hostile_nesting() {
         let deep = "[".repeat(200) + &"]".repeat(200);
         assert!(parse(&deep).is_err());
+    }
+
+    #[test]
+    fn nesting_limit_boundary_is_exact() {
+        // Depth counts nesting levels from 0 at the document root; 33
+        // levels of brackets is the first rejected depth.
+        let ok = "[".repeat(33) + &"]".repeat(33);
+        assert!(parse(&ok).is_ok(), "depth 32 must parse");
+        let too_deep = "[".repeat(34) + &"]".repeat(34);
+        let err = parse(&too_deep).unwrap_err();
+        assert!(err.msg.contains("nesting too deep"), "{err}");
+        // Mixed object/array nesting counts the same levels.
+        let mixed = "{\"a\":".repeat(17) + "1" + &"}".repeat(17);
+        assert!(parse(&mixed).is_ok());
+    }
+
+    #[test]
+    fn escape_edge_cases() {
+        // Escaped NUL is representable (a raw NUL byte is not).
+        assert_eq!(parse("\"\\u0000\"").unwrap().as_str(), Some("\u{0}"));
+        assert!(parse("\"\u{0}\"").is_err(), "raw NUL must be rejected");
+        // All simple escapes.
+        assert_eq!(
+            parse("\"\\b\\f\\/\\r\"").unwrap().as_str(),
+            Some("\u{8}\u{c}/\r")
+        );
+        // Uppercase hex digits in \u escapes.
+        assert_eq!(parse("\"\\u00E9\"").unwrap().as_str(), Some("\u{e9}"));
+        // A backslash at end-of-input must not panic.
+        assert!(parse("\"\\").is_err());
+        // Truncated \u escapes.
+        assert!(parse("\"\\u00\"").is_err());
+        assert!(parse("\"\\u00g0\"").is_err());
+    }
+
+    #[test]
+    fn lone_surrogates_are_rejected() {
+        // High surrogate without a low half.
+        assert!(parse("\"\\ud800\"").is_err());
+        // High surrogate followed by a non-escape character.
+        assert!(parse("\"\\ud800x\"").is_err());
+        // Low surrogate on its own.
+        assert!(parse("\"\\udc00\"").is_err());
+        // High surrogate paired with a non-surrogate escape.
+        assert!(parse("\"\\ud800\\u0041\"").is_err());
+        // A proper pair still decodes.
+        assert_eq!(
+            parse("\"\\ud83d\\ude00\"").unwrap().as_str(),
+            Some("\u{1f600}")
+        );
+    }
+
+    #[test]
+    fn overflowing_numbers_are_rejected_not_infinite() {
+        for bad in ["1e999", "-1e999", "1e309", "-1e309"] {
+            let err = parse(bad).unwrap_err();
+            assert!(err.msg.contains("out of range"), "{bad} → {err}");
+        }
+        // The largest finite doubles still parse.
+        assert_eq!(
+            parse("1.7976931348623157e308").unwrap(),
+            Json::Num(f64::MAX)
+        );
+        assert_eq!(
+            parse("-1.7976931348623157e308").unwrap(),
+            Json::Num(f64::MIN)
+        );
+        // Tiny numbers underflow to zero rather than erroring (IEEE 754
+        // gradual underflow is finite).
+        assert_eq!(parse("1e-999").unwrap(), Json::Num(0.0));
+        // NaN has no JSON literal at all.
+        for bad in ["NaN", "nan", "Infinity", "-Infinity"] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
     }
 
     #[test]

@@ -146,6 +146,11 @@ pub struct QueryRequest {
     pub limit: usize,
     /// Per-request option overrides.
     pub options: QueryOptions,
+    /// The request's trace id. Set programmatically by the service edge
+    /// (HTTP router or CLI) — never decoded from the body, so the JSON
+    /// surface stays strict and the echoed id is byte-identical to what
+    /// the client sent.
+    pub trace_id: Option<String>,
 }
 
 impl QueryRequest {
@@ -157,7 +162,14 @@ impl QueryRequest {
             pick: 1,
             limit: 8,
             options: QueryOptions::default(),
+            trace_id: None,
         }
+    }
+
+    /// Sets the trace id (builder style).
+    pub fn with_trace_id(mut self, trace_id: impl Into<String>) -> Self {
+        self.trace_id = Some(trace_id.into());
+        self
     }
 
     /// Replaces the option overrides (builder style).
@@ -669,8 +681,18 @@ impl ApiError {
 
     /// The JSON body of the error response.
     pub fn to_json(&self) -> String {
+        self.to_json_with_trace(None)
+    }
+
+    /// The JSON body with the request's trace id included, so failed
+    /// requests stay correlatable with their log and ledger records.
+    pub fn to_json_with_trace(&self, trace_id: Option<&str>) -> String {
+        let trace = match trace_id {
+            Some(id) => format!(", \"trace_id\": {}", json_string(id)),
+            None => String::new(),
+        };
         format!(
-            "{{\"error\": {{\"status\": {}, \"code\": {}, \"message\": {}}}}}\n",
+            "{{\"error\": {{\"status\": {}, \"code\": {}, \"message\": {}{trace}}}}}\n",
             self.status,
             json_string(self.code),
             json_string(&self.message),
@@ -934,6 +956,29 @@ mod tests {
             assert_eq!(e.get("status").unwrap().as_num(), Some(status as f64));
             assert_eq!(e.get("code").unwrap().as_str(), Some(code));
         }
+    }
+
+    #[test]
+    fn error_json_can_carry_a_trace_id() {
+        let err = ApiError::bad_request("nope");
+        assert!(!err.to_json().contains("trace_id"));
+        let body = err.to_json_with_trace(Some("deadbeef"));
+        let doc = json::parse(&body).expect("valid error JSON");
+        assert_eq!(
+            doc.get("error").unwrap().get("trace_id").unwrap().as_str(),
+            Some("deadbeef")
+        );
+    }
+
+    #[test]
+    fn trace_id_is_edge_set_not_a_body_field() {
+        // The strict body parser must not grow a trace field; ids come
+        // from the transport edge only.
+        let err = QueryRequest::from_json(Verb::Explore, r#"{"keywords": "x", "trace_id": "a"}"#)
+            .unwrap_err();
+        assert!(err.message.contains("unknown field `trace_id`"));
+        let req = QueryRequest::new(Verb::Explore, "x").with_trace_id("cafe");
+        assert_eq!(req.trace_id.as_deref(), Some("cafe"));
     }
 
     #[test]

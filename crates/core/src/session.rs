@@ -874,11 +874,12 @@ impl Kdap {
             }
         }
         if profiling {
-            response.profile = Some(
-                self.obs
-                    .take_profile()
-                    .unwrap_or_else(|| QueryProfile::empty(&request.keywords)),
-            );
+            let mut profile = self
+                .obs
+                .take_profile()
+                .unwrap_or_else(|| QueryProfile::empty(&request.keywords));
+            profile.trace_id = request.trace_id.clone();
+            response.profile = Some(profile);
         }
         Ok(response)
     }

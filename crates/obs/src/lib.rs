@@ -34,15 +34,25 @@
 
 #![warn(missing_docs)]
 
+mod export;
+mod ledger;
+mod log;
 mod metrics;
 mod profile;
 mod recorder;
+mod trace;
 
+pub use export::{
+    chrome_trace, lint_exposition, snapshot_json, PrometheusExport, PROMETHEUS_CONTENT_TYPE,
+};
+pub use ledger::{LedgerEntry, SlowQueryLedger};
+pub use log::{JsonLogger, LogLevel, LogValue};
 pub use metrics::{
     CacheCounters, Counter, Gauge, Histogram, HistogramSummary, Metrics, MetricsSnapshot, N_BUCKETS,
 };
 pub use profile::{fmt_ns, json_string, CacheOutcome, ProfileNode, QueryProfile};
 pub use recorder::{LeafData, Obs, Recorder, Span, Timer};
+pub use trace::TraceId;
 
 /// Opens a span on an [`Obs`] handle, optionally annotating it with
 /// `key = value` notes:

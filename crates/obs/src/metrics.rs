@@ -304,6 +304,18 @@ impl Metrics {
         }
     }
 
+    /// Every histogram with its live handle, sorted by name. Exporters
+    /// that need raw buckets (Prometheus `le` series) use this instead
+    /// of the summary-only [`Metrics::snapshot`].
+    pub fn histogram_entries(&self) -> Vec<(String, Arc<Histogram>)> {
+        let mut out: Vec<_> = lock(&self.histograms)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
     /// A point-in-time snapshot of every instrument, sorted by name.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let counters = lock(&self.counters)

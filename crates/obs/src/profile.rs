@@ -172,6 +172,10 @@ impl ProfileNode {
 pub struct QueryProfile {
     /// What was profiled, e.g. the query string.
     pub label: String,
+    /// The request's trace id (32-or-fewer hex digits), when the query
+    /// ran under one — stamped by the server/CLI edge, never minted
+    /// here.
+    pub trace_id: Option<String>,
     /// Top-level stages in execution order.
     pub roots: Vec<ProfileNode>,
 }
@@ -182,6 +186,7 @@ impl QueryProfile {
     pub fn empty(label: impl Into<String>) -> Self {
         QueryProfile {
             label: label.into(),
+            trace_id: None,
             roots: Vec::new(),
         }
     }
@@ -226,6 +231,9 @@ impl QueryProfile {
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
         out.push_str(&format!("  \"label\": {},\n", json_string(&self.label)));
+        if let Some(id) = &self.trace_id {
+            out.push_str(&format!("  \"trace_id\": {},\n", json_string(id)));
+        }
         out.push_str(&format!("  \"total_ns\": {},\n", self.total_ns()));
         out.push_str("  \"stages\": [\n");
         for (i, r) in self.roots.iter().enumerate() {
@@ -256,6 +264,15 @@ pub fn fmt_ns(ns: u64) -> String {
 /// Escapes a string as a JSON string literal, quotes included.
 pub fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
+    json_string_into(&mut out, s);
+    out
+}
+
+/// Appends `s` onto `out` as a JSON string literal, quotes and escapes
+/// included, without allocating — the hot-path form of [`json_string`]
+/// used by the access logger.
+pub fn json_string_into(out: &mut String, s: &str) {
+    use std::fmt::Write as _;
     out.push('"');
     for c in s.chars() {
         match c {
@@ -264,12 +281,13 @@ pub fn json_string(s: &str) -> String {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
             c => out.push(c),
         }
     }
     out.push('"');
-    out
 }
 
 #[cfg(test)]
@@ -289,6 +307,7 @@ mod tests {
         explore.cache = Some(CacheOutcome::Hit);
         QueryProfile {
             label: "columbus lcd".into(),
+            trace_id: None,
             roots: vec![root, explore],
         }
     }
@@ -324,6 +343,14 @@ mod tests {
         assert!(j.contains("\"rows_out\": 12"));
         assert!(j.contains("\"cache\": \"hit\""));
         assert!(j.contains("\"notes\": {\"terms\": \"2\"}"));
+    }
+
+    #[test]
+    fn json_carries_trace_id_when_present() {
+        let mut p = sample();
+        assert!(!p.to_json().contains("trace_id"));
+        p.trace_id = Some("deadbeef".into());
+        assert!(p.to_json().contains("\"trace_id\": \"deadbeef\""));
     }
 
     #[test]

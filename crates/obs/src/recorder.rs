@@ -17,6 +17,7 @@
 //! the profile tree is therefore a pure function of the query and data —
 //! identical for any thread count — which the equivalence tests assert.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -84,7 +85,11 @@ impl ProfileState {
         self.roots.clear();
         self.stack.clear();
         self.active = false;
-        QueryProfile { label, roots }
+        QueryProfile {
+            label,
+            trace_id: None,
+            roots,
+        }
     }
 }
 
@@ -93,6 +98,12 @@ impl ProfileState {
 pub struct Recorder {
     metrics: Metrics,
     profile: Mutex<ProfileState>,
+    /// Mirror of `ProfileState::active`, readable without the mutex —
+    /// the flag that lets span/leaf calls on sessions that are *not*
+    /// currently profiling return after one atomic load instead of a
+    /// lock round-trip. The mutex stays the authority: callers that
+    /// pass this check re-verify `active` under the lock.
+    profiling: AtomicBool,
 }
 
 fn lock(m: &Mutex<ProfileState>) -> std::sync::MutexGuard<'_, ProfileState> {
@@ -132,6 +143,7 @@ impl Obs {
             st.roots.clear();
             st.stack.clear();
             st.active = true;
+            rec.profiling.store(true, Ordering::Relaxed);
         }
     }
 
@@ -144,7 +156,19 @@ impl Obs {
         if !st.active {
             return None;
         }
-        Some(st.assemble())
+        let profile = st.assemble();
+        rec.profiling.store(false, Ordering::Relaxed);
+        Some(profile)
+    }
+
+    /// True while a profile is being collected — the cheap pre-check
+    /// (one atomic load) hot paths use to skip building span/leaf data
+    /// that would be discarded anyway. Always `false` when disabled.
+    pub fn is_profiling(&self) -> bool {
+        match &self.0 {
+            Some(rec) => rec.profiling.load(Ordering::Relaxed),
+            None => false,
+        }
     }
 
     /// Opens a span named `name` on the coordinating thread. Returns a
@@ -153,6 +177,13 @@ impl Obs {
     /// inert guard.
     pub fn span(&self, name: &str) -> Span {
         if let Some(rec) = &self.0 {
+            if !rec.profiling.load(Ordering::Relaxed) {
+                return Span {
+                    obs: None,
+                    idx: 0,
+                    start: None,
+                };
+            }
             let mut st = lock(&rec.profile);
             if st.active {
                 let idx = st.push_node(ProfileNode::new(name));
@@ -177,6 +208,9 @@ impl Obs {
     /// disabled or no profile is active.
     pub fn leaf(&self, name: &str, data: LeafData) {
         if let Some(rec) = &self.0 {
+            if !rec.profiling.load(Ordering::Relaxed) {
+                return;
+            }
             let mut st = lock(&rec.profile);
             if st.active {
                 let mut node = ProfileNode::new(name);
@@ -238,6 +272,17 @@ impl Obs {
         match &self.0 {
             Some(rec) => rec.metrics.snapshot(),
             None => MetricsSnapshot::default(),
+        }
+    }
+
+    /// Every histogram with its live handle, name-sorted — the raw
+    /// log2 buckets the Prometheus exporter renders as native histogram
+    /// series (snapshots only carry percentile summaries). Empty when
+    /// disabled.
+    pub fn histogram_entries(&self) -> Vec<(String, Arc<Histogram>)> {
+        match &self.0 {
+            Some(rec) => rec.metrics.histogram_entries(),
+            None => Vec::new(),
         }
     }
 }
@@ -393,6 +438,17 @@ mod tests {
         assert_eq!(p.roots[0].children[1].rows_in, Some(10));
         // Taking again returns None until a new profile starts.
         assert!(obs.take_profile().is_none());
+    }
+
+    #[test]
+    fn profiling_flag_tracks_start_and_take() {
+        let obs = Obs::enabled();
+        assert!(!obs.is_profiling());
+        obs.start_profile("q");
+        assert!(obs.is_profiling());
+        obs.take_profile();
+        assert!(!obs.is_profiling());
+        assert!(!Obs::disabled().is_profiling());
     }
 
     #[test]

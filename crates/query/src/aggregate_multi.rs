@@ -29,7 +29,7 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use kdap_warehouse::{ColRef, Measure, Warehouse};
+use kdap_warehouse::{ColRef, KernelTier, Measure, Warehouse};
 
 use crate::aggregate::{Accumulator, AggFunc, Bucketizer, AGG_CHUNK_WORDS};
 use crate::bitmap::RowSet;
@@ -847,8 +847,12 @@ pub fn multi_group_by_exec_sized(
     }
     let oob_total: u64 = partials.iter().map(|(_, oob, _)| oob).sum();
     if exec.obs.is_enabled() {
-        for (_, _, chunk_ns) in &partials {
-            exec.obs.record_ns("query.agg_chunk_ns", *chunk_ns);
+        // One registry lookup for the whole chunk sweep, not one per
+        // chunk.
+        if let Some(h) = exec.obs.histogram_handle("query.agg_chunk_ns") {
+            for (_, _, chunk_ns) in &partials {
+                h.record(*chunk_ns);
+            }
         }
         // The dense/hash dispatch decision per categorical spec.
         let dense = merged.iter().filter(|g| g.is_dense()).count();
@@ -859,11 +863,17 @@ pub fn multi_group_by_exec_sized(
         exec.obs.inc("query.agg_dense_dispatch", dense as u64);
         exec.obs.inc("query.agg_hash_dispatch", hash as u64);
         // Which kernel tier ran this scan (batch path above Scalar).
-        exec.obs
-            .inc(&format!("query.kernel_tier.{}", tier.name()), 1);
+        exec.obs.inc(tier_metric_name(tier), 1);
         if oob_total > 0 {
             exec.obs.inc("query.agg_dense_oob_fallback", oob_total);
         }
+    }
+    if exec.obs.is_profiling() {
+        let dense = merged.iter().filter(|g| g.is_dense()).count();
+        let hash = merged
+            .iter()
+            .filter(|g| matches!(g, FacetGroups::Sparse { .. }))
+            .count();
         exec.obs.leaf(
             "multi_group_by",
             kdap_obs::LeafData {
@@ -882,6 +892,17 @@ pub fn multi_group_by_exec_sized(
         );
     }
     Ok(merged)
+}
+
+/// The per-tier dispatch counter name as a static string, so the hot
+/// path never formats one.
+fn tier_metric_name(tier: KernelTier) -> &'static str {
+    match tier {
+        KernelTier::Scalar => "query.kernel_tier.scalar",
+        KernelTier::Sse2 => "query.kernel_tier.sse2",
+        KernelTier::Neon => "query.kernel_tier.neon",
+        KernelTier::Avx2 => "query.kernel_tier.avx2",
+    }
 }
 
 #[cfg(test)]

@@ -552,6 +552,12 @@ pub fn execute_plan_traced(
         par_map(exec, &plan.steps, |i, s| timed_step(i, s))
     };
     let obs_on = exec.obs.is_enabled();
+    // Metric handles hoisted out of the step loop: one registry lookup
+    // per plan instead of one lock + map probe per step.
+    let step_hist = exec.obs.histogram_handle("query.semijoin_step_ns");
+    let hit_ctr = exec.obs.counter_handle("query.step_cache_hits");
+    let miss_ctr = exec.obs.counter_handle("query.step_cache_misses");
+    let profiling = exec.obs.is_profiling();
     let mut rows = RowSet::full(n);
     let mut traces = Vec::with_capacity(plan.steps.len());
     let mut fresh: Vec<(StepKey, Arc<RowSet>)> = Vec::with_capacity(plan.steps.len());
@@ -563,15 +569,16 @@ pub fn execute_plan_traced(
         rows.intersect_with(&bitmap);
         let est_fraction = step.est_fraction();
         if obs_on {
-            exec.obs.record_ns("query.semijoin_step_ns", step_ns);
-            exec.obs.inc(
-                if cache_hit {
-                    "query.step_cache_hits"
-                } else {
-                    "query.step_cache_misses"
-                },
-                1,
-            );
+            if let Some(h) = &step_hist {
+                h.record(step_ns);
+            }
+            if let Some(c) = if cache_hit { &hit_ctr } else { &miss_ctr } {
+                c.add(1);
+            }
+        }
+        // Leaf construction (its notes allocate) only pays off while a
+        // profile is being collected.
+        if profiling {
             exec.obs.leaf(
                 if step.n_constraints() > 1 {
                     "fused_scan"

@@ -225,6 +225,9 @@ pub struct Response {
     pub status: u16,
     /// `Content-Type` of the body.
     pub content_type: &'static str,
+    /// Extra response headers (e.g. the trace-id echo), written after
+    /// the fixed head.
+    pub headers: Vec<(&'static str, String)>,
     /// Response body.
     pub body: String,
 }
@@ -235,6 +238,7 @@ impl Response {
         Response {
             status: 200,
             content_type,
+            headers: Vec::new(),
             body: body.into(),
         }
     }
@@ -244,21 +248,33 @@ impl Response {
         Response {
             status,
             content_type: "application/json",
+            headers: Vec::new(),
             body: body.into(),
         }
+    }
+
+    /// Adds a response header (builder style). The value must not
+    /// contain CR/LF — callers pass only values they produced.
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Self {
+        self.headers.push((name, value.into()));
+        self
     }
 }
 
 /// Serializes `response` onto the stream. Errors are returned to the
 /// caller only for logging — the connection closes either way.
 pub fn write_response(stream: &mut TcpStream, response: &Response) -> io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
         response.status,
         status_text(response.status),
         response.content_type,
         response.body.len(),
     );
+    for (name, value) in &response.headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(response.body.as_bytes())?;
     stream.flush()
@@ -370,13 +386,21 @@ mod tests {
             out
         });
         let (mut stream, _) = listener.accept().unwrap();
-        write_response(&mut stream, &Response::json(404, "{\"error\": {}}")).unwrap();
+        write_response(
+            &mut stream,
+            &Response::json(404, "{\"error\": {}}").with_header("x-kdap-trace-id", "deadbeef"),
+        )
+        .unwrap();
         drop(stream);
         let raw = reader.join().unwrap();
         assert!(raw.starts_with("HTTP/1.1 404 Not Found\r\n"), "{raw}");
         assert!(raw.contains("Content-Type: application/json\r\n"), "{raw}");
         assert!(raw.contains("Content-Length: 13\r\n"), "{raw}");
         assert!(raw.contains("Connection: close\r\n"), "{raw}");
+        assert!(raw.contains("x-kdap-trace-id: deadbeef\r\n"), "{raw}");
+        // Extra headers stay inside the head, before the blank line.
+        let head_end = raw.find("\r\n\r\n").unwrap();
+        assert!(raw.find("x-kdap-trace-id").unwrap() < head_end, "{raw}");
         assert!(raw.ends_with("{\"error\": {}}"), "{raw}");
     }
 }

@@ -39,11 +39,13 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use kdap_core::api::ApiError;
+use kdap_obs::JsonLogger;
 
 pub use registry::{EngineRegistry, InflightGuard, TenantEngine};
+pub use router::RouterContext;
 
 use crate::http::{HttpError, Response};
 
@@ -64,6 +66,10 @@ pub struct ServerConfig {
     /// Per-connection socket read timeout, bounding slow or stalled
     /// clients (default 10 s).
     pub read_timeout: Duration,
+    /// Structured access-log destination: `None` disables logging,
+    /// `Some("stderr")` writes JSONL to stderr, any other value is
+    /// treated as a file path opened in append mode (default `None`).
+    pub log: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -74,8 +80,16 @@ impl Default for ServerConfig {
             workers: 4,
             max_inflight: 64,
             read_timeout: Duration::from_secs(10),
+            log: None,
         }
     }
+}
+
+/// State shared by every worker beyond the registry itself: the access
+/// logger and the server start instant (for `/healthz` uptime).
+struct ServerState {
+    logger: JsonLogger,
+    started: Instant,
 }
 
 /// A running server: accept thread plus worker pool. Dropping the handle
@@ -98,6 +112,10 @@ impl KdapServer {
         let addr = listener.local_addr()?;
         let registry = Arc::new(registry);
         let stop = Arc::new(AtomicBool::new(false));
+        let state = Arc::new(ServerState {
+            logger: JsonLogger::from_spec(config.log.as_deref())?,
+            started: Instant::now(),
+        });
 
         let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = channel();
         let rx = Arc::new(Mutex::new(rx));
@@ -106,10 +124,11 @@ impl KdapServer {
                 let rx = Arc::clone(&rx);
                 let registry = Arc::clone(&registry);
                 let config = config.clone();
+                let state = Arc::clone(&state);
                 thread::spawn(move || loop {
                     let next = rx.lock().unwrap_or_else(|e| e.into_inner()).recv();
                     match next {
-                        Ok(stream) => serve_connection(&registry, &config, stream),
+                        Ok(stream) => serve_connection(&registry, &config, &state, stream),
                         // Sender dropped: the server is shutting down.
                         Err(_) => break,
                     }
@@ -160,12 +179,23 @@ impl KdapServer {
 }
 
 /// Serves one connection: parse, route, respond, close.
-fn serve_connection(registry: &EngineRegistry, config: &ServerConfig, mut stream: TcpStream) {
+fn serve_connection(
+    registry: &EngineRegistry,
+    config: &ServerConfig,
+    state: &ServerState,
+    mut stream: TcpStream,
+) {
     stream.set_read_timeout(Some(config.read_timeout)).ok();
     stream.set_nodelay(true).ok();
     match http::read_request(&mut stream) {
         Ok(request) => {
-            let response = router::route(registry, config.max_inflight, &request, &stream);
+            let ctx = RouterContext {
+                registry,
+                max_inflight: config.max_inflight,
+                logger: &state.logger,
+                started: state.started,
+            };
+            let response = router::route(&ctx, &request, &stream);
             http::write_response(&mut stream, &response).ok();
         }
         Err(HttpError::Bad { status, message }) => {

@@ -7,7 +7,10 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use kdap_core::Kdap;
-use kdap_obs::{json_string, MetricsSnapshot, Obs};
+use kdap_obs::{json_string, snapshot_json, Obs, SlowQueryLedger};
+
+/// How many slow/breached queries each tenant's ledger retains.
+const SLOW_LEDGER_CAPACITY: usize = 32;
 
 // `Arc<Kdap>` is shared across worker threads; this fails to compile if
 // any future session field loses thread safety.
@@ -28,6 +31,9 @@ pub struct TenantEngine {
     /// interleave their span trees.
     profile_lock: Mutex<()>,
     inflight: AtomicUsize,
+    /// Retains the N slowest / most-recently-breached queries with their
+    /// profiles, served at `GET /v1/{tenant}/slow`.
+    slow: SlowQueryLedger,
 }
 
 impl TenantEngine {
@@ -44,6 +50,11 @@ impl TenantEngine {
     /// The tenant's server-side metrics recorder.
     pub fn http_obs(&self) -> &Obs {
         &self.http_obs
+    }
+
+    /// The tenant's slow-query ledger.
+    pub fn slow_ledger(&self) -> &SlowQueryLedger {
+        &self.slow
     }
 
     /// Holds the profile-capture lock for the duration of a `profile`
@@ -148,51 +159,6 @@ impl TenantEngine {
     }
 }
 
-/// Encodes a metrics snapshot as `{"counters": …, "gauges": …,
-/// "histograms": …}`, indented under `pad`.
-fn snapshot_json(snap: &MetricsSnapshot, pad: &str) -> String {
-    let mut out = String::from("{\n");
-    out.push_str(&format!("{pad}  \"counters\": {{"));
-    for (i, (name, v)) in snap.counters.iter().enumerate() {
-        out.push_str(if i == 0 { "\n" } else { ",\n" });
-        out.push_str(&format!("{pad}    {}: {}", json_string(name), v));
-    }
-    if !snap.counters.is_empty() {
-        out.push_str(&format!("\n{pad}  "));
-    }
-    out.push_str("},\n");
-    out.push_str(&format!("{pad}  \"gauges\": {{"));
-    for (i, (name, v)) in snap.gauges.iter().enumerate() {
-        out.push_str(if i == 0 { "\n" } else { ",\n" });
-        out.push_str(&format!("{pad}    {}: {}", json_string(name), v));
-    }
-    if !snap.gauges.is_empty() {
-        out.push_str(&format!("\n{pad}  "));
-    }
-    out.push_str("},\n");
-    out.push_str(&format!("{pad}  \"histograms\": {{"));
-    for (i, (name, h)) in snap.histograms.iter().enumerate() {
-        out.push_str(if i == 0 { "\n" } else { ",\n" });
-        out.push_str(&format!(
-            "{pad}    {}: {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
-             \"p50\": {}, \"p95\": {}, \"p99\": {}}}",
-            json_string(name),
-            h.count,
-            h.sum,
-            h.min,
-            h.max,
-            h.p50,
-            h.p95,
-            h.p99
-        ));
-    }
-    if !snap.histograms.is_empty() {
-        out.push_str(&format!("\n{pad}  "));
-    }
-    out.push_str(&format!("}}\n{pad}}}"));
-    out
-}
-
 /// Releases a tenant's in-flight slot on drop.
 pub struct InflightGuard {
     tenant: Arc<TenantEngine>,
@@ -230,6 +196,7 @@ impl EngineRegistry {
                 http_obs: Obs::enabled(),
                 profile_lock: Mutex::new(()),
                 inflight: AtomicUsize::new(0),
+                slow: SlowQueryLedger::new(SLOW_LEDGER_CAPACITY),
             }),
         );
     }
@@ -248,6 +215,11 @@ impl EngineRegistry {
     /// The registered tenant names, sorted.
     pub fn tenant_names(&self) -> Vec<&str> {
         self.tenants.keys().map(String::as_str).collect()
+    }
+
+    /// Iterates tenants in name order (for cross-tenant exports).
+    pub fn iter(&self) -> impl Iterator<Item = &Arc<TenantEngine>> {
+        self.tenants.values()
     }
 
     /// Number of registered tenants.

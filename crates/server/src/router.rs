@@ -1,24 +1,36 @@
 //! Request routing: URL space, admission control, per-request
-//! governance, client-disconnect cancellation, and endpoint metrics.
+//! governance, client-disconnect cancellation, trace propagation,
+//! access logging, and endpoint metrics.
 //!
 //! ```text
-//! GET  /healthz                    liveness (no tenant)
+//! GET  /healthz                    liveness + version/uptime/kernel
+//! GET  /metrics                    Prometheus exposition, all tenants
 //! GET  /v1/{tenant}/stats          tenant metrics + cache state
+//! GET  /v1/{tenant}/slow           slow-query ledger
 //! POST /v1/{tenant}/differentiate  ranked interpretations
 //! POST /v1/{tenant}/explore        interpretation + facets
 //! POST /v1/{tenant}/profile        + per-stage timing tree
 //! POST /v1/{tenant}/explain        + physical plan and scan report
 //! ```
+//!
+//! Every request gets a trace id — accepted from `x-kdap-trace-id` (1 to
+//! 32 hex digits) or minted at this edge — that is echoed back in the
+//! `x-kdap-trace-id` response header, stamped into profiles and error
+//! bodies, and carried by access-log lines and slow-ledger entries.
 
 use std::io;
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use kdap_core::api::{ApiError, QueryRequest, Verb, WireFormat};
 use kdap_core::CancelToken;
+use kdap_obs::{
+    chrome_trace, JsonLogger, LedgerEntry, LogLevel, PrometheusExport, QueryProfile, TraceId,
+    PROMETHEUS_CONTENT_TYPE,
+};
 
 use crate::http::{Request, Response};
 use crate::registry::{EngineRegistry, TenantEngine};
@@ -29,41 +41,107 @@ pub const HDR_TIMEOUT_MS: &str = "x-kdap-timeout-ms";
 /// Governance header: per-request memory budget in bytes. The body
 /// field `budget_bytes` wins when both are present.
 pub const HDR_BUDGET_BYTES: &str = "x-kdap-budget-bytes";
+/// Trace header: client-supplied trace id (1 to 32 hex digits),
+/// minted at the edge when absent; echoed on every response.
+pub const HDR_TRACE_ID: &str = "x-kdap-trace-id";
 
 /// How often the disconnect watcher polls the client socket.
 const WATCH_INTERVAL: Duration = Duration::from_millis(5);
 
+/// Everything a worker hands the router per request: the tenant
+/// registry, admission cap, access logger, and server start instant.
+pub struct RouterContext<'a> {
+    /// Named engines served by this process.
+    pub registry: &'a EngineRegistry,
+    /// Maximum concurrently executing queries per tenant.
+    pub max_inflight: usize,
+    /// Structured access logger (disabled logger = zero-cost no-op).
+    pub logger: &'a JsonLogger,
+    /// When the server started, for `/healthz` uptime.
+    pub started: Instant,
+}
+
 /// Routes one parsed request to its handler and returns the response.
 /// `stream` is the client connection, watched for disconnect while a
 /// query runs. Error bodies are always JSON regardless of the
-/// negotiated result format.
-pub fn route(
-    registry: &EngineRegistry,
-    max_inflight: usize,
-    request: &Request,
-    stream: &TcpStream,
-) -> Response {
-    match route_inner(registry, max_inflight, request, stream) {
+/// negotiated result format, and carry the request's trace id.
+pub fn route(ctx: &RouterContext<'_>, request: &Request, stream: &TcpStream) -> Response {
+    let timer = Instant::now();
+    // The trace id is edge-minted or client-supplied; a client-supplied
+    // id is kept byte-identical for the echo.
+    let (trace, trace_err) = match request.header(HDR_TRACE_ID) {
+        Some(raw) => match TraceId::parse(raw) {
+            Some(_) => (raw.to_string(), None),
+            None => (
+                TraceId::mint().to_string(),
+                Some(ApiError::bad_request(format!(
+                    "`{HDR_TRACE_ID}` must be 1 to 32 hex digits"
+                ))),
+            ),
+        },
+        None => (TraceId::mint().to_string(), None),
+    };
+    let result = match trace_err {
+        Some(err) => Err(err),
+        None => route_inner(ctx, &trace, request, stream),
+    };
+    let mut breach = None;
+    let response = match result {
         Ok(resp) => resp,
-        Err(err) => Response::json(err.status, err.to_json()),
+        Err(err) => {
+            breach =
+                matches!(err.code, "timeout" | "cancelled" | "budget_exceeded").then_some(err.code);
+            Response::json(err.status, err.to_json_with_trace(Some(&trace)))
+        }
+    };
+    let response = response.with_header(HDR_TRACE_ID, trace.clone());
+    if ctx.logger.is_enabled() {
+        let level = match response.status {
+            s if s >= 500 => LogLevel::Error,
+            s if s >= 400 => LogLevel::Warn,
+            _ => LogLevel::Info,
+        };
+        let mut fields = vec![
+            ("trace_id", trace.as_str().into()),
+            ("method", request.method.as_str().into()),
+            ("path", request.path.as_str().into()),
+            ("status", response.status.into()),
+            ("latency_ns", (timer.elapsed().as_nanos() as u64).into()),
+        ];
+        if let Some(code) = breach {
+            fields.push(("breach", code.into()));
+        }
+        ctx.logger.log(level, "access", &fields);
     }
+    response
 }
 
 fn route_inner(
-    registry: &EngineRegistry,
-    max_inflight: usize,
+    ctx: &RouterContext<'_>,
+    trace: &str,
     request: &Request,
     stream: &TcpStream,
 ) -> Result<Response, ApiError> {
     if request.path == "/healthz" {
         return match request.method.as_str() {
-            "GET" => Ok(Response::ok("application/json", "{\"status\": \"ok\"}\n")),
+            "GET" => Ok(Response::ok("application/json", healthz_json(ctx))),
             _ => Err(method_not_allowed("GET")),
         };
     }
+    if request.path == "/metrics" {
+        if request.method != "GET" {
+            return Err(method_not_allowed("GET"));
+        }
+        let mut export = PrometheusExport::new();
+        for tenant in ctx.registry.iter() {
+            export.add_obs(tenant.name(), tenant.http_obs());
+            export.add_obs(tenant.name(), tenant.kdap().obs());
+        }
+        return Ok(Response::ok(PROMETHEUS_CONTENT_TYPE, export.render()));
+    }
     let Some(rest) = request.path.strip_prefix("/v1/") else {
         return Err(ApiError::not_found(format!(
-            "no route for `{}` (try /healthz or /v1/{{tenant}}/…)",
+            "no route for `{}` (try /healthz, /metrics or /v1/{{tenant}}/…)",
             request.path
         )));
     };
@@ -72,40 +150,60 @@ fn route_inner(
         (segments.next(), segments.next(), segments.next())
     else {
         return Err(ApiError::not_found(
-            "routes are /v1/{tenant}/{differentiate|explore|profile|explain|stats}",
+            "routes are /v1/{tenant}/{differentiate|explore|profile|explain|stats|slow}",
         ));
     };
-    let Some(tenant) = registry.get(tenant_name) else {
+    let Some(tenant) = ctx.registry.get(tenant_name) else {
         return Err(ApiError::not_found(format!(
             "unknown tenant `{tenant_name}` (registered: {})",
-            registry.tenant_names().join(", ")
+            ctx.registry.tenant_names().join(", ")
         )));
     };
 
-    if action == "stats" {
+    if action == "stats" || action == "slow" {
         if request.method != "GET" {
             return Err(method_not_allowed("GET"));
         }
         tenant.http_obs().inc("http.requests", 1);
-        tenant.http_obs().inc("http.stats.requests", 1);
-        return Ok(Response::ok("application/json", tenant.stats_json()));
+        tenant.http_obs().inc(&format!("http.{action}.requests"), 1);
+        let body = if action == "stats" {
+            tenant.stats_json()
+        } else {
+            tenant.slow_ledger().to_json()
+        };
+        return Ok(Response::ok("application/json", body));
     }
 
     let Some(verb) = Verb::parse(action) else {
         return Err(ApiError::not_found(format!(
-            "unknown action `{action}` (differentiate, explore, profile, explain, stats)"
+            "unknown action `{action}` (differentiate, explore, profile, explain, stats, slow)"
         )));
     };
     if request.method != "POST" {
         return Err(method_not_allowed("POST"));
     }
-    run_query(tenant, max_inflight, verb, request, stream)
+    run_query(tenant, ctx.max_inflight, verb, trace, request, stream)
+}
+
+/// The `/healthz` body. Keeps the `"status": "ok"` shape older clients
+/// substring-match on, and adds version, uptime, kernel tier, and
+/// tenant count.
+fn healthz_json(ctx: &RouterContext<'_>) -> String {
+    format!(
+        "{{\"status\": \"ok\", \"version\": \"{}\", \"uptime_s\": {}, \
+         \"kernel\": \"{}\", \"tenants\": {}}}\n",
+        env!("CARGO_PKG_VERSION"),
+        ctx.started.elapsed().as_secs(),
+        kdap_core::kernel::active_tier().name(),
+        ctx.registry.len(),
+    )
 }
 
 fn run_query(
     tenant: &Arc<TenantEngine>,
     max_inflight: usize,
     verb: Verb,
+    trace: &str,
     request: &Request,
     stream: &TcpStream,
 ) -> Result<Response, ApiError> {
@@ -114,8 +212,22 @@ fn run_query(
     obs.inc(&format!("http.{verb}.requests"), 1);
 
     // Everything that can fail cheaply fails before admission.
-    let format = WireFormat::negotiate(request.query_param("format"), request.header("accept"))?;
+    // `format=trace` (Chrome trace-event JSON) only makes sense for
+    // tree-shaped profile responses, so it is intercepted before wire
+    // negotiation.
+    let trace_format = request.query_param("format") == Some("trace");
+    if trace_format && verb != Verb::Profile {
+        return Err(ApiError::not_acceptable(format!(
+            "`format=trace` requires the profile verb, not `{verb}`"
+        )));
+    }
+    let format = if trace_format {
+        WireFormat::Json
+    } else {
+        WireFormat::negotiate(request.query_param("format"), request.header("accept"))?
+    };
     let mut query = QueryRequest::from_json(verb, &request.body)?;
+    query.trace_id = Some(trace.to_string());
     if query.options.timeout_ms.is_none() {
         query.options.timeout_ms = header_u64(request, HDR_TIMEOUT_MS)?;
     }
@@ -139,17 +251,48 @@ fn run_query(
     let _watcher = DisconnectWatcher::spawn(stream, token.clone());
     let timer = obs.timer();
     let result = tenant.kdap().run_cancellable(&query, Some(token));
-    obs.record_ns(&format!("http.{verb}.latency_ns"), timer.stop());
+    let latency_ns = timer.stop();
+    obs.record_ns(&format!("http.{verb}.latency_ns"), latency_ns);
 
+    let ledger_entry =
+        |status: u16, breach: Option<&str>, profile: Option<QueryProfile>| LedgerEntry {
+            trace_id: Some(trace.to_string()),
+            verb: verb.to_string(),
+            keywords: query.keywords.clone(),
+            latency_ns,
+            status,
+            breach: breach.map(String::from),
+            profile,
+        };
     match result {
         Ok(response) => {
-            let body = response.encode(format)?;
+            let body = if trace_format {
+                match &response.profile {
+                    Some(profile) => chrome_trace(profile),
+                    None => chrome_trace(&QueryProfile::empty(&query.keywords)),
+                }
+            } else {
+                response.encode(format)?
+            };
             obs.inc("http.status.200", 1);
-            Ok(Response::ok(format.content_type(), body))
+            tenant
+                .slow_ledger()
+                .record(ledger_entry(200, None, response.profile.clone()));
+            let content_type = if trace_format {
+                "application/json"
+            } else {
+                format.content_type()
+            };
+            Ok(Response::ok(content_type, body))
         }
         Err(err) => {
             let api = ApiError::from_kdap(&err);
             obs.inc(&format!("http.status.{}", api.status), 1);
+            let breach =
+                matches!(api.code, "timeout" | "cancelled" | "budget_exceeded").then_some(api.code);
+            tenant
+                .slow_ledger()
+                .record(ledger_entry(api.status, breach, None));
             Err(api)
         }
     }
